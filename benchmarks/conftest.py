@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper table/figure (at the reduced
+``fast`` sweep), asserts the paper's qualitative shape, and writes the
+reproduced table to ``results/<experiment>.txt`` so the repository
+carries the regenerated evaluation alongside the timings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a SweepResult's rendered table under results/."""
+
+    def save(name: str, result) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(result.render() + "\n")
+
+    return save

@@ -1,0 +1,79 @@
+"""Benchmarks for the design-choice ablations (DESIGN.md §ablations)."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+
+class TestChildrenOrderAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("abl-order")
+
+    def test_bench_children_order(self, benchmark, result, save_result):
+        run = benchmark.pedantic(
+            lambda: run_experiment("abl-order", fast=True), rounds=1, iterations=1
+        )
+        save_result("abl_order", result)
+
+    def test_paper_rule_at_most_half_of_worst(self, result):
+        top = result.xs()[-1]
+        assert result.value("most-offspring (paper)", top) <= result.value(
+            "least-offspring", top
+        )
+
+    def test_random_child_in_between(self, result):
+        top = result.xs()[-1]
+        assert (
+            result.value("most-offspring (paper)", top)
+            <= result.value("random-child", top)
+            <= result.value("least-offspring", top)
+        )
+
+
+class TestProportionalAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("abl-proportional")
+
+    def test_bench_proportional(self, benchmark, result, save_result):
+        run = benchmark.pedantic(
+            lambda: run_experiment("abl-proportional", fast=True),
+            rounds=1,
+            iterations=1,
+        )
+        save_result("abl_proportional", result)
+
+    def test_paper_rule_always_balances(self, result):
+        for rate in result.xs():
+            assert result.value("proportional (paper) unbalanced", rate) == 0
+
+    def test_own_list_only_fails_somewhere(self, result):
+        assert any(
+            result.value("own-list-only unbalanced", rate) == 1
+            for rate in result.xs()
+        )
+
+
+class TestConcurrencyAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("abl-concurrency")
+
+    def test_bench_concurrency(self, benchmark, result, save_result):
+        run = benchmark.pedantic(
+            lambda: run_experiment("abl-concurrency", fast=True),
+            rounds=1,
+            iterations=1,
+        )
+        save_result("abl_concurrency", result)
+
+    def test_replica_counts_schedule_invariant(self, result):
+        for rate in result.xs():
+            assert result.value("concurrent replicas", rate) == result.value(
+                "serial replicas", rate
+            )
+
+    def test_concurrent_rounds_logarithmic(self, result):
+        for rate in result.xs():
+            assert result.value("concurrent rounds", rate) <= 12

@@ -1,0 +1,99 @@
+"""Microbenchmarks for the hot core operations.
+
+These are the operations a deployed LessLog node performs per request
+or per placement decision — the paper's performance argument is that
+they are a handful of bitwise instructions, so they had better be fast
+here too.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import LessLogPolicy
+from repro.baselines.base import PlacementContext
+from repro.core.children import advanced_children_list
+from repro.core.liveness import AllLive, SetLiveness
+from repro.core.replication import choose_replica_target
+from repro.core.routing import resolve_route
+from repro.core.tree import LookupTree
+from repro.engine.fluid import FluidSimulation
+from repro.workloads import UniformDemand
+
+M = 10
+N = 1 << M
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return LookupTree(777, M)
+
+
+@pytest.fixture(scope="module")
+def liveness():
+    rng = random.Random(0)
+    dead = rng.sample(range(N), N // 10)
+    return SetLiveness.all_but(M, dead=dead)
+
+
+def test_bench_route_resolution(benchmark, tree, liveness):
+    entries = [p for p in range(0, N, 7) if liveness.is_live(p)]
+
+    def resolve_many():
+        return sum(len(resolve_route(tree, e, liveness)) for e in entries)
+
+    total = benchmark(resolve_many)
+    assert total > 0
+
+
+def test_bench_children_list(benchmark, tree, liveness):
+    def list_root():
+        return advanced_children_list(tree, tree.root, liveness)
+
+    members = benchmark(list_root)
+    assert members
+
+
+def test_bench_placement_decision(benchmark, tree, liveness):
+    holders = {tree.root} if liveness.is_live(tree.root) else set()
+    k = next(iter(liveness.live_pids()))
+    rng = random.Random(0)
+
+    def decide():
+        return choose_replica_target(tree, k, liveness, holders, rng=rng)
+
+    decision = benchmark(decide)
+    assert decision is not None
+
+
+def test_bench_fluid_flow_pass(benchmark, tree):
+    live = AllLive(M)
+    rates = UniformDemand().rates(20000.0, live)
+    sim = FluidSimulation(tree, live, rates, capacity=100.0)
+
+    flows = benchmark(sim.compute_flows)
+    assert flows.total_served() == pytest.approx(20000.0)
+
+
+def test_bench_full_balance(benchmark, tree):
+    def balance():
+        live = AllLive(M)
+        rates = UniformDemand().rates(20000.0, live)
+        sim = FluidSimulation(
+            tree, live, rates, capacity=100.0, rng=random.Random(0)
+        )
+        return sim.balance(LessLogPolicy())
+
+    result = benchmark.pedantic(balance, rounds=3, iterations=1)
+    assert result.balanced
+
+
+def test_bench_lesslog_policy_call(benchmark, tree):
+    live = AllLive(M)
+    policy = LessLogPolicy()
+    context = PlacementContext(rng=random.Random(0))
+
+    choice = benchmark(
+        lambda: policy.choose(tree, tree.root, live, {tree.root}, context)
+    )
+    assert choice is not None

@@ -1,0 +1,216 @@
+"""Benchmarks for the extension studies (claims beyond Figures 5–8)."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    churn_study,
+    engine_agreement,
+    fault_tolerance_study,
+    gossip_staleness_study,
+    lookup_path_lengths,
+    prune_ablation,
+    replica_decay_study,
+    scalability_study,
+)
+
+
+class TestLookupBench:
+    """§1: 'the binomial lookup tree bounds the lookup time at O(log N)'."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return lookup_path_lengths(widths=(4, 6, 8, 10), samples=150)
+
+    def test_bench_lookup(self, benchmark, result, save_result):
+        run = benchmark.pedantic(
+            lambda: lookup_path_lengths(widths=(4, 6, 8, 10), samples=150),
+            rounds=1,
+            iterations=1,
+        )
+        save_result("ext_lookup", run)
+
+    def test_lesslog_max_hops_is_m(self, result):
+        for m in (4, 6, 8, 10):
+            assert result.value("lesslog max", 1 << m) <= m
+
+    def test_comparable_to_chord(self, result):
+        for m in (6, 8, 10):
+            n = 1 << m
+            assert result.value("lesslog mean", n) <= result.value("chord mean", n) + 1
+
+
+class TestPruneBench:
+    """§2.2/§6: counter-based removal reduces the replica population."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return prune_ablation(m=8, peak_rate=4000.0, trough_rate=400.0)
+
+    def test_bench_prune(self, benchmark, result, save_result):
+        run = benchmark.pedantic(
+            lambda: prune_ablation(m=8, peak_rate=4000.0, trough_rate=400.0),
+            rounds=1,
+            iterations=1,
+        )
+        save_result("ext_prune", run)
+
+    def test_pruning_monotone_in_threshold(self, result):
+        xs = result.xs()
+        after = [result.value("after prune", x) for x in xs]
+        # Higher thresholds never leave more replicas behind.
+        assert all(a >= b for a, b in zip(after, after[1:]))
+
+    def test_high_threshold_removes_most_replicas(self, result):
+        top = result.xs()[-1]
+        assert result.value("after prune", top) < result.value("before prune", top)
+
+
+class TestFaultToleranceBench:
+    """§4: 2^b copies tolerate failures that b=0 cannot."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fault_tolerance_study(m=7, bs=(0, 1, 2, 3), files=40, crashes=40)
+
+    def test_bench_fault_tolerance(self, benchmark, result, save_result):
+        run = benchmark.pedantic(
+            lambda: fault_tolerance_study(m=7, bs=(0, 1, 2, 3), files=40, crashes=40),
+            rounds=1,
+            iterations=1,
+        )
+        save_result("ext_fault_tolerance", run)
+
+    def test_survival_improves_with_b(self, result):
+        survival = [result.value("survival fraction", b) for b in (0, 1, 2, 3)]
+        assert survival == sorted(survival)
+        assert survival[-1] >= survival[0]
+
+    def test_storage_cost_is_2_to_b(self, result):
+        for b in (0, 1, 2, 3):
+            assert result.value("copies per file", b) == float(2**b)
+
+
+class TestChurnBench:
+    """§8 future work: dynamic joins/leaves/failures."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return churn_study(m=7, b=1, files=30, duration=120.0)
+
+    def test_bench_churn(self, benchmark, result, save_result):
+        run = benchmark.pedantic(
+            lambda: churn_study(m=7, b=1, files=30, duration=120.0),
+            rounds=1,
+            iterations=1,
+        )
+        save_result("ext_churn", run)
+
+    def test_b1_keeps_most_files_readable(self, result):
+        for rate in result.xs():
+            assert result.value("files readable", rate) >= 0.8 * 30
+
+
+class TestScalabilityBench:
+    """§8 future work: behaviour at large N (up to 16,384 nodes)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return scalability_study(widths=(8, 10, 12, 14, 16))
+
+    def test_bench_scalability(self, benchmark, result, save_result):
+        run = benchmark.pedantic(
+            lambda: scalability_study(widths=(8, 10, 12)),
+            rounds=1,
+            iterations=1,
+        )
+        save_result("ext_scalability", result)
+
+    def test_replicas_independent_of_n(self, result):
+        counts = {
+            result.value("replicas to balance", 1 << m)
+            for m in (8, 10, 12, 14, 16)
+        }
+        assert len(counts) == 1  # demand-determined, not size-determined
+
+    def test_lookup_grows_logarithmically(self, result):
+        # Mean hops ≈ m/2: quadrupling N adds ~1 hop.
+        for m in (8, 10, 12, 14):
+            small = result.value("mean lookup hops", 1 << m)
+            large = result.value("mean lookup hops", 1 << (m + 2))
+            assert 0.5 < large - small < 1.5
+
+    def test_rounds_stay_logarithmic_in_load(self, result):
+        for m in (8, 10, 12, 14, 16):
+            assert result.value("balance rounds", 1 << m) <= 12
+
+
+class TestReplicaDecayBench:
+    """§2.2's counter-based removal, dynamically (flash crowd in DES)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return replica_decay_study(thresholds=(0.0, 2.0, 5.0, 10.0))
+
+    def test_bench_decay(self, benchmark, result, save_result):
+        run = benchmark.pedantic(
+            lambda: replica_decay_study(thresholds=(0.0, 5.0)),
+            rounds=1,
+            iterations=1,
+        )
+        save_result("ext_decay", result)
+
+    def test_any_threshold_eventually_drains(self, result):
+        for threshold in result.xs():
+            if threshold > 0:
+                assert result.value("final replicas", threshold) < result.value(
+                    "peak replicas", threshold
+                )
+
+    def test_zero_threshold_keeps_everything(self, result):
+        assert result.value("removed", 0.0) == 0
+
+
+class TestGossipStalenessBench:
+    """§5 status words: the cost of slow failure detection."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return gossip_staleness_study(delays=(0.1, 0.5, 1.0, 2.0, 4.0))
+
+    def test_bench_gossip(self, benchmark, result, save_result):
+        run = benchmark.pedantic(
+            lambda: gossip_staleness_study(delays=(0.5, 2.0)),
+            rounds=1,
+            iterations=1,
+        )
+        save_result("ext_gossip", result)
+
+    def test_losses_grow_with_detection_delay(self, result):
+        losses = [result.value("requests lost", d) for d in result.xs()]
+        assert losses == sorted(losses)
+
+    def test_fast_detection_nearly_lossless(self, result):
+        # At 0.1s delay only ~50 stale-window requests exist at 500/s.
+        assert result.value("requests lost", 0.1) < 100
+
+
+class TestEngineAgreementBench:
+    """Cross-validation: the DES reproduces the fluid engine's counts."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return engine_agreement(m=6, rates=(400.0, 800.0, 1600.0), duration=12.0)
+
+    def test_bench_engine_agreement(self, benchmark, result, save_result):
+        run = benchmark.pedantic(
+            lambda: engine_agreement(m=6, rates=(400.0, 800.0), duration=12.0),
+            rounds=1,
+            iterations=1,
+        )
+        save_result("ext_engine_agreement", run)
+
+    def test_engines_agree_within_2x(self, result):
+        for rate in result.xs():
+            fluid = result.value("fluid", rate)
+            des = result.value("des", rate)
+            assert 0.5 * fluid <= des <= 2.5 * fluid

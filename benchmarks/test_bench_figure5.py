@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Figure 5 (even load, three policies).
+
+Paper claims checked:
+* LessLog uses *significantly fewer* replicas than random replication.
+* LessLog uses at most *slightly more* than the log-based oracle
+  (they coincide exactly under even demand).
+* Replica counts grow with demand.
+"""
+
+import pytest
+
+from repro.analysis import dominates, mean_ratio, mostly_monotonic
+from repro.experiments import FigureConfig, figure5
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure5(FigureConfig.fast())
+
+
+def test_bench_figure5(benchmark, result, save_result):
+    run = benchmark.pedantic(
+        lambda: figure5(FigureConfig.fast()), rounds=1, iterations=1
+    )
+    save_result("figure5", run)
+
+
+class TestFigure5Shape:
+    def test_random_needs_far_more_replicas(self, result):
+        xs = result.xs()
+        lesslog = [result.value("lesslog", x) for x in xs]
+        rand = [result.value("random", x) for x in xs]
+        assert dominates(lesslog, rand)
+        assert mean_ratio(rand, lesslog) > 2.0
+
+    def test_lesslog_matches_logbased_under_even_load(self, result):
+        xs = result.xs()
+        lesslog = [result.value("lesslog", x) for x in xs]
+        logbased = [result.value("log-based", x) for x in xs]
+        assert lesslog == logbased
+
+    def test_replicas_grow_with_demand(self, result):
+        xs = result.xs()
+        for name in ("lesslog", "log-based", "random"):
+            assert mostly_monotonic([result.value(name, x) for x in xs])
+
+    def test_lesslog_is_near_optimal(self, result):
+        # A perfect splitter needs ceil(R / capacity) holders; LessLog
+        # should be within ~2x of that lower bound.
+        cfg = FigureConfig.fast()
+        for x in result.xs():
+            optimal = x / cfg.capacity - 1
+            assert result.value("lesslog", x) <= 2.5 * optimal + 5

@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Figure 6 (LessLog with 10/20/30% dead nodes).
+
+Paper claims checked:
+* "A similar number of replicas are created in all three different
+  configurations."
+* "The system with 30% dead nodes creates more replicas when the
+  number of requests increases due to the incomplete lookup tree."
+"""
+
+import pytest
+
+from repro.analysis import max_relative_spread, mostly_monotonic
+from repro.experiments import FigureConfig, figure6
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure6(FigureConfig.fast())
+
+
+def test_bench_figure6(benchmark, result, save_result):
+    run = benchmark.pedantic(
+        lambda: figure6(FigureConfig.fast()), rounds=1, iterations=1
+    )
+    save_result("figure6", run)
+
+
+class TestFigure6Shape:
+    def test_three_dead_fractions(self, result):
+        assert sorted(result.series) == ["10% dead", "20% dead", "30% dead"]
+
+    def test_similar_replica_counts_across_fractions(self, result):
+        xs = result.xs()
+        series = [
+            [result.value(name, x) for x in xs] for name in sorted(result.series)
+        ]
+        assert max_relative_spread(series) < 0.6
+
+    def test_more_dead_nodes_cost_more_at_high_demand(self, result):
+        top = result.xs()[-1]
+        assert result.value("30% dead", top) >= result.value("10% dead", top)
+
+    def test_each_series_grows_with_demand(self, result):
+        xs = result.xs()
+        for name in result.series:
+            assert mostly_monotonic([result.value(name, x) for x in xs])

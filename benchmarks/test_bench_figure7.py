@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Figure 7 (80/20 locality, three policies).
+
+Paper claims checked:
+* LessLog still needs far fewer replicas than random replication.
+* Under skew the log-based oracle is at least as good as LessLog
+  ("slightly more replicas than the log-based method"), but the gap
+  stays small.
+"""
+
+import pytest
+
+from repro.analysis import dominates, mean_ratio
+from repro.experiments import FigureConfig, figure7
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure7(FigureConfig.fast())
+
+
+def test_bench_figure7(benchmark, result, save_result):
+    run = benchmark.pedantic(
+        lambda: figure7(FigureConfig.fast()), rounds=1, iterations=1
+    )
+    save_result("figure7", run)
+
+
+class TestFigure7Shape:
+    def test_random_needs_far_more_replicas(self, result):
+        xs = result.xs()
+        lesslog = [result.value("lesslog", x) for x in xs]
+        rand = [result.value("random", x) for x in xs]
+        assert dominates(lesslog, rand)
+        assert mean_ratio(rand, lesslog) > 2.0
+
+    def test_logbased_at_most_lesslog(self, result):
+        xs = result.xs()
+        lesslog = [result.value("lesslog", x) for x in xs]
+        logbased = [result.value("log-based", x) for x in xs]
+        assert dominates(logbased, lesslog)
+
+    def test_lesslog_only_slightly_worse_than_oracle(self, result):
+        xs = result.xs()
+        lesslog = [result.value("lesslog", x) for x in xs]
+        logbased = [result.value("log-based", x) for x in xs]
+        assert mean_ratio(lesslog, logbased) < 1.5
+
+    def test_locality_costs_more_than_even_load(self, result):
+        # Skewed entry points concentrate flow on fewer subtrees, so
+        # more replicas are needed than under even demand.
+        from repro.experiments import figure5
+
+        even = figure5(FigureConfig.fast())
+        top = result.xs()[-1]
+        assert result.value("lesslog", top) >= 0.8 * even.value("lesslog", top)

@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 8 (locality model with dead nodes).
+
+Paper claims checked:
+* "LessLog creates a similar number of replicas when there are dead
+  nodes" under the locality model too.
+"""
+
+import pytest
+
+from repro.analysis import max_relative_spread, mostly_monotonic
+from repro.experiments import FigureConfig, figure8
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure8(FigureConfig.fast())
+
+
+def test_bench_figure8(benchmark, result, save_result):
+    run = benchmark.pedantic(
+        lambda: figure8(FigureConfig.fast()), rounds=1, iterations=1
+    )
+    save_result("figure8", run)
+
+
+class TestFigure8Shape:
+    def test_three_dead_fractions(self, result):
+        assert sorted(result.series) == ["10% dead", "20% dead", "30% dead"]
+
+    def test_similar_counts_across_fractions(self, result):
+        xs = result.xs()
+        series = [
+            [result.value(name, x) for x in xs] for name in sorted(result.series)
+        ]
+        assert max_relative_spread(series) < 0.6
+
+    def test_each_series_grows_with_demand(self, result):
+        xs = result.xs()
+        for name in result.series:
+            assert mostly_monotonic(
+                [result.value(name, x) for x in xs], tolerance=0.15
+            )

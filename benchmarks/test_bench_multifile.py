@@ -1,0 +1,63 @@
+"""Benchmark: multi-file catalog under shared node capacity (extension)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines import LessLogPolicy
+from repro.core.hashing import Psi
+from repro.core.liveness import AllLive
+from repro.engine.multifile import FileSpec, MultiFileFluid
+from repro.workloads import UniformDemand
+
+M = 8
+FILES = 12
+TOTAL_RATE = 6000.0
+CAPACITY = 100.0
+
+
+def build_engine():
+    liveness = AllLive(M)
+    psi = Psi(M)
+    demand = UniformDemand()
+    weights = np.arange(1, FILES + 1, dtype=float) ** (-1.1)
+    weights /= weights.sum()
+    files = [
+        FileSpec(
+            name=f"file-{i:02d}",
+            target=psi(f"file-{i:02d}"),
+            entry_rates=demand.rates(TOTAL_RATE * float(w), liveness),
+        )
+        for i, w in enumerate(weights)
+    ]
+    return MultiFileFluid(M, liveness, files, capacity=CAPACITY,
+                          rng=random.Random(0))
+
+
+@pytest.fixture(scope="module")
+def result():
+    return build_engine().balance(LessLogPolicy())
+
+
+def test_bench_multifile_balance(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: build_engine().balance(LessLogPolicy()), rounds=2, iterations=1
+    )
+    assert outcome.balanced
+
+
+class TestMultiFileShape:
+    def test_balance_reached(self, result):
+        assert result.balanced
+        assert max(result.node_loads.values()) <= CAPACITY
+
+    def test_replicas_follow_popularity(self, result):
+        hottest = result.replicas_of("file-00")
+        coldest = result.replicas_of(f"file-{FILES - 1:02d}")
+        assert hottest > 5 * max(coldest, 1) or coldest == 0
+
+    def test_total_replicas_near_demand_bound(self, result):
+        # At least total/capacity holders are needed across the catalog.
+        lower_bound = TOTAL_RATE / CAPACITY - FILES
+        assert result.replicas_created >= lower_bound * 0.8

@@ -1,0 +1,78 @@
+"""API-level throughput benchmarks for LessLogSystem at paper scale."""
+
+import pytest
+
+from repro.cluster import LessLogSystem
+
+M = 10  # the paper's 1024-identifier space
+
+
+@pytest.fixture(scope="module")
+def system():
+    sys_ = LessLogSystem.build(m=M, n_live=900, seed=0)
+    for i in range(50):
+        sys_.insert(f"bench-{i}", payload=i)
+    return sys_
+
+
+def test_bench_insert(benchmark):
+    counter = [0]
+
+    def do_insert():
+        sys_ = do_insert.system
+        counter[0] += 1
+        sys_.insert(f"ins-{counter[0]}", payload=counter[0])
+
+    do_insert.system = LessLogSystem.build(m=M, n_live=900, seed=1)
+    benchmark(do_insert)
+
+
+def test_bench_get(benchmark, system):
+    entries = [p for p in system.membership.live_pids()][:64]
+    state = {"i": 0}
+
+    def do_get():
+        state["i"] += 1
+        entry = entries[state["i"] % len(entries)]
+        return system.get(f"bench-{state['i'] % 50}", entry=entry)
+
+    result = benchmark(do_get)
+    assert result.payload is not None or result.payload == 0
+
+
+def test_bench_update(benchmark, system):
+    state = {"i": 0}
+
+    def do_update():
+        state["i"] += 1
+        return system.update(f"bench-{state['i'] % 50}", payload=state["i"])
+
+    result = benchmark(do_update)
+    assert result.updated
+
+
+def test_bench_replicate_step(benchmark, system):
+    name = "bench-0"
+
+    def do_cycle():
+        home = system.holders_of(name)[0]
+        target = system.replicate(name, overloaded=home)
+        if target is not None:
+            system.remove_replica(name, target)
+        return target
+
+    benchmark(do_cycle)
+
+
+def test_bench_churn_fail_join(benchmark):
+    sys_ = LessLogSystem.build(m=8, n_live=220, seed=2)
+    for i in range(20):
+        sys_.insert(f"churn-{i}", payload=i)
+
+    def fail_then_join():
+        victim = next(iter(sys_.membership.live_pids()))
+        sys_.fail(victim)
+        sys_.join(victim)
+
+    benchmark.pedantic(fail_then_join, rounds=10, iterations=1)
+    sys_.check_invariants()

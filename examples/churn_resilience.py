@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Churn resilience: the §4 fault-tolerant model under node failures.
+
+Inserts a corpus of files at increasing fault-tolerance degrees
+(b = 0, 1, 2 → 1, 2, 4 copies per file), then subjects each system to
+the same random churn (joins, voluntary leaves, crashes) and measures
+how many files survive readable.
+
+Run:  python examples/churn_resilience.py
+"""
+
+from repro.analysis import render_table
+from repro.cluster import ChurnSchedule, LessLogSystem
+from repro.core.errors import FileNotFoundInSystemError
+
+M = 7            # 128 identifiers
+FILES = 40
+CHURN_RATE = 1.5  # events per simulated second
+DURATION = 90.0
+
+
+def run_one(b: int) -> dict:
+    system = LessLogSystem.build(m=M, b=b, n_live=96, seed=11)
+    for i in range(FILES):
+        system.insert(f"doc-{i:03d}", payload=f"contents {i}")
+    schedule = ChurnSchedule.generate(
+        system, duration=DURATION, rate=CHURN_RATE, seed=23
+    )
+    schedule.apply_all(system)
+    system.check_invariants()
+
+    entry = next(iter(system.membership.live_pids()))
+    readable = 0
+    for i in range(FILES):
+        try:
+            system.get(f"doc-{i:03d}", entry=entry)
+            readable += 1
+        except FileNotFoundInSystemError:
+            pass
+    joins = system.metrics.counter("system.joins").value
+    leaves = system.metrics.counter("system.leaves").value
+    fails = system.metrics.counter("system.failures").value
+    return {
+        "b": b,
+        "copies": 2**b,
+        "events": f"{joins}j/{leaves}l/{fails}f",
+        "live": system.n_live,
+        "readable": readable,
+        "lost": len(set(system.faults)),
+    }
+
+
+def main() -> None:
+    print(f"{FILES} files, {DURATION:.0f}s of churn at {CHURN_RATE}/s, "
+          f"{1 << M}-slot identifier space\n")
+    rows = [run_one(b) for b in (0, 1, 2)]
+    print(render_table(
+        ["b", "copies/file", "churn (join/leave/fail)", "live nodes",
+         "files readable", "files lost"],
+        [[r["b"], r["copies"], r["events"], r["live"],
+          f"{r['readable']}/{FILES}", r["lost"]] for r in rows],
+    ))
+    print("\nhigher b keeps files readable through the same churn, at "
+          "a storage cost of 2^b copies per file (paper §4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""A whole catalog under shared node capacity (extension study).
+
+The paper evaluates one popular file; a deployment hosts many, and a
+node's 100 req/s budget is shared across every file it serves.  This
+example runs the multi-file fluid engine over a catalog with Zipf
+popularity: a few hot files soak up most of the demand, and LessLog
+placement concentrates replicas exactly there.
+
+Run:  python examples/multi_file_catalog.py
+"""
+
+import random
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.baselines import LessLogPolicy
+from repro.core.hashing import Psi
+from repro.core.liveness import AllLive
+from repro.engine.multifile import FileSpec, MultiFileFluid
+from repro.workloads import UniformDemand
+
+M = 8                # 256 nodes
+FILES = 12
+TOTAL_RATE = 6000.0  # aggregate req/s across the catalog
+CAPACITY = 100.0
+ZIPF_S = 1.1         # catalog popularity skew
+
+
+def main() -> None:
+    liveness = AllLive(M)
+    psi = Psi(M)
+    demand = UniformDemand()
+
+    # Zipf-popular catalog: file i gets weight (i+1)^-s of the demand.
+    weights = np.arange(1, FILES + 1, dtype=float) ** (-ZIPF_S)
+    weights /= weights.sum()
+    files = [
+        FileSpec(
+            name=f"file-{i:02d}",
+            target=psi(f"file-{i:02d}"),
+            entry_rates=demand.rates(TOTAL_RATE * w, liveness),
+        )
+        for i, w in enumerate(weights)
+    ]
+
+    engine = MultiFileFluid(M, liveness, files, capacity=CAPACITY,
+                            rng=random.Random(0))
+    print(f"{FILES}-file catalog, {TOTAL_RATE:.0f} req/s total, "
+          f"{1 << M} nodes x {CAPACITY:.0f} req/s\n")
+    result = engine.balance(LessLogPolicy())
+
+    rows = []
+    for spec, w in zip(files, weights):
+        rows.append([
+            spec.name,
+            f"P({spec.target})",
+            f"{TOTAL_RATE * w:.0f}",
+            str(result.replicas_of(spec.name)),
+        ])
+    print(render_table(
+        ["file", "home", "demand (req/s)", "replicas"], rows,
+    ))
+
+    print(f"\nbalanced: {result.balanced}; "
+          f"total replicas: {result.replicas_created}; "
+          f"hottest node after balance: "
+          f"{max(result.node_loads.values()):.0f} req/s")
+    hot3 = sum(result.replicas_of(f"file-{i:02d}") for i in range(3))
+    print(f"the 3 hottest files hold {hot3}/{result.replicas_created} "
+          "of all replicas — replication follows popularity, with no logs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Update propagation and the churn gap this reproduction uncovered.
+
+LessLog updates travel top-down: a node holding a copy refreshes it and
+re-broadcasts to its children list, a node without one *discards* the
+request.  That works while replica chains are intact — but churn can
+break a chain, and the paper never says what happens to the replicas
+below the break.  This example walks the exact scenario our
+property-based tests discovered, and shows the garbage-collection
+repair in action.
+
+Run:  python examples/update_consistency.py
+"""
+
+from repro import LessLogSystem
+
+
+def show_holders(system, name):
+    rows = []
+    for pid in system.holders_of(name):
+        copy = system.stores[pid].get(name, count_access=False)
+        rows.append(f"P({pid})={copy.payload!r} ({copy.origin.value})")
+    print("   holders:", ", ".join(rows) or "(none)")
+
+
+def main() -> None:
+    system = LessLogSystem(m=4, b=0, live=set(range(16)) - {0}, seed=7)
+    name = system.psi.find_name_for_target(8)
+    print(f"1. insert {name!r}: target P(8) is the home")
+    system.insert(name, payload="v1")
+    system.join(0)
+    show_holders(system, name)
+
+    print("\n2. overload pushes replicas down a chain: P(8) -> P(9) -> deeper")
+    t1 = system.replicate(name, overloaded=8)
+    t2 = system.replicate(name, overloaded=t1)
+    show_holders(system, name)
+
+    print(f"\n3. the middle of the chain, P({t1}), crashes and later rejoins")
+    system.fail(t1)
+    system.join(t1)
+    show_holders(system, name)
+    collected = system.metrics.counter("system.orphans_collected").value
+    print(f"   -> the replica at P({t2}) was below the break: without the "
+          f"repair it could never receive an update again.")
+    print(f"   -> garbage-collected orphans: {collected}")
+
+    print("\n4. update to v2 — every remaining copy must converge")
+    result = system.update(name, payload="v2")
+    show_holders(system, name)
+    print(f"   update reached: {sorted(result.updated)}")
+
+    stale = [
+        pid
+        for pid in system.holders_of(name)
+        if system.stores[pid].get(name, count_access=False).payload != "v2"
+    ]
+    print(f"\n   stale copies remaining: {stale or 'none'}")
+    system.check_invariants()
+    print("   invariants hold.")
+
+    print("\nSee DESIGN.md §7 for the write-up of this protocol gap "
+          "(and a second one in empty-subtree repopulation).")
+
+
+if __name__ == "__main__":
+    main()

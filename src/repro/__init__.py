@@ -1,0 +1,54 @@
+"""LessLog reproduction: logless file replication for P2P systems.
+
+A full implementation of *"LessLog: A Logless File Replication
+Algorithm for Peer-to-Peer Distributed Systems"* (Huang, Huang & Chou,
+IPDPS 2004), together with the substrates needed to evaluate it: a
+discrete-event simulator, a simulated message transport, workload
+generators, the paper's baseline policies (random and log-based
+replication), and experiment drivers regenerating Figures 5–8.
+
+Quickstart::
+
+    from repro import LessLogSystem
+
+    system = LessLogSystem.build(m=4)
+    system.insert("report.pdf", payload=b"...")
+    result = system.get("report.pdf", entry=3)
+    print(result.route, result.server)
+
+See ``examples/`` and DESIGN.md for the full tour.
+"""
+
+from .core import (
+    AllLive,
+    LessLogError,
+    LookupTree,
+    Psi,
+    SetLiveness,
+    VirtualTree,
+    psi,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllLive",
+    "LessLogError",
+    "LessLogSystem",
+    "LookupTree",
+    "Psi",
+    "SetLiveness",
+    "VirtualTree",
+    "__version__",
+    "psi",
+]
+
+
+def __getattr__(name: str):
+    # Heavier layers are imported lazily so `import repro` stays cheap
+    # and the core algebra has no simulation dependencies.
+    if name == "LessLogSystem":
+        from .cluster.system import LessLogSystem
+
+        return LessLogSystem
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

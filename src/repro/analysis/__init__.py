@@ -1,0 +1,29 @@
+"""Analysis: result containers, ASCII rendering, shape statistics."""
+
+from .chart import render_chart, render_sweep_chart
+from .compare import SeriesComparison, compare_sweeps
+from .results import SweepResult
+from .stats import (
+    dominates,
+    max_relative_spread,
+    mean_ratio,
+    mostly_monotonic,
+    summarize,
+)
+from .tables import render_kv, render_sparkline, render_table
+
+__all__ = [
+    "SeriesComparison",
+    "SweepResult",
+    "compare_sweeps",
+    "render_chart",
+    "render_sweep_chart",
+    "dominates",
+    "max_relative_spread",
+    "mean_ratio",
+    "mostly_monotonic",
+    "render_kv",
+    "render_sparkline",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,93 @@
+"""Multi-series ASCII line charts.
+
+The paper's figures are line plots; :func:`render_chart` draws a
+terminal approximation of a :class:`~repro.analysis.results.SweepResult`
+so `lesslog run figN` output reads like the original figure, not just a
+table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["render_chart", "render_sweep_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Plot aligned series over shared ``xs`` on a character canvas.
+
+    Each series gets a marker from ``oxo+*…``; overlapping points show
+    the later series' marker.  Axes are annotated with min/max values.
+    """
+    if not xs or not series:
+        return "(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {len(xs)}"
+            )
+    xs_arr = np.asarray(xs, dtype=float)
+    all_y = np.concatenate([np.asarray(ys, dtype=float) for ys in series.values()])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_lo, x_hi = float(xs_arr.min()), float(xs_arr.max())
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(sorted(series.items())):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in zip(xs_arr, np.asarray(ys, dtype=float)):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = marker
+
+    gutter = max(len(f"{v:g}") for v in (y_lo, y_hi)) + 1
+    lines: list[str] = []
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = f"{y_hi:g}".rjust(gutter)
+        elif i == height - 1:
+            label = f"{y_lo:g}".rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    lines.append(
+        " " * gutter + f"  {x_lo:g}" + f"{x_hi:g}".rjust(width - len(f"{x_lo:g}"))
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(sorted(series))
+    )
+    header: list[str] = []
+    if y_label:
+        header.append(f"{y_label} vs {x_label}" if x_label else y_label)
+    return "\n".join([*header, *lines, f"  {legend}"])
+
+
+def render_sweep_chart(sweep, width: int = 64, height: int = 16) -> str:
+    """Chart a SweepResult (series must share the full x grid)."""
+    xs = sweep.xs()
+    series: dict[str, list[float]] = {}
+    for name, points in sweep.series.items():
+        by_x = dict(points)
+        if set(by_x) != set(xs):
+            continue  # partial series cannot be drawn on the shared grid
+        series[name] = [by_x[x] for x in xs]
+    if not series:
+        return "(series are not aligned on a shared x grid)"
+    return render_chart(
+        xs, series, width=width, height=height,
+        y_label=sweep.y_label, x_label=sweep.x_label,
+    )

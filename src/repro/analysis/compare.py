@@ -1,0 +1,95 @@
+"""Comparing sweep results: engine cross-validation and regressions.
+
+:func:`compare_sweeps` aligns two :class:`SweepResult` series on their
+shared x grid and reports pointwise ratios — the tool behind "the DES
+agrees with the fluid engine" style claims, and handy for tracking a
+change's effect on any experiment output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .results import SweepResult
+
+__all__ = ["SeriesComparison", "compare_sweeps"]
+
+
+@dataclass(frozen=True)
+class SeriesComparison:
+    """Pointwise comparison of one series across two sweeps."""
+
+    series: str
+    xs: tuple[float, ...]
+    left: tuple[float, ...]
+    right: tuple[float, ...]
+
+    @property
+    def ratios(self) -> tuple[float, ...]:
+        """right/left per point (NaN where left == 0 and right != 0)."""
+        out = []
+        for lv, rv in zip(self.left, self.right):
+            if lv == 0:
+                out.append(1.0 if rv == 0 else float("nan"))
+            else:
+                out.append(rv / lv)
+        return tuple(out)
+
+    @property
+    def mean_ratio(self) -> float:
+        ratios = [r for r in self.ratios if not np.isnan(r)]
+        return float(np.mean(ratios)) if ratios else float("nan")
+
+    @property
+    def max_abs_log_ratio(self) -> float:
+        """Worst-case multiplicative deviation, symmetric in direction.
+
+        A NaN ratio (zero vs non-zero) is an unbounded deviation.
+        """
+        if any(np.isnan(r) or r <= 0 for r in self.ratios):
+            return float("inf")
+        return float(np.max(np.abs(np.log(self.ratios))))
+
+    def within_factor(self, factor: float) -> bool:
+        """Are all points within ``factor``× of each other (both ways)?"""
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        return self.max_abs_log_ratio <= float(np.log(factor))
+
+
+def compare_sweeps(
+    left: SweepResult,
+    right: SweepResult,
+    series: dict[str, str] | None = None,
+) -> list[SeriesComparison]:
+    """Compare matching series of two sweeps on their shared x grid.
+
+    ``series`` maps left-series name → right-series name; by default
+    every series name present in both sweeps is compared against
+    itself.  Raises when the mapping matches nothing.
+    """
+    if series is None:
+        shared = sorted(set(left.series) & set(right.series))
+        series = {name: name for name in shared}
+    if not series:
+        raise ValueError("no series in common between the two sweeps")
+    comparisons: list[SeriesComparison] = []
+    for left_name, right_name in series.items():
+        left_points = dict(left.series[left_name])
+        right_points = dict(right.series[right_name])
+        xs = tuple(sorted(set(left_points) & set(right_points)))
+        if not xs:
+            raise ValueError(
+                f"series {left_name!r}/{right_name!r} share no x values"
+            )
+        comparisons.append(
+            SeriesComparison(
+                series=left_name,
+                xs=xs,
+                left=tuple(left_points[x] for x in xs),
+                right=tuple(right_points[x] for x in xs),
+            )
+        )
+    return comparisons

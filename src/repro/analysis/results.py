@@ -1,0 +1,86 @@
+"""Result containers for experiment sweeps.
+
+A :class:`SweepResult` holds one figure's worth of data: named series
+of (x, y) points plus axis metadata.  It renders to the ASCII tables
+the benchmark harness prints and exports CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SweepResult"]
+
+
+@dataclass
+class SweepResult:
+    """Named series over a shared x-axis (one paper figure)."""
+
+    experiment: str
+    x_label: str
+    y_label: str
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    notes: str = ""
+
+    def add(self, series_name: str, x: float, y: float) -> None:
+        self.series.setdefault(series_name, []).append((float(x), float(y)))
+
+    def xs(self) -> list[float]:
+        """The union of x values across series, sorted."""
+        values: set[float] = set()
+        for points in self.series.values():
+            values.update(x for x, _ in points)
+        return sorted(values)
+
+    def value(self, series_name: str, x: float) -> float:
+        for px, py in self.series[series_name]:
+            if px == x:
+                return py
+        raise KeyError(f"series {series_name!r} has no point at x={x}")
+
+    def totals(self) -> dict[str, float]:
+        """Sum of y per series (a quick who-wins aggregate)."""
+        return {
+            name: sum(y for _, y in points)
+            for name, points in self.series.items()
+        }
+
+    def to_rows(self) -> tuple[list[str], list[list[str]]]:
+        """(headers, rows) with one row per x, one column per series."""
+        names = sorted(self.series)
+        headers = [self.x_label, *names]
+        rows: list[list[str]] = []
+        by_series = {
+            name: dict(points) for name, points in self.series.items()
+        }
+        for x in self.xs():
+            row = [_fmt(x)]
+            for name in names:
+                y = by_series[name].get(x)
+                row.append(_fmt(y) if y is not None else "-")
+            rows.append(row)
+        return headers, rows
+
+    def to_csv(self) -> str:
+        headers, rows = self.to_rows()
+        lines = [",".join(headers)]
+        lines.extend(",".join(row) for row in rows)
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """ASCII table, titled like the paper figure it reproduces."""
+        from .tables import render_table
+
+        title = f"{self.experiment}  ({self.y_label} vs {self.x_label})"
+        headers, rows = self.to_rows()
+        body = render_table(headers, rows)
+        parts = [title, body]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3g}"

@@ -1,0 +1,78 @@
+"""Statistical helpers for validating experiment *shapes*.
+
+The reproduction can't match the paper's absolute replica counts (its
+overload-detection cadence is unspecified), so the benchmarks assert
+the qualitative claims instead: orderings between policies, approximate
+monotonicity in demand, and insensitivity to dead-node fraction.  These
+helpers encode those checks once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "mostly_monotonic",
+    "max_relative_spread",
+    "mean_ratio",
+    "summarize",
+]
+
+
+def dominates(
+    lower: Sequence[float], upper: Sequence[float], slack: float = 0.0
+) -> bool:
+    """Is ``lower[i] <= upper[i] + slack`` for every aligned point?"""
+    lo, up = np.asarray(lower, float), np.asarray(upper, float)
+    if lo.shape != up.shape:
+        raise ValueError(f"series lengths differ: {lo.shape} vs {up.shape}")
+    return bool(np.all(lo <= up + slack))
+
+
+def mostly_monotonic(values: Sequence[float], tolerance: float = 0.1) -> bool:
+    """Non-decreasing up to small dips (``tolerance`` fraction of range)."""
+    vals = np.asarray(values, float)
+    if vals.size < 2:
+        return True
+    slack = tolerance * (vals.max() - vals.min() or 1.0)
+    return bool(np.all(np.diff(vals) >= -slack))
+
+
+def max_relative_spread(series: Sequence[Sequence[float]]) -> float:
+    """Worst-case pointwise spread across series, relative to the mean.
+
+    Used for Figures 6/8: "a similar number of replicas are created in
+    all three configurations" — the spread should be modest.
+    """
+    arr = np.asarray(series, float)
+    if arr.ndim != 2:
+        raise ValueError("expected a 2-D (series x points) array")
+    means = arr.mean(axis=0)
+    means[means == 0] = 1.0
+    spread = (arr.max(axis=0) - arr.min(axis=0)) / means
+    return float(spread.max())
+
+
+def mean_ratio(numer: Sequence[float], denom: Sequence[float]) -> float:
+    """Mean pointwise ratio numer/denom (zero-denominator points skipped)."""
+    num, den = np.asarray(numer, float), np.asarray(denom, float)
+    if num.shape != den.shape:
+        raise ValueError(f"series lengths differ: {num.shape} vs {den.shape}")
+    mask = den != 0
+    if not mask.any():
+        raise ValueError("all denominator points are zero")
+    return float((num[mask] / den[mask]).mean())
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """min/mean/max/std of a series."""
+    vals = np.asarray(values, float)
+    return {
+        "min": float(vals.min()),
+        "mean": float(vals.mean()),
+        "max": float(vals.max()),
+        "std": float(vals.std()),
+    }

@@ -1,0 +1,60 @@
+"""ASCII table and sparkline rendering for experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_sparkline", "render_kv"]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A boxed, column-aligned plain-text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(str(c).rjust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+    rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [rule, line(headers), rule]
+    out.extend(line(row) for row in rows)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def render_sparkline(values: Sequence[float], width: int = 0) -> str:
+    """A coarse one-line plot of a numeric series."""
+    if not values:
+        return ""
+    vals = list(values)
+    if width and len(vals) > width:
+        # Down-sample by taking bucket means.
+        bucket = len(vals) / width
+        vals = [
+            sum(vals[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(len(vals[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)]), 1)
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo or 1.0
+    top = len(_SPARK_CHARS) - 1
+    return "".join(_SPARK_CHARS[round((v - lo) / span * top)] for v in vals)
+
+
+def render_kv(pairs: dict[str, object], indent: int = 2) -> str:
+    """Aligned key/value block for run summaries."""
+    if not pairs:
+        return ""
+    width = max(len(k) for k in pairs)
+    pad = " " * indent
+    return "\n".join(f"{pad}{k.ljust(width)} : {v}" for k, v in pairs.items())

@@ -1,0 +1,44 @@
+"""Replication policies: LessLog and the paper's §6 baselines.
+
+``LessLogPolicy`` — bitwise children-list placement (no logs);
+``LogBasedPolicy`` — the access-log oracle; ``RandomPolicy`` — uniform
+random placement; ``ChordRing`` — Chord lookup for the related-work
+hop-count comparison.
+"""
+
+from .base import PlacementContext, ReplicationPolicy
+from .can import CanGrid
+from .chord import ChordRing
+from .lesslog_policy import LessLogPolicy
+from .logbased import LogBasedPolicy
+from .random_policy import RandomPolicy
+
+POLICIES = {
+    "lesslog": LessLogPolicy,
+    "log-based": LogBasedPolicy,
+    "random": RandomPolicy,
+}
+"""Registry mapping policy names to classes (used by the CLI)."""
+
+
+def make_policy(name: str) -> ReplicationPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+
+
+__all__ = [
+    "POLICIES",
+    "CanGrid",
+    "ChordRing",
+    "LessLogPolicy",
+    "LogBasedPolicy",
+    "PlacementContext",
+    "RandomPolicy",
+    "ReplicationPolicy",
+    "make_policy",
+]

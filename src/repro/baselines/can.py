@@ -1,0 +1,118 @@
+"""A compact CAN implementation (Ratnasamy et al., SIGCOMM 2001).
+
+The paper's related work cites CAN as the other major lookup structure:
+nodes own zones of a ``d``-dimensional torus and route greedily to the
+neighbour closest to the key's point.  We model the regular case — a
+full lattice of ``side**d`` nodes, each owning one cell — which gives
+CAN its textbook ``(d/4) * N**(1/d)`` average hop count and lets the
+extension benchmark contrast it with LessLog's ``O(log N)`` on equal
+node counts.
+
+Like the Chord comparator, only lookup is modelled (CAN has no file
+replication mechanism — the paper's point in §7).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from itertools import product
+
+from ..core.errors import ConfigurationError, NoLiveNodeError
+
+__all__ = ["CanGrid"]
+
+
+class CanGrid:
+    """A regular ``side**d``-node CAN torus."""
+
+    def __init__(self, d: int, side: int) -> None:
+        if d < 1:
+            raise ConfigurationError(f"dimension must be >= 1, got {d}")
+        if side < 1:
+            raise ConfigurationError(f"side must be >= 1, got {side}")
+        if side**d > 1 << 22:
+            raise ConfigurationError("grid too large")
+        self.d = d
+        self.side = side
+        self.n = side**d
+
+    # -- coordinates -----------------------------------------------------
+
+    def coords_of(self, node: int) -> tuple[int, ...]:
+        """Lattice coordinates of a node id in ``[0, side**d)``."""
+        if not 0 <= node < self.n:
+            raise NoLiveNodeError(f"node {node} not on the {self.n}-cell grid")
+        out = []
+        for _ in range(self.d):
+            out.append(node % self.side)
+            node //= self.side
+        return tuple(out)
+
+    def node_at(self, coords: tuple[int, ...]) -> int:
+        if len(coords) != self.d:
+            raise ConfigurationError(
+                f"expected {self.d} coordinates, got {len(coords)}"
+            )
+        node = 0
+        for c in reversed(coords):
+            if not 0 <= c < self.side:
+                raise ConfigurationError(f"coordinate {c} out of range")
+            node = node * self.side + c
+        return node
+
+    def key_owner(self, key: str) -> int:
+        """The node owning the cell a key hashes into."""
+        digest = hashlib.sha256(key.encode()).digest()
+        coords = tuple(
+            int.from_bytes(digest[4 * i: 4 * i + 4], "big") % self.side
+            for i in range(self.d)
+        )
+        return self.node_at(coords)
+
+    # -- routing -----------------------------------------------------------
+
+    def _step_toward(self, here: int, there: int) -> int:
+        """Greedy CAN forwarding: move one cell along the best axis."""
+        hc, tc = list(self.coords_of(here)), self.coords_of(there)
+        best_axis, best_gain, best_dir = -1, 0, 0
+        for axis in range(self.d):
+            delta = (tc[axis] - hc[axis]) % self.side
+            if delta == 0:
+                continue
+            forward = delta
+            backward = self.side - delta
+            if forward <= backward:
+                gain, direction = forward, 1
+            else:
+                gain, direction = backward, -1
+            if gain > best_gain:
+                best_axis, best_gain, best_dir = axis, gain, direction
+        if best_axis < 0:
+            return here
+        hc[best_axis] = (hc[best_axis] + best_dir) % self.side
+        return self.node_at(tuple(hc))
+
+    def lookup_path(self, start: int, key: str) -> list[int]:
+        """Node sequence from ``start`` to the key's owner."""
+        owner = self.key_owner(key)
+        path = [start]
+        current = start
+        # Torus distance along each axis is at most side/2.
+        for _ in range(self.d * (self.side // 2 + 1) + 1):
+            if current == owner:
+                return path
+            current = self._step_toward(current, owner)
+            path.append(current)
+        raise RuntimeError("CAN lookup failed to converge")  # pragma: no cover
+
+    def lookup_hops(self, start: int, key: str) -> int:
+        return len(self.lookup_path(start, key)) - 1
+
+    def torus_distance(self, a: int, b: int) -> int:
+        """Closed-form hop count (per-axis wrapped Manhattan distance)."""
+        ac, bc = self.coords_of(a), self.coords_of(b)
+        total = 0
+        for x, y in zip(ac, bc):
+            delta = abs(x - y)
+            total += min(delta, self.side - delta)
+        return total

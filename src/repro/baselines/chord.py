@@ -1,0 +1,121 @@
+"""A compact Chord implementation (Stoica et al., SIGCOMM 2001).
+
+The paper's related-work section positions LessLog against Chord's
+binomial-tree-shaped lookup.  This module implements Chord's ring,
+finger tables, and greedy lookup so the extension benchmarks can
+compare hop-count distributions of the two structures on the same
+identifier space and liveness pattern.
+
+Only lookup is modelled (Chord has no replication mechanism — that is
+the paper's point); joins are handled by rebuilding fingers, which is
+all the comparison needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable
+
+from ..core.bits import check_id, check_width
+from ..core.errors import NoLiveNodeError
+
+__all__ = ["ChordRing"]
+
+
+class ChordRing:
+    """A Chord ring over the ``m``-bit identifier space."""
+
+    def __init__(self, m: int, nodes: Iterable[int]) -> None:
+        check_width(m)
+        self.m = m
+        self.space = 1 << m
+        self._nodes = sorted(set(nodes))
+        if not self._nodes:
+            raise NoLiveNodeError("a Chord ring needs at least one node")
+        for n in self._nodes:
+            check_id(n, m)
+        self._fingers: dict[int, list[int]] = {}
+        self._build_fingers()
+
+    @property
+    def nodes(self) -> list[int]:
+        return list(self._nodes)
+
+    def _build_fingers(self) -> None:
+        self._fingers = {
+            n: [self.successor((n + (1 << i)) % self.space) for i in range(self.m)]
+            for n in self._nodes
+        }
+
+    def successor(self, key: int) -> int:
+        """First node at or clockwise after ``key`` on the ring."""
+        check_id(key, self.m)
+        idx = bisect.bisect_left(self._nodes, key)
+        return self._nodes[idx % len(self._nodes)]
+
+    def finger_table(self, node: int) -> list[int]:
+        """The ``m`` finger entries of ``node``."""
+        return list(self._fingers[node])
+
+    @staticmethod
+    def _in_open_interval(x: int, a: int, b: int, space: int) -> bool:
+        """Is ``x`` in the clockwise-open interval (a, b) on the ring?"""
+        if a == b:
+            return x != a
+        if a < b:
+            return a < x < b
+        return x > a or x < b
+
+    def _closest_preceding(self, node: int, key: int) -> int:
+        for finger in reversed(self._fingers[node]):
+            if self._in_open_interval(finger, node, key, self.space):
+                return finger
+        return node
+
+    def lookup_path(self, start: int, key: int) -> list[int]:
+        """Node sequence visited resolving ``key`` from ``start``.
+
+        Standard iterative Chord lookup: hop to the closest preceding
+        finger until the key falls between the current node and its
+        successor, then finish at the successor.
+        """
+        if start not in self._fingers:
+            raise NoLiveNodeError(f"start node {start} is not on the ring")
+        check_id(key, self.m)
+        owner = self.successor(key)
+        path = [start]
+        current = start
+        # Each hop at least halves the remaining clockwise distance, so
+        # m + 1 hops always suffice; the guard catches table corruption.
+        for _ in range(self.m + 1):
+            if current == owner:
+                return path
+            succ = self.successor((current + 1) % self.space)
+            if self._in_open_interval(key, current, succ, self.space) or key == succ:
+                path.append(succ)
+                return path
+            nxt = self._closest_preceding(current, key)
+            if nxt == current:
+                path.append(owner)
+                return path
+            current = nxt
+            path.append(current)
+        raise RuntimeError("Chord lookup failed to converge")  # pragma: no cover
+
+    def lookup_hops(self, start: int, key: int) -> int:
+        return len(self.lookup_path(start, key)) - 1
+
+    def add_node(self, node: int) -> None:
+        """Join a node and rebuild fingers (simulation-grade join)."""
+        check_id(node, self.m)
+        if node not in self._nodes:
+            bisect.insort(self._nodes, node)
+            self._build_fingers()
+
+    def remove_node(self, node: int) -> None:
+        """Remove a node and rebuild fingers."""
+        if node in self._nodes:
+            if len(self._nodes) == 1:
+                raise NoLiveNodeError("cannot empty the ring")
+            self._nodes.remove(node)
+            self._build_fingers()

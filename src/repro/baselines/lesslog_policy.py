@@ -1,0 +1,37 @@
+"""The LessLog placement policy — the paper's contribution.
+
+Pure bitwise placement: replicate into the overloaded node's advanced
+children list, falling back to the §3 proportional choice at the top of
+an incomplete tree.  Deliberately ignores ``context.forwarder_rates``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+from ..core.liveness import LivenessView
+from ..core.replication import choose_replica_target
+from ..core.tree import LookupTree
+from .base import PlacementContext
+
+__all__ = ["LessLogPolicy"]
+
+
+class LessLogPolicy:
+    """Logless placement via children lists (paper §2.2/§3)."""
+
+    name = "lesslog"
+
+    def choose(
+        self,
+        tree: LookupTree,
+        k: int,
+        liveness: LivenessView,
+        holders: Collection[int],
+        context: PlacementContext,
+    ) -> int | None:
+        decision = choose_replica_target(tree, k, liveness, holders, rng=context.rng)
+        return decision.target
+
+    def __repr__(self) -> str:
+        return "LessLogPolicy()"

@@ -1,0 +1,56 @@
+"""The log-based replication baseline of the paper's §6.
+
+    "The log-based method records client-access logs and replicates the
+    file to the child node that forwards most requests by carefully
+    analyzing client-access logs."
+
+This is the oracle LessLog is measured against: it reads the actual
+per-forwarder rates (``context.forwarder_rates`` — the information a
+client-access log contains) and places the replica on the child that
+contributed the most load.  Under perfectly even demand it coincides
+with LessLog, because the child with the most offspring *is* the child
+forwarding the most requests; under skew it does strictly better —
+at the cost of maintaining logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+from ..core.children import advanced_children_list
+from ..core.liveness import LivenessView
+from ..core.tree import LookupTree
+from .base import PlacementContext
+
+__all__ = ["LogBasedPolicy"]
+
+
+class LogBasedPolicy:
+    """Replicate to the children-list member forwarding the most load."""
+
+    name = "log-based"
+
+    def choose(
+        self,
+        tree: LookupTree,
+        k: int,
+        liveness: LivenessView,
+        holders: Collection[int],
+        context: PlacementContext,
+    ) -> int | None:
+        holder_set = set(holders)
+        rates = context.forwarder_rates
+        best: int | None = None
+        best_rate = 0.0
+        # Children-list order is the deterministic tie-break, so the
+        # policy degrades to LessLog's choice when rates are equal.
+        for child in advanced_children_list(tree, k, liveness):
+            if child in holder_set:
+                continue
+            rate = float(rates.get(child, 0.0))
+            if rate > best_rate:
+                best, best_rate = child, rate
+        return best
+
+    def __repr__(self) -> str:
+        return "LogBasedPolicy()"

@@ -1,0 +1,44 @@
+"""The random-replication baseline of the paper's §6.
+
+    "The random-replication method replicates the file to a random node
+    when a node is overloaded."
+
+A random node only absorbs the traffic that happens to route *through*
+it, which is usually a small subtree — hence the paper's result that
+random replication needs far more replicas to reach balance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+from ..core.liveness import LivenessView
+from ..core.tree import LookupTree
+from .base import PlacementContext
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy:
+    """Replicate to a uniformly random live non-holder."""
+
+    name = "random"
+
+    def choose(
+        self,
+        tree: LookupTree,
+        k: int,
+        liveness: LivenessView,
+        holders: Collection[int],
+        context: PlacementContext,
+    ) -> int | None:
+        holder_set = set(holders)
+        candidates = [
+            pid for pid in liveness.live_pids() if pid not in holder_set and pid != k
+        ]
+        if not candidates:
+            return None
+        return context.rng.choice(candidates)
+
+    def __repr__(self) -> str:
+        return "RandomPolicy()"

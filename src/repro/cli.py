@@ -1,0 +1,215 @@
+"""Command-line interface: ``lesslog`` / ``python -m repro``.
+
+Subcommands:
+
+* ``experiments`` — list the reproducible experiments.
+* ``run <id> [--fast] [--csv PATH]`` — run a figure/extension
+  reproduction and print its table.
+* ``figures`` — dump the paper's structural Figures 1–4.
+* ``tree --root R --m M [--dead ...]`` — render a lookup tree and its
+  children list.
+* ``demo`` — a 30-second tour of the system API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lesslog",
+        description="LessLog (IPDPS 2004) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list reproducible experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", help="experiment id (see `experiments`)")
+    run.add_argument("--fast", action="store_true", help="reduced sweep")
+    run.add_argument("--csv", type=Path, default=None, help="also write CSV here")
+    run.add_argument("--chart", action="store_true", help="also draw an ASCII chart")
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for figure sweeps (fig5-fig8 only)",
+    )
+
+    sub.add_parser("figures", help="regenerate structural Figures 1-4")
+
+    report = sub.add_parser(
+        "report", help="run every experiment and emit a markdown report"
+    )
+    report.add_argument("--full", action="store_true", help="full paper grid")
+    report.add_argument("-o", "--output", type=Path, default=None)
+    report.add_argument(
+        "--only", nargs="*", default=None, help="experiment ids to include"
+    )
+
+    tree = sub.add_parser("tree", help="render a lookup tree")
+    tree.add_argument("--root", type=int, default=4)
+    tree.add_argument("--m", type=int, default=4)
+    tree.add_argument("--dead", type=int, nargs="*", default=[])
+
+    sub.add_parser("demo", help="drive a small system end to end")
+
+    audit = sub.add_parser("audit", help="audit a system snapshot file")
+    audit.add_argument("snapshot", type=Path, help="JSON snapshot path")
+
+    snap = sub.add_parser(
+        "snapshot-demo", help="build the demo system and write its snapshot"
+    )
+    snap.add_argument("-o", "--output", type=Path, required=True)
+
+    return parser
+
+
+def _cmd_experiments() -> int:
+    from .experiments import list_experiments
+
+    for experiment_id in list_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(
+    experiment_id: str, fast: bool, csv: Path | None, chart: bool,
+    workers: int = 1,
+) -> int:
+    from .experiments import run_experiment
+
+    try:
+        result = run_experiment(experiment_id, fast=fast, workers=workers)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(result.render())
+    if chart:
+        from .analysis import render_sweep_chart
+
+        print()
+        print(render_sweep_chart(result))
+    if csv is not None:
+        csv.write_text(result.to_csv() + "\n")
+        print(f"\nCSV written to {csv}")
+    return 0
+
+
+def _cmd_report(full: bool, output: Path | None, only: list[str] | None) -> int:
+    from .experiments.report import generate_report
+
+    try:
+        text = generate_report(experiment_ids=only, fast=not full)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if output is not None:
+        output.write_text(text + "\n")
+        print(f"report written to {output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_figures() -> int:
+    from .experiments.structures import render_all
+
+    print(render_all())
+    return 0
+
+
+def _cmd_tree(root: int, m: int, dead: list[int]) -> int:
+    from .core.children import advanced_children_list
+    from .core.liveness import SetLiveness
+    from .core.tree import LookupTree
+
+    tree = LookupTree(root, m)
+    print(tree.render())
+    liveness = SetLiveness.all_but(m, dead=dead)
+    print(f"\nchildren list of P({root})"
+          + (f" with dead={sorted(dead)}" if dead else "")
+          + f": {advanced_children_list(tree, root, liveness)}")
+    return 0
+
+
+def _cmd_audit(snapshot_path: Path) -> int:
+    from .cluster.audit import audit_system
+    from .cluster.snapshot import restore_from_json
+
+    try:
+        system = restore_from_json(snapshot_path.read_text())
+    except FileNotFoundError:
+        print(f"no such snapshot: {snapshot_path}", file=sys.stderr)
+        return 2
+    audit = audit_system(system)
+    print(audit.render())
+    return 0 if audit.healthy else 1
+
+
+def _cmd_snapshot_demo(output: Path) -> int:
+    from .cluster.snapshot import snapshot_to_json
+    from .cluster.system import LessLogSystem
+
+    system = LessLogSystem.build(m=5, b=1, dead={3, 9})
+    for i in range(6):
+        system.insert(f"demo-{i}.dat", payload=f"payload {i}")
+    home = system.holders_of("demo-0.dat")[0]
+    system.replicate("demo-0.dat", overloaded=home)
+    output.write_text(snapshot_to_json(system, indent=2) + "\n")
+    print(f"snapshot of {system} written to {output}")
+    return 0
+
+
+def _cmd_demo() -> int:
+    from .cluster.system import LessLogSystem
+
+    print("Building a 16-node LessLog system (m=4, b=1)...")
+    system = LessLogSystem.build(m=4, b=1)
+    result = system.insert("report.pdf", payload=b"quarterly numbers")
+    print(f"  inserted 'report.pdf' -> target P({result.target}), "
+          f"homes {list(result.homes)}")
+    got = system.get("report.pdf", entry=3)
+    print(f"  get from P(3): served by P({got.server}) via {list(got.route)}")
+    target = system.replicate("report.pdf", overloaded=got.server)
+    print(f"  overloaded P({got.server}) replicated to P({target})")
+    updated = system.update("report.pdf", payload=b"restated numbers")
+    print(f"  update v{updated.version} reached {sorted(updated.updated)}")
+    lost = system.fail(result.homes[0])
+    print(f"  crashed P({result.homes[0]}); recovered files: {lost}")
+    got = system.get("report.pdf", entry=3)
+    print(f"  get after crash: served by P({got.server}), "
+          f"version {got.version}")
+    system.check_invariants()
+    print("  invariants hold.")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments()
+    if args.command == "run":
+        return _cmd_run(
+            args.experiment, args.fast, args.csv, args.chart, args.workers
+        )
+    if args.command == "figures":
+        return _cmd_figures()
+    if args.command == "report":
+        return _cmd_report(args.full, args.output, args.only)
+    if args.command == "tree":
+        return _cmd_tree(args.root, args.m, args.dead)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "audit":
+        return _cmd_audit(args.snapshot)
+    if args.command == "snapshot-demo":
+        return _cmd_snapshot_demo(args.output)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

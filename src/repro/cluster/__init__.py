@@ -1,0 +1,31 @@
+"""Whole-system layer: the LessLogSystem facade, churn, fault injection."""
+
+from .faults import ChurnEvent, ChurnKind, ChurnSchedule
+from .snapshot import (
+    restore_from_dict,
+    restore_from_json,
+    snapshot_to_dict,
+    snapshot_to_json,
+)
+from .system import (
+    CatalogEntry,
+    GetResult,
+    InsertResult,
+    LessLogSystem,
+    UpdateResult,
+)
+
+__all__ = [
+    "CatalogEntry",
+    "ChurnEvent",
+    "ChurnKind",
+    "ChurnSchedule",
+    "GetResult",
+    "InsertResult",
+    "LessLogSystem",
+    "UpdateResult",
+    "restore_from_dict",
+    "restore_from_json",
+    "snapshot_to_dict",
+    "snapshot_to_json",
+]

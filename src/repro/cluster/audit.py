@@ -1,0 +1,132 @@
+"""Placement audit: a structured health report for a running system.
+
+Inspects a :class:`LessLogSystem` and reports, per file: where the
+inserted copies live, where the replicas live, whether every copy is
+reachable by the update broadcast, how deep the storage node sits
+below its nominal target, and per-subtree placement status.  The CLI's
+``lesslog audit`` renders this for a snapshot file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.tables import render_table
+from ..core.subtree import SubtreeView, subtree_of_pid
+from ..node.storage import FileOrigin
+from .system import LessLogSystem
+
+__all__ = ["FileAudit", "SystemAudit", "audit_system"]
+
+
+@dataclass
+class FileAudit:
+    """Audit record for one file."""
+
+    name: str
+    target: int
+    version: int
+    inserted_at: list[int]
+    replicas_at: list[int]
+    unreachable: list[int]
+    displaced_subtrees: int
+    """Subtrees whose inserted copy is not at the nominal target slot."""
+
+    lost: bool = False
+
+    @property
+    def copies(self) -> int:
+        return len(self.inserted_at) + len(self.replicas_at)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.lost and not self.unreachable and bool(self.inserted_at)
+
+
+@dataclass
+class SystemAudit:
+    """Whole-system audit."""
+
+    m: int
+    b: int
+    live_nodes: int
+    files: list[FileAudit] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return all(f.healthy or f.lost for f in self.files) and not any(
+            f.unreachable for f in self.files
+        )
+
+    @property
+    def lost_files(self) -> list[str]:
+        return [f.name for f in self.files if f.lost]
+
+    def total_copies(self) -> int:
+        return sum(f.copies for f in self.files)
+
+    def render(self) -> str:
+        header = (
+            f"LessLog audit: m={self.m}, b={self.b}, "
+            f"{self.live_nodes} live nodes, {len(self.files)} files, "
+            f"{self.total_copies()} copies"
+        )
+        rows = []
+        for f in sorted(self.files, key=lambda x: x.name):
+            status = "LOST" if f.lost else ("OK" if f.healthy else "DEGRADED")
+            rows.append([
+                f.name,
+                f"P({f.target})",
+                f"v{f.version}",
+                ",".join(map(str, f.inserted_at)) or "-",
+                str(len(f.replicas_at)),
+                str(f.displaced_subtrees),
+                str(len(f.unreachable)),
+                status,
+            ])
+        table = render_table(
+            ["file", "target", "ver", "homes", "replicas",
+             "displaced", "unreachable", "status"],
+            rows,
+        )
+        verdict = "system healthy" if self.healthy else "ATTENTION NEEDED"
+        return f"{header}\n{table}\n{verdict}"
+
+
+def audit_system(system: LessLogSystem) -> SystemAudit:
+    """Build the audit for ``system``."""
+    audit = SystemAudit(m=system.m, b=system.b, live_nodes=system.n_live)
+    for name, entry in sorted(system.catalog.items()):
+        tree = system.tree(entry.target)
+        holders = system.holders_of(name)
+        inserted = [
+            pid
+            for pid in holders
+            if system.stores[pid].get(name, count_access=False).origin
+            is FileOrigin.INSERTED
+        ]
+        replicas = [pid for pid in holders if pid not in inserted]
+        lost = name in system.faults or not holders
+        unreachable: list[int] = []
+        if not lost:
+            reachable = set(system.reachable_holders(name))
+            unreachable = sorted(set(holders) - reachable)
+        displaced = 0
+        for sid in range(1 << system.b):
+            view = SubtreeView(tree, system.b, sid)
+            sub_inserted = [p for p in inserted if view.contains(p)]
+            if sub_inserted and sub_inserted[0] != view.root_pid:
+                displaced += 1
+        audit.files.append(
+            FileAudit(
+                name=name,
+                target=entry.target,
+                version=entry.version,
+                inserted_at=sorted(inserted),
+                replicas_at=sorted(replicas),
+                unreachable=unreachable,
+                displaced_subtrees=displaced,
+                lost=lost,
+            )
+        )
+    return audit

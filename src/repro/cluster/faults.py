@@ -1,0 +1,122 @@
+"""Churn / fault-injection schedules.
+
+Generates reproducible sequences of join / leave / fail events and
+applies them to a :class:`~repro.cluster.system.LessLogSystem` — the
+"real-world scenario where nodes dynamically join and leave" the
+paper's §8 names as future work.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from ..core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import LessLogSystem
+
+__all__ = ["ChurnKind", "ChurnEvent", "ChurnSchedule"]
+
+
+class ChurnKind(Enum):
+    JOIN = "join"
+    LEAVE = "leave"
+    FAIL = "fail"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change at a simulated time."""
+
+    time: float
+    kind: ChurnKind
+    pid: int
+
+
+class ChurnSchedule:
+    """A time-ordered list of churn events with application helpers."""
+
+    def __init__(self, events: list[ChurnEvent]) -> None:
+        self.events = sorted(events, key=lambda e: e.time)
+        self._cursor = 0
+
+    @classmethod
+    def generate(
+        cls,
+        system: "LessLogSystem",
+        duration: float,
+        rate: float,
+        seed: int = 0,
+        weights: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    ) -> "ChurnSchedule":
+        """Poisson churn over ``duration`` at ``rate`` events/second.
+
+        ``weights`` are relative odds of (join, leave, fail).  The
+        generator tracks membership so joins target currently-dead PIDs
+        and leaves/fails target currently-live ones, and never empties
+        the system.
+        """
+        if duration < 0 or rate < 0:
+            raise ConfigurationError("duration and rate must be non-negative")
+        rng = random.Random(seed)
+        live = set(system.membership.live_pids())
+        all_pids = set(range(1 << system.m))
+        events: list[ChurnEvent] = []
+        t = 0.0
+        kinds = [ChurnKind.JOIN, ChurnKind.LEAVE, ChurnKind.FAIL]
+        while rate > 0:
+            t += rng.expovariate(rate)
+            if t > duration:
+                break
+            kind = rng.choices(kinds, weights=weights)[0]
+            if kind is ChurnKind.JOIN:
+                candidates = sorted(all_pids - live)
+                if not candidates:
+                    continue
+                pid = rng.choice(candidates)
+                live.add(pid)
+            else:
+                candidates = sorted(live)
+                if len(candidates) <= 1:
+                    continue  # never empty the system
+                pid = rng.choice(candidates)
+                live.discard(pid)
+            events.append(ChurnEvent(time=t, kind=kind, pid=pid))
+        return cls(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def pending(self) -> list[ChurnEvent]:
+        return self.events[self._cursor :]
+
+    def apply_until(self, system: "LessLogSystem", time: float) -> list[ChurnEvent]:
+        """Apply every not-yet-applied event with ``event.time <= time``."""
+        applied: list[ChurnEvent] = []
+        while self._cursor < len(self.events) and self.events[self._cursor].time <= time:
+            event = self.events[self._cursor]
+            self._cursor += 1
+            system.now = event.time
+            self.apply_one(system, event)
+            applied.append(event)
+        return applied
+
+    @staticmethod
+    def apply_one(system: "LessLogSystem", event: ChurnEvent) -> None:
+        """Apply a single event to the system."""
+        if event.kind is ChurnKind.JOIN:
+            system.join(event.pid)
+        elif event.kind is ChurnKind.LEAVE:
+            system.leave(event.pid)
+        else:
+            system.fail(event.pid)
+
+    def apply_all(self, system: "LessLogSystem") -> int:
+        """Apply every remaining event; returns how many were applied."""
+        return len(self.apply_until(system, float("inf")))

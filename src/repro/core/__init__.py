@@ -1,0 +1,104 @@
+"""Core LessLog algorithms: tree algebra, routing, and replica placement.
+
+This package is pure and deterministic — no simulation state, no I/O.
+Everything maps one-to-one onto a construct in the paper:
+
+=====================  =================================================
+Module                 Paper construct
+=====================  =================================================
+``bits``               fixed-width bit manipulations (the substrate)
+``vid``                Properties 1–4 over virtual identifiers
+``tree``               virtual / physical lookup trees (Figures 1–2)
+``liveness``           live vs dead identifiers (§3)
+``routing``            ``FP``, ``FINDLIVENODE``, GETFILE walks (§2.2/§3)
+``children``           basic & advanced children lists (§2.2/§3)
+``replication``        ``C^r_k``, proportional choice, pruning (§2.2/§3)
+``subtree``            fault-tolerant 2**b-way split (§4)
+``hashing``            the hash ψ mapping files to targets
+=====================  =================================================
+"""
+
+from .bits import complement, leading_ones, mask, to_binary
+from .children import (
+    advanced_children_list,
+    basic_children_list,
+    has_live_node_above,
+    live_subtree_size,
+)
+from .errors import (
+    ConfigurationError,
+    FileNotFoundInSystemError,
+    InvalidIdentifierError,
+    LessLogError,
+    MembershipError,
+    NodeDownError,
+    NoLiveNodeError,
+    SimulationError,
+    StorageError,
+    UnknownNodeError,
+)
+from .hashing import Psi, psi
+from .liveness import AllLive, LivenessView, SetLiveness
+from .replication import (
+    PlacementDecision,
+    choose_replica_target,
+    first_uncopied,
+    prune_cold_replicas,
+)
+from .routing import (
+    find_live_node,
+    first_alive_ancestor,
+    resolve_route,
+    route_length,
+    storage_node,
+)
+from .subtree import (
+    SubtreeView,
+    insert_targets,
+    migration_order,
+    split_vid,
+    subtree_of_pid,
+)
+from .tree import LookupTree, VirtualTree
+
+__all__ = [
+    "AllLive",
+    "ConfigurationError",
+    "FileNotFoundInSystemError",
+    "InvalidIdentifierError",
+    "LessLogError",
+    "LivenessView",
+    "LookupTree",
+    "MembershipError",
+    "NodeDownError",
+    "NoLiveNodeError",
+    "PlacementDecision",
+    "Psi",
+    "SetLiveness",
+    "SimulationError",
+    "StorageError",
+    "SubtreeView",
+    "UnknownNodeError",
+    "VirtualTree",
+    "advanced_children_list",
+    "basic_children_list",
+    "choose_replica_target",
+    "complement",
+    "find_live_node",
+    "first_alive_ancestor",
+    "first_uncopied",
+    "has_live_node_above",
+    "insert_targets",
+    "leading_ones",
+    "live_subtree_size",
+    "mask",
+    "migration_order",
+    "prune_cold_replicas",
+    "psi",
+    "resolve_route",
+    "route_length",
+    "split_vid",
+    "storage_node",
+    "subtree_of_pid",
+    "to_binary",
+]

@@ -1,0 +1,154 @@
+"""Bitwise primitives underlying the LessLog lookup-tree algebra.
+
+Everything in the paper's Properties 1--4 reduces to a handful of
+fixed-width bit manipulations on ``m``-bit identifiers.  This module is
+the single place those manipulations are defined; the rest of the core
+package composes them.
+
+Conventions
+-----------
+* Identifiers are plain Python ``int`` in ``[0, 2**m)``.
+* Bit positions are counted from 0 at the least-significant bit, so the
+  most-significant bit of an ``m``-bit identifier is position ``m - 1``.
+* The *leading-ones run* of ``v`` is the number of consecutive ``1``
+  bits starting at position ``m - 1`` and moving downward.  It drives
+  the entire tree shape: a VID with run length ``i`` has exactly ``i``
+  children and ``2**i - 1`` offspring (Property 1 / Property 3).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mask",
+    "check_width",
+    "check_id",
+    "complement",
+    "leading_ones",
+    "trailing_zeros",
+    "popcount",
+    "bit_length_fixed",
+    "set_leftmost_zero",
+    "leftmost_zero_position",
+    "low_bits",
+    "high_bits",
+    "to_binary",
+    "from_binary",
+]
+
+_MAX_WIDTH = 30
+"""Upper bound on ``m`` we accept (2**30 nodes is far beyond any use)."""
+
+
+def mask(m: int) -> int:
+    """Return the all-ones ``m``-bit mask ``2**m - 1``."""
+    check_width(m)
+    return (1 << m) - 1
+
+
+def check_width(m: int) -> None:
+    """Validate a tree width ``m``; raise ``ValueError`` otherwise."""
+    if not isinstance(m, int) or isinstance(m, bool):
+        raise ValueError(f"tree width m must be an int, got {m!r}")
+    if not 1 <= m <= _MAX_WIDTH:
+        raise ValueError(f"tree width m must be in [1, {_MAX_WIDTH}], got {m}")
+
+
+def check_id(v: int, m: int) -> None:
+    """Validate that ``v`` is an ``m``-bit identifier."""
+    check_width(m)
+    if not isinstance(v, int) or isinstance(v, bool):
+        raise ValueError(f"identifier must be an int, got {v!r}")
+    if not 0 <= v < (1 << m):
+        raise ValueError(f"identifier {v} out of range for m={m}")
+
+
+def complement(v: int, m: int) -> int:
+    """Return the ``m``-bit bitwise complement of ``v``.
+
+    The paper writes this as an overbar; the physical lookup tree of
+    ``P(r)`` is the virtual tree XORed with ``complement(r, m)``.
+    """
+    check_id(v, m)
+    return v ^ ((1 << m) - 1)
+
+
+def leading_ones(v: int, m: int) -> int:
+    """Length of the run of consecutive 1 bits from the MSB of ``v``.
+
+    This is the child count of VID ``v`` (Property 1) and
+    ``log2`` of its subtree size (Property 3).
+    """
+    check_id(v, m)
+    run = 0
+    bit = 1 << (m - 1)
+    while bit and (v & bit):
+        run += 1
+        bit >>= 1
+    return run
+
+
+def trailing_zeros(v: int, m: int) -> int:
+    """Number of consecutive 0 bits from the LSB of ``v`` (``m`` if 0)."""
+    check_id(v, m)
+    if v == 0:
+        return m
+    return (v & -v).bit_length() - 1
+
+
+def popcount(v: int) -> int:
+    """Number of set bits in ``v``."""
+    return int(v).bit_count()
+
+
+def bit_length_fixed(v: int, m: int) -> int:
+    """``v.bit_length()`` after range-checking against width ``m``."""
+    check_id(v, m)
+    return v.bit_length()
+
+
+def leftmost_zero_position(v: int, m: int) -> int:
+    """Position of the most-significant 0 bit of ``v``.
+
+    Raises ``ValueError`` when ``v`` is the all-ones root, which has no
+    zero bit (and, per Property 2, no parent).
+    """
+    check_id(v, m)
+    full = (1 << m) - 1
+    if v == full:
+        raise ValueError("all-ones identifier has no zero bit (tree root)")
+    # The leftmost zero sits just below the leading-ones run.
+    return m - 1 - leading_ones(v, m)
+
+
+def set_leftmost_zero(v: int, m: int) -> int:
+    """Set the most-significant 0 bit of ``v`` — Property 2's parent rule."""
+    return v | (1 << leftmost_zero_position(v, m))
+
+
+def low_bits(v: int, width: int) -> int:
+    """The low ``width`` bits of ``v`` (``width`` may be 0)."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return v & ((1 << width) - 1)
+
+
+def high_bits(v: int, m: int, width: int) -> int:
+    """The high ``width`` bits of the ``m``-bit value ``v``."""
+    check_id(v, m)
+    if not 0 <= width <= m:
+        raise ValueError(f"width must be in [0, {m}], got {width}")
+    return v >> (m - width) if width else 0
+
+
+def to_binary(v: int, m: int) -> str:
+    """Format ``v`` as an ``m``-character binary string (paper notation)."""
+    check_id(v, m)
+    return format(v, f"0{m}b")
+
+
+def from_binary(s: str) -> int:
+    """Parse a binary string (optionally with ``_`` separators)."""
+    cleaned = s.replace("_", "").strip()
+    if not cleaned or any(c not in "01" for c in cleaned):
+        raise ValueError(f"not a binary string: {s!r}")
+    return int(cleaned, 2)

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the LessLog reproduction.
+
+Every error raised by the library derives from :class:`LessLogError`
+so callers can catch library failures with a single handler.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LessLogError",
+    "InvalidIdentifierError",
+    "NodeDownError",
+    "UnknownNodeError",
+    "FileNotFoundInSystemError",
+    "NoLiveNodeError",
+    "MembershipError",
+    "StorageError",
+    "SimulationError",
+    "ConfigurationError",
+]
+
+
+class LessLogError(Exception):
+    """Base class for all library errors."""
+
+
+class InvalidIdentifierError(LessLogError, ValueError):
+    """A PID/VID/width failed validation."""
+
+
+class NodeDownError(LessLogError):
+    """An operation was sent to a node that is not live."""
+
+    def __init__(self, pid: int, operation: str = "") -> None:
+        self.pid = pid
+        self.operation = operation
+        suffix = f" during {operation}" if operation else ""
+        super().__init__(f"node P({pid}) is not live{suffix}")
+
+
+class UnknownNodeError(LessLogError):
+    """A PID does not name any node ever registered with the system."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        super().__init__(f"no node with PID {pid} is registered")
+
+
+class FileNotFoundInSystemError(LessLogError):
+    """A get/update could not locate any copy of the requested file."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"file {name!r} not found in the system")
+
+
+class NoLiveNodeError(LessLogError):
+    """FINDLIVENODE scanned the whole tree without finding a live node."""
+
+
+class MembershipError(LessLogError):
+    """Invalid join/leave/fail transition (e.g. duplicate PID)."""
+
+
+class StorageError(LessLogError):
+    """Local file-store violation (duplicate insert, missing replica...)."""
+
+
+class SimulationError(LessLogError):
+    """The discrete-event kernel was driven into an invalid state."""
+
+
+class ConfigurationError(LessLogError, ValueError):
+    """An experiment or system configuration is inconsistent."""

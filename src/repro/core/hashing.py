@@ -1,0 +1,64 @@
+"""The paper's hash function ψ mapping file names to target PIDs.
+
+The paper only requires ψ to take "the unique information of the
+requested file such as its URL address" and return a number in
+``[0, 2**m)``.  We use SHA-256 with an optional salt so experiments can
+place a file's target node deterministically (by choosing the salt) or
+realistically (uniform over the identifier space).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .bits import check_width
+
+__all__ = ["Psi", "psi"]
+
+
+@dataclass(frozen=True)
+class Psi:
+    """A deterministic hash ψ: file name → target PID in ``[0, 2**m)``.
+
+    Parameters
+    ----------
+    m:
+        Identifier width; outputs are ``m``-bit.
+    salt:
+        Mixed into the digest.  Two ``Psi`` instances with different
+        salts realise independent placements of the same namespace.
+    """
+
+    m: int
+    salt: str = ""
+
+    def __post_init__(self) -> None:
+        check_width(self.m)
+
+    def __call__(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self.salt}\x00{name}".encode()).digest()
+        # 8 bytes give 64 bits of entropy, far beyond any supported m.
+        value = int.from_bytes(digest[:8], "big")
+        return value & ((1 << self.m) - 1)
+
+    def find_name_for_target(self, target: int, prefix: str = "file", limit: int = 1_000_000) -> str:
+        """Search for a name hashing to ``target`` (testing convenience).
+
+        Linear probing over ``f"{prefix}-{i}"``; with ``m <= 20`` this
+        terminates almost immediately in expectation.
+        """
+        if not 0 <= target < (1 << self.m):
+            raise ValueError(f"target {target} out of range for m={self.m}")
+        for i in range(limit):
+            name = f"{prefix}-{i}"
+            if self(name) == target:
+                return name
+        raise RuntimeError(
+            f"no name with prefix {prefix!r} hashes to {target} within {limit} probes"
+        )
+
+
+def psi(name: str, m: int, salt: str = "") -> int:
+    """Functional shorthand for ``Psi(m, salt)(name)``."""
+    return Psi(m, salt)(name)

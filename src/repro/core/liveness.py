@@ -1,0 +1,113 @@
+"""Liveness views: who is alive in the ``2**m`` identifier space.
+
+The advanced system model (paper §3) distinguishes *live* nodes from
+*dead* identifiers — positions in the virtual tree with no node behind
+them.  Routing, children lists, insertion, and replication all consult
+a liveness view.  The core algorithms only need the tiny read-only
+protocol defined here; the cluster layer provides richer, mutable
+implementations (status words) that satisfy it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Protocol, runtime_checkable
+
+from .bits import check_id, check_width
+
+__all__ = ["LivenessView", "AllLive", "SetLiveness"]
+
+
+@runtime_checkable
+class LivenessView(Protocol):
+    """Read-only view of node liveness over an ``m``-bit PID space."""
+
+    @property
+    def m(self) -> int:
+        """Identifier width."""
+        ...
+
+    def is_live(self, pid: int) -> bool:
+        """True when ``P(pid)`` is a live node."""
+        ...
+
+    def live_pids(self) -> Iterator[int]:
+        """Iterate the PIDs of all live nodes (ascending)."""
+        ...
+
+    def live_count(self) -> int:
+        """Number of live nodes."""
+        ...
+
+
+class AllLive:
+    """The basic model (paper §2): every identifier is a live node."""
+
+    def __init__(self, m: int) -> None:
+        check_width(m)
+        self._m = m
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    def is_live(self, pid: int) -> bool:
+        check_id(pid, self._m)
+        return True
+
+    def live_pids(self) -> Iterator[int]:
+        return iter(range(1 << self._m))
+
+    def live_count(self) -> int:
+        return 1 << self._m
+
+    def __repr__(self) -> str:
+        return f"AllLive(m={self._m})"
+
+
+class SetLiveness:
+    """An explicit live-PID set — the advanced model's view (paper §3)."""
+
+    def __init__(self, m: int, live: Iterable[int]) -> None:
+        check_width(m)
+        self._m = m
+        self._live: set[int] = set()
+        for pid in live:
+            check_id(pid, m)
+            self._live.add(pid)
+
+    @classmethod
+    def all_but(cls, m: int, dead: Iterable[int]) -> "SetLiveness":
+        """Every identifier live except the given dead ones."""
+        dead_set = set(dead)
+        return cls(m, (p for p in range(1 << m) if p not in dead_set))
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    def is_live(self, pid: int) -> bool:
+        check_id(pid, self._m)
+        return pid in self._live
+
+    def live_pids(self) -> Iterator[int]:
+        return iter(sorted(self._live))
+
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def add(self, pid: int) -> None:
+        """Mark ``pid`` live (used by churn orchestration)."""
+        check_id(pid, self._m)
+        self._live.add(pid)
+
+    def remove(self, pid: int) -> None:
+        """Mark ``pid`` dead."""
+        check_id(pid, self._m)
+        self._live.discard(pid)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._live
+
+    def __repr__(self) -> str:
+        return f"SetLiveness(m={self._m}, live={len(self._live)})"

@@ -1,0 +1,143 @@
+"""Replica-placement decisions (paper §2.2 "Replicating File" and §3).
+
+The heart of LessLog: when ``P(k)`` is overloaded by requests for a
+file targeting ``P(r)``, pick — with bitwise operations only, no access
+logs — the node that should receive the next replica.
+
+* Basic rule: ``C^r_k(f)`` = the first node in the children list of
+  ``P(k)`` (in the tree of ``P(r)``) that does not yet hold a copy.
+* §3 top-node rule: when no live node has a VID above ``P(k)``'s, the
+  overload may originate anywhere in the system, so LessLog makes a
+  *proportional choice* between ``P(k)``'s children list and the
+  root's, weighted by the ratio of ``P(k)``'s live offspring to the
+  rest of the live nodes.
+* Counter-based pruning (§2.2/§6): replicas whose observed service rate
+  falls below a threshold are removed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Collection
+from dataclasses import dataclass
+
+import random
+
+from .children import (
+    advanced_children_list,
+    has_live_node_above,
+    live_subtree_size,
+)
+from .liveness import LivenessView
+from .tree import LookupTree
+
+__all__ = [
+    "first_uncopied",
+    "choose_replica_target",
+    "PlacementDecision",
+    "prune_cold_replicas",
+]
+
+
+def first_uncopied(
+    tree: LookupTree,
+    k: int,
+    liveness: LivenessView,
+    holders: Collection[int],
+) -> int | None:
+    """``C^r_k(f)``: first children-list member of ``P(k)`` without a copy.
+
+    Returns ``None`` when every member already holds one — the paper's
+    loop then simply cannot offload further from ``P(k)``.
+    """
+    for pid in advanced_children_list(tree, k, liveness):
+        if pid not in holders:
+            return pid
+    return None
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Outcome of one replica-placement decision.
+
+    ``target`` is ``None`` when no eligible node remained.  ``source``
+    records whose children list supplied the target (``k`` or the tree
+    root), and ``proportional`` whether the §3 weighted choice fired.
+    """
+
+    target: int | None
+    source: int
+    proportional: bool
+
+
+def choose_replica_target(
+    tree: LookupTree,
+    k: int,
+    liveness: LivenessView,
+    holders: Collection[int],
+    rng: random.Random | None = None,
+) -> PlacementDecision:
+    """LessLog's placement rule for an overloaded holder ``P(k)``.
+
+    Implements §3 exactly:
+
+    * if a live node exists with VID above ``vid(k)``, the overload is
+      forwarded traffic from ``P(k)``'s offspring → replicate into
+      ``P(k)``'s children list (``C^r_k``);
+    * otherwise ``P(k)`` is where the inserted file lives, and the
+      choice between its children list and the root's is made
+      proportionally to live-offspring count vs the rest.
+
+    ``rng`` drives only the proportional branch; pass a seeded
+    ``random.Random`` for reproducibility (defaults to a fixed seed).
+    """
+    if rng is None:
+        rng = random.Random(0)
+    if has_live_node_above(tree, k, liveness):
+        return PlacementDecision(
+            target=first_uncopied(tree, k, liveness, holders),
+            source=k,
+            proportional=False,
+        )
+    own = live_subtree_size(tree, k, liveness)
+    total = liveness.live_count()
+    rest = max(total - own, 0)
+    # Weighted coin: with probability own/(own+rest) blame the offspring.
+    pick_own = rest == 0 or rng.random() < own / (own + rest)
+    source = k if pick_own else tree.root
+    target = first_uncopied(tree, source, liveness, holders)
+    if target is None and not pick_own:
+        # The root's list may be exhausted while k's still has room
+        # (or vice versa); fall through to the other list rather than
+        # stalling the balance loop.
+        source = k
+        target = first_uncopied(tree, k, liveness, holders)
+    elif target is None and pick_own:
+        source = tree.root
+        target = first_uncopied(tree, tree.root, liveness, holders)
+    # Never "replicate" onto the overloaded node itself.
+    if target == k:
+        target = None
+    return PlacementDecision(target=target, source=source, proportional=True)
+
+
+def prune_cold_replicas(
+    holders: Collection[int],
+    served_rate: Callable[[int], float],
+    threshold: float,
+    protected: Collection[int] = (),
+) -> list[int]:
+    """Counter-based replica removal.
+
+    Returns the holders whose observed service rate is below
+    ``threshold`` and that are not ``protected`` (the inserted copies
+    must never be pruned).  The caller removes them and re-checks
+    balance; see ``repro.engine.fluid.prune_and_rebalance``.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    protected_set = set(protected)
+    return [
+        pid
+        for pid in holders
+        if pid not in protected_set and served_rate(pid) < threshold
+    ]

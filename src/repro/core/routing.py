@@ -1,0 +1,118 @@
+"""Liveness-aware routing over a lookup tree (paper §2.2 and §3).
+
+Three primitives drive every file operation:
+
+* :func:`first_alive_ancestor` — the augmented ``FP^r_k`` of §3: the
+  nearest *live* ancestor of ``P(k)`` in the tree of ``P(r)``.
+* :func:`find_live_node` — the paper's ``FINDLIVENODE(s, r)``: starting
+  from ``P(s)``, the live node with the largest VID not exceeding
+  ``vid(s)`` in the tree of ``P(r)``.  With ``s = r`` this locates the
+  live node with the most offspring, where ``ADVANCEDINSERTFILE``
+  stores a file whose target is dead.
+* :func:`resolve_route` — the full GETFILE walk: the ordered list of
+  live PIDs a request visits from an entry node until it reaches the
+  node that must hold the (inserted) file, including the final jump to
+  ``FINDLIVENODE(r, r)`` when the climb tops out below it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from . import vid as V
+from .bits import mask
+from .errors import NoLiveNodeError
+from .liveness import LivenessView
+from .tree import LookupTree
+
+__all__ = [
+    "first_alive_ancestor",
+    "find_live_node",
+    "storage_node",
+    "resolve_route",
+    "iter_route",
+    "route_length",
+]
+
+
+def first_alive_ancestor(tree: LookupTree, k: int, liveness: LivenessView) -> int | None:
+    """Nearest live strict ancestor of ``P(k)`` in ``tree`` (or ``None``).
+
+    This is the §3 augmentation of ``FP^r_k``: climb Property-2 parents,
+    skipping dead identifiers.  Returns ``None`` when every ancestor up
+    to the root is dead (the caller has reached the top of its chain).
+    """
+    v = tree.vid_of(k)
+    top = mask(tree.m)
+    while v != top:
+        v = V.parent_vid(v, tree.m)
+        pid = tree.pid_of(v)
+        if liveness.is_live(pid):
+            return pid
+    return None
+
+
+def find_live_node(tree: LookupTree, s: int, liveness: LivenessView) -> int:
+    """The paper's ``FINDLIVENODE(s, r)`` with ``r = tree.root``.
+
+    If ``P(s)`` is live, return ``s``.  Otherwise scan VIDs downward
+    from ``vid(s) - 1`` and return the first live PID.  By Property 3
+    the result is the live node with the most offspring among those
+    with VID below ``vid(s)``.
+
+    Raises :class:`NoLiveNodeError` when no live node exists in range,
+    matching the algorithm's ``return false``.
+    """
+    if liveness.is_live(s):
+        return s
+    s_vid = tree.vid_of(s)
+    for v in range(s_vid - 1, -1, -1):
+        pid = tree.pid_of(v)
+        if liveness.is_live(pid):
+            return pid
+    raise NoLiveNodeError(
+        f"no live node with VID below {s_vid} in the tree of P({tree.root})"
+    )
+
+
+def storage_node(tree: LookupTree, liveness: LivenessView) -> int:
+    """Where ``ADVANCEDINSERTFILE`` stores a file targeting ``tree.root``.
+
+    ``FINDLIVENODE(r, r)``: the root itself when live, else the live
+    node with the globally largest VID (most offspring).
+    """
+    return find_live_node(tree, tree.root, liveness)
+
+
+def iter_route(tree: LookupTree, entry: int, liveness: LivenessView) -> Iterator[int]:
+    """Yield the live PIDs a request visits, entry node first.
+
+    The walk follows ``first_alive_ancestor`` hops.  If the climb ends
+    (no live ancestor) at a node other than the storage node — which
+    can only happen when the target ``P(r)`` is dead — the request
+    makes the §3 "second step" jump to ``FINDLIVENODE(r, r)``.
+    """
+    if not liveness.is_live(entry):
+        raise NoLiveNodeError(f"entry node P({entry}) is not live")
+    current = entry
+    yield current
+    while True:
+        nxt = first_alive_ancestor(tree, current, liveness)
+        if nxt is None:
+            break
+        current = nxt
+        yield current
+    if current != tree.root:
+        home = storage_node(tree, liveness)
+        if home != current:
+            yield home
+
+
+def resolve_route(tree: LookupTree, entry: int, liveness: LivenessView) -> list[int]:
+    """The full route as a list (see :func:`iter_route`)."""
+    return list(iter_route(tree, entry, liveness))
+
+
+def route_length(tree: LookupTree, entry: int, liveness: LivenessView) -> int:
+    """Number of forwarding hops on the route from ``entry`` (≥ 0)."""
+    return len(resolve_route(tree, entry, liveness)) - 1

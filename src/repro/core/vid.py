@@ -1,0 +1,162 @@
+"""Virtual-identifier (VID) algebra: the paper's Properties 1--4.
+
+The *virtual lookup tree* is a binomial tree over all ``2**m`` VIDs,
+rooted at the all-ones VID.  Every node's position is a pure function of
+its VID, which is what lets LessLog route and place replicas without any
+state beyond the target's PID:
+
+* **Property 1** — a VID whose leading-ones run has length ``i`` has
+  exactly ``i`` children, obtained by clearing one of those ``i``
+  leading 1 bits.  Clearing the *least-significant* bit of the run
+  yields the child with the largest subtree.
+* **Property 2** — the parent of a VID is obtained by setting its
+  most-significant 0 bit.
+* **Property 3** — subtree size is ``2**i``; numerically larger VIDs
+  never have smaller subtrees.
+* **Property 4** — the physical tree of ``P(r)`` maps
+  ``pid = vid XOR complement(r)`` (an involution, so the same function
+  converts both ways).
+
+A useful closed form (derived in DESIGN.md and exploited throughout):
+``w`` lies in the subtree of ``v`` iff ``w`` agrees with ``v`` on the
+low ``m - i`` bits, where ``i = leading_ones(v)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .bits import (
+    check_id,
+    complement,
+    leading_ones,
+    low_bits,
+    mask,
+    set_leftmost_zero,
+)
+
+__all__ = [
+    "root_vid",
+    "child_count",
+    "children_vids",
+    "parent_vid",
+    "subtree_size",
+    "offspring_count",
+    "subtree_low_mask",
+    "in_subtree",
+    "is_ancestor",
+    "iter_subtree",
+    "ancestors",
+    "depth",
+    "path_to_root",
+    "vid_to_pid",
+    "pid_to_vid",
+]
+
+
+def root_vid(m: int) -> int:
+    """The all-ones VID: root of the virtual lookup tree."""
+    return mask(m)
+
+
+def child_count(vid: int, m: int) -> int:
+    """Number of children of ``vid`` (Property 1)."""
+    return leading_ones(vid, m)
+
+
+def children_vids(vid: int, m: int) -> list[int]:
+    """Children of ``vid``, ordered by *descending* subtree size.
+
+    Property 1: clear one of the ``i`` leading 1 bits.  Clearing bit
+    ``m - i`` (the lowest bit of the run) preserves a run of ``i - 1``
+    ones and therefore yields the biggest subtree; clearing the MSB
+    yields a leaf.  The returned order is the paper's *children list*
+    order for a fully-live system.
+    """
+    i = leading_ones(vid, m)
+    return [vid ^ (1 << p) for p in range(m - i, m)]
+
+
+def parent_vid(vid: int, m: int) -> int:
+    """Parent of ``vid`` (Property 2). Raises ``ValueError`` at the root."""
+    return set_leftmost_zero(vid, m)
+
+
+def subtree_size(vid: int, m: int) -> int:
+    """Number of nodes in the subtree rooted at ``vid`` (incl. itself)."""
+    return 1 << leading_ones(vid, m)
+
+
+def offspring_count(vid: int, m: int) -> int:
+    """Number of strict descendants of ``vid`` — ``2**i - 1``."""
+    return subtree_size(vid, m) - 1
+
+
+def subtree_low_mask(vid: int, m: int) -> int:
+    """Mask of the bit positions fixed across ``vid``'s subtree.
+
+    All subtree members share ``vid``'s value on the low ``m - i`` bits.
+    """
+    i = leading_ones(vid, m)
+    return (1 << (m - i)) - 1
+
+
+def in_subtree(w: int, vid: int, m: int) -> bool:
+    """O(1) test: is ``w`` in the subtree rooted at ``vid``?"""
+    check_id(w, m)
+    lm = subtree_low_mask(vid, m)
+    return (w & lm) == (vid & lm)
+
+
+def is_ancestor(a: int, w: int, m: int) -> bool:
+    """True when ``a`` is a *strict* ancestor of ``w``."""
+    return a != w and in_subtree(w, a, m)
+
+
+def iter_subtree(vid: int, m: int) -> Iterator[int]:
+    """Iterate every VID in the subtree of ``vid`` (root first).
+
+    Subtree members share the low ``m - i`` bits and range freely over
+    the top ``i`` bits, so enumeration is a simple counter walk.
+    """
+    i = leading_ones(vid, m)
+    low = low_bits(vid, m - i)
+    for top in range((1 << i) - 1, -1, -1):
+        yield (top << (m - i)) | low
+
+
+def ancestors(vid: int, m: int) -> list[int]:
+    """Strict ancestors of ``vid``, nearest first, ending at the root."""
+    out: list[int] = []
+    v = vid
+    r = mask(m)
+    while v != r:
+        v = parent_vid(v, m)
+        out.append(v)
+    return out
+
+
+def depth(vid: int, m: int) -> int:
+    """Distance from ``vid`` to the root — the number of 0 bits."""
+    check_id(vid, m)
+    return m - int(vid).bit_count()
+
+
+def path_to_root(vid: int, m: int) -> list[int]:
+    """``vid`` followed by its ancestors up to and including the root."""
+    return [vid, *ancestors(vid, m)]
+
+
+def vid_to_pid(vid: int, r: int, m: int) -> int:
+    """Map a VID in the tree of ``P(r)`` to its PID (Property 4)."""
+    check_id(vid, m)
+    return vid ^ complement(r, m)
+
+
+def pid_to_vid(pid: int, r: int, m: int) -> int:
+    """Map a PID to its VID in the tree of ``P(r)`` (Property 4).
+
+    XOR with the same complement — the mapping is an involution.
+    """
+    check_id(pid, m)
+    return pid ^ complement(r, m)

@@ -1,0 +1,28 @@
+"""Evaluation engines.
+
+``fluid`` — steady-state rate-based engine (exact, fast; drives the
+figure reproductions).  ``des_driver`` — request-level discrete-event
+engine over the simulated transport (validates the fluid shapes
+dynamically).
+"""
+
+from .fluid import BalanceResult, FlowResult, FluidSimulation, Placement
+from .multifile import FileSpec, MultiFileBalanceResult, MultiFileFluid
+
+__all__ = [
+    "BalanceResult",
+    "FileSpec",
+    "FlowResult",
+    "FluidSimulation",
+    "MultiFileBalanceResult",
+    "MultiFileFluid",
+    "Placement",
+]
+
+
+def __getattr__(name: str):
+    if name in {"DesExperiment", "DesResult"}:
+        from . import des_driver
+
+        return getattr(des_driver, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

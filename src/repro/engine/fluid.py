@@ -1,0 +1,295 @@
+"""Fluid (steady-state, rate-based) evaluation engine.
+
+The paper's §6 metric is *the number of replicas created to reach a
+load-balanced state* given an aggregate client request rate.  That is a
+steady-state property: demand is a rate vector, routing aggregates
+rates up the lookup tree, a holder's load is the rate it absorbs, and a
+system is balanced when no holder exceeds its capacity.  This engine
+computes the metric exactly and deterministically:
+
+1. **Flow pass** — process live nodes in ascending-VID order; a node
+   holding a copy absorbs its accumulated inflow, anyone else pushes it
+   to its next hop (first alive ancestor, or the storage-node jump at
+   the top of an incomplete tree).  One O(N) pass per round.
+2. **Balance loop** — each round, every overloaded holder places one
+   replica via the active policy (nodes act on what they can currently
+   measure, as they would in a running system); repeat until no holder
+   is overloaded or no policy has a move left.
+
+The next-hop table depends only on liveness, never on replica
+placement, so it is computed once per simulation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import random
+
+import numpy as np
+
+from ..baselines.base import PlacementContext, ReplicationPolicy
+from ..core.errors import ConfigurationError
+from ..core.liveness import LivenessView
+from ..core.routing import first_alive_ancestor, storage_node
+from ..core.tree import LookupTree
+
+__all__ = ["FlowResult", "Placement", "BalanceResult", "FluidSimulation"]
+
+_DIRECT = -1
+"""Forwarder key marking requests that entered straight from a client."""
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Steady-state flows for one holder configuration."""
+
+    served: dict[int, float]
+    """holder PID → request rate it serves."""
+
+    forwarders: dict[int, dict[int, float]]
+    """holder PID → (immediate forwarder PID or -1) → rate contributed."""
+
+    def max_served(self) -> float:
+        return max(self.served.values(), default=0.0)
+
+    def total_served(self) -> float:
+        return float(sum(self.served.values()))
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One replica creation."""
+
+    round: int
+    source: int
+    target: int
+
+
+@dataclass
+class BalanceResult:
+    """Outcome of a balance run."""
+
+    placements: list[Placement]
+    rounds: int
+    flows: FlowResult
+    holders: set[int]
+    unresolved: list[int] = field(default_factory=list)
+
+    @property
+    def replicas_created(self) -> int:
+        return len(self.placements)
+
+    @property
+    def balanced(self) -> bool:
+        return not self.unresolved
+
+
+class FluidSimulation:
+    """Steady-state model of one popular file in a LessLog system."""
+
+    def __init__(
+        self,
+        tree: LookupTree,
+        liveness: LivenessView,
+        entry_rates: np.ndarray,
+        capacity: float,
+        holders: set[int] | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        n = 1 << tree.m
+        # ``capacity`` is a uniform scalar (the paper's model) or a
+        # per-node array (heterogeneous nodes — an extension study).
+        capacities = np.asarray(capacity, dtype=float)
+        if capacities.ndim == 0:
+            capacities = np.full(n, float(capacities))
+        if capacities.shape != (n,):
+            raise ConfigurationError(
+                f"capacity must be a scalar or shape ({n},), got "
+                f"{capacities.shape}"
+            )
+        if np.any(capacities <= 0):
+            raise ConfigurationError("capacities must be positive")
+        entry_rates = np.asarray(entry_rates, dtype=float)
+        if entry_rates.shape != (n,):
+            raise ConfigurationError(
+                f"entry rates must have shape ({n},), got {entry_rates.shape}"
+            )
+        if np.any(entry_rates < 0):
+            raise ConfigurationError("entry rates must be non-negative")
+        self.tree = tree
+        self.liveness = liveness
+        self.entry_rates = entry_rates
+        self.capacities = capacities
+        self.capacity = float(capacities.min())
+        """The tightest node budget (full vector in ``capacities``)."""
+        self.rng = rng if rng is not None else random.Random(0)
+
+        self.home = storage_node(tree, liveness)
+        self.holders: set[int] = set(holders) if holders is not None else {self.home}
+        if self.home not in self.holders:
+            raise ConfigurationError(
+                f"the storage node P({self.home}) must hold the inserted copy"
+            )
+        for pid in range(n):
+            if entry_rates[pid] > 0 and not liveness.is_live(pid):
+                raise ConfigurationError(f"dead node P({pid}) has positive entry rate")
+
+        # Ascending-VID processing order and the liveness-only next-hop
+        # table (replica placement never changes either).
+        self._order: list[int] = []
+        self._next_hop: dict[int, int] = {}
+        for vid in range(n):
+            pid = tree.pid_of(vid)
+            if not liveness.is_live(pid):
+                continue
+            self._order.append(pid)
+            nxt = first_alive_ancestor(tree, pid, liveness)
+            if nxt is None:
+                nxt = self.home if pid != self.home else pid
+            self._next_hop[pid] = nxt
+
+    # -- flow computation -----------------------------------------------
+
+    def compute_flows(self) -> FlowResult:
+        """One ascending-VID aggregation pass (O(live nodes))."""
+        acc = self.entry_rates.copy()
+        served: dict[int, float] = {}
+        forwarders: dict[int, dict[int, float]] = defaultdict(dict)
+        holders = self.holders
+        next_hop = self._next_hop
+        for pid in self._order:
+            inflow = acc[pid]
+            if pid in holders:
+                served[pid] = float(inflow)
+                direct = float(self.entry_rates[pid])
+                if direct > 0:
+                    fw = forwarders[pid]
+                    fw[_DIRECT] = fw.get(_DIRECT, 0.0) + direct
+                continue
+            if inflow <= 0.0:
+                continue
+            nh = next_hop[pid]
+            acc[nh] += inflow
+            if nh in holders:
+                fw = forwarders[nh]
+                fw[pid] = fw.get(pid, 0.0) + float(inflow)
+        return FlowResult(served=served, forwarders=dict(forwarders))
+
+    def overloaded(self, flows: FlowResult | None = None) -> list[int]:
+        """Holders above their own capacity, most overloaded first."""
+        flows = flows if flows is not None else self.compute_flows()
+        over = [
+            h for h, s in flows.served.items() if s > self.capacities[h]
+        ]
+        over.sort(
+            key=lambda p: (
+                -(flows.served[p] - self.capacities[p]),
+                self.tree.vid_of(p),
+            )
+        )
+        return over
+
+    # -- balancing --------------------------------------------------------
+
+    def balance(
+        self,
+        policy: ReplicationPolicy,
+        max_rounds: int = 10_000,
+        serial: bool = False,
+    ) -> BalanceResult:
+        """Create replicas via ``policy`` until no holder is overloaded.
+
+        Round semantics: every currently-overloaded, non-saturated
+        holder places one replica per round, then flows are remeasured.
+        A holder becomes *saturated* when its policy returns no target;
+        it can never unsaturate (children lists only fill up), so the
+        loop terminates: each round either adds a holder or saturates
+        everything still overloaded.
+
+        ``serial=True`` restricts each round to the single most
+        overloaded holder — the fully sequential schedule, used by the
+        concurrency ablation.
+        """
+        placements: list[Placement] = []
+        saturated: set[int] = set()
+        rounds = 0
+        while rounds < max_rounds:
+            flows = self.compute_flows()
+            over = [h for h in self.overloaded(flows) if h not in saturated]
+            if not over:
+                break
+            if serial:
+                over = over[:1]
+            rounds += 1
+            progress = False
+            for h in over:
+                context = PlacementContext(
+                    rng=self.rng,
+                    forwarder_rates=flows.forwarders.get(h, {}),
+                )
+                target = policy.choose(
+                    self.tree, h, self.liveness, self.holders, context
+                )
+                if target is None or target in self.holders:
+                    saturated.add(h)
+                    continue
+                self.holders.add(target)
+                placements.append(Placement(round=rounds, source=h, target=target))
+                progress = True
+            if not progress:
+                break
+        else:
+            raise ConfigurationError(
+                f"balance did not converge within {max_rounds} rounds"
+            )
+        final = self.compute_flows()
+        unresolved = self.overloaded(final)
+        return BalanceResult(
+            placements=placements,
+            rounds=rounds,
+            flows=final,
+            holders=set(self.holders),
+            unresolved=unresolved,
+        )
+
+    # -- counter-based replica removal (§2.2 / §6) ------------------------
+
+    def prune_and_rebalance(
+        self,
+        policy: ReplicationPolicy,
+        threshold: float,
+        max_iterations: int = 100,
+    ) -> tuple[int, BalanceResult]:
+        """Remove cold replicas, re-balance, repeat until stable.
+
+        Returns ``(replicas_pruned, final_balance_result)``.  The
+        inserted copy at the storage node is never pruned.
+        """
+        if threshold < 0:
+            raise ConfigurationError(f"threshold must be non-negative, got {threshold}")
+        pruned_total = 0
+        result = self.balance(policy)
+        for _ in range(max_iterations):
+            flows = self.compute_flows()
+            cold = [
+                h
+                for h in sorted(self.holders)
+                if h != self.home and flows.served.get(h, 0.0) < threshold
+            ]
+            if not cold:
+                break
+            for h in cold:
+                self.holders.discard(h)
+            pruned_total += len(cold)
+            result = self.balance(policy)
+            # If balancing re-created everything we removed, we are at a
+            # fixed point and further pruning would loop.
+            if {p.target for p in result.placements} >= set(cold):
+                break
+        return pruned_total, result
+
+    def replica_count(self) -> int:
+        """Replicas currently in the system (excludes the inserted copy)."""
+        return len(self.holders) - 1

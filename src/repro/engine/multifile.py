@@ -1,0 +1,178 @@
+"""Multi-file fluid evaluation with shared node capacity.
+
+The paper's §6 experiment places a single popular file; a real
+deployment hosts many, and the overload criterion is the node's *total*
+service rate across files.  This engine extends the fluid model to a
+catalog: each file has its own lookup tree and holder set, flows are
+computed per file, loads are summed per node, and an overloaded node
+sheds its locally hottest file via the placement policy — exactly what
+a LessLog node would do with its aggregate request counter.
+
+This is an extension study (the paper's future-work direction of
+"a large-scaled P2P system"), not a reproduction target.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import PlacementContext, ReplicationPolicy
+from ..core.errors import ConfigurationError
+from ..core.liveness import LivenessView
+from ..core.tree import LookupTree
+from .fluid import FluidSimulation
+
+__all__ = ["FileSpec", "MultiFileBalanceResult", "MultiFileFluid"]
+
+
+@dataclass
+class FileSpec:
+    """One catalogued file: its target and its demand vector."""
+
+    name: str
+    target: int
+    entry_rates: np.ndarray
+
+
+@dataclass
+class MultiFileBalanceResult:
+    """Outcome of a multi-file balance run."""
+
+    replicas_created: int
+    placements: list[tuple[str, int, int]] = field(default_factory=list)
+    """(file, source, target) per placement, in order."""
+
+    node_loads: dict[int, float] = field(default_factory=dict)
+    unresolved: list[int] = field(default_factory=list)
+
+    @property
+    def balanced(self) -> bool:
+        return not self.unresolved
+
+    def replicas_of(self, name: str) -> int:
+        return sum(1 for f, _, _ in self.placements if f == name)
+
+
+class MultiFileFluid:
+    """Fluid model over a catalog of files with shared node capacity."""
+
+    def __init__(
+        self,
+        m: int,
+        liveness: LivenessView,
+        files: list[FileSpec],
+        capacity: float,
+        rng: random.Random | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        if not files:
+            raise ConfigurationError("at least one file is required")
+        names = [f.name for f in files]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate file names in catalog")
+        self.m = m
+        self.liveness = liveness
+        self.capacity = capacity
+        self.rng = rng if rng is not None else random.Random(0)
+        self.sims: dict[str, FluidSimulation] = {}
+        for spec in files:
+            tree = LookupTree(spec.target, m)
+            self.sims[spec.name] = FluidSimulation(
+                tree,
+                liveness,
+                spec.entry_rates,
+                capacity=capacity,  # per-file cap unused; we gate on totals
+                rng=self.rng,
+            )
+
+    def _per_file_flows(self) -> dict[str, object]:
+        """One flow pass per file (the per-round measurement)."""
+        return {name: sim.compute_flows() for name, sim in self.sims.items()}
+
+    def node_loads(self) -> dict[int, float]:
+        """Total served rate per node, summed across files."""
+        loads: dict[int, float] = {}
+        for flows in self._per_file_flows().values():
+            for pid, served in flows.served.items():
+                loads[pid] = loads.get(pid, 0.0) + served
+        return loads
+
+    @staticmethod
+    def _hottest_file_at(pid: int, per_file_flows: dict) -> str | None:
+        """The file ``pid`` serves the most traffic for (among holds)."""
+        best, best_rate = None, 0.0
+        for name in sorted(per_file_flows):
+            rate = per_file_flows[name].served.get(pid, 0.0)
+            if rate > best_rate:
+                best, best_rate = name, rate
+        return best
+
+    def balance(
+        self,
+        policy: ReplicationPolicy,
+        max_rounds: int = 10_000,
+    ) -> MultiFileBalanceResult:
+        """Round-based balancing on *total* node load.
+
+        Each round, every overloaded node replicates its locally
+        hottest held file via ``policy``; flows are recomputed between
+        rounds.  A node with no move left is saturated permanently.
+        """
+        placements: list[tuple[str, int, int]] = []
+        saturated: set[int] = set()
+        for _ in range(max_rounds):
+            per_file = self._per_file_flows()
+            loads: dict[int, float] = {}
+            for flows in per_file.values():
+                for pid, served in flows.served.items():
+                    loads[pid] = loads.get(pid, 0.0) + served
+            over = sorted(
+                (pid for pid, load in loads.items()
+                 if load > self.capacity and pid not in saturated),
+                key=lambda p: (-loads[p], p),
+            )
+            if not over:
+                break
+            progress = False
+            for pid in over:
+                name = self._hottest_file_at(pid, per_file)
+                if name is None:
+                    saturated.add(pid)
+                    continue
+                sim = self.sims[name]
+                context = PlacementContext(
+                    rng=self.rng,
+                    forwarder_rates=per_file[name].forwarders.get(pid, {}),
+                )
+                target = policy.choose(
+                    sim.tree, pid, self.liveness, sim.holders, context
+                )
+                if target is None or target in sim.holders:
+                    saturated.add(pid)
+                    continue
+                sim.holders.add(target)
+                placements.append((name, pid, target))
+                progress = True
+            if not progress:
+                break
+        else:
+            raise ConfigurationError(
+                f"multi-file balance did not converge within {max_rounds} rounds"
+            )
+        final = self.node_loads()
+        unresolved = sorted(
+            pid for pid, load in final.items() if load > self.capacity
+        )
+        return MultiFileBalanceResult(
+            replicas_created=len(placements),
+            placements=placements,
+            node_loads=final,
+            unresolved=unresolved,
+        )
+
+    def total_replicas(self) -> int:
+        return sum(sim.replica_count() for sim in self.sims.values())

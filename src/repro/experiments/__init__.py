@@ -1,0 +1,21 @@
+"""Experiment drivers: the paper's figures, structure dumps, extensions."""
+
+from .config import DEAD_FRACTIONS, PAPER_CAPACITY, PAPER_M, PAPER_RATES, FigureConfig
+from .figures import FIGURES, figure5, figure6, figure7, figure8
+from .runner import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = [
+    "DEAD_FRACTIONS",
+    "EXPERIMENTS",
+    "FIGURES",
+    "FigureConfig",
+    "PAPER_CAPACITY",
+    "PAPER_M",
+    "PAPER_RATES",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "list_experiments",
+    "run_experiment",
+]

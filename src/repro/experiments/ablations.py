@@ -1,0 +1,215 @@
+"""Ablation studies for LessLog's design choices.
+
+DESIGN.md calls out three load-bearing decisions; each gets an ablation
+that swaps the decision for a plausible alternative and measures the
+replicas needed to reach balance:
+
+* **Children-list order** (Property 3): LessLog replicates to the
+  *most-offspring* uncopied child.  Ablations: least-offspring first,
+  and a seeded random member of the list.
+* **§3 proportional choice**: at the top of an incomplete tree, blame
+  is split between the node's own children list and the root's,
+  weighted by live-offspring count.  Ablations: always-own and
+  always-root.
+* **Balance concurrency**: overloaded holders act concurrently per
+  measurement round.  Ablation: strictly serial (one placement per
+  round) — the best-case sequential schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Collection
+
+from ..analysis.results import SweepResult
+from ..baselines.base import PlacementContext
+from ..baselines.lesslog_policy import LessLogPolicy
+from ..core.children import advanced_children_list, has_live_node_above
+from ..core.hashing import Psi
+from ..core.liveness import LivenessView
+from ..core.replication import first_uncopied
+from ..core.tree import LookupTree
+from ..engine.fluid import FluidSimulation
+from ..sim.rng import derive_seed
+from ..workloads import UniformDemand
+from .config import FigureConfig
+from .figures import liveness_with_dead_fraction
+
+__all__ = [
+    "LeastOffspringPolicy",
+    "RandomChildPolicy",
+    "OwnListOnlyPolicy",
+    "RootListOnlyPolicy",
+    "children_order_ablation",
+    "proportional_choice_ablation",
+    "concurrency_ablation",
+]
+
+
+class LeastOffspringPolicy:
+    """Children list walked backwards: smallest subtree first."""
+
+    name = "least-offspring"
+
+    def choose(self, tree, k, liveness, holders, context):
+        for pid in reversed(advanced_children_list(tree, k, liveness)):
+            if pid not in holders:
+                return pid
+        return None
+
+
+class RandomChildPolicy:
+    """A random uncopied children-list member (still tree-local)."""
+
+    name = "random-child"
+
+    def choose(self, tree, k, liveness, holders, context):
+        candidates = [
+            pid
+            for pid in advanced_children_list(tree, k, liveness)
+            if pid not in holders
+        ]
+        if not candidates:
+            return None
+        return context.rng.choice(candidates)
+
+
+class OwnListOnlyPolicy:
+    """§3 ablation: the top node always blames its own offspring."""
+
+    name = "own-list-only"
+
+    def choose(self, tree, k, liveness, holders, context):
+        return first_uncopied(tree, k, liveness, holders)
+
+
+class RootListOnlyPolicy:
+    """§3 ablation: the top node always blames the rest of the system."""
+
+    name = "root-list-only"
+
+    def choose(
+        self,
+        tree: LookupTree,
+        k: int,
+        liveness: LivenessView,
+        holders: Collection[int],
+        context: PlacementContext,
+    ):
+        if has_live_node_above(tree, k, liveness):
+            return first_uncopied(tree, k, liveness, holders)
+        target = first_uncopied(tree, tree.root, liveness, holders)
+        if target == k:
+            target = None
+        if target is None:
+            target = first_uncopied(tree, k, liveness, holders)
+        return target
+
+
+def _replicas(config, policy, liveness, rate, label):
+    tree = LookupTree(Psi(config.m)(config.file_name), config.m)
+    rates = UniformDemand().rates(rate, liveness)
+    sim = FluidSimulation(
+        tree,
+        liveness,
+        rates,
+        capacity=config.capacity,
+        rng=random.Random(derive_seed(config.seed, label)),
+    )
+    return sim.balance(policy).replicas_created
+
+
+def children_order_ablation(config: FigureConfig | None = None) -> SweepResult:
+    """Most-offspring vs least-offspring vs random children-list order."""
+    config = config or FigureConfig.fast().with_(m=8)
+    result = SweepResult(
+        experiment="Ablation: children-list ordering (Property 3)",
+        x_label="incoming requests/s",
+        y_label="replicas",
+        notes="Most-offspring-first is the paper's rule.",
+    )
+    liveness = liveness_with_dead_fraction(config.m, 0.0, config.seed)
+    policies = [
+        ("most-offspring (paper)", LessLogPolicy()),
+        ("least-offspring", LeastOffspringPolicy()),
+        ("random-child", RandomChildPolicy()),
+    ]
+    for rate in config.rates:
+        for label, policy in policies:
+            result.add(
+                label, rate, _replicas(config, policy, liveness, rate, label)
+            )
+    return result
+
+
+def proportional_choice_ablation(
+    config: FigureConfig | None = None,
+) -> SweepResult:
+    """§3 proportional split vs its two degenerate variants.
+
+    The scenario that exercises the branch: the target node *and* its
+    largest children are dead, so the storage node sits deep in the
+    tree and its own subtree covers only a sliver of the system, while
+    demand is skewed (80/20 locality).  Blaming only its own offspring
+    then cannot shed the externally-arriving load.
+    """
+    config = config or FigureConfig.fast().with_(m=8)
+    from ..core.liveness import SetLiveness
+    from ..workloads import LocalityDemand
+
+    result = SweepResult(
+        experiment="Ablation: §3 proportional choice at the top node",
+        x_label="incoming requests/s",
+        y_label="value",
+        notes="dead target + its two largest children, 80/20 locality; "
+        "'…unbalanced' = 1 when the variant failed to clear overload.",
+    )
+    target = Psi(config.m)(config.file_name)
+    tree = LookupTree(target, config.m)
+    dead = [target, *tree.children(target)[:2]]
+    liveness = SetLiveness.all_but(config.m, dead=dead)
+    demand = LocalityDemand(seed=5)
+    policies = [
+        ("proportional (paper)", LessLogPolicy),
+        ("own-list-only", OwnListOnlyPolicy),
+        ("root-list-only", RootListOnlyPolicy),
+    ]
+    for rate in config.rates:
+        for label, policy_cls in policies:
+            sim = FluidSimulation(
+                tree,
+                liveness,
+                demand.rates(rate, liveness),
+                capacity=config.capacity,
+                rng=random.Random(derive_seed(config.seed, label)),
+            )
+            balance = sim.balance(policy_cls())
+            result.add(f"{label} replicas", rate, balance.replicas_created)
+            result.add(f"{label} unbalanced", rate, 0 if balance.balanced else 1)
+    return result
+
+
+def concurrency_ablation(config: FigureConfig | None = None) -> SweepResult:
+    """Concurrent rounds (deployed behaviour) vs serial placements."""
+    config = config or FigureConfig.fast().with_(m=8)
+    result = SweepResult(
+        experiment="Ablation: balance-loop concurrency",
+        x_label="incoming requests/s",
+        y_label="value",
+        notes="serial = one placement per measurement round.",
+    )
+    liveness = liveness_with_dead_fraction(config.m, 0.0, config.seed)
+    tree = LookupTree(Psi(config.m)(config.file_name), config.m)
+    for rate in config.rates:
+        rates = UniformDemand().rates(rate, liveness)
+        for label, serial in (("concurrent replicas", False), ("serial replicas", True)):
+            sim = FluidSimulation(
+                tree, liveness, rates, capacity=config.capacity,
+                rng=random.Random(config.seed),
+            )
+            balance = sim.balance(LessLogPolicy(), serial=serial)
+            result.add(label, rate, balance.replicas_created)
+            result.add(
+                label.replace("replicas", "rounds"), rate, balance.rounds
+            )
+    return result

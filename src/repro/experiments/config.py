@@ -1,0 +1,65 @@
+"""Experiment configuration.
+
+Paper parameters (§6): ``m = 10`` (a 1024-slot identifier space),
+``b = 0``, node capacity 100 requests/second, aggregate demand swept
+from 1,000 to 20,000 requests/second.  ``FigureConfig.fast()`` gives a
+reduced sweep for CI-speed benchmark runs; ``FigureConfig.paper()`` is
+the full grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["FigureConfig", "PAPER_M", "PAPER_CAPACITY", "PAPER_RATES", "DEAD_FRACTIONS"]
+
+PAPER_M = 10
+PAPER_CAPACITY = 100.0
+PAPER_RATES: tuple[float, ...] = tuple(float(r) for r in range(1000, 20001, 1000))
+DEAD_FRACTIONS: tuple[float, ...] = (0.1, 0.2, 0.3)
+"""Figure 6/8 dead-node fractions."""
+
+
+@dataclass(frozen=True)
+class FigureConfig:
+    """Parameters shared by all figure reproductions."""
+
+    m: int = PAPER_M
+    capacity: float = PAPER_CAPACITY
+    rates: tuple[float, ...] = PAPER_RATES
+    seed: int = 0
+    file_name: str = "popular-file"
+    hot_fraction: float = 0.2
+    hot_share: float = 0.8
+    workers: int = 1
+    """Worker processes for sweep cells (1 = serial in-process)."""
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if not self.rates:
+            raise ConfigurationError("at least one demand rate is required")
+        if any(r <= 0 for r in self.rates):
+            raise ConfigurationError("demand rates must be positive")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+
+    @classmethod
+    def paper(cls) -> "FigureConfig":
+        """The full §6 parameter grid."""
+        return cls()
+
+    @classmethod
+    def fast(cls) -> "FigureConfig":
+        """A reduced sweep: same system size, five demand points."""
+        return cls(rates=tuple(float(r) for r in range(4000, 20001, 4000)))
+
+    @classmethod
+    def tiny(cls) -> "FigureConfig":
+        """A small system for unit tests (m=6, three points)."""
+        return cls(m=6, rates=(500.0, 1000.0, 2000.0))
+
+    def with_(self, **changes) -> "FigureConfig":
+        return replace(self, **changes)

@@ -1,0 +1,434 @@
+"""Extension studies beyond the paper's four figures.
+
+Each exercises a claim or mechanism the paper states but does not
+measure:
+
+* :func:`lookup_path_lengths` — §1's "lookup time bounded at O(log N)",
+  with Chord (related work) as the comparator on the same node sets.
+* :func:`prune_ablation` — §2.2/§6's counter-based replica removal:
+  how many replicas survive after demand drops, per threshold.
+* :func:`fault_tolerance_study` — §4: file survivability and storage
+  overhead as ``b`` grows, under repeated random crashes.
+* :func:`churn_study` — §8 future work: faults and migrations under a
+  dynamic join/leave/fail schedule.
+* :func:`engine_agreement` — cross-validation: fluid vs DES replica
+  counts on the same small configurations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..analysis.results import SweepResult
+from ..baselines import ChordRing, LessLogPolicy
+from ..cluster.faults import ChurnSchedule
+from ..cluster.system import LessLogSystem
+from ..core.errors import FileNotFoundInSystemError
+from ..core.hashing import Psi
+from ..core.liveness import SetLiveness
+from ..core.routing import route_length
+from ..core.tree import LookupTree
+from ..engine.des_driver import DesExperiment
+from ..engine.fluid import FluidSimulation
+from ..sim.rng import derive_seed
+from ..workloads import UniformDemand
+
+__all__ = [
+    "lookup_path_lengths",
+    "scalability_study",
+    "replica_decay_study",
+    "heterogeneity_study",
+    "gossip_staleness_study",
+    "prune_ablation",
+    "fault_tolerance_study",
+    "churn_study",
+    "engine_agreement",
+]
+
+
+def lookup_path_lengths(
+    widths: tuple[int, ...] = (4, 6, 8, 10),
+    samples: int = 200,
+    seed: int = 0,
+) -> SweepResult:
+    """Mean and max lookup hops vs system size, LessLog vs Chord."""
+    result = SweepResult(
+        experiment="Extension: lookup path length vs N",
+        x_label="N (nodes)",
+        y_label="hops",
+        notes="LessLog and Chord are O(log N) (LessLog max = m by design); CAN(d=2) grows as sqrt(N).",
+    )
+    from ..baselines import CanGrid
+
+    for m in widths:
+        n = 1 << m
+        rng = random.Random(derive_seed(seed, f"lookup:{m}"))
+        target = rng.randrange(n)
+        tree = LookupTree(target, m)
+        liveness = SetLiveness(m, range(n))
+        ring = ChordRing(m, range(n))
+        entries = [rng.randrange(n) for _ in range(samples)]
+        ll_hops = [route_length(tree, e, liveness) for e in entries]
+        ch_hops = [ring.lookup_hops(e, target) for e in entries]
+        result.add("lesslog mean", n, sum(ll_hops) / len(ll_hops))
+        result.add("lesslog max", n, max(ll_hops))
+        result.add("chord mean", n, sum(ch_hops) / len(ch_hops))
+        result.add("chord max", n, max(ch_hops))
+        if m % 2 == 0:
+            # CAN (d=2) needs a square lattice: side = 2**(m/2).
+            grid = CanGrid(2, 1 << (m // 2))
+            can_hops = [grid.lookup_hops(e, "popular-file") for e in entries]
+            result.add("can(d=2) mean", n, sum(can_hops) / len(can_hops))
+            result.add("can(d=2) max", n, max(can_hops))
+    return result
+
+
+def prune_ablation(
+    m: int = 8,
+    capacity: float = 100.0,
+    peak_rate: float = 4000.0,
+    trough_rate: float = 400.0,
+    thresholds: tuple[float, ...] = (1.0, 5.0, 10.0, 25.0, 50.0),
+    seed: int = 0,
+) -> SweepResult:
+    """Replica counts after demand drops, with and without pruning.
+
+    Balance at ``peak_rate``, drop demand to ``trough_rate``, then run
+    the counter-based removal at each threshold.
+    """
+    result = SweepResult(
+        experiment="Extension: counter-based replica removal",
+        x_label="prune threshold (req/s)",
+        y_label="replicas",
+        notes=f"Balanced at {peak_rate} req/s, demand dropped to {trough_rate}.",
+    )
+    target = Psi(m)("popular-file")
+    for threshold in thresholds:
+        tree = LookupTree(target, m)
+        liveness = SetLiveness(m, range(1 << m))
+        demand = UniformDemand()
+        sim = FluidSimulation(
+            tree,
+            liveness,
+            demand.rates(peak_rate, liveness),
+            capacity=capacity,
+            rng=random.Random(seed),
+        )
+        peak = sim.balance(LessLogPolicy())
+        result.add("before prune", threshold, peak.replicas_created)
+        sim.entry_rates = demand.rates(trough_rate, liveness)
+        pruned, _ = sim.prune_and_rebalance(LessLogPolicy(), threshold=threshold)
+        result.add("after prune", threshold, sim.replica_count())
+        result.add("pruned", threshold, pruned)
+    return result
+
+
+def fault_tolerance_study(
+    m: int = 7,
+    bs: tuple[int, ...] = (0, 1, 2, 3),
+    files: int = 40,
+    crashes: int = 30,
+    seed: int = 0,
+) -> SweepResult:
+    """File survivability and storage overhead vs fault-tolerance degree.
+
+    For each ``b``: insert ``files`` files, crash ``crashes`` random
+    nodes one at a time (§5.3 recovery runs after each), then report
+    the fraction of files still readable and the initial storage
+    overhead (copies per file).
+    """
+    result = SweepResult(
+        experiment="Extension: fault tolerance vs b",
+        x_label="b (2^b copies per file)",
+        y_label="value",
+        notes=f"{files} files, {crashes} sequential crashes, m={m}.",
+    )
+    for b in bs:
+        system = LessLogSystem.build(m=m, b=b, seed=seed)
+        total_copies = 0
+        for i in range(files):
+            total_copies += len(system.insert(f"file-{i}", payload=i).homes)
+        rng = random.Random(derive_seed(seed, f"ft:{b}"))
+        for _ in range(crashes):
+            live = list(system.membership.live_pids())
+            if len(live) <= 1:
+                break
+            system.fail(rng.choice(live))
+        entry = next(iter(system.membership.live_pids()))
+        readable = 0
+        for i in range(files):
+            try:
+                system.get(f"file-{i}", entry=entry)
+                readable += 1
+            except FileNotFoundInSystemError:
+                pass
+        result.add("survival fraction", b, readable / files)
+        result.add("copies per file", b, total_copies / files)
+    return result
+
+
+def churn_study(
+    m: int = 7,
+    b: int = 1,
+    files: int = 30,
+    duration: float = 120.0,
+    rates: tuple[float, ...] = (0.1, 0.5, 1.0, 2.0),
+    seed: int = 0,
+) -> SweepResult:
+    """Losses and migrations under increasing churn intensity."""
+    result = SweepResult(
+        experiment="Extension: churn",
+        x_label="churn events/s",
+        y_label="count",
+        notes=f"{files} files, {duration}s of churn, m={m}, b={b}.",
+    )
+    for rate in rates:
+        system = LessLogSystem.build(m=m, b=b, n_live=(1 << m) * 3 // 4, seed=seed)
+        for i in range(files):
+            system.insert(f"file-{i}", payload=i)
+        schedule = ChurnSchedule.generate(
+            system, duration=duration, rate=rate, seed=derive_seed(seed, f"churn:{rate}")
+        )
+        schedule.apply_all(system)
+        system.check_invariants()
+        entry = next(iter(system.membership.live_pids()))
+        readable = sum(
+            1
+            for i in range(files)
+            if _readable(system, f"file-{i}", entry)
+        )
+        result.add("events applied", rate, len(schedule))
+        result.add("files readable", rate, readable)
+        result.add("files lost", rate, len(set(system.faults)))
+    return result
+
+
+def _readable(system: LessLogSystem, name: str, entry: int) -> bool:
+    try:
+        system.get(name, entry=entry)
+        return True
+    except FileNotFoundInSystemError:
+        return False
+
+
+def scalability_study(
+    widths: tuple[int, ...] = (8, 10, 12, 14),
+    total_rate: float = 20_000.0,
+    capacity: float = 100.0,
+    seed: int = 0,
+) -> SweepResult:
+    """Replica demand and lookup cost as the system grows.
+
+    The paper's §8 future work is "a large-scaled P2P system"; this
+    study scales N from 256 to 16,384 identifiers at fixed demand.  Two
+    properties should emerge: the replica count needed for balance
+    depends on demand/capacity, *not* on N, while the mean lookup path
+    grows as m/2 (the O(log N) bound of §1).
+    """
+    result = SweepResult(
+        experiment="Extension: scalability in N",
+        x_label="N (nodes)",
+        y_label="value",
+        notes=f"fixed demand {total_rate:.0f} req/s, capacity {capacity:.0f}.",
+    )
+    demand = UniformDemand()
+    for m in widths:
+        n = 1 << m
+        target = Psi(m)("popular-file")
+        liveness = SetLiveness(m, range(n))
+        tree = LookupTree(target, m)
+        sim = FluidSimulation(
+            tree,
+            liveness,
+            demand.rates(total_rate, liveness),
+            capacity=capacity,
+            rng=random.Random(derive_seed(seed, f"scale:{m}")),
+        )
+        balance = sim.balance(LessLogPolicy())
+        rng = random.Random(derive_seed(seed, f"scale-entries:{m}"))
+        entries = [rng.randrange(n) for _ in range(200)]
+        hops = [route_length(tree, e, liveness) for e in entries]
+        result.add("replicas to balance", n, balance.replicas_created)
+        result.add("balance rounds", n, balance.rounds)
+        result.add("mean lookup hops", n, sum(hops) / len(hops))
+    return result
+
+
+def heterogeneity_study(
+    m: int = 8,
+    total_rate: float = 4000.0,
+    mean_capacity: float = 100.0,
+    cvs: tuple[float, ...] = (0.0, 0.25, 0.5, 1.0),
+    seed: int = 0,
+) -> SweepResult:
+    """Replica cost of heterogeneous node capacities (extension).
+
+    The paper assumes every node serves 100 req/s; real peers differ.
+    Per-node capacities are drawn lognormally with fixed mean and
+    increasing coefficient of variation: weaker nodes overload sooner,
+    so more replicas are needed to reach a balanced state — and some
+    placements become unresolvable when a weak node's *direct* client
+    load already exceeds its budget.
+    """
+    import numpy as np
+
+    result = SweepResult(
+        experiment="Extension: heterogeneous node capacities",
+        x_label="capacity coefficient of variation",
+        y_label="value",
+        notes=f"lognormal capacities, mean {mean_capacity:.0f} req/s; "
+        f"demand {total_rate:.0f} req/s, m={m}.",
+    )
+    liveness = SetLiveness(m, range(1 << m))
+    demand = UniformDemand()
+    target = Psi(m)("popular-file")
+    for cv in cvs:
+        if cv == 0.0:
+            capacities = np.full(1 << m, mean_capacity)
+        else:
+            sigma = float(np.sqrt(np.log(1 + cv**2)))
+            mu = float(np.log(mean_capacity)) - sigma**2 / 2
+            gen = np.random.default_rng(derive_seed(seed, f"hetero:{cv}"))
+            capacities = gen.lognormal(mu, sigma, size=1 << m)
+        sim = FluidSimulation(
+            LookupTree(target, m),
+            liveness,
+            demand.rates(total_rate, liveness),
+            capacity=capacities,
+            rng=random.Random(derive_seed(seed, f"hetero-rng:{cv}")),
+        )
+        balance = sim.balance(LessLogPolicy())
+        result.add("replicas", cv, balance.replicas_created)
+        result.add("unresolved nodes", cv, len(balance.unresolved))
+    return result
+
+
+def replica_decay_study(
+    m: int = 6,
+    crowd_rate: float = 1200.0,
+    quiet_scale: float = 0.05,
+    capacity: float = 100.0,
+    thresholds: tuple[float, ...] = (0.0, 2.0, 5.0, 10.0),
+    seed: int = 1,
+) -> SweepResult:
+    """Counter-based removal in the request-level simulation.
+
+    A flash crowd drives replication up; demand then collapses to
+    ``quiet_scale`` of the peak.  With the removal mechanism enabled
+    (threshold > 0), nodes autonomously drop their now-cold replicas —
+    the dynamic version of §2.2's "simple counter-based mechanism".
+    """
+    result = SweepResult(
+        experiment="Extension: counter-based removal under a flash crowd (DES)",
+        x_label="removal threshold (req/s)",
+        y_label="replicas",
+        notes=f"crowd {crowd_rate:.0f} req/s for 10s, then {quiet_scale:.0%} "
+        "of that for 15s.",
+    )
+    liveness = SetLiveness(m, range(1 << m))
+    rates = UniformDemand().rates(crowd_rate, liveness)
+    target = Psi(m)("popular-file")
+    for threshold in thresholds:
+        exp = DesExperiment(
+            m=m,
+            target=target,
+            entry_rates=rates,
+            capacity=capacity,
+            removal_threshold=threshold,
+            seed=seed,
+        )
+        run, series = exp.run_schedule([(10.0, 1.0), (15.0, quiet_scale)])
+        peak = max(count for _, count in series)
+        final = series[-1][1]
+        result.add("peak replicas", threshold, peak)
+        result.add("final replicas", threshold, final)
+        result.add(
+            "removed", threshold,
+            exp.metrics.counter("des.replicas_removed").value,
+        )
+    return result
+
+
+def gossip_staleness_study(
+    m: int = 5,
+    total_rate: float = 500.0,
+    delays: tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 4.0),
+    seed: int = 3,
+) -> SweepResult:
+    """Requests lost to stale status words after a crash (§5 gossip).
+
+    In gossip mode a crash is only visible to peers once a detector
+    broadcast lands; until then they keep routing into the corpse and
+    the transport drops those messages.  Sweeping the detection delay
+    measures the price of slow failure detection.
+    """
+    result = SweepResult(
+        experiment="Extension: stale status words after a crash",
+        x_label="detection delay (s)",
+        y_label="count",
+        notes=f"{total_rate:.0f} req/s; crash at t=2s of an 8s run.",
+    )
+    liveness = SetLiveness(m, range(1 << m))
+    rates = UniformDemand().rates(total_rate, liveness)
+    target = Psi(m)("popular-file")
+    for delay in delays:
+        exp = DesExperiment(
+            m=m,
+            target=target,
+            entry_rates=rates,
+            capacity=1e9,
+            gossip=True,
+            detection_delay=delay,
+            seed=seed,
+        )
+        victim = exp.tree.children(target)[0]
+        exp.fail_node(victim, at_time=2.0)
+        run = exp.run(duration=8.0)
+        lost = run.requests_sent - run.requests_served - run.faults
+        result.add("requests lost", delay, lost)
+        result.add(
+            "messages dropped", delay,
+            exp.metrics.counter("transport.dropped_dead").value,
+        )
+    return result
+
+
+def engine_agreement(
+    m: int = 6,
+    capacity: float = 100.0,
+    rates: tuple[float, ...] = (400.0, 800.0, 1600.0),
+    duration: float = 12.0,
+    seed: int = 0,
+) -> SweepResult:
+    """Fluid vs DES replica counts on matched configurations."""
+    result = SweepResult(
+        experiment="Extension: fluid vs DES agreement",
+        x_label="incoming requests/s",
+        y_label="replicas",
+        notes="The two engines should agree within measurement noise.",
+    )
+    target = Psi(m)("popular-file")
+    liveness = SetLiveness(m, range(1 << m))
+    demand = UniformDemand()
+    for rate in rates:
+        entry_rates = demand.rates(rate, liveness)
+        fluid = FluidSimulation(
+            LookupTree(target, m),
+            liveness,
+            entry_rates,
+            capacity=capacity,
+            rng=random.Random(seed),
+        )
+        fluid_replicas = fluid.balance(LessLogPolicy()).replicas_created
+        des = DesExperiment(
+            m=m,
+            target=target,
+            entry_rates=entry_rates,
+            capacity=capacity,
+            policy=LessLogPolicy(),
+            seed=seed,
+        )
+        des_replicas = des.run(duration=duration).replicas_created
+        result.add("fluid", rate, fluid_replicas)
+        result.add("des", rate, des_replicas)
+    return result

@@ -1,0 +1,191 @@
+"""Reproduction drivers for the paper's evaluation figures (§6).
+
+Each ``figureN`` function regenerates the data behind the corresponding
+paper figure as a :class:`~repro.analysis.results.SweepResult`:
+
+* **Figure 5** — replicas-to-balance vs demand; log-based vs LessLog vs
+  random, evenly-distributed load, all 1024 identifiers live.
+* **Figure 6** — LessLog only, evenly-distributed load, with 10/20/30 %
+  dead nodes.
+* **Figure 7** — as Figure 5 under the 80/20 locality model.
+* **Figure 8** — as Figure 6 under the 80/20 locality model.
+
+All four share :func:`replicas_to_balance`, which builds the fluid
+simulation for one (policy, demand, liveness, rate) cell.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..analysis.results import SweepResult
+from ..baselines import make_policy
+from ..core.hashing import Psi
+from ..core.liveness import AllLive, LivenessView, SetLiveness
+from ..core.tree import LookupTree
+from ..engine.fluid import FluidSimulation
+from ..sim.rng import derive_seed
+from ..workloads import LocalityDemand, UniformDemand
+from ..workloads.base import DemandModel
+from .config import DEAD_FRACTIONS, FigureConfig
+from .parallel import map_cells
+
+__all__ = [
+    "target_of",
+    "liveness_with_dead_fraction",
+    "replicas_to_balance",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "FIGURES",
+]
+
+POLICY_NAMES = ("log-based", "lesslog", "random")
+
+
+def target_of(config: FigureConfig) -> int:
+    """The popular file's target PID, ``ψ(file_name)``."""
+    return Psi(config.m)(config.file_name)
+
+
+def liveness_with_dead_fraction(
+    m: int, fraction: float, seed: int
+) -> LivenessView:
+    """A seeded liveness pattern with ``fraction`` of identifiers dead."""
+    if fraction <= 0:
+        return AllLive(m)
+    n = 1 << m
+    count = round(fraction * n)
+    if count >= n:
+        raise ValueError(f"dead fraction {fraction} leaves no live nodes")
+    rng = random.Random(derive_seed(seed, f"dead:{fraction}"))
+    dead = rng.sample(range(n), count)
+    return SetLiveness.all_but(m, dead=dead)
+
+
+def replicas_to_balance(
+    config: FigureConfig,
+    policy_name: str,
+    demand: DemandModel,
+    liveness: LivenessView,
+    total_rate: float,
+) -> int:
+    """Replicas the policy creates to balance one demand level."""
+    tree = LookupTree(target_of(config), config.m)
+    rates = demand.rates(total_rate, liveness)
+    rng = random.Random(
+        derive_seed(config.seed, f"{policy_name}:{total_rate}")
+    )
+    sim = FluidSimulation(
+        tree, liveness, rates, capacity=config.capacity, rng=rng
+    )
+    result = sim.balance(make_policy(policy_name))
+    return result.replicas_created
+
+
+def _policy_sweep(
+    config: FigureConfig, demand: DemandModel, experiment: str, note: str
+) -> SweepResult:
+    result = SweepResult(
+        experiment=experiment,
+        x_label="incoming requests/s",
+        y_label="replicas",
+        notes=note,
+    )
+    liveness = AllLive(config.m)
+    cells = [
+        (config, policy_name, demand, liveness, rate)
+        for rate in config.rates
+        for policy_name in POLICY_NAMES
+    ]
+    values = map_cells(replicas_to_balance, cells, workers=config.workers)
+    for (_cfg, policy_name, _demand, _live, rate), value in zip(cells, values):
+        result.add(policy_name, rate, value)
+    return result
+
+
+def _dead_sweep(
+    config: FigureConfig, demand: DemandModel, experiment: str, note: str
+) -> SweepResult:
+    result = SweepResult(
+        experiment=experiment,
+        x_label="incoming requests/s",
+        y_label="replicas",
+        notes=note,
+    )
+    cells = []
+    labels = []
+    for fraction in DEAD_FRACTIONS:
+        liveness = liveness_with_dead_fraction(config.m, fraction, config.seed)
+        label = f"{round(fraction * 100)}% dead"
+        for rate in config.rates:
+            cells.append((config, "lesslog", demand, liveness, rate))
+            labels.append((label, rate))
+    values = map_cells(replicas_to_balance, cells, workers=config.workers)
+    for (label, rate), value in zip(labels, values):
+        result.add(label, rate, value)
+    return result
+
+
+def figure5(config: FigureConfig | None = None) -> SweepResult:
+    """Figure 5: evenly-distributed load, three policies, all live."""
+    config = config or FigureConfig.paper()
+    return _policy_sweep(
+        config,
+        UniformDemand(),
+        "Figure 5: evenly-distributed load",
+        "Expected shape: random >> lesslog ~= log-based.",
+    )
+
+
+def figure6(config: FigureConfig | None = None) -> SweepResult:
+    """Figure 6: LessLog under 10/20/30 % dead nodes, even load."""
+    config = config or FigureConfig.paper()
+    return _dead_sweep(
+        config,
+        UniformDemand(),
+        "Figure 6: evenly-distributed load on LessLog with dead nodes",
+        "Expected shape: similar replica counts across dead fractions.",
+    )
+
+
+def figure7(config: FigureConfig | None = None) -> SweepResult:
+    """Figure 7: 80/20 locality model, three policies, all live."""
+    config = config or FigureConfig.paper()
+    demand = LocalityDemand(
+        hot_fraction=config.hot_fraction,
+        hot_share=config.hot_share,
+        seed=config.seed,
+    )
+    return _policy_sweep(
+        config,
+        demand,
+        "Figure 7: locality model (80% of requests on 20% of nodes)",
+        "Expected shape: random >> lesslog >= log-based.",
+    )
+
+
+def figure8(config: FigureConfig | None = None) -> SweepResult:
+    """Figure 8: locality model on LessLog with dead nodes."""
+    config = config or FigureConfig.paper()
+    demand = LocalityDemand(
+        hot_fraction=config.hot_fraction,
+        hot_share=config.hot_share,
+        seed=config.seed,
+    )
+    return _dead_sweep(
+        config,
+        demand,
+        "Figure 8: locality model on LessLog with dead nodes",
+        "Expected shape: similar replica counts across dead fractions.",
+    )
+
+
+FIGURES = {
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+}
+"""Registry of figure reproductions (used by the CLI and benchmarks)."""

@@ -1,0 +1,43 @@
+"""Process-parallel execution of experiment sweep cells.
+
+Every figure is a grid of fully independent (series, rate) cells — each
+builds its own seeded :class:`~repro.engine.fluid.FluidSimulation` and
+shares nothing — so the sweep parallelises trivially across processes.
+Determinism is preserved: a cell's seed depends only on its labels, so
+serial and parallel runs produce byte-identical tables.
+
+Used by the figure drivers when ``FigureConfig.workers > 1`` and by the
+CLI's ``lesslog run --workers N``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, TypeVar
+
+__all__ = ["map_cells"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def map_cells(
+    fn: Callable[..., R],
+    cells: Sequence[tuple[Any, ...]],
+    workers: int = 1,
+) -> list[R]:
+    """Apply ``fn(*cell)`` to every cell, preserving order.
+
+    ``workers == 1`` runs in-process (no fork overhead, easier
+    debugging); otherwise a ``ProcessPoolExecutor`` fans the cells out.
+    ``fn`` and every cell element must be picklable for the parallel
+    path.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    if workers == 1 or len(cells) <= 1:
+        return [fn(*cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        futures = [pool.submit(fn, *cell) for cell in cells]
+        return [future.result() for future in futures]

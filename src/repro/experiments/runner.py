@@ -1,0 +1,128 @@
+"""Experiment registry and runner.
+
+Maps experiment ids (the ones DESIGN.md's per-experiment index uses) to
+callables producing :class:`~repro.analysis.results.SweepResult`, and
+provides the run-and-render entry the CLI and benchmark harness share.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..analysis.results import SweepResult
+from .ablations import (
+    children_order_ablation,
+    concurrency_ablation,
+    proportional_choice_ablation,
+)
+from .config import FigureConfig
+from .extensions import (
+    churn_study,
+    engine_agreement,
+    fault_tolerance_study,
+    gossip_staleness_study,
+    heterogeneity_study,
+    lookup_path_lengths,
+    prune_ablation,
+    replica_decay_study,
+    scalability_study,
+)
+from .figures import figure5, figure6, figure7, figure8
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+
+
+def _fig(fn: Callable[[FigureConfig | None], SweepResult]):
+    def run(fast: bool = False, workers: int = 1) -> SweepResult:
+        config = FigureConfig.fast() if fast else FigureConfig.paper()
+        return fn(config.with_(workers=workers))
+
+    return run
+
+
+def _ext(fn: Callable[..., SweepResult]):
+    def run(fast: bool = False) -> SweepResult:
+        # Extensions are already CI-sized; fast mode shrinks them a bit.
+        if not fast:
+            return fn()
+        import inspect
+
+        params = inspect.signature(fn).parameters
+        kwargs = {}
+        if "samples" in params:
+            kwargs["samples"] = 50
+        if "crashes" in params:
+            kwargs["crashes"] = 10
+        if "files" in params:
+            kwargs["files"] = 10
+        if "duration" in params and fn is churn_study:
+            kwargs["duration"] = 30.0
+        if "rates" in params and fn is engine_agreement:
+            kwargs["rates"] = (400.0, 800.0)
+        if "widths" in params and fn is scalability_study:
+            kwargs["widths"] = (8, 10, 12)
+        if "thresholds" in params and fn is replica_decay_study:
+            kwargs["thresholds"] = (0.0, 5.0)
+        if "delays" in params and fn is gossip_staleness_study:
+            kwargs["delays"] = (0.5, 2.0)
+        if "cvs" in params and fn is heterogeneity_study:
+            kwargs["cvs"] = (0.0, 0.5)
+        return fn(**kwargs)
+
+    return run
+
+
+def _abl(fn: Callable[..., SweepResult]):
+    # Ablations run at m=8; rates stay below the locality-feasibility
+    # ceiling there (~6.3k req/s — above it the hot nodes' direct
+    # client load alone exceeds capacity, for every policy).
+    def run(fast: bool = False) -> SweepResult:
+        rates = (2000.0, 6000.0) if fast else (1000.0, 2000.0, 4000.0, 6000.0)
+        return fn(FigureConfig.fast().with_(m=8, rates=rates))
+
+    return run
+
+
+EXPERIMENTS: dict[str, Callable[..., SweepResult]] = {
+    "fig5": _fig(figure5),
+    "fig6": _fig(figure6),
+    "fig7": _fig(figure7),
+    "fig8": _fig(figure8),
+    "ext-lookup": _ext(lookup_path_lengths),
+    "ext-prune": _ext(prune_ablation),
+    "ext-ft": _ext(fault_tolerance_study),
+    "ext-churn": _ext(churn_study),
+    "ext-des": _ext(engine_agreement),
+    "ext-scale": _ext(scalability_study),
+    "ext-decay": _ext(replica_decay_study),
+    "ext-gossip": _ext(gossip_staleness_study),
+    "ext-hetero": _ext(heterogeneity_study),
+    "abl-order": _abl(children_order_ablation),
+    "abl-proportional": _abl(proportional_choice_ablation),
+    "abl-concurrency": _abl(concurrency_ablation),
+}
+
+
+def list_experiments() -> list[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, fast: bool = False, workers: int = 1
+) -> SweepResult:
+    """Run one experiment by id; raises ``KeyError`` for unknown ids.
+
+    ``workers`` parallelises sweep cells for the figure experiments;
+    extensions and ablations ignore it (their cells share state).
+    """
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {list_experiments()}"
+        ) from None
+    import inspect
+
+    if "workers" in inspect.signature(runner).parameters:
+        return runner(fast=fast, workers=workers)
+    return runner(fast=fast)

@@ -1,0 +1,115 @@
+"""Regeneration of the paper's structural figures (Figures 1–4).
+
+These are not measurements but worked examples of the tree algebra; we
+regenerate them exactly so the reproduction is checkable line-by-line
+against the paper:
+
+* **Figure 1** — the virtual lookup tree of a 16-node system.
+* **Figure 2** — the physical lookup tree of ``P(4)``, 16 nodes.
+* **Figure 3** — the tree of ``P(4)`` in a 14-node system with
+  ``P(0)``, ``P(5)`` dead, and the redefined children list.
+* **Figure 4** — the ``b = 2`` subtree decomposition of the tree of
+  ``P(4)``.
+"""
+
+from __future__ import annotations
+
+from ..core.bits import to_binary
+from ..core.children import advanced_children_list, basic_children_list
+from ..core.liveness import SetLiveness
+from ..core.subtree import SubtreeView
+from ..core.tree import LookupTree, VirtualTree
+
+__all__ = ["figure1_data", "figure2_data", "figure3_data", "figure4_data", "render_all"]
+
+
+def figure1_data(m: int = 4) -> dict:
+    """Virtual tree facts: children and offspring per VID."""
+    tree = VirtualTree(m)
+    return {
+        "m": m,
+        "root": to_binary(tree.root, m),
+        "children": {
+            to_binary(v, m): [to_binary(c, m) for c in tree.children(v)]
+            for v in range(tree.size)
+            if tree.children(v)
+        },
+        "offspring": {
+            to_binary(v, m): tree.offspring_count(v) for v in range(tree.size)
+        },
+    }
+
+
+def figure2_data(root: int = 4, m: int = 4) -> dict:
+    """Physical tree of ``P(root)``: VID↔PID map and children list."""
+    tree = LookupTree(root, m)
+    return {
+        "root": root,
+        "m": m,
+        "pid_of_vid": {to_binary(v, m): tree.pid_of(v) for v in range(tree.size)},
+        "children_list": basic_children_list(tree, root),
+        "render": tree.render(),
+        "example_route": tree.path_to_root(8),
+    }
+
+
+def figure3_data(root: int = 4, m: int = 4, dead: tuple[int, ...] = (0, 5)) -> dict:
+    """The 14-node example: dead nodes and the redefined children list."""
+    tree = LookupTree(root, m)
+    liveness = SetLiveness.all_but(m, dead=list(dead))
+    return {
+        "root": root,
+        "dead": sorted(dead),
+        "n_live": liveness.live_count(),
+        "children_list": advanced_children_list(tree, root, liveness),
+        "children_list_vids": [
+            to_binary(tree.vid_of(p), m)
+            for p in advanced_children_list(tree, root, liveness)
+        ],
+    }
+
+
+def figure4_data(root: int = 4, m: int = 4, b: int = 2) -> dict:
+    """The 2**b-subtree split: members and roots per subtree id."""
+    tree = LookupTree(root, m)
+    views = [SubtreeView(tree, b, sid) for sid in range(1 << b)]
+    return {
+        "root": root,
+        "b": b,
+        "subtrees": {
+            to_binary(view.sid, b): {
+                "members": view.members(),
+                "root_pid": view.root_pid,
+                "root_svid": to_binary(
+                    view.svid_of(view.root_pid), m - b
+                ),
+            }
+            for view in views
+        },
+    }
+
+
+def render_all() -> str:
+    """Human-readable dump of all four structural figures."""
+    f1, f2 = figure1_data(), figure2_data()
+    f3, f4 = figure3_data(), figure4_data()
+    lines = [
+        "Figure 1: virtual lookup tree (m=4)",
+        f"  root VID = {f1['root']}",
+        "  children of the root: " + ", ".join(f1["children"][f1["root"]]),
+        "",
+        "Figure 2: lookup tree of P(4) in a 16-node system",
+        f2["render"],
+        f"  children list of P(4): {f2['children_list']}",
+        f"  route P(8) -> P(4): {f2['example_route']}",
+        "",
+        "Figure 3: lookup tree of P(4), 14 nodes, P(0)/P(5) dead",
+        f"  children list of P(4): {f3['children_list']}",
+        "",
+        "Figure 4: b=2 subtree split of the tree of P(4)",
+    ]
+    for sid, info in f4["subtrees"].items():
+        lines.append(
+            f"  subtree {sid}: members={info['members']} root=P({info['root_pid']})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Simulated network substrate: messages, latency models, transport."""
+
+from .message import Message, MessageKind
+from .topology import (
+    ConstantLatency,
+    CoordinateLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from .transport import Transport
+
+__all__ = [
+    "ConstantLatency",
+    "CoordinateLatency",
+    "LatencyModel",
+    "Message",
+    "MessageKind",
+    "Transport",
+    "UniformLatency",
+]

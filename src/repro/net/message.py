@@ -1,0 +1,73 @@
+"""Message types exchanged between simulated nodes.
+
+The LessLog protocol needs only a handful of message kinds — the file
+operations of §2.2/§3 plus membership broadcasts from §5.  Messages are
+small immutable records; payloads ride along untouched.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any
+
+__all__ = ["MessageKind", "Message"]
+
+_msg_ids = itertools.count()
+
+
+class MessageKind(Enum):
+    """Protocol message kinds."""
+
+    GET = "get"                      # lookup / read a file
+    GET_REPLY = "get_reply"          # file contents back to the client
+    GET_FAULT = "get_fault"          # no copy found (dead target, b=0)
+    INSERT = "insert"                # store the original copy
+    REPLICATE = "replicate"          # push a replica to a chosen node
+    UPDATE = "update"                # top-down update broadcast
+    REGISTER_LIVE = "register_live"  # §5.1 join broadcast
+    REGISTER_DEAD = "register_dead"  # §5.2/§5.3 leave/fail broadcast
+    TRANSFER = "transfer"            # file migration during churn
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight.
+
+    ``src``/``dst`` are PIDs (``src = -1`` marks a client-originated
+    request entering the overlay).  ``hops`` counts overlay forwards so
+    experiments can read path lengths straight off delivered messages.
+    """
+
+    kind: MessageKind
+    src: int
+    dst: int
+    file: str = ""
+    payload: Any = None
+    version: int = 0
+    hops: int = 0
+    request_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def forwarded(self, new_src: int, new_dst: int) -> "Message":
+        """A copy of this message forwarded one overlay hop."""
+        return replace(self, src=new_src, dst=new_dst, hops=self.hops + 1)
+
+    def reply(self, kind: MessageKind, payload: Any = None) -> "Message":
+        """A reply travelling back to this message's source."""
+        return Message(
+            kind=kind,
+            src=self.dst,
+            dst=self.src,
+            file=self.file,
+            payload=payload,
+            version=self.version,
+            hops=self.hops,
+            request_id=self.request_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.kind.value} {self.src}->{self.dst} "
+            f"file={self.file!r} hops={self.hops})"
+        )

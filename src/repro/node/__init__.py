@@ -1,0 +1,14 @@
+"""Node runtime: storage, load monitoring, membership, message handling."""
+
+from .loadmon import LoadMonitor, WindowedRate
+from .membership import StatusWord
+from .storage import FileOrigin, FileStore, StoredFile
+
+__all__ = [
+    "FileOrigin",
+    "FileStore",
+    "LoadMonitor",
+    "StatusWord",
+    "StoredFile",
+    "WindowedRate",
+]

@@ -1,0 +1,70 @@
+"""§5.1 status-word dissemination over the transport.
+
+    "we maintain in each live node the status word [...] P(k) next
+    broadcasts to every live node a message of registering P(k) as a
+    live node.  At the same time, it obtains the updated status word
+    from a neighboring live node."
+
+:class:`MembershipAgent` implements that protocol for one node: it owns
+the node's local (possibly stale) :class:`StatusWord`, applies incoming
+``REGISTER_LIVE`` / ``REGISTER_DEAD`` messages, and can broadcast a
+membership change to everyone its word currently believes alive.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..net.message import Message, MessageKind
+from .membership import StatusWord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.transport import Transport
+
+__all__ = ["MembershipAgent"]
+
+
+class MembershipAgent:
+    """One node's view of the membership, kept fresh by broadcasts."""
+
+    def __init__(self, pid: int, word: StatusWord, transport: "Transport") -> None:
+        self.pid = pid
+        self.word = word
+        self.transport = transport
+
+    def handle(self, msg: Message) -> bool:
+        """Apply a membership message; returns True when consumed."""
+        if msg.kind is MessageKind.REGISTER_LIVE:
+            self.word.register_live(int(msg.payload))
+            return True
+        if msg.kind is MessageKind.REGISTER_DEAD:
+            self.word.register_dead(int(msg.payload))
+            return True
+        return False
+
+    def broadcast(self, kind: MessageKind, subject: int) -> int:
+        """Send a registration to every node this word believes alive.
+
+        Returns the number of messages sent.  The subject's own entry
+        is updated locally first, so the broadcast set reflects the
+        change (a leaver is not messaged about its own departure).
+        """
+        if kind is MessageKind.REGISTER_LIVE:
+            self.word.register_live(subject)
+        elif kind is MessageKind.REGISTER_DEAD:
+            self.word.register_dead(subject)
+        else:
+            raise ValueError(f"{kind} is not a membership message kind")
+        sent = 0
+        for peer in self.word.live_pids():
+            if peer == self.pid:
+                continue
+            self.transport.send(
+                Message(kind=kind, src=self.pid, dst=peer, payload=subject)
+            )
+            sent += 1
+        return sent
+
+    def adopt(self, other: StatusWord) -> None:
+        """§5.1: copy a neighbour's (fresher) status word."""
+        self.word.merge(other)

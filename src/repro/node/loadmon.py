@@ -1,0 +1,127 @@
+"""Load monitoring: sliding-window request rates and overload detection.
+
+The paper's overload criterion is a plain threshold — "if a node
+receives more than [capacity] requests per second, it is overloaded".
+The DES measures rates over a sliding window; per-file and per-source
+breakdowns feed replica placement (hottest file) and the log-based
+baseline (which child forwards most).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+__all__ = ["WindowedRate", "LoadMonitor"]
+
+
+class WindowedRate:
+    """Events-per-second over a trailing window."""
+
+    __slots__ = ("window", "_times", "total")
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._times: deque[float] = deque()
+        self.total = 0
+
+    def record(self, now: float) -> None:
+        """Record one event at time ``now`` (non-decreasing)."""
+        if self._times and now < self._times[-1]:
+            raise ValueError(f"events must be recorded in order ({now})")
+        self._times.append(now)
+        self.total += 1
+        self._expire(now)
+
+    def rate(self, now: float) -> float:
+        """Events per second over the window ending at ``now``."""
+        self._expire(now)
+        return len(self._times) / self.window
+
+    def count(self, now: float) -> int:
+        """Raw event count still inside the window."""
+        self._expire(now)
+        return len(self._times)
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window
+        times = self._times
+        while times and times[0] <= cutoff:
+            times.popleft()
+
+
+@dataclass
+class _FileLoad:
+    served: WindowedRate
+    by_source: dict[int, WindowedRate]
+
+
+class LoadMonitor:
+    """Per-node request accounting.
+
+    Tracks, per file: the rate of requests this node *served* (returned
+    the file for), and the rate broken down by the immediate overlay
+    source that forwarded them (``-1`` = arrived directly from a
+    client).  The per-source split is exactly the information a
+    client-access log would contain — only the log-based baseline is
+    allowed to look at it.
+    """
+
+    def __init__(self, capacity: float = 100.0, window: float = 1.0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.window = window
+        self._loads: dict[str, _FileLoad] = {}
+        self._total = WindowedRate(window)
+
+    def _load(self, file: str) -> _FileLoad:
+        entry = self._loads.get(file)
+        if entry is None:
+            entry = _FileLoad(WindowedRate(self.window), defaultdict(lambda: WindowedRate(self.window)))
+            self._loads[file] = entry
+        return entry
+
+    def record_served(self, file: str, source: int, now: float) -> None:
+        """This node returned ``file`` for a request forwarded by ``source``."""
+        entry = self._load(file)
+        entry.served.record(now)
+        entry.by_source[source].record(now)
+        self._total.record(now)
+
+    def total_rate(self, now: float) -> float:
+        """Requests served per second, all files."""
+        return self._total.rate(now)
+
+    def file_rate(self, file: str, now: float) -> float:
+        entry = self._loads.get(file)
+        return entry.served.rate(now) if entry else 0.0
+
+    def is_overloaded(self, now: float) -> bool:
+        return self.total_rate(now) > self.capacity
+
+    def hottest_file(self, now: float) -> str | None:
+        """The file contributing the most served load right now."""
+        best, best_rate = None, 0.0
+        for name in sorted(self._loads):
+            rate = self._loads[name].served.rate(now)
+            if rate > best_rate:
+                best, best_rate = name, rate
+        return best
+
+    def source_rates(self, file: str, now: float) -> dict[int, float]:
+        """Per-forwarder service rates for ``file`` (the 'access log')."""
+        entry = self._loads.get(file)
+        if entry is None:
+            return {}
+        return {
+            src: wr.rate(now)
+            for src, wr in sorted(entry.by_source.items())
+            if wr.rate(now) > 0.0
+        }
+
+    def reset(self) -> None:
+        self._loads.clear()
+        self._total = WindowedRate(self.window)

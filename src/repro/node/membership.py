@@ -1,0 +1,118 @@
+"""Membership status words (paper §5.1).
+
+    "For the sake of performance, we maintain in each live node the
+    status word where each bit indicates whether a corresponding node
+    is a live node."
+
+:class:`StatusWord` is that bitmap.  It satisfies the core package's
+``LivenessView`` protocol, so a node's own (possibly stale) view can be
+plugged straight into the routing and placement algorithms — which is
+how the paper's nodes actually operate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..core.bits import check_id, check_width
+from ..core.errors import MembershipError
+
+__all__ = ["StatusWord"]
+
+
+class StatusWord:
+    """A ``2**m``-bit liveness bitmap with set semantics.
+
+    Internally one Python int; bit ``p`` set means ``P(p)`` is live.
+    """
+
+    __slots__ = ("_m", "_bits")
+
+    def __init__(self, m: int, live: Iterable[int] = ()) -> None:
+        check_width(m)
+        self._m = m
+        self._bits = 0
+        for pid in live:
+            check_id(pid, m)
+            self._bits |= 1 << pid
+
+    @classmethod
+    def full(cls, m: int) -> "StatusWord":
+        """All ``2**m`` identifiers live."""
+        word = cls(m)
+        word._bits = (1 << (1 << m)) - 1
+        return word
+
+    @classmethod
+    def from_int(cls, m: int, bits: int) -> "StatusWord":
+        check_width(m)
+        if not 0 <= bits < (1 << (1 << m)):
+            raise MembershipError(f"bitmap out of range for m={m}")
+        word = cls(m)
+        word._bits = bits
+        return word
+
+    # -- LivenessView protocol -----------------------------------------
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    def is_live(self, pid: int) -> bool:
+        check_id(pid, self._m)
+        return bool(self._bits >> pid & 1)
+
+    def live_pids(self) -> Iterator[int]:
+        bits = self._bits
+        pid = 0
+        while bits:
+            if bits & 1:
+                yield pid
+            bits >>= 1
+            pid += 1
+
+    def live_count(self) -> int:
+        return self._bits.bit_count()
+
+    # -- mutation --------------------------------------------------------
+
+    def register_live(self, pid: int) -> None:
+        """§5.1: record ``P(pid)`` as a live node."""
+        check_id(pid, self._m)
+        self._bits |= 1 << pid
+
+    def register_dead(self, pid: int) -> None:
+        """§5.2/§5.3: record ``P(pid)`` as a dead node."""
+        check_id(pid, self._m)
+        self._bits &= ~(1 << pid)
+
+    def merge(self, other: "StatusWord") -> None:
+        """Adopt another node's word (§5.1: 'obtains the updated status
+        word from a neighboring live node')."""
+        if other._m != self._m:
+            raise MembershipError(
+                f"cannot merge status words of widths {other._m} and {self._m}"
+            )
+        self._bits = other._bits
+
+    def copy(self) -> "StatusWord":
+        return StatusWord.from_int(self._m, self._bits)
+
+    def as_int(self) -> int:
+        return self._bits
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StatusWord)
+            and other._m == self._m
+            and other._bits == self._bits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._m, self._bits))
+
+    def __contains__(self, pid: int) -> bool:
+        return self.is_live(pid)
+
+    def __repr__(self) -> str:
+        return f"StatusWord(m={self._m}, live={self.live_count()})"

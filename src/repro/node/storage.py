@@ -1,0 +1,135 @@
+"""Per-node file storage.
+
+§5.2 distinguishes two categories of stored file — *inserted* files
+(the original copy placed by ``ADVANCEDINSERTFILE``) and *replicated*
+files (pushed by an overloaded holder).  The distinction matters for
+churn: a leaving node must migrate its inserted files but may discard
+replicas.  The store also keeps per-file access counters, feeding the
+counter-based replica-removal mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from ..core.errors import StorageError
+
+__all__ = ["FileOrigin", "StoredFile", "FileStore"]
+
+
+class FileOrigin(Enum):
+    """How a copy arrived at this node."""
+
+    INSERTED = "inserted"
+    REPLICATED = "replicated"
+
+
+@dataclass
+class StoredFile:
+    """One local copy of a file."""
+
+    name: str
+    payload: Any
+    version: int
+    origin: FileOrigin
+    access_count: int = 0
+    stored_at: float = 0.0
+
+    def touch(self) -> None:
+        self.access_count += 1
+
+
+@dataclass
+class FileStore:
+    """A node's local storage: name → copy, with origin bookkeeping."""
+
+    _files: dict[str, StoredFile] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def has(self, name: str) -> bool:
+        return name in self._files
+
+    def get(self, name: str, count_access: bool = True) -> StoredFile:
+        """Fetch a copy; bumps the access counter unless told otherwise."""
+        try:
+            entry = self._files[name]
+        except KeyError:
+            raise StorageError(f"file {name!r} not in local store") from None
+        if count_access:
+            entry.touch()
+        return entry
+
+    def store(
+        self,
+        name: str,
+        payload: Any,
+        version: int,
+        origin: FileOrigin,
+        now: float = 0.0,
+    ) -> StoredFile:
+        """Store a copy.
+
+        Re-storing an existing name keeps the *stronger* origin
+        (INSERTED beats REPLICATED — a node can become the home of a
+        file it already cached) and takes the newer version's payload.
+        """
+        existing = self._files.get(name)
+        if existing is None:
+            entry = StoredFile(name, payload, version, origin, stored_at=now)
+            self._files[name] = entry
+            return entry
+        if version < existing.version:
+            raise StorageError(
+                f"refusing to downgrade {name!r} from v{existing.version} to v{version}"
+            )
+        existing.payload = payload
+        existing.version = version
+        if origin is FileOrigin.INSERTED:
+            existing.origin = FileOrigin.INSERTED
+        return existing
+
+    def update(self, name: str, payload: Any, version: int) -> bool:
+        """Apply an update if a copy is present; returns whether it was.
+
+        Stale updates (version at or below the stored one) are ignored,
+        which makes the top-down broadcast idempotent.
+        """
+        entry = self._files.get(name)
+        if entry is None:
+            return False
+        if version > entry.version:
+            entry.payload = payload
+            entry.version = version
+        return True
+
+    def remove(self, name: str) -> StoredFile:
+        """Drop a copy (replica pruning, or a leaving node clearing out)."""
+        try:
+            return self._files.pop(name)
+        except KeyError:
+            raise StorageError(f"file {name!r} not in local store") from None
+
+    def discard(self, name: str) -> None:
+        """Drop a copy if present."""
+        self._files.pop(name, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._files)
+
+    def inserted_files(self) -> list[StoredFile]:
+        """Original copies this node is the home of (§5.2 category 1)."""
+        return [f for f in self._files.values() if f.origin is FileOrigin.INSERTED]
+
+    def replicated_files(self) -> list[StoredFile]:
+        """Replicas pushed here by overloaded holders (§5.2 category 2)."""
+        return [f for f in self._files.values() if f.origin is FileOrigin.REPLICATED]
+
+    def clear(self) -> None:
+        self._files.clear()

@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate.
+
+``engine`` — deterministic heap-based event loop with generator
+processes; ``events`` — scheduled-event objects with lazy cancellation;
+``rng`` — named deterministic random streams; ``metrics`` — counters,
+gauges, histograms, time series; ``trace`` — structured, replayable
+traces.
+"""
+
+from .engine import Engine
+from .events import Event, EventHandle
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from .rng import RngHub, derive_seed
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Engine",
+    "Event",
+    "EventHandle",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RngHub",
+    "TimeSeries",
+    "TraceRecord",
+    "Tracer",
+    "derive_seed",
+]

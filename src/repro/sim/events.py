@@ -1,0 +1,67 @@
+"""Event objects for the discrete-event kernel.
+
+An :class:`Event` is an immutable record of *something scheduled*: a
+firing time, a tie-breaking sequence number, and a zero-argument
+callback.  Cancellation is handled through :class:`EventHandle` so the
+heap never needs to be re-sorted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventHandle"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.
+
+    Ordering is by ``(time, priority, seq)``: earlier time first, then
+    lower priority number, then FIFO among ties — so simultaneous
+    events fire in the order they were scheduled.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = self.label or getattr(self.callback, "__name__", "<fn>")
+        return f"Event(t={self.time:.6g}, {name}, {state})"
+
+
+class EventHandle:
+    """A caller-facing handle to a scheduled event.
+
+    Keeping the handle lets the scheduler mark the underlying heap
+    entry dead without touching the heap structure (lazy deletion).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns False when already cancelled."""
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventHandle({self._event!r})"

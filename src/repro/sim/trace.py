@@ -1,0 +1,98 @@
+"""Structured event tracing with replay.
+
+A :class:`Tracer` collects :class:`TraceRecord` entries from any layer
+(message sends, replications, membership changes...).  Traces can be
+filtered, summarised, serialised to JSON-lines, and replayed into
+callbacks — which the test suite uses to assert on *sequences* of
+system behaviour rather than just end states.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({"time": self.time, "kind": self.kind, "data": self.data})
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        obj = json.loads(line)
+        return cls(time=float(obj["time"]), kind=str(obj["kind"]), data=dict(obj["data"]))
+
+
+class Tracer:
+    """An append-only trace with filtering and replay.
+
+    ``enabled=False`` turns :meth:`emit` into a no-op so hot simulation
+    loops can keep their trace calls unconditionally.
+    """
+
+    def __init__(self, enabled: bool = True, kinds: Iterable[str] | None = None) -> None:
+        self.enabled = enabled
+        self._kinds = set(kinds) if kinds is not None else None
+        self._records: list[TraceRecord] = []
+
+    def emit(self, time: float, kind: str, **data: Any) -> None:
+        """Record an occurrence (subject to the kind filter)."""
+        if not self.enabled:
+            return
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self._records.append(TraceRecord(time=time, kind=kind, data=data))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        return list(self._records)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self._records if r.kind == kind]
+
+    def kinds(self) -> dict[str, int]:
+        """Histogram of record kinds."""
+        out: dict[str, int] = {}
+        for r in self._records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out
+
+    def replay(self, handler: Callable[[TraceRecord], None], kind: str | None = None) -> int:
+        """Feed records (optionally one kind) through ``handler`` in order."""
+        count = 0
+        for r in self._records:
+            if kind is None or r.kind == kind:
+                handler(r)
+                count += 1
+        return count
+
+    def to_jsonl(self) -> str:
+        return "\n".join(r.to_json() for r in self._records)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Tracer":
+        tracer = cls()
+        for line in text.splitlines():
+            if line.strip():
+                tracer._records.append(TraceRecord.from_json(line))
+        return tracer
+
+    def clear(self) -> None:
+        self._records.clear()

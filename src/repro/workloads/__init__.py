@@ -1,0 +1,30 @@
+"""Workloads: demand models and request streams.
+
+``UniformDemand`` and ``LocalityDemand`` are the paper's two §6
+workloads; ``ZipfDemand`` is an extension; ``RequestStream`` samples
+Poisson arrivals from any of them for the discrete-event engine.
+"""
+
+from .base import DemandModel, validate_rates
+from .generator import Request, RequestStream
+from .locality import LocalityDemand
+from .uniform import UniformDemand
+from .zipf import ZipfDemand
+
+DEMANDS = {
+    "uniform": UniformDemand,
+    "locality": LocalityDemand,
+    "zipf": ZipfDemand,
+}
+"""Registry mapping demand-model names to classes (used by the CLI)."""
+
+__all__ = [
+    "DEMANDS",
+    "DemandModel",
+    "LocalityDemand",
+    "Request",
+    "RequestStream",
+    "UniformDemand",
+    "ZipfDemand",
+    "validate_rates",
+]

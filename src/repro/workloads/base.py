@@ -1,0 +1,47 @@
+"""Workload abstractions.
+
+A *demand model* describes where client requests enter the overlay: it
+produces a rate vector ``rates[pid]`` (requests/second entering at each
+PID, zero at dead identifiers) summing to the requested aggregate rate.
+The fluid engine consumes rate vectors directly; the DES driver samples
+Poisson arrivals from the same vector, so both engines run the exact
+same demand.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.liveness import LivenessView
+
+__all__ = ["DemandModel", "validate_rates"]
+
+
+@runtime_checkable
+class DemandModel(Protocol):
+    """Produces per-node client request rates."""
+
+    name: str
+
+    def rates(self, total_rate: float, liveness: LivenessView) -> np.ndarray:
+        """Length-``2**m`` array of entry rates summing to ``total_rate``."""
+        ...
+
+
+def validate_rates(rates: np.ndarray, total_rate: float, liveness: LivenessView) -> None:
+    """Assert the demand-model contract (used by tests and engines)."""
+    n = 1 << liveness.m
+    if rates.shape != (n,):
+        raise ConfigurationError(f"rate vector must have shape ({n},), got {rates.shape}")
+    if np.any(rates < 0):
+        raise ConfigurationError("rate vector has negative entries")
+    if not np.isclose(rates.sum(), total_rate, rtol=1e-9, atol=1e-6):
+        raise ConfigurationError(
+            f"rates sum to {rates.sum()}, expected {total_rate}"
+        )
+    for pid in range(n):
+        if rates[pid] > 0 and not liveness.is_live(pid):
+            raise ConfigurationError(f"dead node P({pid}) has positive entry rate")

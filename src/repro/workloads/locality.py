@@ -1,0 +1,71 @@
+"""The locality demand model (paper §6, Figures 7–8).
+
+    "a locality model where 80% of the requests are received by 20% of
+    the nodes.  Such a locality mode often happens when a certain
+    region of the P2P system accesses this file more frequently than
+    the rest part of the system."
+
+A seeded fraction of the live nodes forms the *hot region*; it receives
+``hot_share`` of the aggregate demand, the rest is spread over the cold
+nodes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.liveness import LivenessView
+
+__all__ = ["LocalityDemand"]
+
+
+class LocalityDemand:
+    """hot_share of demand on hot_fraction of the live nodes (80/20)."""
+
+    name = "locality"
+
+    def __init__(
+        self,
+        hot_fraction: float = 0.2,
+        hot_share: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < hot_fraction < 1.0:
+            raise ConfigurationError(f"hot_fraction must be in (0,1), got {hot_fraction}")
+        if not 0.0 <= hot_share <= 1.0:
+            raise ConfigurationError(f"hot_share must be in [0,1], got {hot_share}")
+        self.hot_fraction = hot_fraction
+        self.hot_share = hot_share
+        self.seed = seed
+
+    def hot_nodes(self, liveness: LivenessView) -> list[int]:
+        """The seeded hot region (deterministic per seed + liveness)."""
+        live = list(liveness.live_pids())
+        count = max(1, round(self.hot_fraction * len(live)))
+        rng = random.Random(self.seed)
+        return sorted(rng.sample(live, count))
+
+    def rates(self, total_rate: float, liveness: LivenessView) -> np.ndarray:
+        if total_rate < 0:
+            raise ConfigurationError(f"total rate must be non-negative, got {total_rate}")
+        live = list(liveness.live_pids())
+        if not live:
+            raise ConfigurationError("no live nodes to receive demand")
+        hot = set(self.hot_nodes(liveness))
+        cold = [p for p in live if p not in hot]
+        rates = np.zeros(1 << liveness.m)
+        if cold:
+            rates[sorted(hot)] = total_rate * self.hot_share / len(hot)
+            rates[cold] = total_rate * (1.0 - self.hot_share) / len(cold)
+        else:  # degenerate: everything is hot
+            rates[sorted(hot)] = total_rate / len(hot)
+        return rates
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalityDemand(hot_fraction={self.hot_fraction}, "
+            f"hot_share={self.hot_share}, seed={self.seed})"
+        )

@@ -1,0 +1,35 @@
+"""Evenly-distributed demand (paper §6, Figures 5–6).
+
+    "all requests are evenly distributed among all nodes"
+
+Every live node receives the same client request rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.liveness import LivenessView
+
+__all__ = ["UniformDemand"]
+
+
+class UniformDemand:
+    """Equal entry rate at every live node."""
+
+    name = "uniform"
+
+    def rates(self, total_rate: float, liveness: LivenessView) -> np.ndarray:
+        if total_rate < 0:
+            raise ConfigurationError(f"total rate must be non-negative, got {total_rate}")
+        n = 1 << liveness.m
+        live = list(liveness.live_pids())
+        if not live:
+            raise ConfigurationError("no live nodes to receive demand")
+        rates = np.zeros(n)
+        rates[live] = total_rate / len(live)
+        return rates
+
+    def __repr__(self) -> str:
+        return "UniformDemand()"

@@ -1,0 +1,98 @@
+"""Tests for the ablation studies and their policy variants."""
+
+import random
+
+import pytest
+
+from repro.baselines.base import PlacementContext
+from repro.core.liveness import AllLive, SetLiveness
+from repro.core.tree import LookupTree
+from repro.experiments.ablations import (
+    LeastOffspringPolicy,
+    OwnListOnlyPolicy,
+    RandomChildPolicy,
+    RootListOnlyPolicy,
+    children_order_ablation,
+    concurrency_ablation,
+    proportional_choice_ablation,
+)
+from repro.experiments.config import FigureConfig
+
+CFG = FigureConfig(m=7, rates=(1000.0, 3000.0))
+
+
+def ctx(seed=0):
+    return PlacementContext(rng=random.Random(seed))
+
+
+class TestAblationPolicies:
+    def test_least_offspring_picks_tail(self):
+        tree = LookupTree(4, 4)
+        # Children list of P(4) = (5, 6, 0, 12): tail is 12.
+        assert LeastOffspringPolicy().choose(tree, 4, AllLive(4), {4}, ctx()) == 12
+
+    def test_least_offspring_exhaustion(self):
+        tree = LookupTree(4, 4)
+        assert (
+            LeastOffspringPolicy().choose(
+                tree, 4, AllLive(4), {4, 5, 6, 0, 12}, ctx()
+            )
+            is None
+        )
+
+    def test_random_child_stays_in_list(self):
+        tree = LookupTree(4, 4)
+        for seed in range(20):
+            got = RandomChildPolicy().choose(tree, 4, AllLive(4), {4}, ctx(seed))
+            assert got in {5, 6, 0, 12}
+
+    def test_random_child_exhaustion(self):
+        tree = LookupTree(4, 4)
+        assert (
+            RandomChildPolicy().choose(tree, 4, AllLive(4), {4, 5, 6, 0, 12}, ctx())
+            is None
+        )
+
+    def test_own_list_only_matches_ck(self):
+        tree = LookupTree(4, 4)
+        assert OwnListOnlyPolicy().choose(tree, 4, AllLive(4), {4}, ctx()) == 5
+
+    def test_root_list_only_at_top_node(self):
+        # P(4), P(5) dead: P(6) is the top holder; root-list-only must
+        # replicate into the root's children list, not P(6)'s.
+        tree = LookupTree(4, 4)
+        liveness = SetLiveness.all_but(4, dead=[4, 5])
+        got = RootListOnlyPolicy().choose(tree, 6, liveness, {6}, ctx())
+        from repro.core.children import advanced_children_list
+
+        assert got in advanced_children_list(tree, 4, liveness)
+
+    def test_root_list_only_interior_node_unchanged(self):
+        tree = LookupTree(4, 4)
+        assert RootListOnlyPolicy().choose(tree, 5, AllLive(4), {4, 5}, ctx()) == (
+            tree.children(5)[0]
+        )
+
+
+class TestAblationStudies:
+    def test_children_order_paper_rule_wins(self):
+        result = children_order_ablation(CFG)
+        for rate in result.xs():
+            paper = result.value("most-offspring (paper)", rate)
+            assert paper <= result.value("least-offspring", rate)
+            assert paper <= result.value("random-child", rate)
+
+    def test_proportional_choice_balances_where_own_fails(self):
+        result = proportional_choice_ablation(CFG.with_(m=8, rates=(2000.0,)))
+        assert result.value("proportional (paper) unbalanced", 2000.0) == 0
+        assert result.value("own-list-only unbalanced", 2000.0) == 1
+
+    def test_concurrency_same_replicas_fewer_rounds(self):
+        result = concurrency_ablation(CFG)
+        for rate in result.xs():
+            assert result.value("concurrent replicas", rate) == result.value(
+                "serial replicas", rate
+            )
+            assert result.value("concurrent rounds", rate) < result.value(
+                "serial rounds", rate
+            )

@@ -1,0 +1,131 @@
+"""Unit tests for analysis: results, tables, shape statistics."""
+
+import pytest
+
+from repro.analysis import (
+    SweepResult,
+    dominates,
+    max_relative_spread,
+    mean_ratio,
+    mostly_monotonic,
+    render_kv,
+    render_sparkline,
+    render_table,
+    summarize,
+)
+
+
+class TestSweepResult:
+    def make(self):
+        sweep = SweepResult("demo", "rate", "replicas")
+        for x, y in ((1000, 10), (2000, 22)):
+            sweep.add("lesslog", x, y)
+        for x, y in ((1000, 40), (2000, 95)):
+            sweep.add("random", x, y)
+        return sweep
+
+    def test_xs_and_value(self):
+        sweep = self.make()
+        assert sweep.xs() == [1000.0, 2000.0]
+        assert sweep.value("lesslog", 2000) == 22
+
+    def test_value_missing_raises(self):
+        with pytest.raises(KeyError):
+            self.make().value("lesslog", 999)
+
+    def test_totals(self):
+        assert self.make().totals() == {"lesslog": 32.0, "random": 135.0}
+
+    def test_rows_aligned(self):
+        headers, rows = self.make().to_rows()
+        assert headers == ["rate", "lesslog", "random"]
+        assert rows[0] == ["1000", "10", "40"]
+
+    def test_missing_points_dashed(self):
+        sweep = self.make()
+        sweep.add("extra", 1500, 3)
+        _, rows = sweep.to_rows()
+        row_1500 = [r for r in rows if r[0] == "1500"][0]
+        assert "-" in row_1500
+
+    def test_csv(self):
+        csv = self.make().to_csv()
+        assert csv.splitlines()[0] == "rate,lesslog,random"
+        assert "1000,10,40" in csv
+
+    def test_render_contains_title_and_notes(self):
+        sweep = self.make()
+        sweep.notes = "a note"
+        text = sweep.render()
+        assert "demo" in text and "a note" in text and "lesslog" in text
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["10", "20"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+        assert lines[1].startswith("|")
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_sparkline_shape(self):
+        line = render_sparkline([0, 1, 2, 3, 4])
+        assert len(line) == 5
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_sparkline_constant(self):
+        assert len(set(render_sparkline([5, 5, 5]))) == 1
+
+    def test_sparkline_downsample(self):
+        assert len(render_sparkline(list(range(100)), width=10)) == 10
+
+    def test_render_kv(self):
+        text = render_kv({"alpha": 1, "b": "two"})
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert ":" in lines[0]
+        assert render_kv({}) == ""
+
+
+class TestStats:
+    def test_dominates(self):
+        assert dominates([1, 2], [2, 3])
+        assert not dominates([3, 2], [2, 3])
+        assert dominates([2.1, 2], [2, 3], slack=0.2)
+
+    def test_dominates_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates([1], [1, 2])
+
+    def test_mostly_monotonic(self):
+        assert mostly_monotonic([1, 2, 3, 4])
+        assert mostly_monotonic([1, 2, 1.95, 4], tolerance=0.1)
+        assert not mostly_monotonic([10, 1, 10])
+        assert mostly_monotonic([5])
+
+    def test_max_relative_spread(self):
+        spread = max_relative_spread([[10, 20], [12, 22], [11, 18]])
+        assert 0 < spread < 0.3
+        assert max_relative_spread([[5, 5], [5, 5]]) == 0.0
+
+    def test_max_relative_spread_needs_2d(self):
+        with pytest.raises(ValueError):
+            max_relative_spread([1, 2, 3])
+
+    def test_mean_ratio(self):
+        assert mean_ratio([2, 4], [1, 2]) == 2.0
+        assert mean_ratio([2, 9], [1, 0]) == 2.0  # zero denom skipped
+
+    def test_mean_ratio_all_zero_denoms(self):
+        with pytest.raises(ValueError):
+            mean_ratio([1], [0])
+
+    def test_summarize(self):
+        s = summarize([1, 2, 3])
+        assert s["min"] == 1 and s["max"] == 3 and s["mean"] == 2

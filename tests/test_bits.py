@@ -1,0 +1,152 @@
+"""Unit tests for the bitwise substrate (repro.core.bits)."""
+
+import pytest
+
+from repro.core import bits
+
+
+class TestMaskAndValidation:
+    def test_mask_values(self):
+        assert bits.mask(1) == 1
+        assert bits.mask(4) == 0b1111
+        assert bits.mask(10) == 1023
+
+    def test_width_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bits.mask(0)
+
+    def test_width_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.check_width(-3)
+
+    def test_width_rejects_bool(self):
+        with pytest.raises(ValueError):
+            bits.check_width(True)
+
+    def test_width_rejects_huge(self):
+        with pytest.raises(ValueError):
+            bits.check_width(64)
+
+    def test_check_id_range(self):
+        bits.check_id(0, 4)
+        bits.check_id(15, 4)
+        with pytest.raises(ValueError):
+            bits.check_id(16, 4)
+        with pytest.raises(ValueError):
+            bits.check_id(-1, 4)
+
+    def test_check_id_rejects_bool(self):
+        with pytest.raises(ValueError):
+            bits.check_id(True, 4)
+
+
+class TestComplement:
+    def test_paper_example(self):
+        # The tree of P(4), m=4: complement(4) = 1011 (the XOR key).
+        assert bits.complement(4, 4) == 0b1011
+
+    def test_involution(self):
+        for m in (1, 3, 4, 7):
+            for v in range(1 << m):
+                assert bits.complement(bits.complement(v, m), m) == v
+
+    def test_zero_and_full(self):
+        assert bits.complement(0, 5) == 0b11111
+        assert bits.complement(0b11111, 5) == 0
+
+
+class TestLeadingOnes:
+    @pytest.mark.parametrize(
+        "v, m, expected",
+        [
+            (0b1111, 4, 4),
+            (0b1110, 4, 3),
+            (0b1101, 4, 2),
+            (0b1011, 4, 1),
+            (0b0111, 4, 0),
+            (0b0000, 4, 0),
+            (0b1100, 4, 2),
+            (0b1000, 4, 1),
+        ],
+    )
+    def test_examples(self, v, m, expected):
+        assert bits.leading_ones(v, m) == expected
+
+    def test_exhaustive_m5(self):
+        # Cross-check against a string-based reference implementation.
+        for v in range(32):
+            s = format(v, "05b")
+            expected = len(s) - len(s.lstrip("1"))
+            assert bits.leading_ones(v, 5) == expected
+
+
+class TestTrailingZeros:
+    def test_zero_is_full_width(self):
+        assert bits.trailing_zeros(0, 6) == 6
+
+    @pytest.mark.parametrize(
+        "v, expected", [(1, 0), (2, 1), (4, 2), (12, 2), (8, 3), (5, 0)]
+    )
+    def test_values(self, v, expected):
+        assert bits.trailing_zeros(v, 4) == expected
+
+
+class TestLeftmostZero:
+    def test_position(self):
+        assert bits.leftmost_zero_position(0b1101, 4) == 1
+        assert bits.leftmost_zero_position(0b0111, 4) == 3
+        assert bits.leftmost_zero_position(0b1110, 4) == 0
+
+    def test_root_has_none(self):
+        with pytest.raises(ValueError):
+            bits.leftmost_zero_position(0b1111, 4)
+
+    def test_set_leftmost_zero_paper_example(self):
+        # Paper §2.1: parent of 0110 is 1110 (convert leftmost 0 to 1).
+        assert bits.set_leftmost_zero(0b0110, 4) == 0b1110
+
+
+class TestLowHighBits:
+    def test_low_bits(self):
+        assert bits.low_bits(0b110101, 3) == 0b101
+        assert bits.low_bits(0b110101, 0) == 0
+
+    def test_low_bits_negative_width(self):
+        with pytest.raises(ValueError):
+            bits.low_bits(5, -1)
+
+    def test_high_bits(self):
+        assert bits.high_bits(0b110101, 6, 2) == 0b11
+        assert bits.high_bits(0b110101, 6, 0) == 0
+        assert bits.high_bits(0b110101, 6, 6) == 0b110101
+
+    def test_high_bits_bad_width(self):
+        with pytest.raises(ValueError):
+            bits.high_bits(1, 4, 5)
+
+
+class TestBinaryFormatting:
+    def test_to_binary(self):
+        assert bits.to_binary(4, 4) == "0100"
+        assert bits.to_binary(0, 3) == "000"
+
+    def test_from_binary(self):
+        assert bits.from_binary("0100") == 4
+        assert bits.from_binary("1_011") == 11
+
+    def test_from_binary_rejects_junk(self):
+        with pytest.raises(ValueError):
+            bits.from_binary("01x0")
+        with pytest.raises(ValueError):
+            bits.from_binary("")
+
+    def test_roundtrip(self):
+        for v in range(16):
+            assert bits.from_binary(bits.to_binary(v, 4)) == v
+
+
+class TestPopcount:
+    def test_values(self):
+        assert bits.popcount(0) == 0
+        assert bits.popcount(0b1011) == 3
+        assert bits.popcount(0b1111111111) == 10

@@ -1,0 +1,99 @@
+"""Unit tests for the CAN comparator (repro.baselines.can)."""
+
+import pytest
+
+from repro.baselines import CanGrid
+from repro.core.errors import ConfigurationError, NoLiveNodeError
+
+
+class TestCoordinates:
+    def test_roundtrip(self):
+        grid = CanGrid(2, 8)
+        for node in range(64):
+            assert grid.node_at(grid.coords_of(node)) == node
+
+    def test_out_of_range_node(self):
+        with pytest.raises(NoLiveNodeError):
+            CanGrid(2, 4).coords_of(16)
+
+    def test_bad_coords(self):
+        grid = CanGrid(2, 4)
+        with pytest.raises(ConfigurationError):
+            grid.node_at((0,))
+        with pytest.raises(ConfigurationError):
+            grid.node_at((0, 9))
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            CanGrid(0, 4)
+        with pytest.raises(ConfigurationError):
+            CanGrid(2, 0)
+        with pytest.raises(ConfigurationError):
+            CanGrid(3, 1 << 10)
+
+    def test_key_owner_deterministic_and_in_range(self):
+        grid = CanGrid(2, 16)
+        assert grid.key_owner("x") == grid.key_owner("x")
+        for i in range(50):
+            assert 0 <= grid.key_owner(f"k{i}") < grid.n
+
+
+class TestRouting:
+    def test_path_reaches_owner(self):
+        grid = CanGrid(2, 16)
+        for start in range(0, 256, 17):
+            path = grid.lookup_path(start, "file")
+            assert path[0] == start
+            assert path[-1] == grid.key_owner("file")
+
+    def test_hops_equal_torus_distance(self):
+        grid = CanGrid(2, 16)
+        owner = grid.key_owner("file")
+        for start in range(0, 256, 13):
+            assert grid.lookup_hops(start, "file") == grid.torus_distance(
+                start, owner
+            )
+
+    def test_self_lookup_zero_hops(self):
+        grid = CanGrid(2, 8)
+        owner = grid.key_owner("f")
+        assert grid.lookup_hops(owner, "f") == 0
+
+    def test_hops_bounded_by_torus_diameter(self):
+        grid = CanGrid(2, 16)
+        bound = 2 * (16 // 2)
+        for start in range(0, 256, 11):
+            assert grid.lookup_hops(start, "f") <= bound
+
+    def test_3d_grid(self):
+        grid = CanGrid(3, 4)
+        assert grid.n == 64
+        for start in range(0, 64, 7):
+            path = grid.lookup_path(start, "f")
+            assert path[-1] == grid.key_owner("f")
+            assert len(path) - 1 <= 3 * 2
+
+    def test_mean_hops_scale_as_sqrt_n(self):
+        # (d/4) * N^(1/d) for d=2: doubling side doubles the mean.
+        small = CanGrid(2, 8)
+        large = CanGrid(2, 32)
+        keys = [f"k{i}" for i in range(40)]
+        mean_small = sum(
+            small.lookup_hops(s % small.n, k) for s, k in enumerate(keys)
+        ) / len(keys)
+        mean_large = sum(
+            large.lookup_hops((s * 37) % large.n, k) for s, k in enumerate(keys)
+        ) / len(keys)
+        assert mean_large > 2.0 * mean_small
+
+
+class TestLookupStudyWithCan:
+    def test_can_series_present_and_worse_than_lesslog(self):
+        from repro.experiments.extensions import lookup_path_lengths
+
+        result = lookup_path_lengths(widths=(8, 10), samples=60)
+        for m in (8, 10):
+            n = 1 << m
+            assert result.value("can(d=2) mean", n) > result.value(
+                "lesslog mean", n
+            )

@@ -1,0 +1,68 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis import SweepResult, render_chart, render_sweep_chart
+
+
+class TestRenderChart:
+    def test_basic_dimensions(self):
+        text = render_chart(
+            [0, 1, 2], {"a": [0, 5, 10]}, width=20, height=5
+        )
+        lines = text.splitlines()
+        # 5 canvas rows + x-axis rule + x labels + legend.
+        assert len(lines) == 8
+        assert "a" in lines[-1]
+
+    def test_markers_placed_at_extremes(self):
+        text = render_chart([0, 10], {"s": [0, 100]}, width=11, height=4)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        assert rows[0].rstrip().endswith("o")   # max at top-right
+        assert rows[-1].lstrip().startswith("o")  # min at bottom-left
+
+    def test_two_series_get_distinct_markers(self):
+        text = render_chart(
+            [0, 1], {"a": [0, 1], "b": [1, 0]}, width=10, height=4
+        )
+        assert "o = a" in text and "x = b" in text
+
+    def test_header_labels(self):
+        text = render_chart([0, 1], {"a": [1, 2]}, y_label="replicas", x_label="req/s")
+        assert text.splitlines()[0] == "replicas vs req/s"
+
+    def test_empty_inputs(self):
+        assert render_chart([], {}) == "(no data)"
+
+    def test_constant_series_ok(self):
+        text = render_chart([0, 1, 2], {"flat": [5, 5, 5]}, width=10, height=3)
+        assert "o" in text
+
+    def test_ragged_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart([0, 1], {"a": [1]})
+
+
+class TestRenderSweepChart:
+    def test_renders_aligned_sweep(self):
+        sweep = SweepResult("t", "x", "y")
+        for x in (1, 2, 3):
+            sweep.add("a", x, x * 2)
+            sweep.add("b", x, x * 3)
+        text = render_sweep_chart(sweep)
+        assert "y vs x" in text
+        assert "o = a" in text
+
+    def test_partial_series_skipped(self):
+        sweep = SweepResult("t", "x", "y")
+        sweep.add("full", 1, 1)
+        sweep.add("full", 2, 2)
+        sweep.add("partial", 1, 5)
+        text = render_sweep_chart(sweep)
+        assert "full" in text and "partial" not in text
+
+    def test_no_aligned_series(self):
+        sweep = SweepResult("t", "x", "y")
+        sweep.add("a", 1, 1)
+        sweep.add("b", 2, 2)
+        assert "not aligned" in render_sweep_chart(sweep)

@@ -1,0 +1,106 @@
+"""Unit tests for children lists (repro.core.children)."""
+
+import pytest
+
+from repro.core.children import (
+    advanced_children_list,
+    basic_children_list,
+    has_live_node_above,
+    live_subtree_size,
+)
+from repro.core.liveness import AllLive, SetLiveness
+from repro.core.tree import LookupTree
+
+
+@pytest.fixture
+def tree4():
+    return LookupTree(4, 4)
+
+
+class TestBasicChildrenList:
+    def test_paper_figure2(self, tree4):
+        # §2.2: children list of P(4) is (P(5), P(6), P(0), P(12)).
+        assert basic_children_list(tree4, 4) == [5, 6, 0, 12]
+
+    def test_leaf(self, tree4):
+        # P(12) is VID 0111 — a leaf in the tree of P(4).
+        assert basic_children_list(tree4, 12) == []
+
+
+class TestAdvancedChildrenList:
+    def test_equals_basic_when_all_live(self, tree4):
+        live = AllLive(4)
+        for k in range(16):
+            assert advanced_children_list(tree4, k, live) == basic_children_list(
+                tree4, k
+            )
+
+    def test_paper_figure3(self, tree4):
+        # §3: with P(0), P(5) dead, the children list of P(4) is
+        # (P(6), P(7), P(1), P(12), P(13), P(8)), sorted by the VID.
+        liveness = SetLiveness.all_but(4, dead=[0, 5])
+        assert advanced_children_list(tree4, 4, liveness) == [6, 7, 1, 12, 13, 8]
+
+    def test_recursive_splicing(self, tree4):
+        # Kill P(5) and its spliced child P(7) (VID 1100): P(7)'s own
+        # children P(15) (0100) and P(3) (1000) must be spliced in.
+        liveness = SetLiveness.all_but(4, dead=[0, 5, 7])
+        got = advanced_children_list(tree4, 4, liveness)
+        assert 3 in got and 15 in got
+        assert 5 not in got and 7 not in got and 0 not in got
+
+    def test_only_live_members(self, tree4):
+        liveness = SetLiveness.all_but(4, dead=[0, 5, 6, 13])
+        for pid in advanced_children_list(tree4, 4, liveness):
+            assert liveness.is_live(pid)
+
+    def test_vid_descending_order(self, tree4):
+        liveness = SetLiveness.all_but(4, dead=[0, 5, 7])
+        got = advanced_children_list(tree4, 4, liveness)
+        vids = [tree4.vid_of(p) for p in got]
+        assert vids == sorted(vids, reverse=True)
+
+    def test_empty_when_whole_subtree_dead(self, tree4):
+        # Kill every strict descendant of P(6) (VID 1101) and P(6)'s
+        # children list becomes empty.
+        dead = [p for p in tree4.iter_subtree(6) if p != 6]
+        liveness = SetLiveness.all_but(4, dead=dead)
+        assert advanced_children_list(tree4, 6, liveness) == []
+
+    def test_covers_live_fringe_exactly_once(self, tree4):
+        liveness = SetLiveness.all_but(4, dead=[0, 5, 7, 13])
+        got = advanced_children_list(tree4, 4, liveness)
+        assert len(got) == len(set(got))
+
+
+class TestLiveSubtreeSize:
+    def test_all_live(self, tree4):
+        assert live_subtree_size(tree4, 4, AllLive(4)) == 16
+        assert live_subtree_size(tree4, 5, AllLive(4)) == 8
+
+    def test_with_dead(self, tree4):
+        liveness = SetLiveness.all_but(4, dead=[0, 5])
+        # Subtree of P(5) has 8 slots, one (P(5) itself) dead -> 7 live.
+        assert live_subtree_size(tree4, 5, liveness) == 7
+
+    def test_leaf(self, tree4):
+        assert live_subtree_size(tree4, 12, AllLive(4)) == 1
+
+
+class TestHasLiveNodeAbove:
+    def test_root_never(self, tree4):
+        assert not has_live_node_above(tree4, 4, AllLive(4))
+
+    def test_everyone_else_in_full_system(self, tree4):
+        live = AllLive(4)
+        for k in range(16):
+            if k != 4:
+                assert has_live_node_above(tree4, k, live)
+
+    def test_paper_overload_example(self, tree4):
+        # §3: P(4), P(5) dead, P(6) overloaded: no live node has a VID
+        # above P(6)'s (1101) -> requests may come from anywhere.
+        liveness = SetLiveness.all_but(4, dead=[4, 5])
+        assert not has_live_node_above(tree4, 6, liveness)
+        # But P(7) (VID 1100) does see P(6) above it.
+        assert has_live_node_above(tree4, 7, liveness)

@@ -1,0 +1,218 @@
+"""Integration tests for the self-organized mechanism (paper §5)."""
+
+import pytest
+
+from repro.cluster import ChurnKind, ChurnSchedule, LessLogSystem
+from repro.core.errors import FileNotFoundInSystemError, MembershipError
+from repro.node.storage import FileOrigin
+
+
+def loaded_system(m=4, b=0, dead=(), files=8):
+    sys_ = LessLogSystem.build(m=m, b=b, dead=set(dead))
+    for i in range(files):
+        sys_.insert(f"file-{i}", payload=f"payload-{i}")
+    sys_.check_invariants()
+    return sys_
+
+
+class TestJoin:
+    def test_join_registers_live(self):
+        sys_ = loaded_system(dead=[6])
+        sys_.join(6)
+        assert sys_.is_live(6)
+        sys_.check_invariants()
+
+    def test_join_duplicate_rejected(self):
+        sys_ = loaded_system()
+        with pytest.raises(MembershipError):
+            sys_.join(3)
+
+    def test_paper_example_file_copied_back(self):
+        # §5.1: P(4), P(5) dead; ψ(f)=4 stored the file at P(6).  When
+        # P(5) joins, f must be copied back to P(5) (the new largest-VID
+        # live node in the tree of P(4)).
+        sys_ = LessLogSystem.build(m=4, dead={4, 5})
+        name = sys_.psi.find_name_for_target(4)
+        sys_.insert(name, payload="f")
+        assert sys_.holders_of(name) == [6]
+        migrated = sys_.join(5)
+        assert name in migrated
+        store5 = sys_.stores[5]
+        assert store5.get(name, count_access=False).origin is FileOrigin.INSERTED
+        sys_.check_invariants()
+
+    def test_join_of_target_itself_moves_home(self):
+        sys_ = LessLogSystem.build(m=4, dead={4})
+        name = sys_.psi.find_name_for_target(4)
+        sys_.insert(name, payload="f")
+        sys_.join(4)
+        assert 4 in sys_.holders_of(name)
+        assert sys_.stores[4].get(name, count_access=False).origin is FileOrigin.INSERTED
+        sys_.check_invariants()
+
+    def test_old_home_becomes_replica_and_keeps_serving(self):
+        sys_ = LessLogSystem.build(m=4, dead={4})
+        name = sys_.psi.find_name_for_target(4)
+        sys_.insert(name, payload="f")
+        old_home = sys_.holders_of(name)[0]
+        sys_.join(4)
+        copy = sys_.stores[old_home].get(name, count_access=False)
+        assert copy.origin is FileOrigin.REPLICATED
+        # Reads entering anywhere still succeed.
+        for entry in sys_.membership.live_pids():
+            assert sys_.get(name, entry=entry).payload == "f"
+
+    def test_unrelated_files_not_migrated(self):
+        sys_ = loaded_system(dead=[6], files=6)
+        before = {n: sys_.holders_of(n) for n in sys_.catalog}
+        migrated = sys_.join(6)
+        for name in sys_.catalog:
+            if name not in migrated:
+                assert sys_.holders_of(name) == before[name]
+
+
+class TestLeave:
+    def test_leave_reinserts_inserted_files(self):
+        sys_ = loaded_system(files=12)
+        victim = 4
+        homed_here = [
+            f.name for f in sys_.stores[victim].inserted_files()
+        ]
+        moved = sys_.leave(victim)
+        assert sorted(moved) == sorted(homed_here)
+        assert not sys_.is_live(victim)
+        sys_.check_invariants()
+        for name in homed_here:
+            entry = next(iter(sys_.membership.live_pids()))
+            assert sys_.get(name, entry=entry) is not None
+
+    def test_leave_discards_replicas(self):
+        sys_ = LessLogSystem.build(m=4)
+        name = sys_.psi.find_name_for_target(4)
+        sys_.insert(name, payload="x")
+        target = sys_.replicate(name, overloaded=4)
+        assert target == 5
+        sys_.leave(5)
+        assert 5 not in sys_.holders_of(name)
+        sys_.check_invariants()
+
+    def test_leave_dead_node_rejected(self):
+        sys_ = loaded_system(dead=[2])
+        with pytest.raises(MembershipError):
+            sys_.leave(2)
+
+    def test_every_file_readable_after_many_leaves(self):
+        sys_ = loaded_system(m=5, files=10)
+        for victim in (4, 9, 17, 23, 30):
+            sys_.leave(victim)
+            sys_.check_invariants()
+        entry = next(iter(sys_.membership.live_pids()))
+        for name in sys_.catalog:
+            assert sys_.get(name, entry=entry) is not None
+
+
+class TestFail:
+    def test_fail_b0_loses_unreplicated_files(self):
+        sys_ = LessLogSystem.build(m=4)
+        name = sys_.psi.find_name_for_target(4)
+        sys_.insert(name, payload="x")
+        sys_.fail(4)
+        assert name in sys_.faults
+        with pytest.raises(FileNotFoundInSystemError):
+            sys_.get(name, entry=0)
+
+    def test_fail_b0_recovers_from_replica(self):
+        sys_ = LessLogSystem.build(m=4)
+        name = sys_.psi.find_name_for_target(4)
+        sys_.insert(name, payload="x")
+        sys_.replicate(name, overloaded=4)  # replica at P(5)
+        recovered = sys_.fail(4)
+        assert name in recovered
+        assert name not in sys_.faults
+        sys_.check_invariants()
+        for entry in sys_.membership.live_pids():
+            assert sys_.get(name, entry=entry).payload == "x"
+
+    def test_fail_b2_recovers_from_other_subtree(self):
+        # §5.3: with b>0 the file is copied from another subtree.
+        sys_ = LessLogSystem.build(m=4, b=2)
+        name = sys_.psi.find_name_for_target(4)
+        result = sys_.insert(name, payload="x")
+        victim = result.homes[0]
+        recovered = sys_.fail(victim)
+        assert name in recovered
+        sys_.check_invariants()
+        # Still 4 inserted copies, one per subtree.
+        inserted = [
+            pid
+            for pid in sys_.holders_of(name)
+            if sys_.stores[pid].get(name, count_access=False).origin
+            is FileOrigin.INSERTED
+        ]
+        assert len(inserted) == 4
+
+    def test_fault_tolerance_survives_b2_minus_one_failures(self):
+        sys_ = LessLogSystem.build(m=5, b=2)
+        name = sys_.psi.find_name_for_target(7)
+        homes = list(sys_.insert(name, payload="x").homes)
+        # Fail 3 of the 4 homes one at a time; the file must survive.
+        for victim in homes[:3]:
+            sys_.fail(victim)
+            sys_.check_invariants()
+            entry = next(iter(sys_.membership.live_pids()))
+            assert sys_.get(name, entry=entry).payload == "x"
+
+    def test_fail_dead_node_rejected(self):
+        sys_ = loaded_system(dead=[2])
+        with pytest.raises(MembershipError):
+            sys_.fail(2)
+
+    def test_fail_then_join_rebuilds(self):
+        sys_ = loaded_system(m=4, b=1, files=6)
+        sys_.fail(3)
+        sys_.check_invariants()
+        sys_.join(3)
+        sys_.check_invariants()
+        entry = next(iter(sys_.membership.live_pids()))
+        for name in sys_.catalog:
+            if name not in sys_.faults:
+                assert sys_.get(name, entry=entry) is not None
+
+
+class TestChurnSchedule:
+    def test_generate_is_deterministic(self):
+        sys_ = LessLogSystem.build(m=5)
+        a = ChurnSchedule.generate(sys_, duration=50.0, rate=1.0, seed=3)
+        b = ChurnSchedule.generate(sys_, duration=50.0, rate=1.0, seed=3)
+        assert a.events == b.events
+
+    def test_events_are_consistent(self):
+        sys_ = LessLogSystem.build(m=5, n_live=20, seed=0)
+        schedule = ChurnSchedule.generate(sys_, duration=100.0, rate=2.0, seed=7)
+        assert len(schedule) > 0
+        live = set(sys_.membership.live_pids())
+        for event in schedule:
+            if event.kind is ChurnKind.JOIN:
+                assert event.pid not in live
+                live.add(event.pid)
+            else:
+                assert event.pid in live
+                live.discard(event.pid)
+            assert live  # never emptied
+
+    def test_apply_all_keeps_invariants(self):
+        sys_ = LessLogSystem.build(m=5, b=1, n_live=24, seed=2)
+        for i in range(6):
+            sys_.insert(f"f{i}", payload=i)
+        schedule = ChurnSchedule.generate(sys_, duration=30.0, rate=1.0, seed=5)
+        applied = schedule.apply_all(sys_)
+        assert applied == len(schedule)
+        sys_.check_invariants()
+
+    def test_apply_until_is_incremental(self):
+        sys_ = LessLogSystem.build(m=5, n_live=20, seed=1)
+        schedule = ChurnSchedule.generate(sys_, duration=60.0, rate=1.0, seed=9)
+        first = schedule.apply_until(sys_, 30.0)
+        rest = schedule.apply_until(sys_, 60.0)
+        assert len(first) + len(rest) == len(schedule)
+        assert all(e.time <= 30.0 for e in first)

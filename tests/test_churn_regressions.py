@@ -1,0 +1,87 @@
+"""Regression tests for churn bugs found by the stateful machine.
+
+Each test pins a shrunken hypothesis counterexample so the fix can
+never silently regress.
+"""
+
+import pytest
+
+from repro.cluster import LessLogSystem
+from repro.node.storage import FileOrigin
+
+
+class TestOrphanedReplicaAfterRejoin:
+    """Found 2026-07: a failed holder's replicas became unreachable by
+    the update broadcast once the holder's identifier rejoined empty."""
+
+    def test_update_reaches_replica_after_fail_rejoin(self):
+        sys_ = LessLogSystem(m=4, b=0, live=set(range(16)) - {0}, seed=7)
+        name = sys_.psi.find_name_for_target(8)
+        sys_.insert(name, payload="v1")
+        sys_.join(0)
+        sys_.replicate(name, overloaded=8)   # -> P(9)
+        sys_.replicate(name, overloaded=9)   # -> below P(9)
+        sys_.fail(9)
+        sys_.join(9)
+        sys_.update(name, payload="v2")
+        for pid in sys_.holders_of(name):
+            copy = sys_.stores[pid].get(name, count_access=False)
+            assert copy.payload == "v2", f"stale copy survived at P({pid})"
+        sys_.check_invariants()
+
+    def test_gc_counter_records_collections(self):
+        sys_ = LessLogSystem(m=4, b=0, live=set(range(16)) - {0}, seed=7)
+        name = sys_.psi.find_name_for_target(8)
+        sys_.insert(name)
+        sys_.join(0)
+        sys_.replicate(name, overloaded=8)
+        sys_.replicate(name, overloaded=9)
+        sys_.fail(9)
+        sys_.join(9)
+        assert sys_.metrics.counter("system.orphans_collected").value >= 1
+
+
+class TestEmptySubtreeRepopulation:
+    """Found 2026-07: a subtree whose members all crashed never got its
+    inserted copy back when a node later joined into it."""
+
+    def _drain_subtree(self):
+        sys_ = LessLogSystem(m=4, b=1, live=set(range(16)) - {0}, seed=7)
+        sys_.insert("file-0", payload="v1")
+        for pid in (1, 2, 3, 7, 11, 4, 9, 15, 5, 13):
+            sys_.fail(pid)
+        return sys_
+
+    def test_join_restores_cross_subtree(self):
+        sys_ = self._drain_subtree()
+        assert sys_.holders_of("file-0") == [8]  # one subtree fully gone
+        migrated = sys_.join(1)
+        assert "file-0" in migrated
+        sys_.check_invariants()
+        copy = sys_.stores[1].get("file-0", count_access=False)
+        assert copy.origin is FileOrigin.INSERTED
+        assert sys_.get("file-0", entry=1).payload == "v1"
+
+    def test_fault_degree_recovers_to_2b(self):
+        sys_ = self._drain_subtree()
+        sys_.join(1)
+        inserted = [
+            pid
+            for pid in sys_.holders_of("file-0")
+            if sys_.stores[pid].get("file-0", count_access=False).origin
+            is FileOrigin.INSERTED
+        ]
+        assert len(inserted) == 2  # full 2^b degree restored
+
+    def test_truly_lost_file_stays_lost_on_join(self):
+        # b=0: home crashes with no replica -> lost; a later join of the
+        # same identifier must not resurrect a phantom copy.
+        sys_ = LessLogSystem.build(m=4)
+        name = sys_.psi.find_name_for_target(4)
+        sys_.insert(name)
+        sys_.fail(4)
+        assert name in sys_.faults
+        sys_.join(4)
+        assert name in sys_.faults
+        assert sys_.holders_of(name) == []
+        sys_.check_invariants()

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "fig5", "--fast"])
+        assert args.experiment == "fig5" and args.fast
+
+    def test_tree_args(self):
+        args = build_parser().parse_args(["tree", "--root", "3", "--m", "5", "--dead", "1", "2"])
+        assert (args.root, args.m, args.dead) == (3, 5, [1, 2])
+
+
+class TestCommands:
+    def test_experiments_lists(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "ext-lookup" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_fast_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        assert main(["run", "ext-lookup", "--fast", "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "lookup path length" in out
+        assert csv_path.exists()
+        assert csv_path.read_text().startswith("N (nodes)")
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "[5, 6, 0, 12]" in out
+
+    def test_tree_render(self, capsys):
+        assert main(["tree", "--root", "4", "--m", "4", "--dead", "0", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "P(4) vid=1111" in out
+        assert "[6, 7, 1, 12, 13, 8]" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants hold." in out

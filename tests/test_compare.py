@@ -1,0 +1,86 @@
+"""Tests for sweep comparison (repro.analysis.compare)."""
+
+import math
+
+import pytest
+
+from repro.analysis import SweepResult, compare_sweeps
+
+
+def sweep(name_values: dict[str, list[tuple[float, float]]]) -> SweepResult:
+    s = SweepResult("t", "x", "y")
+    for name, points in name_values.items():
+        for x, y in points:
+            s.add(name, x, y)
+    return s
+
+
+class TestCompareSweeps:
+    def test_identical_sweeps_ratio_one(self):
+        a = sweep({"s": [(1, 10), (2, 20)]})
+        comparisons = compare_sweeps(a, a)
+        assert len(comparisons) == 1
+        c = comparisons[0]
+        assert c.ratios == (1.0, 1.0)
+        assert c.mean_ratio == 1.0
+        assert c.within_factor(1.0)
+
+    def test_ratio_computation(self):
+        a = sweep({"s": [(1, 10), (2, 20)]})
+        b = sweep({"s": [(1, 20), (2, 30)]})
+        c = compare_sweeps(a, b)[0]
+        assert c.ratios == (2.0, 1.5)
+        assert c.mean_ratio == pytest.approx(1.75)
+        assert c.within_factor(2.0)
+        assert not c.within_factor(1.9)
+
+    def test_symmetric_factor(self):
+        a = sweep({"s": [(1, 10)]})
+        b = sweep({"s": [(1, 5)]})
+        c = compare_sweeps(a, b)[0]
+        assert c.within_factor(2.0)
+        assert not c.within_factor(1.5)
+
+    def test_zero_left_values(self):
+        a = sweep({"s": [(1, 0), (2, 0)]})
+        b = sweep({"s": [(1, 0), (2, 5)]})
+        c = compare_sweeps(a, b)[0]
+        assert c.ratios[0] == 1.0
+        assert math.isnan(c.ratios[1])
+        assert not c.within_factor(100.0)
+
+    def test_explicit_series_mapping(self):
+        a = sweep({"fluid": [(1, 4)]})
+        b = sweep({"des": [(1, 5)]})
+        c = compare_sweeps(a, b, series={"fluid": "des"})[0]
+        assert c.ratios == (1.25,)
+
+    def test_shared_grid_only(self):
+        a = sweep({"s": [(1, 10), (2, 20), (3, 30)]})
+        b = sweep({"s": [(2, 22), (3, 33), (4, 44)]})
+        c = compare_sweeps(a, b)[0]
+        assert c.xs == (2.0, 3.0)
+
+    def test_no_common_series_raises(self):
+        with pytest.raises(ValueError):
+            compare_sweeps(sweep({"a": [(1, 1)]}), sweep({"b": [(1, 1)]}))
+
+    def test_no_common_xs_raises(self):
+        with pytest.raises(ValueError):
+            compare_sweeps(sweep({"s": [(1, 1)]}), sweep({"s": [(2, 1)]}))
+
+    def test_bad_factor_rejected(self):
+        c = compare_sweeps(sweep({"s": [(1, 1)]}), sweep({"s": [(1, 1)]}))[0]
+        with pytest.raises(ValueError):
+            c.within_factor(0.5)
+
+
+class TestCompareEngines:
+    def test_fluid_vs_des_via_compare(self):
+        from repro.experiments.extensions import engine_agreement
+
+        result = engine_agreement(m=6, rates=(800.0,), duration=8.0)
+        fluid = SweepResult("f", "x", "y", {"v": result.series["fluid"]})
+        des = SweepResult("d", "x", "y", {"v": result.series["des"]})
+        comparison = compare_sweeps(fluid, des)[0]
+        assert comparison.within_factor(2.5)

@@ -1,0 +1,121 @@
+"""Integration tests for the discrete-event experiment driver."""
+
+import pytest
+
+from repro.baselines import LessLogPolicy, RandomPolicy
+from repro.core.errors import ConfigurationError
+from repro.core.liveness import SetLiveness
+from repro.engine.des_driver import DesExperiment
+from repro.workloads import UniformDemand
+
+
+def make_exp(m=5, target=13, total_rate=600.0, capacity=100.0, dead=(), **kw):
+    liveness = SetLiveness.all_but(m, dead=list(dead))
+    rates = UniformDemand().rates(total_rate, liveness)
+    return DesExperiment(
+        m=m, target=target, entry_rates=rates, capacity=capacity,
+        dead=set(dead), **kw
+    )
+
+
+class TestDesBasics:
+    def test_all_requests_served_without_overload(self):
+        exp = make_exp(total_rate=50.0)
+        result = exp.run(duration=5.0)
+        assert result.replicas_created == 0
+        assert result.faults == 0
+        assert result.requests_served == result.requests_sent
+        assert result.requests_sent == pytest.approx(250, rel=0.3)
+
+    def test_overload_triggers_replication(self):
+        exp = make_exp(total_rate=600.0, capacity=100.0)
+        result = exp.run(duration=8.0)
+        assert result.replicas_created >= 1
+        assert result.requests_served == result.requests_sent
+
+    def test_replication_reduces_observed_rate(self):
+        exp = make_exp(total_rate=600.0, capacity=100.0)
+        result = exp.run(duration=10.0)
+        # The home initially absorbs everything...
+        assert result.max_observed_rate > 300.0
+        # ...but by the end of the workload the hottest node sits near
+        # the detection threshold (window noise allows an excursion).
+        assert result.final_max_rate < exp.detection_threshold * 1.5
+
+    def test_deterministic_given_seed(self):
+        a = make_exp(seed=5).run(duration=4.0)
+        b = make_exp(seed=5).run(duration=4.0)
+        assert a.replicas_created == b.replicas_created
+        assert a.requests_sent == b.requests_sent
+        assert a.replica_events == b.replica_events
+
+    def test_hops_bounded_by_m(self):
+        exp = make_exp(total_rate=100.0)
+        result = exp.run(duration=3.0)
+        assert result.hop_max <= exp.m
+
+    def test_bad_duration_rejected(self):
+        exp = make_exp()
+        with pytest.raises(ConfigurationError):
+            exp.run(duration=0.0)
+
+    def test_bad_rate_shape_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ConfigurationError):
+            DesExperiment(m=5, target=0, entry_rates=np.ones(7))
+
+
+class TestDesWithDeadNodes:
+    def test_dead_target_still_serves(self):
+        exp = make_exp(dead=(13, 9), total_rate=400.0)
+        result = exp.run(duration=6.0)
+        assert result.faults == 0
+        assert result.requests_served == result.requests_sent
+
+    def test_replicas_still_created_with_dead_nodes(self):
+        exp = make_exp(dead=(13, 9, 20), total_rate=800.0)
+        result = exp.run(duration=8.0)
+        assert result.replicas_created >= 1
+        assert result.faults == 0
+
+
+class TestDesPolicies:
+    def test_lesslog_first_replica_is_biggest_child(self):
+        exp = make_exp(total_rate=600.0, policy=LessLogPolicy())
+        result = exp.run(duration=6.0)
+        assert result.replica_events
+        _, source, target = result.replica_events[0]
+        assert source == 13
+        assert target == exp.tree.children(13)[0]
+
+    def test_random_policy_needs_more_replicas(self):
+        # Random placement sheds little load per replica, so given time
+        # to converge it ends up with strictly more replicas.
+        lesslog = make_exp(
+            m=5, total_rate=600.0, policy=LessLogPolicy(), seed=2
+        ).run(duration=40.0)
+        rand = make_exp(
+            m=5, total_rate=600.0, policy=RandomPolicy(), seed=2
+        ).run(duration=40.0)
+        assert rand.replicas_created > lesslog.replicas_created
+
+
+class TestDesFailure:
+    def test_home_failure_causes_faults(self):
+        exp = make_exp(total_rate=200.0, capacity=1000.0)
+        exp.fail_node(13, at_time=2.0)
+        result = exp.run(duration=6.0)
+        # After the crash every request becomes a fault (b=0, no replica).
+        assert result.faults > 0
+        assert result.requests_served < result.requests_sent
+
+    def test_non_home_failure_is_transparent(self):
+        exp = make_exp(total_rate=200.0, capacity=1000.0)
+        # P(12)... pick a leaf in the tree of 13 that is not the home.
+        leaf = next(
+            p for p in range(32) if exp.tree.offspring_count(p) == 0 and p != 13
+        )
+        exp.fail_node(leaf, at_time=2.0)
+        result = exp.run(duration=6.0)
+        assert result.faults == 0

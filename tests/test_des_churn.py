@@ -1,0 +1,78 @@
+"""DES tests for mid-run membership changes (join and fail)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.liveness import SetLiveness
+from repro.core.routing import storage_node
+from repro.engine.des_driver import DesExperiment
+from repro.workloads import UniformDemand
+
+
+def make_exp(m=5, target=13, dead=(), total_rate=200.0, capacity=10_000.0, **kw):
+    liveness = SetLiveness.all_but(m, dead=list(dead))
+    rates = UniformDemand().rates(total_rate, liveness)
+    return DesExperiment(
+        m=m, target=target, entry_rates=rates, capacity=capacity,
+        dead=set(dead), **kw
+    )
+
+
+class TestDesJoin:
+    def test_join_of_dead_target_takes_over(self):
+        # The target is dead at start, so the file lives elsewhere; the
+        # target joins mid-run and must end up holding the file.
+        exp = make_exp(dead=(13,))
+        old_home = storage_node(exp.tree, exp.membership)
+        assert old_home != 13
+        exp.join_node(13, at_time=2.0)
+        result = exp.run(duration=6.0)
+        assert 13 in exp.nodes
+        assert exp.file in exp.nodes[13].store
+        # At most a handful of in-flight requests fault during the
+        # one-latency transfer window.
+        assert result.faults <= 5
+        assert result.requests_served + result.faults == result.requests_sent
+
+    def test_join_of_leaf_is_transparent(self):
+        from repro.core.tree import LookupTree
+
+        tree = LookupTree(13, 5)
+        leaf = next(
+            p for p in range(32) if p != 13 and tree.offspring_count(p) == 0
+        )
+        exp = make_exp(dead=(leaf,))
+        exp.join_node(leaf, at_time=2.0)
+        result = exp.run(duration=5.0)
+        assert result.faults == 0
+        # The leaf never becomes a storage node, so no transfer happens.
+        assert exp.file not in exp.nodes[leaf].store
+
+    def test_join_of_live_node_raises(self):
+        exp = make_exp()
+        exp.join_node(7, at_time=1.0)
+        with pytest.raises(ConfigurationError):
+            exp.run(duration=3.0)
+
+    def test_joined_node_serves_requests(self):
+        exp = make_exp(dead=(13,), total_rate=300.0)
+        exp.join_node(13, at_time=1.0)
+        result = exp.run(duration=8.0)
+        served_at_13 = exp.nodes[13].store.get(
+            exp.file, count_access=False
+        ).access_count
+        assert served_at_13 > 0
+        assert result.requests_served + result.faults == result.requests_sent
+
+
+class TestDesFailThenJoin:
+    def test_recovery_cycle(self):
+        # Fail a mid-tree node, then have it rejoin: the overlay routes
+        # around it while dead and through it again afterwards.
+        exp = make_exp(total_rate=300.0)
+        victim = exp.tree.children(13)[0]
+        exp.fail_node(victim, at_time=2.0)
+        exp.join_node(victim, at_time=4.0)
+        result = exp.run(duration=8.0)
+        assert result.faults == 0
+        assert victim in exp.nodes

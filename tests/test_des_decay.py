@@ -1,0 +1,89 @@
+"""Tests for DES run schedules and counter-based replica decay."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.liveness import SetLiveness
+from repro.engine.des_driver import DesExperiment
+from repro.experiments.extensions import gossip_staleness_study, replica_decay_study
+from repro.workloads import UniformDemand
+
+
+def make_exp(m=6, target=19, total_rate=1200.0, capacity=100.0, **kw):
+    liveness = SetLiveness(m, range(1 << m))
+    rates = UniformDemand().rates(total_rate, liveness)
+    return DesExperiment(
+        m=m, target=target, entry_rates=rates, capacity=capacity, **kw
+    )
+
+
+class TestRunSchedule:
+    def test_phases_validate(self):
+        exp = make_exp()
+        with pytest.raises(ConfigurationError):
+            exp.run_schedule([])
+        exp2 = make_exp()
+        with pytest.raises(ConfigurationError):
+            exp2.run_schedule([(0.0, 1.0)])
+        exp3 = make_exp()
+        with pytest.raises(ConfigurationError):
+            exp3.run_schedule([(1.0, -0.5)])
+
+    def test_series_is_sampled(self):
+        exp = make_exp(total_rate=200.0, capacity=10_000.0)
+        _, series = exp.run_schedule([(4.0, 1.0)], sample_replicas_every=0.5)
+        assert len(series) >= 8
+        times = [t for t, _ in series]
+        assert times == sorted(times)
+
+    def test_two_phases_carry_different_rates(self):
+        exp = make_exp(total_rate=400.0, capacity=10_000.0)
+        result, _ = exp.run_schedule([(5.0, 1.0), (5.0, 0.1)])
+        # ~400*5 + 40*5 = ~2200 requests expected.
+        assert result.requests_sent == pytest.approx(2200, rel=0.2)
+
+
+class TestReplicaDecay:
+    def test_flash_crowd_then_decay(self):
+        exp = make_exp(removal_threshold=5.0, seed=1)
+        result, series = exp.run_schedule([(10.0, 1.0), (15.0, 0.05)])
+        counts = [c for _, c in series]
+        peak = max(counts)
+        assert peak >= 10                      # the crowd forced replication
+        assert counts[-1] <= peak // 3         # the quiet phase drained it
+        assert exp.metrics.counter("des.replicas_removed").value > 0
+
+    def test_no_threshold_no_decay(self):
+        exp = make_exp(removal_threshold=0.0, seed=1)
+        _, series = exp.run_schedule([(10.0, 1.0), (10.0, 0.05)])
+        counts = [c for _, c in series]
+        assert counts[-1] == max(counts)  # replicas stay forever
+        assert exp.metrics.counter("des.replicas_removed").value == 0
+
+    def test_inserted_copy_never_removed(self):
+        exp = make_exp(removal_threshold=50.0, seed=2)
+        exp.run_schedule([(6.0, 1.0), (8.0, 0.01)])
+        from repro.core.routing import storage_node
+
+        home = storage_node(exp.tree, exp.membership)
+        assert exp.file in exp.nodes[home].store
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_exp(removal_threshold=-1.0)
+
+
+class TestExtensionStudies:
+    def test_decay_study_shape(self):
+        result = replica_decay_study(thresholds=(0.0, 5.0))
+        assert result.value("removed", 0.0) == 0
+        assert result.value("removed", 5.0) > 0
+        assert result.value("final replicas", 5.0) < result.value(
+            "final replicas", 0.0
+        )
+
+    def test_gossip_study_monotone_in_delay(self):
+        result = gossip_staleness_study(delays=(0.2, 2.0))
+        assert result.value("requests lost", 0.2) <= result.value(
+            "requests lost", 2.0
+        )

@@ -1,0 +1,90 @@
+"""DES tests for the §4 fault-tolerant mode (b > 0)."""
+
+import pytest
+
+from repro.baselines import LessLogPolicy
+from repro.core.liveness import SetLiveness
+from repro.core.subtree import SubtreeView, insert_targets, subtree_of_pid
+from repro.engine.des_driver import DesExperiment
+from repro.workloads import UniformDemand
+
+
+def make_exp(m=5, b=1, target=13, total_rate=300.0, capacity=100.0, dead=(), **kw):
+    liveness = SetLiveness.all_but(m, dead=list(dead))
+    rates = UniformDemand().rates(total_rate, liveness)
+    return DesExperiment(
+        m=m, target=target, entry_rates=rates, capacity=capacity,
+        dead=set(dead), b=b, **kw
+    )
+
+
+class TestSubtreeRouting:
+    def test_all_requests_served(self):
+        exp = make_exp(b=1, total_rate=200.0, capacity=1000.0)
+        result = exp.run(duration=5.0)
+        assert result.faults == 0
+        assert result.requests_served == result.requests_sent
+
+    def test_b2_all_served(self):
+        exp = make_exp(m=6, b=2, total_rate=300.0, capacity=1000.0)
+        result = exp.run(duration=5.0)
+        assert result.faults == 0
+        assert result.requests_served == result.requests_sent
+
+    def test_hops_bounded_by_subtree_width(self):
+        exp = make_exp(m=6, b=2, total_rate=200.0, capacity=1000.0)
+        result = exp.run(duration=4.0)
+        # Route stays inside one subtree: at most m - b climb hops
+        # (plus the storage jump), no migrations in a healthy system.
+        assert result.hop_max <= (exp.m - exp.b) + 1
+        assert exp.metrics.counter("des.migrations").value == 0
+
+    def test_overload_replicates_within_subtree(self):
+        exp = make_exp(m=6, b=1, total_rate=1200.0, capacity=100.0)
+        result = exp.run(duration=10.0)
+        assert result.replicas_created >= 1
+        for _, source, target in result.replica_events:
+            assert subtree_of_pid(exp.tree, source, 1) == subtree_of_pid(
+                exp.tree, target, 1
+            )
+
+
+class TestSubtreeMigration:
+    def test_requests_migrate_after_home_failure(self):
+        # Kill one subtree's home mid-run: requests entering that
+        # subtree must migrate to the other subtree, not fault.
+        exp = make_exp(m=5, b=1, total_rate=200.0, capacity=10_000.0)
+        homes = insert_targets(exp.tree, 1, exp.membership)
+        assert len(homes) == 2
+        exp.fail_node(homes[0], at_time=2.0)
+        result = exp.run(duration=8.0)
+        assert result.faults == 0
+        assert exp.metrics.counter("des.migrations").value > 0
+        # Messages already in flight to the victim at crash time are
+        # physically unrecoverable; everything else must be served.
+        assert result.requests_sent - result.requests_served <= 3
+
+    def test_all_homes_failed_faults(self):
+        exp = make_exp(m=5, b=1, total_rate=100.0, capacity=10_000.0)
+        for i, home in enumerate(insert_targets(exp.tree, 1, exp.membership)):
+            exp.fail_node(home, at_time=1.0 + 0.1 * i)
+        result = exp.run(duration=6.0)
+        assert result.faults > 0
+
+    def test_dead_subtree_members_at_start(self):
+        # A subtree with dead members still routes internally.
+        m = 5
+        tree_target = 13
+        exp = make_exp(m=m, b=1, target=tree_target, dead=(2, 9), total_rate=200.0,
+                       capacity=10_000.0)
+        result = exp.run(duration=5.0)
+        assert result.faults == 0
+        assert result.requests_served == result.requests_sent
+
+
+class TestFaultTolerantDeterminism:
+    def test_deterministic_given_seed(self):
+        a = make_exp(m=5, b=1, total_rate=600.0, seed=4).run(duration=6.0)
+        b = make_exp(m=5, b=1, total_rate=600.0, seed=4).run(duration=6.0)
+        assert a.replicas_created == b.replicas_created
+        assert a.replica_events == b.replica_events

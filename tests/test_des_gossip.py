@@ -1,0 +1,139 @@
+"""DES tests for gossip-mode membership (§5.1 status-word broadcasts).
+
+In gossip mode each node routes on its own status word; membership
+changes propagate only through REGISTER_* broadcasts, so there is a
+real window of stale views after a crash.
+"""
+
+import pytest
+
+from repro.core.liveness import SetLiveness
+from repro.engine.des_driver import DesExperiment
+from repro.net.message import Message, MessageKind
+from repro.workloads import UniformDemand
+
+
+def make_exp(m=5, target=13, dead=(), total_rate=300.0, capacity=10_000.0, **kw):
+    liveness = SetLiveness.all_but(m, dead=list(dead))
+    rates = UniformDemand().rates(total_rate, liveness)
+    return DesExperiment(
+        m=m, target=target, entry_rates=rates, capacity=capacity,
+        dead=set(dead), gossip=True, **kw
+    )
+
+
+class TestGossipSteadyState:
+    def test_behaves_like_oracle_without_churn(self):
+        exp = make_exp()
+        result = exp.run(duration=5.0)
+        assert result.faults == 0
+        assert result.requests_served == result.requests_sent
+
+    def test_views_start_consistent(self):
+        exp = make_exp(dead=(9,))
+        for node in exp.nodes.values():
+            assert node.membership == exp.membership
+            assert node.membership is not exp.membership  # own copies
+
+
+class TestGossipFailure:
+    def test_stale_views_drop_messages_then_converge(self):
+        # Crash a mid-tree node.  Until the detector broadcast lands,
+        # peers keep routing through the corpse and the transport drops
+        # those messages; afterwards everyone routes around it.
+        exp = make_exp(total_rate=500.0, detection_delay=1.0)
+        victim = exp.tree.children(13)[0]
+        exp.fail_node(victim, at_time=2.0)
+        result = exp.run(duration=8.0)
+        dropped = exp.metrics.counter("transport.dropped_dead").value
+        assert dropped > 0  # the stale window is real
+        # After convergence every view marks the victim dead.
+        for node in exp.nodes.values():
+            assert not node.membership.is_live(victim)
+        # Lost requests are bounded by roughly the stale window's traffic.
+        lost = result.requests_sent - result.requests_served - result.faults
+        assert lost <= 500.0 * 2.5
+
+    def test_faster_detection_loses_less(self):
+        losses = {}
+        for delay in (0.2, 2.0):
+            exp = make_exp(total_rate=500.0, detection_delay=delay, seed=3)
+            victim = exp.tree.children(13)[0]
+            exp.fail_node(victim, at_time=2.0)
+            result = exp.run(duration=8.0)
+            losses[delay] = (
+                result.requests_sent - result.requests_served - result.faults
+            )
+        assert losses[0.2] <= losses[2.0]
+
+    def test_oracle_mode_has_no_stale_window(self):
+        liveness = SetLiveness.all_but(5, dead=[])
+        rates = UniformDemand().rates(500.0, liveness)
+        exp = DesExperiment(
+            m=5, target=13, entry_rates=rates, capacity=10_000.0, gossip=False
+        )
+        victim = exp.tree.children(13)[0]
+        exp.fail_node(victim, at_time=2.0)
+        result = exp.run(duration=6.0)
+        # Oracle views update instantly: the only possible losses are
+        # messages already in flight at the crash instant.
+        assert exp.metrics.counter("transport.dropped_dead").value <= 3
+        assert result.requests_sent - result.requests_served <= 3
+
+
+class TestGossipJoin:
+    def test_join_broadcast_converges_views(self):
+        exp = make_exp(dead=(7,))
+        exp.join_node(7, at_time=2.0)
+        exp.run(duration=6.0)
+        for node in exp.nodes.values():
+            assert node.membership.is_live(7)
+
+    def test_joiner_adopts_neighbour_word(self):
+        exp = make_exp(dead=(7, 9))
+        exp.join_node(7, at_time=2.0)
+        exp.run(duration=6.0)
+        # The joiner learned about P(9)'s deadness from its neighbour.
+        assert not exp.nodes[7].membership.is_live(9)
+
+
+class TestMembershipAgentUnit:
+    def test_handle_only_membership_kinds(self):
+        from repro.node.gossip import MembershipAgent
+        from repro.node.membership import StatusWord
+        from repro.net.transport import Transport
+        from repro.sim.engine import Engine
+
+        agent = MembershipAgent(0, StatusWord(4, live=[0, 1]), Transport(Engine()))
+        assert agent.handle(Message(MessageKind.REGISTER_LIVE, 1, 0, payload=5))
+        assert agent.word.is_live(5)
+        assert agent.handle(Message(MessageKind.REGISTER_DEAD, 1, 0, payload=1))
+        assert not agent.word.is_live(1)
+        assert not agent.handle(Message(MessageKind.GET, 1, 0))
+
+    def test_broadcast_counts_and_excludes_self(self):
+        from repro.node.gossip import MembershipAgent
+        from repro.node.membership import StatusWord
+        from repro.net.transport import Transport
+        from repro.sim.engine import Engine
+
+        engine = Engine()
+        transport = Transport(engine)
+        received = []
+        for pid in (1, 2):
+            transport.register(pid, lambda m, pid=pid: received.append((pid, m.payload)))
+        agent = MembershipAgent(0, StatusWord(4, live=[0, 1, 2]), transport)
+        sent = agent.broadcast(MessageKind.REGISTER_DEAD, 2)
+        engine.run()
+        assert sent == 1  # 2 was deregistered locally first, self skipped
+        assert received == [(1, 2)]
+
+    def test_broadcast_rejects_non_membership_kind(self):
+        from repro.node.gossip import MembershipAgent
+        from repro.node.membership import StatusWord
+        from repro.net.transport import Transport
+        from repro.sim.engine import Engine
+
+        agent = MembershipAgent(0, StatusWord(4, live=[0]), Transport(Engine()))
+        with pytest.raises(ValueError):
+            agent.broadcast(MessageKind.GET, 1)

@@ -1,0 +1,52 @@
+"""Tests for client-observed latency measurement in the DES."""
+
+import pytest
+
+from repro.core.liveness import SetLiveness
+from repro.engine.des_driver import DesExperiment
+from repro.net.topology import ConstantLatency
+from repro.workloads import UniformDemand
+
+
+def make_exp(m=5, target=13, total_rate=200.0, hop_latency=0.01,
+             capacity=10_000.0, **kw):
+    liveness = SetLiveness(m, range(1 << m))
+    rates = UniformDemand().rates(total_rate, liveness)
+    return DesExperiment(
+        m=m, target=target, entry_rates=rates, capacity=capacity,
+        latency=ConstantLatency(hop_latency), **kw
+    )
+
+
+class TestLatencyMeasurement:
+    def test_latency_scales_with_hops(self):
+        exp = make_exp(hop_latency=0.01)
+        result = exp.run(duration=5.0)
+        # Response time = (client->entry) + hops + (server->client),
+        # i.e. (hop_mean + 2) network legs on average.
+        expected = (result.hop_mean + 2) * 0.01
+        assert result.latency_mean == pytest.approx(expected, rel=0.15)
+
+    def test_latency_zero_with_zero_network(self):
+        exp = make_exp(hop_latency=0.0)
+        result = exp.run(duration=3.0)
+        assert result.latency_mean == 0.0
+
+    def test_p95_at_least_mean(self):
+        exp = make_exp(hop_latency=0.02)
+        result = exp.run(duration=4.0)
+        assert result.latency_p95 >= result.latency_mean
+
+    def test_latency_bounded_by_worst_path(self):
+        exp = make_exp(hop_latency=0.01)
+        result = exp.run(duration=4.0)
+        # Worst case: m forwarding hops + entry leg + reply leg.
+        assert result.latency_p95 <= (exp.m + 2) * 0.01 + 1e-9
+
+    def test_replicas_cut_latency(self):
+        # With the file replicated widely, requests stop earlier.
+        far = make_exp(total_rate=150.0, seed=1).run(duration=5.0)
+        crowded = make_exp(total_rate=1500.0, capacity=100.0, seed=1)
+        result = crowded.run(duration=10.0)
+        assert result.replicas_created > 0
+        assert result.latency_mean < far.latency_mean + 0.05

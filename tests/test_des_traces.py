@@ -1,0 +1,90 @@
+"""Trace-level integration tests for the DES.
+
+Attach a Tracer to the transport, run a small experiment, and verify
+per-request properties of the actual message flow — the strongest
+end-to-end check that routing behaves like the paper's GETFILE.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core.liveness import SetLiveness
+from repro.engine.des_driver import CLIENT, DesExperiment
+from repro.sim.trace import Tracer
+from repro.workloads import UniformDemand
+
+M = 5
+TARGET = 13
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    liveness = SetLiveness.all_but(M, dead=[9])
+    rates = UniformDemand().rates(150.0, liveness)
+    exp = DesExperiment(
+        m=M, target=TARGET, entry_rates=rates, capacity=10_000.0,
+        dead={9}, seed=3,
+    )
+    tracer = Tracer()
+    exp.transport.tracer = tracer
+    result = exp.run(duration=5.0)
+    return exp, tracer, result
+
+
+def _request_chains(tracer):
+    """request_id -> ordered list of GET sends (src, dst)."""
+    chains = defaultdict(list)
+    for record in tracer.of_kind("send"):
+        if record.data["msg_kind"] == "get":
+            chains[record.data["request_id"]].append(
+                (record.data["src"], record.data["dst"])
+            )
+    return chains
+
+
+class TestRequestChains:
+    def test_every_request_has_contiguous_chain(self, traced_run):
+        _, tracer, _ = traced_run
+        chains = _request_chains(tracer)
+        assert chains
+        for hops in chains.values():
+            assert hops[0][0] == CLIENT
+            for (_, dst), (nxt_src, _) in zip(hops, hops[1:]):
+                assert dst == nxt_src  # forwarded from where it arrived
+
+    def test_chains_climb_vids(self, traced_run):
+        exp, tracer, _ = traced_run
+        for hops in _request_chains(tracer).values():
+            vids = [exp.tree.vid_of(dst) for _, dst in hops]
+            assert all(a < b for a, b in zip(vids, vids[1:]))
+
+    def test_chains_avoid_dead_nodes(self, traced_run):
+        _, tracer, _ = traced_run
+        for hops in _request_chains(tracer).values():
+            assert all(dst != 9 for _, dst in hops)
+
+    def test_every_request_gets_exactly_one_reply(self, traced_run):
+        _, tracer, result = traced_run
+        replies = defaultdict(int)
+        for record in tracer.of_kind("send"):
+            if record.data["msg_kind"] == "get_reply":
+                replies[record.data["request_id"]] += 1
+        chains = _request_chains(tracer)
+        assert len(replies) == len(chains) == result.requests_sent
+        assert all(count == 1 for count in replies.values())
+
+    def test_reply_goes_to_client(self, traced_run):
+        _, tracer, _ = traced_run
+        for record in tracer.of_kind("send"):
+            if record.data["msg_kind"] == "get_reply":
+                assert record.data["dst"] == CLIENT
+
+    def test_chain_lengths_bounded(self, traced_run):
+        _, tracer, _ = traced_run
+        for hops in _request_chains(tracer).values():
+            assert len(hops) <= M + 1
+
+    def test_no_drops_in_static_run(self, traced_run):
+        _, tracer, _ = traced_run
+        assert tracer.of_kind("drop") == []

@@ -1,0 +1,82 @@
+"""DES tests for message-level update propagation (§2.2/§3/§4)."""
+
+import pytest
+
+from repro.core.liveness import SetLiveness
+from repro.engine.des_driver import DesExperiment
+from repro.workloads import UniformDemand
+
+
+def make_exp(m=5, b=0, target=13, total_rate=800.0, capacity=100.0, dead=(), **kw):
+    liveness = SetLiveness.all_but(m, dead=list(dead))
+    rates = UniformDemand().rates(total_rate, liveness)
+    return DesExperiment(
+        m=m, target=target, entry_rates=rates, capacity=capacity,
+        dead=set(dead), b=b, **kw
+    )
+
+
+def holder_versions(exp):
+    return {
+        pid: node.store.get(exp.file, count_access=False).version
+        for pid, node in exp.nodes.items()
+        if exp.file in node.store
+    }
+
+
+class TestDesUpdate:
+    def test_update_reaches_all_replicas(self):
+        # Let replication fan copies out, then broadcast an update late
+        # in the run: every holder must converge to the new version.
+        exp = make_exp(total_rate=800.0, capacity=100.0)
+        exp.update_file(payload=b"v2", version=2, at_time=9.0)
+        exp.run(duration=10.0)
+        versions = holder_versions(exp)
+        assert len(versions) > 1  # replication actually happened
+        assert set(versions.values()) == {2}
+        assert exp.metrics.counter("des.update_applied").value == len(versions)
+
+    def test_update_with_dead_root_bypasses(self):
+        exp = make_exp(dead=(13,), total_rate=600.0)
+        exp.update_file(payload=b"v2", version=2, at_time=8.0)
+        exp.run(duration=9.0)
+        assert set(holder_versions(exp).values()) == {2}
+
+    def test_update_in_fault_tolerant_mode(self):
+        exp = make_exp(m=6, b=2, total_rate=400.0, capacity=10_000.0)
+        exp.update_file(payload=b"v2", version=2, at_time=3.0)
+        exp.run(duration=4.0)
+        versions = holder_versions(exp)
+        assert len(versions) == 4  # one home per subtree
+        assert set(versions.values()) == {2}
+
+    def test_non_holders_discard(self):
+        exp = make_exp(total_rate=100.0, capacity=10_000.0)
+        exp.update_file(payload=b"v2", version=2, at_time=2.0)
+        exp.run(duration=3.0)
+        # Single holder, so the root's non-holder children all discard.
+        assert exp.metrics.counter("des.update_discards").value > 0
+        assert exp.metrics.counter("des.update_applied").value == 1
+
+    def test_stale_update_ignored(self):
+        exp = make_exp(total_rate=100.0, capacity=10_000.0)
+        exp.update_file(payload=b"v3", version=3, at_time=1.0)
+        exp.update_file(payload=b"old", version=2, at_time=2.0)
+        exp.run(duration=3.0)
+        home = next(iter(holder_versions(exp)))
+        copy = exp.nodes[home].store.get(exp.file, count_access=False)
+        assert copy.version == 3
+        assert copy.payload == b"v3"
+
+
+class TestDesLossyTransport:
+    def test_runs_under_message_loss(self):
+        from repro.net.topology import ConstantLatency
+
+        exp = make_exp(total_rate=300.0, capacity=10_000.0)
+        exp.transport.loss_rate = 0.1
+        result = exp.run(duration=6.0)
+        # Some requests die in flight; nothing crashes and accounting
+        # stays consistent.
+        assert result.requests_served < result.requests_sent
+        assert exp.metrics.counter("transport.lost").value > 0

@@ -1,0 +1,147 @@
+"""Edge-case tests across the stack: guards, degenerate sizes, limits."""
+
+import pytest
+
+from repro.cluster import ChurnSchedule, LessLogSystem
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.core.liveness import SetLiveness
+from repro.core.tree import LookupTree, VirtualTree
+from repro.sim import Engine
+
+
+class TestMinimalSystems:
+    def test_m1_system_works(self):
+        # Two identifiers: the smallest legal system.
+        system = LessLogSystem.build(m=1)
+        system.insert("f", payload=1)
+        for entry in (0, 1):
+            assert system.get("f", entry=entry).payload == 1
+        system.check_invariants()
+
+    def test_m1_tree_structure(self):
+        tree = LookupTree(0, 1)
+        assert tree.children(0) == [1]
+        assert tree.path_to_root(1) == [1, 0]
+        VirtualTree(1).validate()
+
+    def test_single_live_node_system(self):
+        system = LessLogSystem(m=3, live={5})
+        system.insert("f", payload="x")
+        assert system.holders_of("f") == [5]
+        assert system.get("f", entry=5).payload == "x"
+
+    def test_single_node_cannot_leave(self):
+        system = LessLogSystem(m=3, live={5})
+        system.insert("f")
+        system.leave(5)
+        # The last copy is gone and the file is recorded lost.
+        assert "f" in system.faults
+
+    def test_b_equal_m_minus_one(self):
+        # Subtrees of size 2: the most extreme legal split.
+        system = LessLogSystem.build(m=3, b=2)
+        result = system.insert("f", payload=0)
+        assert len(result.homes) == 4
+        system.check_invariants()
+
+
+class TestEngineGuards:
+    def test_reentrant_run_rejected(self):
+        engine = Engine()
+
+        def recurse():
+            engine.run()
+
+        engine.schedule(0.0, recurse)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_reentrant_run_until_rejected(self):
+        engine = Engine()
+
+        def recurse():
+            engine.run_until(10.0)
+
+        engine.schedule(0.0, recurse)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+
+class TestChurnScheduleEdges:
+    def test_zero_rate_is_empty(self):
+        system = LessLogSystem.build(m=4)
+        schedule = ChurnSchedule.generate(system, duration=100.0, rate=0.0)
+        assert len(schedule) == 0
+        assert schedule.apply_all(system) == 0
+
+    def test_negative_parameters_rejected(self):
+        system = LessLogSystem.build(m=4)
+        with pytest.raises(ConfigurationError):
+            ChurnSchedule.generate(system, duration=-1.0, rate=1.0)
+        with pytest.raises(ConfigurationError):
+            ChurnSchedule.generate(system, duration=1.0, rate=-1.0)
+
+    def test_join_only_weights(self):
+        system = LessLogSystem.build(m=4, n_live=4, seed=0)
+        schedule = ChurnSchedule.generate(
+            system, duration=50.0, rate=1.0, weights=(1.0, 0.0, 0.0), seed=1
+        )
+        from repro.cluster import ChurnKind
+
+        assert all(e.kind is ChurnKind.JOIN for e in schedule)
+        schedule.apply_all(system)
+        assert system.n_live > 4
+
+    def test_fail_only_never_empties(self):
+        system = LessLogSystem.build(m=4, n_live=3, seed=0)
+        schedule = ChurnSchedule.generate(
+            system, duration=500.0, rate=1.0, weights=(0.0, 0.0, 1.0), seed=2
+        )
+        schedule.apply_all(system)
+        assert system.n_live >= 1
+
+    def test_pending_shrinks_as_applied(self):
+        system = LessLogSystem.build(m=4)
+        schedule = ChurnSchedule.generate(system, duration=30.0, rate=1.0, seed=3)
+        if not len(schedule):
+            pytest.skip("seeded schedule happened to be empty")
+        before = len(schedule.pending())
+        mid = schedule.events[len(schedule.events) // 2].time
+        schedule.apply_until(system, mid)
+        assert len(schedule.pending()) < before
+
+
+class TestDegenerateDemand:
+    def test_zero_total_rate_uniform(self):
+        from repro.core.liveness import AllLive
+        from repro.workloads import UniformDemand
+
+        rates = UniformDemand().rates(0.0, AllLive(4))
+        assert rates.sum() == 0.0
+
+    def test_fluid_with_zero_demand_is_trivially_balanced(self):
+        import numpy as np
+
+        from repro.baselines import LessLogPolicy
+        from repro.engine.fluid import FluidSimulation
+
+        liveness = SetLiveness(4, range(16))
+        sim = FluidSimulation(
+            LookupTree(4, 4), liveness, np.zeros(16), capacity=1.0
+        )
+        result = sim.balance(LessLogPolicy())
+        assert result.replicas_created == 0 and result.balanced
+
+
+class TestLargeWidthGuards:
+    def test_width_over_limit_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTree(0, 31)
+
+    def test_width_30_tree_operations_ok(self):
+        # Construction and O(1)/O(m) ops must work even at the cap
+        # (no materialisation of the 2^30 space).
+        tree = LookupTree(123_456_789 % (1 << 30), 30)
+        pid = 42
+        assert tree.pid_of(tree.vid_of(pid)) == pid
+        assert len(tree.path_to_root(pid)) <= 31

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs clean as a subprocess."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 4
+
+
+@pytest.mark.parametrize("script", [p.name for p in EXAMPLES])
+def test_example_runs_clean(script):
+    proc = run_example(script)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()  # says something
+    assert "Traceback" not in proc.stderr
+
+
+def test_quickstart_output_highlights():
+    proc = run_example("quickstart.py")
+    assert "invariants hold" in proc.stdout
+    assert "churn" in proc.stdout
+
+
+def test_sweep_shows_policy_ordering():
+    proc = run_example("load_balancing_sweep.py")
+    assert "random/lesslog replica ratio" in proc.stdout
+
+
+def test_flash_crowd_reports_shedding():
+    proc = run_example("flash_crowd.py")
+    assert "replicas created" in proc.stdout
+    assert "shed" in proc.stdout
+
+
+def test_churn_resilience_shows_b_sweep():
+    proc = run_example("churn_resilience.py")
+    assert "copies/file" in proc.stdout

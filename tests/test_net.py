@@ -1,0 +1,143 @@
+"""Unit tests for the network substrate (repro.net)."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    ConstantLatency,
+    CoordinateLatency,
+    Message,
+    MessageKind,
+    Transport,
+    UniformLatency,
+)
+from repro.sim import Engine, Tracer
+
+
+class TestMessage:
+    def test_forwarded_increments_hops(self):
+        msg = Message(MessageKind.GET, src=-1, dst=3, file="f")
+        fwd = msg.forwarded(3, 7)
+        assert (fwd.src, fwd.dst, fwd.hops) == (3, 7, 1)
+        assert fwd.request_id == msg.request_id
+        assert msg.hops == 0  # original untouched
+
+    def test_reply_swaps_direction(self):
+        msg = Message(MessageKind.GET, src=2, dst=9, file="f")
+        reply = msg.reply(MessageKind.GET_REPLY, payload=b"x")
+        assert (reply.src, reply.dst) == (9, 2)
+        assert reply.payload == b"x"
+        assert reply.request_id == msg.request_id
+
+    def test_request_ids_unique(self):
+        a = Message(MessageKind.GET, 0, 1)
+        b = Message(MessageKind.GET, 0, 1)
+        assert a.request_id != b.request_id
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(0.05)
+        assert model.delay(1, 2) == 0.05
+        assert model.delay(3, 3) == 0.0
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.1)
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(0.01, 0.02, rng=random.Random(0))
+        for _ in range(50):
+            assert 0.01 <= model.delay(0, 1) < 0.02
+        assert model.delay(5, 5) == 0.0
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.2, 0.1)
+
+    def test_coordinate_symmetric_and_deterministic(self):
+        model = CoordinateLatency(16, seed=1)
+        assert model.delay(2, 9) == model.delay(9, 2)
+        assert model.delay(2, 9) == CoordinateLatency(16, seed=1).delay(2, 9)
+        assert model.delay(4, 4) == 0.0
+        assert model.delay(2, 9) >= model.base
+
+    def test_coordinate_range_check(self):
+        model = CoordinateLatency(4)
+        with pytest.raises(ValueError):
+            model.delay(0, 7)
+
+
+class TestTransport:
+    def test_delivery_after_latency(self):
+        engine = Engine()
+        transport = Transport(engine, latency=ConstantLatency(0.5))
+        received = []
+        transport.register(1, lambda m: received.append((engine.now, m.file)))
+        transport.send(Message(MessageKind.GET, src=0, dst=1, file="f"))
+        engine.run()
+        assert received == [(0.5, "f")]
+
+    def test_delivery_to_unregistered_is_dropped(self):
+        engine = Engine()
+        transport = Transport(engine)
+        transport.send(Message(MessageKind.GET, src=0, dst=42))
+        engine.run()
+        assert transport.metrics.counter("transport.dropped_dead").value == 1
+
+    def test_unregister_mid_flight_drops(self):
+        engine = Engine()
+        transport = Transport(engine, latency=ConstantLatency(1.0))
+        received = []
+        transport.register(1, lambda m: received.append(m))
+        transport.send(Message(MessageKind.GET, src=0, dst=1))
+        transport.unregister(1)
+        engine.run()
+        assert received == []
+        assert transport.metrics.counter("transport.dropped_dead").value == 1
+
+    def test_loss_rate(self):
+        engine = Engine()
+        transport = Transport(engine, loss_rate=0.5, rng=random.Random(3))
+        received = []
+        transport.register(1, lambda m: received.append(m))
+        for _ in range(200):
+            transport.send(Message(MessageKind.GET, src=0, dst=1))
+        engine.run()
+        lost = transport.metrics.counter("transport.lost").value
+        assert lost + len(received) == 200
+        assert 60 < lost < 140
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            Transport(Engine(), loss_rate=1.0)
+
+    def test_tracer_records_sends(self):
+        engine = Engine()
+        tracer = Tracer()
+        transport = Transport(engine, tracer=tracer)
+        transport.register(1, lambda m: None)
+        transport.send(Message(MessageKind.INSERT, src=0, dst=1, file="f"))
+        engine.run()
+        sends = tracer.of_kind("send")
+        assert len(sends) == 1
+        assert sends[0].data["msg_kind"] == "insert"
+
+    def test_fifo_between_same_endpoints(self):
+        engine = Engine()
+        transport = Transport(engine, latency=ConstantLatency(0.1))
+        received = []
+        transport.register(1, lambda m: received.append(m.payload))
+        for i in range(5):
+            transport.send(Message(MessageKind.GET, src=0, dst=1, payload=i))
+        engine.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_deliver_local_is_synchronous(self):
+        engine = Engine()
+        transport = Transport(engine)
+        received = []
+        transport.register(1, lambda m: received.append(m))
+        transport.deliver_local(Message(MessageKind.GET, src=1, dst=1))
+        assert len(received) == 1

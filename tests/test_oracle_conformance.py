@@ -1,0 +1,193 @@
+"""Conformance against independent brute-force oracles.
+
+The core package computes everything with bitwise identities.  These
+tests re-derive the same structures a completely different way —
+explicit recursive tree construction and graph search — and compare
+exhaustively at small widths.  Any algebra bug that slipped past the
+example-based tests has to disagree with the oracle somewhere.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import vid as V
+from repro.core.children import advanced_children_list
+from repro.core.liveness import SetLiveness
+from repro.core.routing import resolve_route, storage_node
+from repro.core.tree import LookupTree
+
+
+# -- oracle: explicit binomial-tree construction -------------------------
+
+def oracle_children(m: int) -> dict[int, list[int]]:
+    """Build the virtual tree's child lists by textbook recursion.
+
+    A binomial tree B_k rooted at r is built by linking two B_{k-1}
+    trees.  We instead construct from the paper's Property 1 read
+    literally off binary strings — an independent string-based
+    implementation (no shared helpers with the core package).
+    """
+    children: dict[int, list[int]] = {}
+    for v in range(1 << m):
+        bits = format(v, f"0{m}b")
+        run = len(bits) - len(bits.lstrip("1"))
+        kids = []
+        for i in range(run):
+            flipped = bits[:i] + "0" + bits[i + 1:]
+            kids.append(int(flipped, 2))
+        children[v] = kids
+    return children
+
+
+def oracle_parent_map(m: int) -> dict[int, int]:
+    parents: dict[int, int] = {}
+    for v, kids in oracle_children(m).items():
+        for c in kids:
+            parents[c] = v
+    return parents
+
+
+def oracle_subtree(v: int, m: int) -> set[int]:
+    out = {v}
+    stack = [v]
+    children = oracle_children(m)
+    while stack:
+        node = stack.pop()
+        for c in children[node]:
+            out.add(c)
+            stack.append(c)
+    return out
+
+
+def oracle_route(tree: LookupTree, entry: int, live: set[int]) -> list[int]:
+    """GETFILE walk computed over the explicit parent map."""
+    parents = oracle_parent_map(tree.m)
+    route = [entry]
+    vid = tree.vid_of(entry)
+    top = (1 << tree.m) - 1
+    current = vid
+    while current != top:
+        current = parents[current]
+        pid = tree.pid_of(current)
+        if pid in live:
+            route.append(pid)
+            vid = current
+    # The storage jump: the live node with the largest VID.
+    home_vid = max(tree.vid_of(p) for p in live)
+    home = tree.pid_of(home_vid)
+    if route[-1] != home:
+        route.append(home)
+    return route
+
+
+# -- conformance tests ----------------------------------------------------
+
+@pytest.mark.parametrize("m", [1, 2, 3, 4, 5])
+class TestTreeConformance:
+    def test_children_match_oracle(self, m):
+        oracle = oracle_children(m)
+        for v in range(1 << m):
+            assert sorted(V.children_vids(v, m)) == sorted(oracle[v])
+
+    def test_parents_match_oracle(self, m):
+        parents = oracle_parent_map(m)
+        for v in range((1 << m) - 1):
+            assert V.parent_vid(v, m) == parents[v]
+
+    def test_subtrees_match_oracle(self, m):
+        for v in range(1 << m):
+            assert set(V.iter_subtree(v, m)) == oracle_subtree(v, m)
+
+    def test_subtree_sizes_match_oracle(self, m):
+        for v in range(1 << m):
+            assert V.subtree_size(v, m) == len(oracle_subtree(v, m))
+
+
+class TestRouteConformance:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_exhaustive_small_widths(self, m):
+        n = 1 << m
+        for r in range(n):
+            tree = LookupTree(r, m)
+            # All dead-sets of size <= 2 (plus the empty set).
+            dead_sets = [()]
+            dead_sets += [(d,) for d in range(n)]
+            dead_sets += list(itertools.combinations(range(n), 2))
+            for dead in dead_sets:
+                live = set(range(n)) - set(dead)
+                if not live:
+                    continue
+                liveness = SetLiveness(m, live)
+                for entry in live:
+                    got = resolve_route(tree, entry, liveness)
+                    expected = oracle_route(tree, entry, live)
+                    assert got == expected, (
+                        f"m={m} r={r} dead={dead} entry={entry}: "
+                        f"{got} != {expected}"
+                    )
+
+    def test_randomized_m6(self):
+        import random
+
+        rng = random.Random(9)
+        m, n = 6, 64
+        for _ in range(40):
+            r = rng.randrange(n)
+            tree = LookupTree(r, m)
+            dead = set(rng.sample(range(n), rng.randrange(0, 20)))
+            live = set(range(n)) - dead
+            if not live:
+                continue
+            liveness = SetLiveness(m, live)
+            entry = rng.choice(sorted(live))
+            assert resolve_route(tree, entry, liveness) == oracle_route(
+                tree, entry, live
+            )
+
+    def test_storage_node_matches_oracle(self):
+        m, n = 5, 32
+        import random
+
+        rng = random.Random(4)
+        for _ in range(50):
+            r = rng.randrange(n)
+            tree = LookupTree(r, m)
+            live = set(rng.sample(range(n), rng.randrange(1, n)))
+            liveness = SetLiveness(m, live)
+            home_vid = max(tree.vid_of(p) for p in live)
+            assert storage_node(tree, liveness) == tree.pid_of(home_vid)
+
+
+class TestChildrenListConformance:
+    def oracle_children_list(self, tree: LookupTree, k: int, live: set[int]):
+        """Fringe expansion over the explicit child map."""
+        children = oracle_children(tree.m)
+
+        def expand(vid):
+            out = []
+            for c in children[vid]:
+                if tree.pid_of(c) in live:
+                    out.append(c)
+                else:
+                    out.extend(expand(c))
+            return out
+
+        vids = sorted(expand(tree.vid_of(k)), reverse=True)
+        return [tree.pid_of(v) for v in vids]
+
+    @pytest.mark.parametrize("m", [3, 4])
+    def test_exhaustive(self, m):
+        import random
+
+        rng = random.Random(1)
+        n = 1 << m
+        for _ in range(60):
+            r = rng.randrange(n)
+            tree = LookupTree(r, m)
+            live = set(rng.sample(range(n), rng.randrange(1, n + 1)))
+            liveness = SetLiveness(m, live)
+            for k in sorted(live):
+                assert advanced_children_list(tree, k, liveness) == (
+                    self.oracle_children_list(tree, k, live)
+                )

@@ -1,0 +1,92 @@
+"""Exact assertions on the paper's structural figures (Figures 1–4).
+
+These pin the reproduction to the worked examples in the paper text, so
+any regression in the bitwise algebra shows up as a figure mismatch.
+"""
+
+from repro.experiments.structures import (
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    render_all,
+)
+
+
+class TestFigure1:
+    def test_root_and_children(self):
+        data = figure1_data()
+        assert data["root"] == "1111"
+        assert data["children"]["1111"] == ["1110", "1101", "1011", "0111"]
+
+    def test_node_1110_has_three_children(self):
+        # §2.1: "The node of VID 1110 has 3 children nodes; the VIDs of
+        # the children nodes are 0110, 1010, and 1100."
+        data = figure1_data()
+        assert sorted(data["children"]["1110"]) == ["0110", "1010", "1100"]
+
+    def test_offspring_counts(self):
+        # §2.1: "the nodes of VID 1110 and 1101 has 7 and 3 offspring".
+        data = figure1_data()
+        assert data["offspring"]["1110"] == 7
+        assert data["offspring"]["1101"] == 3
+        assert data["offspring"]["1111"] == 15
+
+
+class TestFigure2:
+    def test_children_list(self):
+        # §2.2: children list of P(4) is (P(5), P(6), P(0), P(12)).
+        assert figure2_data()["children_list"] == [5, 6, 0, 12]
+
+    def test_route_example(self):
+        # §2.1: P(8) -> P(0) -> P(4).
+        assert figure2_data()["example_route"] == [8, 0, 4]
+
+    def test_pid_of_root_vid(self):
+        assert figure2_data()["pid_of_vid"]["1111"] == 4
+
+    def test_complement_mapping(self):
+        # PID = VID XOR 1011 for the tree of P(4).
+        data = figure2_data()
+        assert data["pid_of_vid"]["1110"] == 5
+        assert data["pid_of_vid"]["0011"] == 8
+
+
+class TestFigure3:
+    def test_children_list_with_dead_nodes(self):
+        # §3: "(P(6), P(7), P(1), P(12), P(13), P(8)), sorted by the VID".
+        data = figure3_data()
+        assert data["children_list"] == [6, 7, 1, 12, 13, 8]
+        assert data["dead"] == [0, 5]
+        assert data["n_live"] == 14
+
+    def test_children_list_vid_order(self):
+        vids = figure3_data()["children_list_vids"]
+        assert vids == sorted(vids, reverse=True)
+
+
+class TestFigure4:
+    def test_four_subtrees_of_four(self):
+        data = figure4_data()
+        assert len(data["subtrees"]) == 4
+        for info in data["subtrees"].values():
+            assert len(info["members"]) == 4
+            assert info["root_svid"] == "11"
+
+    def test_subtrees_partition_pids(self):
+        data = figure4_data()
+        seen = [pid for info in data["subtrees"].values() for pid in info["members"]]
+        assert sorted(seen) == list(range(16))
+
+    def test_leftmost_and_rightmost_identifiers(self):
+        # §4: "the subtree identifier of the leftmost subtree is 10 and
+        # of the rightmost is 11" — the ids cover all 2-bit patterns.
+        assert set(figure4_data()["subtrees"]) == {"00", "01", "10", "11"}
+
+
+class TestRenderAll:
+    def test_render_contains_key_facts(self):
+        text = render_all()
+        assert "children list of P(4): [5, 6, 0, 12]" in text
+        assert "children list of P(4): [6, 7, 1, 12, 13, 8]" in text
+        assert "route P(8) -> P(4): [8, 0, 4]" in text

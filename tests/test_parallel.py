@@ -1,0 +1,62 @@
+"""Tests for process-parallel sweep execution (repro.experiments.parallel)."""
+
+import os
+
+import pytest
+
+from repro.experiments import FigureConfig, figure5, figure6, run_experiment
+from repro.experiments.parallel import map_cells
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_and_value(x):
+    return os.getpid(), x
+
+
+class TestMapCells:
+    def test_serial_preserves_order(self):
+        assert map_cells(_square, [(1,), (2,), (3,)], workers=1) == [1, 4, 9]
+
+    def test_parallel_preserves_order(self):
+        cells = [(i,) for i in range(12)]
+        assert map_cells(_square, cells, workers=3) == [i * i for i in range(12)]
+
+    def test_parallel_actually_uses_other_processes(self):
+        cells = [(i,) for i in range(8)]
+        results = map_cells(_pid_and_value, cells, workers=4)
+        pids = {pid for pid, _ in results}
+        assert len(pids) > 1
+        assert os.getpid() not in pids or len(pids) > 1
+
+    def test_single_cell_runs_inline(self):
+        results = map_cells(_pid_and_value, [(7,)], workers=4)
+        assert results == [(os.getpid(), 7)]
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            map_cells(_square, [(1,)], workers=0)
+
+
+class TestParallelFigures:
+    def test_figure5_identical_serial_vs_parallel(self):
+        cfg = FigureConfig(m=6, rates=(500.0, 1500.0))
+        serial = figure5(cfg)
+        parallel = figure5(cfg.with_(workers=2))
+        assert serial.series == parallel.series
+
+    def test_figure6_identical_serial_vs_parallel(self):
+        cfg = FigureConfig(m=6, rates=(500.0, 1500.0))
+        assert figure6(cfg).series == figure6(cfg.with_(workers=2)).series
+
+    def test_runner_accepts_workers(self):
+        result = run_experiment("fig5", fast=True, workers=2)
+        assert result.series
+
+    def test_workers_validated_in_config(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            FigureConfig(workers=0)

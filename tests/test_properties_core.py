@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for the core tree algebra.
+
+These encode the paper's properties as universally-quantified laws and
+let hypothesis hunt for counterexamples across widths and identifiers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import vid as V
+from repro.core.bits import complement, leading_ones, mask
+from repro.core.children import advanced_children_list
+from repro.core.liveness import SetLiveness
+from repro.core.routing import resolve_route, storage_node
+from repro.core.tree import LookupTree
+
+widths = st.integers(min_value=1, max_value=10)
+
+
+@st.composite
+def width_and_vid(draw):
+    m = draw(widths)
+    v = draw(st.integers(min_value=0, max_value=(1 << m) - 1))
+    return m, v
+
+
+@st.composite
+def width_root_pid(draw):
+    m = draw(widths)
+    r = draw(st.integers(min_value=0, max_value=(1 << m) - 1))
+    pid = draw(st.integers(min_value=0, max_value=(1 << m) - 1))
+    return m, r, pid
+
+
+@st.composite
+def tree_with_liveness(draw, min_live=1):
+    m = draw(st.integers(min_value=2, max_value=7))
+    r = draw(st.integers(min_value=0, max_value=(1 << m) - 1))
+    n = 1 << m
+    live = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=n - 1), min_size=min_live, max_size=n
+        )
+    )
+    return LookupTree(r, m), SetLiveness(m, live)
+
+
+class TestVidLaws:
+    @given(width_and_vid())
+    def test_parent_inverts_children(self, mv):
+        m, v = mv
+        for c in V.children_vids(v, m):
+            assert V.parent_vid(c, m) == v
+
+    @given(width_and_vid())
+    def test_child_count_is_leading_ones(self, mv):
+        m, v = mv
+        assert len(V.children_vids(v, m)) == leading_ones(v, m)
+
+    @given(width_and_vid())
+    def test_subtree_size_is_power_of_two(self, mv):
+        m, v = mv
+        size = V.subtree_size(v, m)
+        assert size & (size - 1) == 0
+
+    @given(width_and_vid())
+    def test_subtree_decomposition(self, mv):
+        # subtree(v) = {v} ∪ disjoint union of children subtrees.
+        m, v = mv
+        members = set(V.iter_subtree(v, m))
+        assert v in members
+        union = {v}
+        for c in V.children_vids(v, m):
+            child_members = set(V.iter_subtree(c, m))
+            assert union.isdisjoint(child_members)
+            union |= child_members
+        assert union == members
+
+    @given(width_and_vid())
+    def test_membership_closed_form(self, mv):
+        m, v = mv
+        members = set(V.iter_subtree(v, m))
+        for w in range(1 << m):
+            assert V.in_subtree(w, v, m) == (w in members)
+
+    @given(width_and_vid())
+    def test_path_reaches_root_in_depth_steps(self, mv):
+        m, v = mv
+        path = V.path_to_root(v, m)
+        assert path[-1] == mask(m)
+        assert len(path) - 1 == V.depth(v, m) <= m
+
+    @given(width_and_vid())
+    def test_property3(self, mv):
+        # Numerically larger VID never has a smaller subtree.
+        m, v = mv
+        if v > 0:
+            assert V.subtree_size(v, m) >= V.subtree_size(v - 1, m)
+
+
+class TestMappingLaws:
+    @given(width_root_pid())
+    def test_pid_vid_involution(self, mrp):
+        m, r, pid = mrp
+        assert V.vid_to_pid(V.pid_to_vid(pid, r, m), r, m) == pid
+
+    @given(width_root_pid())
+    def test_root_maps_to_all_ones(self, mrp):
+        m, r, _ = mrp
+        assert V.pid_to_vid(r, r, m) == mask(m)
+
+    @given(width_root_pid())
+    def test_mapping_is_xor_with_complement(self, mrp):
+        m, r, pid = mrp
+        assert V.pid_to_vid(pid, r, m) == pid ^ complement(r, m)
+
+
+class TestRoutingLaws:
+    @given(tree_with_liveness())
+    @settings(max_examples=60)
+    def test_routes_end_at_storage_node(self, tl):
+        tree, liveness = tl
+        home = storage_node(tree, liveness)
+        for entry in liveness.live_pids():
+            route = resolve_route(tree, entry, liveness)
+            assert route[-1] == home
+            assert all(liveness.is_live(p) for p in route)
+
+    @given(tree_with_liveness())
+    @settings(max_examples=60)
+    def test_routes_never_revisit(self, tl):
+        tree, liveness = tl
+        for entry in liveness.live_pids():
+            route = resolve_route(tree, entry, liveness)
+            assert len(route) == len(set(route))
+
+    @given(tree_with_liveness())
+    @settings(max_examples=60)
+    def test_climb_is_vid_increasing(self, tl):
+        # Every hop before the final storage jump strictly increases VID.
+        tree, liveness = tl
+        for entry in liveness.live_pids():
+            route = resolve_route(tree, entry, liveness)
+            vids = [tree.vid_of(p) for p in route]
+            climb = vids[:-1] if len(vids) >= 2 and vids[-1] < vids[-2] else vids
+            assert all(a < b for a, b in zip(climb, climb[1:]))
+
+
+class TestChildrenListLaws:
+    @given(tree_with_liveness(min_live=2))
+    @settings(max_examples=60)
+    def test_advanced_list_is_live_fringe(self, tl):
+        # Every list member is live, lies strictly inside k's subtree,
+        # and no member is an ancestor of another.
+        tree, liveness = tl
+        for k in liveness.live_pids():
+            lst = advanced_children_list(tree, k, liveness)
+            assert len(lst) == len(set(lst))
+            for pid in lst:
+                assert liveness.is_live(pid)
+                assert tree.in_subtree(pid, k) and pid != k
+            for a in lst:
+                for w in lst:
+                    assert a == w or not tree.is_ancestor(a, w)
+
+    @given(tree_with_liveness(min_live=2))
+    @settings(max_examples=60)
+    def test_every_live_descendant_is_covered(self, tl):
+        # Each live strict descendant of k lies in exactly one list
+        # member's subtree.
+        tree, liveness = tl
+        for k in liveness.live_pids():
+            lst = advanced_children_list(tree, k, liveness)
+            for w in liveness.live_pids():
+                if w == k or not tree.in_subtree(w, k):
+                    continue
+                covering = [c for c in lst if c == w or tree.is_ancestor(c, w)]
+                assert len(covering) == 1

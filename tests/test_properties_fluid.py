@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the fluid engine.
+
+Laws encoded:
+
+* flow conservation: everything injected is served somewhere;
+* holder monotonicity: adding a holder never increases anyone's load;
+* capacity monotonicity: more capacity never needs more replicas;
+* balance soundness: after a balanced run, no holder exceeds capacity;
+* determinism: identical inputs give identical balance outcomes.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LessLogPolicy
+from repro.core.liveness import SetLiveness
+from repro.core.tree import LookupTree
+from repro.engine.fluid import FluidSimulation
+
+
+@st.composite
+def fluid_setup(draw):
+    """A random tree, liveness pattern, and demand vector."""
+    m = draw(st.integers(min_value=2, max_value=7))
+    n = 1 << m
+    r = draw(st.integers(min_value=0, max_value=n - 1))
+    live = draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n)
+    )
+    liveness = SetLiveness(m, live)
+    rates = np.zeros(n)
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=len(live),
+            max_size=len(live),
+        )
+    )
+    for pid, w in zip(sorted(live), weights):
+        rates[pid] = w
+    tree = LookupTree(r, m)
+    return tree, liveness, rates
+
+
+class TestFlowLaws:
+    @given(fluid_setup())
+    @settings(max_examples=80, deadline=None)
+    def test_flow_conservation(self, setup):
+        tree, liveness, rates = setup
+        sim = FluidSimulation(tree, liveness, rates, capacity=10.0)
+        flows = sim.compute_flows()
+        assert flows.total_served() == pytest.approx(float(rates.sum()))
+
+    @given(fluid_setup())
+    @settings(max_examples=80, deadline=None)
+    def test_forwarder_rates_sum_to_served(self, setup):
+        tree, liveness, rates = setup
+        sim = FluidSimulation(tree, liveness, rates, capacity=10.0)
+        flows = sim.compute_flows()
+        for holder, served in flows.served.items():
+            contributed = sum(flows.forwarders.get(holder, {}).values())
+            assert contributed == pytest.approx(served)
+
+    @given(fluid_setup(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_holder_never_increases_loads(self, setup, pick):
+        tree, liveness, rates = setup
+        sim = FluidSimulation(tree, liveness, rates, capacity=10.0)
+        before = sim.compute_flows().served
+        candidates = [p for p in liveness.live_pids() if p not in sim.holders]
+        if not candidates:
+            return
+        sim.holders.add(candidates[pick % len(candidates)])
+        after = sim.compute_flows().served
+        for holder, load in before.items():
+            assert after.get(holder, 0.0) <= load + 1e-9
+
+
+class TestBalanceLaws:
+    @given(fluid_setup())
+    @settings(max_examples=40, deadline=None)
+    def test_balanced_means_under_capacity_or_unresolved(self, setup):
+        tree, liveness, rates = setup
+        sim = FluidSimulation(
+            tree, liveness, rates, capacity=50.0, rng=random.Random(0)
+        )
+        result = sim.balance(LessLogPolicy())
+        over = [h for h, s in result.flows.served.items() if s > 50.0]
+        assert sorted(over) == sorted(result.unresolved)
+
+    @given(fluid_setup())
+    @settings(max_examples=30, deadline=None)
+    def test_more_capacity_never_more_replicas(self, setup):
+        tree, liveness, rates = setup
+        counts = []
+        for capacity in (40.0, 80.0):
+            sim = FluidSimulation(
+                tree, liveness, rates, capacity=capacity, rng=random.Random(0)
+            )
+            counts.append(sim.balance(LessLogPolicy()).replicas_created)
+        assert counts[1] <= counts[0]
+
+    @given(fluid_setup())
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, setup):
+        tree, liveness, rates = setup
+
+        def run():
+            sim = FluidSimulation(
+                tree, liveness, rates, capacity=30.0, rng=random.Random(5)
+            )
+            result = sim.balance(LessLogPolicy())
+            return result.replicas_created, sorted(result.holders)
+
+        assert run() == run()
+
+    @given(fluid_setup())
+    @settings(max_examples=30, deadline=None)
+    def test_placements_are_live_non_home_nodes(self, setup):
+        tree, liveness, rates = setup
+        sim = FluidSimulation(
+            tree, liveness, rates, capacity=25.0, rng=random.Random(1)
+        )
+        result = sim.balance(LessLogPolicy())
+        for placement in result.placements:
+            assert liveness.is_live(placement.target)
+            assert placement.target != sim.home

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the §4 subtree decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import NoLiveNodeError
+from repro.core.liveness import SetLiveness
+from repro.core.subtree import (
+    SubtreeView,
+    insert_targets,
+    migration_order,
+    split_vid,
+    subtree_of_pid,
+)
+from repro.core.tree import LookupTree
+
+
+@st.composite
+def tree_b_liveness(draw):
+    m = draw(st.integers(min_value=2, max_value=7))
+    b = draw(st.integers(min_value=0, max_value=m - 1))
+    r = draw(st.integers(min_value=0, max_value=(1 << m) - 1))
+    n = 1 << m
+    live = draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=n)
+    )
+    return LookupTree(r, m), b, SetLiveness(m, live)
+
+
+class TestPartitionLaws:
+    @given(tree_b_liveness())
+    @settings(max_examples=60, deadline=None)
+    def test_subtrees_partition_the_space(self, setup):
+        tree, b, _ = setup
+        seen: list[int] = []
+        for sid in range(1 << b):
+            members = SubtreeView(tree, b, sid).members()
+            assert len(members) == 1 << (tree.m - b)
+            seen.extend(members)
+        assert sorted(seen) == list(range(1 << tree.m))
+
+    @given(tree_b_liveness())
+    @settings(max_examples=60, deadline=None)
+    def test_subtree_of_pid_consistent_with_views(self, setup):
+        tree, b, _ = setup
+        for pid in range(1 << tree.m):
+            sid = subtree_of_pid(tree, pid, b)
+            assert SubtreeView(tree, b, sid).contains(pid)
+
+    @given(tree_b_liveness())
+    @settings(max_examples=60, deadline=None)
+    def test_split_vid_reassembles(self, setup):
+        tree, b, _ = setup
+        for vid in range(1 << tree.m):
+            svid, sid = split_vid(vid, tree.m, b)
+            assert (svid << b) | sid == vid
+
+
+class TestRoutingLaws:
+    @given(tree_b_liveness())
+    @settings(max_examples=60, deadline=None)
+    def test_routes_confined_to_subtree(self, setup):
+        tree, b, liveness = setup
+        for sid in range(1 << b):
+            view = SubtreeView(tree, b, sid)
+            for entry in view.members():
+                if not liveness.is_live(entry):
+                    continue
+                try:
+                    route = view.resolve_route(entry, liveness)
+                except NoLiveNodeError:
+                    continue
+                assert all(view.contains(p) for p in route)
+                assert all(liveness.is_live(p) for p in route)
+                assert len(route) == len(set(route))
+
+    @given(tree_b_liveness())
+    @settings(max_examples=60, deadline=None)
+    def test_routes_end_at_subtree_storage_node(self, setup):
+        tree, b, liveness = setup
+        for sid in range(1 << b):
+            view = SubtreeView(tree, b, sid)
+            try:
+                home = view.storage_node(liveness)
+            except NoLiveNodeError:
+                continue
+            for entry in view.members():
+                if liveness.is_live(entry):
+                    assert view.resolve_route(entry, liveness)[-1] == home
+
+
+class TestInsertTargetLaws:
+    @given(tree_b_liveness())
+    @settings(max_examples=60, deadline=None)
+    def test_one_target_per_nonempty_subtree(self, setup):
+        tree, b, liveness = setup
+        targets = insert_targets(tree, b, liveness)
+        nonempty = sum(
+            1
+            for sid in range(1 << b)
+            if SubtreeView(tree, b, sid).live_count(liveness) > 0
+        )
+        assert len(targets) == nonempty
+        assert len({subtree_of_pid(tree, t, b) for t in targets}) == len(targets)
+        assert all(liveness.is_live(t) for t in targets)
+
+    @given(tree_b_liveness())
+    @settings(max_examples=60, deadline=None)
+    def test_targets_have_max_svid_among_live(self, setup):
+        tree, b, liveness = setup
+        for target in insert_targets(tree, b, liveness):
+            sid = subtree_of_pid(tree, target, b)
+            view = SubtreeView(tree, b, sid)
+            live_svids = [
+                view.svid_of(p) for p in view.members() if liveness.is_live(p)
+            ]
+            assert view.svid_of(target) == max(live_svids)
+
+
+class TestMigrationOrderLaws:
+    @given(tree_b_liveness())
+    @settings(max_examples=60, deadline=None)
+    def test_order_is_a_permutation_starting_home(self, setup):
+        tree, b, _ = setup
+        for entry in range(1 << tree.m):
+            order = migration_order(tree, b, entry)
+            assert sorted(order) == list(range(1 << b))
+            assert order[0] == subtree_of_pid(tree, entry, b)

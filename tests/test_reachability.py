@@ -1,0 +1,66 @@
+"""Direct tests for update-broadcast reachability (reachable_holders)."""
+
+import pytest
+
+from repro.cluster import LessLogSystem
+from repro.core.errors import FileNotFoundInSystemError
+from repro.node.storage import FileOrigin
+
+
+class TestReachableHolders:
+    def test_home_always_reachable(self):
+        sys_ = LessLogSystem.build(m=4)
+        name = sys_.psi.find_name_for_target(4)
+        sys_.insert(name)
+        assert sys_.reachable_holders(name) == [4]
+
+    def test_chain_of_replicas_reachable(self):
+        sys_ = LessLogSystem.build(m=4)
+        name = sys_.psi.find_name_for_target(4)
+        sys_.insert(name)
+        t1 = sys_.replicate(name, overloaded=4)
+        t2 = sys_.replicate(name, overloaded=t1)
+        reachable = set(sys_.reachable_holders(name))
+        assert reachable == {4, t1, t2}
+
+    def test_manufactured_orphan_not_reachable(self):
+        sys_ = LessLogSystem.build(m=4)
+        name = sys_.psi.find_name_for_target(4)
+        sys_.insert(name)
+        tree = sys_.tree(4)
+        grandchild = tree.children(tree.children(4)[0])[0]
+        sys_.stores[grandchild].store(name, None, 1, FileOrigin.REPLICATED)
+        assert grandchild not in sys_.reachable_holders(name)
+
+    def test_unknown_file_raises(self):
+        sys_ = LessLogSystem.build(m=4)
+        with pytest.raises(FileNotFoundInSystemError):
+            sys_.reachable_holders("ghost")
+
+    def test_reachability_covers_all_subtrees(self):
+        sys_ = LessLogSystem.build(m=4, b=2)
+        name = sys_.psi.find_name_for_target(4)
+        homes = sys_.insert(name).homes
+        assert set(sys_.reachable_holders(name)) == set(homes)
+
+    def test_dead_root_fringe_reachable(self):
+        sys_ = LessLogSystem.build(m=4, dead={4, 5})
+        name = sys_.psi.find_name_for_target(4)
+        sys_.insert(name)  # home is P(6)
+        sys_.replicate(name, overloaded=6)
+        reachable = set(sys_.reachable_holders(name))
+        assert reachable == set(sys_.holders_of(name))
+
+
+class TestReportFailurePath:
+    def test_failed_claim_reported_as_fail(self, monkeypatch):
+        from repro.experiments import report as report_mod
+
+        monkeypatch.setitem(
+            report_mod.CLAIMS,
+            "ext-lookup",
+            report_mod.ClaimCheck("always false", lambda r: False),
+        )
+        text = report_mod.generate_report(["ext-lookup"], fast=True, charts=False)
+        assert "**FAIL**" in text
+        assert "0 claims reproduced, 1 failed" in text

@@ -1,0 +1,134 @@
+"""Unit tests for replica-placement decisions (repro.core.replication)."""
+
+import random
+
+import pytest
+
+from repro.core.liveness import AllLive, SetLiveness
+from repro.core.replication import (
+    choose_replica_target,
+    first_uncopied,
+    prune_cold_replicas,
+)
+from repro.core.tree import LookupTree
+
+
+@pytest.fixture
+def tree4():
+    return LookupTree(4, 4)
+
+
+class TestFirstUncopied:
+    def test_picks_head_of_children_list(self, tree4):
+        live = AllLive(4)
+        # Children list of P(4): (5, 6, 0, 12).
+        assert first_uncopied(tree4, 4, live, holders={4}) == 5
+        assert first_uncopied(tree4, 4, live, holders={4, 5}) == 6
+        assert first_uncopied(tree4, 4, live, holders={4, 5, 6}) == 0
+        assert first_uncopied(tree4, 4, live, holders={4, 5, 6, 0}) == 12
+
+    def test_exhausted_list_returns_none(self, tree4):
+        live = AllLive(4)
+        assert first_uncopied(tree4, 4, live, holders={4, 5, 6, 0, 12}) is None
+
+    def test_advanced_list_with_dead_nodes(self, tree4):
+        # Figure 3 list for P(4): (6, 7, 1, 12, 13, 8).
+        liveness = SetLiveness.all_but(4, dead=[0, 5])
+        assert first_uncopied(tree4, 4, liveness, holders={4}) == 6
+        assert first_uncopied(tree4, 4, liveness, holders={4, 6, 7}) == 1
+
+
+class TestChooseReplicaTarget:
+    def test_interior_node_uses_own_children(self, tree4):
+        live = AllLive(4)
+        decision = choose_replica_target(tree4, 5, live, holders={4, 5})
+        assert not decision.proportional
+        assert decision.source == 5
+        # Children list of P(5) (VID 1110): flip run bits of 1110.
+        assert decision.target == tree4.children(5)[0]
+
+    def test_root_is_proportional_but_deterministic_when_alone_on_top(
+        self, tree4
+    ):
+        # With everything live, the root has no live node above it: the
+        # proportional branch fires but own-subtree covers all nodes, so
+        # the choice is forced to its own children list.
+        live = AllLive(4)
+        decision = choose_replica_target(tree4, 4, live, holders={4})
+        assert decision.proportional
+        assert decision.source == 4
+        assert decision.target == 5
+
+    def test_paper_top_node_example_mixes_lists(self, tree4):
+        # §3: P(4), P(5) dead, P(6) overloaded (it holds the inserted
+        # file).  The choice is proportional between P(6)'s children
+        # list and the root's.
+        liveness = SetLiveness.all_but(4, dead=[4, 5])
+        sources = set()
+        for seed in range(64):
+            decision = choose_replica_target(
+                tree4, 6, liveness, holders={6}, rng=random.Random(seed)
+            )
+            assert decision.proportional
+            assert decision.target is not None
+            sources.add(decision.source)
+        assert sources == {6, 4}  # both lists get used across seeds
+
+    def test_proportional_weights_roughly_respected(self, tree4):
+        liveness = SetLiveness.all_but(4, dead=[4, 5])
+        # P(6) (VID 1101) has a live subtree of size 4 (VIDs 1101, 1001,
+        # 0101, 0001 = PIDs 6, 2, 14, 10); rest = 14 - 4 = 10.
+        own_picks = sum(
+            choose_replica_target(
+                tree4, 6, liveness, holders={6}, rng=random.Random(seed)
+            ).source
+            == 6
+            for seed in range(400)
+        )
+        assert 0.15 < own_picks / 400 < 0.45  # expected ~4/14 ≈ 0.29
+
+    def test_never_targets_self(self, tree4):
+        live = AllLive(4)
+        for k in range(16):
+            decision = choose_replica_target(tree4, k, live, holders=set(range(16)) - {k})
+            assert decision.target != k
+
+    def test_falls_back_to_other_list_when_exhausted(self, tree4):
+        liveness = SetLiveness.all_but(4, dead=[4, 5])
+        # Saturate P(6)'s own children list; the root list must be used.
+        from repro.core.children import advanced_children_list
+
+        own = set(advanced_children_list(tree4, 6, liveness))
+        holders = own | {6}
+        for seed in range(16):
+            decision = choose_replica_target(
+                tree4, 6, liveness, holders=holders, rng=random.Random(seed)
+            )
+            if decision.target is not None:
+                assert decision.target not in holders
+
+    def test_default_rng_is_deterministic(self, tree4):
+        liveness = SetLiveness.all_but(4, dead=[4, 5])
+        a = choose_replica_target(tree4, 6, liveness, holders={6})
+        b = choose_replica_target(tree4, 6, liveness, holders={6})
+        assert a == b
+
+
+class TestPruneColdReplicas:
+    def test_prunes_below_threshold(self):
+        rates = {1: 50.0, 2: 5.0, 3: 0.0}
+        cold = prune_cold_replicas([1, 2, 3], rates.__getitem__, threshold=10.0)
+        assert sorted(cold) == [2, 3]
+
+    def test_protected_never_pruned(self):
+        rates = {1: 0.0, 2: 0.0}
+        cold = prune_cold_replicas([1, 2], rates.__getitem__, 10.0, protected=[1])
+        assert cold == [2]
+
+    def test_zero_threshold_prunes_nothing(self):
+        rates = {1: 0.0}
+        assert prune_cold_replicas([1], rates.__getitem__, 0.0) == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            prune_cold_replicas([], lambda _: 0.0, -1.0)

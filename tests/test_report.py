@@ -1,0 +1,55 @@
+"""Tests for the reproduction-report generator."""
+
+import pytest
+
+from repro.experiments.report import CLAIMS, generate_report
+
+
+class TestClaims:
+    def test_every_figure_has_a_claim(self):
+        assert {"fig5", "fig6", "fig7", "fig8"} <= set(CLAIMS)
+
+    def test_claims_reference_known_experiments(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert set(CLAIMS) <= set(EXPERIMENTS)
+
+
+class TestGenerateReport:
+    def test_single_experiment_report(self):
+        text = generate_report(["ext-lookup"], fast=True, charts=False)
+        assert "# LessLog reproduction report" in text
+        assert "ext-lookup" in text
+        assert "lookup path length" in text
+        assert "PASS" in text or "FAIL" in text
+
+    def test_summary_line_counts(self):
+        text = generate_report(["fig5"], fast=True, charts=False)
+        assert "**Summary: 1 claims reproduced, 0 failed, 0 informational.**" in text
+
+    def test_informational_experiments_marked(self):
+        text = generate_report(["ext-churn"], fast=True, charts=False)
+        assert "informational" in text
+
+    def test_charts_included_when_requested(self):
+        text = generate_report(["ext-lookup"], fast=True, charts=True)
+        assert " o = " in text  # chart legend marker
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            generate_report(["fig99"], fast=True)
+
+
+class TestCliReport(object):
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "--only", "ext-lookup", "-o", str(out)]) == 0
+        assert out.exists()
+        assert "reproduction report" in out.read_text()
+
+    def test_cli_report_unknown_id(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--only", "nope"]) == 2

@@ -1,0 +1,138 @@
+"""Unit tests for liveness-aware routing (repro.core.routing)."""
+
+import pytest
+
+from repro.core.liveness import AllLive, SetLiveness
+from repro.core.routing import (
+    find_live_node,
+    first_alive_ancestor,
+    iter_route,
+    resolve_route,
+    route_length,
+    storage_node,
+)
+from repro.core.errors import NoLiveNodeError
+from repro.core.tree import LookupTree
+
+
+@pytest.fixture
+def tree4():
+    return LookupTree(4, 4)
+
+
+@pytest.fixture
+def all_live():
+    return AllLive(4)
+
+
+@pytest.fixture
+def figure3_liveness():
+    """Figure 3: a 14-node system with P(0) and P(5) dead."""
+    return SetLiveness.all_but(4, dead=[0, 5])
+
+
+class TestFirstAliveAncestor:
+    def test_basic_model_is_plain_parent(self, tree4, all_live):
+        assert first_alive_ancestor(tree4, 8, all_live) == 0
+        assert first_alive_ancestor(tree4, 0, all_live) == 4
+
+    def test_root_has_none(self, tree4, all_live):
+        assert first_alive_ancestor(tree4, 4, all_live) is None
+
+    def test_skips_dead_parent(self, tree4, figure3_liveness):
+        # P(8)'s parent P(0) is dead -> climb to P(4).
+        assert first_alive_ancestor(tree4, 8, figure3_liveness) == 4
+
+    def test_none_when_all_ancestors_dead(self, tree4):
+        liveness = SetLiveness.all_but(4, dead=[4])  # target itself dead
+        # P(12) is VID 0111, its only ancestor is the root P(4) (dead).
+        assert first_alive_ancestor(tree4, 12, liveness) is None
+
+
+class TestFindLiveNode:
+    def test_returns_start_when_alive(self, tree4, all_live):
+        assert find_live_node(tree4, 7, all_live) == 7
+
+    def test_scans_descending_vids(self, tree4):
+        # Root P(4) dead: the next VID down is 1110 -> P(5); P(5) dead
+        # too -> 1101 -> P(6).
+        liveness = SetLiveness.all_but(4, dead=[4, 5])
+        assert find_live_node(tree4, 4, liveness) == 6
+
+    def test_paper_insert_example(self, tree4):
+        # §5.1 example: P(4), P(5) dead, ψ(f) = 4 -> file inserted at P(6).
+        liveness = SetLiveness.all_but(4, dead=[4, 5])
+        assert storage_node(tree4, liveness) == 6
+
+    def test_raises_when_nothing_live_below(self, tree4):
+        liveness = SetLiveness(4, live=[])
+        with pytest.raises(NoLiveNodeError):
+            find_live_node(tree4, 4, liveness)
+
+    def test_live_target_stores_at_itself(self, tree4, figure3_liveness):
+        assert storage_node(tree4, figure3_liveness) == 4
+
+
+class TestResolveRoute:
+    def test_paper_basic_route(self, tree4, all_live):
+        assert resolve_route(tree4, 8, all_live) == [8, 0, 4]
+
+    def test_entry_at_root(self, tree4, all_live):
+        assert resolve_route(tree4, 4, all_live) == [4]
+
+    def test_route_length(self, tree4, all_live):
+        assert route_length(tree4, 8, all_live) == 2
+        assert route_length(tree4, 4, all_live) == 0
+
+    def test_route_with_dead_parent(self, tree4, figure3_liveness):
+        # P(8): parent P(0) dead -> direct hop to P(4).
+        assert resolve_route(tree4, 8, figure3_liveness) == [8, 4]
+
+    def test_route_jumps_to_storage_when_target_dead(self, tree4):
+        liveness = SetLiveness.all_but(4, dead=[4, 5])
+        # Storage node is P(6) (VID 1101).  Entry P(12) (VID 0111) has
+        # only the dead root above it -> jump straight to P(6).
+        assert resolve_route(tree4, 12, liveness) == [12, 6]
+
+    def test_route_from_storage_node_is_singleton(self, tree4):
+        liveness = SetLiveness.all_but(4, dead=[4, 5])
+        assert resolve_route(tree4, 6, liveness) == [6]
+
+    def test_dead_entry_raises(self, tree4, figure3_liveness):
+        with pytest.raises(NoLiveNodeError):
+            resolve_route(tree4, 5, figure3_liveness)
+
+    def test_routes_visit_only_live_nodes(self, tree4, figure3_liveness):
+        for entry in figure3_liveness.live_pids():
+            for hop in resolve_route(tree4, entry, figure3_liveness):
+                assert figure3_liveness.is_live(hop)
+
+    def test_all_routes_end_at_storage_node(self, tree4):
+        for dead in ([], [4], [4, 5], [0, 5], [4, 5, 6, 7]):
+            liveness = SetLiveness.all_but(4, dead=dead)
+            home = storage_node(tree4, liveness)
+            for entry in liveness.live_pids():
+                assert resolve_route(tree4, entry, liveness)[-1] == home
+
+    def test_iter_route_matches_resolve(self, tree4, figure3_liveness):
+        for entry in figure3_liveness.live_pids():
+            assert list(iter_route(tree4, entry, figure3_liveness)) == resolve_route(
+                tree4, entry, figure3_liveness
+            )
+
+    def test_route_length_bounded(self, tree4):
+        # Even with dead nodes the climb is at most m hops plus the
+        # final jump.
+        liveness = SetLiveness.all_but(4, dead=[4, 0, 5, 6])
+        for entry in liveness.live_pids():
+            assert route_length(tree4, entry, liveness) <= 4 + 1
+
+
+class TestRouteLengthScaling:
+    def test_log_bound_larger_system(self):
+        m = 8
+        tree = LookupTree(77, m)
+        liveness = AllLive(m)
+        lengths = [route_length(tree, e, liveness) for e in range(1 << m)]
+        assert max(lengths) == m  # VID 0 is m hops from the root
+        assert min(lengths) == 0

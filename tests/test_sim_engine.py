@@ -1,0 +1,194 @@
+"""Unit tests for the discrete-event kernel (repro.sim)."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        log = []
+        eng.schedule(3.0, lambda: log.append("c"))
+        eng.schedule(1.0, lambda: log.append("a"))
+        eng.schedule(2.0, lambda: log.append("b"))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        eng = Engine()
+        log = []
+        for i in range(5):
+            eng.schedule(1.0, lambda i=i: log.append(i))
+        eng.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        eng = Engine()
+        log = []
+        eng.schedule(1.0, lambda: log.append("low"), priority=5)
+        eng.schedule(1.0, lambda: log.append("high"), priority=-5)
+        eng.run()
+        assert log == ["high", "low"]
+
+    def test_clock_advances(self):
+        eng = Engine()
+        times = []
+        eng.schedule(2.5, lambda: times.append(eng.now))
+        eng.schedule(7.0, lambda: times.append(eng.now))
+        eng.run()
+        assert times == [2.5, 7.0]
+        assert eng.now == 7.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        eng = Engine()
+        eng.schedule(5.0, lambda: eng.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_events_can_schedule_events(self):
+        eng = Engine()
+        log = []
+
+        def first():
+            log.append(("first", eng.now))
+            eng.schedule(1.0, lambda: log.append(("second", eng.now)))
+
+        eng.schedule(1.0, first)
+        eng.run()
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        log = []
+        handle = eng.schedule(1.0, lambda: log.append("x"))
+        assert handle.cancel()
+        eng.run()
+        assert log == []
+
+    def test_double_cancel_returns_false(self):
+        handle = Engine().schedule(1.0, lambda: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+
+    def test_pending_excludes_cancelled(self):
+        eng = Engine()
+        h = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        h.cancel()
+        assert eng.pending == 1
+
+
+class TestRunUntil:
+    def test_runs_inclusive_boundary(self):
+        eng = Engine()
+        log = []
+        eng.schedule(1.0, lambda: log.append(1))
+        eng.schedule(2.0, lambda: log.append(2))
+        eng.schedule(3.0, lambda: log.append(3))
+        eng.run_until(2.0)
+        assert log == [1, 2]
+        assert eng.now == 2.0
+        eng.run_until(10.0)
+        assert log == [1, 2, 3]
+        assert eng.now == 10.0
+
+    def test_clock_lands_on_target_even_when_idle(self):
+        eng = Engine()
+        eng.run_until(5.0)
+        assert eng.now == 5.0
+
+    def test_backwards_run_until_rejected(self):
+        eng = Engine()
+        eng.run_until(5.0)
+        with pytest.raises(SimulationError):
+            eng.run_until(1.0)
+
+
+class TestRun:
+    def test_returns_executed_count(self):
+        eng = Engine()
+        for i in range(4):
+            eng.schedule(float(i), lambda: None)
+        assert eng.run() == 4
+        assert eng.events_executed == 4
+
+    def test_max_events_guard(self):
+        eng = Engine()
+
+        def rearm():
+            eng.schedule(1.0, rearm)
+
+        eng.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            eng.run(max_events=100)
+
+    def test_clear_drops_pending(self):
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        eng.clear()
+        assert eng.run() == 0
+
+
+class TestProcesses:
+    def test_generator_process_yields_delays(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            log.append(("start", eng.now))
+            yield 2.0
+            log.append(("mid", eng.now))
+            yield 3.0
+            log.append(("end", eng.now))
+
+        eng.spawn(proc())
+        eng.run()
+        assert log == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+
+    def test_two_processes_interleave(self):
+        eng = Engine()
+        log = []
+
+        def ticker(name, period, count):
+            for _ in range(count):
+                yield period
+                log.append((name, eng.now))
+
+        eng.spawn(ticker("a", 2.0, 3))
+        eng.spawn(ticker("b", 3.0, 2))
+        eng.run()
+        # At t=6 both are due; b's step was scheduled earlier (at t=3)
+        # so FIFO tie-breaking fires it first.
+        assert log == [("a", 2.0), ("b", 3.0), ("a", 4.0), ("b", 6.0), ("a", 6.0)]
+
+    def test_negative_yield_rejected(self):
+        eng = Engine()
+
+        def bad():
+            yield -1.0
+
+        eng.spawn(bad())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_process_cancel_stops_next_step(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            while True:
+                yield 1.0
+                log.append(eng.now)
+
+        handle = eng.spawn(proc())
+        handle.cancel()  # cancels the bootstrap step
+        eng.run()
+        assert log == []

@@ -1,0 +1,171 @@
+"""Unit tests for rng, metrics, and trace support (repro.sim)."""
+
+import math
+
+import pytest
+
+from repro.sim import MetricsRegistry, RngHub, TraceRecord, Tracer, derive_seed
+from repro.sim.metrics import Counter, Gauge, Histogram, TimeSeries
+
+
+class TestRngHub:
+    def test_streams_are_deterministic(self):
+        a = RngHub(42).stream("workload")
+        b = RngHub(42).stream("workload")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent_by_name(self):
+        hub = RngHub(42)
+        xs = [hub.stream("x").random() for _ in range(5)]
+        ys = [hub.stream("y").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_same_stream_object_reused(self):
+        hub = RngHub(1)
+        assert hub.stream("a") is hub.stream("a")
+
+    def test_fork_changes_streams(self):
+        hub = RngHub(7)
+        child = hub.fork("replica")
+        assert hub.stream("s").random() != child.stream("s").random()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(3, "x") == derive_seed(3, "x")
+        assert derive_seed(3, "x") != derive_seed(4, "x")
+
+
+class TestCounterGauge:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(3.0)
+        g.add(-1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["mean"] == pytest.approx(50.5)
+        assert s["p50"] == pytest.approx(50.5)
+        assert s["max"] == 100.0
+
+    def test_empty_summary_is_nan(self):
+        assert math.isnan(Histogram().mean())
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Histogram().observe(float("nan"))
+
+    def test_quantile_bounds(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestTimeSeries:
+    def test_record_and_last(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        ts.record(2.0, 5.0)
+        assert ts.last() == 5.0
+        assert len(ts) == 2
+
+    def test_rejects_out_of_order(self):
+        ts = TimeSeries()
+        ts.record(2.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(1.0, 1.0)
+
+    def test_value_at_step_function(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        ts.record(10.0, 2.0)
+        assert ts.value_at(5.0) == 1.0
+        assert ts.value_at(10.0) == 2.0
+        with pytest.raises(ValueError):
+            ts.value_at(-1.0)
+
+    def test_empty_last_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().last()
+
+
+class TestMetricsRegistry:
+    def test_autocreate_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("requests").inc(3)
+        reg.gauge("load").set(0.5)
+        reg.histogram("hops").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["counter:requests"] == 3.0
+        assert snap["gauge:load"] == 0.5
+        assert snap["histogram:hops:mean"] == 2.0
+
+    def test_names(self):
+        reg = MetricsRegistry()
+        reg.series("replicas").record(0.0, 0.0)
+        assert reg.names()["series"] == ["replicas"]
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        t = Tracer()
+        t.emit(0.0, "send", src=1, dst=2)
+        t.emit(1.0, "recv", dst=2)
+        assert len(t) == 2
+        assert [r.kind for r in t.of_kind("send")] == ["send"]
+        assert t.kinds() == {"send": 1, "recv": 1}
+
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.emit(0.0, "send")
+        assert len(t) == 0
+
+    def test_kind_filter(self):
+        t = Tracer(kinds={"replicate"})
+        t.emit(0.0, "send")
+        t.emit(1.0, "replicate", target=5)
+        assert [r.kind for r in t] == ["replicate"]
+
+    def test_replay(self):
+        t = Tracer()
+        t.emit(0.0, "a", n=1)
+        t.emit(1.0, "b", n=2)
+        seen = []
+        count = t.replay(lambda r: seen.append(r.data["n"]))
+        assert count == 2 and seen == [1, 2]
+        seen.clear()
+        t.replay(lambda r: seen.append(r.kind), kind="b")
+        assert seen == ["b"]
+
+    def test_jsonl_roundtrip(self):
+        t = Tracer()
+        t.emit(0.5, "send", src=1, payload="x")
+        text = t.to_jsonl()
+        back = Tracer.from_jsonl(text)
+        assert back.records == t.records
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit(0.0, "a")
+        t.clear()
+        assert len(t) == 0
+
+    def test_record_json_roundtrip(self):
+        r = TraceRecord(1.0, "k", {"a": [1, 2]})
+        assert TraceRecord.from_json(r.to_json()) == r

@@ -1,0 +1,164 @@
+"""Hypothesis stateful testing of LessLogSystem.
+
+A rule-based state machine drives random interleavings of every public
+operation — insert, get, update, replicate, join, leave, fail — against
+a model of what must be true, and checks the system-wide invariants
+after every step.  This is the heaviest correctness artillery in the
+suite: any ordering bug in churn migration or update propagation shows
+up as a shrunken counterexample sequence.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cluster import LessLogSystem
+from repro.core.errors import FileNotFoundInSystemError
+from repro.node.storage import FileOrigin
+
+M = 4
+N = 1 << M
+
+
+class LessLogMachine(RuleBasedStateMachine):
+    system: LessLogSystem
+
+    @initialize(b=st.sampled_from([0, 1]), dead=st.sets(st.integers(0, N - 1), max_size=4))
+    def setup(self, b, dead):
+        live = set(range(N)) - dead
+        if not live:
+            live = {0}
+        self.system = LessLogSystem(m=M, b=b, live=live, seed=7)
+        self.model_files: dict[str, object] = {}   # name -> latest payload
+        self.model_versions: dict[str, int] = {}
+        self.counter = 0
+
+    # -- helpers ----------------------------------------------------------
+
+    def live_nodes(self):
+        return list(self.system.membership.live_pids())
+
+    def file_names(self):
+        return sorted(self.model_files)
+
+    # -- rules -------------------------------------------------------------
+
+    @rule()
+    def insert_file(self):
+        name = f"file-{self.counter}"
+        self.counter += 1
+        payload = f"v1-of-{name}"
+        self.system.insert(name, payload=payload)
+        self.model_files[name] = payload
+        self.model_versions[name] = 1
+
+    @precondition(lambda self: self.model_files)
+    @rule(data=st.data())
+    def get_file(self, data):
+        name = data.draw(st.sampled_from(self.file_names()), label="name")
+        entry = data.draw(st.sampled_from(self.live_nodes()), label="entry")
+        if name in self.system.faults:
+            return
+        result = self.system.get(name, entry=entry)
+        assert result.payload == self.model_files[name]
+        assert result.version == self.model_versions[name]
+        assert result.hops <= M + (1 << self.system.b)
+
+    @precondition(lambda self: self.model_files)
+    @rule(data=st.data())
+    def update_file(self, data):
+        name = data.draw(st.sampled_from(self.file_names()), label="name")
+        if name in self.system.faults:
+            return
+        payload = f"v{self.model_versions[name] + 1}-of-{name}"
+        result = self.system.update(name, payload=payload)
+        self.model_files[name] = payload
+        self.model_versions[name] = result.version
+        # Every holder must now carry the new payload.
+        for pid in self.system.holders_of(name):
+            copy = self.system.stores[pid].get(name, count_access=False)
+            assert copy.payload == payload
+
+    @precondition(lambda self: self.model_files)
+    @rule(data=st.data())
+    def replicate_file(self, data):
+        name = data.draw(st.sampled_from(self.file_names()), label="name")
+        if name in self.system.faults:
+            return
+        holders = self.system.holders_of(name)
+        if not holders:
+            return
+        source = data.draw(st.sampled_from(holders), label="source")
+        target = self.system.replicate(name, overloaded=source)
+        if target is not None:
+            assert name in self.system.stores[target]
+
+    @precondition(lambda self: len(list(self.system.membership.live_pids())) < N)
+    @rule(data=st.data())
+    def join_node(self, data):
+        live = set(self.live_nodes())
+        candidates = sorted(set(range(N)) - live)
+        pid = data.draw(st.sampled_from(candidates), label="pid")
+        self.system.join(pid)
+
+    @precondition(lambda self: len(list(self.system.membership.live_pids())) > 2)
+    @rule(data=st.data())
+    def leave_node(self, data):
+        pid = data.draw(st.sampled_from(self.live_nodes()), label="pid")
+        self.system.leave(pid)
+
+    @precondition(lambda self: len(list(self.system.membership.live_pids())) > 2)
+    @rule(data=st.data())
+    def fail_node(self, data):
+        pid = data.draw(st.sampled_from(self.live_nodes()), label="pid")
+        self.system.fail(pid)
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def system_invariants_hold(self):
+        if hasattr(self, "system"):
+            self.system.check_invariants()
+
+    @invariant()
+    def non_faulted_files_are_readable(self):
+        if not hasattr(self, "system") or not self.model_files:
+            return
+        entry = next(iter(self.system.membership.live_pids()))
+        for name in self.file_names():
+            if name in self.system.faults:
+                continue
+            try:
+                result = self.system.get(name, entry=entry)
+            except FileNotFoundInSystemError:
+                raise AssertionError(
+                    f"{name!r} is not faulted but unreadable from P({entry})"
+                )
+            assert result.payload == self.model_files[name]
+
+    @invariant()
+    def exactly_one_inserted_copy_per_live_subtree(self):
+        if not hasattr(self, "system"):
+            return
+        for name in self.file_names():
+            if name in self.system.faults:
+                continue
+            inserted = [
+                pid
+                for pid in self.system.holders_of(name)
+                if self.system.stores[pid].get(name, count_access=False).origin
+                is FileOrigin.INSERTED
+            ]
+            assert 1 <= len(inserted) <= (1 << self.system.b)
+
+
+TestLessLogStateful = LessLogMachine.TestCase
+TestLessLogStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

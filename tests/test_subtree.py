@@ -1,0 +1,180 @@
+"""Unit tests for the fault-tolerant subtree model (repro.core.subtree)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, NoLiveNodeError
+from repro.core.liveness import AllLive, SetLiveness
+from repro.core.subtree import (
+    SubtreeView,
+    check_b,
+    insert_targets,
+    join_vid,
+    migration_order,
+    split_vid,
+    subtree_of_pid,
+)
+from repro.core.tree import LookupTree
+
+
+@pytest.fixture
+def tree4():
+    return LookupTree(4, 4)
+
+
+class TestSplitJoin:
+    def test_roundtrip(self):
+        for vid in range(16):
+            for b in (0, 1, 2, 3):
+                svid, sid = split_vid(vid, 4, b)
+                assert join_vid(svid, sid, 4, b) == vid
+
+    def test_figure4_identifiers(self):
+        # Figure 4: m=4, b=2.  Low 2 bits are the subtree id.
+        assert split_vid(0b1111, 4, 2) == (0b11, 0b11)
+        assert split_vid(0b1100, 4, 2) == (0b11, 0b00)
+        assert split_vid(0b0110, 4, 2) == (0b01, 0b10)
+
+    def test_check_b_bounds(self):
+        check_b(0, 4)
+        check_b(3, 4)
+        with pytest.raises(ConfigurationError):
+            check_b(4, 4)
+        with pytest.raises(ConfigurationError):
+            check_b(-1, 4)
+
+
+class TestSubtreeView:
+    def test_b0_is_whole_tree(self, tree4):
+        view = SubtreeView(tree4, 0, 0)
+        assert view.size == 16
+        assert view.root_pid == 4
+        assert sorted(view.members()) == list(range(16))
+
+    def test_figure4_four_subtrees(self, tree4):
+        # m=4, b=2: 4 subtrees of 4 nodes each, partitioning all PIDs.
+        seen: set[int] = set()
+        for sid in range(4):
+            view = SubtreeView(tree4, 2, sid)
+            members = view.members()
+            assert len(members) == 4
+            seen.update(members)
+        assert seen == set(range(16))
+
+    def test_subtree_root_vid_pattern(self, tree4):
+        # §4: "the subtree VID of the root node in each subtree is 11" —
+        # the all-ones (m-b)-bit pattern.
+        for sid in range(4):
+            view = SubtreeView(tree4, 2, sid)
+            assert view.svid_of(view.root_pid) == 0b11
+
+    def test_members_are_binomial_tree(self, tree4):
+        view = SubtreeView(tree4, 2, 0b01)
+        root = view.root_pid
+        # Width-2 binomial tree: root has two children, one of which
+        # has one child.
+        kids = view.children(root)
+        assert len(kids) == 2
+        assert len(view.children(kids[0])) == 1
+        assert view.children(kids[1]) == []
+
+    def test_parent_child_consistency(self, tree4):
+        for b in (1, 2):
+            for sid in range(1 << b):
+                view = SubtreeView(tree4, b, sid)
+                for pid in view.members():
+                    for c in view.children(pid):
+                        assert view.parent(c) == pid
+
+    def test_contains(self, tree4):
+        view = SubtreeView(tree4, 2, 0)
+        for pid in range(16):
+            assert view.contains(pid) == (subtree_of_pid(tree4, pid, 2) == 0)
+
+    def test_svid_of_foreign_pid_raises(self, tree4):
+        view = SubtreeView(tree4, 2, 0)
+        foreign = next(p for p in range(16) if not view.contains(p))
+        with pytest.raises(ConfigurationError):
+            view.svid_of(foreign)
+
+    def test_bad_sid_raises(self, tree4):
+        with pytest.raises(ConfigurationError):
+            SubtreeView(tree4, 2, 4)
+
+
+class TestSubtreeRouting:
+    def test_storage_node_all_live(self, tree4):
+        for sid in range(4):
+            view = SubtreeView(tree4, 2, sid)
+            assert view.storage_node(AllLive(4)) == view.root_pid
+
+    def test_storage_node_with_dead_root(self, tree4):
+        view = SubtreeView(tree4, 2, 0)
+        root = view.root_pid
+        liveness = SetLiveness.all_but(4, dead=[root])
+        home = view.storage_node(liveness)
+        assert home != root and view.contains(home)
+        # It must be the live member with the largest subtree VID.
+        live_svids = [
+            view.svid_of(p) for p in view.members() if liveness.is_live(p)
+        ]
+        assert view.svid_of(home) == max(live_svids)
+
+    def test_resolve_route_stays_in_subtree(self, tree4):
+        liveness = SetLiveness.all_but(4, dead=[2])
+        for sid in range(4):
+            view = SubtreeView(tree4, 2, sid)
+            for entry in view.members():
+                if not liveness.is_live(entry):
+                    continue
+                route = view.resolve_route(entry, liveness)
+                assert all(view.contains(p) for p in route)
+                assert route[-1] == view.storage_node(liveness)
+
+    def test_route_from_dead_entry_raises(self, tree4):
+        view = SubtreeView(tree4, 2, subtree_of_pid(tree4, 2, 2))
+        liveness = SetLiveness.all_but(4, dead=[2])
+        with pytest.raises(NoLiveNodeError):
+            view.resolve_route(2, liveness)
+
+    def test_find_live_node_empty_subtree(self, tree4):
+        view = SubtreeView(tree4, 2, 0)
+        liveness = SetLiveness.all_but(4, dead=view.members())
+        with pytest.raises(NoLiveNodeError):
+            view.storage_node(liveness)
+
+
+class TestInsertTargets:
+    def test_b0_single_target(self, tree4):
+        assert insert_targets(tree4, 0, AllLive(4)) == [4]
+
+    def test_b2_four_targets_one_per_subtree(self, tree4):
+        targets = insert_targets(tree4, 2, AllLive(4))
+        assert len(targets) == 4
+        sids = {subtree_of_pid(tree4, t, 2) for t in targets}
+        assert sids == {0, 1, 2, 3}
+
+    def test_targets_survive_single_failure(self, tree4):
+        # Fault-tolerance guarantee: 2**b targets fail only if all die.
+        targets = insert_targets(tree4, 2, AllLive(4))
+        for victim in targets:
+            liveness = SetLiveness.all_but(4, dead=[victim])
+            remaining = insert_targets(tree4, 2, liveness)
+            assert len(remaining) == 4  # replacement found in the subtree
+
+    def test_dead_subtree_skipped(self, tree4):
+        view = SubtreeView(tree4, 2, 0)
+        liveness = SetLiveness.all_but(4, dead=view.members())
+        targets = insert_targets(tree4, 2, liveness)
+        assert len(targets) == 3
+        assert all(not view.contains(t) for t in targets)
+
+
+class TestMigrationOrder:
+    def test_own_subtree_first(self, tree4):
+        for entry in range(16):
+            order = migration_order(tree4, 2, entry)
+            assert order[0] == subtree_of_pid(tree4, entry, 2)
+            assert sorted(order) == [0, 1, 2, 3]
+
+    def test_b0_trivial(self, tree4):
+        assert migration_order(tree4, 0, 7) == [0]

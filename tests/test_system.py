@@ -1,0 +1,287 @@
+"""Integration tests for LessLogSystem file operations."""
+
+import pytest
+
+from repro.baselines import LogBasedPolicy, RandomPolicy
+from repro.cluster import LessLogSystem
+from repro.core.errors import (
+    ConfigurationError,
+    FileNotFoundInSystemError,
+    NodeDownError,
+    StorageError,
+)
+from repro.core.hashing import Psi
+from repro.node.storage import FileOrigin
+
+
+def system_with_file(m=4, b=0, dead=None, target=4):
+    """A system plus a file name hashing to ``target``."""
+    sys_ = LessLogSystem.build(m=m, b=b, dead=set(dead or ()))
+    name = sys_.psi.find_name_for_target(target)
+    return sys_, name
+
+
+class TestBuild:
+    def test_default_full_system(self):
+        sys_ = LessLogSystem.build(m=4)
+        assert sys_.n_live == 16
+
+    def test_dead_set(self):
+        sys_ = LessLogSystem.build(m=4, dead={1, 2})
+        assert sys_.n_live == 14
+        assert not sys_.is_live(1)
+
+    def test_n_live_sampled(self):
+        sys_ = LessLogSystem.build(m=5, n_live=20, seed=1)
+        assert sys_.n_live == 20
+
+    def test_dead_and_n_live_conflict(self):
+        with pytest.raises(ConfigurationError):
+            LessLogSystem.build(m=4, dead={1}, n_live=3)
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LessLogSystem(m=4, live=set())
+
+    def test_mismatched_psi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LessLogSystem(m=4, psi=Psi(5))
+
+
+class TestInsert:
+    def test_insert_stores_at_target_when_live(self):
+        sys_, name = system_with_file(target=4)
+        result = sys_.insert(name, payload=b"data")
+        assert result.homes == (4,)
+        assert name in sys_.stores[4]
+        assert sys_.stores[4].get(name, count_access=False).origin is FileOrigin.INSERTED
+
+    def test_insert_with_dead_target_uses_most_offspring_live(self):
+        # §5.1 example: P(4), P(5) dead, ψ(f)=4 -> stored at P(6).
+        sys_, name = system_with_file(dead=[4, 5], target=4)
+        result = sys_.insert(name)
+        assert result.homes == (6,)
+
+    def test_duplicate_insert_rejected(self):
+        sys_, name = system_with_file()
+        sys_.insert(name)
+        with pytest.raises(StorageError):
+            sys_.insert(name)
+
+    def test_insert_from_dead_entry_rejected(self):
+        sys_, name = system_with_file(dead=[3])
+        with pytest.raises(NodeDownError):
+            sys_.insert(name, entry=3)
+
+    def test_fault_tolerant_insert_2b_copies(self):
+        sys_, name = system_with_file(b=2, target=4)
+        result = sys_.insert(name, payload=b"x")
+        assert len(result.homes) == 4
+        sys_.check_invariants()
+
+
+class TestGet:
+    def test_get_routes_along_paper_path(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name, payload=b"pdf")
+        result = sys_.get(name, entry=8)
+        assert result.route == (8, 0, 4)
+        assert result.server == 4
+        assert result.payload == b"pdf"
+        assert result.hops == 2
+
+    def test_get_stops_at_replica_on_path(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name, payload=b"pdf")
+        sys_.replicate(name, overloaded=4)  # replica at P(5)? no: biggest child
+        # The LessLog replica goes to P(5); route from nodes under P(5)
+        # must now stop there.
+        holders = sys_.holders_of(name)
+        assert set(holders) == {4, 5}
+        under_5 = [p for p in sys_.tree(4).iter_subtree(5) if p != 5]
+        result = sys_.get(name, entry=under_5[0])
+        assert result.server == 5
+
+    def test_get_from_every_entry_succeeds(self):
+        sys_, name = system_with_file(dead=[4, 5], target=4)
+        sys_.insert(name, payload=1)
+        for entry in sys_.membership.live_pids():
+            assert sys_.get(name, entry=entry).payload == 1
+
+    def test_get_missing_file_raises(self):
+        sys_, _ = system_with_file()
+        with pytest.raises(FileNotFoundInSystemError):
+            sys_.get("nope", entry=0)
+
+    def test_get_dead_entry_rejected(self):
+        sys_, name = system_with_file(dead=[7])
+        sys_.insert(name)
+        with pytest.raises(NodeDownError):
+            sys_.get(name, entry=7)
+
+    def test_get_bumps_access_counter(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name)
+        sys_.get(name, entry=4)
+        sys_.get(name, entry=8)
+        assert sys_.stores[4].get(name, count_access=False).access_count == 2
+
+    def test_subtree_migration_on_fault(self):
+        # b=2: kill the entry's whole subtree home; the request must
+        # migrate to another subtree and still find the file.
+        sys_, name = system_with_file(m=4, b=2, target=4)
+        result = sys_.insert(name, payload="v")
+        victim = result.homes[0]
+        sys_.fail(victim)
+        # Any surviving entry can still read the file.
+        entry = next(iter(sys_.membership.live_pids()))
+        got = sys_.get(name, entry=entry)
+        assert got.payload == "v"
+
+    def test_hops_bounded_by_m_plus_jump(self):
+        sys_, name = system_with_file(m=6, dead=[13], target=13)
+        sys_.insert(name)
+        for entry in sys_.membership.live_pids():
+            assert sys_.get(name, entry=entry).hops <= 7
+
+
+class TestUpdate:
+    def test_update_reaches_all_copies(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name, payload="v1")
+        for _ in range(4):
+            sys_.replicate(name, overloaded=4)
+        result = sys_.update(name, payload="v2")
+        assert set(result.updated) == set(sys_.holders_of(name))
+        for pid in sys_.holders_of(name):
+            assert sys_.stores[pid].get(name, count_access=False).payload == "v2"
+
+    def test_update_cascades_through_replica_chain(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name, payload="v1")
+        sys_.replicate(name, overloaded=4)      # -> P(5)
+        sys_.replicate(name, overloaded=5)      # -> P(5)'s biggest child
+        result = sys_.update(name, payload="v2")
+        assert len(result.updated) == 3
+        sys_.check_invariants()
+
+    def test_update_missing_file_raises(self):
+        sys_, _ = system_with_file()
+        with pytest.raises(FileNotFoundInSystemError):
+            sys_.update("ghost", payload=0)
+
+    def test_update_bumps_version(self):
+        sys_, name = system_with_file()
+        sys_.insert(name, payload=0)
+        r1 = sys_.update(name, payload=1)
+        r2 = sys_.update(name, payload=2)
+        assert (r1.version, r2.version) == (2, 3)
+
+    def test_update_with_dead_root_bypasses(self):
+        # §3: update bypasses a dead node to its children list.
+        sys_, name = system_with_file(dead=[4, 5], target=4)
+        sys_.insert(name, payload="v1")  # home is P(6)
+        sys_.replicate(name, overloaded=6)
+        result = sys_.update(name, payload="v2")
+        assert set(result.updated) == set(sys_.holders_of(name))
+
+    def test_update_fault_tolerant_all_subtrees(self):
+        sys_, name = system_with_file(b=2, target=4)
+        sys_.insert(name, payload="v1")
+        result = sys_.update(name, payload="v2")
+        assert len(result.updated) == 4
+        for pid in sys_.holders_of(name):
+            assert sys_.stores[pid].get(name, count_access=False).payload == "v2"
+
+
+class TestReplicate:
+    def test_lesslog_replication_order(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name)
+        # Children list of P(4): (5, 6, 0, 12).
+        assert sys_.replicate(name, overloaded=4) == 5
+        assert sys_.replicate(name, overloaded=4) == 6
+        assert sys_.replicate(name, overloaded=4) == 0
+        assert sys_.replicate(name, overloaded=4) == 12
+
+    def test_replicate_requires_holder(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name)
+        with pytest.raises(StorageError):
+            sys_.replicate(name, overloaded=9)
+
+    def test_replicate_missing_file(self):
+        sys_, _ = system_with_file()
+        with pytest.raises(FileNotFoundInSystemError):
+            sys_.replicate("ghost", overloaded=0)
+
+    def test_replicate_with_random_policy(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name)
+        target = sys_.replicate(name, overloaded=4, policy=RandomPolicy())
+        assert target in set(range(16)) - {4}
+        assert sys_.replica_count(name) == 1
+
+    def test_replicate_with_logbased_policy(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name)
+        target = sys_.replicate(
+            name, overloaded=4, policy=LogBasedPolicy(),
+            forwarder_rates={6: 50.0, 5: 10.0},
+        )
+        assert target == 6
+
+    def test_replicate_within_subtree_b2(self):
+        sys_, name = system_with_file(b=2, target=4)
+        result = sys_.insert(name)
+        home = result.homes[0]
+        target = sys_.replicate(name, overloaded=home)
+        # The replica must land in the same subtree as the overloaded home.
+        from repro.core.subtree import subtree_of_pid
+
+        tree = sys_.tree(4)
+        assert subtree_of_pid(tree, target, 2) == subtree_of_pid(tree, home, 2)
+        sys_.check_invariants()
+
+    def test_remove_replica(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name)
+        target = sys_.replicate(name, overloaded=4)
+        sys_.remove_replica(name, target)
+        assert sys_.holders_of(name) == [4]
+
+    def test_remove_replica_protects_inserted(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name)
+        with pytest.raises(StorageError):
+            sys_.remove_replica(name, 4)
+
+    def test_replication_exhaustion_returns_none(self):
+        sys_, name = system_with_file(m=2, target=3)
+        sys_.insert(name)
+        seen = set()
+        for _ in range(10):
+            t = sys_.replicate(name, overloaded=3)
+            if t is None:
+                break
+            seen.add(t)
+        assert sys_.replicate(name, overloaded=3) is None
+        # Only the root's own children list is reachable from the root
+        # (grandchildren are served by replicating from the children).
+        assert seen == set(sys_.tree(3).children(3))
+
+
+class TestInvariants:
+    def test_fresh_system_with_files(self):
+        sys_ = LessLogSystem.build(m=5, dead={3, 9})
+        for i in range(10):
+            sys_.insert(f"file-{i}", payload=i)
+        sys_.check_invariants()
+
+    def test_invariants_catch_corruption(self):
+        sys_, name = system_with_file(target=4)
+        sys_.insert(name)
+        # Corrupt: plant a second INSERTED copy somewhere else.
+        sys_.stores[9].store(name, None, 1, FileOrigin.INSERTED)
+        with pytest.raises(AssertionError):
+            sys_.check_invariants()

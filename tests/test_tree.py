@@ -1,0 +1,134 @@
+"""Unit tests for VirtualTree / LookupTree (repro.core.tree)."""
+
+import pytest
+
+from repro.core.tree import LookupTree, VirtualTree
+
+
+class TestVirtualTree:
+    def test_validate_small_widths(self):
+        for m in (1, 2, 3, 4, 5, 6):
+            VirtualTree(m).validate()
+
+    def test_size_and_root(self):
+        t = VirtualTree(4)
+        assert t.size == 16
+        assert t.root == 0b1111
+
+    def test_bfs_visits_everything_once(self):
+        t = VirtualTree(5)
+        order = list(t.iter_bfs())
+        assert len(order) == 32
+        assert set(order) == set(range(32))
+        assert order[0] == t.root
+
+    def test_bfs_depth_monotone(self):
+        t = VirtualTree(4)
+        depths = [t.depth(v) for v in t.iter_bfs()]
+        assert depths == sorted(depths)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            VirtualTree(0)
+
+
+class TestLookupTreeMapping:
+    def test_root_is_its_own_pid(self):
+        for r in range(16):
+            assert LookupTree(r, 4).vid_of(r) == 0b1111
+
+    def test_xor_key_is_complement(self):
+        assert LookupTree(4, 4).xor_key == 0b1011
+
+    def test_pid_vid_roundtrip(self):
+        t = LookupTree(9, 4)
+        for pid in range(16):
+            assert t.pid_of(t.vid_of(pid)) == pid
+
+    def test_rejects_out_of_range_root(self):
+        with pytest.raises(ValueError):
+            LookupTree(16, 4)
+
+
+class TestLookupTreeStructure:
+    """The paper's Figure 2: the lookup tree of P(4) in a 16-node system."""
+
+    @pytest.fixture
+    def tree(self):
+        return LookupTree(4, 4)
+
+    def test_children_list_of_root(self, tree):
+        # §2.2: "the children list of P(4) in Figure 2 is
+        # (P(5), P(6), P(0), P(12))".
+        assert tree.children(4) == [5, 6, 0, 12]
+
+    def test_routing_example(self, tree):
+        # §2.1: P(8) -> P(0) -> P(4).
+        assert tree.parent(8) == 0
+        assert tree.parent(0) == 4
+        assert tree.path_to_root(8) == [8, 0, 4]
+
+    def test_parent_of_root_raises(self, tree):
+        with pytest.raises(ValueError):
+            tree.parent(4)
+
+    def test_offspring_counts(self, tree):
+        # P(5) is VID 1110 (7 offspring); P(6) is VID 1101 (3 offspring).
+        assert tree.offspring_count(5) == 7
+        assert tree.offspring_count(6) == 3
+        assert tree.offspring_count(4) == 15
+
+    def test_subtree_membership(self, tree):
+        for pid in tree.iter_subtree(5):
+            assert tree.in_subtree(pid, 5)
+        assert tree.in_subtree(4, 4)
+        assert not tree.in_subtree(4, 5)
+
+    def test_every_pid_routes_to_root(self, tree):
+        for pid in range(16):
+            assert tree.path_to_root(pid)[-1] == 4
+
+    def test_depth_bounded_by_m(self, tree):
+        assert all(tree.depth(pid) <= 4 for pid in range(16))
+
+    def test_ancestors_of_root_empty(self, tree):
+        assert tree.ancestors(4) == []
+
+    def test_is_ancestor(self, tree):
+        assert tree.is_ancestor(4, 8)
+        assert tree.is_ancestor(0, 8)
+        assert not tree.is_ancestor(8, 0)
+        assert not tree.is_ancestor(8, 8)
+
+
+class TestRender:
+    def test_render_contains_all_pids(self):
+        t = LookupTree(4, 3)
+        text = t.render()
+        for pid in range(8):
+            assert f"P({pid})" in text
+
+    def test_render_truncates_large(self):
+        t = LookupTree(0, 10)
+        assert "too large" in t.render()
+
+
+class TestCrossRootConsistency:
+    def test_all_physical_trees_share_structure(self):
+        # The N physical trees are XOR relabelings of one virtual tree:
+        # subtree sizes at a given VID are identical across roots.
+        m = 4
+        for r in (0, 3, 11):
+            t = LookupTree(r, m)
+            for vid in range(16):
+                pid = t.pid_of(vid)
+                assert t.subtree_size(pid) == LookupTree(0, m).subtree_size(
+                    LookupTree(0, m).pid_of(vid)
+                )
+
+    def test_children_of_k_in_tree_of_r(self):
+        # Spot-check: children are computed via the VID mapping, so the
+        # child PIDs of the same physical node differ across trees.
+        t0 = LookupTree(0, 4)
+        t4 = LookupTree(4, 4)
+        assert t0.children(0) != t4.children(0) or t0.children(0) == []

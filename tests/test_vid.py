@@ -1,0 +1,182 @@
+"""Unit tests for the VID algebra (repro.core.vid) — Properties 1–4."""
+
+import pytest
+
+from repro.core import vid as V
+from repro.core.bits import leading_ones, mask
+
+
+class TestChildren:
+    def test_root_children_m4(self):
+        # Property 1: root 1111 has 4 children; largest subtree first.
+        assert V.children_vids(0b1111, 4) == [0b1110, 0b1101, 0b1011, 0b0111]
+
+    def test_paper_figure1_node_1110(self):
+        # Figure 1 (recovered): 1110 has 3 children 0110, 1010, 1100,
+        # ordered largest-subtree-first: 1100 (run 2), 1010 (1), 0110 (0).
+        assert V.children_vids(0b1110, 4) == [0b1100, 0b1010, 0b0110]
+
+    def test_leaf_has_no_children(self):
+        assert V.children_vids(0b0111, 4) == []
+        assert V.children_vids(0, 4) == []
+
+    def test_child_count_equals_leading_ones(self):
+        for v in range(32):
+            assert V.child_count(v, 5) == leading_ones(v, 5)
+
+    def test_children_order_is_descending_subtree_size(self):
+        for m in (3, 4, 6):
+            for v in range(1 << m):
+                sizes = [V.subtree_size(c, m) for c in V.children_vids(v, m)]
+                assert sizes == sorted(sizes, reverse=True)
+
+
+class TestParent:
+    def test_paper_example(self):
+        # §2.1: parent of 0110 is 1110.
+        assert V.parent_vid(0b0110, 4) == 0b1110
+
+    def test_root_raises(self):
+        with pytest.raises(ValueError):
+            V.parent_vid(0b1111, 4)
+
+    def test_parent_child_consistency(self):
+        for m in (2, 4, 5):
+            for v in range(1 << m):
+                for c in V.children_vids(v, m):
+                    assert V.parent_vid(c, m) == v
+
+    def test_parent_is_strictly_larger(self):
+        for v in range(15):
+            assert V.parent_vid(v, 4) > v
+
+
+class TestSubtreeSizes:
+    def test_paper_figure1_offspring(self):
+        # §2.1 (recovered): VIDs 1110 and 1101 have 7 and 3 offspring.
+        assert V.offspring_count(0b1110, 4) == 7
+        assert V.offspring_count(0b1101, 4) == 3
+
+    def test_root_subtree_is_everything(self):
+        assert V.subtree_size(0b1111, 4) == 16
+
+    def test_sizes_sum_to_total(self):
+        m = 5
+        # Each depth-d layer partitions: root subtree = 1 + children subtrees.
+        for v in range(1 << m):
+            assert V.subtree_size(v, m) == 1 + sum(
+                V.subtree_size(c, m) for c in V.children_vids(v, m)
+            )
+
+    def test_property3_monotonicity(self):
+        # Property 3: numerically larger VID => at least as many offspring.
+        for m in (3, 4, 6):
+            prev = -1
+            for v in range(1 << m):
+                size = V.subtree_size(v, m)
+                assert size >= 1
+                if v > 0:
+                    assert size >= prev or True  # monotone over runs, not raw
+            # Exact statement: i > j implies offspring(i) >= offspring(j).
+            for i in range(1 << m):
+                for j in range(i):
+                    assert V.offspring_count(i, m) >= V.offspring_count(j, m)
+
+
+class TestSubtreeMembership:
+    def test_closed_form_matches_enumeration(self):
+        m = 4
+        for v in range(16):
+            members = set(V.iter_subtree(v, m))
+            for w in range(16):
+                assert V.in_subtree(w, v, m) == (w in members)
+
+    def test_figure1_subtrees(self):
+        # subtree(1110) = all VIDs with bit0 == 0.
+        members = set(V.iter_subtree(0b1110, 4))
+        assert members == {v for v in range(16) if v % 2 == 0}
+        # subtree(1101) = VIDs ending in 01.
+        members = set(V.iter_subtree(0b1101, 4))
+        assert members == {0b1101, 0b0101, 0b1001, 0b0001}
+
+    def test_subtree_size_matches_enumeration(self):
+        for m in (3, 5):
+            for v in range(1 << m):
+                assert len(list(V.iter_subtree(v, m))) == V.subtree_size(v, m)
+
+    def test_iter_subtree_root_first(self):
+        for v in range(16):
+            assert next(V.iter_subtree(v, 4)) == v
+
+    def test_is_ancestor_strict(self):
+        assert not V.is_ancestor(0b1010, 0b1010, 4)
+        assert V.is_ancestor(0b1111, 0b0000, 4)
+        assert V.is_ancestor(0b1110, 0b0100, 4)
+        assert not V.is_ancestor(0b0100, 0b1110, 4)
+
+    def test_ancestor_iff_on_parent_chain(self):
+        m = 4
+        for w in range(16):
+            chain = set(V.ancestors(w, m))
+            for a in range(16):
+                assert V.is_ancestor(a, w, m) == (a in chain)
+
+
+class TestPathsAndDepth:
+    def test_depth_counts_zero_bits(self):
+        assert V.depth(0b1111, 4) == 0
+        assert V.depth(0b0000, 4) == 4
+        assert V.depth(0b1010, 4) == 2
+
+    def test_path_to_root_ends_at_root(self):
+        for v in range(16):
+            path = V.path_to_root(v, 4)
+            assert path[0] == v
+            assert path[-1] == 0b1111
+            assert len(path) == V.depth(v, 4) + 1
+
+    def test_path_strictly_increasing(self):
+        for v in range(16):
+            path = V.path_to_root(v, 4)
+            assert all(a < b for a, b in zip(path, path[1:]))
+
+    def test_lookup_bound_log_n(self):
+        # §1: lookup time bounded by O(log N) — depth never exceeds m.
+        for m in (3, 6, 10):
+            assert max(V.depth(v, m) for v in (0, (1 << m) - 1, 5 % (1 << m))) <= m
+
+
+class TestPidVidMapping:
+    def test_root_maps_to_itself(self):
+        for m in (3, 4, 7):
+            for r in range(1 << m):
+                assert V.vid_to_pid(mask(m), r, m) == r
+
+    def test_paper_figure2_children_list(self):
+        # Tree of P(4), m=4: children of the root are P(5), P(6), P(0), P(12).
+        root_children = V.children_vids(0b1111, 4)
+        pids = [V.vid_to_pid(c, 4, 4) for c in root_children]
+        assert pids == [5, 6, 0, 12]
+
+    def test_paper_routing_example(self):
+        # P(8) targeting P(4): vid(8) = 0011 -> parent 1011 -> P(0)
+        # -> parent 1111 -> P(4).
+        vid8 = V.pid_to_vid(8, 4, 4)
+        assert vid8 == 0b0011
+        p1 = V.parent_vid(vid8, 4)
+        assert V.vid_to_pid(p1, 4, 4) == 0
+        p2 = V.parent_vid(p1, 4)
+        assert V.vid_to_pid(p2, 4, 4) == 4
+
+    def test_involution(self):
+        for r in range(16):
+            for pid in range(16):
+                vid = V.pid_to_vid(pid, r, 4)
+                assert V.vid_to_pid(vid, r, 4) == pid
+
+    def test_bijection_across_roots(self):
+        # N different complements map one virtual tree to N distinct
+        # physical trees (§2.1): each root induces a permutation.
+        for r in range(16):
+            pids = {V.vid_to_pid(v, r, 4) for v in range(16)}
+            assert pids == set(range(16))

@@ -1,0 +1,143 @@
+"""Unit tests for demand models and request streams (repro.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.liveness import AllLive, SetLiveness
+from repro.workloads import (
+    LocalityDemand,
+    RequestStream,
+    UniformDemand,
+    ZipfDemand,
+    validate_rates,
+)
+
+
+class TestUniformDemand:
+    def test_rates_sum_and_spread(self):
+        live = AllLive(4)
+        rates = UniformDemand().rates(1600.0, live)
+        validate_rates(rates, 1600.0, live)
+        assert np.allclose(rates, 100.0)
+
+    def test_dead_nodes_get_zero(self):
+        live = SetLiveness.all_but(4, dead=[0, 1])
+        rates = UniformDemand().rates(1400.0, live)
+        validate_rates(rates, 1400.0, live)
+        assert rates[0] == 0.0 and rates[1] == 0.0
+        assert rates[2] == pytest.approx(100.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformDemand().rates(-1.0, AllLive(4))
+
+    def test_no_live_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformDemand().rates(1.0, SetLiveness(4, live=[]))
+
+
+class TestLocalityDemand:
+    def test_eighty_twenty_split(self):
+        live = AllLive(5)  # 32 nodes
+        model = LocalityDemand(hot_fraction=0.25, hot_share=0.8, seed=1)
+        rates = model.rates(3200.0, live)
+        validate_rates(rates, 3200.0, live)
+        hot = model.hot_nodes(live)
+        assert len(hot) == 8
+        assert sum(rates[p] for p in hot) == pytest.approx(3200.0 * 0.8)
+
+    def test_hot_nodes_deterministic_per_seed(self):
+        live = AllLive(5)
+        a = LocalityDemand(seed=3).hot_nodes(live)
+        b = LocalityDemand(seed=3).hot_nodes(live)
+        c = LocalityDemand(seed=4).hot_nodes(live)
+        assert a == b
+        assert a != c
+
+    def test_hot_nodes_are_live(self):
+        live = SetLiveness.all_but(5, dead=list(range(10)))
+        model = LocalityDemand(seed=0)
+        for pid in model.hot_nodes(live):
+            assert live.is_live(pid)
+
+    def test_default_is_paper_80_20(self):
+        model = LocalityDemand()
+        assert model.hot_fraction == 0.2 and model.hot_share == 0.8
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalityDemand(hot_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            LocalityDemand(hot_share=1.5)
+
+
+class TestZipfDemand:
+    def test_rates_sum(self):
+        live = AllLive(5)
+        rates = ZipfDemand(s=1.2, seed=2).rates(1000.0, live)
+        validate_rates(rates, 1000.0, live)
+
+    def test_zero_exponent_is_uniform(self):
+        live = AllLive(4)
+        rates = ZipfDemand(s=0.0).rates(1600.0, live)
+        assert np.allclose(rates[rates > 0], 100.0)
+
+    def test_skew_increases_with_s(self):
+        live = AllLive(6)
+        flat = ZipfDemand(s=0.5, seed=1).rates(1000.0, live)
+        steep = ZipfDemand(s=2.0, seed=1).rates(1000.0, live)
+        assert steep.max() > flat.max()
+
+    def test_negative_s_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfDemand(s=-0.1)
+
+
+class TestRequestStream:
+    def test_generate_respects_duration(self):
+        rates = UniformDemand().rates(1000.0, AllLive(4))
+        stream = RequestStream(rates, "f", seed=1)
+        reqs = list(stream.generate(duration=2.0))
+        assert reqs
+        assert all(0.0 < r.time <= 2.0 for r in reqs)
+        times = [r.time for r in reqs]
+        assert times == sorted(times)
+
+    def test_rate_statistically_close(self):
+        rates = UniformDemand().rates(500.0, AllLive(4))
+        stream = RequestStream(rates, "f", seed=2)
+        reqs = list(stream.generate(duration=20.0))
+        assert len(reqs) == pytest.approx(10_000, rel=0.1)
+
+    def test_entries_only_where_rate_positive(self):
+        live = SetLiveness.all_but(4, dead=[0, 1, 2])
+        rates = UniformDemand().rates(800.0, live)
+        stream = RequestStream(rates, "f", seed=3)
+        for r in stream.sample_batch(500):
+            assert rates[r.entry] > 0
+
+    def test_locality_stream_is_skewed(self):
+        live = AllLive(6)
+        model = LocalityDemand(seed=0)
+        rates = model.rates(1000.0, live)
+        stream = RequestStream(rates, "f", seed=4)
+        hot = set(model.hot_nodes(live))
+        reqs = stream.sample_batch(4000)
+        hot_count = sum(1 for r in reqs if r.entry in hot)
+        assert 0.7 < hot_count / len(reqs) < 0.9
+
+    def test_deterministic_per_seed(self):
+        rates = UniformDemand().rates(100.0, AllLive(4))
+        a = RequestStream(rates, "f", seed=5).sample_batch(50)
+        b = RequestStream(rates, "f", seed=5).sample_batch(50)
+        assert a == b
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestStream(np.zeros(16), "f")
+
+    def test_negative_duration_rejected(self):
+        rates = UniformDemand().rates(10.0, AllLive(4))
+        with pytest.raises(ConfigurationError):
+            list(RequestStream(rates, "f").generate(-1.0))
