@@ -15,6 +15,17 @@ import pytest
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Mark everything under benchmarks/ with ``bench``.
+
+    The default ``testpaths = ["tests"]`` already keeps these out of
+    tier-1 runs; the marker additionally lets mixed invocations
+    deselect them with ``-m "not bench"``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)

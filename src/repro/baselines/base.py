@@ -19,7 +19,10 @@ from collections.abc import Collection, Mapping
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from ..core.liveness import LivenessView
+from ..core.routing import RoutingTable
 from ..core.tree import LookupTree
 
 __all__ = ["PlacementContext", "ReplicationPolicy"]
@@ -32,10 +35,25 @@ class PlacementContext:
     ``forwarder_rates`` maps an immediate overlay forwarder PID to the
     request rate it pushed into the overloaded node (``-1`` keys direct
     client arrivals).  Only the log-based policy may read it.
+
+    ``table`` optionally carries the caller's precomputed
+    :class:`~repro.core.routing.RoutingTable` for the same
+    ``(tree, liveness)`` pair.  Policies use it as a pure accelerator —
+    every decision is identical with or without it; callers that cannot
+    vouch for the pairing (subtree views, the DES driver) leave it
+    ``None`` and get the scalar code paths.
+
+    ``holder_mask`` optionally mirrors ``holders`` as a boolean array
+    indexed by PID (again a pure accelerator, maintained incrementally
+    by the balance loop); when present it must agree with the
+    ``holders`` collection passed to :meth:`ReplicationPolicy.choose`.
+    Policies must not mutate it.
     """
 
     rng: random.Random = field(default_factory=lambda: random.Random(0))
     forwarder_rates: Mapping[int, float] = field(default_factory=dict)
+    table: RoutingTable | None = None
+    holder_mask: np.ndarray | None = None
 
 
 @runtime_checkable

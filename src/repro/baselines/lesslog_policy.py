@@ -30,7 +30,9 @@ class LessLogPolicy:
         holders: Collection[int],
         context: PlacementContext,
     ) -> int | None:
-        decision = choose_replica_target(tree, k, liveness, holders, rng=context.rng)
+        decision = choose_replica_target(
+            tree, k, liveness, holders, rng=context.rng, table=context.table
+        )
         return decision.target
 
     def __repr__(self) -> str:

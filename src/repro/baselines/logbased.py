@@ -42,9 +42,13 @@ class LogBasedPolicy:
         rates = context.forwarder_rates
         best: int | None = None
         best_rate = 0.0
+        if context.table is not None:
+            children = context.table.children_list(k, tree, liveness)
+        else:
+            children = advanced_children_list(tree, k, liveness)
         # Children-list order is the deterministic tie-break, so the
         # policy degrades to LessLog's choice when rates are equal.
-        for child in advanced_children_list(tree, k, liveness):
+        for child in children:
             if child in holder_set:
                 continue
             rate = float(rates.get(child, 0.0))

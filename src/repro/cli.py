@@ -36,7 +36,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chart", action="store_true", help="also draw an ASCII chart")
     run.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes for figure sweeps (fig5-fig8 only)",
+        help="worker processes for figure sweeps (fig5-fig8 only); "
+        "0 = one per CPU",
     )
 
     sub.add_parser("figures", help="regenerate structural Figures 1-4")

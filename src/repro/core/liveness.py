@@ -10,12 +10,13 @@ implementations (status words) that satisfy it.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator
 from typing import Protocol, runtime_checkable
 
 from .bits import check_id, check_width
 
-__all__ = ["LivenessView", "AllLive", "SetLiveness"]
+__all__ = ["LivenessView", "AllLive", "SetLiveness", "cache_token"]
 
 
 @runtime_checkable
@@ -40,6 +41,21 @@ class LivenessView(Protocol):
         ...
 
 
+def cache_token(liveness: LivenessView) -> tuple | None:
+    """A value-based key identifying a liveness view's current content.
+
+    Views that support caching expose ``cache_token()``; two views with
+    equal tokens are guaranteed to report identical liveness for every
+    PID.  Returns ``None`` for views that cannot be fingerprinted (the
+    cluster layer's mutable status words, say) — callers must then skip
+    caching and recompute.
+    """
+    token = getattr(liveness, "cache_token", None)
+    if token is None:
+        return None
+    return token()
+
+
 class AllLive:
     """The basic model (paper §2): every identifier is a live node."""
 
@@ -61,6 +77,14 @@ class AllLive:
     def live_count(self) -> int:
         return 1 << self._m
 
+    @property
+    def epoch(self) -> int:
+        """Mutation counter; an immutable view is forever at epoch 0."""
+        return 0
+
+    def cache_token(self) -> tuple:
+        return ("all", self._m)
+
     def __repr__(self) -> str:
         return f"AllLive(m={self._m})"
 
@@ -75,6 +99,8 @@ class SetLiveness:
         for pid in live:
             check_id(pid, m)
             self._live.add(pid)
+        self._epoch = 0
+        self._token: tuple | None = None
 
     @classmethod
     def all_but(cls, m: int, dead: Iterable[int]) -> "SetLiveness":
@@ -96,15 +122,40 @@ class SetLiveness:
     def live_count(self) -> int:
         return len(self._live)
 
+    @property
+    def epoch(self) -> int:
+        """Bumped by every :meth:`add` / :meth:`remove` mutation."""
+        return self._epoch
+
+    def cache_token(self) -> tuple:
+        """Content fingerprint, memoized until the next mutation.
+
+        Value-based (two views with identical live sets share a token),
+        so routing tables built in one worker process are reused for
+        every sweep cell that unpickles an equal view.
+        """
+        if self._token is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for pid in sorted(self._live):
+                digest.update(pid.to_bytes(8, "little"))
+            self._token = ("set", self._m, len(self._live), digest.hexdigest())
+        return self._token
+
     def add(self, pid: int) -> None:
         """Mark ``pid`` live (used by churn orchestration)."""
         check_id(pid, self._m)
-        self._live.add(pid)
+        if pid not in self._live:
+            self._live.add(pid)
+            self._epoch += 1
+            self._token = None
 
     def remove(self, pid: int) -> None:
         """Mark ``pid`` dead."""
         check_id(pid, self._m)
-        self._live.discard(pid)
+        if pid in self._live:
+            self._live.discard(pid)
+            self._epoch += 1
+            self._token = None
 
     def __contains__(self, pid: int) -> bool:
         return pid in self._live

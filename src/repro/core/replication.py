@@ -28,6 +28,7 @@ from .children import (
     live_subtree_size,
 )
 from .liveness import LivenessView
+from .routing import RoutingTable
 from .tree import LookupTree
 
 __all__ = [
@@ -43,13 +44,19 @@ def first_uncopied(
     k: int,
     liveness: LivenessView,
     holders: Collection[int],
+    table: RoutingTable | None = None,
 ) -> int | None:
     """``C^r_k(f)``: first children-list member of ``P(k)`` without a copy.
 
     Returns ``None`` when every member already holds one — the paper's
-    loop then simply cannot offload further from ``P(k)``.
+    loop then simply cannot offload further from ``P(k)``.  ``table``
+    is a pure accelerator: it memoizes the children list across calls.
     """
-    for pid in advanced_children_list(tree, k, liveness):
+    if table is not None:
+        children: Collection[int] = table.children_list(k, tree, liveness)
+    else:
+        children = advanced_children_list(tree, k, liveness)
+    for pid in children:
         if pid not in holders:
             return pid
     return None
@@ -75,6 +82,7 @@ def choose_replica_target(
     liveness: LivenessView,
     holders: Collection[int],
     rng: random.Random | None = None,
+    table: RoutingTable | None = None,
 ) -> PlacementDecision:
     """LessLog's placement rule for an overloaded holder ``P(k)``.
 
@@ -89,31 +97,40 @@ def choose_replica_target(
 
     ``rng`` drives only the proportional branch; pass a seeded
     ``random.Random`` for reproducibility (defaults to a fixed seed).
+    ``table`` accelerates the structural queries without changing any
+    decision (same children lists, same coin, same rng consumption).
     """
     if rng is None:
         rng = random.Random(0)
-    if has_live_node_above(tree, k, liveness):
+    if table is not None:
+        above = table.has_live_above(k)
+    else:
+        above = has_live_node_above(tree, k, liveness)
+    if above:
         return PlacementDecision(
-            target=first_uncopied(tree, k, liveness, holders),
+            target=first_uncopied(tree, k, liveness, holders, table),
             source=k,
             proportional=False,
         )
-    own = live_subtree_size(tree, k, liveness)
+    if table is not None:
+        own = int(table.live_subtree[k])
+    else:
+        own = live_subtree_size(tree, k, liveness)
     total = liveness.live_count()
     rest = max(total - own, 0)
     # Weighted coin: with probability own/(own+rest) blame the offspring.
     pick_own = rest == 0 or rng.random() < own / (own + rest)
     source = k if pick_own else tree.root
-    target = first_uncopied(tree, source, liveness, holders)
+    target = first_uncopied(tree, source, liveness, holders, table)
     if target is None and not pick_own:
         # The root's list may be exhausted while k's still has room
         # (or vice versa); fall through to the other list rather than
         # stalling the balance loop.
         source = k
-        target = first_uncopied(tree, k, liveness, holders)
+        target = first_uncopied(tree, k, liveness, holders, table)
     elif target is None and pick_own:
         source = tree.root
-        target = first_uncopied(tree, tree.root, liveness, holders)
+        target = first_uncopied(tree, tree.root, liveness, holders, table)
     # Never "replicate" onto the overloaded node itself.
     if target == k:
         target = None

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass
 
+import numpy as np
+
 from . import vid as V
 from .bits import check_id, check_width, complement, mask, to_binary
 
@@ -68,6 +70,45 @@ class VirtualTree:
 
     def path_to_root(self, vid: int) -> list[int]:
         return V.path_to_root(vid, self.m)
+
+    # -- whole-tree array queries (vectorized kernels) ------------------
+
+    def parent_array(self) -> np.ndarray:
+        """Parent VID of every VID as one int array (root maps to -1).
+
+        Property 2 vectorized: set the leftmost 0 bit, found by
+        propagating the leading-ones run.  O(m) numpy passes.
+        """
+        vids = np.arange(self.size, dtype=np.int64)
+        runs = self.leading_ones_array()
+        # The leftmost zero sits just below the leading-ones run.
+        parents = vids | (1 << (self.m - 1 - runs).clip(min=0))
+        parents[vids == self.root] = -1
+        return parents
+
+    def leading_ones_array(self) -> np.ndarray:
+        """Length of the leading-ones run of every VID (Property 1)."""
+        vids = np.arange(self.size, dtype=np.int64)
+        runs = np.zeros(self.size, dtype=np.int64)
+        ongoing = np.ones(self.size, dtype=bool)
+        for bit in range(self.m - 1, -1, -1):
+            is_one = (vids >> bit) & 1 == 1
+            ongoing &= is_one
+            runs += ongoing
+        return runs
+
+    def depth_array(self) -> np.ndarray:
+        """Depth of every VID — its number of 0 bits, vectorized."""
+        vids = np.arange(self.size, dtype=np.int64)
+        ones = np.zeros(self.size, dtype=np.int64)
+        for bit in range(self.m):
+            ones += (vids >> bit) & 1
+        return self.m - ones
+
+    def subtree_low_mask_array(self) -> np.ndarray:
+        """Per-VID mask of the bits fixed across its subtree."""
+        runs = self.leading_ones_array()
+        return (np.int64(1) << (self.m - runs)) - 1
 
     def iter_bfs(self) -> Iterator[int]:
         """Breadth-first traversal from the root (children big-first)."""
@@ -181,6 +222,15 @@ class LookupTree:
     def path_to_root(self, pid: int) -> list[int]:
         """PIDs from ``P(pid)`` (inclusive) to the root (inclusive)."""
         return [self.pid_of(v) for v in V.path_to_root(self.vid_of(pid), self.m)]
+
+    # -- whole-tree array queries (vectorized kernels) ------------------
+
+    def vid_array(self) -> np.ndarray:
+        """VID of every PID: ``arange(2**m) ^ xor_key`` (Property 4).
+
+        The involution means the same array also maps VID → PID.
+        """
+        return np.arange(self.size, dtype=np.int64) ^ np.int64(self.xor_key)
 
     def render(self, max_nodes: int = 64) -> str:
         """ASCII rendering of the tree (小 systems only), for debugging."""

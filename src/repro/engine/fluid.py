@@ -17,11 +17,29 @@ computes the metric exactly and deterministically:
    is overloaded or no policy has a move left.
 
 The next-hop table depends only on liveness, never on replica
-placement, so it is computed once per simulation.
+placement, so it is shared through the :func:`~repro.core.routing.routing_table`
+cache: every sweep cell at the same ``(root, liveness)`` reuses one
+precomputed :class:`~repro.core.routing.RoutingTable`.
+
+Two equivalent flow implementations exist:
+
+* the **vectorized kernel** (default) — one ``np.add.at`` per level of
+  the forwarding forest, sources in ascending-VID order within a
+  level, plus an *incremental* balance loop that re-flows only the
+  forwarding path above a freshly placed replica;
+* the **reference pass** (``reference=True``) — the original
+  per-round, per-node dict walk, kept as the equivalence oracle.
+
+Both produce bit-identical ``FlowResult``s and placement sequences:
+each holder's accumulator sees exactly the same float additions in the
+same order (the per-target accumulation order is ascending source VID
+in both, and a re-flowed path node re-folds the identical expression
+from unchanged sub-results).
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -32,7 +50,7 @@ import numpy as np
 from ..baselines.base import PlacementContext, ReplicationPolicy
 from ..core.errors import ConfigurationError
 from ..core.liveness import LivenessView
-from ..core.routing import first_alive_ancestor, storage_node
+from ..core.routing import RoutingTable, routing_table
 from ..core.tree import LookupTree
 
 __all__ = ["FlowResult", "Placement", "BalanceResult", "FluidSimulation"]
@@ -97,6 +115,7 @@ class FluidSimulation:
         capacity: float,
         holders: set[int] | None = None,
         rng: random.Random | None = None,
+        reference: bool = False,
     ) -> None:
         n = 1 << tree.m
         # ``capacity`` is a uniform scalar (the paper's model) or a
@@ -125,34 +144,43 @@ class FluidSimulation:
         self.capacity = float(capacities.min())
         """The tightest node budget (full vector in ``capacities``)."""
         self.rng = rng if rng is not None else random.Random(0)
+        self.reference = reference
+        """Use the original dict-based flow pass (equivalence oracle)."""
 
-        self.home = storage_node(tree, liveness)
+        self.table: RoutingTable = routing_table(tree, liveness)
+        """Shared precomputed next-hop/ordering arrays (liveness-only)."""
+
+        self.home = self.table.home
         self.holders: set[int] = set(holders) if holders is not None else {self.home}
         if self.home not in self.holders:
             raise ConfigurationError(
                 f"the storage node P({self.home}) must hold the inserted copy"
             )
-        for pid in range(n):
-            if entry_rates[pid] > 0 and not liveness.is_live(pid):
-                raise ConfigurationError(f"dead node P({pid}) has positive entry rate")
+        dead_hot = np.nonzero((entry_rates > 0) & ~self.table.live)[0]
+        if dead_hot.size:
+            raise ConfigurationError(
+                f"dead node P({int(dead_hot[0])}) has positive entry rate"
+            )
 
         # Ascending-VID processing order and the liveness-only next-hop
-        # table (replica placement never changes either).
-        self._order: list[int] = []
-        self._next_hop: dict[int, int] = {}
-        for vid in range(n):
-            pid = tree.pid_of(vid)
-            if not liveness.is_live(pid):
-                continue
-            self._order.append(pid)
-            nxt = first_alive_ancestor(tree, pid, liveness)
-            if nxt is None:
-                nxt = self.home if pid != self.home else pid
-            self._next_hop[pid] = nxt
+        # table of the reference pass (read off the shared arrays).
+        self._order: list[int] = self.table.order.tolist()
+        nh = self.table.next_hop
+        self._next_hop: dict[int, int] = {pid: int(nh[pid]) for pid in self._order}
 
     # -- flow computation -----------------------------------------------
 
     def compute_flows(self) -> FlowResult:
+        """Steady-state flows for the current holder set.
+
+        Dispatches to the vectorized kernel (default) or the original
+        dict pass (``reference=True``); both return identical results.
+        """
+        if self.reference:
+            return self._compute_flows_reference()
+        return self._flows_from_inflows(self._cascade())
+
+    def _compute_flows_reference(self) -> FlowResult:
         """One ascending-VID aggregation pass (O(live nodes))."""
         acc = self.entry_rates.copy()
         served: dict[int, float] = {}
@@ -177,19 +205,142 @@ class FluidSimulation:
                 fw[pid] = fw.get(pid, 0.0) + float(inflow)
         return FlowResult(served=served, forwarders=dict(forwarders))
 
+    # -- vectorized kernel ----------------------------------------------
+
+    def _holder_mask(self) -> np.ndarray:
+        mask = np.zeros(self.table.n, dtype=bool)
+        mask[list(self.holders)] = True
+        return mask
+
+    def _cascade(self, hmask: np.ndarray | None = None) -> np.ndarray:
+        """Full vectorized flow pass → per-node steady-state inflow.
+
+        One ``np.add.at`` per forwarding-forest level, deepest level
+        first so every source's inflow is final before it pushes.
+        Sources within a level are in ascending-VID order, which makes
+        each target's accumulation sequence identical to the reference
+        pass (all forwarding children of a node share its level + 1,
+        and ``np.add.at`` applies duplicate indices in array order).
+        Holders receive but never push.  ``hmask`` may pass in an
+        already-built holder mask.
+        """
+        acc = self.entry_rates.copy()
+        if hmask is None:
+            hmask = self._holder_mask()
+        next_hop = self.table.next_hop
+        for wave in self.table.waves:
+            src = wave[~hmask[wave]]
+            if src.size:
+                np.add.at(acc, next_hop[src], acc[src])
+        return acc
+
+    def _flows_from_inflows(self, acc: np.ndarray) -> FlowResult:
+        """Assemble a :class:`FlowResult` from per-node inflows."""
+        table = self.table
+        vids, next_hop, live = table.vids, table.next_hop, table.live
+        hmask = self._holder_mask()
+        live_holders = sorted(
+            (pid for pid in self.holders if live[pid]),
+            key=lambda pid: vids[pid],
+        )
+        served = {pid: float(acc[pid]) for pid in live_holders}
+        forwarders: dict[int, dict[int, float]] = {}
+        # Edge sources: live non-holders pushing straight into a holder.
+        order = table.order
+        edge = (~hmask[order]) & (acc[order] > 0.0) & hmask[next_hop[order]]
+        for pid in order[edge].tolist():
+            forwarders.setdefault(int(next_hop[pid]), {})[pid] = float(acc[pid])
+        for pid in live_holders:
+            direct = float(self.entry_rates[pid])
+            if direct > 0:
+                forwarders.setdefault(pid, {})[_DIRECT] = direct
+        return FlowResult(served=served, forwarders=forwarders)
+
+    def _served_of(self, acc: np.ndarray, holder_order: list[int]) -> dict[int, float]:
+        """Served rates of the (vid-ordered, live) holders from inflows."""
+        return {pid: float(acc[pid]) for pid in holder_order}
+
+    def _forwarders_of(self, acc: np.ndarray, holder: int) -> dict[int, float]:
+        """One holder's forwarder→rate map, straight from inflows.
+
+        Identical to ``compute_flows().forwarders.get(holder, {})``:
+        non-holder forwarding children with positive inflow in
+        ascending-VID order, then the direct-arrival key.
+        """
+        holders = self.holders
+        fw: dict[int, float] = {}
+        for child in self.table.eff_children(holder):
+            if child not in holders:
+                rate = acc[child]
+                if rate > 0:
+                    fw[child] = float(rate)
+        direct = float(self.entry_rates[holder])
+        if direct > 0:
+            fw[_DIRECT] = direct
+        return fw
+
+    def _reflow_path(self, acc: np.ndarray, placed: int) -> None:
+        """Incremental update after ``placed`` became a holder.
+
+        A new holder's own inflow is unchanged (it still receives; it
+        merely stops pushing), so only the nodes on its old forwarding
+        path — up to and including the first holder, which absorbs —
+        see different flows.  Each is re-folded from scratch in the
+        reference order (entry rate, then forwarding children ascending
+        by VID), reading sub-results that are either untouched or
+        already re-folded, so the result is bit-identical to a full
+        pass over the new holder set.  O(path · children) per replica
+        instead of O(live nodes).
+        """
+        table = self.table
+        next_hop, entry_rates = table.next_hop, self.entry_rates
+        holders = self.holders
+        node = int(next_hop[placed])
+        while True:
+            total = entry_rates[node]
+            for child in table.eff_children(node):
+                if child not in holders:
+                    total = total + acc[child]
+            acc[node] = total
+            if node in holders:
+                break
+            node = int(next_hop[node])
+
     def overloaded(self, flows: FlowResult | None = None) -> list[int]:
         """Holders above their own capacity, most overloaded first."""
         flows = flows if flows is not None else self.compute_flows()
-        over = [
-            h for h, s in flows.served.items() if s > self.capacities[h]
-        ]
+        return self._overloaded_from_served(flows.served)
+
+    def _overloaded_from_served(self, served: dict[int, float]) -> list[int]:
+        vids = self.table.vids
+        over = [h for h, s in served.items() if s > self.capacities[h]]
         over.sort(
             key=lambda p: (
-                -(flows.served[p] - self.capacities[p]),
-                self.tree.vid_of(p),
+                -(served[p] - self.capacities[p]),
+                vids[p],
             )
         )
         return over
+
+    def _overloaded_from_acc(
+        self, acc: np.ndarray, holder_order: list[int]
+    ) -> list[int]:
+        """Overload list straight from inflows.
+
+        Same ordering as :meth:`overloaded` — excess descending, VID
+        ascending on ties (``lexsort`` keys primary-last) — without
+        materializing the served dict.
+        """
+        arr = np.fromiter(
+            holder_order, dtype=np.int64, count=len(holder_order)
+        )
+        excess = acc[arr] - self.capacities[arr]
+        hot = excess > 0
+        if not hot.any():
+            return []
+        cand, exc = arr[hot], excess[hot]
+        rank = np.lexsort((self.table.vids[cand], -exc))
+        return cand[rank].tolist()
 
     # -- balancing --------------------------------------------------------
 
@@ -215,9 +366,35 @@ class FluidSimulation:
         placements: list[Placement] = []
         saturated: set[int] = set()
         rounds = 0
+        fast = not self.reference
+        # The incremental loop measures each round from the running
+        # inflow array instead of a fresh O(live-nodes) pass; placing a
+        # replica re-flows only its old forwarding path, and forwarder
+        # maps are materialized only for the holders a policy asks
+        # about.
+        acc: np.ndarray | None = None
+        holder_order: list[int] = []
+        hmask: np.ndarray | None = None
+        flows: FlowResult | None = None
+        if fast:
+            hmask = self._holder_mask()
+            acc = self._cascade(hmask)
+            vids, live = self.table.vids, self.table.live
+            holder_order = sorted(
+                (p for p in self.holders if live[p]), key=lambda p: vids[p]
+            )
         while rounds < max_rounds:
-            flows = self.compute_flows()
-            over = [h for h in self.overloaded(flows) if h not in saturated]
+            if fast:
+                over = [
+                    h for h in self._overloaded_from_acc(acc, holder_order)
+                    if h not in saturated
+                ]
+            else:
+                flows = self.compute_flows()
+                over = [
+                    h for h in self._overloaded_from_served(flows.served)
+                    if h not in saturated
+                ]
             if not over:
                 break
             if serial:
@@ -227,7 +404,12 @@ class FluidSimulation:
             for h in over:
                 context = PlacementContext(
                     rng=self.rng,
-                    forwarder_rates=flows.forwarders.get(h, {}),
+                    forwarder_rates=(
+                        self._forwarders_of(acc, h) if fast
+                        else flows.forwarders.get(h, {})
+                    ),
+                    table=self.table if fast else None,
+                    holder_mask=hmask,
                 )
                 target = policy.choose(
                     self.tree, h, self.liveness, self.holders, context
@@ -236,6 +418,10 @@ class FluidSimulation:
                     saturated.add(h)
                     continue
                 self.holders.add(target)
+                if fast:
+                    hmask[target] = True
+                    self._reflow_path(acc, target)
+                    insort(holder_order, target, key=lambda p: vids[p])
                 placements.append(Placement(round=rounds, source=h, target=target))
                 progress = True
             if not progress:
@@ -244,7 +430,9 @@ class FluidSimulation:
             raise ConfigurationError(
                 f"balance did not converge within {max_rounds} rounds"
             )
-        final = self.compute_flows()
+        final = (
+            self._flows_from_inflows(acc) if fast else self.compute_flows()
+        )
         unresolved = self.overloaded(final)
         return BalanceResult(
             placements=placements,

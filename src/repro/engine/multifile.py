@@ -15,6 +15,7 @@ This is an extension study (the paper's future-work direction of
 from __future__ import annotations
 
 import random
+from bisect import insort
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,6 +67,7 @@ class MultiFileFluid:
         files: list[FileSpec],
         capacity: float,
         rng: random.Random | None = None,
+        reference: bool = False,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be positive, got {capacity}")
@@ -78,6 +80,8 @@ class MultiFileFluid:
         self.liveness = liveness
         self.capacity = capacity
         self.rng = rng if rng is not None else random.Random(0)
+        self.reference = reference
+        """Use the per-round full dict flow passes (equivalence oracle)."""
         self.sims: dict[str, FluidSimulation] = {}
         for spec in files:
             tree = LookupTree(spec.target, m)
@@ -87,6 +91,7 @@ class MultiFileFluid:
                 spec.entry_rates,
                 capacity=capacity,  # per-file cap unused; we gate on totals
                 rng=self.rng,
+                reference=reference,
             )
 
     def _per_file_flows(self) -> dict[str, object]:
@@ -102,14 +107,23 @@ class MultiFileFluid:
         return loads
 
     @staticmethod
-    def _hottest_file_at(pid: int, per_file_flows: dict) -> str | None:
+    def _hottest_file_at(pid: int, served_by_file: dict[str, dict[int, float]]) -> str | None:
         """The file ``pid`` serves the most traffic for (among holds)."""
         best, best_rate = None, 0.0
-        for name in sorted(per_file_flows):
-            rate = per_file_flows[name].served.get(pid, 0.0)
+        for name in sorted(served_by_file):
+            rate = served_by_file[name].get(pid, 0.0)
             if rate > best_rate:
                 best, best_rate = name, rate
         return best
+
+    @staticmethod
+    def _sum_loads(served_by_file: dict[str, dict[int, float]]) -> dict[int, float]:
+        """Per-node totals; file-order accumulation fixes float order."""
+        loads: dict[int, float] = {}
+        for served in served_by_file.values():
+            for pid, rate in served.items():
+                loads[pid] = loads.get(pid, 0.0) + rate
+        return loads
 
     def balance(
         self,
@@ -119,17 +133,42 @@ class MultiFileFluid:
         """Round-based balancing on *total* node load.
 
         Each round, every overloaded node replicates its locally
-        hottest held file via ``policy``; flows are recomputed between
+        hottest held file via ``policy``; flows are re-measured between
         rounds.  A node with no move left is saturated permanently.
+
+        The default path keeps one running inflow array per file and,
+        after a placement, re-flows only the placed file's forwarding
+        path; ``reference=True`` recomputes every file's dict flow pass
+        each round.  Both produce byte-identical placements and loads.
         """
         placements: list[tuple[str, int, int]] = []
         saturated: set[int] = set()
+        fast = not self.reference
+        accs: dict[str, object] = {}
+        orders: dict[str, list[int]] = {}
+        hmasks: dict[str, object] = {}
+        fwd_cache: dict[str, dict] = {}
+        if fast:
+            for name, sim in self.sims.items():
+                hmasks[name] = sim._holder_mask()
+                accs[name] = sim._cascade(hmasks[name])
+                vids, live = sim.table.vids, sim.table.live
+                orders[name] = sorted(
+                    (p for p in sim.holders if live[p]),
+                    key=lambda p: vids[p],
+                )
         for _ in range(max_rounds):
-            per_file = self._per_file_flows()
-            loads: dict[int, float] = {}
-            for flows in per_file.values():
-                for pid, served in flows.served.items():
-                    loads[pid] = loads.get(pid, 0.0) + served
+            if fast:
+                served_by_file = {
+                    name: sim._served_of(accs[name], orders[name])
+                    for name, sim in self.sims.items()
+                }
+            else:
+                fwd_cache = self._per_file_flows()
+                served_by_file = {
+                    name: flows.served for name, flows in fwd_cache.items()
+                }
+            loads = self._sum_loads(served_by_file)
             over = sorted(
                 (pid for pid, load in loads.items()
                  if load > self.capacity and pid not in saturated),
@@ -139,14 +178,19 @@ class MultiFileFluid:
                 break
             progress = False
             for pid in over:
-                name = self._hottest_file_at(pid, per_file)
+                name = self._hottest_file_at(pid, served_by_file)
                 if name is None:
                     saturated.add(pid)
                     continue
                 sim = self.sims[name]
                 context = PlacementContext(
                     rng=self.rng,
-                    forwarder_rates=per_file[name].forwarders.get(pid, {}),
+                    forwarder_rates=(
+                        sim._forwarders_of(accs[name], pid) if fast
+                        else fwd_cache[name].forwarders.get(pid, {})
+                    ),
+                    table=sim.table if fast else None,
+                    holder_mask=hmasks[name] if fast else None,
                 )
                 target = policy.choose(
                     sim.tree, pid, self.liveness, sim.holders, context
@@ -155,6 +199,11 @@ class MultiFileFluid:
                     saturated.add(pid)
                     continue
                 sim.holders.add(target)
+                if fast:
+                    hmasks[name][target] = True
+                    sim._reflow_path(accs[name], target)
+                    vids = sim.table.vids
+                    insort(orders[name], target, key=lambda p: vids[p])
                 placements.append((name, pid, target))
                 progress = True
             if not progress:
@@ -163,7 +212,13 @@ class MultiFileFluid:
             raise ConfigurationError(
                 f"multi-file balance did not converge within {max_rounds} rounds"
             )
-        final = self.node_loads()
+        if fast:
+            final = self._sum_loads({
+                name: sim._served_of(accs[name], orders[name])
+                for name, sim in self.sims.items()
+            })
+        else:
+            final = self.node_loads()
         unresolved = sorted(
             pid for pid, load in final.items() if load > self.capacity
         )

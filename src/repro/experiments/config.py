@@ -34,7 +34,10 @@ class FigureConfig:
     hot_fraction: float = 0.2
     hot_share: float = 0.8
     workers: int = 1
-    """Worker processes for sweep cells (1 = serial in-process)."""
+    """Worker processes for sweep cells (1 = serial, 0 = one per CPU)."""
+
+    reference: bool = False
+    """Use the dict-based reference flow pass (equivalence oracle)."""
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -43,8 +46,10 @@ class FigureConfig:
             raise ConfigurationError("at least one demand rate is required")
         if any(r <= 0 for r in self.rates):
             raise ConfigurationError("demand rates must be positive")
-        if self.workers < 1:
-            raise ConfigurationError("workers must be at least 1")
+        if self.workers < 0:
+            raise ConfigurationError(
+                "workers must be non-negative (0 = one per CPU)"
+            )
 
     @classmethod
     def paper(cls) -> "FigureConfig":

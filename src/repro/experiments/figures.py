@@ -78,7 +78,12 @@ def replicas_to_balance(
         derive_seed(config.seed, f"{policy_name}:{total_rate}")
     )
     sim = FluidSimulation(
-        tree, liveness, rates, capacity=config.capacity, rng=rng
+        tree,
+        liveness,
+        rates,
+        capacity=config.capacity,
+        rng=rng,
+        reference=config.reference,
     )
     result = sim.balance(make_policy(policy_name))
     return result.replicas_created

@@ -6,20 +6,64 @@ shares nothing — so the sweep parallelises trivially across processes.
 Determinism is preserved: a cell's seed depends only on its labels, so
 serial and parallel runs produce byte-identical tables.
 
-Used by the figure drivers when ``FigureConfig.workers > 1`` and by the
-CLI's ``lesslog run --workers N``.
+Cells are dispatched with ``executor.map`` in contiguous chunks, so the
+cells of one liveness pattern tend to land on the same worker and hit
+that worker's :func:`~repro.core.routing.routing_table` cache instead
+of rebuilding the table per cell.
+
+Used by the figure drivers when ``FigureConfig.workers != 1`` and by
+the CLI's ``lesslog run --workers N`` (``0`` = one worker per CPU).
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Sequence
+import os
+
+from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, TypeVar
 
-__all__ = ["map_cells"]
+__all__ = ["CellError", "map_cells", "resolve_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class CellError(RuntimeError):
+    """A sweep cell failed; the message names the offending cell."""
+
+
+def resolve_workers(workers: int) -> int:
+    """Normalise a worker count: ``0`` means one worker per CPU."""
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _describe_cell(index: int, cell: tuple[Any, ...]) -> str:
+    parts = ", ".join(
+        repr(arg) if isinstance(arg, (str, int, float)) else type(arg).__name__
+        for arg in cell
+    )
+    return f"cell {index} ({parts})"
+
+
+def _run_cell(task: tuple[Callable[..., R], int, tuple[Any, ...]]) -> R:
+    """Worker entry point: run one cell, labelling any failure.
+
+    Module-level so it pickles; the label travels in the exception
+    message because ``__cause__`` chains do not survive the pool's
+    pickle round-trip reliably.
+    """
+    fn, index, cell = task
+    try:
+        return fn(*cell)
+    except Exception as exc:
+        raise CellError(
+            f"{_describe_cell(index, cell)} failed: {exc!r}"
+        ) from exc
 
 
 def map_cells(
@@ -30,14 +74,16 @@ def map_cells(
     """Apply ``fn(*cell)`` to every cell, preserving order.
 
     ``workers == 1`` runs in-process (no fork overhead, easier
-    debugging); otherwise a ``ProcessPoolExecutor`` fans the cells out.
+    debugging); ``workers == 0`` uses one worker per CPU; otherwise a
+    ``ProcessPoolExecutor`` fans the cells out in contiguous chunks.
     ``fn`` and every cell element must be picklable for the parallel
-    path.
+    path.  A failing cell raises :class:`CellError` naming the cell.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be at least 1, got {workers}")
+    workers = resolve_workers(workers)
+    tasks = [(fn, index, cell) for index, cell in enumerate(cells)]
     if workers == 1 or len(cells) <= 1:
-        return [fn(*cell) for cell in cells]
-    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
-        futures = [pool.submit(fn, *cell) for cell in cells]
-        return [future.result() for future in futures]
+        return [_run_cell(task) for task in tasks]
+    pool_size = min(workers, len(cells))
+    chunksize = max(1, len(cells) // (pool_size * 4))
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        return list(pool.map(_run_cell, tasks, chunksize=chunksize))

@@ -37,6 +37,7 @@ class Engine:
         self._heap: list[Event] = []
         self._seq = 0
         self._running = False
+        self._live = 0
         self.events_executed = 0
 
     @property
@@ -46,8 +47,16 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled, not-yet-cancelled events.
+
+        O(1): a counter maintained on schedule/cancel/execute rather
+        than a heap scan (handles may cancel lazily-deleted entries,
+        so the heap length alone over-counts).
+        """
+        return self._live
+
+    def _note_cancel(self, event: Event) -> None:
+        self._live -= 1
 
     # -- scheduling -----------------------------------------------------
 
@@ -80,7 +89,8 @@ class Engine:
         event = Event(time=time, priority=priority, seq=self._seq, callback=callback, label=label)
         self._seq += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, on_cancel=self._note_cancel)
 
     def spawn(self, process: Generator[float, None, Any], *, label: str = "") -> EventHandle:
         """Run a generator process: each yielded value is a delay.
@@ -117,6 +127,8 @@ class Engine:
             if event.time < self._now:  # pragma: no cover - heap invariant
                 raise SimulationError("heap produced an event from the past")
             self._now = event.time
+            event.done = True
+            self._live -= 1
             event.callback()
             self.events_executed += 1
             return True
@@ -135,7 +147,7 @@ class Engine:
             while self.step():
                 executed += 1
                 if max_events is not None and executed >= max_events:
-                    if any(not e.cancelled for e in self._heap):
+                    if self._live > 0:
                         raise SimulationError(
                             f"exceeded max_events={max_events} with work pending"
                         )
@@ -167,6 +179,8 @@ class Engine:
                     break
                 heapq.heappop(self._heap)
                 self._now = nxt.time
+                nxt.done = True
+                self._live -= 1
                 nxt.callback()
                 self.events_executed += 1
                 executed += 1
@@ -177,7 +191,10 @@ class Engine:
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left untouched)."""
+        for event in self._heap:
+            event.done = True  # stale handles must not decrement _live
         self._heap.clear()
+        self._live = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Engine(now={self._now:.6g}, pending={self.pending})"

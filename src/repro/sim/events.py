@@ -29,9 +29,16 @@ class Event:
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
+    done: bool = field(default=False, compare=False)
+    """Set by the engine once executed (or dropped by ``clear``), so a
+    stale handle's ``cancel`` cannot skew the live-event counter."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = (
+            "cancelled" if self.cancelled
+            else "done" if self.done
+            else "pending"
+        )
         name = self.label or getattr(self.callback, "__name__", "<fn>")
         return f"Event(t={self.time:.6g}, {name}, {state})"
 
@@ -41,12 +48,19 @@ class EventHandle:
 
     Keeping the handle lets the scheduler mark the underlying heap
     entry dead without touching the heap structure (lazy deletion).
+    ``on_cancel`` lets the owning engine keep its live-event counter
+    exact without scanning the heap.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_on_cancel")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(
+        self,
+        event: Event,
+        on_cancel: Callable[[Event], None] | None = None,
+    ) -> None:
         self._event = event
+        self._on_cancel = on_cancel
 
     @property
     def time(self) -> float:
@@ -57,10 +71,12 @@ class EventHandle:
         return not self._event.cancelled
 
     def cancel(self) -> bool:
-        """Cancel the event; returns False when already cancelled."""
-        if self._event.cancelled:
+        """Cancel the event; returns False when already cancelled/run."""
+        if self._event.cancelled or self._event.done:
             return False
         self._event.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel(self._event)
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,144 @@
+"""Property-style equivalence: vectorized fluid engine vs reference pass.
+
+The vectorized incremental engine must be *bit-identical* to the
+original dict-based pass — same served rates (hex-exact floats), same
+placement sequences, same final holder sets — across tree widths,
+random liveness patterns, and all three policies.  ``b`` follows §4's
+isomorphic-subtree argument: a fault-tolerance degree ``b`` partitions
+the width-``m`` tree into ``2^b`` subtrees each isomorphic to a
+width-``m - b`` tree, so sweeping ``b`` sweeps the effective width.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_policy
+from repro.core.liveness import AllLive, SetLiveness
+from repro.core.tree import LookupTree
+from repro.engine.fluid import FluidSimulation
+
+POLICIES = ("lesslog", "log-based", "random")
+
+
+def _build(m, root, liveness_live, rates, capacity, seed, reference):
+    liveness = (
+        AllLive(m) if liveness_live is None
+        else SetLiveness(m=m, live=set(liveness_live))
+    )
+    entry = np.zeros(1 << m)
+    for pid, rate in rates.items():
+        entry[pid] = rate
+    return FluidSimulation(
+        LookupTree(root, m),
+        liveness,
+        entry,
+        capacity=capacity,
+        rng=random.Random(seed),
+        reference=reference,
+    )
+
+
+def _case(rng, m):
+    n = 1 << m
+    root = rng.randrange(n)
+    if rng.random() < 0.3:
+        live = None
+        live_set = set(range(n))
+    else:
+        live_set = set(rng.sample(range(n), rng.randint(max(2, n // 3), n)))
+        live_set.add(root)
+        live = frozenset(live_set)
+    rates = {
+        pid: rng.uniform(0.0, 3.0) for pid in live_set if rng.random() < 0.8
+    }
+    capacity = rng.uniform(1.0, 10.0)
+    seed = rng.randrange(1 << 30)
+    return root, live, rates, capacity, seed
+
+
+def _fingerprint(sim, outcome):
+    served = {pid: rate.hex() for pid, rate in outcome.flows.served.items()}
+    forwarders = {
+        holder: [(child, rate.hex()) for child, rate in fw.items()]
+        for holder, fw in outcome.flows.forwarders.items()
+    }
+    placements = [(p.round, p.source, p.target) for p in outcome.placements]
+    return served, forwarders, placements, sorted(sim.holders), outcome.unresolved
+
+
+class TestBalanceEquivalence:
+    @pytest.mark.parametrize("m", [4, 5, 6, 7, 8])
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_fast_matches_reference(self, m, policy_name):
+        rng = random.Random(m * 1009 + hash(policy_name) % 997)
+        for trial in range(6):
+            root, live, rates, capacity, seed = _case(rng, m)
+            results = []
+            for reference in (True, False):
+                sim = _build(m, root, live, rates, capacity, seed, reference)
+                outcome = sim.balance(make_policy(policy_name))
+                results.append(_fingerprint(sim, outcome))
+            assert results[0] == results[1], (m, policy_name, trial, root)
+
+    @pytest.mark.parametrize("b", [0, 1, 2])
+    def test_fast_matches_reference_across_b(self, b):
+        """Effective width ``m - b`` per the isomorphic-subtree argument."""
+        m_eff = 8 - b
+        rng = random.Random(4242 + b)
+        for policy_name in POLICIES:
+            root, live, rates, capacity, seed = _case(rng, m_eff)
+            results = []
+            for reference in (True, False):
+                sim = _build(
+                    m_eff, root, live, rates, capacity, seed, reference
+                )
+                outcome = sim.balance(make_policy(policy_name))
+                results.append(_fingerprint(sim, outcome))
+            assert results[0] == results[1], (b, policy_name)
+
+    @pytest.mark.parametrize("serial", [False, True])
+    def test_serial_schedule_matches(self, serial):
+        rng = random.Random(17)
+        root, live, rates, capacity, seed = _case(rng, 6)
+        results = []
+        for reference in (True, False):
+            sim = _build(6, root, live, rates, capacity, seed, reference)
+            outcome = sim.balance(make_policy("lesslog"), serial=serial)
+            results.append(_fingerprint(sim, outcome))
+        assert results[0] == results[1]
+
+
+class TestFlowEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_compute_flows_identical(self, seed):
+        rng = random.Random(seed)
+        m = rng.choice([4, 5, 6, 7, 8])
+        root, live, rates, capacity, run_seed = _case(rng, m)
+        fast = _build(m, root, live, rates, capacity, run_seed, False)
+        ref = _build(m, root, live, rates, capacity, run_seed, True)
+        # Grow identical holder sets beyond the storage node.
+        extra = [pid for pid in fast.table.order.tolist() if rng.random() < 0.2]
+        fast.holders.update(extra)
+        ref.holders.update(extra)
+        a, b = fast.compute_flows(), ref.compute_flows()
+        assert {p: r.hex() for p, r in a.served.items()} == (
+            {p: r.hex() for p, r in b.served.items()}
+        )
+        assert a.forwarders.keys() == b.forwarders.keys()
+        for holder in a.forwarders:
+            assert list(a.forwarders[holder].items()) == (
+                list(b.forwarders[holder].items())
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_flow_conservation(self, seed):
+        """Total served equals total offered (every request lands)."""
+        rng = random.Random(100 + seed)
+        m = rng.choice([4, 5, 6, 7, 8])
+        root, live, rates, capacity, run_seed = _case(rng, m)
+        sim = _build(m, root, live, rates, capacity, run_seed, False)
+        outcome = sim.balance(make_policy("lesslog"))
+        offered = float(sim.entry_rates.sum())
+        assert outcome.flows.total_served() == pytest.approx(offered, rel=1e-12)

@@ -5,11 +5,17 @@ import os
 import pytest
 
 from repro.experiments import FigureConfig, figure5, figure6, run_experiment
-from repro.experiments.parallel import map_cells
+from repro.experiments.parallel import CellError, map_cells, resolve_workers
 
 
 def _square(x):
     return x * x
+
+
+def _explode_on_boom(x):
+    if x == "boom":
+        raise RuntimeError("kaboom")
+    return x
 
 
 def _pid_and_value(x):
@@ -37,7 +43,20 @@ class TestMapCells:
 
     def test_bad_worker_count(self):
         with pytest.raises(ValueError):
-            map_cells(_square, [(1,)], workers=0)
+            map_cells(_square, [(1,)], workers=-1)
+
+    def test_zero_workers_means_auto(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+        assert map_cells(_square, [(1,), (2,)], workers=0) == [1, 4]
+
+    def test_failing_cell_named_in_error(self):
+        with pytest.raises(CellError, match=r"cell 1 \('boom'\)"):
+            map_cells(_explode_on_boom, [("ok",), ("boom",)], workers=1)
+
+    def test_failing_cell_named_in_error_parallel(self):
+        cells = [(f"item{i}",) for i in range(6)] + [("boom",)]
+        with pytest.raises(CellError, match="cell 6"):
+            map_cells(_explode_on_boom, cells, workers=2)
 
 
 class TestParallelFigures:
@@ -59,4 +78,5 @@ class TestParallelFigures:
         from repro.core.errors import ConfigurationError
 
         with pytest.raises(ConfigurationError):
-            FigureConfig(workers=0)
+            FigureConfig(workers=-1)
+        assert FigureConfig(workers=0).workers == 0  # 0 = one per CPU

@@ -1,0 +1,182 @@
+"""Tests for the precomputed RoutingTable and its liveness-keyed cache."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.children import (
+    advanced_children_list,
+    has_live_node_above,
+    live_subtree_size,
+)
+from repro.core.liveness import AllLive, SetLiveness
+from repro.core.routing import (
+    RoutingTable,
+    first_alive_ancestor,
+    routing_table,
+    routing_table_cache_clear,
+    routing_table_cache_info,
+    storage_node,
+)
+from repro.core.tree import LookupTree
+
+
+def _random_liveness(rng, m, root):
+    n = 1 << m
+    alive = set(rng.sample(range(n), rng.randint(max(2, n // 4), n)))
+    alive.add(root)
+    return SetLiveness(m=m, live=alive)
+
+
+class TestAgainstScalarPrimitives:
+    """The table must agree with the per-node scalar routines."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_configurations(self, seed):
+        rng = random.Random(seed)
+        m = rng.choice([4, 5, 6, 7])
+        n = 1 << m
+        root = rng.randrange(n)
+        tree = LookupTree(root, m)
+        liveness = (
+            AllLive(m) if rng.random() < 0.25
+            else _random_liveness(rng, m, root)
+        )
+        table = routing_table(tree, liveness)
+        assert table.home == storage_node(tree, liveness)
+        for pid in range(n):
+            if not liveness.is_live(pid):
+                assert table.next_hop[pid] == -1
+                continue
+            ancestor = first_alive_ancestor(tree, pid, liveness)
+            expected = ancestor if ancestor is not None else table.home
+            assert table.next_hop[pid] == expected, pid
+            assert table.has_live_above(pid) == has_live_node_above(
+                tree, pid, liveness
+            )
+            assert table.live_subtree[pid] == live_subtree_size(
+                tree, pid, liveness
+            )
+            assert list(table.children_list(pid, tree, liveness)) == (
+                advanced_children_list(tree, pid, liveness)
+            )
+
+    def test_waves_are_topological(self):
+        rng = random.Random(7)
+        tree = LookupTree(13, 6)
+        liveness = _random_liveness(rng, 6, 13)
+        table = routing_table(tree, liveness)
+        seen = set()
+        for wave in table.waves:
+            for pid in wave.tolist():
+                # A source's forwarding target must be in a LATER wave
+                # (or be the home), so its inflow is final when it pushes.
+                assert pid not in seen
+                seen.add(pid)
+                target = int(table.next_hop[pid])
+                assert target not in seen or target == table.home
+        live_non_home = {
+            pid for pid in liveness.live_pids() if pid != table.home
+        }
+        assert seen == live_non_home
+
+
+class TestCache:
+    def setup_method(self):
+        routing_table_cache_clear()
+
+    def test_same_epoch_reuses_identical_object(self):
+        tree = LookupTree(5, 5)
+        liveness = SetLiveness(m=5, live=set(range(32)) - {3, 9})
+        first = routing_table(tree, liveness)
+        second = routing_table(tree, liveness)
+        assert second is first
+        info = routing_table_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_mutation_bumps_epoch_and_invalidates(self):
+        tree = LookupTree(5, 5)
+        liveness = SetLiveness(m=5, live=set(range(32)))
+        before = routing_table(tree, liveness)
+        epoch_before = liveness.epoch
+        liveness.remove(17)
+        assert liveness.epoch > epoch_before
+        after = routing_table(tree, liveness)
+        assert after is not before
+        assert after.next_hop[17] == -1
+        assert before.next_hop[17] != -1
+
+    def test_noop_mutation_keeps_epoch_and_table(self):
+        tree = LookupTree(5, 5)
+        liveness = SetLiveness(m=5, live=set(range(32)))
+        before = routing_table(tree, liveness)
+        epoch_before = liveness.epoch
+        liveness.add(4)  # already live: membership unchanged
+        assert liveness.epoch == epoch_before
+        assert routing_table(tree, liveness) is before
+
+    def test_content_equal_views_share_one_table(self):
+        """A pickled/rebuilt view with the same live set hits the cache."""
+        tree = LookupTree(9, 5)
+        live = set(range(32)) - {1, 2}
+        first = routing_table(tree, SetLiveness(m=5, live=set(live)))
+        second = routing_table(tree, SetLiveness(m=5, live=set(live)))
+        assert second is first
+
+    def test_all_live_views_share_one_table(self):
+        tree = LookupTree(9, 5)
+        assert routing_table(tree, AllLive(5)) is routing_table(tree, AllLive(5))
+
+    def test_different_roots_get_different_tables(self):
+        liveness = AllLive(5)
+        a = routing_table(LookupTree(3, 5), liveness)
+        b = routing_table(LookupTree(4, 5), liveness)
+        assert a is not b
+
+    def test_uncacheable_view_gets_fresh_tables(self):
+        class Bare:
+            """A liveness view without ``cache_token`` → never cached."""
+
+            @property
+            def m(self):
+                return 4
+
+            def is_live(self, pid):
+                return True
+
+            def live_pids(self):
+                return iter(range(16))
+
+            def live_count(self):
+                return 16
+
+        tree = LookupTree(3, 4)
+        a = routing_table(tree, Bare())
+        b = routing_table(tree, Bare())
+        assert isinstance(a, RoutingTable) and a is not b
+
+    def test_cache_clear_resets_counters(self):
+        tree = LookupTree(2, 4)
+        routing_table(tree, AllLive(4))
+        routing_table_cache_clear()
+        info = routing_table_cache_info()
+        assert info == {**info, "hits": 0, "misses": 0, "size": 0}
+
+
+class TestArrayInternals:
+    def test_vid_and_order_consistency(self):
+        tree = LookupTree(21, 6)
+        liveness = AllLive(6)
+        table = routing_table(tree, liveness)
+        vids = table.vids
+        assert sorted(int(v) for v in vids) == list(range(64))
+        assert np.all(np.diff(vids[table.order]) > 0)
+        assert np.all(np.diff(table.live_pids_asc) > 0)
+
+    def test_live_mask_matches_view(self):
+        rng = random.Random(3)
+        liveness = _random_liveness(rng, 5, 11)
+        table = routing_table(LookupTree(11, 5), liveness)
+        for pid in range(32):
+            assert bool(table.live[pid]) == liveness.is_live(pid)

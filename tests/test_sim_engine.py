@@ -85,6 +85,33 @@ class TestCancellation:
         h.cancel()
         assert eng.pending == 1
 
+    def test_pending_counter_tracks_lifecycle(self):
+        eng = Engine()
+        handles = [eng.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert eng.pending == 5
+        handles[0].cancel()
+        handles[0].cancel()  # double cancel must not double-decrement
+        assert eng.pending == 4
+        eng.run_until(2.0)  # executes the t=2 event (t=1 was cancelled)
+        assert eng.pending == 3
+        eng.run()
+        assert eng.pending == 0
+
+    def test_cancel_after_execution_is_a_noop(self):
+        eng = Engine()
+        h = eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert not h.cancel()
+        assert eng.pending == 0
+
+    def test_cancel_after_clear_is_a_noop(self):
+        eng = Engine()
+        h = eng.schedule(1.0, lambda: None)
+        eng.clear()
+        assert eng.pending == 0
+        assert not h.cancel()
+        assert eng.pending == 0
+
 
 class TestRunUntil:
     def test_runs_inclusive_boundary(self):

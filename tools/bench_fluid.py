@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Benchmark the vectorized fluid engine against the reference pass.
+
+Runs the Figure 5 sweep (the paper's m=10 grid by default) twice — once
+with the dict-based reference flow pass, once with the vectorized
+incremental kernel — asserts the two produce identical replica tables,
+and writes the timings to ``BENCH_fluid.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_fluid.py            # full paper grid
+    PYTHONPATH=src python tools/bench_fluid.py --check    # CI smoke (fast grid)
+
+``--check`` exits non-zero if the vectorized engine is slower than the
+reference at m=10 or if the outputs diverge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.routing import routing_table_cache_clear  # noqa: E402
+from repro.experiments.config import FigureConfig  # noqa: E402
+from repro.experiments.figures import figure5  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_fluid.json"
+
+
+def _timed_run(config: FigureConfig) -> tuple[float, dict]:
+    """Run the Figure 5 sweep once; return (seconds, series dict)."""
+    routing_table_cache_clear()  # charge each engine its own table builds
+    start = time.perf_counter()
+    result = figure5(config)
+    elapsed = time.perf_counter() - start
+    return elapsed, result.series
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke: reduced grid, fail if vectorized is slower",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timing repetitions (best-of is reported)",
+    )
+    args = parser.parse_args(argv)
+
+    config = FigureConfig.fast() if args.check else FigureConfig.paper()
+    label = "fast" if args.check else "paper"
+    print(f"Figure 5 sweep, m={config.m}, {len(config.rates)} rates "
+          f"x 3 policies ({label} grid), repeats={args.repeats}")
+
+    ref_time = vec_time = float("inf")
+    ref_series = vec_series = None
+    for _ in range(max(1, args.repeats)):
+        elapsed, series = _timed_run(config.with_(reference=True))
+        ref_time = min(ref_time, elapsed)
+        ref_series = series
+        elapsed, series = _timed_run(config)
+        vec_time = min(vec_time, elapsed)
+        vec_series = series
+
+    identical = ref_series == vec_series
+    speedup = ref_time / vec_time if vec_time > 0 else float("inf")
+    print(f"reference:  {ref_time:8.3f}s")
+    print(f"vectorized: {vec_time:8.3f}s")
+    print(f"speedup:    {speedup:8.2f}x   identical tables: {identical}")
+
+    payload = {
+        "benchmark": "figure5-fluid-balance",
+        "grid": label,
+        "m": config.m,
+        "rates": list(config.rates),
+        "policies": ["log-based", "lesslog", "random"],
+        "repeats": max(1, args.repeats),
+        "reference_seconds": round(ref_time, 4),
+        "vectorized_seconds": round(vec_time, 4),
+        "speedup": round(speedup, 2),
+        "identical_tables": identical,
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT.relative_to(REPO_ROOT)}")
+
+    if not identical:
+        print("FAIL: vectorized tables diverge from reference", file=sys.stderr)
+        return 1
+    if args.check and speedup < 1.0:
+        print("FAIL: vectorized engine slower than reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
