@@ -9,6 +9,9 @@ Subcommands:
 * ``tree --root R --m M [--dead ...]`` — render a lookup tree and its
   children list.
 * ``demo`` — a 30-second tour of the system API.
+* ``verify fuzz`` — randomized scenario fuzzing against the invariant
+  registry, shrinking any failure to a replayable repro file.
+* ``verify replay REPRO.json`` — deterministically replay a failure.
 """
 
 from __future__ import annotations
@@ -65,6 +68,33 @@ def build_parser() -> argparse.ArgumentParser:
         "snapshot-demo", help="build the demo system and write its snapshot"
     )
     snap.add_argument("-o", "--output", type=Path, required=True)
+
+    verify = sub.add_parser(
+        "verify", help="invariant fuzzing: randomized scenarios + replay"
+    )
+    verify_sub = verify.add_subparsers(dest="verify_command", required=True)
+
+    fuzz = verify_sub.add_parser(
+        "fuzz", help="fuzz randomized scenarios against the invariant registry"
+    )
+    fuzz.add_argument("--seeds", type=int, default=25, help="scenarios to run")
+    fuzz.add_argument("--m", type=int, default=5, help="identifier width")
+    fuzz.add_argument("--b", type=int, default=1, help="fault-tolerance degree")
+    fuzz.add_argument("--events", type=int, default=40, help="events per scenario")
+    fuzz.add_argument("--base-seed", type=int, default=0, help="first seed")
+    fuzz.add_argument(
+        "--mutate", default=None,
+        help="inject a named bug (test knob; see repro.verify.scenario.MUTATIONS)",
+    )
+    fuzz.add_argument(
+        "--out", type=Path, default=Path("results"),
+        help="directory for shrunken failing-seed repro files",
+    )
+
+    replay = verify_sub.add_parser(
+        "replay", help="replay a serialized failing scenario deterministically"
+    )
+    replay.add_argument("repro", type=Path, help="repro JSON written by fuzz")
 
     return parser
 
@@ -189,6 +219,49 @@ def _cmd_demo() -> int:
     return 0
 
 
+def _cmd_verify_fuzz(
+    seeds: int, m: int, b: int, events: int, base_seed: int,
+    mutate: str | None, out: Path,
+) -> int:
+    from .verify import FuzzConfig, ScenarioFuzzer, Shrinker, save_repro
+
+    config = FuzzConfig(
+        seeds=seeds, m=m, b=b, events=events, base_seed=base_seed,
+        mutation=mutate,
+    )
+    report = ScenarioFuzzer().fuzz(config)
+    print(report.render())
+    if report.ok:
+        return 0
+    for violation in report.violations:
+        shrinker = Shrinker()
+        minimized, shrunk = shrinker.shrink(violation.scenario, violation)
+        path = save_repro(
+            out / f"repro_seed{violation.seed}_{shrunk.invariant}.json",
+            minimized,
+            shrunk,
+        )
+        print(
+            f"seed {violation.seed}: shrunk {len(violation.scenario.events)} -> "
+            f"{len(minimized.events)} events ({shrinker.runs} runs); "
+            f"repro written to {path}"
+        )
+        print(f"  replay with: lesslog verify replay {path}")
+    return 1
+
+
+def _cmd_verify_replay(repro: Path) -> int:
+    from .verify import replay_file
+
+    try:
+        outcome = replay_file(repro)
+    except FileNotFoundError:
+        print(f"no such repro file: {repro}", file=sys.stderr)
+        return 2
+    print(outcome.render())
+    return 0 if outcome.reproduced else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "experiments":
@@ -209,6 +282,13 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_audit(args.snapshot)
     if args.command == "snapshot-demo":
         return _cmd_snapshot_demo(args.output)
+    if args.command == "verify":
+        if args.verify_command == "fuzz":
+            return _cmd_verify_fuzz(
+                args.seeds, args.m, args.b, args.events, args.base_seed,
+                args.mutate, args.out,
+            )
+        return _cmd_verify_replay(args.repro)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

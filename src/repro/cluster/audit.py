@@ -16,7 +16,26 @@ from ..core.subtree import SubtreeView, subtree_of_pid
 from ..node.storage import FileOrigin
 from .system import LessLogSystem
 
-__all__ = ["FileAudit", "SystemAudit", "audit_system"]
+__all__ = [
+    "FileAudit",
+    "SystemAudit",
+    "audit_system",
+    "metric_trace_reconciliation",
+]
+
+#: operation counter → the trace kind that must move in lockstep with it.
+_COUNTER_TRACE_PAIRS: tuple[tuple[str, str], ...] = (
+    ("system.inserts", "insert"),
+    ("system.gets", "get"),
+    ("system.get_faults", "get_fault"),
+    ("system.updates", "update"),
+    ("system.replications", "replicate"),
+    ("system.replica_removals", "remove_replica"),
+    ("system.joins", "join"),
+    ("system.leaves", "leave"),
+    ("system.failures", "fail"),
+    ("transport.sent", "send"),
+)
 
 
 @dataclass
@@ -91,6 +110,38 @@ class SystemAudit:
         )
         verdict = "system healthy" if self.healthy else "ATTENTION NEEDED"
         return f"{header}\n{table}\n{verdict}"
+
+
+def metric_trace_reconciliation(system: LessLogSystem) -> dict[str, tuple[int, int]]:
+    """Counter values vs. trace-record counts, per operation.
+
+    Every system operation both bumps a counter and emits a trace
+    record of a fixed kind; when the tracer has been enabled (and
+    unfiltered) for the system's whole life, the two tallies must agree
+    exactly.  Returns ``{counter_name: (counter_value, traced_count)}``
+    — callers (the ``MetricsReconcile`` invariant, offline audits)
+    flag any pair that differs.
+
+    Transport drops reconcile by reason: the ``transport.dropped.*``
+    counters are matched against ``drop`` records' ``reason`` field.
+    """
+    kinds = system.tracer.kinds()
+    out: dict[str, tuple[int, int]] = {}
+    for counter_name, kind in _COUNTER_TRACE_PAIRS:
+        out[counter_name] = (
+            system.metrics.counter(counter_name).value,
+            kinds.get(kind, 0),
+        )
+    drop_reasons: dict[str, int] = {}
+    for record in system.tracer.of_kind("drop"):
+        reason = str(record.data.get("reason", "unknown"))
+        drop_reasons[reason] = drop_reasons.get(reason, 0) + 1
+    for reason in ("loss", "dead"):
+        out[f"transport.dropped.{reason}"] = (
+            system.metrics.counter(f"transport.dropped.{reason}").value,
+            drop_reasons.get(reason, 0),
+        )
+    return out
 
 
 def audit_system(system: LessLogSystem) -> SystemAudit:

@@ -8,6 +8,8 @@ paper's §8 names as future work.
 
 from __future__ import annotations
 
+import json
+import math
 import random
 from dataclasses import dataclass
 from enum import Enum
@@ -34,6 +36,18 @@ class ChurnEvent:
     time: float
     kind: ChurnKind
     pid: int
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "kind": self.kind.value, "pid": self.pid}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChurnEvent":
+        time = float(data["time"])
+        if not math.isfinite(time):
+            raise ConfigurationError(
+                f"churn event time must be finite, got {data['time']!r}"
+            )
+        return cls(time=time, kind=ChurnKind(data["kind"]), pid=int(data["pid"]))
 
 
 class ChurnSchedule:
@@ -92,6 +106,23 @@ class ChurnSchedule:
 
     def __iter__(self):
         return iter(self.events)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        """Plain-data form of the (sorted) event list."""
+        return [event.to_dict() for event in self.events]
+
+    @classmethod
+    def from_dicts(cls, data: list[dict]) -> "ChurnSchedule":
+        return cls([ChurnEvent.from_dict(d) for d in data])
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChurnSchedule":
+        return cls.from_dicts(json.loads(text))
 
     def pending(self) -> list[ChurnEvent]:
         return self.events[self._cursor :]

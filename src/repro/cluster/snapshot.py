@@ -72,8 +72,14 @@ def snapshot_to_json(system: LessLogSystem, indent: int | None = None) -> str:
     return json.dumps(snapshot_to_dict(system), indent=indent, sort_keys=True)
 
 
-def restore_from_dict(data: dict) -> LessLogSystem:
-    """Rebuild a system from :func:`snapshot_to_dict` output."""
+def restore_from_dict(data: dict, check: bool = True) -> LessLogSystem:
+    """Rebuild a system from :func:`snapshot_to_dict` output.
+
+    ``check=False`` skips the placement-invariant assertion, letting
+    verification tooling round-trip a *deliberately* corrupted system
+    (e.g. a fuzzer mutation) and report the violation itself instead of
+    crashing inside the restore.
+    """
     if data.get("format") != _FORMAT_VERSION:
         raise ConfigurationError(
             f"unsupported snapshot format {data.get('format')!r}"
@@ -110,9 +116,10 @@ def restore_from_dict(data: dict) -> LessLogSystem:
                 now=float(f.get("stored_at", 0.0)),
             )
             stored.access_count = int(f.get("access_count", 0))
-    system.check_invariants()
+    if check:
+        system.check_invariants()
     return system
 
 
-def restore_from_json(text: str) -> LessLogSystem:
-    return restore_from_dict(json.loads(text))
+def restore_from_json(text: str, check: bool = True) -> LessLogSystem:
+    return restore_from_dict(json.loads(text), check=check)

@@ -239,13 +239,14 @@ class LessLogSystem:
 
     # -- GET (GETFILE §2.2, two-step §3, subtree migration §4) -------------
 
-    def get(self, name: str, entry: int) -> GetResult:
-        """Resolve a request entering at ``P(entry)``.
+    def _locate(self, name: str, entry: int) -> tuple[list[int], list[int], int | None]:
+        """The routing walk shared by :meth:`get` and :meth:`resolve`.
 
-        Routes up the entry's subtree; on a fault, migrates across the
-        remaining ``2**b - 1`` subtrees in deterministic order.
+        Returns ``(route, subtrees_tried, server)`` where ``server`` is
+        the first node on the route holding a copy, or ``None`` if the
+        walk exhausted every subtree.  Pure inspection: no metrics,
+        traces, or access counting.
         """
-        self._require_live(entry, "get")
         r = self.psi(name)
         tree = self.tree(r)
         route: list[int] = []
@@ -269,28 +270,60 @@ class LessLogSystem:
                 if route and route[-1] == pid:
                     continue
                 route.append(pid)
-                store = self.stores[pid]
-                if name in store:
-                    entry_file = store.get(name)
-                    self.metrics.counter("system.gets").inc()
-                    self.metrics.histogram("system.get_hops").observe(
-                        float(len(route) - 1)
-                    )
-                    self.tracer.emit(
-                        self.now, "get", file=name, entry=entry, server=pid,
-                        hops=len(route) - 1,
-                    )
-                    return GetResult(
-                        name=name,
-                        payload=entry_file.payload,
-                        version=entry_file.version,
-                        server=pid,
-                        route=tuple(route),
-                        subtrees_tried=tuple(tried),
-                    )
-        self.metrics.counter("system.get_faults").inc()
-        self.tracer.emit(self.now, "get_fault", file=name, entry=entry)
-        raise FileNotFoundInSystemError(name)
+                if name in self.stores[pid]:
+                    return route, tried, pid
+        return route, tried, None
+
+    def resolve(self, name: str, entry: int) -> GetResult | None:
+        """Side-effect-free routing probe (audit / invariant hook).
+
+        Follows exactly the same walk as :meth:`get` but records no
+        metrics, emits no trace, and bumps no access counters, so
+        verification layers can probe every (requester, file) pair
+        without perturbing the system under test.  Returns ``None``
+        where :meth:`get` would raise.
+        """
+        self._require_live(entry, "resolve")
+        route, tried, server = self._locate(name, entry)
+        if server is None:
+            return None
+        copy = self.stores[server].get(name, count_access=False)
+        return GetResult(
+            name=name,
+            payload=copy.payload,
+            version=copy.version,
+            server=server,
+            route=tuple(route),
+            subtrees_tried=tuple(tried),
+        )
+
+    def get(self, name: str, entry: int) -> GetResult:
+        """Resolve a request entering at ``P(entry)``.
+
+        Routes up the entry's subtree; on a fault, migrates across the
+        remaining ``2**b - 1`` subtrees in deterministic order.
+        """
+        self._require_live(entry, "get")
+        route, tried, server = self._locate(name, entry)
+        if server is None:
+            self.metrics.counter("system.get_faults").inc()
+            self.tracer.emit(self.now, "get_fault", file=name, entry=entry)
+            raise FileNotFoundInSystemError(name)
+        entry_file = self.stores[server].get(name)
+        self.metrics.counter("system.gets").inc()
+        self.metrics.histogram("system.get_hops").observe(float(len(route) - 1))
+        self.tracer.emit(
+            self.now, "get", file=name, entry=entry, server=server,
+            hops=len(route) - 1,
+        )
+        return GetResult(
+            name=name,
+            payload=entry_file.payload,
+            version=entry_file.version,
+            server=server,
+            route=tuple(route),
+            subtrees_tried=tuple(tried),
+        )
 
     # -- UPDATE (top-down broadcast §2.2 / §3 / §4) -------------------------
 
@@ -423,7 +456,17 @@ class LessLogSystem:
         return target
 
     def remove_replica(self, name: str, pid: int) -> None:
-        """Counter-based removal: drop a *replicated* copy at ``pid``."""
+        """Counter-based removal: drop a *replicated* copy at ``pid``.
+
+        Removal can orphan replicas that were bridged through the
+        removed copy (the top-down update discards at a node without
+        one), so the same orphan GC that runs after churn runs here —
+        keeping the holder set equal to the update-reachable set.
+        This gap was found by the scenario fuzzer (repro.verify):
+        insert → replicate ×2 → remove the middle replica.
+        """
+        from .churn import gc_orphan_replicas
+
         self._require_live(pid, "remove_replica")
         store = self.stores[pid]
         if name not in store:
@@ -433,6 +476,7 @@ class LessLogSystem:
         store.remove(name)
         self.metrics.counter("system.replica_removals").inc()
         self.tracer.emit(self.now, "remove_replica", file=name, pid=pid)
+        gc_orphan_replicas(self)
 
     # -- churn (§5) — implemented in repro.cluster.churn --------------------
 

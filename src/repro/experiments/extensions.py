@@ -388,7 +388,7 @@ def gossip_staleness_study(
         result.add("requests lost", delay, lost)
         result.add(
             "messages dropped", delay,
-            exp.metrics.counter("transport.dropped_dead").value,
+            exp.metrics.counter("transport.dropped.dead").value,
         )
     return result
 

@@ -5,6 +5,12 @@ handlers over the discrete-event engine, applying a latency model and
 an optional loss rate.  Delivery to a node that has failed since the
 send is silently dropped — exactly the behaviour a UDP-ish P2P overlay
 would see — and counted.
+
+Every dropped message is accounted under the ``transport.dropped.*``
+counter family, split by reason (``loss`` for the random loss model,
+``dead`` for delivery to an unregistered endpoint), and traced as a
+``drop`` record carrying the same reason — so audits can reconcile
+``sent == delivered + dropped.loss + dropped.dead`` exactly.
 """
 
 from __future__ import annotations
@@ -74,7 +80,7 @@ class Transport:
             request_id=message.request_id,
         )
         if self.loss_rate and self._rng.random() < self.loss_rate:
-            self.metrics.counter("transport.lost").inc()
+            self._drop(message, "loss")
             return
         delay = self.latency.delay(message.src, message.dst)
         if delay < 0:
@@ -89,18 +95,22 @@ class Transport:
         """Deliver synchronously (used for a node talking to itself)."""
         self._deliver(message)
 
+    def _drop(self, message: Message, reason: str) -> None:
+        self.metrics.counter(f"transport.dropped.{reason}").inc()
+        self.tracer.emit(
+            self.engine.now,
+            "drop",
+            reason=reason,
+            msg_kind=message.kind.value,
+            dst=message.dst,
+            request_id=message.request_id,
+        )
+
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.dst)
         if handler is None:
             # Destination died (or never existed) — drop, like the real net.
-            self.metrics.counter("transport.dropped_dead").inc()
-            self.tracer.emit(
-                self.engine.now,
-                "drop",
-                msg_kind=message.kind.value,
-                dst=message.dst,
-                request_id=message.request_id,
-            )
+            self._drop(message, "dead")
             return
         self.metrics.counter("transport.delivered").inc()
         self.metrics.histogram("transport.hops").observe(float(message.hops))

@@ -10,6 +10,7 @@ system behaviour rather than just end states.
 from __future__ import annotations
 
 import json
+import math
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 from typing import Any
@@ -30,8 +31,20 @@ class TraceRecord:
 
     @classmethod
     def from_json(cls, line: str) -> "TraceRecord":
+        """Parse one JSON line.
+
+        ``data`` is optional (hand-written and trimmed traces omit it);
+        ``time`` must be a finite number — a NaN or infinite timestamp
+        silently corrupts ordering and reconciliation downstream, so it
+        is rejected here with a clear error.
+        """
         obj = json.loads(line)
-        return cls(time=float(obj["time"]), kind=str(obj["kind"]), data=dict(obj["data"]))
+        time = float(obj["time"])
+        if not math.isfinite(time):
+            raise ValueError(
+                f"trace record time must be finite, got {obj['time']!r}"
+            )
+        return cls(time=time, kind=str(obj["kind"]), data=dict(obj.get("data") or {}))
 
 
 class Tracer:

@@ -1,0 +1,48 @@
+"""Machine-checked verification: invariants, fuzzing, shrinking, replay.
+
+The paper's claims — requests always reach a live copy, replica sets
+respect the binomial-subtree placement and the ``2**b`` fault-tolerant
+partition, updates reach every copy, replication never increases the
+balanced load — are enforced here as an *invariant registry* evaluated
+after every step of randomized scenarios, rather than spot-checked by
+curated examples:
+
+* :mod:`~repro.verify.invariants` — the ``Invariant`` protocol and the
+  default registry of concrete system-wide checks;
+* :mod:`~repro.verify.scenario` — the serializable scenario model
+  (seeded event sequences) and the harness that applies them;
+* :mod:`~repro.verify.fuzzer` — ``ScenarioFuzzer``: drive seeded random
+  interleavings of churn, lossy transport, and Zipf/uniform workloads,
+  checking all invariants after every event;
+* :mod:`~repro.verify.shrink` — delta-debugging ``Shrinker`` that
+  minimizes a failing event sequence to a small reproducible script;
+* :mod:`~repro.verify.replay` — deterministic replay of a serialized
+  failing scenario (``lesslog verify replay``).
+"""
+
+from .fuzzer import FuzzConfig, FuzzReport, ScenarioFuzzer, Violation
+from .invariants import AuditContext, Invariant, InvariantViolation, default_invariants
+from .replay import ReplayOutcome, replay_file, replay_scenario
+from .scenario import Scenario, ScenarioEvent, ScenarioHarness, generate_scenario
+from .shrink import Shrinker, load_repro, save_repro
+
+__all__ = [
+    "AuditContext",
+    "FuzzConfig",
+    "FuzzReport",
+    "Invariant",
+    "InvariantViolation",
+    "ReplayOutcome",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioFuzzer",
+    "ScenarioHarness",
+    "Shrinker",
+    "Violation",
+    "default_invariants",
+    "generate_scenario",
+    "load_repro",
+    "replay_file",
+    "replay_scenario",
+    "save_repro",
+]

@@ -1,0 +1,189 @@
+"""``ScenarioFuzzer``: randomized scenarios, audited after every step.
+
+For each seed, generate a scenario (churn + lossy transport + Zipf /
+uniform request workloads), apply it event by event, and evaluate the
+whole invariant registry after every event.  The first violation stops
+that scenario; the report carries everything needed to shrink and
+replay it (the scenario truncated at the failing step).
+
+An unexpected exception while *applying* an event is itself reported as
+a violation of the implicit ``no-crash`` invariant — the fuzzer treats
+"the system fell over" and "the system lied" identically.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+
+from .invariants import AuditContext, Invariant, InvariantViolation, default_invariants
+from .scenario import Scenario, ScenarioHarness, generate_scenario
+
+__all__ = ["FuzzConfig", "FuzzReport", "ScenarioFuzzer", "Violation"]
+
+NO_CRASH = "no-crash"
+"""Implicit invariant name for exceptions raised by event application."""
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs for one fuzzing campaign."""
+
+    seeds: int = 25
+    m: int = 5
+    b: int = 1
+    events: int = 40
+    base_seed: int = 0
+    mutation: str | None = None
+    max_files: int = 12
+
+
+@dataclass
+class Violation:
+    """One invariant breach, with the scenario that produced it."""
+
+    invariant: str
+    message: str
+    seed: int
+    step: int
+    scenario: Scenario
+    """The scenario truncated at the failing event (inclusive) — the
+    shortest prefix known to reproduce, which is what gets shrunk."""
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "seed": self.seed,
+            "step": self.step,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a campaign."""
+
+    config: FuzzConfig
+    scenarios: int = 0
+    events_applied: int = 0
+    events_skipped: int = 0
+    checks: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "config": {
+                "seeds": self.config.seeds,
+                "m": self.config.m,
+                "b": self.config.b,
+                "events": self.config.events,
+                "base_seed": self.config.base_seed,
+                "mutation": self.config.mutation,
+            },
+            "scenarios": self.scenarios,
+            "events_applied": self.events_applied,
+            "events_skipped": self.events_skipped,
+            "checks": self.checks,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: {self.scenarios} scenarios, "
+            f"{self.events_applied} events applied "
+            f"({self.events_skipped} skipped), "
+            f"{self.checks} invariant checks",
+        ]
+        if self.ok:
+            lines.append("no violations found")
+        for violation in self.violations:
+            lines.append(
+                f"VIOLATION seed={violation.seed} step={violation.step} "
+                f"[{violation.invariant}] {violation.message}"
+            )
+        return "\n".join(lines)
+
+
+class ScenarioFuzzer:
+    """Drives scenarios through the invariant registry."""
+
+    def __init__(self, invariants_factory=default_invariants) -> None:
+        self.invariants_factory = invariants_factory
+
+    def run_scenario(
+        self, scenario: Scenario, report: FuzzReport | None = None
+    ) -> Violation | None:
+        """Apply ``scenario`` step by step; returns its first violation."""
+        invariants: list[Invariant] = self.invariants_factory()
+        harness = ScenarioHarness(scenario)
+        try:
+            return self._drive(scenario, harness, invariants, report)
+        finally:
+            if report is not None:
+                report.events_applied += harness.applied
+                report.events_skipped += harness.skipped
+
+    def _drive(
+        self,
+        scenario: Scenario,
+        harness: ScenarioHarness,
+        invariants: list[Invariant],
+        report: FuzzReport | None,
+    ) -> Violation | None:
+        for step, event in enumerate(scenario.events):
+            ctx = AuditContext(harness=harness, step=step, event=event)
+            truncated = scenario.with_events(scenario.events[: step + 1])
+            for invariant in invariants:
+                invariant.observe_before(ctx)
+            try:
+                harness.apply(event)
+            except Exception:
+                return Violation(
+                    invariant=NO_CRASH,
+                    message=(
+                        f"applying {event!r} raised:\n"
+                        f"{traceback.format_exc(limit=4)}"
+                    ),
+                    seed=scenario.seed,
+                    step=step,
+                    scenario=truncated,
+                )
+            for invariant in invariants:
+                try:
+                    invariant.check(ctx)
+                except InvariantViolation as violation:
+                    return Violation(
+                        invariant=violation.invariant,
+                        message=violation.message,
+                        seed=scenario.seed,
+                        step=step,
+                        scenario=truncated,
+                    )
+                finally:
+                    if report is not None:
+                        report.checks += 1
+        return None
+
+    def fuzz(self, config: FuzzConfig | None = None) -> FuzzReport:
+        """Run a campaign of ``config.seeds`` seeded scenarios."""
+        config = config if config is not None else FuzzConfig()
+        report = FuzzReport(config=config)
+        for i in range(config.seeds):
+            seed = config.base_seed + i
+            scenario = generate_scenario(
+                seed=seed,
+                m=config.m,
+                b=config.b,
+                n_events=config.events,
+                mutation=config.mutation,
+                max_files=config.max_files,
+            )
+            report.scenarios += 1
+            violation = self.run_scenario(scenario, report=report)
+            if violation is not None:
+                report.violations.append(violation)
+        return report

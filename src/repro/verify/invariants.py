@@ -1,0 +1,416 @@
+"""The invariant registry: system-wide checks the fuzzer audits.
+
+Each :class:`Invariant` inspects a :class:`~repro.verify.scenario.ScenarioHarness`
+through side-effect-free hooks (``system.resolve``, ``audit`` helpers,
+snapshots) and raises :class:`InvariantViolation` on the first breach.
+``observe_before`` runs before an event is applied so before/after
+properties (e.g. the load-monotonicity of a replication round) can be
+stated exactly.
+
+The default registry encodes the paper's claims:
+
+=============================  ==========================================
+``routing-reaches-live-holder`` every (live requester, live file) pair
+                               resolves to a live node holding a copy
+``placement-binomial-subtree`` one INSERTED copy per non-empty subtree,
+                               at the storage node; stores only at live
+                               PIDs; catalog targets match ψ
+``fault-tolerant-partition``   the ``2**b`` subtrees partition the space
+                               into isomorphic width-``m-b`` trees (§4)
+``update-reaches-every-copy``  the top-down broadcast reaches the whole
+                               holder set (no orphaned replicas)
+``replication-load-monotonic`` a replication round never increases the
+                               fluid load of the source or the max
+``version-coherence``          every copy of a live file carries the
+                               catalog version
+``metrics-trace-reconcile``    operation counters move in lockstep with
+                               their trace records (drops by reason)
+``transport-conserves``        sent = delivered + dropped.loss +
+                               dropped.dead once the engine drains
+``snapshot-round-trips``       snapshot → restore → snapshot is the
+                               identity on durable state
+=============================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..cluster.audit import metric_trace_reconciliation
+from ..cluster.snapshot import restore_from_json, snapshot_to_dict, snapshot_to_json
+from ..core.subtree import SubtreeView, SvidLiveness, identity_tree, subtree_of_pid
+from ..engine.fluid import FluidSimulation
+from ..node.storage import FileOrigin
+from .scenario import ScenarioEvent, ScenarioHarness
+
+__all__ = [
+    "AuditContext",
+    "Invariant",
+    "InvariantViolation",
+    "default_invariants",
+]
+
+_EPS = 1e-9
+
+#: Cap on per-step routing probes (entries sampled per file).
+_MAX_PROBE_ENTRIES = 16
+
+
+class InvariantViolation(Exception):
+    """An invariant failed at a specific step of a scenario."""
+
+    def __init__(self, invariant: str, message: str, step: int | None = None) -> None:
+        self.invariant = invariant
+        self.message = message
+        self.step = step
+        super().__init__(f"[{invariant}] {message}")
+
+
+@dataclass
+class AuditContext:
+    """What an invariant sees: the harness, the step, scratch space."""
+
+    harness: ScenarioHarness
+    step: int = -1
+    event: ScenarioEvent | None = None
+    before: dict[str, Any] = field(default_factory=dict)
+    """Per-step scratch written by ``observe_before``, read by ``check``."""
+
+    @property
+    def system(self):
+        return self.harness.system
+
+
+class Invariant:
+    """Base class: named check with optional pre-step observation."""
+
+    name = "invariant"
+
+    def observe_before(self, ctx: AuditContext) -> None:
+        """Record pre-event state (called before the event applies)."""
+
+    def check(self, ctx: AuditContext) -> None:
+        """Raise :class:`InvariantViolation` if the system is in breach."""
+        raise NotImplementedError
+
+    def fail(self, ctx: AuditContext, message: str) -> None:
+        raise InvariantViolation(self.name, message, step=ctx.step)
+
+
+def _live_files(system) -> list[str]:
+    return sorted(n for n in system.catalog if n not in system.faults)
+
+
+class RoutingReachability(Invariant):
+    """Every request from a live entry reaches a live copy holder."""
+
+    name = "routing-reaches-live-holder"
+
+    def check(self, ctx: AuditContext) -> None:
+        system = ctx.system
+        live = sorted(system.membership.live_pids())
+        if len(live) > _MAX_PROBE_ENTRIES:
+            # Deterministic stride sample keeps the probe bounded.
+            stride = len(live) / _MAX_PROBE_ENTRIES
+            live = [live[int(i * stride)] for i in range(_MAX_PROBE_ENTRIES)]
+        for name in _live_files(system):
+            holders = set(system.holders_of(name))
+            for entry in live:
+                result = system.resolve(name, entry)
+                if result is None:
+                    self.fail(
+                        ctx,
+                        f"get({name!r}) from live P({entry}) found no copy; "
+                        f"holders={sorted(holders)}",
+                    )
+                if result.server not in holders or not system.is_live(result.server):
+                    self.fail(
+                        ctx,
+                        f"get({name!r}) from P({entry}) served by P({result.server}) "
+                        f"which is not a live holder",
+                    )
+
+
+class PlacementInvariant(Invariant):
+    """Binomial-subtree placement of the inserted copies, store hygiene."""
+
+    name = "placement-binomial-subtree"
+
+    def check(self, ctx: AuditContext) -> None:
+        system = ctx.system
+        live = set(system.membership.live_pids())
+        if set(system.stores) != live:
+            self.fail(
+                ctx,
+                f"stores exist at {sorted(set(system.stores) ^ live)} "
+                f"where liveness disagrees",
+            )
+        for name, entry in system.catalog.items():
+            if entry.target != system.psi(name):
+                self.fail(
+                    ctx,
+                    f"catalog target P({entry.target}) for {name!r} != "
+                    f"psi -> P({system.psi(name)})",
+                )
+        try:
+            system.check_invariants()
+        except AssertionError as exc:
+            self.fail(ctx, str(exc))
+
+
+class SubtreePartition(Invariant):
+    """§4: the ``2**b`` subtrees stay an isomorphic partition."""
+
+    name = "fault-tolerant-partition"
+
+    def check(self, ctx: AuditContext) -> None:
+        system = ctx.system
+        targets = sorted({e.target for e in system.catalog.values()})[:4]
+        if not targets:
+            targets = [0]
+        expected_size = 1 << (system.m - system.b)
+        for target in targets:
+            tree = system.tree(target)
+            seen: set[int] = set()
+            for sid in range(1 << system.b):
+                view = SubtreeView(tree, system.b, sid)
+                members = view.members()
+                if len(members) != expected_size:
+                    self.fail(
+                        ctx,
+                        f"subtree {sid} of tree P({target}) has {len(members)} "
+                        f"members, expected {expected_size}",
+                    )
+                if identity_tree(view).m != system.m - system.b:
+                    self.fail(
+                        ctx,
+                        f"subtree {sid} of tree P({target}) is not isomorphic "
+                        f"to a width-{system.m - system.b} tree",
+                    )
+                for pid in members:
+                    if subtree_of_pid(tree, pid, system.b) != sid:
+                        self.fail(
+                            ctx,
+                            f"P({pid}) is a member of subtree {sid} but "
+                            f"subtree_of_pid disagrees",
+                        )
+                seen.update(members)
+            if seen != set(range(1 << system.m)):
+                self.fail(
+                    ctx,
+                    f"subtrees of tree P({target}) do not partition the "
+                    f"identifier space (covered {len(seen)}/{1 << system.m})",
+                )
+
+
+class UpdateReach(Invariant):
+    """The top-down update broadcast reaches every live copy."""
+
+    name = "update-reaches-every-copy"
+
+    def check(self, ctx: AuditContext) -> None:
+        system = ctx.system
+        for name in _live_files(system):
+            holders = set(system.holders_of(name))
+            reachable = set(system.reachable_holders(name))
+            if holders != reachable:
+                self.fail(
+                    ctx,
+                    f"update broadcast for {name!r} reaches {sorted(reachable)} "
+                    f"but copies live at {sorted(holders)} "
+                    f"(orphans: {sorted(holders - reachable)})",
+                )
+
+
+class LoadMonotonic(Invariant):
+    """A replication round never increases the source's or max load.
+
+    Load is the fluid steady-state served rate under unit demand at
+    every live member of the source's subtree — the §6 model.  The new
+    replica absorbs flow that previously passed through it, so both the
+    source's and the maximum served rate must be non-increasing.
+    """
+
+    name = "replication-load-monotonic"
+
+    def observe_before(self, ctx: AuditContext) -> None:
+        if ctx.event is None or ctx.event.op != "replicate":
+            return
+        resolved = ctx.harness.peek_replicate(ctx.event)
+        if resolved is None:
+            return
+        name, source = resolved
+        flows = self._flows(ctx.system, name, source)
+        if flows is None:
+            return
+        served, source_svid = flows
+        ctx.before[self.name] = {
+            "file": name,
+            "source": source,
+            "max": max(served.values(), default=0.0),
+            "source_served": served.get(source_svid, 0.0),
+        }
+
+    def check(self, ctx: AuditContext) -> None:
+        observed = ctx.before.get(self.name)
+        if observed is None or ctx.harness.last_replica_target is None:
+            return
+        system = ctx.system
+        name, source = observed["file"], observed["source"]
+        if not system.is_live(source) or name in system.faults:
+            return
+        flows = self._flows(system, name, source)
+        if flows is None:
+            return
+        served, source_svid = flows
+        max_after = max(served.values(), default=0.0)
+        source_after = served.get(source_svid, 0.0)
+        if max_after > observed["max"] + _EPS:
+            self.fail(
+                ctx,
+                f"replicating {name!r} raised the max subtree load "
+                f"{observed['max']:.6f} -> {max_after:.6f}",
+            )
+        if source_after > observed["source_served"] + _EPS:
+            self.fail(
+                ctx,
+                f"replicating {name!r} raised P({source})'s load "
+                f"{observed['source_served']:.6f} -> {source_after:.6f}",
+            )
+
+    @staticmethod
+    def _flows(system, name: str, source: int) -> tuple[dict[int, float], int] | None:
+        """Served rates (by SVID) in ``source``'s subtree, or None."""
+        entry = system.catalog.get(name)
+        if entry is None:
+            return None
+        tree = system.tree(entry.target)
+        view = SubtreeView(tree, system.b, subtree_of_pid(tree, source, system.b))
+        itree = identity_tree(view)
+        sliveness = SvidLiveness(view, system.membership)
+        rates = np.zeros(1 << itree.m)
+        for svid in sliveness.live_pids():
+            rates[svid] = 1.0
+        holders = {
+            view.svid_of(pid)
+            for pid in system.holders_of(name)
+            if view.contains(pid)
+        }
+        try:
+            sim = FluidSimulation(
+                itree, sliveness, rates, capacity=1.0, holders=holders
+            )
+        except Exception:
+            # Placement already broken (storage node not a holder) or the
+            # subtree emptied — the placement invariant owns that report.
+            return None
+        served = {int(k): float(v) for k, v in sim.compute_flows().served.items()}
+        return served, view.svid_of(source)
+
+
+class VersionCoherence(Invariant):
+    """Every copy of a live file carries exactly the catalog version."""
+
+    name = "version-coherence"
+
+    def check(self, ctx: AuditContext) -> None:
+        system = ctx.system
+        for name in _live_files(system):
+            catalog_version = system.catalog[name].version
+            for pid in system.holders_of(name):
+                version = system.stores[pid].get(name, count_access=False).version
+                if version != catalog_version:
+                    self.fail(
+                        ctx,
+                        f"copy of {name!r} at P({pid}) is v{version}, "
+                        f"catalog says v{catalog_version}",
+                    )
+
+
+class MetricsReconcile(Invariant):
+    """Operation counters and trace records move in lockstep."""
+
+    name = "metrics-trace-reconcile"
+
+    def check(self, ctx: AuditContext) -> None:
+        system = ctx.system
+        for counter, (value, traced) in metric_trace_reconciliation(system).items():
+            if value != traced:
+                self.fail(
+                    ctx,
+                    f"counter {counter} = {value} but {traced} matching "
+                    f"trace records",
+                )
+        gets = system.metrics.counter("system.gets").value
+        hops = system.metrics.histogram("system.get_hops").count
+        if gets != hops:
+            self.fail(
+                ctx,
+                f"system.gets = {gets} but get_hops histogram has {hops} samples",
+            )
+
+
+class TransportConservation(Invariant):
+    """Once the engine drains: sent = delivered + dropped (by reason)."""
+
+    name = "transport-conserves"
+
+    def check(self, ctx: AuditContext) -> None:
+        harness = ctx.harness
+        if harness.engine.pending:
+            return  # messages legitimately in flight
+        metrics = ctx.system.metrics
+        sent = metrics.counter("transport.sent").value
+        delivered = metrics.counter("transport.delivered").value
+        loss = metrics.counter("transport.dropped.loss").value
+        dead = metrics.counter("transport.dropped.dead").value
+        if sent != delivered + loss + dead:
+            self.fail(
+                ctx,
+                f"transport.sent = {sent} but delivered({delivered}) + "
+                f"dropped.loss({loss}) + dropped.dead({dead}) = "
+                f"{delivered + loss + dead}",
+            )
+
+
+class SnapshotRoundTrip(Invariant):
+    """snapshot → restore → snapshot is the identity on durable state."""
+
+    name = "snapshot-round-trips"
+
+    def check(self, ctx: AuditContext) -> None:
+        try:
+            first = snapshot_to_json(ctx.system)
+        except (TypeError, ValueError) as exc:
+            self.fail(ctx, f"durable state is not JSON-serializable: {exc}")
+        try:
+            restored = restore_from_json(first, check=False)
+        except Exception as exc:
+            self.fail(ctx, f"snapshot failed to restore: {exc}")
+        second = snapshot_to_json(restored)
+        if first != second:
+            a, b = snapshot_to_dict(ctx.system), snapshot_to_dict(restored)
+            diff_keys = [key for key in a if a.get(key) != b.get(key)]
+            self.fail(
+                ctx,
+                f"snapshot round-trip changed state (differing sections: "
+                f"{diff_keys})",
+            )
+
+
+def default_invariants() -> list[Invariant]:
+    """Fresh instances of the full registry (order = check order)."""
+    return [
+        PlacementInvariant(),
+        SubtreePartition(),
+        RoutingReachability(),
+        UpdateReach(),
+        LoadMonotonic(),
+        VersionCoherence(),
+        MetricsReconcile(),
+        TransportConservation(),
+        SnapshotRoundTrip(),
+    ]

@@ -1,0 +1,67 @@
+"""Deterministic replay of serialized failing scenarios.
+
+``lesslog verify replay FILE`` re-runs a repro file written by the
+fuzzer/shrinker and reports whether the recorded invariant violation
+reproduces — same invariant, deterministically, every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .fuzzer import ScenarioFuzzer, Violation
+from .invariants import default_invariants
+from .scenario import Scenario
+from .shrink import load_repro
+
+__all__ = ["ReplayOutcome", "replay_file", "replay_scenario"]
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of replaying a repro file."""
+
+    scenario: Scenario
+    expected: dict
+    violation: Violation | None
+
+    @property
+    def reproduced(self) -> bool:
+        return (
+            self.violation is not None
+            and self.violation.invariant == self.expected.get("invariant")
+        )
+
+    def render(self) -> str:
+        header = (
+            f"replay: seed={self.scenario.seed} m={self.scenario.m} "
+            f"b={self.scenario.b} events={len(self.scenario.events)}"
+            + (f" mutation={self.scenario.mutation}" if self.scenario.mutation else "")
+        )
+        if self.violation is None:
+            return (
+                f"{header}\nDID NOT REPRODUCE: expected "
+                f"[{self.expected.get('invariant')}], scenario ran clean"
+            )
+        status = "reproduced" if self.reproduced else "DIFFERENT FAILURE"
+        return (
+            f"{header}\n{status}: step={self.violation.step} "
+            f"[{self.violation.invariant}] {self.violation.message}"
+        )
+
+
+def replay_scenario(
+    scenario: Scenario, invariants_factory=default_invariants
+) -> Violation | None:
+    """Run a scenario once through the registry; its first violation."""
+    return ScenarioFuzzer(invariants_factory).run_scenario(scenario)
+
+
+def replay_file(
+    path: Path | str, invariants_factory=default_invariants
+) -> ReplayOutcome:
+    """Replay a repro file and compare against its recorded violation."""
+    scenario, expected = load_repro(path)
+    violation = replay_scenario(scenario, invariants_factory)
+    return ReplayOutcome(scenario=scenario, expected=expected, violation=violation)

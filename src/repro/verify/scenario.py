@@ -1,0 +1,455 @@
+"""The scenario model: serializable event sequences over a live system.
+
+A :class:`Scenario` is a fully deterministic script — a system header
+(``m``, ``b``, initially dead PIDs, RNG seed) plus an ordered list of
+:class:`ScenarioEvent`\\ s.  The same scenario always produces the same
+system trajectory, which is what makes shrinking and replay possible.
+
+Events are applied *best-effort*: an event whose preconditions no
+longer hold (a get at a dead entry, a replicate of an uninserted file)
+is deterministically skipped rather than raising.  That robustness is
+what lets the delta-debugging shrinker delete arbitrary prefixes of a
+failing sequence and still run the remainder.
+
+A scenario may carry a ``mutation`` tag — a named, deliberately wrong
+behaviour injected at the application layer (used by the test suite to
+prove the fuzzer catches real bugs; never set in production runs).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cluster.system import LessLogSystem
+from ..core.errors import ConfigurationError, FileNotFoundInSystemError
+from ..net.message import Message, MessageKind
+from ..net.topology import ConstantLatency
+from ..net.transport import Transport
+from ..node.storage import FileOrigin
+from ..sim.engine import Engine
+from ..sim.trace import Tracer
+
+__all__ = [
+    "MUTATIONS",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioHarness",
+    "generate_scenario",
+]
+
+_FORMAT_VERSION = 1
+
+#: Named fault injections the harness understands (test-only knobs).
+MUTATIONS = ("misplace-replica", "skip-update", "conflate-drops")
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One step of a scenario: an operation plus its parameters."""
+
+    op: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"op": self.op, **self.params}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioEvent":
+        params = {k: v for k, v in data.items() if k != "op"}
+        return cls(op=str(data["op"]), params=params)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.op}({inner})"
+
+
+@dataclass
+class Scenario:
+    """A deterministic script: system header + event list."""
+
+    m: int
+    b: int
+    seed: int
+    dead: list[int] = field(default_factory=list)
+    mutation: str | None = None
+    events: list[ScenarioEvent] = field(default_factory=list)
+
+    def with_events(self, events: list[ScenarioEvent]) -> "Scenario":
+        """A copy of this scenario running a different event list."""
+        return Scenario(
+            m=self.m, b=self.b, seed=self.seed, dead=list(self.dead),
+            mutation=self.mutation, events=list(events),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "format": _FORMAT_VERSION,
+            "m": self.m,
+            "b": self.b,
+            "seed": self.seed,
+            "dead": sorted(self.dead),
+            "mutation": self.mutation,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        if data.get("format") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported scenario format {data.get('format')!r}"
+            )
+        return cls(
+            m=int(data["m"]),
+            b=int(data["b"]),
+            seed=int(data["seed"]),
+            dead=[int(p) for p in data.get("dead", [])],
+            mutation=data.get("mutation"),
+            events=[ScenarioEvent.from_dict(e) for e in data.get("events", [])],
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+
+class ScenarioHarness:
+    """Builds the system under test and applies scenario events to it.
+
+    Owns the full stack the fuzzer exercises: the synchronous
+    :class:`LessLogSystem` (with tracing enabled so metric/trace
+    reconciliation is checkable), plus a :class:`Transport` over a
+    discrete-event :class:`Engine` sharing the system's metrics and
+    tracer — the ``net`` event drives lossy/dead deliveries through it.
+    """
+
+    def __init__(self, scenario: Scenario) -> None:
+        if scenario.mutation is not None and scenario.mutation not in MUTATIONS:
+            raise ConfigurationError(
+                f"unknown mutation {scenario.mutation!r}; known: {MUTATIONS}"
+            )
+        self.scenario = scenario
+        self.tracer = Tracer(enabled=True)
+        self.system = LessLogSystem.build(
+            m=scenario.m,
+            b=scenario.b,
+            dead=set(scenario.dead),
+            seed=scenario.seed,
+            tracer=self.tracer,
+        )
+        self.engine = Engine()
+        self.transport = Transport(
+            self.engine,
+            latency=ConstantLatency(0.01),
+            rng=random.Random(scenario.seed ^ 0x5EED),
+            metrics=self.system.metrics,
+            tracer=self.tracer,
+        )
+        self.applied = 0
+        self.skipped = 0
+        self.last_replica_target: int | None = None
+
+    # -- precondition probes (shared with invariants) ----------------------
+
+    def _usable_file(self, name: str) -> bool:
+        system = self.system
+        return name in system.catalog and name not in system.faults
+
+    def peek_replicate(self, event: ScenarioEvent) -> tuple[str, int] | None:
+        """The (file, source holder) a replicate event would act on.
+
+        Deterministic and side-effect-free, so invariants can observe
+        pre-step state (e.g. the pre-replication load) for exactly the
+        replication the harness is about to perform.
+        """
+        name = event.params["file"]
+        if not self._usable_file(name):
+            return None
+        holders = self.system.holders_of(name)
+        if not holders:
+            return None
+        return name, holders[event.params.get("holder", 0) % len(holders)]
+
+    # -- event application --------------------------------------------------
+
+    def apply(self, event: ScenarioEvent) -> bool:
+        """Apply one event; returns whether it ran (vs. was skipped)."""
+        handler = getattr(self, f"_apply_{event.op}", None)
+        if handler is None:
+            raise ConfigurationError(f"unknown scenario op {event.op!r}")
+        self.last_replica_target = None
+        ran = bool(handler(event))
+        if ran:
+            self.applied += 1
+        else:
+            self.skipped += 1
+        return ran
+
+    def _apply_insert(self, event: ScenarioEvent) -> bool:
+        name = event.params["file"]
+        if name in self.system.catalog:
+            return False
+        self.system.insert(name, payload=f"{name}@v1")
+        return True
+
+    def _apply_get(self, event: ScenarioEvent) -> bool:
+        name, entry = event.params["file"], event.params["entry"]
+        if not self._usable_file(name) or not self.system.is_live(entry):
+            return False
+        try:
+            self.system.get(name, entry=entry)
+        except FileNotFoundInSystemError:
+            # A routing fault on a non-lost file is a violation — the
+            # routing invariant reports it; accounting stays consistent.
+            pass
+        return True
+
+    def _apply_update(self, event: ScenarioEvent) -> bool:
+        name = event.params["file"]
+        if not self._usable_file(name):
+            return False
+        version = self.system.catalog[name].version + 1
+        payload = f"{name}@v{version}"
+        if self.scenario.mutation == "skip-update":
+            return self._mutated_skip_update(name, payload)
+        self.system.update(name, payload=payload)
+        return True
+
+    def _apply_replicate(self, event: ScenarioEvent) -> bool:
+        resolved = self.peek_replicate(event)
+        if resolved is None:
+            return False
+        name, source = resolved
+        if self.scenario.mutation == "misplace-replica":
+            return self._mutated_misplace(name, source)
+        self.last_replica_target = self.system.replicate(name, overloaded=source)
+        return True
+
+    def _apply_remove_replica(self, event: ScenarioEvent) -> bool:
+        name = event.params["file"]
+        if not self._usable_file(name):
+            return False
+        system = self.system
+        replicas = [
+            pid
+            for pid in system.holders_of(name)
+            if system.stores[pid].get(name, count_access=False).origin
+            is FileOrigin.REPLICATED
+        ]
+        if not replicas:
+            return False
+        system.remove_replica(name, replicas[event.params.get("index", 0) % len(replicas)])
+        return True
+
+    def _apply_join(self, event: ScenarioEvent) -> bool:
+        pid = event.params["pid"]
+        if self.system.is_live(pid):
+            return False
+        self.system.join(pid)
+        return True
+
+    def _apply_leave(self, event: ScenarioEvent) -> bool:
+        pid = event.params["pid"]
+        if not self.system.is_live(pid) or self.system.n_live <= 1:
+            return False
+        self.system.leave(pid)
+        return True
+
+    def _apply_fail(self, event: ScenarioEvent) -> bool:
+        pid = event.params["pid"]
+        if not self.system.is_live(pid) or self.system.n_live <= 1:
+            return False
+        self.system.fail(pid)
+        return True
+
+    def _apply_workload(self, event: ScenarioEvent) -> bool:
+        """A burst of client gets: Zipf- or uniform-distributed files."""
+        system = self.system
+        names = sorted(n for n in system.catalog if n not in system.faults)
+        live = sorted(system.membership.live_pids())
+        if not names or not live:
+            return False
+        rng = random.Random(event.params.get("seed", 0))
+        if event.params.get("dist", "uniform") == "zipf":
+            s = float(event.params.get("zipf_s", 1.0))
+            weights = [(rank + 1) ** (-s) for rank in range(len(names))]
+        else:
+            weights = [1.0] * len(names)
+        for _ in range(int(event.params.get("requests", 8))):
+            name = rng.choices(names, weights=weights)[0]
+            entry = rng.choice(live)
+            try:
+                system.get(name, entry=entry)
+            except FileNotFoundInSystemError:
+                pass  # surfaced by the routing invariant
+        return True
+
+    def _apply_net(self, event: ScenarioEvent) -> bool:
+        """A burst of raw transport sends under loss, then drain.
+
+        Destinations are drawn from the *whole* identifier space, so
+        some deliveries hit unregistered (dead) endpoints — exercising
+        both drop reasons that the reconciliation invariants audit.
+        """
+        system, transport = self.system, self.transport
+        n = 1 << system.m
+        for pid in range(n):
+            if system.is_live(pid):
+                if not transport.is_registered(pid):
+                    transport.register(pid, lambda message: None)
+            elif transport.is_registered(pid):
+                transport.unregister(pid)
+        transport.loss_rate = float(event.params.get("loss_rate", 0.0))
+        rng = random.Random(event.params.get("seed", 0))
+        for _ in range(int(event.params.get("messages", 10))):
+            transport.send(
+                Message(
+                    MessageKind.GET,
+                    src=rng.randrange(n),
+                    dst=rng.randrange(n),
+                    file="net-probe",
+                )
+            )
+        self.engine.run()
+        if self.scenario.mutation == "conflate-drops":
+            # Bug injection: account a dead-drop under the loss reason
+            # without a matching trace record (the pre-fix conflation).
+            system.metrics.counter("transport.dropped.loss").inc()
+        return True
+
+    # -- mutations (deliberate bugs, test-only) ------------------------------
+
+    def _mutated_misplace(self, name: str, source: int) -> bool:
+        """Place an INSERTED-origin copy at a deterministic wrong node."""
+        system = self.system
+        from ..core.subtree import SubtreeView, subtree_of_pid
+
+        entry = system.catalog[name]
+        tree = system.tree(entry.target)
+        for pid in sorted(system.membership.live_pids(), reverse=True):
+            view = SubtreeView(tree, system.b, subtree_of_pid(tree, pid, system.b))
+            if view.storage_node(system.membership) != pid and name not in system.stores[pid]:
+                source_file = system.stores[source].get(name, count_access=False)
+                system.stores[pid].store(
+                    name, source_file.payload, source_file.version,
+                    FileOrigin.INSERTED, system.now,
+                )
+                system.metrics.counter("system.replications").inc()
+                system.tracer.emit(
+                    system.now, "replicate", file=name, source=source, target=pid
+                )
+                self.last_replica_target = pid
+                return True
+        return False
+
+    def _mutated_skip_update(self, name: str, payload: str) -> bool:
+        """Run the update broadcast but skip the last reachable holder."""
+        system = self.system
+        catalog_entry = system.catalog[name]
+        holders = system.reachable_holders(name)
+        if len(holders) < 2:
+            system.update(name, payload=payload)
+            return True
+        catalog_entry.version += 1
+        for pid in holders[:-1]:
+            system.stores[pid].update(name, payload, catalog_entry.version)
+        system.metrics.counter("system.updates").inc()
+        system.tracer.emit(
+            system.now, "update", file=name, version=catalog_entry.version,
+            updated=holders[:-1],
+        )
+        return True
+
+
+def generate_scenario(
+    seed: int,
+    m: int = 5,
+    b: int = 1,
+    n_events: int = 40,
+    mutation: str | None = None,
+    max_files: int = 12,
+) -> Scenario:
+    """A seeded random scenario: churn, workloads, net bursts, file ops.
+
+    Generation tracks a lightweight membership/catalog model so most
+    events are applicable when they run, but the harness's best-effort
+    semantics mean that is an optimization, not a requirement.
+    """
+    rng = random.Random(seed)
+    n = 1 << m
+    dead = sorted(rng.sample(range(n), rng.randint(0, max(1, n // 4))))
+    live = set(range(n)) - set(dead)
+    names: list[str] = []
+    counter = 0
+    events: list[ScenarioEvent] = []
+
+    ops = ["insert", "get", "update", "replicate", "remove_replica",
+           "join", "leave", "fail", "workload", "net"]
+    weights = [14, 18, 10, 12, 4, 8, 6, 6, 12, 10]
+
+    def any_file() -> str | None:
+        return rng.choice(names) if names else None
+
+    for _ in range(n_events):
+        op = rng.choices(ops, weights=weights)[0]
+        if op == "insert":
+            if len(names) >= max_files:
+                continue
+            name = f"f{counter}"
+            counter += 1
+            names.append(name)
+            events.append(ScenarioEvent("insert", {"file": name}))
+        elif op in ("get", "update", "replicate", "remove_replica"):
+            name = any_file()
+            if name is None:
+                continue
+            params: dict[str, Any] = {"file": name}
+            if op == "get":
+                params["entry"] = rng.choice(sorted(live)) if live else 0
+            elif op == "replicate":
+                params["holder"] = rng.randrange(n)
+            elif op == "remove_replica":
+                params["index"] = rng.randrange(n)
+            events.append(ScenarioEvent(op, params))
+        elif op == "join":
+            candidates = sorted(set(range(n)) - live)
+            if not candidates:
+                continue
+            pid = rng.choice(candidates)
+            live.add(pid)
+            events.append(ScenarioEvent("join", {"pid": pid}))
+        elif op in ("leave", "fail"):
+            if len(live) <= 1:
+                continue
+            pid = rng.choice(sorted(live))
+            live.discard(pid)
+            events.append(ScenarioEvent(op, {"pid": pid}))
+        elif op == "workload":
+            dist = rng.choice(["zipf", "uniform"])
+            params = {
+                "dist": dist,
+                "requests": rng.randint(4, 16),
+                "seed": rng.randrange(1 << 30),
+            }
+            if dist == "zipf":
+                params["zipf_s"] = round(rng.uniform(0.5, 1.5), 3)
+            events.append(ScenarioEvent("workload", params))
+        else:  # net
+            events.append(
+                ScenarioEvent(
+                    "net",
+                    {
+                        "messages": rng.randint(5, 20),
+                        "loss_rate": round(rng.uniform(0.0, 0.4), 3),
+                        "seed": rng.randrange(1 << 30),
+                    },
+                )
+            )
+    return Scenario(
+        m=m, b=b, seed=seed, dead=dead, mutation=mutation, events=events
+    )

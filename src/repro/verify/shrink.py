@@ -1,0 +1,130 @@
+"""Delta-debugging shrinker for failing scenarios.
+
+Given a scenario whose run violates an invariant, :class:`Shrinker`
+minimizes the event list while preserving *that* invariant's failure
+(classic ddmin: try dropping ever-smaller chunks, restart on progress,
+finish with a one-at-a-time pass).  Scenario events apply best-effort,
+so any subsequence is a runnable scenario — no repair step needed.
+
+The result is serialized as seed + event list JSON (`save_repro`),
+small enough to read, diff, and replay with ``lesslog verify replay``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .fuzzer import ScenarioFuzzer, Violation
+from .invariants import default_invariants
+from .scenario import Scenario, ScenarioEvent
+
+__all__ = ["Shrinker", "load_repro", "save_repro"]
+
+_FORMAT_VERSION = 1
+
+
+class Shrinker:
+    """ddmin over a scenario's event list."""
+
+    def __init__(
+        self,
+        invariants_factory=default_invariants,
+        max_runs: int = 400,
+    ) -> None:
+        self.fuzzer = ScenarioFuzzer(invariants_factory)
+        self.max_runs = max_runs
+        self.runs = 0
+
+    def _still_fails(
+        self, scenario: Scenario, events: list[ScenarioEvent], invariant: str
+    ) -> Violation | None:
+        """Does the candidate event list reproduce the same invariant?"""
+        if self.runs >= self.max_runs:
+            return None
+        self.runs += 1
+        violation = self.fuzzer.run_scenario(scenario.with_events(events))
+        if violation is not None and violation.invariant == invariant:
+            return violation
+        return None
+
+    def shrink(
+        self, scenario: Scenario, violation: Violation
+    ) -> tuple[Scenario, Violation]:
+        """Minimize ``scenario`` while still violating the same invariant.
+
+        Returns the minimized scenario and the violation it produces.
+        Always returns a *verified* failing pair — if no removal helps,
+        that is the input truncated at its failing step.
+        """
+        self.runs = 0
+        invariant = violation.invariant
+        events = list(violation.scenario.events) or list(scenario.events)
+        best = self._still_fails(scenario, events, invariant)
+        if best is None:  # flaky input: hand back what we were given
+            return violation.scenario, violation
+
+        chunks = 2
+        while len(events) > 1 and self.runs < self.max_runs:
+            size = max(1, len(events) // chunks)
+            progressed = False
+            start = 0
+            while start < len(events):
+                candidate = events[:start] + events[start + size:]
+                if not candidate:
+                    start += size
+                    continue
+                result = self._still_fails(scenario, candidate, invariant)
+                if result is not None:
+                    events = candidate
+                    best = result
+                    progressed = True
+                    # Re-scan from the same offset: the next chunk has
+                    # shifted into this position.
+                else:
+                    start += size
+            if progressed:
+                chunks = max(2, chunks - 1)
+            elif size == 1:
+                break
+            else:
+                chunks = min(len(events), chunks * 2)
+
+        # Final greedy single-event pass (ddmin granularity 1).
+        index = 0
+        while index < len(events) and self.runs < self.max_runs:
+            if len(events) == 1:
+                break
+            candidate = events[:index] + events[index + 1:]
+            result = self._still_fails(scenario, candidate, invariant)
+            if result is not None:
+                events = candidate
+                best = result
+            else:
+                index += 1
+
+        minimized = scenario.with_events(events)
+        return minimized.with_events(
+            events[: best.step + 1]
+        ), best
+
+
+def save_repro(path: Path | str, scenario: Scenario, violation: Violation) -> Path:
+    """Write a replayable failing case: scenario + expected violation."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format": _FORMAT_VERSION,
+        "scenario": scenario.to_dict(),
+        "violation": violation.to_dict(),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(path: Path | str) -> tuple[Scenario, dict]:
+    """Read a repro file back: (scenario, recorded-violation dict)."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported repro format {document.get('format')!r}")
+    return Scenario.from_dict(document["scenario"]), dict(document["violation"])

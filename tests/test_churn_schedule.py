@@ -1,0 +1,93 @@
+"""Seed stability + serialization round-trip for ChurnSchedule.
+
+The fuzzer (repro.verify) leans on ``ChurnSchedule.generate`` being a
+pure function of its seed: the same seed must yield the *identical*
+event sequence on every run and platform, and a schedule must survive a
+JSON round-trip bit-exactly — otherwise a recorded failing scenario
+would not replay.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ChurnEvent, ChurnKind, ChurnSchedule, LessLogSystem
+from repro.core.errors import ConfigurationError
+
+
+def _generate(seed, m=4, duration=50.0, rate=0.4):
+    system = LessLogSystem.build(m=m)
+    return ChurnSchedule.generate(system, duration=duration, rate=rate, seed=seed)
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 12345])
+    def test_same_seed_same_sequence(self, seed):
+        a = _generate(seed)
+        b = _generate(seed)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        assert _generate(1).events != _generate(2).events
+
+    def test_golden_fingerprint(self):
+        # Pins the exact sequence for seed 7 so cross-platform or
+        # cross-version drift in the generator (which would invalidate
+        # every recorded fuzzer scenario) fails loudly, not silently.
+        events = _generate(7).events
+        fingerprint = [
+            (round(e.time, 6), e.kind.value, e.pid) for e in events[:5]
+        ]
+        assert fingerprint == [
+            (5.528567, "leave", 1),
+            (11.540224, "join", 1),
+            (13.199299, "leave", 3),
+            (20.56426, "leave", 10),
+            (27.941585, "leave", 7),
+        ]
+        assert len(events) == 15
+
+    def test_generation_is_consumption_independent(self):
+        # Applying one schedule must not perturb generating the next.
+        system = LessLogSystem.build(m=4)
+        first = ChurnSchedule.generate(system, duration=20.0, rate=0.5, seed=3)
+        first.apply_all(system)
+        again = ChurnSchedule.generate(
+            LessLogSystem.build(m=4), duration=20.0, rate=0.5, seed=3
+        )
+        assert first.events == again.events
+
+
+events_strategy = st.lists(
+    st.builds(
+        ChurnEvent,
+        time=st.floats(
+            min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+        ),
+        kind=st.sampled_from(list(ChurnKind)),
+        pid=st.integers(min_value=0, max_value=255),
+    ),
+    max_size=30,
+)
+
+
+class TestSerialization:
+    @given(events=events_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, events):
+        schedule = ChurnSchedule(events)
+        back = ChurnSchedule.from_json(schedule.to_json())
+        assert back.events == schedule.events
+        # to_dicts() is already time-sorted, same as the schedule.
+        assert back.to_dicts() == schedule.to_dicts()
+
+    def test_generated_round_trip(self):
+        schedule = _generate(11)
+        assert ChurnSchedule.from_json(schedule.to_json()).events == schedule.events
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_nonfinite_time_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="finite"):
+            ChurnEvent.from_dict({"time": bad, "kind": "join", "pid": 1})

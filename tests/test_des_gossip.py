@@ -45,7 +45,7 @@ class TestGossipFailure:
         victim = exp.tree.children(13)[0]
         exp.fail_node(victim, at_time=2.0)
         result = exp.run(duration=8.0)
-        dropped = exp.metrics.counter("transport.dropped_dead").value
+        dropped = exp.metrics.counter("transport.dropped.dead").value
         assert dropped > 0  # the stale window is real
         # After convergence every view marks the victim dead.
         for node in exp.nodes.values():
@@ -77,7 +77,7 @@ class TestGossipFailure:
         result = exp.run(duration=6.0)
         # Oracle views update instantly: the only possible losses are
         # messages already in flight at the crash instant.
-        assert exp.metrics.counter("transport.dropped_dead").value <= 3
+        assert exp.metrics.counter("transport.dropped.dead").value <= 3
         assert result.requests_sent - result.requests_served <= 3
 
 

@@ -79,4 +79,4 @@ class TestDesLossyTransport:
         # Some requests die in flight; nothing crashes and accounting
         # stays consistent.
         assert result.requests_served < result.requests_sent
-        assert exp.metrics.counter("transport.lost").value > 0
+        assert exp.metrics.counter("transport.dropped.loss").value > 0

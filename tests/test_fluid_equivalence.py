@@ -13,6 +13,8 @@ import random
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.baselines import make_policy
 from repro.core.liveness import AllLive, SetLiveness
@@ -106,6 +108,73 @@ class TestBalanceEquivalence:
         for reference in (True, False):
             sim = _build(6, root, live, rates, capacity, seed, reference)
             outcome = sim.balance(make_policy("lesslog"), serial=serial)
+            results.append(_fingerprint(sim, outcome))
+        assert results[0] == results[1]
+
+
+class TestHypothesisEquivalence:
+    """Hypothesis-driven differential test: reference vs vectorized.
+
+    Where the parametrized cases above walk a fixed grid of seeded
+    trials, hypothesis searches the input space adversarially — random
+    liveness patterns, demand placements, and policies — and shrinks
+    any divergence to a minimal (m, root, live, rates) witness.
+    """
+
+    @given(
+        m=st.integers(min_value=3, max_value=7),
+        policy_name=st.sampled_from(POLICIES),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reference_and_fast_agree(self, m, policy_name, data):
+        n = 1 << m
+        root = data.draw(st.integers(0, n - 1), label="root")
+        live_set = data.draw(
+            st.sets(st.integers(0, n - 1), min_size=max(2, n // 4), max_size=n),
+            label="live",
+        )
+        live_set.add(root)
+        rate_nodes = data.draw(
+            st.lists(
+                st.sampled_from(sorted(live_set)), min_size=1, max_size=n,
+                unique=True,
+            ),
+            label="rate_nodes",
+        )
+        rates = {
+            pid: data.draw(
+                st.floats(0.0, 5.0, allow_nan=False, allow_infinity=False),
+                label=f"rate[{pid}]",
+            )
+            for pid in rate_nodes
+        }
+        capacity = data.draw(st.floats(0.5, 12.0), label="capacity")
+        seed = data.draw(st.integers(0, 2**30), label="seed")
+        results = []
+        for reference in (True, False):
+            sim = _build(
+                m, root, frozenset(live_set), rates, capacity, seed, reference
+            )
+            outcome = sim.balance(make_policy(policy_name))
+            results.append(_fingerprint(sim, outcome))
+        assert results[0] == results[1]
+
+    @given(
+        b=st.integers(min_value=0, max_value=2),
+        policy_name=st.sampled_from(POLICIES),
+        seed=st.integers(0, 2**30),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_agreement_across_b_partitions(self, b, policy_name, seed):
+        """§4: width ``m - b`` subtrees — random shapes, both engines."""
+        m_eff = 7 - b
+        rng = random.Random(seed)
+        root, live, rates, capacity, run_seed = _case(rng, m_eff)
+        results = []
+        for reference in (True, False):
+            sim = _build(m_eff, root, live, rates, capacity, run_seed, reference)
+            outcome = sim.balance(make_policy(policy_name))
             results.append(_fingerprint(sim, outcome))
         assert results[0] == results[1]
 

@@ -84,7 +84,7 @@ class TestTransport:
         transport = Transport(engine)
         transport.send(Message(MessageKind.GET, src=0, dst=42))
         engine.run()
-        assert transport.metrics.counter("transport.dropped_dead").value == 1
+        assert transport.metrics.counter("transport.dropped.dead").value == 1
 
     def test_unregister_mid_flight_drops(self):
         engine = Engine()
@@ -95,7 +95,7 @@ class TestTransport:
         transport.unregister(1)
         engine.run()
         assert received == []
-        assert transport.metrics.counter("transport.dropped_dead").value == 1
+        assert transport.metrics.counter("transport.dropped.dead").value == 1
 
     def test_loss_rate(self):
         engine = Engine()
@@ -105,13 +105,38 @@ class TestTransport:
         for _ in range(200):
             transport.send(Message(MessageKind.GET, src=0, dst=1))
         engine.run()
-        lost = transport.metrics.counter("transport.lost").value
+        lost = transport.metrics.counter("transport.dropped.loss").value
         assert lost + len(received) == 200
         assert 60 < lost < 140
 
     def test_invalid_loss_rate(self):
         with pytest.raises(ValueError):
             Transport(Engine(), loss_rate=1.0)
+
+    def test_drop_accounting_reconciles_by_reason(self):
+        # Both drop causes share the transport.dropped.* family and the
+        # "drop" trace kind, split by a reason field, so that
+        # sent == delivered + dropped.loss + dropped.dead exactly.
+        engine = Engine()
+        tracer = Tracer()
+        transport = Transport(
+            engine, loss_rate=0.3, rng=random.Random(7), tracer=tracer
+        )
+        transport.register(1, lambda m: None)
+        for dst in (1, 1, 1, 42, 42):
+            for _ in range(40):
+                transport.send(Message(MessageKind.GET, src=0, dst=dst))
+        engine.run()
+        sent = transport.metrics.counter("transport.sent").value
+        delivered = transport.metrics.counter("transport.delivered").value
+        lost = transport.metrics.counter("transport.dropped.loss").value
+        dead = transport.metrics.counter("transport.dropped.dead").value
+        assert sent == 200
+        assert lost > 0 and dead > 0
+        assert delivered + lost + dead == sent
+        reasons = [r.data["reason"] for r in tracer.of_kind("drop")]
+        assert reasons.count("loss") == lost
+        assert reasons.count("dead") == dead
 
     def test_tracer_records_sends(self):
         engine = Engine()

@@ -169,3 +169,14 @@ class TestTracer:
     def test_record_json_roundtrip(self):
         r = TraceRecord(1.0, "k", {"a": [1, 2]})
         assert TraceRecord.from_json(r.to_json()) == r
+
+    def test_record_missing_data_tolerated(self):
+        r = TraceRecord.from_json('{"time": 2.5, "kind": "join"}')
+        assert (r.time, r.kind, r.data) == (2.5, "join", {})
+        r = TraceRecord.from_json('{"time": 0, "kind": "k", "data": null}')
+        assert r.data == {}
+
+    @pytest.mark.parametrize("bad", ["NaN", "Infinity", "-Infinity"])
+    def test_record_nonfinite_time_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            TraceRecord.from_json('{"time": %s, "kind": "k", "data": {}}' % bad)

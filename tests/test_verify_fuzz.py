@@ -1,0 +1,230 @@
+"""Scenario fuzzer, shrinker, and replay (repro.verify).
+
+Covers the full loop the tooling promises: a clean system fuzzes
+violation-free; an injected placement bug is caught, delta-debugged to
+a handful of events, serialized, and replays deterministically.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import LessLogSystem
+from repro.verify import (
+    FuzzConfig,
+    Scenario,
+    ScenarioEvent,
+    ScenarioFuzzer,
+    ScenarioHarness,
+    Shrinker,
+    generate_scenario,
+    load_repro,
+    replay_file,
+    replay_scenario,
+    save_repro,
+)
+from repro.verify.fuzzer import NO_CRASH
+
+
+class TestScenarioModel:
+    def test_generation_deterministic(self):
+        a = generate_scenario(seed=9, m=5, b=1, n_events=30)
+        b = generate_scenario(seed=9, m=5, b=1, n_events=30)
+        assert a.events == b.events and a.dead == b.dead
+
+    def test_json_round_trip(self):
+        scenario = generate_scenario(seed=4, m=5, b=1, n_events=25)
+        back = Scenario.from_json(scenario.to_json())
+        assert back.events == scenario.events
+        assert (back.m, back.b, back.seed, back.dead) == (
+            scenario.m, scenario.b, scenario.seed, scenario.dead,
+        )
+
+    def test_unknown_mutation_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown mutation"):
+            ScenarioHarness(Scenario(m=4, b=0, seed=0, mutation="nope"))
+
+    def test_infeasible_events_skipped_not_raised(self):
+        harness = ScenarioHarness(Scenario(m=4, b=0, seed=0, dead=[3]))
+        assert not harness.apply(ScenarioEvent("get", {"file": "ghost", "entry": 1}))
+        assert not harness.apply(ScenarioEvent("get", {"file": "ghost", "entry": 3}))
+        assert not harness.apply(ScenarioEvent("replicate", {"file": "ghost"}))
+        assert not harness.apply(ScenarioEvent("join", {"pid": 1}))  # already live
+        assert harness.skipped == 4 and harness.applied == 0
+
+    def test_same_scenario_same_trajectory(self):
+        scenario = generate_scenario(seed=12, m=5, b=1, n_events=40)
+        from repro.cluster.snapshot import snapshot_to_json
+
+        snapshots = []
+        for _ in range(2):
+            harness = ScenarioHarness(scenario)
+            for event in scenario.events:
+                harness.apply(event)
+            snapshots.append(snapshot_to_json(harness.system))
+        assert snapshots[0] == snapshots[1]
+
+
+@pytest.mark.fuzz
+class TestFuzzSmoke:
+    """Bounded tier-1 smoke: N seeds, small m, all invariants."""
+
+    def test_clean_system_fuzzes_clean(self):
+        report = ScenarioFuzzer().fuzz(
+            FuzzConfig(seeds=8, m=5, b=1, events=35)
+        )
+        assert report.ok, report.render()
+        assert report.scenarios == 8
+        assert report.checks > 1000
+        assert report.events_applied > 100
+
+    def test_b0_and_b2_shapes(self):
+        for m, b in ((4, 0), (5, 2)):
+            report = ScenarioFuzzer().fuzz(
+                FuzzConfig(seeds=4, m=m, b=b, events=30)
+            )
+            assert report.ok, report.render()
+
+
+@pytest.mark.fuzz
+class TestMutationCaught:
+    """Acceptance path: injected bug → caught → shrunk ≤ 10 → replays."""
+
+    def _first_violation(self, mutation):
+        report = ScenarioFuzzer().fuzz(
+            FuzzConfig(seeds=4, m=5, b=1, events=40, mutation=mutation)
+        )
+        assert not report.ok, f"{mutation} was not caught"
+        return report.violations[0]
+
+    def test_placement_bug_caught_shrunk_and_replayed(self, tmp_path):
+        violation = self._first_violation("misplace-replica")
+        assert violation.invariant == "placement-binomial-subtree"
+
+        shrinker = Shrinker()
+        minimized, shrunk = shrinker.shrink(violation.scenario, violation)
+        assert len(minimized.events) <= 10
+        assert shrunk.invariant == violation.invariant
+
+        path = save_repro(tmp_path / "repro.json", minimized, shrunk)
+        outcomes = [replay_file(path) for _ in range(2)]
+        assert all(o.reproduced for o in outcomes)
+        assert outcomes[0].violation.step == outcomes[1].violation.step
+        assert outcomes[0].violation.message == outcomes[1].violation.message
+
+    def test_skip_update_caught(self):
+        violation = self._first_violation("skip-update")
+        assert violation.invariant == "version-coherence"
+
+    def test_conflated_drop_accounting_caught(self):
+        violation = self._first_violation("conflate-drops")
+        assert violation.invariant == "metrics-trace-reconcile"
+
+
+class TestShrinker:
+    def test_shrinks_to_minimal_pair(self):
+        scenario = generate_scenario(
+            seed=0, m=4, b=1, n_events=40, mutation="misplace-replica"
+        )
+        violation = ScenarioFuzzer().run_scenario(scenario)
+        assert violation is not None
+        minimized, shrunk = Shrinker().shrink(violation.scenario, violation)
+        ops = [e.op for e in minimized.events]
+        assert ops == ["insert", "replicate"]
+        assert shrunk.step == len(minimized.events) - 1
+
+    def test_nonreproducing_input_returned_unshrunk(self):
+        scenario = generate_scenario(seed=0, m=4, b=1, n_events=10)
+        clean = ScenarioFuzzer().run_scenario(scenario)
+        assert clean is None
+        # Fabricate a "violation" that does not reproduce: the shrinker
+        # must hand back its input rather than invent a repro.
+        from repro.verify.fuzzer import Violation
+
+        fake = Violation(
+            invariant="placement-binomial-subtree", message="fake",
+            seed=0, step=len(scenario.events) - 1, scenario=scenario,
+        )
+        minimized, result = Shrinker().shrink(scenario, fake)
+        assert result is fake and minimized is scenario
+
+    def test_repro_file_round_trip(self, tmp_path):
+        scenario = generate_scenario(
+            seed=1, m=4, b=1, n_events=30, mutation="skip-update"
+        )
+        violation = ScenarioFuzzer().run_scenario(scenario)
+        assert violation is not None
+        path = save_repro(tmp_path / "case.json", violation.scenario, violation)
+        loaded, expected = load_repro(path)
+        assert loaded.events == violation.scenario.events
+        assert expected["invariant"] == violation.invariant
+
+
+class TestCrashTreatedAsViolation:
+    def test_apply_exception_reported_not_raised(self):
+        scenario = Scenario(
+            m=4, b=0, seed=0,
+            events=[ScenarioEvent("insert", {})],  # missing "file" → KeyError
+        )
+        violation = ScenarioFuzzer().run_scenario(scenario)
+        assert violation is not None and violation.invariant == NO_CRASH
+        assert "KeyError" in violation.message
+
+
+class TestRemoveReplicaOrphanRegression:
+    def test_counter_removal_gcs_orphaned_replicas(self):
+        # Found by this fuzzer (seed 1, m=4, b=0): insert → replicate
+        # twice builds a holder chain home → r1 → r2; counter-based
+        # removal of the middle replica r1 used to leave r2 orphaned,
+        # unreachable by the top-down update broadcast.
+        scenario = Scenario(
+            m=4, b=0, seed=1, dead=[2],
+            events=[
+                ScenarioEvent("insert", {"file": "f1"}),
+                ScenarioEvent("replicate", {"file": "f1", "holder": 0}),
+                ScenarioEvent("replicate", {"file": "f1", "holder": 13}),
+                ScenarioEvent("remove_replica", {"file": "f1", "index": 2}),
+            ],
+        )
+        assert replay_scenario(scenario) is None
+
+    def test_remove_replica_keeps_reachability_directly(self):
+        system = LessLogSystem.build(m=4, b=0)
+        name = "doc"
+        system.insert(name, payload="x")
+        home = system.holders_of(name)[0]
+        first = system.replicate(name, overloaded=home)
+        second = system.replicate(name, overloaded=first) if first is not None else None
+        if first is None or second is None:
+            pytest.skip("policy had no placement for this shape")
+        system.remove_replica(name, first)
+        assert set(system.reachable_holders(name)) == set(system.holders_of(name))
+
+
+class TestVerifyCli:
+    def test_fuzz_clean_exit_zero(self, capsys):
+        assert main(["verify", "fuzz", "--seeds", "2", "--m", "4", "--events", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "no violations found" in out
+
+    def test_fuzz_mutation_writes_repro_and_replay_reproduces(self, capsys, tmp_path):
+        code = main([
+            "verify", "fuzz", "--seeds", "2", "--m", "4", "--events", "25",
+            "--mutate", "misplace-replica", "--out", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATION" in out and "shrunk" in out
+        repros = sorted(tmp_path.glob("repro_*.json"))
+        assert repros
+        document = json.loads(repros[0].read_text())
+        assert document["violation"]["invariant"] == "placement-binomial-subtree"
+        assert main(["verify", "replay", str(repros[0])]) == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_replay_missing_file(self, capsys, tmp_path):
+        assert main(["verify", "replay", str(tmp_path / "nope.json")]) == 2
+        assert "no such repro" in capsys.readouterr().err
