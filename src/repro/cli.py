@@ -9,6 +9,8 @@ Subcommands:
 * ``tree --root R --m M [--dead ...]`` — render a lookup tree and its
   children list.
 * ``demo`` — a 30-second tour of the system API.
+* ``reliability`` — a DES run over a lossy transport with the
+  request-retry layer, printing per-request lifecycle accounting.
 * ``verify fuzz`` — randomized scenario fuzzing against the invariant
   registry, shrinking any failure to a replayable repro file.
 * ``verify replay REPRO.json`` — deterministically replay a failure.
@@ -60,6 +62,24 @@ def build_parser() -> argparse.ArgumentParser:
     tree.add_argument("--dead", type=int, nargs="*", default=[])
 
     sub.add_parser("demo", help="drive a small system end to end")
+
+    rel = sub.add_parser(
+        "reliability",
+        help="DES run over a lossy transport with the request-retry layer; "
+        "prints per-request lifecycle accounting",
+    )
+    rel.add_argument("--m", type=int, default=6, help="identifier width")
+    rel.add_argument("--loss-rate", type=float, default=0.2,
+                     help="per-message transport loss probability")
+    rel.add_argument("--retries", type=int, default=4,
+                     help="attempt budget per request (1 = fire-and-forget)")
+    rel.add_argument("--timeout", type=float, default=0.25,
+                     help="per-attempt deadline in simulated seconds")
+    rel.add_argument("--rate", type=float, default=200.0,
+                     help="aggregate client demand (requests/second)")
+    rel.add_argument("--duration", type=float, default=5.0,
+                     help="workload duration in simulated seconds")
+    rel.add_argument("--seed", type=int, default=0)
 
     audit = sub.add_parser("audit", help="audit a system snapshot file")
     audit.add_argument("snapshot", type=Path, help="JSON snapshot path")
@@ -219,6 +239,47 @@ def _cmd_demo() -> int:
     return 0
 
 
+def _cmd_reliability(
+    m: int, loss_rate: float, retries: int, timeout: float,
+    rate: float, duration: float, seed: int,
+) -> int:
+    import numpy as np
+
+    from .engine.des_driver import DesExperiment
+    from .experiments.config import ReliabilityConfig
+
+    config = ReliabilityConfig(
+        loss_rate=loss_rate, timeout=timeout, max_attempts=retries
+    )
+    n = 1 << m
+    experiment = DesExperiment(
+        m=m,
+        target=0,
+        entry_rates=np.full(n, rate / n),
+        seed=seed,
+        loss_rate=config.loss_rate,
+        retry=config.policy(),
+    )
+    result = experiment.run(duration, settle=config.settle_time())
+    metrics = experiment.metrics
+    print(
+        f"reliability: m={m}, loss={loss_rate}, budget={retries} attempts, "
+        f"timeout={timeout}s, {duration}s @ {rate} req/s (seed {seed})"
+    )
+    print(f"  issued      {result.requests_sent}")
+    print(f"  completed   {result.requests_completed}")
+    print(f"  retried     {result.requests_retried} retries "
+          f"({metrics.counter('request.rerouted').value} rerouted)")
+    print(f"  dead-letter {result.dead_letters}")
+    inflight = experiment.reliability.inflight_count
+    if inflight:
+        print(f"  inflight    {inflight} (settle tail too short)")
+    if result.requests_completed:
+        print(f"  latency     mean {result.latency_mean * 1e3:.2f} ms, "
+              f"p95 {result.latency_p95 * 1e3:.2f} ms")
+    return 0 if result.dead_letters == 0 and not inflight else 1
+
+
 def _cmd_verify_fuzz(
     seeds: int, m: int, b: int, events: int, base_seed: int,
     mutate: str | None, out: Path,
@@ -278,6 +339,11 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_tree(args.root, args.m, args.dead)
     if args.command == "demo":
         return _cmd_demo()
+    if args.command == "reliability":
+        return _cmd_reliability(
+            args.m, args.loss_rate, args.retries, args.timeout,
+            args.rate, args.duration, args.seed,
+        )
     if args.command == "audit":
         return _cmd_audit(args.snapshot)
     if args.command == "snapshot-demo":

@@ -35,6 +35,8 @@ _COUNTER_TRACE_PAIRS: tuple[tuple[str, str], ...] = (
     ("system.leaves", "leave"),
     ("system.failures", "fail"),
     ("transport.sent", "send"),
+    ("request.retried", "retry"),
+    ("request.expired", "expire"),
 )
 
 

@@ -297,6 +297,31 @@ class LessLogSystem:
             subtrees_tried=tuple(tried),
         )
 
+    def retry_entry(self, name: str, entry: int) -> int | None:
+        """Where a retried request for ``name`` should re-enter.
+
+        The client-side dual of ``FINDLIVENODE`` (§3), used by the
+        request-reliability layer (:mod:`repro.net.reliability`): a
+        still-live entry is kept, a dead one is bypassed to its first
+        alive ancestor in the file's lookup tree (falling back to the
+        storage node), and ``None`` means no live node remains.
+        """
+        from ..core.routing import first_alive_ancestor, storage_node
+
+        catalog_entry = self.catalog.get(name)
+        if catalog_entry is None:
+            raise FileNotFoundInSystemError(name)
+        if self.is_live(entry):
+            return entry
+        tree = self.tree(catalog_entry.target)
+        nxt = first_alive_ancestor(tree, entry, self.membership)
+        if nxt is not None:
+            return nxt
+        try:
+            return storage_node(tree, self.membership)
+        except NoLiveNodeError:
+            return None
+
     def get(self, name: str, entry: int) -> GetResult:
         """Resolve a request entering at ``P(entry)``.
 

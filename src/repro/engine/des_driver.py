@@ -25,6 +25,7 @@ from ..core.routing import first_alive_ancestor, storage_node
 from ..core.subtree import SubtreeView, check_b, insert_targets, subtree_of_pid
 from ..core.tree import LookupTree
 from ..net.message import Message, MessageKind
+from ..net.reliability import RequestTracker, RetryPolicy
 from ..net.topology import ConstantLatency, LatencyModel
 from ..node.loadmon import LoadMonitor
 from ..node.membership import StatusWord
@@ -61,6 +62,13 @@ class DesResult:
     latency_mean: float = 0.0
     """Mean client-observed response time (request sent → reply)."""
     latency_p95: float = 0.0
+
+    requests_completed: int = 0
+    """Requests the reliability layer saw through to a reply (0 when
+    the layer is off — fire-and-forget runs don't track completion)."""
+    requests_retried: int = 0
+    dead_letters: int = 0
+    """Requests that exhausted their retry budget."""
 
 
 class _DesNode:
@@ -312,6 +320,8 @@ class DesExperiment:
         removal_threshold: float = 0.0,
         seed: int = 0,
         file: str = "popular-file",
+        loss_rate: float = 0.0,
+        retry: RetryPolicy | None = None,
     ) -> None:
         from ..baselines.lesslog_policy import LessLogPolicy
         from ..net.transport import Transport
@@ -355,7 +365,23 @@ class DesExperiment:
         self.transport = Transport(
             self.engine,
             latency=latency if latency is not None else ConstantLatency(0.001),
+            loss_rate=loss_rate,
+            rng=self.rng_hub.stream("transport-loss"),
             metrics=self.metrics,
+        )
+        # Request-reliability layer (net.reliability): without it, a
+        # lost GET or reply simply never completes; with it, every
+        # client request retries with backoff and a re-resolved entry,
+        # or lands in the dead-letter record.
+        self.reliability = (
+            None
+            if retry is None
+            else RequestTracker(
+                self.engine,
+                retry,
+                metrics=self.metrics,
+                seed=self.rng_hub.stream("retry-jitter").randrange(1 << 62),
+            )
         )
         self.replica_events: list[tuple[float, int, int]] = []
         self.requests_sent = 0
@@ -381,6 +407,10 @@ class DesExperiment:
                 self.metrics.histogram("des.latency").observe(
                     self.engine.now - sent_at
                 )
+            if self.reliability is not None:
+                # A fault reply is still a defined outcome: the request
+                # terminated, it just found no copy.
+                self.reliability.complete(msg.request_id)
 
         self.transport.register(CLIENT, client_edge)
 
@@ -389,6 +419,24 @@ class DesExperiment:
             self.nodes[home].store.store(file, b"payload", 1, FileOrigin.INSERTED)
         for node in self.nodes.values():
             self.engine.spawn(node.overload_check(), label=f"check:{node.pid}")
+
+    def retry_entry(self, entry: int) -> int | None:
+        """Where a retried request should re-enter the overlay.
+
+        The client-side dual of the paper's ``FINDLIVENODE``: keep a
+        still-live entry, otherwise climb to its first alive ancestor,
+        falling back to the tree's storage node; ``None`` only when no
+        node is left alive (the retry expires immediately).
+        """
+        if self.membership.is_live(entry):
+            return entry
+        nxt = first_alive_ancestor(self.tree, entry, self.membership)
+        if nxt is not None:
+            return nxt
+        try:
+            return storage_node(self.tree, self.membership)
+        except NoLiveNodeError:
+            return None
 
     def holders(self, file: str) -> set[int]:
         """Live PIDs currently holding a copy (the oracle view).
@@ -461,7 +509,12 @@ class DesExperiment:
                 file=self.file,
             )
             self._inflight[message.request_id] = self.engine.now
-            self.transport.send(message)
+            if self.reliability is not None:
+                self.reliability.issue(
+                    message, send=self.transport.send, reroute=self.retry_entry
+                )
+            else:
+                self.transport.send(message)
 
     def run_schedule(
         self,
@@ -676,4 +729,11 @@ class DesExperiment:
             hop_max=hops.max() if hops.count else 0.0,
             latency_mean=latency.mean() if latency.count else 0.0,
             latency_p95=latency.quantile(0.95) if latency.count else 0.0,
+            requests_completed=self.metrics.counter("request.completed").value,
+            requests_retried=self.metrics.counter("request.retried").value,
+            dead_letters=(
+                len(self.reliability.dead_letters)
+                if self.reliability is not None
+                else 0
+            ),
         )

@@ -13,13 +13,70 @@ from dataclasses import dataclass, field, replace
 
 from ..core.errors import ConfigurationError
 
-__all__ = ["FigureConfig", "PAPER_M", "PAPER_CAPACITY", "PAPER_RATES", "DEAD_FRACTIONS"]
+__all__ = [
+    "FigureConfig",
+    "ReliabilityConfig",
+    "PAPER_M",
+    "PAPER_CAPACITY",
+    "PAPER_RATES",
+    "DEAD_FRACTIONS",
+]
 
 PAPER_M = 10
 PAPER_CAPACITY = 100.0
 PAPER_RATES: tuple[float, ...] = tuple(float(r) for r in range(1000, 20001, 1000))
 DEAD_FRACTIONS: tuple[float, ...] = (0.1, 0.2, 0.3)
 """Figure 6/8 dead-node fractions."""
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Lossy-transport / request-retry knobs for DES runs.
+
+    ``max_attempts = 1`` reproduces the fire-and-forget baseline (a
+    lost message means a lost request); larger budgets let the
+    reliability layer (:mod:`repro.net.reliability`) retry with
+    exponential backoff until the request completes or dead-letters.
+    """
+
+    loss_rate: float = 0.2
+    timeout: float = 0.25
+    max_attempts: int = 4
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        # Retry-policy knobs share RetryPolicy's own validation.
+        self.policy()
+
+    def policy(self):
+        """The :class:`~repro.net.reliability.RetryPolicy` these knobs name."""
+        from ..net.reliability import RetryPolicy
+
+        return RetryPolicy(
+            timeout=self.timeout,
+            max_attempts=self.max_attempts,
+            backoff_base=self.backoff_base,
+            backoff_factor=self.backoff_factor,
+            jitter=self.jitter,
+        )
+
+    def settle_time(self) -> float:
+        """Simulated tail long enough for every retry chain to resolve."""
+        total = self.max_attempts * self.timeout
+        for retry in range(1, self.max_attempts):
+            total += self.backoff_base * self.backoff_factor ** (retry - 1) * (
+                1.0 + self.jitter
+            )
+        return total + 1.0
+
+    def with_(self, **changes) -> "ReliabilityConfig":
+        return replace(self, **changes)
 
 
 @dataclass(frozen=True)

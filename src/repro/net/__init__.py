@@ -1,6 +1,7 @@
-"""Simulated network substrate: messages, latency models, transport."""
+"""Simulated network substrate: messages, latency, transport, reliability."""
 
 from .message import Message, MessageKind
+from .reliability import Attempt, DeadLetter, RequestTracker, RetryPolicy
 from .topology import (
     ConstantLatency,
     CoordinateLatency,
@@ -10,11 +11,15 @@ from .topology import (
 from .transport import Transport
 
 __all__ = [
+    "Attempt",
     "ConstantLatency",
     "CoordinateLatency",
+    "DeadLetter",
     "LatencyModel",
     "Message",
     "MessageKind",
+    "RequestTracker",
+    "RetryPolicy",
     "Transport",
     "UniformLatency",
 ]

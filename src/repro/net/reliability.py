@@ -1,0 +1,303 @@
+"""The request-reliability layer: timeouts, retry/backoff, dead letters.
+
+The transport is fire-and-forget: a message hit by the loss model or a
+crashed destination is counted and traced, but the request it carried
+silently never completes.  :class:`RequestTracker` closes that gap for
+client-originated requests.  Every issued request gets a per-attempt
+deadline on the DES engine; on expiry the tracker retries with
+exponential backoff and deterministic seeded jitter, re-resolving the
+entry point through a caller-supplied ``reroute`` hook so retries route
+around nodes that died mid-flight — the client-side dual of the paper's
+``FINDLIVENODE`` (§3).  A request that exhausts its attempt budget
+lands in a :class:`DeadLetter` with its full attempt history.
+
+Accounting is exact and audit-ready: counters
+``request.{issued,completed,retried,expired,rerouted,stale_replies}``,
+histograms ``request.latency`` / ``request.attempts``, and ``retry`` /
+``expire`` trace records move in lockstep, so verification layers can
+check the conservation identity
+
+    ``request.issued == completed + inflight + dead_letter``
+
+at any instant, and ``inflight == 0`` once the engine drains — every
+request terminates with a defined outcome.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field, replace
+
+from ..core.errors import ConfigurationError, SimulationError
+from ..sim.engine import Engine
+from ..sim.events import EventHandle
+from ..sim.metrics import MetricsRegistry
+from ..sim.trace import Tracer
+from .message import Message
+
+__all__ = ["Attempt", "DeadLetter", "RequestTracker", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline / retry knobs for one request (or a tracker's default).
+
+    ``max_attempts`` counts *all* sends including the first, so
+    ``max_attempts=1`` is plain fire-and-expire (no retries).  Retry
+    ``k`` waits ``backoff_base * backoff_factor**(k-1)`` after the
+    timeout, stretched by a seeded jitter of up to ``±jitter`` of
+    itself — deterministic for a fixed tracker seed and event order.
+    """
+
+    timeout: float = 0.25
+    max_attempts: int = 4
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {self.timeout}")
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0:
+            raise ConfigurationError(
+                f"backoff_base must be non-negative, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be at least 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, retry_number: int) -> float:
+        """Nominal (un-jittered) wait before retry ``retry_number >= 1``."""
+        return self.backoff_base * self.backoff_factor ** (retry_number - 1)
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One send of a tracked request."""
+
+    number: int
+    entry: int
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A request that exhausted its budget, with full attempt history."""
+
+    request_id: int
+    kind: str
+    file: str
+    budget: int
+    first_sent: float
+    expired_at: float
+    attempts: tuple[Attempt, ...]
+
+
+@dataclass
+class _Tracked:
+    """Tracker-internal state of one inflight request."""
+
+    message: Message
+    send: Callable[[Message], None]
+    reroute: Callable[[int], int | None] | None
+    policy: RetryPolicy
+    attempts: list[Attempt] = field(default_factory=list)
+    pending: EventHandle | None = None
+    """The next scheduled event for this request: its attempt's timeout,
+    or the backoff-delayed retry."""
+
+
+class RequestTracker:
+    """Registers client requests, enforces deadlines, retries, expires.
+
+    The tracker owns the request lifecycle but not the wire: each
+    request carries its own ``send`` callable (normally
+    ``Transport.send``) and an optional ``reroute`` hook mapping the
+    previous entry PID to the one the retry should use (``None`` =
+    nowhere left to enter, expire immediately).  Replies are matched by
+    ``request_id`` via :meth:`complete`; retries re-send the same id,
+    so a late first reply still completes the request and any further
+    replies count as ``request.stale_replies``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        policy: RetryPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._rng = random.Random(seed)
+        self._inflight: dict[int, _Tracked] = {}
+        self._completed_ids: set[int] = set()
+        self.dead_letters: list[DeadLetter] = []
+
+    # -- observability ----------------------------------------------------
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def inflight_ids(self) -> frozenset[int]:
+        return frozenset(self._inflight)
+
+    @property
+    def completed_ids(self) -> frozenset[int]:
+        return frozenset(self._completed_ids)
+
+    @property
+    def issued(self) -> int:
+        return self.metrics.counter("request.issued").value
+
+    @property
+    def completed(self) -> int:
+        return self.metrics.counter("request.completed").value
+
+    @property
+    def expired(self) -> int:
+        return self.metrics.counter("request.expired").value
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def issue(
+        self,
+        message: Message,
+        send: Callable[[Message], None],
+        reroute: Callable[[int], int | None] | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> int:
+        """Send ``message`` (attempt 1) and track it to a defined outcome."""
+        if message.request_id in self._inflight:
+            raise SimulationError(
+                f"request {message.request_id} is already being tracked"
+            )
+        record = _Tracked(
+            message=message,
+            send=send,
+            reroute=reroute,
+            policy=policy if policy is not None else self.policy,
+        )
+        self._inflight[message.request_id] = record
+        self.metrics.counter("request.issued").inc()
+        self._send_attempt(record)
+        return message.request_id
+
+    def complete(self, request_id: int) -> bool:
+        """A reply arrived: settle the request (idempotent for dupes)."""
+        record = self._inflight.pop(request_id, None)
+        if record is None:
+            # Duplicate reply, or one that raced past its own expiry.
+            self.metrics.counter("request.stale_replies").inc()
+            return False
+        if record.pending is not None:
+            record.pending.cancel()
+        self._completed_ids.add(request_id)
+        self.metrics.counter("request.completed").inc()
+        self.metrics.histogram("request.latency").observe(
+            self.engine.now - record.attempts[0].sent_at
+        )
+        self.metrics.histogram("request.attempts").observe(float(len(record.attempts)))
+        return True
+
+    # -- internals ---------------------------------------------------------
+
+    def _send_attempt(self, record: _Tracked) -> None:
+        record.attempts.append(
+            Attempt(
+                number=len(record.attempts) + 1,
+                entry=record.message.dst,
+                sent_at=self.engine.now,
+            )
+        )
+        record.send(record.message)
+        record.pending = self.engine.schedule(
+            record.policy.timeout,
+            lambda: self._on_timeout(record),
+            label=f"timeout:{record.message.kind.value}:{record.message.request_id}",
+        )
+
+    def _on_timeout(self, record: _Tracked) -> None:
+        request_id = record.message.request_id
+        if request_id not in self._inflight:  # pragma: no cover - defensive
+            return
+        if len(record.attempts) >= record.policy.max_attempts:
+            self._expire(record)
+            return
+        delay = self._jittered_backoff(record.policy, len(record.attempts))
+        record.pending = self.engine.schedule(
+            delay,
+            lambda: self._retry(record),
+            label=f"retry:{record.message.kind.value}:{request_id}",
+        )
+
+    def _retry(self, record: _Tracked) -> None:
+        request_id = record.message.request_id
+        entry = record.message.dst
+        if record.reroute is not None:
+            new_entry = record.reroute(entry)
+            if new_entry is None:
+                self._expire(record)
+                return
+            if new_entry != entry:
+                self.metrics.counter("request.rerouted").inc()
+                record.message = replace(record.message, dst=new_entry)
+        self.metrics.counter("request.retried").inc()
+        self.tracer.emit(
+            self.engine.now,
+            "retry",
+            request_id=request_id,
+            attempt=len(record.attempts) + 1,
+            entry=record.message.dst,
+            file=record.message.file,
+        )
+        self._send_attempt(record)
+
+    def _jittered_backoff(self, policy: RetryPolicy, attempts_so_far: int) -> float:
+        delay = policy.backoff(attempts_so_far)
+        if policy.jitter:
+            delay *= 1.0 + policy.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(delay, 0.0)
+
+    def _expire(self, record: _Tracked) -> None:
+        request_id = record.message.request_id
+        del self._inflight[request_id]
+        self.dead_letters.append(
+            DeadLetter(
+                request_id=request_id,
+                kind=record.message.kind.value,
+                file=record.message.file,
+                budget=record.policy.max_attempts,
+                first_sent=record.attempts[0].sent_at,
+                expired_at=self.engine.now,
+                attempts=tuple(record.attempts),
+            )
+        )
+        self.metrics.counter("request.expired").inc()
+        self.metrics.histogram("request.attempts").observe(float(len(record.attempts)))
+        self.tracer.emit(
+            self.engine.now,
+            "expire",
+            request_id=request_id,
+            file=record.message.file,
+            attempts=len(record.attempts),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestTracker(inflight={self.inflight_count}, "
+            f"completed={self.completed}, dead_letters={len(self.dead_letters)})"
+        )

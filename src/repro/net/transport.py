@@ -92,7 +92,23 @@ class Transport:
         )
 
     def deliver_local(self, message: Message) -> None:
-        """Deliver synchronously (used for a node talking to itself)."""
+        """Deliver synchronously (used for a node talking to itself).
+
+        Local delivery still counts as a send (with its trace record):
+        the ``sent == delivered + dropped.*`` identity must survive a
+        node talking to itself.  It bypasses latency and loss — there
+        is no wire to lose the message on.
+        """
+        self.metrics.counter("transport.sent").inc()
+        self.tracer.emit(
+            self.engine.now,
+            "send",
+            msg_kind=message.kind.value,
+            src=message.src,
+            dst=message.dst,
+            file=message.file,
+            request_id=message.request_id,
+        )
         self._deliver(message)
 
     def _drop(self, message: Message, reason: str) -> None:

@@ -29,6 +29,11 @@ The default registry encodes the paper's claims:
                                dropped.dead once the engine drains
 ``snapshot-round-trips``       snapshot → restore → snapshot is the
                                identity on durable state
+``request-lifecycle-conservation`` every tracked client request is
+                               conserved (``issued == completed +
+                               inflight + dead_letter``) and, once the
+                               engine drains, terminated — no request
+                               may lose its timeout and hang forever
 =============================  ==========================================
 """
 
@@ -401,6 +406,69 @@ class SnapshotRoundTrip(Invariant):
             )
 
 
+class RequestLifecycle(Invariant):
+    """Tracked requests are conserved and always terminate.
+
+    At any instant ``request.issued == completed + inflight +
+    dead_letter``, the dead-letter queue matches the ``request.expired``
+    counter with no duplicates and no overlap with the completed set,
+    and every dead letter stayed within its attempt budget.  Once the
+    engine drains, nothing may remain inflight — a request stuck
+    without a pending timeout has lost its deadline event and will
+    never reach a defined outcome.
+    """
+
+    name = "request-lifecycle-conservation"
+
+    def check(self, ctx: AuditContext) -> None:
+        tracker = getattr(ctx.harness, "reliability", None)
+        if tracker is None:
+            return
+        metrics = ctx.system.metrics
+        issued = metrics.counter("request.issued").value
+        completed = metrics.counter("request.completed").value
+        expired = metrics.counter("request.expired").value
+        inflight = tracker.inflight_count
+        if issued != completed + inflight + expired:
+            self.fail(
+                ctx,
+                f"request.issued = {issued} but completed({completed}) + "
+                f"inflight({inflight}) + dead_letter({expired}) = "
+                f"{completed + inflight + expired}",
+            )
+        letters = tracker.dead_letters
+        if len(letters) != expired:
+            self.fail(
+                ctx,
+                f"request.expired = {expired} but the dead-letter queue "
+                f"holds {len(letters)} records",
+            )
+        ids = [letter.request_id for letter in letters]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            self.fail(ctx, f"requests dead-lettered more than once: {dupes}")
+        both = set(ids) & tracker.completed_ids
+        if both:
+            self.fail(
+                ctx,
+                f"requests both completed and dead-lettered: {sorted(both)}",
+            )
+        for letter in letters:
+            if not 1 <= len(letter.attempts) <= letter.budget:
+                self.fail(
+                    ctx,
+                    f"dead letter {letter.request_id} records "
+                    f"{len(letter.attempts)} attempts against a budget "
+                    f"of {letter.budget}",
+                )
+        if not ctx.harness.engine.pending and inflight:
+            self.fail(
+                ctx,
+                f"engine drained with {inflight} request(s) still inflight "
+                f"({sorted(tracker.inflight_ids)}) — a timeout event was lost",
+            )
+
+
 def default_invariants() -> list[Invariant]:
     """Fresh instances of the full registry (order = check order)."""
     return [
@@ -413,4 +481,5 @@ def default_invariants() -> list[Invariant]:
         MetricsReconcile(),
         TransportConservation(),
         SnapshotRoundTrip(),
+        RequestLifecycle(),
     ]

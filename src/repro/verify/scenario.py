@@ -26,10 +26,12 @@ from typing import Any
 from ..cluster.system import LessLogSystem
 from ..core.errors import ConfigurationError, FileNotFoundInSystemError
 from ..net.message import Message, MessageKind
+from ..net.reliability import RequestTracker, RetryPolicy
 from ..net.topology import ConstantLatency
 from ..net.transport import Transport
 from ..node.storage import FileOrigin
 from ..sim.engine import Engine
+from ..sim.rng import derive_seed
 from ..sim.trace import Tracer
 
 __all__ = [
@@ -42,8 +44,11 @@ __all__ = [
 
 _FORMAT_VERSION = 1
 
+#: Transport address of the client edge (matches the DES driver's).
+_CLIENT = -1
+
 #: Named fault injections the harness understands (test-only knobs).
-MUTATIONS = ("misplace-replica", "skip-update", "conflate-drops")
+MUTATIONS = ("misplace-replica", "skip-update", "conflate-drops", "drop-timeout")
 
 
 @dataclass(frozen=True)
@@ -150,9 +155,21 @@ class ScenarioHarness:
             metrics=self.system.metrics,
             tracer=self.tracer,
         )
+        self.reliability = RequestTracker(
+            self.engine,
+            metrics=self.system.metrics,
+            tracer=self.tracer,
+            seed=derive_seed(scenario.seed, "retry-jitter"),
+        )
+        self.transport.register(_CLIENT, self._client_edge)
         self.applied = 0
         self.skipped = 0
         self.last_replica_target: int | None = None
+
+    def _client_edge(self, message: Message) -> None:
+        """The client endpoint: any reply settles its tracked request."""
+        if message.kind in (MessageKind.GET_REPLY, MessageKind.GET_FAULT):
+            self.reliability.complete(message.request_id)
 
     # -- precondition probes (shared with invariants) ----------------------
 
@@ -289,6 +306,19 @@ class ScenarioHarness:
                 pass  # surfaced by the routing invariant
         return True
 
+    def _sync_endpoints(self, handler_factory) -> None:
+        """(Re-)register every live PID on the transport; drop dead ones.
+
+        ``handler_factory(pid)`` builds the message handler each live
+        node runs for the next burst — a sink for raw net probes, the
+        serving loop for reliable workloads.
+        """
+        for pid in range(1 << self.system.m):
+            if self.system.is_live(pid):
+                self.transport.register(pid, handler_factory(pid))
+            elif self.transport.is_registered(pid):
+                self.transport.unregister(pid)
+
     def _apply_net(self, event: ScenarioEvent) -> bool:
         """A burst of raw transport sends under loss, then drain.
 
@@ -298,12 +328,7 @@ class ScenarioHarness:
         """
         system, transport = self.system, self.transport
         n = 1 << system.m
-        for pid in range(n):
-            if system.is_live(pid):
-                if not transport.is_registered(pid):
-                    transport.register(pid, lambda message: None)
-            elif transport.is_registered(pid):
-                transport.unregister(pid)
+        self._sync_endpoints(lambda pid: lambda message: None)
         transport.loss_rate = float(event.params.get("loss_rate", 0.0))
         rng = random.Random(event.params.get("seed", 0))
         for _ in range(int(event.params.get("messages", 10))):
@@ -322,7 +347,80 @@ class ScenarioHarness:
             system.metrics.counter("transport.dropped.loss").inc()
         return True
 
+    def _serve_get(self, pid: int):
+        """Handler a live node runs during a reliable workload: resolve
+        the request through the system's own routing walk and reply to
+        the client over the (lossy) transport."""
+
+        def handle(message: Message) -> None:
+            if message.kind is not MessageKind.GET:
+                return
+            result = self.system.resolve(message.file, entry=pid)
+            kind = (
+                MessageKind.GET_FAULT if result is None else MessageKind.GET_REPLY
+            )
+            self.transport.send(message.reply(kind))
+
+        return handle
+
+    def _apply_reliable_workload(self, event: ScenarioEvent) -> bool:
+        """Client GETs driven through the request-reliability layer.
+
+        Each request rides the lossy transport with a per-attempt
+        deadline; on timeout it retries with backoff, re-resolving its
+        entry through ``LessLogSystem.retry_entry`` (the ``FINDLIVENODE``
+        dual) — with ``entries="all"`` some requests deliberately enter
+        at dead PIDs and must route around them.  The engine drains
+        fully, so every request ends the event completed or
+        dead-lettered; the ``request-lifecycle-conservation`` invariant
+        audits exactly that.
+        """
+        system, transport = self.system, self.transport
+        names = sorted(n for n in system.catalog if n not in system.faults)
+        live = sorted(system.membership.live_pids())
+        if not names or not live:
+            return False
+        self._sync_endpoints(self._serve_get)
+        transport.loss_rate = float(event.params.get("loss_rate", 0.0))
+        policy = RetryPolicy(
+            timeout=float(event.params.get("timeout", 0.05)),
+            max_attempts=int(event.params.get("max_attempts", 5)),
+            backoff_base=float(event.params.get("backoff", 0.01)),
+            jitter=float(event.params.get("jitter", 0.1)),
+        )
+        pool = (
+            live
+            if event.params.get("entries", "live") == "live"
+            else sorted(range(1 << system.m))
+        )
+        rng = random.Random(event.params.get("seed", 0))
+        for _ in range(int(event.params.get("requests", 8))):
+            name = rng.choice(names)
+            entry = rng.choice(pool)
+            self.reliability.issue(
+                Message(MessageKind.GET, src=_CLIENT, dst=entry, file=name),
+                send=transport.send,
+                reroute=lambda e, name=name: self.system.retry_entry(name, e),
+                policy=policy,
+            )
+        if self.scenario.mutation == "drop-timeout":
+            self._mutated_drop_timeout(policy)
+        self.engine.run()
+        return True
+
     # -- mutations (deliberate bugs, test-only) ------------------------------
+
+    def _mutated_drop_timeout(self, policy: RetryPolicy) -> None:
+        """Issue a doomed request, then lose its timeout event.
+
+        The destination is never registered, so the GET always drops as
+        ``dead``; with the deadline cancelled the request can neither
+        complete nor expire — it is stuck inflight after the engine
+        drains, which is exactly what the lifecycle invariant forbids.
+        """
+        message = Message(MessageKind.GET, src=_CLIENT, dst=-2, file="doomed")
+        self.reliability.issue(message, send=self.transport.send, policy=policy)
+        self.reliability._inflight[message.request_id].pending.cancel()
 
     def _mutated_misplace(self, name: str, source: int) -> bool:
         """Place an INSERTED-origin copy at a deterministic wrong node."""
@@ -389,8 +487,8 @@ def generate_scenario(
     events: list[ScenarioEvent] = []
 
     ops = ["insert", "get", "update", "replicate", "remove_replica",
-           "join", "leave", "fail", "workload", "net"]
-    weights = [14, 18, 10, 12, 4, 8, 6, 6, 12, 10]
+           "join", "leave", "fail", "workload", "net", "reliable_workload"]
+    weights = [14, 18, 10, 12, 4, 8, 6, 6, 12, 10, 10]
 
     def any_file() -> str | None:
         return rng.choice(names) if names else None
@@ -439,13 +537,26 @@ def generate_scenario(
             if dist == "zipf":
                 params["zipf_s"] = round(rng.uniform(0.5, 1.5), 3)
             events.append(ScenarioEvent("workload", params))
-        else:  # net
+        elif op == "net":
             events.append(
                 ScenarioEvent(
                     "net",
                     {
                         "messages": rng.randint(5, 20),
                         "loss_rate": round(rng.uniform(0.0, 0.4), 3),
+                        "seed": rng.randrange(1 << 30),
+                    },
+                )
+            )
+        else:  # reliable_workload
+            events.append(
+                ScenarioEvent(
+                    "reliable_workload",
+                    {
+                        "requests": rng.randint(4, 12),
+                        "loss_rate": round(rng.uniform(0.0, 0.3), 3),
+                        "max_attempts": rng.randint(1, 6),
+                        "entries": rng.choice(["live", "live", "all"]),
                         "seed": rng.randrange(1 << 30),
                     },
                 )

@@ -18,6 +18,12 @@ class TestParser:
         args = build_parser().parse_args(["tree", "--root", "3", "--m", "5", "--dead", "1", "2"])
         assert (args.root, args.m, args.dead) == (3, 5, [1, 2])
 
+    def test_reliability_args(self):
+        args = build_parser().parse_args(
+            ["reliability", "--m", "4", "--loss-rate", "0.3", "--retries", "6"]
+        )
+        assert (args.m, args.loss_rate, args.retries) == (4, 0.3, 6)
+
 
 class TestCommands:
     def test_experiments_lists(self, capsys):
@@ -52,3 +58,16 @@ class TestCommands:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "invariants hold." in out
+
+    def test_reliability_lossy_run_completes_with_retries(self, capsys):
+        code = main([
+            "reliability", "--m", "4", "--duration", "1", "--rate", "40",
+            "--loss-rate", "0.2", "--retries", "8", "--timeout", "1.0",
+            "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0  # every request completed: no dead letters
+        assert "issued      36" in out
+        assert "completed   36" in out
+        assert "dead-letter 0" in out
+        assert "retried" in out and "latency" in out

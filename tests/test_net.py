@@ -166,3 +166,30 @@ class TestTransport:
         transport.register(1, lambda m: received.append(m))
         transport.deliver_local(Message(MessageKind.GET, src=1, dst=1))
         assert len(received) == 1
+
+    def test_deliver_local_counts_as_sent(self):
+        # Regression: local delivery used to bypass the transport.sent
+        # counter and the "send" trace, so runs mixing self-delivery
+        # with wire sends broke sent == delivered + dropped.* and the
+        # counter/trace reconciliation.
+        engine = Engine()
+        tracer = Tracer()
+        transport = Transport(
+            engine, loss_rate=0.3, rng=random.Random(5), tracer=tracer
+        )
+        transport.register(1, lambda m: None)
+        for _ in range(20):
+            transport.deliver_local(Message(MessageKind.GET, src=1, dst=1))
+        for dst in (1, 42):
+            for _ in range(40):
+                transport.send(Message(MessageKind.GET, src=0, dst=dst))
+        engine.run()
+        counter = transport.metrics.counter
+        sent = counter("transport.sent").value
+        assert sent == 100
+        assert sent == (
+            counter("transport.delivered").value
+            + counter("transport.dropped.loss").value
+            + counter("transport.dropped.dead").value
+        )
+        assert len(tracer.of_kind("send")) == sent

@@ -123,6 +123,14 @@ class TestMutationCaught:
         violation = self._first_violation("conflate-drops")
         assert violation.invariant == "metrics-trace-reconcile"
 
+    def test_dropped_timeout_caught(self):
+        # The mutation cancels a doomed request's deadline event: it can
+        # neither complete nor expire, so once the engine drains the
+        # lifecycle invariant must see it stuck inflight.
+        violation = self._first_violation("drop-timeout")
+        assert violation.invariant == "request-lifecycle-conservation"
+        assert "timeout event was lost" in violation.message
+
 
 class TestShrinker:
     def test_shrinks_to_minimal_pair(self):
@@ -153,7 +161,7 @@ class TestShrinker:
 
     def test_repro_file_round_trip(self, tmp_path):
         scenario = generate_scenario(
-            seed=1, m=4, b=1, n_events=30, mutation="skip-update"
+            seed=0, m=4, b=1, n_events=30, mutation="skip-update"
         )
         violation = ScenarioFuzzer().run_scenario(scenario)
         assert violation is not None

@@ -13,6 +13,7 @@ from repro.verify.invariants import (
     LoadMonotonic,
     MetricsReconcile,
     PlacementInvariant,
+    RequestLifecycle,
     RoutingReachability,
     SnapshotRoundTrip,
     SubtreePartition,
@@ -204,6 +205,67 @@ class TestTransportConservation:
         h.transport.send(Message(MessageKind.GET, src=0, dst=1))
         assert h.engine.pending
         TransportConservation().check(ctx_of(h))
+
+
+class TestRequestLifecycle:
+    def _lossy_harness(self, max_attempts=6):
+        h = loaded_harness(files=2)
+        h.apply(ScenarioEvent("reliable_workload", {
+            "requests": 20, "loss_rate": 0.25,
+            "max_attempts": max_attempts, "seed": 7,
+        }))
+        return h
+
+    def test_registered_by_default(self):
+        names = [inv.name for inv in default_invariants()]
+        assert "request-lifecycle-conservation" in names
+
+    def test_passes_after_lossy_retried_workload(self):
+        h = self._lossy_harness()
+        assert h.system.metrics.counter("request.retried").value > 0
+        RequestLifecycle().check(ctx_of(h))
+
+    def test_passes_with_dead_letters_present(self):
+        h = self._lossy_harness(max_attempts=1)
+        assert h.reliability.dead_letters
+        RequestLifecycle().check(ctx_of(h))
+
+    def test_catches_counter_drift(self):
+        h = self._lossy_harness()
+        h.system.metrics.counter("request.issued").inc()
+        with pytest.raises(InvariantViolation, match="request.issued"):
+            RequestLifecycle().check(ctx_of(h))
+
+    def test_catches_dropped_timeout_event(self):
+        from repro.net.message import Message, MessageKind
+
+        h = self._lossy_harness()
+        # A request to a never-registered PID always drops "dead"; with
+        # its deadline cancelled it is stuck inflight forever.
+        message = Message(MessageKind.GET, src=-1, dst=-2, file="doomed")
+        h.reliability.issue(message, send=h.transport.send)
+        h.reliability._inflight[message.request_id].pending.cancel()
+        h.engine.run()
+        with pytest.raises(InvariantViolation, match="timeout event was lost"):
+            RequestLifecycle().check(ctx_of(h))
+
+    def test_catches_completed_and_dead_lettered_overlap(self):
+        h = self._lossy_harness(max_attempts=1)
+        letter = h.reliability.dead_letters[0]
+        h.reliability._completed_ids.add(letter.request_id)
+        # Keep issued == completed + inflight + expired balanced so the
+        # overlap clause (not conservation) is what fires.
+        h.system.metrics.counter("request.issued").inc()
+        h.system.metrics.counter("request.completed").inc()
+        with pytest.raises(
+            InvariantViolation, match="both completed and dead-lettered"
+        ):
+            RequestLifecycle().check(ctx_of(h))
+
+    def test_no_tracker_is_a_pass(self):
+        h = loaded_harness()
+        h.reliability = None
+        RequestLifecycle().check(ctx_of(h))
 
 
 class TestSnapshotRoundTrip:
