@@ -1,0 +1,78 @@
+"""Benchmark: the live asyncio runtime sustains a real request rate.
+
+Unlike the figure benchmarks this one measures the *service*, not the
+models: a live cluster over in-process streams must sustain the smoke
+ramp with sub-second tails, make autonomous replication decisions under
+load, and still replay conformant against the synchronous oracle.
+"""
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+from repro.runtime import (  # noqa: E402
+    LiveCluster,
+    LoadGenerator,
+    RuntimeClient,
+    RuntimeConfig,
+    WorkloadShape,
+    diff_states,
+    replay_oplog,
+)
+
+
+def test_runtime_ramp_tool_check_mode(tmp_path, monkeypatch):
+    """The bench tool's CI smoke passes and writes the JSON artifact."""
+    sys.path.insert(0, str(TOOLS))
+    try:
+        import bench_runtime
+    finally:
+        sys.path.remove(str(TOOLS))
+    out = tmp_path / "BENCH_runtime.json"
+    monkeypatch.setattr(bench_runtime, "OUTPUT", out)
+    assert bench_runtime.main(["--check"]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["sustained_rps"] > 0
+    assert payload["conformant"] is True
+    assert payload["latency_p50_s"] is not None
+    assert payload["latency_p99_s"] is not None
+
+
+def test_runtime_sustains_burst_with_conformant_replication():
+    """A saturating burst triggers sweeper replication; oracle agrees."""
+
+    async def run() -> None:
+        config = RuntimeConfig(
+            m=4, b=1, seed=9, capacity=25.0, service_time=0.001,
+            inflight_limit=8,
+        )
+        cluster = await LiveCluster.start(config)
+        try:
+            files = [f"hot-{i}" for i in range(4)]
+            boot = await RuntimeClient(cluster, 0).connect()
+            for name in files:
+                await boot.insert(name, name)
+            await boot.close()
+            await cluster.drain()
+            gen = LoadGenerator(
+                cluster, files, WorkloadShape(kind="zipf", s=1.5), seed=9
+            )
+            report = await gen.run_open_loop(rps=400, duration=1.0)
+            await gen.close()
+            await cluster.quiesce()
+            assert report.completed >= 0.99 * report.requests
+            assert report.timeouts == 0
+            assert cluster.replicas_created() > 0, "burst never tripped a sweeper"
+            system = replay_oplog(cluster.oplog, config, cluster.initial_live)
+            system.check_invariants()
+            conformance = diff_states(cluster, system)
+            assert conformance.ok, conformance.render()
+        finally:
+            await cluster.shutdown()
+
+    asyncio.run(run())

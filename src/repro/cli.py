@@ -14,6 +14,10 @@ Subcommands:
 * ``verify fuzz`` — randomized scenario fuzzing against the invariant
   registry, shrinking any failure to a replayable repro file.
 * ``verify replay REPRO.json`` — deterministically replay a failure.
+* ``serve`` — boot a live asyncio cluster on loopback TCP and serve
+  the wire protocol until interrupted.
+* ``loadgen`` — drive a live cluster with a seeded workload, print
+  latency percentiles, and optionally verify oracle conformance.
 """
 
 from __future__ import annotations
@@ -115,6 +119,45 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="replay a serialized failing scenario deterministically"
     )
     replay.add_argument("repro", type=Path, help="repro JSON written by fuzz")
+
+    serve = sub.add_parser(
+        "serve", help="boot a live cluster on loopback TCP and serve frames"
+    )
+    serve.add_argument("--m", type=int, default=4, help="identifier width")
+    serve.add_argument("--b", type=int, default=1, help="fault-tolerance degree")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--capacity", type=float, default=50.0,
+                       help="per-node overload threshold (requests/second)")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="seconds to serve (0 = until interrupted)")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a live cluster with a seeded GET workload"
+    )
+    loadgen.add_argument("--m", type=int, default=4, help="identifier width")
+    loadgen.add_argument("--b", type=int, default=1, help="fault-tolerance degree")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--tcp", action="store_true",
+                         help="real TCP on loopback instead of in-process streams")
+    loadgen.add_argument("--files", type=int, default=8, help="files to insert")
+    loadgen.add_argument("--workload", default="zipf",
+                         choices=["uniform", "zipf", "locality"])
+    loadgen.add_argument("--zipf-s", type=float, default=1.2,
+                         help="Zipf exponent (workload=zipf)")
+    loadgen.add_argument("--rps", type=float, default=200.0,
+                         help="open-loop target requests/second")
+    loadgen.add_argument("--duration", type=float, default=2.0,
+                         help="workload duration in seconds")
+    loadgen.add_argument("--closed-loop", type=int, default=0, metavar="CONC",
+                         help="closed loop with this concurrency instead of "
+                         "open loop (fires rps*duration requests)")
+    loadgen.add_argument("--capacity", type=float, default=50.0,
+                         help="per-node overload threshold (requests/second)")
+    loadgen.add_argument("--service-time", type=float, default=0.001,
+                         help="simulated per-GET service latency (seconds)")
+    loadgen.add_argument("--conformance", action="store_true",
+                         help="replay the oplog through the synchronous "
+                         "oracle and diff final state (exit 1 on mismatch)")
 
     return parser
 
@@ -311,6 +354,94 @@ def _cmd_verify_fuzz(
     return 1
 
 
+def _cmd_serve(m: int, b: int, seed: int, capacity: float, duration: float) -> int:
+    import asyncio
+
+    from .runtime import LiveCluster, RuntimeConfig
+
+    async def run() -> int:
+        config = RuntimeConfig(m=m, b=b, seed=seed, tcp=True, capacity=capacity)
+        cluster = await LiveCluster.start(config)
+        try:
+            print(f"serving {cluster!r}")
+            for pid, (host, port) in sorted(cluster.addresses.items()):
+                print(f"  P({pid}) -> {host}:{port}")
+            if duration > 0:
+                await asyncio.sleep(duration)
+            else:
+                print("Ctrl-C to stop.")
+                try:
+                    while True:
+                        await asyncio.sleep(3600)
+                except asyncio.CancelledError:  # pragma: no cover
+                    pass
+        finally:
+            await cluster.shutdown()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+
+
+def _cmd_loadgen(args: "argparse.Namespace") -> int:
+    import asyncio
+
+    from .runtime import (
+        LiveCluster,
+        LoadGenerator,
+        RuntimeClient,
+        RuntimeConfig,
+        WorkloadShape,
+        diff_states,
+        replay_oplog,
+    )
+
+    async def run() -> int:
+        config = RuntimeConfig(
+            m=args.m, b=args.b, seed=args.seed, tcp=args.tcp,
+            capacity=args.capacity, service_time=args.service_time,
+            inflight_limit=16,
+        )
+        cluster = await LiveCluster.start(config)
+        try:
+            files = [f"file-{i}.dat" for i in range(args.files)]
+            boot = await RuntimeClient(cluster, min(cluster.nodes)).connect()
+            for name in files:
+                await boot.insert(name, f"payload of {name}")
+            await boot.close()
+            await cluster.drain()
+            shape = WorkloadShape(kind=args.workload, s=args.zipf_s)
+            gen = LoadGenerator(cluster, files, shape, seed=args.seed)
+            if args.closed_loop > 0:
+                report = await gen.run_closed_loop(
+                    args.closed_loop, max(1, int(args.rps * args.duration))
+                )
+            else:
+                report = await gen.run_open_loop(args.rps, args.duration)
+            await gen.close()
+            await cluster.quiesce()
+            mode = "tcp" if args.tcp else "in-process streams"
+            print(f"loadgen over {mode}: m={args.m}, b={args.b}, "
+                  f"workload={args.workload}, seed={args.seed}")
+            for key, value in report.as_dict().items():
+                print(f"  {key:15} {value}")
+            print(f"  {'replicas':15} {cluster.replicas_created()}")
+            if args.conformance:
+                system = replay_oplog(cluster.oplog, config, cluster.initial_live)
+                system.check_invariants()
+                conformance = diff_states(cluster, system)
+                print(conformance.render())
+                if not conformance.ok:
+                    return 1
+            return 0
+        finally:
+            await cluster.shutdown()
+
+    return asyncio.run(run())
+
+
 def _cmd_verify_replay(repro: Path) -> int:
     from .verify import replay_file
 
@@ -348,6 +479,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_audit(args.snapshot)
     if args.command == "snapshot-demo":
         return _cmd_snapshot_demo(args.output)
+    if args.command == "serve":
+        return _cmd_serve(args.m, args.b, args.seed, args.capacity, args.duration)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "verify":
         if args.verify_command == "fuzz":
             return _cmd_verify_fuzz(

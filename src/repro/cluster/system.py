@@ -430,13 +430,17 @@ class LessLogSystem:
         overloaded: int,
         policy: ReplicationPolicy | None = None,
         forwarder_rates: dict[int, float] | None = None,
+        *,
+        rng: random.Random | None = None,
     ) -> int | None:
         """One replication step for an overloaded holder.
 
         Runs the placement policy *inside the overloaded node's
         subtree* (for ``b = 0`` that is the whole tree), copies the
         file to the chosen node, and returns its PID (``None`` if the
-        policy had no target).
+        policy had no target).  ``rng`` overrides the system stream for
+        the §3 proportional coin — the live runtime's conformance
+        replay pins it so oracle and live decisions draw identically.
         """
         self._require_live(overloaded, "replicate")
         catalog_entry = self.catalog.get(name)
@@ -461,7 +465,10 @@ class LessLogSystem:
             (view.svid_of(src) if src >= 0 and view.contains(src) else -1): rate
             for src, rate in (forwarder_rates or {}).items()
         }
-        context = PlacementContext(rng=self.rng, forwarder_rates=rates_svid)
+        context = PlacementContext(
+            rng=rng if rng is not None else self.rng,
+            forwarder_rates=rates_svid,
+        )
         target_svid = policy.choose(
             itree, view.svid_of(overloaded), sliveness, holders_svid, context
         )

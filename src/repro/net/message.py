@@ -29,6 +29,11 @@ class MessageKind(Enum):
     REGISTER_LIVE = "register_live"  # §5.1 join broadcast
     REGISTER_DEAD = "register_dead"  # §5.2/§5.3 leave/fail broadcast
     TRANSFER = "transfer"            # file migration during churn
+    ACK = "ack"                      # positive completion of a request
+    ERROR = "error"                  # negative completion (reason in payload)
+    OVERLOAD = "overload"            # admin: treat this node as overloaded
+    REMOVE = "remove"                # drop a replicated copy (GC / pruning)
+    DEMOTE = "demote"                # §5.1: inserted copy becomes a replica
 
 
 @dataclass(frozen=True)
@@ -38,6 +43,9 @@ class Message:
     ``src``/``dst`` are PIDs (``src = -1`` marks a client-originated
     request entering the overlay).  ``hops`` counts overlay forwards so
     experiments can read path lengths straight off delivered messages.
+    ``origin`` is the PID where a client request entered the overlay
+    (``-1`` until an entry node stamps it); the live runtime routes
+    replies back through it, and ``forwarded`` copies preserve it.
     """
 
     kind: MessageKind
@@ -47,6 +55,7 @@ class Message:
     payload: Any = None
     version: int = 0
     hops: int = 0
+    origin: int = -1
     request_id: int = field(default_factory=lambda: next(_msg_ids))
 
     def forwarded(self, new_src: int, new_dst: int) -> "Message":
@@ -63,6 +72,7 @@ class Message:
             payload=payload,
             version=self.version,
             hops=self.hops,
+            origin=self.origin,
             request_id=self.request_id,
         )
 

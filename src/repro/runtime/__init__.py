@@ -1,0 +1,80 @@
+"""The live asyncio runtime: LessLog served over a real wire protocol.
+
+Everything the synchronous model (:mod:`repro.cluster.system`) and the
+DES driver state about the paper's algorithms, this package *runs*:
+``2**m`` asyncio node servers exchange length-prefixed JSON frames over
+in-process streams (or real TCP on loopback), clients drive them with
+seeded workloads, and an operation-log replay through the synchronous
+oracle proves the live system lands in the identical final state.
+"""
+
+from .client import (
+    ClientError,
+    LoadGenerator,
+    LoadReport,
+    RequestOutcome,
+    RuntimeClient,
+    WorkloadShape,
+    percentile,
+)
+from .cluster import ADMIN, LiveCluster, OpRecord, PeerUnreachableError, RuntimeConfig
+from .conformance import (
+    ConformanceReport,
+    Op,
+    WorkloadSpec,
+    apply_ops,
+    diff_states,
+    generate_ops,
+    replay_oplog,
+    run_conformance,
+)
+from .node import CLIENT, NodeServer
+from .wire import (
+    MAX_FRAME,
+    WIRE_VERSION,
+    FrameError,
+    WireDecodeError,
+    WireError,
+    decode_message,
+    encode_message,
+    message_from_dict,
+    message_to_dict,
+    read_message,
+    write_message,
+)
+
+__all__ = [
+    "ADMIN",
+    "CLIENT",
+    "MAX_FRAME",
+    "WIRE_VERSION",
+    "ClientError",
+    "ConformanceReport",
+    "FrameError",
+    "LiveCluster",
+    "LoadGenerator",
+    "LoadReport",
+    "NodeServer",
+    "Op",
+    "OpRecord",
+    "PeerUnreachableError",
+    "RequestOutcome",
+    "RuntimeClient",
+    "RuntimeConfig",
+    "WireDecodeError",
+    "WireError",
+    "WorkloadShape",
+    "WorkloadSpec",
+    "apply_ops",
+    "decode_message",
+    "diff_states",
+    "encode_message",
+    "generate_ops",
+    "message_from_dict",
+    "message_to_dict",
+    "percentile",
+    "read_message",
+    "replay_oplog",
+    "run_conformance",
+    "write_message",
+]

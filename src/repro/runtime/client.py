@@ -1,0 +1,383 @@
+"""Async client and load generator for the live runtime.
+
+:class:`RuntimeClient` speaks the wire protocol to one entry node:
+requests go out as frames, a reader task resolves per-``request_id``
+futures as replies land, and every call carries an asyncio deadline
+(the live dual of the DES request-reliability layer's per-attempt
+timeout — here a timed-out request simply reports ``timed_out``).
+
+:class:`LoadGenerator` drives a whole cluster with a seeded workload:
+
+* file popularity is ``uniform``, ``zipf`` (rank ** -s), or
+  ``locality`` (a hot fraction absorbing a fixed share) — the same
+  three shapes as ``repro.workloads``;
+* entry nodes are drawn uniformly over the live set, one persistent
+  client per node;
+* **open-loop** mode fires at a target RPS on a fixed tick regardless
+  of completions (the paper's requests-per-second axis); **closed-loop**
+  mode keeps a fixed number of outstanding requests.
+
+Every completed request records its latency; the report carries p50 /
+p99 latency, achieved RPS, outcome counts, and the per-node served
+counts read back from the cluster.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import ConfigurationError
+from ..net.message import Message, MessageKind
+from .node import CLIENT
+from .wire import FrameError, WireDecodeError, read_message, write_message
+
+__all__ = [
+    "ClientError",
+    "RequestOutcome",
+    "RuntimeClient",
+    "WorkloadShape",
+    "LoadReport",
+    "LoadGenerator",
+    "percentile",
+]
+
+
+class ClientError(Exception):
+    """The cluster answered with an ERROR frame."""
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Terminal state of one client request."""
+
+    ok: bool
+    kind: str  # reply | fault | error | timeout
+    payload: Any = None
+    version: int = 0
+    server: int = -1
+    latency: float = 0.0
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by linear interpolation; 0.0 if empty."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class RuntimeClient:
+    """One wire connection into the overlay via a fixed entry node."""
+
+    def __init__(self, cluster, pid: int) -> None:
+        self.cluster = cluster
+        self.pid = pid
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._futures: dict[int, asyncio.Future] = {}
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    async def connect(self) -> "RuntimeClient":
+        self._reader, self._writer = await self.cluster.open_connection(self.pid)
+        self._task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name=f"client:{self.pid}"
+        )
+        return self
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while not self._closed:
+                try:
+                    msg = await read_message(self._reader, self.cluster.config.max_frame)
+                except WireDecodeError:
+                    continue
+                future = self._futures.pop(msg.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(msg)
+        except (EOFError, FrameError, ConnectionError, OSError):
+            pass
+
+    async def _request(self, msg: Message, timeout: float) -> RequestOutcome:
+        if self._writer is None:
+            raise ConfigurationError("client is not connected")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._futures[msg.request_id] = future
+        start = loop.time()
+        self.cluster.count_client_send(self.pid)
+        await write_message(self._writer, msg)
+        try:
+            reply = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._futures.pop(msg.request_id, None)
+            return RequestOutcome(
+                ok=False, kind="timeout", latency=loop.time() - start
+            )
+        latency = loop.time() - start
+        if reply.kind is MessageKind.GET_FAULT:
+            return RequestOutcome(ok=False, kind="fault", latency=latency)
+        if reply.kind is MessageKind.ERROR:
+            payload = reply.payload if isinstance(reply.payload, dict) else {}
+            return RequestOutcome(
+                ok=False, kind="error", payload=payload.get("reason"),
+                latency=latency,
+            )
+        payload = reply.payload if isinstance(reply.payload, dict) else {}
+        return RequestOutcome(
+            ok=True,
+            kind="reply",
+            payload=payload.get("payload", reply.payload),
+            version=reply.version,
+            server=int(payload.get("server", reply.src)),
+            latency=latency,
+        )
+
+    async def get(self, name: str, timeout: float = 5.0) -> RequestOutcome:
+        return await self._request(
+            Message(kind=MessageKind.GET, src=CLIENT, dst=self.pid, file=name),
+            timeout,
+        )
+
+    async def insert(
+        self, name: str, payload: Any = None, timeout: float = 5.0
+    ) -> RequestOutcome:
+        outcome = await self._request(
+            Message(
+                kind=MessageKind.INSERT, src=CLIENT, dst=self.pid,
+                file=name, payload=payload,
+            ),
+            timeout,
+        )
+        if outcome.kind == "error":
+            raise ClientError(str(outcome.payload))
+        return outcome
+
+    async def update(
+        self, name: str, payload: Any = None, timeout: float = 5.0
+    ) -> RequestOutcome:
+        outcome = await self._request(
+            Message(
+                kind=MessageKind.UPDATE, src=CLIENT, dst=self.pid,
+                file=name, payload=payload,
+            ),
+            timeout,
+        )
+        if outcome.kind == "error":
+            raise ClientError(str(outcome.payload))
+        return outcome
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+# -- workload shapes -----------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """Seeded file-popularity shape for the load generator.
+
+    ``uniform`` weighs every file equally; ``zipf`` weighs the rank-k
+    file ``k ** -s`` under a seeded rank shuffle; ``locality`` gives a
+    ``hot_fraction`` of the files a combined ``hot_share`` of the
+    demand — the same three shapes as ``repro.workloads`` applied to
+    files instead of entry nodes.
+    """
+
+    kind: str = "zipf"
+    s: float = 1.0
+    hot_fraction: float = 0.1
+    hot_share: float = 0.9
+
+    def weights(self, count: int, rng: random.Random) -> list[float]:
+        if count < 1:
+            raise ConfigurationError("a workload needs at least one file")
+        if self.kind == "uniform":
+            return [1.0] * count
+        order = list(range(count))
+        rng.shuffle(order)
+        weights = [0.0] * count
+        if self.kind == "zipf":
+            for rank, idx in enumerate(order, start=1):
+                weights[idx] = rank ** (-self.s)
+            return weights
+        if self.kind == "locality":
+            hot = max(1, int(round(self.hot_fraction * count)))
+            if hot >= count:
+                return [1.0] * count
+            for pos, idx in enumerate(order):
+                if pos < hot:
+                    weights[idx] = self.hot_share / hot
+                else:
+                    weights[idx] = (1.0 - self.hot_share) / (count - hot)
+            return weights
+        raise ConfigurationError(
+            f"unknown workload {self.kind!r} (expected uniform/zipf/locality)"
+        )
+
+
+@dataclass
+class LoadReport:
+    """What a load-generator run measured."""
+
+    requests: int = 0
+    completed: int = 0
+    faults: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    duration: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    served_by_node: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def p50(self) -> float:
+        return percentile(self.latencies, 0.50)
+
+    @property
+    def p99(self) -> float:
+        return percentile(self.latencies, 0.99)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "faults": self.faults,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "duration_s": round(self.duration, 6),
+            "achieved_rps": round(self.achieved_rps, 3),
+            "latency_p50_s": round(self.p50, 6),
+            "latency_p99_s": round(self.p99, 6),
+            "served_by_node": {str(k): v for k, v in self.served_by_node.items()},
+        }
+
+
+class LoadGenerator:
+    """Drive a live cluster with a seeded GET workload."""
+
+    def __init__(
+        self,
+        cluster,
+        files: list[str],
+        shape: WorkloadShape | None = None,
+        seed: int = 0,
+        timeout: float = 5.0,
+    ) -> None:
+        if not files:
+            raise ConfigurationError("the load generator needs inserted files")
+        self.cluster = cluster
+        self.files = list(files)
+        self.shape = shape if shape is not None else WorkloadShape()
+        self.rng = random.Random(seed)
+        self.timeout = timeout
+        self.weights = self.shape.weights(len(self.files), self.rng)
+        self._clients: dict[int, RuntimeClient] = {}
+        self._connect_lock = asyncio.Lock()
+
+    async def _client(self, pid: int) -> RuntimeClient:
+        client = self._clients.get(pid)
+        if client is not None:
+            return client
+        # Serialize creation: concurrent requests to the same entry node
+        # must not each open (and then leak) a connection.
+        async with self._connect_lock:
+            client = self._clients.get(pid)
+            if client is None:
+                client = await RuntimeClient(self.cluster, pid).connect()
+                self._clients[pid] = client
+            return client
+
+    def _pick(self) -> tuple[str, int]:
+        name = self.rng.choices(self.files, weights=self.weights, k=1)[0]
+        entry = self.rng.choice(sorted(self.cluster.nodes))
+        return name, entry
+
+    async def _fire(self, report: LoadReport) -> None:
+        name, entry = self._pick()
+        client = await self._client(entry)
+        report.requests += 1
+        outcome = await client.get(name, timeout=self.timeout)
+        if outcome.ok:
+            report.completed += 1
+            report.latencies.append(outcome.latency)
+        elif outcome.kind == "fault":
+            report.faults += 1
+        elif outcome.kind == "timeout":
+            report.timeouts += 1
+        else:
+            report.errors += 1
+
+    async def run_open_loop(self, rps: float, duration: float) -> LoadReport:
+        """Fire at ``rps`` for ``duration`` seconds, ignoring completions."""
+        if rps <= 0 or duration <= 0:
+            raise ConfigurationError("rps and duration must be positive")
+        loop = asyncio.get_running_loop()
+        report = LoadReport()
+        start = loop.time()
+        interval = 1.0 / rps
+        tasks: list[asyncio.Task] = []
+        next_fire = start
+        while True:
+            now = loop.time()
+            if now - start >= duration:
+                break
+            if now < next_fire:
+                await asyncio.sleep(next_fire - now)
+            next_fire += interval
+            tasks.append(loop.create_task(self._fire(report)))
+        if tasks:
+            await asyncio.gather(*tasks)
+        report.duration = loop.time() - start
+        report.served_by_node = self.cluster.served_counts()
+        return report
+
+    async def run_closed_loop(self, concurrency: int, requests: int) -> LoadReport:
+        """Keep ``concurrency`` requests outstanding until ``requests`` done."""
+        if concurrency < 1 or requests < 1:
+            raise ConfigurationError("concurrency and requests must be positive")
+        loop = asyncio.get_running_loop()
+        report = LoadReport()
+        start = loop.time()
+        remaining = requests
+
+        async def worker() -> None:
+            nonlocal remaining
+            while remaining > 0:
+                remaining -= 1
+                await self._fire(report)
+
+        await asyncio.gather(*(worker() for _ in range(min(concurrency, requests))))
+        report.duration = loop.time() - start
+        report.served_by_node = self.cluster.served_counts()
+        return report
+
+    async def close(self) -> None:
+        for client in self._clients.values():
+            await client.close()
+        self._clients.clear()

@@ -1,0 +1,625 @@
+"""`LiveCluster`: boot and operate N `NodeServer`s as one deployment.
+
+The cluster is two planes:
+
+* **Data plane** — every file operation and membership fact crosses a
+  real stream connection as a wire frame (`repro.runtime.wire`).  By
+  default connections are in-process ``socket.socketpair`` streams; with
+  ``RuntimeConfig(tcp=True)`` every node listens on a real TCP port on
+  loopback and the exact same frames flow through the kernel's stack.
+* **Coordination plane** — the cluster object itself plays the roles a
+  deployment would delegate to a tracker: it owns the authoritative §5
+  status word, the file catalog (name → target, version), and the
+  churn orchestration that computes §5's migration plans.  The plans
+  are *executed* purely as messages (TRANSFER / DEMOTE / REMOVE /
+  REGISTER_*) — node stores only ever change when a frame arrives.
+  This mirrors the DES driver's documented "oracle view" convention:
+  policies and plans may read global state, data may not teleport.
+
+Every placement-mutating decision is appended to ``oplog`` in decision
+order; ``repro.runtime.conformance`` replays that log through the
+synchronous ``LessLogSystem`` oracle and diffs final state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..baselines.lesslog_policy import LessLogPolicy
+from ..core.bits import check_id, check_width
+from ..core.errors import ConfigurationError, MembershipError, NoLiveNodeError
+from ..core.hashing import Psi
+from ..core.subtree import SubtreeView, check_b, subtree_of_pid
+from ..core.tree import LookupTree
+from ..net.message import Message, MessageKind
+from ..node.membership import StatusWord
+from ..node.storage import FileOrigin
+from .node import NodeServer, subtree_children
+from .wire import MAX_FRAME, write_message
+
+__all__ = [
+    "ADMIN",
+    "RuntimeConfig",
+    "PeerUnreachableError",
+    "OpRecord",
+    "LiveCluster",
+]
+
+ADMIN = -2
+"""``src`` of coordination-plane messages (the cluster orchestrator)."""
+
+
+class PeerUnreachableError(ConnectionError):
+    """The destination node is not accepting connections (dead/crashed)."""
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs for a live cluster."""
+
+    m: int
+    b: int = 0
+    seed: int = 0
+    tcp: bool = False
+    capacity: float = float("inf")
+    """Served requests/second beyond which a node is overloaded
+    (``inf`` disables rate-triggered replication — the conformance
+    default, so sequential replays stay deterministic)."""
+    window: float = 1.0
+    check_interval: float = 0.02
+    cooldown: float = 0.1
+    inflight_limit: int = 10**9
+    """Inbox depth at which the in-flight window counts as saturated."""
+    service_time: float = 0.0
+    """Simulated per-GET service latency (seconds); lets small bursts
+    actually queue so the load monitor has something to measure."""
+    max_frame: int = MAX_FRAME
+    drain_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        check_width(self.m)
+        check_b(self.b, self.m)
+        if self.capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.service_time < 0:
+            raise ConfigurationError("service_time must be non-negative")
+        if self.inflight_limit < 1:
+            raise ConfigurationError("inflight_limit must be at least 1")
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One placement-mutating decision, in cluster decision order."""
+
+    kind: str  # insert | update | replicate | join | leave | crash
+    name: str = ""
+    payload: Any = None
+    pid: int = -1
+    version: int = 0
+    seed: int = 0
+    target: int | None = None
+    rates: dict[int, float] | None = None
+    """Replicate only: the deciding holder's observed forwarder rates —
+    replayed verbatim so the oracle's max-traffic-child choice matches."""
+
+
+@dataclass
+class _CatalogEntry:
+    name: str
+    target: int
+    version: int
+
+
+class LiveCluster:
+    """N live LessLog nodes over streams, plus the coordination plane."""
+
+    def __init__(self, config: RuntimeConfig, live: set[int] | None = None) -> None:
+        self.config = config
+        total = 1 << config.m
+        pids = set(live) if live is not None else set(range(total))
+        if not pids:
+            raise ConfigurationError("a cluster needs at least one live node")
+        for pid in pids:
+            check_id(pid, config.m)
+        self.psi = Psi(config.m)
+        self.policy = LessLogPolicy()
+        self.word = StatusWord(config.m, pids)
+        self.nodes: dict[int, NodeServer] = {}
+        self.catalog: dict[str, _CatalogEntry] = {}
+        self.faults: list[str] = []
+        self.oplog: list[OpRecord] = []
+        self.replication_enabled = True
+        self.counters: dict[str, int] = {}
+        self.initial_live: tuple[int, ...] = tuple(sorted(pids))
+        self._pending_holders: dict[str, set[int]] = {}
+        self._trees: dict[int, LookupTree] = {}
+        self._inflight_to: dict[int, int] = {}
+        self._peer_conns: dict[tuple[int, int], asyncio.StreamWriter] = {}
+        self._servers: dict[int, asyncio.base_events.Server] = {}
+        self.addresses: dict[int, tuple[str, int]] = {}
+        self._started = False
+
+    # -- boot / teardown ----------------------------------------------------
+
+    @classmethod
+    async def start(
+        cls, config: RuntimeConfig, live: set[int] | None = None
+    ) -> "LiveCluster":
+        cluster = cls(config, live)
+        for pid in sorted(cluster.word.live_pids()):
+            await cluster._boot_node(pid)
+        cluster._started = True
+        return cluster
+
+    async def _boot_node(self, pid: int) -> None:
+        node = NodeServer(pid, self)
+        self.nodes[pid] = node
+        node.start()
+        if self.config.tcp:
+            server = await asyncio.start_server(
+                lambda r, w, _node=node: _node.attach(r, w), "127.0.0.1", 0
+            )
+            self._servers[pid] = server
+            sockname = server.sockets[0].getsockname()
+            self.addresses[pid] = (sockname[0], sockname[1])
+
+    async def shutdown(self) -> None:
+        """Stop every node and close every connection and listener."""
+        for writer in self._peer_conns.values():
+            try:
+                writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        self._peer_conns.clear()
+        for server in self._servers.values():
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        for node in list(self.nodes.values()):
+            await node.shutdown()
+        self.nodes.clear()
+
+    # -- connections --------------------------------------------------------
+
+    async def open_connection(
+        self, pid: int
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """A fresh stream to ``P(pid)`` (client side of the pair)."""
+        node = self.nodes.get(pid)
+        if node is None:
+            raise PeerUnreachableError(f"P({pid}) is not serving")
+        if self.config.tcp:
+            host, port = self.addresses[pid]
+            return await asyncio.open_connection(host, port)
+        ours, theirs = socket.socketpair()
+        ours.setblocking(False)
+        theirs.setblocking(False)
+        server_reader, server_writer = await asyncio.open_connection(sock=theirs)
+        node.attach(server_reader, server_writer)
+        return await asyncio.open_connection(sock=ours)
+
+    async def send(self, src: int, msg: Message) -> None:
+        """Deliver one frame from ``src`` (a PID or ``ADMIN``) to ``msg.dst``.
+
+        Raises :class:`PeerUnreachableError` when the destination is
+        not serving — the moment a sender discovers a §3 dead node.
+        """
+        dst = msg.dst
+        node = self.nodes.get(dst)
+        if node is None:
+            raise PeerUnreachableError(f"P({dst}) is not serving")
+        if dst == src:
+            node.deliver_local(msg)
+            return
+        writer = self._peer_conns.get((src, dst))
+        if writer is None:
+            _reader, writer = await self.open_connection(dst)
+            self._peer_conns[(src, dst)] = writer
+        self._inflight_to[dst] = self._inflight_to.get(dst, 0) + 1
+        try:
+            await write_message(writer, msg)
+        except (ConnectionError, OSError):
+            self._inflight_to[dst] = max(0, self._inflight_to.get(dst, 0) - 1)
+            self._peer_conns.pop((src, dst), None)
+            raise PeerUnreachableError(f"connection to P({dst}) failed") from None
+
+    def count_client_send(self, pid: int) -> None:
+        """In-process clients account their sends so drain() sees them."""
+        self._inflight_to[pid] = self._inflight_to.get(pid, 0) + 1
+
+    def msg_enqueued(self, pid: int) -> None:
+        self._inflight_to[pid] = max(0, self._inflight_to.get(pid, 0) - 1)
+
+    # -- quiescence ---------------------------------------------------------
+
+    def _quiet(self) -> bool:
+        if any(count > 0 for count in self._inflight_to.values()):
+            return False
+        return not any(
+            node.busy or node.inbox.qsize() > 0 for node in self.nodes.values()
+        )
+
+    async def drain(self) -> None:
+        """Wait until no message is in flight, queued, or being handled.
+
+        Sender-side accounting (``_inflight_to``) covers the window
+        between a write and the receiver's enqueue; inbox depth and the
+        per-node busy flag cover the rest.  Requires several
+        consecutive quiet checks so a handler that is about to fan out
+        cannot slip through.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        quiet = 0
+        while quiet < 3:
+            if loop.time() > deadline:
+                raise TimeoutError(
+                    f"cluster did not drain within {self.config.drain_timeout}s"
+                )
+            if self._quiet():
+                quiet += 1
+                await asyncio.sleep(0)
+            else:
+                quiet = 0
+                await asyncio.sleep(0.001)
+
+    async def quiesce(self) -> None:
+        """Disable autonomous replication, then drain: a stable snapshot."""
+        self.replication_enabled = False
+        await self.drain()
+
+    # -- small helpers ------------------------------------------------------
+
+    def tree(self, r: int) -> LookupTree:
+        tree = self._trees.get(r)
+        if tree is None:
+            tree = LookupTree(r, self.config.m)
+            self._trees[r] = tree
+        return tree
+
+    def count(self, name: str) -> None:
+        self.counters[name] = self.counters.get(name, 0) + 1
+
+    def note_decode_error(self, pid: int) -> None:
+        self.count("wire_decode_errors")
+
+    def note_handler_error(self, pid: int) -> None:
+        self.count("handler_errors")
+
+    @property
+    def n_live(self) -> int:
+        return self.word.live_count()
+
+    # -- oracle views (coordination plane; documented, like the DES's) ------
+
+    def holders(self, name: str, include_pending: bool = False) -> set[int]:
+        """Live PIDs holding a copy; optionally plus in-flight replicas.
+
+        ``include_pending`` folds in replica pushes that have been
+        decided but whose REPLICATE frame has not landed yet, so
+        concurrent placement decisions see each other in decision
+        order — the order the conformance replay uses.
+        """
+        held = {pid for pid, node in self.nodes.items() if name in node.store}
+        if include_pending:
+            held |= self._pending_holders.get(name, set())
+        return held
+
+    def note_pending_holder(self, name: str, pid: int) -> None:
+        self._pending_holders.setdefault(name, set()).add(pid)
+
+    def resolve_pending_holder(self, name: str, pid: int) -> None:
+        pending = self._pending_holders.get(name)
+        if pending is not None:
+            pending.discard(pid)
+            if not pending:
+                del self._pending_holders[name]
+
+    def placement(self) -> dict[str, dict[int, str]]:
+        """Snapshot: file → {holder PID → origin} over live stores."""
+        out: dict[str, dict[int, str]] = {}
+        for name in self.catalog:
+            out[name] = {
+                pid: node.store.get(name, count_access=False).origin.value
+                for pid, node in sorted(self.nodes.items())
+                if name in node.store
+            }
+        return out
+
+    def version_map(self) -> dict[str, int]:
+        return {name: entry.version for name, entry in self.catalog.items()}
+
+    def served_counts(self) -> dict[int, int]:
+        return {pid: node.served_total for pid, node in sorted(self.nodes.items())}
+
+    def replicas_created(self) -> int:
+        return sum(
+            1 for rec in self.oplog
+            if rec.kind == "replicate" and rec.target is not None
+        )
+
+    # -- catalog (coordination plane) ---------------------------------------
+
+    def catalog_available(self, name: str) -> bool:
+        return name not in self.catalog
+
+    def catalog_register(self, name: str, target: int, payload: Any) -> None:
+        self.catalog[name] = _CatalogEntry(name=name, target=target, version=1)
+        self.oplog.append(OpRecord(kind="insert", name=name, payload=payload))
+
+    def catalog_bump(self, name: str, payload: Any) -> int | None:
+        entry = self.catalog.get(name)
+        if entry is None:
+            return None
+        entry.version += 1
+        self.oplog.append(
+            OpRecord(kind="update", name=name, payload=payload, version=entry.version)
+        )
+        return entry.version
+
+    def record_replication(
+        self,
+        name: str,
+        holder: int,
+        seed: int,
+        target: int | None,
+        rates: dict[int, float] | None = None,
+    ) -> None:
+        self.oplog.append(
+            OpRecord(
+                kind="replicate", name=name, pid=holder, seed=seed,
+                target=target, rates=rates,
+            )
+        )
+
+    async def trigger_overload(self, pid: int, name: str, seed: int) -> None:
+        """Admin knob: tell a holder it is overloaded (conformance driver)."""
+        await self.send(
+            ADMIN,
+            Message(
+                kind=MessageKind.OVERLOAD, src=ADMIN, dst=pid, file=name,
+                payload={"seed": seed},
+            ),
+        )
+
+    # -- membership (§5) ----------------------------------------------------
+
+    async def _broadcast_register(self, kind: MessageKind, pid: int) -> None:
+        for other in sorted(self.nodes):
+            if other == pid:
+                continue
+            await self.send(
+                ADMIN,
+                Message(kind=kind, src=ADMIN, dst=other, payload={"pid": pid}),
+            )
+        await self.drain()
+
+    async def join(self, pid: int) -> list[str]:
+        """§5.1: boot ``P(pid)``, register it, migrate its files to it."""
+        check_id(pid, self.config.m)
+        if self.word.is_live(pid):
+            raise MembershipError(f"P({pid}) is already live")
+        self.word.register_live(pid)
+        await self._boot_node(pid)
+        await self._broadcast_register(MessageKind.REGISTER_LIVE, pid)
+        migrated: list[str] = []
+        for name, entry in self.catalog.items():
+            if name in self.faults:
+                continue
+            tree = self.tree(entry.target)
+            sid = subtree_of_pid(tree, pid, self.config.b)
+            view = SubtreeView(tree, self.config.b, sid)
+            new_home = view.storage_node(self.word)
+            if new_home != pid:
+                continue  # this file's placement was unaffected by the absence
+            old_home = self._inserted_holder(view, name, exclude=pid)
+            if old_home is not None:
+                copy = self.nodes[old_home].store.get(name, count_access=False)
+                await self._transfer(pid, name, copy.payload, copy.version)
+                # The previous home keeps serving as a plain replica.
+                await self.send(
+                    ADMIN,
+                    Message(kind=MessageKind.DEMOTE, src=ADMIN, dst=old_home,
+                            file=name),
+                )
+                migrated.append(name)
+                continue
+            donor = self._any_holder(name)
+            if donor is None:
+                if name not in self.faults:
+                    self.faults.append(name)
+                continue
+            copy = self.nodes[donor].store.get(name, count_access=False)
+            await self._transfer(pid, name, copy.payload, copy.version)
+            migrated.append(name)
+        await self.drain()
+        await self._gc_orphans()
+        self.oplog.append(OpRecord(kind="join", pid=pid))
+        return migrated
+
+    async def leave(self, pid: int) -> list[str]:
+        """§5.2: ``P(pid)`` leaves; its inserted files are re-inserted."""
+        if not self.word.is_live(pid) or pid not in self.nodes:
+            raise MembershipError(f"P({pid}) is not live")
+        node = self.nodes[pid]
+        inserted = [
+            (copy.name, copy.payload, copy.version)
+            for copy in node.store.inserted_files()
+        ]
+        await self._retire_node(pid)
+        await self._broadcast_register(MessageKind.REGISTER_DEAD, pid)
+        moved: list[str] = []
+        for name, payload, version in inserted:
+            entry = self.catalog.get(name)
+            if entry is None:  # pragma: no cover - defensive
+                continue
+            tree = self.tree(entry.target)
+            sid = subtree_of_pid(tree, pid, self.config.b)
+            view = SubtreeView(tree, self.config.b, sid)
+            try:
+                new_home = view.storage_node(self.word)
+            except NoLiveNodeError:
+                if not self.holders(name):
+                    self.faults.append(name)
+                continue
+            await self._transfer(new_home, name, payload, version)
+            moved.append(name)
+        await self.drain()
+        await self._gc_orphans()
+        self.oplog.append(OpRecord(kind="leave", pid=pid))
+        return moved
+
+    async def crash(self, pid: int, announce: bool = True) -> list[str]:
+        """§5.3: ``P(pid)`` dies; storage lost; recover homes from donors.
+
+        ``announce=False`` models an *undetected* failure: the node
+        stops serving but no REGISTER_DEAD circulates and no recovery
+        runs — peers discover the death through failed sends, the
+        message-level ``FINDLIVENODE`` (used by the reroute tests).
+        """
+        if not self.word.is_live(pid) or pid not in self.nodes:
+            raise MembershipError(f"P({pid}) is not live")
+        await self._retire_node(pid)
+        if not announce:
+            return []
+        await self._broadcast_register(MessageKind.REGISTER_DEAD, pid)
+        recovered: list[str] = []
+        for name, entry in self.catalog.items():
+            if name in self.faults:
+                continue
+            tree = self.tree(entry.target)
+            sid = subtree_of_pid(tree, pid, self.config.b)
+            view = SubtreeView(tree, self.config.b, sid)
+            try:
+                new_home = view.storage_node(self.word)
+            except NoLiveNodeError:
+                if not self.holders(name):
+                    self.faults.append(name)
+                continue
+            if self._inserted_holder(view, name) is not None:
+                continue  # the crashed node was not this subtree's home
+            donor = self._any_holder(name)
+            if donor is None:
+                self.faults.append(name)
+                continue
+            copy = self.nodes[donor].store.get(name, count_access=False)
+            await self._transfer(new_home, name, copy.payload, copy.version)
+            recovered.append(name)
+        await self.drain()
+        await self._gc_orphans()
+        self.oplog.append(OpRecord(kind="crash", pid=pid))
+        return recovered
+
+    async def _retire_node(self, pid: int) -> None:
+        """Take a node off the wire: no new frames can reach it."""
+        node = self.nodes.pop(pid)
+        self.word.register_dead(pid)
+        self._inflight_to[pid] = 0
+        server = self._servers.pop(pid, None)
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for key in [k for k in self._peer_conns if pid in k]:
+            writer = self._peer_conns.pop(key)
+            try:
+                writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        await node.shutdown()
+
+    async def _transfer(self, dst: int, name: str, payload: Any, version: int) -> None:
+        await self.send(
+            ADMIN,
+            Message(
+                kind=MessageKind.TRANSFER, src=ADMIN, dst=dst, file=name,
+                payload={"payload": payload}, version=version,
+            ),
+        )
+
+    # -- orphan GC (mirrors repro.cluster.churn.gc_orphan_replicas) ---------
+
+    def _reachable_holders(self, name: str) -> set[int]:
+        """Holders the top-down update broadcast can reach right now."""
+        entry = self.catalog.get(name)
+        if entry is None:
+            return set()
+        tree = self.tree(entry.target)
+        reached: set[int] = set()
+        for sid in range(1 << self.config.b):
+            view = SubtreeView(tree, self.config.b, sid)
+
+            def visit(pid: int) -> None:
+                if not self.word.is_live(pid):  # pragma: no cover - defensive
+                    return
+                node = self.nodes.get(pid)
+                if node is None or name not in node.store:
+                    return
+                reached.add(pid)
+                for child in subtree_children(view, pid, self.word):
+                    visit(child)
+
+            root = view.root_pid
+            if self.word.is_live(root):
+                visit(root)
+            else:
+                for child in subtree_children(view, root, self.word):
+                    visit(child)
+        return reached
+
+    async def _gc_orphans(self) -> list[tuple[str, int]]:
+        """Drop replicas the update broadcast can no longer reach."""
+        removed: list[tuple[str, int]] = []
+        for name in self.catalog:
+            if name in self.faults:
+                continue
+            holders = self.holders(name)
+            if not holders:
+                continue
+            reachable = self._reachable_holders(name)
+            for pid in sorted(holders - reachable):
+                copy = self.nodes[pid].store.get(name, count_access=False)
+                if copy.origin is FileOrigin.REPLICATED:
+                    await self.send(
+                        ADMIN,
+                        Message(kind=MessageKind.REMOVE, src=ADMIN, dst=pid,
+                                file=name),
+                    )
+                    removed.append((name, pid))
+        if removed:
+            await self.drain()
+        return removed
+
+    # -- churn plan helpers (mirror repro.cluster.churn) --------------------
+
+    def _inserted_holder(
+        self, view: SubtreeView, name: str, exclude: int | None = None
+    ) -> int | None:
+        for member in view.members():
+            if member == exclude or not self.word.is_live(member):
+                continue
+            node = self.nodes.get(member)
+            if node is None or name not in node.store:
+                continue
+            if node.store.get(name, count_access=False).origin is FileOrigin.INSERTED:
+                return member
+        return None
+
+    def _any_holder(self, name: str) -> int | None:
+        best: int | None = None
+        for pid in sorted(self.holders(name)):
+            origin = self.nodes[pid].store.get(name, count_access=False).origin
+            if origin is FileOrigin.INSERTED:
+                return pid
+            if best is None:
+                best = pid
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "tcp" if self.config.tcp else "streams"
+        return (
+            f"LiveCluster(m={self.config.m}, b={self.config.b}, "
+            f"live={self.n_live}, files={len(self.catalog)}, {mode})"
+        )

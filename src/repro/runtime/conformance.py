@@ -1,0 +1,290 @@
+"""Oracle conformance: the live runtime must equal the synchronous model.
+
+The live cluster records every placement-mutating decision in its
+operation log (:class:`repro.runtime.cluster.OpRecord`): inserts,
+updates (with the assigned version), replicate decisions (with the
+deciding holder, its observed forwarder rates, and the rng seed the
+policy drew from), and churn.  :func:`replay_oplog` feeds that log, in
+decision order, through the synchronous :class:`LessLogSystem` — the
+oracle — and :func:`diff_states` compares final state field by field:
+
+* **replica placement** — file → {holder PID → inserted/replicated},
+* **version map** — file → catalog version,
+* **membership** — the authoritative §5 status word, and every live
+  node's own word (broadcasts must have converged),
+* **faults** — files lost to churn.
+
+A clean diff means the asyncio service — frames, per-node tasks,
+reroutes and all — implements exactly the paper's algorithms as the
+synchronous model states them.
+
+Determinism caveat: replication decisions taken *concurrently* with an
+in-flight update can copy the pre-update version, which the sequential
+oracle cannot express.  :func:`apply_ops` therefore drains the cluster
+between operations; load *bursts* (many concurrent GETs) are fine —
+GETs do not mutate placement, and recorded rates/seeds make the
+sweeper's autonomous decisions replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cluster.system import LessLogSystem
+from ..core.errors import ConfigurationError
+from .client import RuntimeClient
+from .cluster import LiveCluster, OpRecord, RuntimeConfig
+
+__all__ = [
+    "Op",
+    "WorkloadSpec",
+    "generate_ops",
+    "apply_ops",
+    "replay_oplog",
+    "diff_states",
+    "ConformanceReport",
+    "run_conformance",
+]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One scripted operation against the live cluster."""
+
+    kind: str  # insert | get | update | overload | join | leave | crash
+    name: str = ""
+    payload: Any = None
+    pid: int = -1
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A seeded conformance scenario."""
+
+    m: int
+    b: int = 0
+    seed: int = 0
+    files: int = 6
+    ops: int = 40
+    churn: bool = True
+    min_live: int = 3
+
+    def __post_init__(self) -> None:
+        if self.files < 1 or self.ops < 0:
+            raise ConfigurationError("files must be >= 1 and ops >= 0")
+        if self.min_live < 1:
+            raise ConfigurationError("min_live must be >= 1")
+
+
+def generate_ops(spec: WorkloadSpec) -> list[Op]:
+    """A seeded op sequence: inserts first, then a mixed tail.
+
+    Tracks the live set so churn ops stay legal (join a dead PID,
+    leave/crash a live one, never below ``min_live``) and entry nodes
+    are live at issue time.
+    """
+    rng = random.Random(spec.seed)
+    total = 1 << spec.m
+    live = set(range(total))
+    names = [f"file-{spec.seed}-{i}" for i in range(spec.files)]
+    ops = [Op(kind="insert", name=name, payload=f"v1:{name}") for name in names]
+    kinds = ["get", "get", "get", "update", "overload"]
+    if spec.churn:
+        kinds += ["join", "leave", "crash"]
+    for step in range(spec.ops):
+        kind = rng.choice(kinds)
+        if kind in ("leave", "crash") and len(live) <= spec.min_live:
+            kind = "get"
+        if kind == "join" and len(live) == total:
+            kind = "get"
+        name = rng.choice(names)
+        if kind == "get":
+            ops.append(Op(kind="get", name=name))
+        elif kind == "update":
+            ops.append(Op(kind="update", name=name, payload=f"v@{step}:{name}"))
+        elif kind == "overload":
+            ops.append(Op(kind="overload", name=name, seed=rng.randrange(1 << 30)))
+        elif kind == "join":
+            pid = rng.choice(sorted(set(range(total)) - live))
+            live.add(pid)
+            ops.append(Op(kind="join", pid=pid))
+        else:  # leave | crash
+            pid = rng.choice(sorted(live))
+            live.discard(pid)
+            ops.append(Op(kind=kind, pid=pid))
+    return ops
+
+
+async def apply_ops(cluster: LiveCluster, ops: list[Op], seed: int = 0) -> None:
+    """Drive a live cluster through ``ops``, draining between each.
+
+    Client operations enter at a seeded live node over a real client
+    connection; OVERLOAD ops resolve their holder deterministically
+    (sorted holders, indexed by the op seed) and fire the admin knob.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    for op in ops:
+        if op.kind in ("insert", "get", "update"):
+            entry = rng.choice(sorted(cluster.nodes))
+            client = await RuntimeClient(cluster, entry).connect()
+            try:
+                if op.kind == "insert":
+                    await client.insert(op.name, op.payload)
+                elif op.kind == "get":
+                    await client.get(op.name)
+                else:
+                    await client.update(op.name, op.payload)
+            finally:
+                await client.close()
+            await cluster.drain()
+        elif op.kind == "overload":
+            holders = sorted(cluster.holders(op.name))
+            if not holders:
+                continue
+            holder = holders[op.seed % len(holders)]
+            await cluster.trigger_overload(holder, op.name, op.seed)
+            await cluster.drain()
+        elif op.kind == "join":
+            await cluster.join(op.pid)
+        elif op.kind == "leave":
+            await cluster.leave(op.pid)
+        elif op.kind == "crash":
+            await cluster.crash(op.pid)
+        else:  # pragma: no cover - generator never emits others
+            raise ConfigurationError(f"unknown op kind {op.kind!r}")
+    await cluster.quiesce()
+
+
+def replay_oplog(
+    oplog: list[OpRecord], config: RuntimeConfig, initial_live: tuple[int, ...]
+) -> LessLogSystem:
+    """Replay a live cluster's operation log through the oracle."""
+    system = LessLogSystem(
+        m=config.m, b=config.b, live=set(initial_live), seed=config.seed
+    )
+    for rec in oplog:
+        if rec.kind == "insert":
+            system.insert(rec.name, rec.payload)
+        elif rec.kind == "update":
+            result = system.update(rec.name, rec.payload)
+            if result.version != rec.version:
+                raise ConfigurationError(
+                    f"replay version skew on {rec.name!r}: live assigned "
+                    f"v{rec.version}, oracle v{result.version}"
+                )
+        elif rec.kind == "replicate":
+            system.replicate(
+                rec.name,
+                rec.pid,
+                forwarder_rates=rec.rates,
+                rng=random.Random(rec.seed),
+            )
+        elif rec.kind == "join":
+            system.join(rec.pid)
+        elif rec.kind == "leave":
+            system.leave(rec.pid)
+        elif rec.kind == "crash":
+            system.fail(rec.pid)
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(f"unknown oplog record {rec.kind!r}")
+    return system
+
+
+@dataclass
+class ConformanceReport:
+    """Field-by-field comparison of live cluster vs oracle."""
+
+    mismatches: list[str] = field(default_factory=list)
+    ops_replayed: int = 0
+    files: int = 0
+    replicas: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def render(self) -> str:
+        head = (
+            f"conformance: {self.ops_replayed} ops replayed, "
+            f"{self.files} files, {self.replicas} replicas created"
+        )
+        if self.ok:
+            return f"{head} -- OK"
+        lines = [f"{head} -- {len(self.mismatches)} MISMATCH(ES)"]
+        lines += [f"  - {m}" for m in self.mismatches]
+        return "\n".join(lines)
+
+
+def diff_states(cluster: LiveCluster, system: LessLogSystem) -> ConformanceReport:
+    """Compare a quiesced live cluster against a replayed oracle."""
+    report = ConformanceReport(
+        ops_replayed=len(cluster.oplog),
+        files=len(cluster.catalog),
+        replicas=cluster.replicas_created(),
+    )
+    bad = report.mismatches
+
+    live_pids = set(cluster.word.live_pids())
+    oracle_pids = set(system.membership.live_pids())
+    if live_pids != oracle_pids:
+        bad.append(
+            f"membership: live word {sorted(live_pids)} != "
+            f"oracle {sorted(oracle_pids)}"
+        )
+    for pid, node in sorted(cluster.nodes.items()):
+        node_view = set(node.word.live_pids())
+        if node_view != live_pids:
+            bad.append(
+                f"membership: P({pid})'s word {sorted(node_view)} diverges "
+                f"from authoritative {sorted(live_pids)}"
+            )
+
+    live_files = set(cluster.catalog)
+    oracle_files = set(system.catalog)
+    if live_files != oracle_files:
+        bad.append(
+            f"catalog: live {sorted(live_files)} != oracle {sorted(oracle_files)}"
+        )
+
+    live_versions = cluster.version_map()
+    oracle_versions = {n: e.version for n, e in system.catalog.items()}
+    for name in sorted(live_files & oracle_files):
+        if live_versions[name] != oracle_versions[name]:
+            bad.append(
+                f"version: {name!r} live v{live_versions[name]} != "
+                f"oracle v{oracle_versions[name]}"
+            )
+
+    live_placement = cluster.placement()
+    for name in sorted(live_files & oracle_files):
+        oracle_holders = {
+            pid: system.stores[pid].get(name, count_access=False).origin.value
+            for pid in system.holders_of(name)
+        }
+        if live_placement.get(name, {}) != oracle_holders:
+            bad.append(
+                f"placement: {name!r} live {live_placement.get(name, {})} != "
+                f"oracle {oracle_holders}"
+            )
+
+    if sorted(cluster.faults) != sorted(system.faults):
+        bad.append(
+            f"faults: live {sorted(cluster.faults)} != oracle {sorted(system.faults)}"
+        )
+    return report
+
+
+async def run_conformance(spec: WorkloadSpec) -> ConformanceReport:
+    """End to end: generate, run live, replay through the oracle, diff."""
+    config = RuntimeConfig(m=spec.m, b=spec.b, seed=spec.seed)
+    cluster = await LiveCluster.start(config)
+    try:
+        await apply_ops(cluster, generate_ops(spec), seed=spec.seed)
+        system = replay_oplog(cluster.oplog, config, cluster.initial_live)
+        system.check_invariants()
+        return diff_states(cluster, system)
+    finally:
+        await cluster.shutdown()

@@ -1,0 +1,642 @@
+"""`NodeServer`: one live LessLog node as an asyncio service.
+
+Each node is a single consumer task draining an inbox of decoded
+frames, plus one housekeeping task (the load monitor / overload
+sweeper) and one reader task per open connection.  The consumer never
+blocks on a reply — multi-message flows (an INSERT fanning out to its
+``2**b`` homes, a GET climbing the lookup tree) park their state in a
+pending table keyed by ``request_id`` and resume when the matching
+ACK / GET_REPLY frame arrives.  That keeps every node deadlock-free by
+construction: a node can always make progress on its inbox.
+
+The node serves the paper's four flows with the *existing core
+algebra* — the same calls `LessLogSystem` makes, just spread across
+messages:
+
+* **GET** (§2.2/§3/§4) climbs ``first_alive_ancestor`` within the
+  entry's subtree, migrating across the remaining ``2**b - 1``
+  subtrees on a fault; the serving node replies toward the request's
+  ``origin`` node, which relays to the client connection.
+* **INSERT** (§3/§4) computes one storage node per subtree and fans
+  out, acking the client once every home confirmed.
+* **UPDATE** (§2.2) broadcasts top-down from each subtree root
+  (bypassing a dead root to its children list); holders re-broadcast,
+  non-holders discard.
+* **REPLICATE** (§2.2/§3) runs the placement policy inside the
+  overloaded node's subtree via the §4 identity reduction — the exact
+  computation ``LessLogSystem.replicate`` performs — and pushes the
+  copy to the chosen node.
+
+Dead peers are discovered the §3 way: a failed send marks the peer
+dead in this node's own status word and the routing step recomputes —
+the message-level ``FINDLIVENODE``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+from ..baselines.base import PlacementContext
+from ..core.errors import NoLiveNodeError
+from ..core.routing import first_alive_ancestor, storage_node
+from ..core.subtree import (
+    SubtreeView,
+    SvidLiveness,
+    identity_tree,
+    subtree_of_pid,
+)
+from ..net.message import Message, MessageKind
+from ..node.loadmon import LoadMonitor
+from ..node.storage import FileOrigin, FileStore
+from .wire import FrameError, WireDecodeError, read_message, write_message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import LiveCluster
+
+__all__ = ["CLIENT", "NodeServer", "subtree_children"]
+
+CLIENT = -1
+"""``src`` of a request arriving straight from a client connection."""
+
+
+def subtree_children(view: SubtreeView, pid: int, word) -> list[int]:
+    """Advanced children list of ``pid`` within its subtree.
+
+    The same reduction ``LessLogSystem._subtree_children_list`` runs:
+    identity-map the subtree to a standalone tree, take the §3 children
+    list there, map back to PIDs.
+    """
+    from ..core.children import advanced_children_list
+
+    itree = identity_tree(view)
+    sliveness = SvidLiveness(view, word)
+    svid = view.tree.vid_of(pid) >> view.b
+    return [
+        view.pid_of_svid(s)
+        for s in advanced_children_list(itree, svid, sliveness)
+    ]
+
+
+@dataclass(eq=False)
+class _Connection:
+    """One open stream (client or peer) attached to this node."""
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    closed: bool = False
+
+    async def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+@dataclass
+class _PendingGet:
+    """A client GET this node entered into the overlay, awaiting a reply."""
+
+    conn: _Connection
+
+
+@dataclass
+class _PendingInsert:
+    """A client INSERT awaiting ACKs from its remote homes."""
+
+    conn: _Connection
+    awaiting: int
+    reply: Message
+
+
+class NodeServer:
+    """One live node: storage, membership view, and the four flows."""
+
+    def __init__(self, pid: int, cluster: "LiveCluster") -> None:
+        self.pid = pid
+        self.cluster = cluster
+        config = cluster.config
+        self.m = config.m
+        self.b = config.b
+        self.word = cluster.word.copy()
+        self.store = FileStore()
+        self.monitor = LoadMonitor(capacity=1.0, window=config.window)
+        self.inbox: asyncio.Queue[tuple[Message, _Connection | None]] = asyncio.Queue()
+        self.pending: dict[int, _PendingGet | _PendingInsert] = {}
+        self.busy = False
+        self.served_total = 0
+        self.decode_errors = 0
+        self.last_replication = -float("inf")
+        self._decision_count = 0
+        self._conns: set[_Connection] = set()
+        self._tasks: list[asyncio.Task] = []
+        self._running = True
+
+    def start(self) -> None:
+        """Spawn the consumer and sweeper tasks."""
+        loop = asyncio.get_running_loop()
+        self._tasks.append(loop.create_task(self._consume(), name=f"node:{self.pid}"))
+        self._tasks.append(loop.create_task(self._sweep(), name=f"sweep:{self.pid}"))
+
+    # -- connection plumbing ------------------------------------------------
+
+    def attach(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """Adopt an accepted stream: spawn its frame-reader task."""
+        conn = _Connection(reader, writer)
+        self._conns.add(conn)
+        task = asyncio.get_running_loop().create_task(
+            self._read_loop(conn), name=f"read:{self.pid}"
+        )
+        self._tasks.append(task)
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        try:
+            while self._running:
+                try:
+                    msg = await read_message(conn.reader, self.cluster.config.max_frame)
+                except WireDecodeError:
+                    # A well-framed but malformed body: count it and
+                    # keep the connection — framing is still aligned.
+                    self.decode_errors += 1
+                    self.cluster.note_decode_error(self.pid)
+                    continue
+                await self.inbox.put((msg, conn))
+                self.cluster.msg_enqueued(self.pid)
+        except (EOFError, FrameError, ConnectionError, OSError):
+            pass
+        finally:
+            self._conns.discard(conn)
+            await conn.close()
+
+    def deliver_local(self, msg: Message) -> None:
+        """Enqueue a message this node addressed to itself."""
+        self.inbox.put_nowait((msg, None))
+
+    async def _write_client(self, conn: _Connection, msg: Message) -> None:
+        """Best-effort reply to a client connection."""
+        if conn.closed:
+            return
+        try:
+            await write_message(conn.writer, msg)
+        except (ConnectionError, OSError):
+            await conn.close()
+
+    async def _send(self, msg: Message) -> bool:
+        """Send toward a peer; a dead peer is marked in our own word.
+
+        Returning ``False`` is the §3 fault-discovery moment: the
+        caller recomputes its routing step against the updated word.
+        """
+        from .cluster import PeerUnreachableError
+
+        try:
+            await self.cluster.send(self.pid, msg)
+            return True
+        except PeerUnreachableError:
+            if 0 <= msg.dst < (1 << self.m) and msg.dst != self.pid:
+                self.word.register_dead(msg.dst)
+            return False
+
+    # -- main loop ----------------------------------------------------------
+
+    async def _consume(self) -> None:
+        while self._running:
+            msg, conn = await self.inbox.get()
+            self.busy = True
+            try:
+                await self._dispatch(msg, conn)
+            except asyncio.CancelledError:  # pragma: no cover
+                raise
+            except Exception:  # pragma: no cover - defensive
+                self.cluster.note_handler_error(self.pid)
+            finally:
+                self.busy = False
+                self.inbox.task_done()
+
+    async def _dispatch(self, msg: Message, conn: _Connection | None) -> None:
+        kind = msg.kind
+        if kind is MessageKind.GET:
+            await self._handle_get(msg, conn)
+        elif kind in (MessageKind.GET_REPLY, MessageKind.GET_FAULT,
+                      MessageKind.ERROR):
+            await self._handle_reply(msg)
+        elif kind is MessageKind.ACK:
+            await self._handle_ack(msg)
+        elif kind is MessageKind.INSERT:
+            await self._handle_insert(msg, conn)
+        elif kind is MessageKind.UPDATE:
+            await self._handle_update(msg, conn)
+        elif kind is MessageKind.REPLICATE:
+            self._handle_replicate(msg)
+        elif kind is MessageKind.OVERLOAD:
+            payload = msg.payload if isinstance(msg.payload, dict) else {}
+            await self._replicate_decision(msg.file, seed=payload.get("seed"))
+        elif kind is MessageKind.TRANSFER:
+            self._handle_transfer(msg)
+        elif kind is MessageKind.DEMOTE:
+            if msg.file in self.store:
+                self.store.get(msg.file, count_access=False).origin = (
+                    FileOrigin.REPLICATED
+                )
+        elif kind is MessageKind.REMOVE:
+            self.store.discard(msg.file)
+        elif kind is MessageKind.REGISTER_LIVE:
+            self.word.register_live(int(msg.payload["pid"]))
+        elif kind is MessageKind.REGISTER_DEAD:
+            self.word.register_dead(int(msg.payload["pid"]))
+
+    # -- GET ----------------------------------------------------------------
+
+    async def _handle_get(self, msg: Message, conn: _Connection | None) -> None:
+        if msg.src == CLIENT:
+            # Entry node: stamp the origin and remember the client.
+            msg = replace(msg, origin=self.pid)
+            if conn is not None:
+                self.pending[msg.request_id] = _PendingGet(conn)
+        if msg.file in self.store:
+            await self._serve(msg)
+            return
+        if self.b == 0:
+            await self._forward_whole_tree(msg)
+        else:
+            await self._forward_within_subtree(msg)
+
+    async def _serve(self, msg: Message) -> None:
+        service_time = self.cluster.config.service_time
+        if service_time > 0:
+            await asyncio.sleep(service_time)
+        copy = self.store.get(msg.file)
+        now = asyncio.get_running_loop().time()
+        self.monitor.record_served(msg.file, msg.src, now)
+        self.served_total += 1
+        reply = replace(
+            msg.reply(
+                MessageKind.GET_REPLY,
+                payload={"payload": copy.payload, "server": self.pid},
+            ),
+            version=copy.version,
+            dst=msg.origin,
+        )
+        await self._finish(msg, reply)
+
+    async def _fault(self, msg: Message) -> None:
+        self.cluster.count("get_faults")
+        await self._finish(
+            msg, replace(msg.reply(MessageKind.GET_FAULT), dst=msg.origin)
+        )
+
+    async def _finish(self, request: Message, reply: Message) -> None:
+        """Route a terminal reply: direct to our client, or via origin."""
+        if request.origin == self.pid:
+            pend = self.pending.pop(request.request_id, None)
+            if isinstance(pend, _PendingGet):
+                await self._write_client(pend.conn, replace(reply, dst=CLIENT))
+            return
+        await self._send(reply)  # a dead origin drops the reply: client times out
+
+    async def _handle_reply(self, msg: Message) -> None:
+        pend = self.pending.pop(msg.request_id, None)
+        if isinstance(pend, _PendingGet):
+            await self._write_client(pend.conn, replace(msg, dst=CLIENT))
+        elif isinstance(pend, _PendingInsert):  # pragma: no cover - defensive
+            await self._write_client(pend.conn, replace(msg, dst=CLIENT))
+
+    async def _forward_whole_tree(self, msg: Message) -> None:
+        """§3 routing on the full tree, rerouting around dead peers."""
+        tree = self.cluster.tree(self.cluster.psi(msg.file))
+        while True:
+            nxt = first_alive_ancestor(tree, self.pid, self.word)
+            if nxt is None:
+                try:
+                    home = storage_node(tree, self.word)
+                except NoLiveNodeError:  # pragma: no cover - we are live
+                    await self._fault(msg)
+                    return
+                if home == self.pid:
+                    await self._fault(msg)
+                    return
+                if await self._send(msg.forwarded(self.pid, home)):
+                    return
+                continue
+            if await self._send(msg.forwarded(self.pid, nxt)):
+                return
+
+    async def _forward_within_subtree(self, msg: Message) -> None:
+        """§4 routing: stay inside the subtree, migrate on a fault.
+
+        The payload carries the subtree identifiers left to try
+        (``None`` on first entry from a client), exactly like the DES
+        driver.  Any failed send marks the peer dead and re-runs the
+        whole decision against the updated word.
+        """
+        tree = self.cluster.tree(self.cluster.psi(msg.file))
+        count = 1 << self.b
+        while True:
+            remaining = msg.payload
+            if remaining is None:
+                own = subtree_of_pid(tree, self.pid, self.b)
+                remaining = [(own + off) % count for off in range(count)]
+            remaining = [int(s) for s in remaining]
+            sid = remaining[0]
+            view = SubtreeView(tree, self.b, sid)
+            msg = replace(msg, payload=remaining)
+            if view.contains(self.pid):
+                nxt = view.first_alive_ancestor(self.pid, self.word)
+                if nxt is not None:
+                    if await self._send(msg.forwarded(self.pid, nxt)):
+                        return
+                    continue
+                try:
+                    home = view.storage_node(self.word)
+                except NoLiveNodeError:
+                    home = self.pid  # empty subtree: fall through to migrate
+                if home != self.pid:
+                    if await self._send(msg.forwarded(self.pid, home)):
+                        return
+                    continue
+            # Fault here: migrate by changing the identifier (§4).
+            send_failed = False
+            for offset, next_sid in enumerate(remaining[1:], start=1):
+                next_view = SubtreeView(tree, self.b, next_sid)
+                try:
+                    target = next_view.storage_node(self.word)
+                except NoLiveNodeError:
+                    continue
+                self.cluster.count("migrations")
+                hop = replace(msg, payload=remaining[offset:])
+                if await self._send(hop.forwarded(self.pid, target)):
+                    return
+                send_failed = True
+                break
+            if send_failed:
+                continue
+            await self._fault(msg)
+            return
+
+    # -- INSERT -------------------------------------------------------------
+
+    async def _handle_insert(self, msg: Message, conn: _Connection | None) -> None:
+        if msg.src != CLIENT:
+            # A home receiving its copy: store and confirm to the origin.
+            self.store.store(
+                msg.file, msg.payload, msg.version, FileOrigin.INSERTED,
+                now=asyncio.get_running_loop().time(),
+            )
+            await self._send(
+                Message(
+                    kind=MessageKind.ACK,
+                    src=self.pid,
+                    dst=msg.origin,
+                    file=msg.file,
+                    version=msg.version,
+                    origin=msg.origin,
+                    request_id=msg.request_id,
+                )
+            )
+            return
+        # Entry node: the client-facing ADVANCEDINSERTFILE (§3/§4).
+        name = msg.file
+        r = self.cluster.psi(name)
+        tree = self.cluster.tree(r)
+        if not self.cluster.catalog_available(name):
+            await self._client_error(msg, conn, f"file {name!r} already inserted")
+            return
+        homes: list[int] = []
+        for sid in range(1 << self.b):
+            view = SubtreeView(tree, self.b, sid)
+            try:
+                homes.append(view.storage_node(self.word))
+            except NoLiveNodeError:  # empty subtree: degree degrades (§4)
+                continue
+        if not homes:
+            await self._client_error(msg, conn, f"no live storage node for {name!r}")
+            return
+        self.cluster.catalog_register(name, r, msg.payload)
+        reply = replace(
+            msg.reply(
+                MessageKind.ACK,
+                payload={"homes": homes, "target": r},
+            ),
+            version=1,
+            dst=CLIENT,
+        )
+        remote = [h for h in homes if h != self.pid]
+        if self.pid in homes:
+            self.store.store(
+                name, msg.payload, 1, FileOrigin.INSERTED,
+                now=asyncio.get_running_loop().time(),
+            )
+        stamped = replace(msg, origin=self.pid, version=1)
+        for home in remote:
+            await self._send(stamped.forwarded(self.pid, home))
+        if not remote:
+            if conn is not None:
+                await self._write_client(conn, reply)
+            return
+        if conn is not None:
+            self.pending[msg.request_id] = _PendingInsert(conn, len(remote), reply)
+
+    async def _handle_ack(self, msg: Message) -> None:
+        pend = self.pending.get(msg.request_id)
+        if not isinstance(pend, _PendingInsert):
+            return
+        pend.awaiting -= 1
+        if pend.awaiting <= 0:
+            del self.pending[msg.request_id]
+            await self._write_client(pend.conn, pend.reply)
+
+    async def _client_error(
+        self, msg: Message, conn: _Connection | None, reason: str
+    ) -> None:
+        self.cluster.count("client_errors")
+        if conn is not None:
+            await self._write_client(
+                conn,
+                replace(msg.reply(MessageKind.ERROR, payload={"reason": reason}),
+                        dst=CLIENT),
+            )
+
+    # -- UPDATE -------------------------------------------------------------
+
+    async def _handle_update(self, msg: Message, conn: _Connection | None) -> None:
+        if msg.src != CLIENT:
+            # §2.2 top-down broadcast step: refresh + re-broadcast, or discard.
+            if msg.file not in self.store:
+                self.cluster.count("update_discards")
+                return
+            self.store.update(msg.file, msg.payload, msg.version)
+            tree = self.cluster.tree(self.cluster.psi(msg.file))
+            sid = subtree_of_pid(tree, self.pid, self.b)
+            view = SubtreeView(tree, self.b, sid)
+            for child in subtree_children(view, self.pid, self.word):
+                await self._send(msg.forwarded(self.pid, child))
+            return
+        # Entry node: assign the next version, start at each subtree root.
+        name = msg.file
+        version = self.cluster.catalog_bump(name, msg.payload)
+        if version is None:
+            await self._client_error(msg, conn, f"file {name!r} not inserted")
+            return
+        tree = self.cluster.tree(self.cluster.psi(name))
+        stamped = replace(msg, origin=self.pid, version=version)
+        for sid in range(1 << self.b):
+            view = SubtreeView(tree, self.b, sid)
+            root = view.root_pid
+            if self.word.is_live(root):
+                targets = [root]
+            else:
+                # §3: bypass a dead root to its children list.
+                targets = subtree_children(view, root, self.word)
+            for target in targets:
+                hop = stamped.forwarded(self.pid, target)
+                if target == self.pid:
+                    self.deliver_local(replace(hop, src=self.pid))
+                else:
+                    await self._send(hop)
+        if conn is not None:
+            await self._write_client(
+                conn,
+                replace(msg.reply(MessageKind.ACK, payload={}), version=version,
+                        dst=CLIENT),
+            )
+
+    # -- REPLICATE ----------------------------------------------------------
+
+    def _handle_replicate(self, msg: Message) -> None:
+        payload = msg.payload if isinstance(msg.payload, dict) else {}
+        self.store.store(
+            msg.file, payload.get("payload"), msg.version,
+            FileOrigin.REPLICATED, now=asyncio.get_running_loop().time(),
+        )
+        self.cluster.resolve_pending_holder(msg.file, self.pid)
+
+    def _handle_transfer(self, msg: Message) -> None:
+        """§5 churn migration: adopt an original copy as its new home."""
+        payload = msg.payload if isinstance(msg.payload, dict) else {}
+        self.store.store(
+            msg.file, payload.get("payload"), msg.version,
+            FileOrigin.INSERTED, now=asyncio.get_running_loop().time(),
+        )
+
+    async def _replicate_decision(self, name: str, seed: int | None = None) -> int | None:
+        """One placement decision for this (overloaded) holder.
+
+        The same computation as ``LessLogSystem.replicate``: reduce to
+        the holder's subtree, run the policy over the live view and the
+        holder set, push the copy to the chosen node.  The decision —
+        including a ``None`` outcome — is recorded in the cluster's
+        operation log with the rng seed used, so the conformance replay
+        can re-run it through the synchronous oracle.
+        """
+        if name not in self.store:
+            return None
+        if seed is None:
+            seed = self._derived_seed()
+        self._decision_count += 1
+        cluster = self.cluster
+        tree = cluster.tree(cluster.psi(name))
+        sid = subtree_of_pid(tree, self.pid, self.b)
+        view = SubtreeView(tree, self.b, sid)
+        itree = identity_tree(view)
+        sliveness = SvidLiveness(view, self.word)
+        holders = cluster.holders(name, include_pending=True)
+        holders_svid = {
+            view.svid_of(pid) for pid in holders if view.contains(pid)
+        }
+        now = asyncio.get_running_loop().time()
+        rates = dict(self.monitor.source_rates(name, now))
+        rates_svid = {
+            (view.svid_of(src) if src >= 0 and view.contains(src) else -1): rate
+            for src, rate in rates.items()
+        }
+        context = PlacementContext(
+            rng=random.Random(seed), forwarder_rates=rates_svid
+        )
+        target_svid = cluster.policy.choose(
+            itree, view.svid_of(self.pid), sliveness, holders_svid, context
+        )
+        target = None if target_svid is None else view.pid_of_svid(target_svid)
+        cluster.record_replication(name, self.pid, seed, target, rates)
+        if target is None:
+            return None
+        copy = self.store.get(name, count_access=False)
+        cluster.note_pending_holder(name, target)
+        sent = await self._send(
+            Message(
+                kind=MessageKind.REPLICATE,
+                src=self.pid,
+                dst=target,
+                file=name,
+                payload={"payload": copy.payload},
+                version=copy.version,
+            )
+        )
+        if not sent:  # pragma: no cover - target died this instant
+            cluster.resolve_pending_holder(name, target)
+        return target
+
+    # -- overload sweeper ---------------------------------------------------
+
+    async def _sweep(self) -> None:
+        """The per-node load monitor: replicate away sustained pressure.
+
+        Overload is either a saturated in-flight window (inbox depth at
+        or beyond ``inflight_limit``) or a served rate above
+        ``capacity`` — the paper's requests-per-second threshold.  The
+        replica goes toward the max-traffic child subtree by the
+        logless argument: the policy's children-list choice.
+        """
+        config = self.cluster.config
+        while self._running:
+            await asyncio.sleep(config.check_interval)
+            if not self.cluster.replication_enabled:
+                continue
+            now = asyncio.get_running_loop().time()
+            rate = self.monitor.total_rate(now)
+            saturated = self.inbox.qsize() >= config.inflight_limit
+            if not saturated and rate <= config.capacity:
+                continue
+            if now - self.last_replication < config.cooldown:
+                continue
+            name = self.monitor.hottest_file(now)
+            if name is None or name not in self.store:
+                continue
+            self.last_replication = now
+            await self._replicate_decision(name)
+
+    def _derived_seed(self) -> int:
+        """Deterministic per-decision rng seed (pid- and count-keyed)."""
+        return (
+            self.cluster.config.seed * 1_000_003
+            + self.pid * 8_191
+            + self._decision_count
+        ) & 0x7FFFFFFF
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def shutdown(self) -> None:
+        """Stop serving: cancel tasks, close every connection."""
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._tasks.clear()
+        for conn in list(self._conns):
+            await conn.close()
+        self._conns.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NodeServer(pid={self.pid}, files={len(self.store)}, "
+            f"served={self.served_total})"
+        )

@@ -1,0 +1,230 @@
+"""Wire protocol: length-prefixed JSON frames carrying ``Message``.
+
+Every byte that crosses a connection in the live runtime — in-process
+socketpair streams and real TCP alike — is one *frame*:
+
+    +--------+---------+----------+------------------+
+    | magic  | version | reserved | body length (u32)|   8-byte header
+    | 2 B    | 1 B     | 1 B      | big-endian       |
+    +--------+---------+----------+------------------+
+    | body: UTF-8 JSON object (one Message)          |
+    +------------------------------------------------+
+
+The body is the JSON encoding of :class:`repro.net.message.Message`.
+Payloads must be JSON values; ``bytes`` are carried via a tagged
+``{"__b64__": ...}`` wrapper and tuples become lists (the only lossy
+conversion — documented, and irrelevant to the runtime, which uses
+dict payloads).
+
+Decoding is hardened: bad magic, unknown wire version, oversized or
+truncated frames, malformed JSON, non-object bodies, unknown message
+kinds, and wrongly-typed fields each raise a precise error rather than
+crashing a server task.  :class:`FrameError` covers the framing layer
+(the connection is unusable afterwards — resynchronisation is not
+attempted); :class:`WireDecodeError` covers a syntactically valid
+frame with a bad body (the connection may continue).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import struct
+from asyncio import IncompleteReadError, StreamReader, StreamWriter
+from typing import Any
+
+from ..net.message import Message, MessageKind
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME",
+    "WireError",
+    "FrameError",
+    "WireDecodeError",
+    "message_to_dict",
+    "message_from_dict",
+    "encode_message",
+    "decode_message",
+    "read_message",
+    "write_message",
+]
+
+MAGIC = b"LL"
+WIRE_VERSION = 1
+HEADER = struct.Struct(">2sBBI")
+MAX_FRAME = 1 << 20
+"""Default ceiling on body size (1 MiB): a decode-bomb guard."""
+
+
+class WireError(Exception):
+    """Base class for everything the wire layer can reject."""
+
+
+class FrameError(WireError):
+    """Framing-level violation: the byte stream itself is broken."""
+
+
+class WireDecodeError(WireError):
+    """A well-framed body that does not decode to a valid Message."""
+
+
+# -- payload codec -------------------------------------------------------
+
+def _encode_payload(value: Any) -> Any:
+    """JSON-safe transform: bytes → tagged base64, tuples → lists."""
+    if isinstance(value, bytes):
+        return {"__b64__": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, (list, tuple)):
+        return [_encode_payload(v) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, val in value.items():
+            if not isinstance(key, str):
+                raise WireDecodeError(
+                    f"payload object keys must be strings, got {key!r}"
+                )
+            out[key] = _encode_payload(val)
+        return out
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise WireDecodeError(f"payload of type {type(value).__name__} is not wire-safe")
+
+
+def _decode_payload(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__b64__"}:
+            tag = value["__b64__"]
+            if not isinstance(tag, str):
+                raise WireDecodeError("__b64__ tag must be a string")
+            try:
+                return base64.b64decode(tag.encode("ascii"), validate=True)
+            except (binascii.Error, ValueError) as exc:
+                raise WireDecodeError(f"bad base64 payload: {exc}") from None
+        return {k: _decode_payload(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_payload(v) for v in value]
+    return value
+
+
+# -- message <-> dict ----------------------------------------------------
+
+_INT_FIELDS = ("src", "dst", "version", "hops", "origin", "request_id")
+
+
+def message_to_dict(msg: Message) -> dict[str, Any]:
+    """The JSON-object form of one message."""
+    return {
+        "kind": msg.kind.value,
+        "src": msg.src,
+        "dst": msg.dst,
+        "file": msg.file,
+        "payload": _encode_payload(msg.payload),
+        "version": msg.version,
+        "hops": msg.hops,
+        "origin": msg.origin,
+        "request_id": msg.request_id,
+    }
+
+
+def message_from_dict(data: Any) -> Message:
+    """Validate and rebuild a message from its JSON-object form."""
+    if not isinstance(data, dict):
+        raise WireDecodeError(
+            f"frame body must be a JSON object, got {type(data).__name__}"
+        )
+    try:
+        kind = MessageKind(data["kind"])
+    except KeyError:
+        raise WireDecodeError("frame body missing 'kind'") from None
+    except ValueError:
+        raise WireDecodeError(f"unknown message kind {data['kind']!r}") from None
+    fields: dict[str, Any] = {"kind": kind}
+    for name in _INT_FIELDS:
+        value = data.get(name, 0 if name not in ("origin",) else -1)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise WireDecodeError(f"field {name!r} must be an integer, got {value!r}")
+        fields[name] = value
+    file = data.get("file", "")
+    if not isinstance(file, str):
+        raise WireDecodeError(f"field 'file' must be a string, got {file!r}")
+    fields["file"] = file
+    fields["payload"] = _decode_payload(data.get("payload"))
+    if "src" not in data or "dst" not in data:
+        raise WireDecodeError("frame body missing 'src'/'dst'")
+    return Message(**fields)
+
+
+# -- frame codec ---------------------------------------------------------
+
+def encode_message(msg: Message) -> bytes:
+    """One complete frame (header + body) for ``msg``."""
+    try:
+        body = json.dumps(
+            message_to_dict(msg), separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireDecodeError(f"message is not wire-encodable: {exc}") from None
+    if len(body) > MAX_FRAME:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME}")
+    return HEADER.pack(MAGIC, WIRE_VERSION, 0, len(body)) + body
+
+
+def _check_header(header: bytes, max_frame: int) -> int:
+    """Validate an 8-byte header; return the body length."""
+    magic, version, _reserved, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if version != WIRE_VERSION:
+        raise FrameError(f"unsupported wire version {version}")
+    if length > max_frame:
+        raise FrameError(f"frame body of {length} bytes exceeds {max_frame}")
+    return length
+
+
+def decode_message(frame: bytes, max_frame: int = MAX_FRAME) -> Message:
+    """Decode one complete frame from a byte string."""
+    if len(frame) < HEADER.size:
+        raise FrameError(f"truncated header: {len(frame)} bytes")
+    length = _check_header(frame[: HEADER.size], max_frame)
+    body = frame[HEADER.size:]
+    if len(body) != length:
+        raise FrameError(f"body length {len(body)} does not match header {length}")
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireDecodeError(f"malformed frame body: {exc}") from None
+    return message_from_dict(data)
+
+
+# -- stream I/O ----------------------------------------------------------
+
+async def read_message(reader: StreamReader, max_frame: int = MAX_FRAME) -> Message:
+    """Read exactly one message off a stream.
+
+    Raises :class:`EOFError` on a clean end-of-stream at a frame
+    boundary, :class:`FrameError` on mid-frame truncation or a broken
+    header, :class:`WireDecodeError` on a bad body.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("connection closed") from None
+        raise FrameError(
+            f"connection closed mid-header ({len(exc.partial)} bytes)"
+        ) from None
+    length = _check_header(header, max_frame)
+    try:
+        body = await reader.readexactly(length)
+    except IncompleteReadError as exc:
+        raise FrameError(
+            f"connection closed mid-body ({len(exc.partial)}/{length} bytes)"
+        ) from None
+    return decode_message(header + body, max_frame)
+
+
+async def write_message(writer: StreamWriter, msg: Message) -> None:
+    """Write one message and flush it through the transport."""
+    writer.write(encode_message(msg))
+    await writer.drain()

@@ -1,0 +1,411 @@
+"""Tests for the live asyncio runtime (``repro.runtime``).
+
+Fast, timer-free pieces (the wire codec, its property tests, and one
+small sequential conformance smoke) run in tier-1.  Tests that boot
+full clusters with real timers and bursts carry the ``runtime`` marker
+and run via ``pytest -m runtime`` (CI's dedicated smoke job).
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.message import Message, MessageKind
+from repro.runtime import (
+    LiveCluster,
+    LoadGenerator,
+    RuntimeClient,
+    RuntimeConfig,
+    WorkloadShape,
+    WorkloadSpec,
+    diff_states,
+    percentile,
+    replay_oplog,
+    run_conformance,
+)
+from repro.runtime.wire import (
+    HEADER,
+    MAGIC,
+    FrameError,
+    WireDecodeError,
+    decode_message,
+    encode_message,
+    message_from_dict,
+    message_to_dict,
+    read_message,
+)
+
+# ---------------------------------------------------------------------------
+# wire codec: round trips
+# ---------------------------------------------------------------------------
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+json_payloads = st.recursive(
+    json_scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=10), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+messages = st.builds(
+    Message,
+    kind=st.sampled_from(list(MessageKind)),
+    src=st.integers(min_value=-2, max_value=2**31 - 1),
+    dst=st.integers(min_value=-2, max_value=2**31 - 1),
+    file=st.text(max_size=60),
+    payload=json_payloads,
+    version=st.integers(min_value=0, max_value=2**31 - 1),
+    hops=st.integers(min_value=0, max_value=1000),
+    origin=st.integers(min_value=-1, max_value=2**31 - 1),
+    request_id=st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+def _tuples_to_lists(value):
+    if isinstance(value, tuple):
+        return [_tuples_to_lists(v) for v in value]
+    if isinstance(value, list):
+        return [_tuples_to_lists(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _tuples_to_lists(v) for k, v in value.items()}
+    return value
+
+
+class TestWireRoundTrip:
+    @settings(max_examples=120)
+    @given(messages)
+    def test_encode_decode_is_identity(self, msg):
+        assert decode_message(encode_message(msg)) == msg
+
+    @settings(max_examples=60)
+    @given(messages)
+    def test_dict_form_is_json_object(self, msg):
+        data = message_to_dict(msg)
+        assert isinstance(data, dict)
+        assert message_from_dict(data) == msg
+
+    def test_tuple_payload_round_trips_as_list(self):
+        msg = Message(kind=MessageKind.GET, src=0, dst=1, payload=(1, (2, 3)))
+        decoded = decode_message(encode_message(msg))
+        assert decoded.payload == [1, [2, 3]]
+
+    def test_bytes_payload_survives(self):
+        blob = bytes(range(256))
+        msg = Message(kind=MessageKind.INSERT, src=-1, dst=3, file="x",
+                      payload={"data": blob})
+        assert decode_message(encode_message(msg)).payload == {"data": blob}
+
+    @settings(max_examples=60)
+    @given(messages)
+    def test_stream_read_matches_direct_decode(self, msg):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_message(msg))
+            reader.feed_eof()
+            return await read_message(reader)
+
+        assert asyncio.run(run()) == msg
+
+
+# ---------------------------------------------------------------------------
+# wire codec: hardening against corrupt frames
+# ---------------------------------------------------------------------------
+
+class TestWireHardening:
+    def _frame(self, **kwargs):
+        return encode_message(
+            Message(kind=MessageKind.GET, src=0, dst=1, file="f", **kwargs)
+        )
+
+    def test_bad_magic_is_a_frame_error(self):
+        frame = b"XX" + self._frame()[2:]
+        with pytest.raises(FrameError, match="magic"):
+            decode_message(frame)
+
+    def test_unknown_wire_version_is_a_frame_error(self):
+        frame = self._frame()
+        frame = frame[:2] + bytes([99]) + frame[3:]
+        with pytest.raises(FrameError, match="version"):
+            decode_message(frame)
+
+    def test_oversized_length_is_a_frame_error(self):
+        header = HEADER.pack(MAGIC, 1, 0, 1 << 30)
+        with pytest.raises(FrameError, match="exceeds"):
+            decode_message(header)
+
+    def test_truncated_header_is_a_frame_error(self):
+        with pytest.raises(FrameError, match="truncated"):
+            decode_message(self._frame()[:5])
+
+    def test_truncated_body_is_a_frame_error(self):
+        with pytest.raises(FrameError, match="does not match"):
+            decode_message(self._frame()[:-3])
+
+    def test_garbage_json_is_a_decode_error(self):
+        body = b"{nope"
+        frame = HEADER.pack(MAGIC, 1, 0, len(body)) + body
+        with pytest.raises(WireDecodeError, match="malformed"):
+            decode_message(frame)
+
+    def test_non_object_body_is_a_decode_error(self):
+        body = b"[1,2,3]"
+        frame = HEADER.pack(MAGIC, 1, 0, len(body)) + body
+        with pytest.raises(WireDecodeError, match="object"):
+            decode_message(frame)
+
+    def test_unknown_kind_is_a_decode_error(self):
+        data = message_to_dict(Message(kind=MessageKind.GET, src=0, dst=1))
+        data["kind"] = "teleport"
+        with pytest.raises(WireDecodeError, match="unknown message kind"):
+            message_from_dict(data)
+
+    def test_wrongly_typed_field_is_a_decode_error(self):
+        data = message_to_dict(Message(kind=MessageKind.GET, src=0, dst=1))
+        data["version"] = "seven"
+        with pytest.raises(WireDecodeError, match="integer"):
+            message_from_dict(data)
+
+    def test_missing_src_dst_is_a_decode_error(self):
+        with pytest.raises(WireDecodeError, match="src"):
+            message_from_dict({"kind": "get", "file": "x"})
+
+    def test_bad_base64_tag_is_a_decode_error(self):
+        data = message_to_dict(Message(kind=MessageKind.GET, src=0, dst=1))
+        data["payload"] = {"__b64__": "!!not-base64!!"}
+        with pytest.raises(WireDecodeError, match="base64"):
+            message_from_dict(data)
+
+    @settings(max_examples=80)
+    @given(st.binary(min_size=0, max_size=64))
+    def test_random_bytes_never_crash_the_decoder(self, blob):
+        try:
+            decode_message(blob)
+        except (FrameError, WireDecodeError):
+            pass  # precise rejection is the contract; crashing is not
+
+    def test_mid_frame_eof_on_stream_is_a_frame_error(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(self._frame()[:-2])
+            reader.feed_eof()
+            with pytest.raises(FrameError, match="mid-body"):
+                await read_message(reader)
+
+        asyncio.run(run())
+
+    def test_clean_eof_on_stream_is_eoferror(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            with pytest.raises(EOFError):
+                await read_message(reader)
+
+        asyncio.run(run())
+
+
+def test_percentile_interpolates():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([5.0], 0.99) == 5.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+    assert percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+
+
+# ---------------------------------------------------------------------------
+# tier-1 conformance smoke: one small scenario, both models
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("b", [0, 1])
+def test_conformance_smoke(b):
+    spec = WorkloadSpec(m=3, b=b, seed=0, files=3, ops=12)
+    report = asyncio.run(run_conformance(spec))
+    assert report.ok, report.render()
+    assert report.files == 3
+
+
+# ---------------------------------------------------------------------------
+# live-cluster tests (runtime marker: real timers, bursts, TCP)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.runtime
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("b", [0, 1])
+def test_oracle_conformance_across_seeds(seed, b):
+    """ISSUE acceptance: >= 3 seeds, both §3 and §4 models."""
+    spec = WorkloadSpec(m=4, b=b, seed=seed, files=5, ops=30)
+    report = asyncio.run(run_conformance(spec))
+    assert report.ok, report.render()
+
+
+@pytest.mark.runtime
+def test_live_cluster_serves_seeded_burst():
+    async def run():
+        config = RuntimeConfig(
+            m=4, b=1, seed=17, capacity=25.0, service_time=0.001,
+            inflight_limit=8,
+        )
+        cluster = await LiveCluster.start(config)
+        try:
+            files = [f"burst-{i}" for i in range(5)]
+            boot = await RuntimeClient(cluster, 2).connect()
+            for name in files:
+                await boot.insert(name, name.upper())
+            await boot.close()
+            await cluster.drain()
+            gen = LoadGenerator(
+                cluster, files, WorkloadShape(kind="zipf", s=1.5), seed=17
+            )
+            report = await gen.run_open_loop(rps=300, duration=1.0)
+            await gen.close()
+            await cluster.quiesce()
+            assert report.timeouts == 0
+            assert report.completed >= 0.99 * report.requests
+            assert report.p99 < 1.0
+            served = sum(report.served_by_node.values())
+            assert served >= report.completed
+            assert cluster.replicas_created() > 0
+            system = replay_oplog(cluster.oplog, config, cluster.initial_live)
+            system.check_invariants()
+            conformance = diff_states(cluster, system)
+            assert conformance.ok, conformance.render()
+        finally:
+            await cluster.shutdown()
+
+    asyncio.run(run())
+
+
+@pytest.mark.runtime
+def test_silent_crash_is_discovered_and_rerouted():
+    """§3 FINDLIVENODE at the message level: a GET mid-flight hits an
+    unannounced dead node; the sender discovers the death through the
+    failed send, marks it in its own word, and reroutes."""
+
+    async def run():
+        config = RuntimeConfig(m=4, b=0, seed=5)
+        cluster = await LiveCluster.start(config)
+        try:
+            boot = await RuntimeClient(cluster, 0).connect()
+            insert = await boot.insert("target.dat", "precious")
+            await boot.close()
+            await cluster.drain()
+            homes = insert.payload["homes"]
+            home = homes[0]
+            tree = cluster.tree(cluster.psi("target.dat"))
+            # Entry whose first routing hop is a live non-holder.
+            from repro.core.routing import first_alive_ancestor
+
+            entry = hop = None
+            for pid in sorted(cluster.nodes):
+                if pid == home:
+                    continue
+                nxt = first_alive_ancestor(tree, pid, cluster.word)
+                if nxt is not None and nxt != home:
+                    entry, hop = pid, nxt
+                    break
+            assert entry is not None, "topology has no 2-hop route"
+            # The intermediate dies silently: no REGISTER_DEAD circulates.
+            await cluster.crash(hop, announce=False)
+            assert cluster.nodes[entry].word.is_live(hop)  # still believed live
+            client = await RuntimeClient(cluster, entry).connect()
+            outcome = await client.get("target.dat", timeout=5.0)
+            await client.close()
+            assert outcome.ok, outcome
+            assert outcome.payload == "precious"
+            # The failed send taught the entry node about the death.
+            assert not cluster.nodes[entry].word.is_live(hop)
+        finally:
+            await cluster.shutdown()
+
+    asyncio.run(run())
+
+
+@pytest.mark.runtime
+def test_corrupt_frame_does_not_kill_the_connection():
+    """Decode hardening end to end: a malformed body on a live peer
+    connection is counted and skipped; the next frame still serves."""
+
+    async def run():
+        cluster = await LiveCluster.start(RuntimeConfig(m=3, b=0, seed=1))
+        try:
+            boot = await RuntimeClient(cluster, 0).connect()
+            await boot.insert("ok.dat", "fine")
+            await cluster.drain()
+            # Hand-deliver a well-framed but bogus body on the same wire.
+            from repro.runtime.wire import HEADER as H, MAGIC as MG
+
+            body = b'{"kind": "teleport"}'
+            assert boot._writer is not None
+            boot._writer.write(H.pack(MG, 1, 0, len(body)) + body)
+            await boot._writer.drain()
+            outcome = await boot.get("ok.dat")
+            assert outcome.ok and outcome.payload == "fine"
+            assert cluster.counters.get("wire_decode_errors", 0) >= 1
+            await boot.close()
+        finally:
+            await cluster.shutdown()
+
+    asyncio.run(run())
+
+
+@pytest.mark.runtime
+def test_tcp_loopback_serves_the_same_protocol():
+    async def run():
+        cluster = await LiveCluster.start(
+            RuntimeConfig(m=3, b=1, seed=2, tcp=True)
+        )
+        try:
+            assert len(cluster.addresses) == len(cluster.nodes)
+            client = await RuntimeClient(cluster, 4).connect()
+            await client.insert("tcp.dat", b"\x00\x01binary\xff")
+            got = await client.get("tcp.dat")
+            assert got.ok and got.payload == b"\x00\x01binary\xff"
+            upd = await client.update("tcp.dat", b"v2")
+            assert upd.version == 2
+            got = await client.get("tcp.dat")
+            assert got.version == 2 and got.payload == b"v2"
+            await client.close()
+            await cluster.quiesce()
+            system = replay_oplog(
+                cluster.oplog, cluster.config, cluster.initial_live
+            )
+            assert diff_states(cluster, system).ok
+        finally:
+            await cluster.shutdown()
+
+    asyncio.run(run())
+
+
+@pytest.mark.runtime
+def test_churn_over_the_wire_matches_oracle():
+    """Join / leave / crash driven as messages end in oracle state."""
+
+    async def run():
+        config = RuntimeConfig(m=4, b=1, seed=13)
+        cluster = await LiveCluster.start(config)
+        try:
+            boot = await RuntimeClient(cluster, 1).connect()
+            for i in range(6):
+                await boot.insert(f"c-{i}", f"v:{i}")
+            await boot.close()
+            await cluster.drain()
+            await cluster.leave(3)
+            await cluster.crash(10)
+            await cluster.join(3)
+            await cluster.quiesce()
+            system = replay_oplog(cluster.oplog, config, cluster.initial_live)
+            system.check_invariants()
+            report = diff_states(cluster, system)
+            assert report.ok, report.render()
+        finally:
+            await cluster.shutdown()
+
+    asyncio.run(run())

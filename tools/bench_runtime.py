@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Benchmark the live asyncio runtime: sustained RPS and latency.
+
+Boots a live cluster (in-process streams by default, ``--tcp`` for real
+loopback TCP), inserts a file set, and drives a seeded Zipf GET
+workload through the open-loop load generator at a ramp of target
+rates.  The *sustained* RPS is the highest target the cluster served
+with no timeouts and at least 99% completion.  Alongside the latency
+percentiles at that rate, the run reports how many autonomous replica
+placements the overload sweepers made (the paper's replicas-to-balance
+measure, live).  Results go to ``BENCH_runtime.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_runtime.py            # full ramp
+    PYTHONPATH=src python tools/bench_runtime.py --check    # CI smoke
+    PYTHONPATH=src python tools/bench_runtime.py --tcp      # over TCP
+
+``--check`` runs a reduced ramp and exits non-zero if the cluster
+cannot sustain the smallest target rate or conformance fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runtime import (  # noqa: E402
+    LiveCluster,
+    LoadGenerator,
+    RuntimeClient,
+    RuntimeConfig,
+    WorkloadShape,
+    diff_states,
+    replay_oplog,
+)
+
+OUTPUT = REPO_ROOT / "BENCH_runtime.json"
+
+
+async def _run_rate(
+    config: RuntimeConfig, files: int, rps: float, duration: float, seed: int
+) -> tuple[dict, bool, int, bool]:
+    """One fresh cluster, one target rate.
+
+    Returns (report dict, sustained?, replicas created, conformant?).
+    """
+    cluster = await LiveCluster.start(config)
+    try:
+        names = [f"bench-{i}.dat" for i in range(files)]
+        boot = await RuntimeClient(cluster, min(cluster.nodes)).connect()
+        for name in names:
+            await boot.insert(name, f"payload of {name}")
+        await boot.close()
+        await cluster.drain()
+        gen = LoadGenerator(
+            cluster, names, WorkloadShape(kind="zipf", s=1.2), seed=seed
+        )
+        report = await gen.run_open_loop(rps=rps, duration=duration)
+        await gen.close()
+        await cluster.quiesce()
+        sustained = (
+            report.timeouts == 0
+            and report.requests > 0
+            and report.completed >= 0.99 * report.requests
+        )
+        system = replay_oplog(cluster.oplog, config, cluster.initial_live)
+        system.check_invariants()
+        conformance = diff_states(cluster, system)
+        return report.as_dict(), sustained, cluster.replicas_created(), conformance.ok
+    finally:
+        await cluster.shutdown()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="CI smoke: reduced ramp, strict exit code")
+    parser.add_argument("--tcp", action="store_true",
+                        help="real TCP on loopback instead of in-process streams")
+    parser.add_argument("--m", type=int, default=4, help="identifier width")
+    parser.add_argument("--b", type=int, default=1, help="fault-tolerance degree")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.check:
+        rates = [100.0, 200.0]
+        duration, files = 0.5, 6
+    else:
+        rates = [100.0, 200.0, 400.0, 800.0, 1600.0]
+        duration, files = 2.0, 12
+    config = RuntimeConfig(
+        m=args.m, b=args.b, seed=args.seed, tcp=args.tcp,
+        capacity=60.0, service_time=0.0005, inflight_limit=32,
+    )
+    mode = "tcp" if args.tcp else "streams"
+    label = "fast" if args.check else "full"
+    print(f"runtime ramp ({label}, {mode}): m={args.m}, b={args.b}, "
+          f"{files} files, {duration}s per rate")
+
+    ramp: list[dict] = []
+    sustained_rps = 0.0
+    best: dict | None = None
+    best_replicas = 0
+    all_conformant = True
+    wall_start = time.perf_counter()
+    for rps in rates:
+        report, sustained, replicas, conformant = asyncio.run(
+            _run_rate(config, files, rps, duration, args.seed)
+        )
+        all_conformant = all_conformant and conformant
+        ramp.append({
+            "target_rps": rps,
+            "sustained": sustained,
+            "conformant": conformant,
+            "replicas_to_balance": replicas,
+            **report,
+        })
+        marker = "ok " if sustained else "SAT"
+        print(f"  {marker} target {rps:7.0f} rps -> achieved "
+              f"{report['achieved_rps']:8.1f}, p50 {report['latency_p50_s']*1e3:6.2f} ms, "
+              f"p99 {report['latency_p99_s']*1e3:6.2f} ms, "
+              f"{replicas} replicas, conformant={conformant}")
+        if sustained and rps > sustained_rps:
+            sustained_rps = rps
+            best = report
+            best_replicas = replicas
+    wall = time.perf_counter() - wall_start
+
+    payload = {
+        "benchmark": "live-runtime-throughput",
+        "grid": label,
+        "transport": mode,
+        "m": args.m,
+        "b": args.b,
+        "files": files,
+        "duration_per_rate_s": duration,
+        "sustained_rps": sustained_rps,
+        "latency_p50_s": best["latency_p50_s"] if best else None,
+        "latency_p99_s": best["latency_p99_s"] if best else None,
+        "replicas_to_balance": best_replicas,
+        "conformant": all_conformant,
+        "ramp": ramp,
+        "wallclock_seconds": round(wall, 3),
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"sustained {sustained_rps:.0f} rps; wrote {OUTPUT}")
+
+    if not all_conformant:
+        print("FAIL: live run diverged from the oracle replay", file=sys.stderr)
+        return 1
+    if args.check and sustained_rps <= 0:
+        print("FAIL: could not sustain the smallest target rate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
