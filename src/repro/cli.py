@@ -18,6 +18,8 @@ Subcommands:
   the wire protocol until interrupted.
 * ``loadgen`` — drive a live cluster with a seeded workload, print
   latency percentiles, and optionally verify oracle conformance.
+* ``profile`` — run a seeded runtime workload under cProfile and print
+  the hottest functions (the fast-path tuning loop).
 """
 
 from __future__ import annotations
@@ -158,6 +160,27 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--conformance", action="store_true",
                          help="replay the oplog through the synchronous "
                          "oracle and diff final state (exit 1 on mismatch)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a seeded runtime workload under cProfile and print "
+        "the hottest functions",
+    )
+    profile.add_argument("--m", type=int, default=4, help="identifier width")
+    profile.add_argument("--b", type=int, default=1, help="fault-tolerance degree")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--files", type=int, default=8, help="files to insert")
+    profile.add_argument("--rps", type=float, default=800.0,
+                         help="open-loop target requests/second")
+    profile.add_argument("--duration", type=float, default=2.0,
+                         help="workload duration in seconds")
+    profile.add_argument("--codec", default="binary",
+                         choices=["binary", "json"],
+                         help="wire codec profile to run under")
+    profile.add_argument("--top", type=int, default=25,
+                         help="hot functions to print")
+    profile.add_argument("-o", "--output", type=Path, default=None,
+                         help="also dump raw pstats data here")
 
     return parser
 
@@ -442,6 +465,66 @@ def _cmd_loadgen(args: "argparse.Namespace") -> int:
     return asyncio.run(run())
 
 
+def _cmd_profile(args: "argparse.Namespace") -> int:
+    import asyncio
+    import cProfile
+    import io
+    import pstats
+
+    from .runtime import (
+        LiveCluster,
+        LoadGenerator,
+        RuntimeClient,
+        RuntimeConfig,
+        WorkloadShape,
+    )
+
+    async def workload() -> tuple[int, float]:
+        config = RuntimeConfig(
+            m=args.m, b=args.b, seed=args.seed,
+            wire_version=2 if args.codec == "binary" else 1,
+            coalesce_bytes=4096 if args.codec == "binary" else 0,
+            batch_max=16 if args.codec == "binary" else 1,
+        )
+        cluster = await LiveCluster.start(config)
+        try:
+            files = [f"file-{i}.dat" for i in range(args.files)]
+            boot = await RuntimeClient(cluster, min(cluster.nodes)).connect()
+            for name in files:
+                await boot.insert(name, f"payload of {name}")
+            await boot.close()
+            await cluster.drain()
+            gen = LoadGenerator(
+                cluster, files, WorkloadShape(kind="zipf", s=1.2), seed=args.seed
+            )
+            report = await gen.run_open_loop(args.rps, args.duration)
+            await gen.close()
+            await cluster.quiesce()
+            return report.completed, report.achieved_rps
+        finally:
+            await cluster.shutdown()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    completed, rps = asyncio.run(workload())
+    profiler.disable()
+
+    print(
+        f"profile: codec={args.codec}, m={args.m}, b={args.b}, "
+        f"seed={args.seed}, {args.duration}s @ {args.rps} req/s -> "
+        f"{completed} completed ({rps:.1f} req/s achieved)"
+    )
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(pstats.SortKey.TIME)
+    stats.print_stats(args.top)
+    print(stream.getvalue())
+    if args.output is not None:
+        stats.dump_stats(str(args.output))
+        print(f"pstats data written to {args.output}")
+    return 0
+
+
 def _cmd_verify_replay(repro: Path) -> int:
     from .verify import replay_file
 
@@ -483,6 +566,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args.m, args.b, args.seed, args.capacity, args.duration)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "verify":
         if args.verify_command == "fuzz":
             return _cmd_verify_fuzz(

@@ -162,7 +162,7 @@ class RoutingTable:
         "m", "n", "root", "home", "liveness_epoch", "vids", "live",
         "tree_parent", "depth", "nearest_live_ancestor", "next_hop",
         "eff_depth", "waves", "live_subtree", "order", "live_pids_asc",
-        "max_live_vid", "_children_lists", "_eff_children",
+        "max_live_vid", "_children_lists", "_eff_children", "_live_floor",
     )
 
     def __init__(self, tree: LookupTree, liveness: LivenessView) -> None:
@@ -257,12 +257,37 @@ class RoutingTable:
         self.live_subtree = counts[vids]
 
         self._children_lists: dict[int, tuple[int, ...]] = {}
+        self._live_floor: np.ndarray | None = None
 
     # -- structure queries ----------------------------------------------
 
     def has_live_above(self, pid: int) -> bool:
         """Is there a live node with VID strictly above ``vid(pid)``?"""
         return int(self.vids[pid]) < self.max_live_vid
+
+    def find_live(self, pid: int) -> int:
+        """The paper's ``FINDLIVENODE(pid, root)`` as an O(1) lookup.
+
+        Matches :func:`find_live_node` exactly — ``pid`` itself when
+        live, else the live node with the largest VID strictly below
+        ``vid(pid)`` — but reads a lazily-built prefix-maximum array
+        instead of scanning the VID space per call.
+        """
+        if self.live[pid]:
+            return int(pid)
+        floor = self._live_floor
+        if floor is None:
+            live_by_vid = self.live[self.vids]  # involution: index by VID
+            floor = np.maximum.accumulate(
+                np.where(live_by_vid, np.arange(self.n, dtype=np.int64), -1)
+            )
+            self._live_floor = floor
+        v = int(self.vids[pid])
+        if v == 0 or int(floor[v - 1]) < 0:
+            raise NoLiveNodeError(
+                f"no live node with VID below {v} in the tree of P({self.root})"
+            )
+        return int(self.vids[int(floor[v - 1])])  # involution: VID -> PID
 
     def children_list(self, pid: int, tree: LookupTree, liveness: LivenessView) -> tuple[int, ...]:
         """§3 advanced children list of ``P(pid)``, memoized per table."""

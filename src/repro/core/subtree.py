@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from . import vid as V
 from .bits import check_id, low_bits
 from .errors import ConfigurationError, NoLiveNodeError
-from .liveness import LivenessView
+from .liveness import LivenessView, cache_token
 from .tree import LookupTree
 
 __all__ = [
@@ -209,6 +209,24 @@ class SvidLiveness:
     @property
     def m(self) -> int:
         return self.view.width
+
+    @property
+    def epoch(self) -> int | None:
+        """Mirrors the wrapped view's epoch (``None`` if it has none)."""
+        return getattr(self._liveness, "epoch", None)
+
+    def cache_token(self) -> tuple | None:
+        """Content fingerprint: the subtree identity + the inner token.
+
+        Lets identity-reduced routing tables share the same LRU cache
+        as whole-tree tables; ``None`` (no caching) when the wrapped
+        view cannot be fingerprinted.
+        """
+        inner = cache_token(self._liveness)
+        if inner is None:
+            return None
+        tree = self.view.tree
+        return ("svid", tree.root, tree.m, self.view.b, self.view.sid, inner)
 
     def is_live(self, svid: int) -> bool:
         return self._liveness.is_live(self.view.pid_of_svid(svid))

@@ -8,7 +8,7 @@ small immutable records; payloads ride along untouched.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
@@ -60,7 +60,20 @@ class Message:
 
     def forwarded(self, new_src: int, new_dst: int) -> "Message":
         """A copy of this message forwarded one overlay hop."""
-        return replace(self, src=new_src, dst=new_dst, hops=self.hops + 1)
+        # Direct construction: this runs once per overlay hop on the
+        # runtime's hot path, and dataclasses.replace costs several
+        # times a plain __init__ (it rebuilds the field mapping).
+        return Message(
+            kind=self.kind,
+            src=new_src,
+            dst=new_dst,
+            file=self.file,
+            payload=self.payload,
+            version=self.version,
+            hops=self.hops + 1,
+            origin=self.origin,
+            request_id=self.request_id,
+        )
 
     def reply(self, kind: MessageKind, payload: Any = None) -> "Message":
         """A reply travelling back to this message's source."""

@@ -26,12 +26,13 @@ class StatusWord:
     Internally one Python int; bit ``p`` set means ``P(p)`` is live.
     """
 
-    __slots__ = ("_m", "_bits")
+    __slots__ = ("_m", "_bits", "_epoch")
 
     def __init__(self, m: int, live: Iterable[int] = ()) -> None:
         check_width(m)
         self._m = m
         self._bits = 0
+        self._epoch = 0
         for pid in live:
             check_id(pid, m)
             self._bits |= 1 << pid
@@ -74,17 +75,38 @@ class StatusWord:
     def live_count(self) -> int:
         return self._bits.bit_count()
 
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumped whenever the bitmap changes."""
+        return self._epoch
+
+    def cache_token(self) -> tuple:
+        """Content fingerprint for the routing-table cache.
+
+        The bitmap is a single int, so the token *is* the content — two
+        words reporting identical liveness share a token, and any
+        ``register_*`` mutation changes it, transparently invalidating
+        cached :class:`~repro.core.routing.RoutingTable` entries.
+        """
+        return ("word", self._m, self._bits)
+
     # -- mutation --------------------------------------------------------
 
     def register_live(self, pid: int) -> None:
         """§5.1: record ``P(pid)`` as a live node."""
         check_id(pid, self._m)
-        self._bits |= 1 << pid
+        bit = 1 << pid
+        if not self._bits & bit:
+            self._bits |= bit
+            self._epoch += 1
 
     def register_dead(self, pid: int) -> None:
         """§5.2/§5.3: record ``P(pid)`` as a dead node."""
         check_id(pid, self._m)
-        self._bits &= ~(1 << pid)
+        bit = 1 << pid
+        if self._bits & bit:
+            self._bits &= ~bit
+            self._epoch += 1
 
     def merge(self, other: "StatusWord") -> None:
         """Adopt another node's word (§5.1: 'obtains the updated status
@@ -93,7 +115,9 @@ class StatusWord:
             raise MembershipError(
                 f"cannot merge status words of widths {other._m} and {self._m}"
             )
-        self._bits = other._bits
+        if self._bits != other._bits:
+            self._bits = other._bits
+            self._epoch += 1
 
     def copy(self) -> "StatusWord":
         return StatusWord.from_int(self._m, self._bits)

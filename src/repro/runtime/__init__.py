@@ -2,10 +2,15 @@
 
 Everything the synchronous model (:mod:`repro.cluster.system`) and the
 DES driver state about the paper's algorithms, this package *runs*:
-``2**m`` asyncio node servers exchange length-prefixed JSON frames over
+``2**m`` asyncio node servers exchange length-prefixed frames over
 in-process streams (or real TCP on loopback), clients drive them with
 seeded workloads, and an operation-log replay through the synchronous
 oracle proves the live system lands in the identical final state.
+
+Frames carry either the JSON-v1 body (the compat codec) or the compact
+binary-v2 body (the fast path), negotiated per connection via the
+version byte in the frame header; routing decisions on the hot path are
+served from the LRU routing-table cache keyed on status-word content.
 """
 
 from .client import (
@@ -31,7 +36,9 @@ from .conformance import (
 from .node import CLIENT, NodeServer
 from .wire import (
     MAX_FRAME,
+    MAX_WIRE_VERSION,
     WIRE_VERSION,
+    WIRE_VERSION_BINARY,
     FrameError,
     WireDecodeError,
     WireError,
@@ -39,6 +46,7 @@ from .wire import (
     encode_message,
     message_from_dict,
     message_to_dict,
+    read_frame,
     read_message,
     write_message,
 )
@@ -47,7 +55,9 @@ __all__ = [
     "ADMIN",
     "CLIENT",
     "MAX_FRAME",
+    "MAX_WIRE_VERSION",
     "WIRE_VERSION",
+    "WIRE_VERSION_BINARY",
     "ClientError",
     "ConformanceReport",
     "FrameError",
@@ -73,6 +83,7 @@ __all__ = [
     "message_from_dict",
     "message_to_dict",
     "percentile",
+    "read_frame",
     "read_message",
     "replay_oplog",
     "run_conformance",

@@ -26,13 +26,18 @@ from __future__ import annotations
 
 import asyncio
 import random
+import statistics
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.errors import ConfigurationError
 from ..net.message import Message, MessageKind
 from .node import CLIENT
-from .wire import FrameError, WireDecodeError, read_message, write_message
+from .wire import FrameError, WireDecodeError, encode_message, read_frame
+
+_WRITE_HIGH_WATER = 1 << 16
+"""Transport buffer level above which a request write awaits drain —
+below it requests pipeline without a per-frame round trip."""
 
 __all__ = [
     "ClientError",
@@ -81,6 +86,7 @@ class RuntimeClient:
     def __init__(self, cluster, pid: int) -> None:
         self.cluster = cluster
         self.pid = pid
+        self.wire_version = cluster.wire_version_of(pid)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._futures: dict[int, asyncio.Future] = {}
@@ -99,7 +105,10 @@ class RuntimeClient:
         try:
             while not self._closed:
                 try:
-                    msg = await read_message(self._reader, self.cluster.config.max_frame)
+                    msg, _version = await read_frame(
+                        self._reader, self.cluster.config.max_frame,
+                        self.wire_version,
+                    )
                 except WireDecodeError:
                     continue
                 future = self._futures.pop(msg.request_id, None)
@@ -116,7 +125,13 @@ class RuntimeClient:
         self._futures[msg.request_id] = future
         start = loop.time()
         self.cluster.count_client_send(self.pid)
-        await write_message(self._writer, msg)
+        self._writer.write(encode_message(msg, self.wire_version))
+        transport = self._writer.transport
+        if (
+            transport is not None
+            and transport.get_write_buffer_size() > _WRITE_HIGH_WATER
+        ):
+            await self._writer.drain()
         try:
             reply = await asyncio.wait_for(future, timeout)
         except asyncio.TimeoutError:
@@ -251,17 +266,42 @@ class LoadReport:
     latencies: list[float] = field(default_factory=list)
     served_by_node: dict[int, int] = field(default_factory=dict)
 
+    _quantile_cache: tuple[int, float, float] | None = None
+
     @property
     def achieved_rps(self) -> float:
         return self.completed / self.duration if self.duration > 0 else 0.0
 
+    def _quantiles(self) -> tuple[float, float]:
+        """(p50, p99), computed from ONE sort and cached per stage.
+
+        The naive per-property path re-sorted the full latency list on
+        every access; ``statistics.quantiles`` with the *inclusive*
+        method matches :func:`percentile`'s linear interpolation, so
+        one pass yields both cut points.  The cache keys on the sample
+        count: appending latencies invalidates it.
+        """
+        lat = self.latencies
+        cached = self._quantile_cache
+        if cached is not None and cached[0] == len(lat):
+            return cached[1], cached[2]
+        if not lat:
+            p50 = p99 = 0.0
+        elif len(lat) == 1:
+            p50 = p99 = lat[0]
+        else:
+            cuts = statistics.quantiles(lat, n=100, method="inclusive")
+            p50, p99 = cuts[49], cuts[98]
+        self._quantile_cache = (len(lat), p50, p99)
+        return p50, p99
+
     @property
     def p50(self) -> float:
-        return percentile(self.latencies, 0.50)
+        return self._quantiles()[0]
 
     @property
     def p99(self) -> float:
-        return percentile(self.latencies, 0.99)
+        return self._quantiles()[1]
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -299,6 +339,7 @@ class LoadGenerator:
         self.weights = self.shape.weights(len(self.files), self.rng)
         self._clients: dict[int, RuntimeClient] = {}
         self._connect_lock = asyncio.Lock()
+        self._entries: tuple[int, list[int]] | None = None
 
     async def _client(self, pid: int) -> RuntimeClient:
         client = self._clients.get(pid)
@@ -315,7 +356,15 @@ class LoadGenerator:
 
     def _pick(self) -> tuple[str, int]:
         name = self.rng.choices(self.files, weights=self.weights, k=1)[0]
-        entry = self.rng.choice(sorted(self.cluster.nodes))
+        # The sorted entry list only changes with membership: cache it
+        # keyed on the status word's epoch instead of re-sorting per
+        # request.
+        epoch = self.cluster.word.epoch
+        cached = self._entries
+        if cached is None or cached[0] != epoch:
+            cached = (epoch, sorted(self.cluster.nodes))
+            self._entries = cached
+        entry = self.rng.choice(cached[1])
         return name, entry
 
     async def _fire(self, report: LoadReport) -> None:

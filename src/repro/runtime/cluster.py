@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import asyncio
 import socket
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Any
 
 from ..baselines.lesslog_policy import LessLogPolicy
@@ -38,7 +39,7 @@ from ..net.message import Message, MessageKind
 from ..node.membership import StatusWord
 from ..node.storage import FileOrigin
 from .node import NodeServer, subtree_children
-from .wire import MAX_FRAME, write_message
+from .wire import MAX_FRAME, MAX_WIRE_VERSION, WIRE_VERSION, encode_message
 
 __all__ = [
     "ADMIN",
@@ -78,6 +79,23 @@ class RuntimeConfig:
     actually queue so the load monitor has something to measure."""
     max_frame: int = MAX_FRAME
     drain_timeout: float = 30.0
+    wire_version: int = MAX_WIRE_VERSION
+    """Codec ceiling for every node and client: 2 = binary fast path
+    (the default), 1 = the JSON-v1 compat profile.  Per-connection
+    negotiation picks ``min(sender, receiver)``."""
+    v1_pids: tuple[int, ...] = ()
+    """PIDs pinned to the JSON-v1 codec (mixed-version cluster tests)."""
+    batch_max: int = 16
+    """Messages a node's inbox consumer drains per scheduling tick."""
+    coalesce_bytes: int = 0
+    """Frame-coalescing watermark for peer streams, in bytes; ``0``
+    disables coalescing (every frame written immediately)."""
+    coalesce_delay: float = 0.001
+    """Latency budget (seconds) before a partial coalescing buffer is
+    flushed regardless of size."""
+    idle_timeout: float = float("inf")
+    """Counter-based removal: a REPLICATED copy whose access counter
+    sits still this long is REMOVEd (``inf`` disables decay)."""
 
     def __post_init__(self) -> None:
         check_width(self.m)
@@ -88,13 +106,27 @@ class RuntimeConfig:
             raise ConfigurationError("service_time must be non-negative")
         if self.inflight_limit < 1:
             raise ConfigurationError("inflight_limit must be at least 1")
+        if not WIRE_VERSION <= self.wire_version <= MAX_WIRE_VERSION:
+            raise ConfigurationError(
+                f"wire_version must be in [{WIRE_VERSION}, {MAX_WIRE_VERSION}]"
+            )
+        for pid in self.v1_pids:
+            check_id(pid, self.m)
+        if self.batch_max < 1:
+            raise ConfigurationError("batch_max must be at least 1")
+        if self.coalesce_bytes < 0:
+            raise ConfigurationError("coalesce_bytes must be non-negative")
+        if self.coalesce_delay <= 0:
+            raise ConfigurationError("coalesce_delay must be positive")
+        if self.idle_timeout <= 0:
+            raise ConfigurationError("idle_timeout must be positive")
 
 
 @dataclass(frozen=True)
 class OpRecord:
     """One placement-mutating decision, in cluster decision order."""
 
-    kind: str  # insert | update | replicate | join | leave | crash
+    kind: str  # insert | update | replicate | remove | join | leave | crash
     name: str = ""
     payload: Any = None
     pid: int = -1
@@ -111,6 +143,76 @@ class _CatalogEntry:
     name: str
     target: int
     version: int
+
+
+_SINK_HIGH_WATER = 1 << 16
+"""Transport buffer level above which a sink's writer is awaited."""
+
+
+class _FrameSink:
+    """One peer stream, optionally coalescing frames Nagle-style.
+
+    With ``max_bytes == 0`` every frame goes straight to the writer.
+    Otherwise frames accumulate in a buffer that is flushed when it
+    crosses ``max_bytes`` *or* when ``delay`` seconds elapse since the
+    first buffered frame — a bounded latency budget, so a lone frame
+    never waits more than one coalescing window.  In-flight accounting
+    happens at :meth:`LiveCluster.send` time (before buffering), so a
+    buffered frame still holds the cluster un-quiet until it lands.
+    """
+
+    __slots__ = ("writer", "max_bytes", "delay", "_buf", "_timer")
+
+    def __init__(
+        self, writer: asyncio.StreamWriter, max_bytes: int, delay: float
+    ) -> None:
+        self.writer = writer
+        self.max_bytes = max_bytes
+        self.delay = delay
+        self._buf = bytearray()
+        self._timer: asyncio.TimerHandle | None = None
+
+    def write(self, frame: bytes) -> None:
+        if self.max_bytes <= 0:
+            self.writer.write(frame)
+            return
+        self._buf += frame
+        if len(self._buf) >= self.max_bytes:
+            self.flush()
+        elif self._timer is None:
+            self._timer = asyncio.get_running_loop().call_later(
+                self.delay, self.flush
+            )
+
+    def flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._buf:
+            return
+        buf, self._buf = self._buf, bytearray()
+        try:
+            self.writer.write(bytes(buf))
+        except (ConnectionError, OSError):  # pragma: no cover - peer died
+            pass
+
+    async def drain_if_needed(self) -> None:
+        transport = self.writer.transport
+        if (
+            transport is not None
+            and transport.get_write_buffer_size() > _SINK_HIGH_WATER
+        ):
+            await self.writer.drain()
+
+    def close(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._buf.clear()
+        try:
+            self.writer.close()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
 
 
 class LiveCluster:
@@ -134,10 +236,15 @@ class LiveCluster:
         self.replication_enabled = True
         self.counters: dict[str, int] = {}
         self.initial_live: tuple[int, ...] = tuple(sorted(pids))
+        self.stage_seconds: dict[str, float] = {
+            "encode": 0.0, "route": 0.0, "serve": 0.0,
+        }
         self._pending_holders: dict[str, set[int]] = {}
+        self._pending_removals: dict[str, set[int]] = {}
+        self._psi_cache: dict[str, int] = {}
         self._trees: dict[int, LookupTree] = {}
         self._inflight_to: dict[int, int] = {}
-        self._peer_conns: dict[tuple[int, int], asyncio.StreamWriter] = {}
+        self._peer_conns: dict[tuple[int, int], _FrameSink] = {}
         self._servers: dict[int, asyncio.base_events.Server] = {}
         self.addresses: dict[int, tuple[str, int]] = {}
         self._started = False
@@ -168,11 +275,8 @@ class LiveCluster:
 
     async def shutdown(self) -> None:
         """Stop every node and close every connection and listener."""
-        for writer in self._peer_conns.values():
-            try:
-                writer.close()
-            except (ConnectionError, OSError):  # pragma: no cover
-                pass
+        for sink in self._peer_conns.values():
+            sink.close()
         self._peer_conns.clear()
         for server in self._servers.values():
             server.close()
@@ -201,6 +305,18 @@ class LiveCluster:
         node.attach(server_reader, server_writer)
         return await asyncio.open_connection(sock=ours)
 
+    def wire_version_of(self, pid: int) -> int:
+        """Codec ceiling of one endpoint (clients use the config's)."""
+        if pid in self.config.v1_pids:
+            return WIRE_VERSION
+        return self.config.wire_version
+
+    def wire_version_for(self, src: int, dst: int) -> int:
+        """Negotiated codec for a ``src -> dst`` stream: the min of the
+        two ceilings, so a v1 node never receives a binary frame."""
+        sender = self.wire_version_of(src) if src >= 0 else self.config.wire_version
+        return min(sender, self.wire_version_of(dst))
+
     async def send(self, src: int, msg: Message) -> None:
         """Deliver one frame from ``src`` (a PID or ``ADMIN``) to ``msg.dst``.
 
@@ -214,16 +330,24 @@ class LiveCluster:
         if dst == src:
             node.deliver_local(msg)
             return
-        writer = self._peer_conns.get((src, dst))
-        if writer is None:
+        sink = self._peer_conns.get((src, dst))
+        if sink is None:
             _reader, writer = await self.open_connection(dst)
-            self._peer_conns[(src, dst)] = writer
+            sink = _FrameSink(
+                writer, self.config.coalesce_bytes, self.config.coalesce_delay
+            )
+            self._peer_conns[(src, dst)] = sink
+        t0 = perf_counter()
+        frame = encode_message(msg, self.wire_version_for(src, dst))
+        self.stage_seconds["encode"] += perf_counter() - t0
         self._inflight_to[dst] = self._inflight_to.get(dst, 0) + 1
         try:
-            await write_message(writer, msg)
+            sink.write(frame)
+            await sink.drain_if_needed()
         except (ConnectionError, OSError):
             self._inflight_to[dst] = max(0, self._inflight_to.get(dst, 0) - 1)
             self._peer_conns.pop((src, dst), None)
+            sink.close()
             raise PeerUnreachableError(f"connection to P({dst}) failed") from None
 
     def count_client_send(self, pid: int) -> None:
@@ -238,9 +362,7 @@ class LiveCluster:
     def _quiet(self) -> bool:
         if any(count > 0 for count in self._inflight_to.values()):
             return False
-        return not any(
-            node.busy or node.inbox.qsize() > 0 for node in self.nodes.values()
-        )
+        return not any(node.active for node in self.nodes.values())
 
     async def drain(self) -> None:
         """Wait until no message is in flight, queued, or being handled.
@@ -280,6 +402,14 @@ class LiveCluster:
             self._trees[r] = tree
         return tree
 
+    def psi_of(self, name: str) -> int:
+        """Memoized ψ(name): the hash is pure, so cache per file name."""
+        r = self._psi_cache.get(name)
+        if r is None:
+            r = self.psi(name)
+            self._psi_cache[name] = r
+        return r
+
     def count(self, name: str) -> None:
         self.counters[name] = self.counters.get(name, 0) + 1
 
@@ -306,6 +436,7 @@ class LiveCluster:
         held = {pid for pid, node in self.nodes.items() if name in node.store}
         if include_pending:
             held |= self._pending_holders.get(name, set())
+            held -= self._pending_removals.get(name, set())
         return held
 
     def note_pending_holder(self, name: str, pid: int) -> None:
@@ -317,6 +448,52 @@ class LiveCluster:
             pending.discard(pid)
             if not pending:
                 del self._pending_holders[name]
+
+    def record_removal(self, name: str, pid: int) -> None:
+        """Log a counter-based removal decision, in decision order.
+
+        Also marks the holder as pending-removed so placement decisions
+        made before the REMOVE frame lands already exclude it — the
+        order the conformance replay observes.
+        """
+        self.oplog.append(OpRecord(kind="remove", name=name, pid=pid))
+        self._pending_removals.setdefault(name, set()).add(pid)
+
+    def resolve_pending_removal(self, name: str, pid: int) -> None:
+        pending = self._pending_removals.get(name)
+        if pending is not None:
+            pending.discard(pid)
+            if not pending:
+                del self._pending_removals[name]
+
+    async def gc_after_removal(self, name: str) -> list[int]:
+        """Single-file orphan GC after an idle-decay removal landed.
+
+        Mirrors what ``LessLogSystem.remove_replica`` does after
+        discarding the copy: any REPLICATED holder the top-down update
+        broadcast can no longer reach is removed too, so the live
+        placement tracks the oracle's.
+        """
+        if name in self.faults or name not in self.catalog:
+            return []
+        holders = self.holders(name)
+        if not holders:
+            return []
+        reachable = self._reachable_holders(name)
+        removed: list[int] = []
+        for pid in sorted(holders - reachable):
+            copy = self.nodes[pid].store.get(name, count_access=False)
+            if copy.origin is FileOrigin.REPLICATED:
+                try:
+                    await self.send(
+                        ADMIN,
+                        Message(kind=MessageKind.REMOVE, src=ADMIN, dst=pid,
+                                file=name),
+                    )
+                except PeerUnreachableError:  # pragma: no cover - racing death
+                    continue
+                removed.append(pid)
+        return removed
 
     def placement(self) -> dict[str, dict[int, str]]:
         """Snapshot: file → {holder PID → origin} over live stores."""
@@ -523,11 +700,7 @@ class LiveCluster:
             server.close()
             await server.wait_closed()
         for key in [k for k in self._peer_conns if pid in k]:
-            writer = self._peer_conns.pop(key)
-            try:
-                writer.close()
-            except (ConnectionError, OSError):  # pragma: no cover
-                pass
+            self._peer_conns.pop(key).close()
         await node.shutdown()
 
     async def _transfer(self, dst: int, name: str, payload: Any, version: int) -> None:

@@ -182,6 +182,10 @@ def replay_oplog(
                 forwarder_rates=rec.rates,
                 rng=random.Random(rec.seed),
             )
+        elif rec.kind == "remove":
+            # Counter-based idle decay in the live runtime; the oracle
+            # runs the same removal (plus its orphan GC).
+            system.remove_replica(rec.name, rec.pid)
         elif rec.kind == "join":
             system.join(rec.pid)
         elif rec.kind == "leave":
@@ -277,9 +281,21 @@ def diff_states(cluster: LiveCluster, system: LessLogSystem) -> ConformanceRepor
     return report
 
 
-async def run_conformance(spec: WorkloadSpec) -> ConformanceReport:
-    """End to end: generate, run live, replay through the oracle, diff."""
-    config = RuntimeConfig(m=spec.m, b=spec.b, seed=spec.seed)
+async def run_conformance(
+    spec: WorkloadSpec, config: RuntimeConfig | None = None
+) -> ConformanceReport:
+    """End to end: generate, run live, replay through the oracle, diff.
+
+    ``config`` overrides the cluster's runtime knobs (codec pinning,
+    batching, coalescing, ...); its ``m``/``b``/``seed`` must match the
+    spec's so the generated workload stays legal.
+    """
+    if config is None:
+        config = RuntimeConfig(m=spec.m, b=spec.b, seed=spec.seed)
+    elif (config.m, config.b, config.seed) != (spec.m, spec.b, spec.seed):
+        raise ConfigurationError(
+            "run_conformance: config m/b/seed must match the workload spec"
+        )
     cluster = await LiveCluster.start(config)
     try:
         await apply_ops(cluster, generate_ops(spec), seed=spec.seed)

@@ -30,6 +30,21 @@ messages:
 Dead peers are discovered the §3 way: a failed send marks the peer
 dead in this node's own status word and the routing step recomputes —
 the message-level ``FINDLIVENODE``.
+
+**Fast path.**  Routing decisions read the LRU-cached
+:class:`~repro.core.routing.RoutingTable` instead of re-deriving the
+bitwise walks per message: the node's status word fingerprints its own
+content (``cache_token``), so next-hop, FINDLIVENODE, and children
+lists are O(1) array/memo lookups, and any word mutation (a failed
+send, a REGISTER frame) changes the token and transparently
+invalidates the cache.  Subtree decisions reuse per-``(root, sid)``
+identity reductions (:func:`identity_tree` + :class:`SvidLiveness`)
+memoized on the node.  The inbox consumer drains a bounded *batch* of
+messages per scheduling tick (``RuntimeConfig.batch_max``), and the
+sweeper optionally runs counter-based idle decay: a REPLICATED copy
+whose access counter has not moved for ``idle_timeout`` seconds is
+REMOVEd via a frame to self and the decision is recorded in the oplog
+for conformance replay.
 """
 
 from __future__ import annotations
@@ -37,21 +52,23 @@ from __future__ import annotations
 import asyncio
 import random
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Any
+from time import perf_counter
+from typing import TYPE_CHECKING
 
 from ..baselines.base import PlacementContext
 from ..core.errors import NoLiveNodeError
-from ..core.routing import first_alive_ancestor, storage_node
+from ..core.routing import routing_table
 from ..core.subtree import (
     SubtreeView,
     SvidLiveness,
     identity_tree,
     subtree_of_pid,
 )
+from ..core.tree import LookupTree
 from ..net.message import Message, MessageKind
 from ..node.loadmon import LoadMonitor
 from ..node.storage import FileOrigin, FileStore
-from .wire import FrameError, WireDecodeError, read_message, write_message
+from .wire import WIRE_VERSION, FrameError, WireDecodeError, encode_message, read_frame
 
 if TYPE_CHECKING:  # pragma: no cover
     from .cluster import LiveCluster
@@ -61,22 +78,29 @@ __all__ = ["CLIENT", "NodeServer", "subtree_children"]
 CLIENT = -1
 """``src`` of a request arriving straight from a client connection."""
 
+_WRITE_HIGH_WATER = 1 << 16
+"""Transport buffer level above which a writer awaits ``drain()``."""
+
 
 def subtree_children(view: SubtreeView, pid: int, word) -> list[int]:
     """Advanced children list of ``pid`` within its subtree.
 
     The same reduction ``LessLogSystem._subtree_children_list`` runs:
     identity-map the subtree to a standalone tree, take the §3 children
-    list there, map back to PIDs.
+    list there, map back to PIDs.  Served from the LRU routing-table
+    cache — the table memoizes children lists per PID, so repeated
+    broadcast steps at the same liveness cost one dict lookup.
     """
-    from ..core.children import advanced_children_list
-
     itree = identity_tree(view)
     sliveness = SvidLiveness(view, word)
+    try:
+        table = routing_table(itree, sliveness)
+    except NoLiveNodeError:
+        return []
     svid = view.tree.vid_of(pid) >> view.b
     return [
         view.pid_of_svid(s)
-        for s in advanced_children_list(itree, svid, sliveness)
+        for s in table.children_list(svid, itree, sliveness)
     ]
 
 
@@ -87,6 +111,9 @@ class _Connection:
     reader: asyncio.StreamReader
     writer: asyncio.StreamWriter
     closed: bool = False
+    wire_version: int = WIRE_VERSION
+    """Highest codec seen from the peer on this connection; replies
+    never exceed it (per-connection negotiation)."""
 
     async def close(self) -> None:
         if self.closed:
@@ -125,6 +152,7 @@ class NodeServer:
         self.m = config.m
         self.b = config.b
         self.word = cluster.word.copy()
+        self.wire_version = cluster.wire_version_of(pid)
         self.store = FileStore()
         self.monitor = LoadMonitor(capacity=1.0, window=config.window)
         self.inbox: asyncio.Queue[tuple[Message, _Connection | None]] = asyncio.Queue()
@@ -134,8 +162,14 @@ class NodeServer:
         self.decode_errors = 0
         self.last_replication = -float("inf")
         self._decision_count = 0
+        self._sub_ctx: dict[
+            tuple[int, int], tuple[SubtreeView, LookupTree, SvidLiveness]
+        ] = {}
+        self._access_marks: dict[str, tuple[int, float]] = {}
         self._conns: set[_Connection] = set()
         self._tasks: list[asyncio.Task] = []
+        self._serve_tasks: set[asyncio.Task] = set()
+        self._pipelined = config.batch_max > 1
         self._running = True
 
     def start(self) -> None:
@@ -156,16 +190,20 @@ class NodeServer:
         self._tasks.append(task)
 
     async def _read_loop(self, conn: _Connection) -> None:
+        max_frame = self.cluster.config.max_frame
         try:
             while self._running:
                 try:
-                    msg = await read_message(conn.reader, self.cluster.config.max_frame)
+                    msg, version = await read_frame(
+                        conn.reader, max_frame, self.wire_version
+                    )
                 except WireDecodeError:
                     # A well-framed but malformed body: count it and
                     # keep the connection — framing is still aligned.
                     self.decode_errors += 1
                     self.cluster.note_decode_error(self.pid)
                     continue
+                conn.wire_version = version
                 await self.inbox.put((msg, conn))
                 self.cluster.msg_enqueued(self.pid)
         except (EOFError, FrameError, ConnectionError, OSError):
@@ -179,11 +217,20 @@ class NodeServer:
         self.inbox.put_nowait((msg, None))
 
     async def _write_client(self, conn: _Connection, msg: Message) -> None:
-        """Best-effort reply to a client connection."""
+        """Best-effort reply to a client connection, at its codec."""
         if conn.closed:
             return
         try:
-            await write_message(conn.writer, msg)
+            t0 = perf_counter()
+            frame = encode_message(msg, conn.wire_version)
+            self.cluster.stage_seconds["encode"] += perf_counter() - t0
+            conn.writer.write(frame)
+            transport = conn.writer.transport
+            if (
+                transport is not None
+                and transport.get_write_buffer_size() > _WRITE_HIGH_WATER
+            ):
+                await conn.writer.drain()
         except (ConnectionError, OSError):
             await conn.close()
 
@@ -206,18 +253,39 @@ class NodeServer:
     # -- main loop ----------------------------------------------------------
 
     async def _consume(self) -> None:
+        """Drain the inbox in bounded batches per scheduling tick.
+
+        After the first (awaited) message, up to ``batch_max - 1`` more
+        already-queued messages are processed without yielding back to
+        the event loop — amortising the task switch over the batch.
+        The per-message accounting (``task_done``, error counters)
+        is unchanged, so ``drain()`` semantics are preserved.
+        """
+        inbox = self.inbox
+        batch_max = self.cluster.config.batch_max
         while self._running:
-            msg, conn = await self.inbox.get()
+            msg, conn = await inbox.get()
             self.busy = True
+            drained = 1
             try:
-                await self._dispatch(msg, conn)
-            except asyncio.CancelledError:  # pragma: no cover
-                raise
-            except Exception:  # pragma: no cover - defensive
-                self.cluster.note_handler_error(self.pid)
+                while True:
+                    try:
+                        await self._dispatch(msg, conn)
+                    except asyncio.CancelledError:  # pragma: no cover
+                        raise
+                    except Exception:  # pragma: no cover - defensive
+                        self.cluster.note_handler_error(self.pid)
+                    finally:
+                        inbox.task_done()
+                    if drained >= batch_max:
+                        break
+                    try:
+                        msg, conn = inbox.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    drained += 1
             finally:
                 self.busy = False
-                self.inbox.task_done()
 
     async def _dispatch(self, msg: Message, conn: _Connection | None) -> None:
         kind = msg.kind
@@ -246,43 +314,98 @@ class NodeServer:
                 )
         elif kind is MessageKind.REMOVE:
             self.store.discard(msg.file)
+            payload = msg.payload if isinstance(msg.payload, dict) else {}
+            if payload.get("decay"):
+                # Idle-decay removal: mirror the oracle's post-remove
+                # orphan GC so downstream-only holders don't linger.
+                self.cluster.resolve_pending_removal(msg.file, self.pid)
+                await self.cluster.gc_after_removal(msg.file)
         elif kind is MessageKind.REGISTER_LIVE:
             self.word.register_live(int(msg.payload["pid"]))
         elif kind is MessageKind.REGISTER_DEAD:
             self.word.register_dead(int(msg.payload["pid"]))
+
+    # -- routing-table helpers ---------------------------------------------
+
+    def _subtree_ctx(
+        self, tree: LookupTree, sid: int
+    ) -> tuple[SubtreeView, LookupTree, SvidLiveness]:
+        """Memoized §4 identity reduction for one ``(root, sid)``.
+
+        The view/tree pair is pure structure; the ``SvidLiveness``
+        wraps this node's *mutable* word, so routing tables fetched
+        through it invalidate on any word change via the cache token.
+        """
+        key = (tree.root, sid)
+        ctx = self._sub_ctx.get(key)
+        if ctx is None:
+            view = SubtreeView(tree, self.b, sid)
+            ctx = (view, identity_tree(view), SvidLiveness(view, self.word))
+            self._sub_ctx[key] = ctx
+        return ctx
 
     # -- GET ----------------------------------------------------------------
 
     async def _handle_get(self, msg: Message, conn: _Connection | None) -> None:
         if msg.src == CLIENT:
             # Entry node: stamp the origin and remember the client.
-            msg = replace(msg, origin=self.pid)
+            # (Direct construction — this runs for every client GET and
+            # dataclasses.replace is several times a plain __init__.)
+            msg = Message(
+                kind=msg.kind, src=msg.src, dst=msg.dst, file=msg.file,
+                payload=msg.payload, version=msg.version, hops=msg.hops,
+                origin=self.pid, request_id=msg.request_id,
+            )
             if conn is not None:
                 self.pending[msg.request_id] = _PendingGet(conn)
         if msg.file in self.store:
-            await self._serve(msg)
+            if self._pipelined and self.cluster.config.service_time > 0:
+                # Fast path: overlap the (simulated) service latencies
+                # instead of serializing them through the consumer —
+                # serving mutates no placement state, so replies may
+                # complete in any order.
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_pipelined(msg)
+                )
+                self._serve_tasks.add(task)
+                task.add_done_callback(self._serve_tasks.discard)
+            else:
+                await self._serve(msg)
             return
         if self.b == 0:
             await self._forward_whole_tree(msg)
         else:
             await self._forward_within_subtree(msg)
 
+    async def _serve_pipelined(self, msg: Message) -> None:
+        try:
+            await self._serve(msg)
+        except asyncio.CancelledError:  # pragma: no cover - shutdown
+            raise
+        except Exception:  # pragma: no cover - defensive
+            self.cluster.note_handler_error(self.pid)
+
     async def _serve(self, msg: Message) -> None:
         service_time = self.cluster.config.service_time
         if service_time > 0:
             await asyncio.sleep(service_time)
+        t0 = perf_counter()
         copy = self.store.get(msg.file)
         now = asyncio.get_running_loop().time()
         self.monitor.record_served(msg.file, msg.src, now)
         self.served_total += 1
-        reply = replace(
-            msg.reply(
-                MessageKind.GET_REPLY,
-                payload={"payload": copy.payload, "server": self.pid},
-            ),
-            version=copy.version,
+        reply = Message(
+            kind=MessageKind.GET_REPLY,
+            src=msg.dst,
             dst=msg.origin,
+            file=msg.file,
+            payload={"payload": copy.payload, "server": self.pid},
+            version=copy.version,
+            hops=msg.hops,
+            origin=msg.origin,
+            request_id=msg.request_id,
         )
+        self.cluster.stage_seconds["serve"] += perf_counter() - t0
         await self._finish(msg, reply)
 
     async def _fault(self, msg: Message) -> None:
@@ -296,7 +419,15 @@ class NodeServer:
         if request.origin == self.pid:
             pend = self.pending.pop(request.request_id, None)
             if isinstance(pend, _PendingGet):
-                await self._write_client(pend.conn, replace(reply, dst=CLIENT))
+                await self._write_client(
+                    pend.conn,
+                    Message(
+                        kind=reply.kind, src=reply.src, dst=CLIENT,
+                        file=reply.file, payload=reply.payload,
+                        version=reply.version, hops=reply.hops,
+                        origin=reply.origin, request_id=reply.request_id,
+                    ),
+                )
             return
         await self._send(reply)  # a dead origin drops the reply: client times out
 
@@ -308,22 +439,29 @@ class NodeServer:
             await self._write_client(pend.conn, replace(msg, dst=CLIENT))
 
     async def _forward_whole_tree(self, msg: Message) -> None:
-        """§3 routing on the full tree, rerouting around dead peers."""
-        tree = self.cluster.tree(self.cluster.psi(msg.file))
+        """§3 routing on the full tree, rerouting around dead peers.
+
+        One cached-table lookup per attempt: ``next_hop[pid]`` is the
+        nearest live ancestor, falling back to the storage node at the
+        top of the chain; ``next_hop[pid] == pid`` means this node *is*
+        the storage node — a fault, since the file is not here.
+        """
+        cluster = self.cluster
+        tree = cluster.tree(cluster.psi_of(msg.file))
+        stage = cluster.stage_seconds
         while True:
-            nxt = first_alive_ancestor(tree, self.pid, self.word)
-            if nxt is None:
-                try:
-                    home = storage_node(tree, self.word)
-                except NoLiveNodeError:  # pragma: no cover - we are live
-                    await self._fault(msg)
-                    return
-                if home == self.pid:
-                    await self._fault(msg)
-                    return
-                if await self._send(msg.forwarded(self.pid, home)):
-                    return
-                continue
+            t0 = perf_counter()
+            try:
+                table = routing_table(tree, self.word)
+                nxt = int(table.next_hop[self.pid])
+            except NoLiveNodeError:  # pragma: no cover - we are live
+                stage["route"] += perf_counter() - t0
+                await self._fault(msg)
+                return
+            stage["route"] += perf_counter() - t0
+            if nxt == self.pid:
+                await self._fault(msg)
+                return
             if await self._send(msg.forwarded(self.pid, nxt)):
                 return
 
@@ -333,9 +471,12 @@ class NodeServer:
         The payload carries the subtree identifiers left to try
         (``None`` on first entry from a client), exactly like the DES
         driver.  Any failed send marks the peer dead and re-runs the
-        whole decision against the updated word.
+        whole decision against the updated word.  Decisions are cached
+        table lookups over the per-``(root, sid)`` identity reduction.
         """
-        tree = self.cluster.tree(self.cluster.psi(msg.file))
+        cluster = self.cluster
+        tree = cluster.tree(cluster.psi_of(msg.file))
+        stage = cluster.stage_seconds
         count = 1 << self.b
         while True:
             remaining = msg.payload
@@ -344,31 +485,34 @@ class NodeServer:
                 remaining = [(own + off) % count for off in range(count)]
             remaining = [int(s) for s in remaining]
             sid = remaining[0]
-            view = SubtreeView(tree, self.b, sid)
+            view, itree, sliveness = self._subtree_ctx(tree, sid)
             msg = replace(msg, payload=remaining)
             if view.contains(self.pid):
-                nxt = view.first_alive_ancestor(self.pid, self.word)
-                if nxt is not None:
-                    if await self._send(msg.forwarded(self.pid, nxt)):
-                        return
-                    continue
+                t0 = perf_counter()
+                svid = tree.vid_of(self.pid) >> self.b
                 try:
-                    home = view.storage_node(self.word)
-                except NoLiveNodeError:
-                    home = self.pid  # empty subtree: fall through to migrate
-                if home != self.pid:
-                    if await self._send(msg.forwarded(self.pid, home)):
+                    nxt = int(routing_table(itree, sliveness).next_hop[svid])
+                except NoLiveNodeError:  # pragma: no cover - we are live
+                    nxt = svid
+                stage["route"] += perf_counter() - t0
+                if nxt != svid:
+                    if await self._send(
+                        msg.forwarded(self.pid, view.pid_of_svid(nxt))
+                    ):
                         return
                     continue
-            # Fault here: migrate by changing the identifier (§4).
+                # next_hop maps the storage node to itself: the file is
+                # absent at its home — fall through to migrate (§4).
             send_failed = False
             for offset, next_sid in enumerate(remaining[1:], start=1):
-                next_view = SubtreeView(tree, self.b, next_sid)
+                nview, nitree, nsliveness = self._subtree_ctx(tree, next_sid)
                 try:
-                    target = next_view.storage_node(self.word)
+                    target = nview.pid_of_svid(
+                        routing_table(nitree, nsliveness).home
+                    )
                 except NoLiveNodeError:
                     continue
-                self.cluster.count("migrations")
+                cluster.count("migrations")
                 hop = replace(msg, payload=remaining[offset:])
                 if await self._send(hop.forwarded(self.pid, target)):
                     return
@@ -402,18 +546,22 @@ class NodeServer:
             return
         # Entry node: the client-facing ADVANCEDINSERTFILE (§3/§4).
         name = msg.file
-        r = self.cluster.psi(name)
+        r = self.cluster.psi_of(name)
         tree = self.cluster.tree(r)
         if not self.cluster.catalog_available(name):
             await self._client_error(msg, conn, f"file {name!r} already inserted")
             return
         homes: list[int] = []
+        t0 = perf_counter()
         for sid in range(1 << self.b):
-            view = SubtreeView(tree, self.b, sid)
+            view, itree, sliveness = self._subtree_ctx(tree, sid)
             try:
-                homes.append(view.storage_node(self.word))
+                homes.append(
+                    view.pid_of_svid(routing_table(itree, sliveness).home)
+                )
             except NoLiveNodeError:  # empty subtree: degree degrades (§4)
                 continue
+        self.cluster.stage_seconds["route"] += perf_counter() - t0
         if not homes:
             await self._client_error(msg, conn, f"no live storage node for {name!r}")
             return
@@ -471,9 +619,9 @@ class NodeServer:
                 self.cluster.count("update_discards")
                 return
             self.store.update(msg.file, msg.payload, msg.version)
-            tree = self.cluster.tree(self.cluster.psi(msg.file))
+            tree = self.cluster.tree(self.cluster.psi_of(msg.file))
             sid = subtree_of_pid(tree, self.pid, self.b)
-            view = SubtreeView(tree, self.b, sid)
+            view, _itree, _sliveness = self._subtree_ctx(tree, sid)
             for child in subtree_children(view, self.pid, self.word):
                 await self._send(msg.forwarded(self.pid, child))
             return
@@ -483,10 +631,10 @@ class NodeServer:
         if version is None:
             await self._client_error(msg, conn, f"file {name!r} not inserted")
             return
-        tree = self.cluster.tree(self.cluster.psi(name))
+        tree = self.cluster.tree(self.cluster.psi_of(name))
         stamped = replace(msg, origin=self.pid, version=version)
         for sid in range(1 << self.b):
-            view = SubtreeView(tree, self.b, sid)
+            view, _itree, _sliveness = self._subtree_ctx(tree, sid)
             root = view.root_pid
             if self.word.is_live(root):
                 targets = [root]
@@ -540,11 +688,9 @@ class NodeServer:
             seed = self._derived_seed()
         self._decision_count += 1
         cluster = self.cluster
-        tree = cluster.tree(cluster.psi(name))
+        tree = cluster.tree(cluster.psi_of(name))
         sid = subtree_of_pid(tree, self.pid, self.b)
-        view = SubtreeView(tree, self.b, sid)
-        itree = identity_tree(view)
-        sliveness = SvidLiveness(view, self.word)
+        view, itree, sliveness = self._subtree_ctx(tree, sid)
         holders = cluster.holders(name, include_pending=True)
         holders_svid = {
             view.svid_of(pid) for pid in holders if view.contains(pid)
@@ -591,13 +737,22 @@ class NodeServer:
         ``capacity`` — the paper's requests-per-second threshold.  The
         replica goes toward the max-traffic child subtree by the
         logless argument: the policy's children-list choice.
+
+        With a finite ``idle_timeout`` the same tick also runs
+        counter-based removal (§5-adjacent, the live dual of
+        ``LessLogSystem.remove_replica``): a REPLICATED copy whose
+        access counter has not advanced for ``idle_timeout`` seconds is
+        removed via a REMOVE frame to self, recorded in the oplog.
         """
         config = self.cluster.config
+        decay = config.idle_timeout != float("inf")
         while self._running:
             await asyncio.sleep(config.check_interval)
             if not self.cluster.replication_enabled:
                 continue
             now = asyncio.get_running_loop().time()
+            if decay:
+                self._decay_idle(now)
             rate = self.monitor.total_rate(now)
             saturated = self.inbox.qsize() >= config.inflight_limit
             if not saturated and rate <= config.capacity:
@@ -610,6 +765,38 @@ class NodeServer:
             self.last_replication = now
             await self._replicate_decision(name)
 
+    def _decay_idle(self, now: float) -> None:
+        """Counter-based idle decay over this node's REPLICATED copies.
+
+        Each tick compares every replica's access counter against the
+        last observed mark; a counter that moved resets the clock, one
+        that sat still past ``idle_timeout`` makes the copy cold.  The
+        removal is recorded *before* the REMOVE frame is enqueued (the
+        cluster also marks it pending, so concurrent placement
+        decisions stop seeing this holder in decision order), and the
+        frame's ``decay`` flag triggers the oracle-mirroring orphan GC
+        when it lands.
+        """
+        config = self.cluster.config
+        cold: list[str] = []
+        for copy in self.store.replicated_files():
+            count = copy.access_count
+            mark = self._access_marks.get(copy.name)
+            if mark is None or mark[0] != count:
+                self._access_marks[copy.name] = (count, now)
+                continue
+            if now - mark[1] >= config.idle_timeout:
+                cold.append(copy.name)
+        for name in cold:
+            self._access_marks.pop(name, None)
+            self.cluster.record_removal(name, self.pid)
+            self.deliver_local(
+                Message(
+                    kind=MessageKind.REMOVE, src=self.pid, dst=self.pid,
+                    file=name, payload={"decay": True},
+                )
+            )
+
     def _derived_seed(self) -> int:
         """Deterministic per-decision rng seed (pid- and count-keyed)."""
         return (
@@ -620,9 +807,22 @@ class NodeServer:
 
     # -- lifecycle ----------------------------------------------------------
 
+    @property
+    def active(self) -> bool:
+        """Is any work pending here?  (Used by the cluster's drain.)"""
+        return bool(self.busy or self.inbox.qsize() or self._serve_tasks)
+
     async def shutdown(self) -> None:
         """Stop serving: cancel tasks, close every connection."""
         self._running = False
+        for task in list(self._serve_tasks):
+            task.cancel()
+        for task in list(self._serve_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._serve_tasks.clear()
         for task in self._tasks:
             task.cancel()
         for task in self._tasks:

@@ -1,4 +1,4 @@
-"""Wire protocol: length-prefixed JSON frames carrying ``Message``.
+"""Wire protocol: length-prefixed frames carrying ``Message``.
 
 Every byte that crosses a connection in the live runtime — in-process
 socketpair streams and real TCP alike — is one *frame*:
@@ -7,18 +7,33 @@ socketpair streams and real TCP alike — is one *frame*:
     | magic  | version | reserved | body length (u32)|   8-byte header
     | 2 B    | 1 B     | 1 B      | big-endian       |
     +--------+---------+----------+------------------+
-    | body: UTF-8 JSON object (one Message)          |
+    | body: one Message, encoded per the version byte|
     +------------------------------------------------+
 
-The body is the JSON encoding of :class:`repro.net.message.Message`.
-Payloads must be JSON values; ``bytes`` are carried via a tagged
-``{"__b64__": ...}`` wrapper and tuples become lists (the only lossy
-conversion — documented, and irrelevant to the runtime, which uses
-dict payloads).
+Two codecs share the framing, selected by the header's version byte:
+
+* **v1 (JSON)** — the body is the UTF-8 JSON encoding of
+  :class:`repro.net.message.Message`.  Payloads must be JSON values;
+  ``bytes`` are carried via a tagged ``{"__b64__": ...}`` wrapper and
+  tuples become lists (the only lossy conversion — documented, and
+  irrelevant to the runtime, which uses dict payloads).
+* **v2 (binary)** — a hand-rolled struct layout: one byte of message
+  kind, six signed 64-bit integer fields (``src dst version hops
+  origin request_id``), a u16-length-prefixed UTF-8 file name, then
+  the payload as a tagged tree (see ``_enc_value``).  The encodable
+  value set is identical to v1's (JSON scalars + bytes, string dict
+  keys, finite floats), so the two codecs round-trip the same
+  messages — property-tested in ``tests/test_runtime.py``.
+
+Negotiation is per connection: each side learns the peer's codec from
+the version byte of the frames it receives (:func:`read_frame`) and a
+sender never exceeds the receiver's advertised maximum — the cluster
+computes ``min(sender, receiver)`` per link, so a v1 node in a v2
+cluster keeps working and never sees a v2 frame.
 
 Decoding is hardened: bad magic, unknown wire version, oversized or
-truncated frames, malformed JSON, non-object bodies, unknown message
-kinds, and wrongly-typed fields each raise a precise error rather than
+truncated frames, malformed bodies, unknown message kinds or payload
+tags, and wrongly-typed fields each raise a precise error rather than
 crashing a server task.  :class:`FrameError` covers the framing layer
 (the connection is unusable afterwards — resynchronisation is not
 attempted); :class:`WireDecodeError` covers a syntactically valid
@@ -30,6 +45,7 @@ from __future__ import annotations
 import base64
 import binascii
 import json
+import math
 import struct
 from asyncio import IncompleteReadError, StreamReader, StreamWriter
 from typing import Any
@@ -38,6 +54,8 @@ from ..net.message import Message, MessageKind
 
 __all__ = [
     "WIRE_VERSION",
+    "WIRE_VERSION_BINARY",
+    "MAX_WIRE_VERSION",
     "MAX_FRAME",
     "WireError",
     "FrameError",
@@ -46,12 +64,17 @@ __all__ = [
     "message_from_dict",
     "encode_message",
     "decode_message",
+    "read_frame",
     "read_message",
     "write_message",
 ]
 
 MAGIC = b"LL"
 WIRE_VERSION = 1
+"""The JSON codec — the compatibility fallback every node understands."""
+WIRE_VERSION_BINARY = 2
+"""The struct-packed binary codec — the fast path."""
+MAX_WIRE_VERSION = WIRE_VERSION_BINARY
 HEADER = struct.Struct(">2sBBI")
 MAX_FRAME = 1 << 20
 """Default ceiling on body size (1 MiB): a decode-bomb guard."""
@@ -69,7 +92,7 @@ class WireDecodeError(WireError):
     """A well-framed body that does not decode to a valid Message."""
 
 
-# -- payload codec -------------------------------------------------------
+# -- v1 payload codec (JSON) ---------------------------------------------
 
 def _encode_payload(value: Any) -> Any:
     """JSON-safe transform: bytes → tagged base64, tuples → lists."""
@@ -155,41 +178,249 @@ def message_from_dict(data: Any) -> Message:
     return Message(**fields)
 
 
+# -- v2 body codec (binary) ----------------------------------------------
+#
+# Fixed part: kind code (u8), the six int fields as signed 64-bit, and
+# the file-name length (u16), followed by the UTF-8 name bytes and the
+# tagged payload tree.  Kind codes are the append-only definition order
+# of MessageKind — new kinds must be appended to the enum, never
+# reordered, or old binaries would misread each other's frames.
+
+_KIND_BY_CODE: tuple[MessageKind, ...] = tuple(MessageKind)
+_CODE_BY_KIND: dict[MessageKind, int] = {k: i for i, k in enumerate(_KIND_BY_CODE)}
+
+_S_FIXED = struct.Struct(">B6qH")
+_S_Q = struct.Struct(">q")
+_S_D = struct.Struct(">d")
+_S_U32 = struct.Struct(">I")
+
+_T_NONE, _T_TRUE, _T_FALSE, _T_INT, _T_FLOAT = 0, 1, 2, 3, 4
+_T_STR, _T_BYTES, _T_LIST, _T_DICT, _T_BIGINT = 5, 6, 7, 8, 9
+
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+def _enc_value(buf: bytearray, value: Any) -> None:
+    """Append one tagged payload value to ``buf``.
+
+    Accepts exactly the v1-encodable set so the codecs stay equivalent:
+    None/bool/int/finite float/str/bytes, lists (tuples become lists),
+    and dicts with string keys.
+    """
+    if value is None:
+        buf.append(_T_NONE)
+    elif value is True:
+        buf.append(_T_TRUE)
+    elif value is False:
+        buf.append(_T_FALSE)
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            buf.append(_T_INT)
+            buf += _S_Q.pack(value)
+        else:
+            raw = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+            buf.append(_T_BIGINT)
+            buf += _S_U32.pack(len(raw))
+            buf += raw
+    elif isinstance(value, float):
+        if not math.isfinite(value):
+            # json.dumps(allow_nan=False) rejects these too: keep the
+            # encodable sets identical across codecs.
+            raise WireDecodeError("non-finite float is not wire-safe")
+        buf.append(_T_FLOAT)
+        buf += _S_D.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        buf.append(_T_STR)
+        buf += _S_U32.pack(len(raw))
+        buf += raw
+    elif isinstance(value, bytes):
+        buf.append(_T_BYTES)
+        buf += _S_U32.pack(len(value))
+        buf += value
+    elif isinstance(value, (list, tuple)):
+        buf.append(_T_LIST)
+        buf += _S_U32.pack(len(value))
+        for item in value:
+            _enc_value(buf, item)
+    elif isinstance(value, dict):
+        buf.append(_T_DICT)
+        buf += _S_U32.pack(len(value))
+        for key, val in value.items():
+            if not isinstance(key, str):
+                raise WireDecodeError(
+                    f"payload object keys must be strings, got {key!r}"
+                )
+            raw = key.encode("utf-8")
+            buf += _S_U32.pack(len(raw))
+            buf += raw
+            _enc_value(buf, val)
+    else:
+        raise WireDecodeError(
+            f"payload of type {type(value).__name__} is not wire-safe"
+        )
+
+
+def _need(body: bytes, pos: int, count: int) -> None:
+    if pos + count > len(body):
+        raise WireDecodeError(
+            f"truncated binary payload: need {count} bytes at offset {pos}, "
+            f"have {len(body) - pos}"
+        )
+
+
+def _dec_str(body: bytes, pos: int) -> tuple[str, int]:
+    _need(body, pos, 4)
+    (length,) = _S_U32.unpack_from(body, pos)
+    pos += 4
+    _need(body, pos, length)
+    try:
+        text = body[pos:pos + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireDecodeError(f"bad UTF-8 in binary payload: {exc}") from None
+    return text, pos + length
+
+
+def _dec_value(body: bytes, pos: int) -> tuple[Any, int]:
+    _need(body, pos, 1)
+    tag = body[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        _need(body, pos, 8)
+        return _S_Q.unpack_from(body, pos)[0], pos + 8
+    if tag == _T_FLOAT:
+        _need(body, pos, 8)
+        return _S_D.unpack_from(body, pos)[0], pos + 8
+    if tag == _T_STR:
+        return _dec_str(body, pos)
+    if tag == _T_BYTES:
+        _need(body, pos, 4)
+        (length,) = _S_U32.unpack_from(body, pos)
+        pos += 4
+        _need(body, pos, length)
+        return body[pos:pos + length], pos + length
+    if tag == _T_LIST:
+        _need(body, pos, 4)
+        (count,) = _S_U32.unpack_from(body, pos)
+        pos += 4
+        items = []
+        for _ in range(count):
+            item, pos = _dec_value(body, pos)
+            items.append(item)
+        return items, pos
+    if tag == _T_DICT:
+        _need(body, pos, 4)
+        (count,) = _S_U32.unpack_from(body, pos)
+        pos += 4
+        out: dict[str, Any] = {}
+        for _ in range(count):
+            key, pos = _dec_str(body, pos)
+            out[key], pos = _dec_value(body, pos)
+        return out, pos
+    if tag == _T_BIGINT:
+        _need(body, pos, 4)
+        (length,) = _S_U32.unpack_from(body, pos)
+        pos += 4
+        _need(body, pos, length)
+        return int.from_bytes(body[pos:pos + length], "big", signed=True), pos + length
+    raise WireDecodeError(f"unknown binary payload tag {tag}")
+
+
+def _encode_body_v2(msg: Message) -> bytes:
+    buf = bytearray()
+    code = _CODE_BY_KIND[msg.kind]
+    try:
+        name = msg.file.encode("utf-8")
+    except UnicodeEncodeError as exc:
+        raise WireDecodeError(f"message is not wire-encodable: {exc}") from None
+    if len(name) > 0xFFFF:
+        raise WireDecodeError(f"file name of {len(name)} bytes exceeds 65535")
+    try:
+        buf += _S_FIXED.pack(
+            code, msg.src, msg.dst, msg.version, msg.hops, msg.origin,
+            msg.request_id, len(name),
+        )
+    except struct.error as exc:
+        raise WireDecodeError(f"message is not wire-encodable: {exc}") from None
+    buf += name
+    try:
+        _enc_value(buf, msg.payload)
+    except UnicodeEncodeError as exc:
+        raise WireDecodeError(f"message is not wire-encodable: {exc}") from None
+    return bytes(buf)
+
+
+def _decode_body_v2(body: bytes) -> Message:
+    if len(body) < _S_FIXED.size:
+        raise WireDecodeError(
+            f"binary body of {len(body)} bytes is shorter than the fixed part"
+        )
+    code, src, dst, version, hops, origin, request_id, name_len = (
+        _S_FIXED.unpack_from(body, 0)
+    )
+    if code >= len(_KIND_BY_CODE):
+        raise WireDecodeError(f"unknown message kind code {code}")
+    pos = _S_FIXED.size
+    _need(body, pos, name_len)
+    try:
+        file = body[pos:pos + name_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireDecodeError(f"bad UTF-8 file name: {exc}") from None
+    pos += name_len
+    payload, pos = _dec_value(body, pos)
+    if pos != len(body):
+        raise WireDecodeError(
+            f"{len(body) - pos} trailing bytes after binary payload"
+        )
+    return Message(
+        kind=_KIND_BY_CODE[code], src=src, dst=dst, file=file, payload=payload,
+        version=version, hops=hops, origin=origin, request_id=request_id,
+    )
+
+
 # -- frame codec ---------------------------------------------------------
 
-def encode_message(msg: Message) -> bytes:
-    """One complete frame (header + body) for ``msg``."""
-    try:
-        body = json.dumps(
-            message_to_dict(msg), separators=(",", ":"), allow_nan=False
-        ).encode("utf-8")
-    except (TypeError, ValueError) as exc:
-        raise WireDecodeError(f"message is not wire-encodable: {exc}") from None
+def encode_message(msg: Message, version: int = WIRE_VERSION) -> bytes:
+    """One complete frame (header + body) for ``msg`` at ``version``."""
+    if version == WIRE_VERSION:
+        try:
+            body = json.dumps(
+                message_to_dict(msg), separators=(",", ":"), allow_nan=False
+            ).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise WireDecodeError(f"message is not wire-encodable: {exc}") from None
+    elif version == WIRE_VERSION_BINARY:
+        body = _encode_body_v2(msg)
+    else:
+        raise FrameError(f"unsupported wire version {version}")
     if len(body) > MAX_FRAME:
         raise FrameError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME}")
-    return HEADER.pack(MAGIC, WIRE_VERSION, 0, len(body)) + body
+    return HEADER.pack(MAGIC, version, 0, len(body)) + body
 
 
-def _check_header(header: bytes, max_frame: int) -> int:
-    """Validate an 8-byte header; return the body length."""
+def _check_header(
+    header: bytes, max_frame: int, max_version: int = MAX_WIRE_VERSION
+) -> tuple[int, int]:
+    """Validate an 8-byte header; return ``(version, body length)``."""
     magic, version, _reserved, length = HEADER.unpack(header)
     if magic != MAGIC:
         raise FrameError(f"bad magic {magic!r} (expected {MAGIC!r})")
-    if version != WIRE_VERSION:
+    if not WIRE_VERSION <= version <= max_version:
         raise FrameError(f"unsupported wire version {version}")
     if length > max_frame:
         raise FrameError(f"frame body of {length} bytes exceeds {max_frame}")
-    return length
+    return version, length
 
 
-def decode_message(frame: bytes, max_frame: int = MAX_FRAME) -> Message:
-    """Decode one complete frame from a byte string."""
-    if len(frame) < HEADER.size:
-        raise FrameError(f"truncated header: {len(frame)} bytes")
-    length = _check_header(frame[: HEADER.size], max_frame)
-    body = frame[HEADER.size:]
-    if len(body) != length:
-        raise FrameError(f"body length {len(body)} does not match header {length}")
+def _decode_body(version: int, body: bytes) -> Message:
+    if version == WIRE_VERSION_BINARY:
+        return _decode_body_v2(body)
     try:
         data = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -197,10 +428,34 @@ def decode_message(frame: bytes, max_frame: int = MAX_FRAME) -> Message:
     return message_from_dict(data)
 
 
+def decode_message(
+    frame: bytes,
+    max_frame: int = MAX_FRAME,
+    max_version: int = MAX_WIRE_VERSION,
+) -> Message:
+    """Decode one complete frame from a byte string."""
+    if len(frame) < HEADER.size:
+        raise FrameError(f"truncated header: {len(frame)} bytes")
+    version, length = _check_header(frame[: HEADER.size], max_frame, max_version)
+    body = frame[HEADER.size:]
+    if len(body) != length:
+        raise FrameError(f"body length {len(body)} does not match header {length}")
+    return _decode_body(version, body)
+
+
 # -- stream I/O ----------------------------------------------------------
 
-async def read_message(reader: StreamReader, max_frame: int = MAX_FRAME) -> Message:
-    """Read exactly one message off a stream.
+async def read_frame(
+    reader: StreamReader,
+    max_frame: int = MAX_FRAME,
+    max_version: int = MAX_WIRE_VERSION,
+) -> tuple[Message, int]:
+    """Read one message off a stream; return it with its wire version.
+
+    The version is how receivers learn a peer's codec: replies on the
+    same connection should not exceed it.  ``max_version`` is this
+    side's own ceiling — a v1-only node rejects v2 frames at the
+    framing layer.
 
     Raises :class:`EOFError` on a clean end-of-stream at a frame
     boundary, :class:`FrameError` on mid-frame truncation or a broken
@@ -214,17 +469,29 @@ async def read_message(reader: StreamReader, max_frame: int = MAX_FRAME) -> Mess
         raise FrameError(
             f"connection closed mid-header ({len(exc.partial)} bytes)"
         ) from None
-    length = _check_header(header, max_frame)
+    version, length = _check_header(header, max_frame, max_version)
     try:
         body = await reader.readexactly(length)
     except IncompleteReadError as exc:
         raise FrameError(
             f"connection closed mid-body ({len(exc.partial)}/{length} bytes)"
         ) from None
-    return decode_message(header + body, max_frame)
+    return _decode_body(version, body), version
 
 
-async def write_message(writer: StreamWriter, msg: Message) -> None:
+async def read_message(
+    reader: StreamReader,
+    max_frame: int = MAX_FRAME,
+    max_version: int = MAX_WIRE_VERSION,
+) -> Message:
+    """Read exactly one message off a stream (see :func:`read_frame`)."""
+    msg, _version = await read_frame(reader, max_frame, max_version)
+    return msg
+
+
+async def write_message(
+    writer: StreamWriter, msg: Message, version: int = WIRE_VERSION
+) -> None:
     """Write one message and flush it through the transport."""
-    writer.write(encode_message(msg))
+    writer.write(encode_message(msg, version))
     await writer.drain()

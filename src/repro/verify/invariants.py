@@ -34,6 +34,9 @@ The default registry encodes the paper's claims:
                                inflight + dead_letter``) and, once the
                                engine drains, terminated — no request
                                may lose its timeout and hang forever
+``runtime-oracle-conformance`` a ``live_segment`` event's asyncio
+                               cluster must replay to the synchronous
+                               oracle's exact final state
 =============================  ==========================================
 """
 
@@ -469,6 +472,28 @@ class RequestLifecycle(Invariant):
             )
 
 
+class RuntimeConformance(Invariant):
+    """A ``live_segment`` event must land in the oracle's exact state.
+
+    The harness records one :class:`~repro.runtime.conformance.ConformanceReport`
+    per applied segment; a report with mismatches means the live
+    asyncio runtime (codec negotiation, batching, cached routing and
+    all) diverged from the synchronous model on that seeded workload.
+    """
+
+    name = "runtime-oracle-conformance"
+
+    def check(self, ctx: AuditContext) -> None:
+        if ctx.event is None or ctx.event.op != "live_segment":
+            return
+        reports = getattr(ctx.harness, "live_reports", None)
+        if not reports:
+            return  # the segment was skipped
+        report = reports[-1]
+        if not report.ok:
+            self.fail(ctx, report.render())
+
+
 def default_invariants() -> list[Invariant]:
     """Fresh instances of the full registry (order = check order)."""
     return [
@@ -482,4 +507,5 @@ def default_invariants() -> list[Invariant]:
         TransportConservation(),
         SnapshotRoundTrip(),
         RequestLifecycle(),
+        RuntimeConformance(),
     ]

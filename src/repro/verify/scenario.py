@@ -165,6 +165,9 @@ class ScenarioHarness:
         self.applied = 0
         self.skipped = 0
         self.last_replica_target: int | None = None
+        self.live_reports: list[Any] = []
+        """Conformance reports from ``live_segment`` events, in order
+        (audited by the runtime-oracle-conformance invariant)."""
 
     def _client_edge(self, message: Message) -> None:
         """The client endpoint: any reply settles its tracked request."""
@@ -304,6 +307,48 @@ class ScenarioHarness:
                 system.get(name, entry=entry)
             except FileNotFoundInSystemError:
                 pass  # surfaced by the routing invariant
+        return True
+
+    def _apply_live_segment(self, event: ScenarioEvent) -> bool:
+        """Run a seeded segment through the *live asyncio runtime*.
+
+        The runtime-driven fuzzer op: boots a small `LiveCluster`
+        (independent of the DES system under test — the segment is a
+        self-contained probe), drives a generated op sequence over real
+        wire frames, replays the cluster's op log through the
+        synchronous oracle, and records the conformance report for the
+        ``runtime-oracle-conformance`` invariant to audit.  Parameters
+        select the codec mix and fast-path knobs, so fuzzing covers
+        mixed-version clusters and coalesced/batched configurations.
+        """
+        import asyncio
+
+        from ..runtime.cluster import RuntimeConfig
+        from ..runtime.conformance import WorkloadSpec, run_conformance
+
+        params = event.params
+        m = max(2, min(int(params.get("m", 3)), 3))
+        b = int(params.get("b", 1))
+        if not 0 <= b < m:
+            b = 0
+        spec = WorkloadSpec(
+            m=m,
+            b=b,
+            seed=int(params.get("seed", 0)),
+            files=max(1, min(int(params.get("files", 3)), 6)),
+            ops=max(0, min(int(params.get("ops", 12)), 24)),
+            churn=bool(params.get("churn", True)),
+        )
+        config = RuntimeConfig(
+            m=m,
+            b=b,
+            seed=spec.seed,
+            v1_pids=(0,) if params.get("mixed") else (),
+            coalesce_bytes=max(0, int(params.get("coalesce_bytes", 0))),
+            batch_max=max(1, int(params.get("batch_max", 16))),
+        )
+        report = asyncio.run(run_conformance(spec, config=config))
+        self.live_reports.append(report)
         return True
 
     def _sync_endpoints(self, handler_factory) -> None:
@@ -487,8 +532,9 @@ def generate_scenario(
     events: list[ScenarioEvent] = []
 
     ops = ["insert", "get", "update", "replicate", "remove_replica",
-           "join", "leave", "fail", "workload", "net", "reliable_workload"]
-    weights = [14, 18, 10, 12, 4, 8, 6, 6, 12, 10, 10]
+           "join", "leave", "fail", "workload", "net", "reliable_workload",
+           "live_segment"]
+    weights = [14, 18, 10, 12, 4, 8, 6, 6, 12, 10, 10, 2]
 
     def any_file() -> str | None:
         return rng.choice(names) if names else None
@@ -548,7 +594,7 @@ def generate_scenario(
                     },
                 )
             )
-        else:  # reliable_workload
+        elif op == "reliable_workload":
             events.append(
                 ScenarioEvent(
                     "reliable_workload",
@@ -557,6 +603,21 @@ def generate_scenario(
                         "loss_rate": round(rng.uniform(0.0, 0.3), 3),
                         "max_attempts": rng.randint(1, 6),
                         "entries": rng.choice(["live", "live", "all"]),
+                        "seed": rng.randrange(1 << 30),
+                    },
+                )
+            )
+        else:  # live_segment — a self-contained live-runtime probe
+            events.append(
+                ScenarioEvent(
+                    "live_segment",
+                    {
+                        "m": 3,
+                        "b": rng.choice([0, 1]),
+                        "files": rng.randint(2, 4),
+                        "ops": rng.randint(6, 14),
+                        "mixed": rng.random() < 0.5,
+                        "coalesce_bytes": rng.choice([0, 4096]),
                         "seed": rng.randrange(1 << 30),
                     },
                 )

@@ -28,12 +28,15 @@ from repro.runtime import (
 from repro.runtime.wire import (
     HEADER,
     MAGIC,
+    WIRE_VERSION,
+    WIRE_VERSION_BINARY,
     FrameError,
     WireDecodeError,
     decode_message,
     encode_message,
     message_from_dict,
     message_to_dict,
+    read_frame,
     read_message,
 )
 
@@ -115,6 +118,129 @@ class TestWireRoundTrip:
             return await read_message(reader)
 
         assert asyncio.run(run()) == msg
+
+
+# ---------------------------------------------------------------------------
+# binary codec (v2): equivalence with v1 and negotiation
+# ---------------------------------------------------------------------------
+
+class TestBinaryCodec:
+    @settings(max_examples=120)
+    @given(messages)
+    def test_binary_encode_decode_is_identity(self, msg):
+        assert decode_message(encode_message(msg, WIRE_VERSION_BINARY)) == msg
+
+    @settings(max_examples=80)
+    @given(messages)
+    def test_codecs_decode_to_the_same_message(self, msg):
+        via_json = decode_message(encode_message(msg, WIRE_VERSION))
+        via_binary = decode_message(encode_message(msg, WIRE_VERSION_BINARY))
+        assert via_json == via_binary
+
+    @pytest.mark.parametrize("kind", list(MessageKind))
+    def test_every_kind_round_trips_through_both_codecs(self, kind):
+        msg = Message(
+            kind=kind, src=3, dst=12, file="every-kind.dat",
+            payload={"n": [1, 2.5, None, b"\x00\xff"], "s": "text"},
+            version=4, hops=2, origin=3, request_id=991,
+        )
+        for version in (WIRE_VERSION, WIRE_VERSION_BINARY):
+            assert decode_message(encode_message(msg, version)) == msg
+
+    def test_binary_tuple_payload_round_trips_as_list(self):
+        msg = Message(kind=MessageKind.GET, src=0, dst=1, payload=(1, (2, 3)))
+        decoded = decode_message(encode_message(msg, WIRE_VERSION_BINARY))
+        assert decoded.payload == [1, [2, 3]]
+
+    def test_binary_is_smaller_for_runtime_shaped_messages(self):
+        msg = Message(
+            kind=MessageKind.GET_REPLY, src=3, dst=9, file="bench-00.dat",
+            payload={"payload": "x" * 64, "server": 3},
+            version=4, hops=3, origin=9, request_id=12345,
+        )
+        small = encode_message(msg, WIRE_VERSION_BINARY)
+        big = encode_message(msg, WIRE_VERSION)
+        assert len(small) < len(big)
+
+    def test_huge_int_payload_round_trips(self):
+        msg = Message(kind=MessageKind.ACK, src=0, dst=1,
+                      payload={"big": 1 << 200, "neg": -(1 << 200)})
+        assert decode_message(encode_message(msg, WIRE_VERSION_BINARY)) == msg
+
+    def test_read_frame_reports_the_sender_version(self):
+        msg = Message(kind=MessageKind.ACK, src=0, dst=1)
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_message(msg, WIRE_VERSION_BINARY))
+            reader.feed_data(encode_message(msg, WIRE_VERSION))
+            reader.feed_eof()
+            return await read_frame(reader), await read_frame(reader)
+
+        (m1, v1), (m2, v2) = asyncio.run(run())
+        assert (m1, v1) == (msg, WIRE_VERSION_BINARY)
+        assert (m2, v2) == (msg, WIRE_VERSION)
+
+
+class TestBinaryHardening:
+    def _v2_frame(self, **kwargs):
+        return encode_message(
+            Message(kind=MessageKind.GET, src=0, dst=1, file="abc", **kwargs),
+            WIRE_VERSION_BINARY,
+        )
+
+    def _reframe(self, body: bytes) -> bytes:
+        return HEADER.pack(MAGIC, WIRE_VERSION_BINARY, 0, len(body)) + body
+
+    def test_v1_only_receiver_rejects_v2_at_the_framing_layer(self):
+        with pytest.raises(FrameError, match="version"):
+            decode_message(self._v2_frame(), max_version=WIRE_VERSION)
+
+    def test_v1_only_stream_reader_rejects_v2_frames(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(self._v2_frame())
+            reader.feed_eof()
+            with pytest.raises(FrameError, match="version"):
+                await read_frame(reader, max_version=WIRE_VERSION)
+
+        asyncio.run(run())
+
+    def test_unknown_kind_code_is_a_decode_error(self):
+        body = bytearray(self._v2_frame()[HEADER.size:])
+        body[0] = 200
+        with pytest.raises(WireDecodeError, match="kind code"):
+            decode_message(self._reframe(bytes(body)))
+
+    def test_truncated_binary_payload_is_a_decode_error(self):
+        body = self._v2_frame(payload={"key": "value"})[HEADER.size:-3]
+        with pytest.raises(WireDecodeError, match="truncated"):
+            decode_message(self._reframe(body))
+
+    def test_unknown_payload_tag_is_a_decode_error(self):
+        body = bytearray(self._v2_frame(payload=None)[HEADER.size:])
+        body[-1] = 250  # the payload's single tag byte
+        with pytest.raises(WireDecodeError, match="unknown binary payload tag"):
+            decode_message(self._reframe(bytes(body)))
+
+    def test_bad_utf8_file_name_is_a_decode_error(self):
+        body = bytearray(self._v2_frame()[HEADER.size:])
+        body[-4:-1] = b"\xff\xfe\xfd"  # the 3 name bytes precede the tag
+        with pytest.raises(WireDecodeError, match="UTF-8"):
+            decode_message(self._reframe(bytes(body)))
+
+    def test_trailing_bytes_are_a_decode_error(self):
+        body = self._v2_frame(payload=None)[HEADER.size:] + b"\x00"
+        with pytest.raises(WireDecodeError, match="trailing"):
+            decode_message(self._reframe(body))
+
+    @settings(max_examples=80)
+    @given(st.binary(min_size=0, max_size=64))
+    def test_random_binary_bodies_never_crash_the_decoder(self, blob):
+        try:
+            decode_message(self._reframe(blob))
+        except (FrameError, WireDecodeError):
+            pass  # precise rejection is the contract; crashing is not
 
 
 # ---------------------------------------------------------------------------
@@ -220,6 +346,39 @@ def test_percentile_interpolates():
     assert percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
 
 
+class TestLoadReportQuantiles:
+    """p50/p99 come from one ``statistics.quantiles`` pass, not two
+    full sorts per property access — and must agree with the reference
+    :func:`percentile` interpolation."""
+
+    def _report(self, latencies):
+        from repro.runtime.client import LoadReport
+
+        return LoadReport(
+            requests=len(latencies), completed=len(latencies),
+            duration=1.0, latencies=list(latencies),
+        )
+
+    @settings(max_examples=60)
+    @given(st.lists(st.floats(min_value=1e-6, max_value=10.0), max_size=200))
+    def test_quantiles_match_reference_percentile(self, latencies):
+        report = self._report(latencies)
+        assert report.p50 == pytest.approx(percentile(latencies, 0.50))
+        assert report.p99 == pytest.approx(percentile(latencies, 0.99))
+
+    def test_cache_invalidates_when_samples_arrive(self):
+        report = self._report([1.0, 2.0, 3.0])
+        first = report.p99
+        report.latencies.extend([100.0] * 50)
+        assert report.p99 > first
+
+    def test_empty_and_singleton_reports(self):
+        assert self._report([]).p50 == 0.0
+        assert self._report([]).p99 == 0.0
+        assert self._report([0.25]).p50 == 0.25
+        assert self._report([0.25]).p99 == 0.25
+
+
 # ---------------------------------------------------------------------------
 # tier-1 conformance smoke: one small scenario, both models
 # ---------------------------------------------------------------------------
@@ -244,6 +403,86 @@ def test_oracle_conformance_across_seeds(seed, b):
     spec = WorkloadSpec(m=4, b=b, seed=seed, files=5, ops=30)
     report = asyncio.run(run_conformance(spec))
     assert report.ok, report.render()
+
+
+@pytest.mark.runtime
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_mixed_codec_cluster_matches_oracle(seed):
+    """A cluster where some nodes are pinned to the JSON-v1 codec and
+    the rest run binary-v2 negotiates per link and still replays
+    conformant against the oracle (ISSUE acceptance: 3 seeds)."""
+    spec = WorkloadSpec(m=4, b=1, seed=seed, files=5, ops=30)
+    config = RuntimeConfig(m=4, b=1, seed=seed, v1_pids=(0, 5, 9))
+    report = asyncio.run(run_conformance(spec, config=config))
+    assert report.ok, report.render()
+
+
+@pytest.mark.runtime
+def test_coalesced_batched_cluster_matches_oracle():
+    """Frame coalescing plus deep inbox batching change scheduling, not
+    outcomes: the oracle replay still agrees."""
+    spec = WorkloadSpec(m=4, b=1, seed=3, files=5, ops=30)
+    config = RuntimeConfig(
+        m=4, b=1, seed=3, coalesce_bytes=4096, coalesce_delay=0.002,
+        batch_max=32,
+    )
+    report = asyncio.run(run_conformance(spec, config=config))
+    assert report.ok, report.render()
+
+
+def test_conformance_rejects_mismatched_config():
+    from repro.core.errors import ConfigurationError
+
+    spec = WorkloadSpec(m=4, b=1, seed=3, files=2, ops=4)
+    config = RuntimeConfig(m=4, b=1, seed=4)
+    with pytest.raises(ConfigurationError):
+        asyncio.run(run_conformance(spec, config=config))
+
+
+@pytest.mark.runtime
+def test_idle_replica_decays_with_conformant_removal():
+    """Counter-based removal, live: replicas whose access counters sit
+    still past ``idle_timeout`` are REMOVEd via the wire, the decision
+    lands in the oplog, and the oracle replay (which drives
+    ``remove_replica``) agrees with the final placement."""
+
+    async def run():
+        config = RuntimeConfig(
+            m=4, b=1, seed=21, capacity=25.0, service_time=0.001,
+            inflight_limit=8, idle_timeout=0.25,
+        )
+        cluster = await LiveCluster.start(config)
+        try:
+            files = [f"cold-{i}" for i in range(4)]
+            boot = await RuntimeClient(cluster, 0).connect()
+            for name in files:
+                await boot.insert(name, name)
+            await boot.close()
+            await cluster.drain()
+            gen = LoadGenerator(
+                cluster, files, WorkloadShape(kind="zipf", s=1.5), seed=21
+            )
+            await gen.run_open_loop(rps=300, duration=1.0)
+            await gen.close()
+            assert cluster.replicas_created() > 0, "burst never replicated"
+            # Traffic stops; counters freeze; decay kicks in at the
+            # sweep after idle_timeout.
+            deadline = asyncio.get_running_loop().time() + 3.0
+            while not any(rec.kind == "remove" for rec in cluster.oplog):
+                assert asyncio.get_running_loop().time() < deadline, \
+                    "no idle replica decayed within 3s"
+                await asyncio.sleep(0.05)
+            await cluster.quiesce()
+            removes = [rec for rec in cluster.oplog if rec.kind == "remove"]
+            assert removes
+            system = replay_oplog(cluster.oplog, config, cluster.initial_live)
+            system.check_invariants()
+            report = diff_states(cluster, system)
+            assert report.ok, report.render()
+        finally:
+            await cluster.shutdown()
+
+    asyncio.run(run())
 
 
 @pytest.mark.runtime

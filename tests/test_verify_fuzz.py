@@ -89,6 +89,49 @@ class TestFuzzSmoke:
             assert report.ok, report.render()
 
 
+class TestLiveSegmentOp:
+    """The runtime-driven fuzzer op: seeded segments through the live
+    asyncio runtime, audited for oracle conformance."""
+
+    def test_scripted_segment_records_a_conformant_report(self):
+        harness = ScenarioHarness(Scenario(m=4, b=1, seed=0))
+        event = ScenarioEvent(
+            "live_segment",
+            {"m": 3, "b": 1, "files": 2, "ops": 6, "seed": 42},
+        )
+        assert harness.apply(event)
+        assert len(harness.live_reports) == 1
+        report = harness.live_reports[-1]
+        assert report.ok, report.render()
+
+    def test_mixed_codec_segment_applies(self):
+        harness = ScenarioHarness(Scenario(m=4, b=1, seed=1))
+        event = ScenarioEvent(
+            "live_segment",
+            {"m": 3, "b": 0, "files": 2, "ops": 6, "seed": 5,
+             "mixed": True, "coalesce_bytes": 4096},
+        )
+        assert harness.apply(event)
+        assert harness.live_reports[-1].ok, harness.live_reports[-1].render()
+
+    def test_generator_emits_live_segments(self):
+        ops = [
+            event.op
+            for seed in range(6)
+            for event in generate_scenario(seed=seed, m=5, b=1,
+                                           n_events=40).events
+        ]
+        assert "live_segment" in ops
+
+    def test_conformance_invariant_audits_the_last_report(self):
+        from repro.verify.invariants import RuntimeConformance
+
+        names = [inv.name for inv in __import__(
+            "repro.verify.invariants", fromlist=["default_invariants"]
+        ).default_invariants()]
+        assert RuntimeConformance.name in names
+
+
 @pytest.mark.fuzz
 class TestMutationCaught:
     """Acceptance path: injected bug → caught → shrunk ≤ 10 → replays."""

@@ -1,14 +1,35 @@
 #!/usr/bin/env python
-"""Benchmark the live asyncio runtime: sustained RPS and latency.
+"""Benchmark the live asyncio runtime: sustained RPS and latency, per codec.
 
 Boots a live cluster (in-process streams by default, ``--tcp`` for real
-loopback TCP), inserts a file set, and drives a seeded Zipf GET
-workload through the open-loop load generator at a ramp of target
-rates.  The *sustained* RPS is the highest target the cluster served
-with no timeouts and at least 99% completion.  Alongside the latency
-percentiles at that rate, the run reports how many autonomous replica
-placements the overload sweepers made (the paper's replicas-to-balance
-measure, live).  Results go to ``BENCH_runtime.json`` at the repo root.
+loopback TCP), inserts a file set, and drives a seeded Zipf GET workload
+through the open-loop load generator at a ramp of target rates — once
+for each wire-protocol profile:
+
+* ``json-v1``   — the v1 JSON codec with the serialized inbox consumer
+  (``batch_max=1``), i.e. the runtime as it behaved before the fast
+  path landed.
+* ``binary-v2`` — the v2 binary codec with batched inbox draining and
+  pipelined GET serving (``batch_max=16``).
+
+``service_time`` models per-request storage latency (a 4 ms read).  The
+compat profile awaits each read inside the consumer, so a node serves
+reads serially; the fast path overlaps them, which is where most of the
+throughput headroom comes from.
+
+Each rate runs ``trials`` times on a fresh cluster: a warmup window at
+the target rate (so overload replication reaches steady state), then a
+measured window with the cyclic GC paused (collection pauses otherwise
+dominate tail latency near saturation).  A rate is *sustained* when
+every trial completes >= 99% of requests with no timeouts and the
+median p99 latency stays within the SLO (50 ms).  The ramp for a codec
+stops at its first unsustained rate.  Every trial is replayed against
+the synchronous oracle; a single divergence fails the run.
+
+Results go to ``BENCH_runtime.json`` at the repo root.  Top-level
+``sustained_rps``/latency fields describe the binary profile; the
+``codecs`` section carries both profiles and ``speedup`` is the ratio
+of sustained rates.
 
 Usage::
 
@@ -16,14 +37,17 @@ Usage::
     PYTHONPATH=src python tools/bench_runtime.py --check    # CI smoke
     PYTHONPATH=src python tools/bench_runtime.py --tcp      # over TCP
 
-``--check`` runs a reduced ramp and exits non-zero if the cluster
-cannot sustain the smallest target rate or conformance fails.
+``--check`` runs a reduced ramp and exits non-zero if conformance
+fails, the smallest rate cannot be sustained, or — when the committed
+baseline records a check-mode expectation — sustained throughput drops
+more than 30% below it (the CI regression gate).
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import gc
 import json
 import sys
 import time
@@ -44,14 +68,32 @@ from repro.runtime import (  # noqa: E402
 )
 
 OUTPUT = REPO_ROOT / "BENCH_runtime.json"
+BASELINE = REPO_ROOT / "BENCH_runtime.json"
+
+#: Latency SLO: a rate only counts as sustained while the median-trial
+#: p99 stays under this.
+P99_SLO_S = 0.050
+
+#: Allowed drop below the committed baseline before --check fails.
+REGRESSION_TOLERANCE = 0.30
+
+PROFILES: dict[str, dict] = {
+    "json-v1": {"wire_version": 1, "batch_max": 1, "coalesce_bytes": 0},
+    "binary-v2": {"wire_version": 2, "batch_max": 16, "coalesce_bytes": 0},
+}
 
 
-async def _run_rate(
-    config: RuntimeConfig, files: int, rps: float, duration: float, seed: int
-) -> tuple[dict, bool, int, bool]:
-    """One fresh cluster, one target rate.
+async def _run_trial(
+    config: RuntimeConfig,
+    files: int,
+    rps: float,
+    warmup: float,
+    duration: float,
+    seed: int,
+) -> tuple[dict, dict, int, bool]:
+    """One fresh cluster, one target rate, one trial.
 
-    Returns (report dict, sustained?, replicas created, conformant?).
+    Returns (report dict, stage seconds, replicas created, conformant?).
     """
     cluster = await LiveCluster.start(config)
     try:
@@ -64,77 +106,205 @@ async def _run_rate(
         gen = LoadGenerator(
             cluster, names, WorkloadShape(kind="zipf", s=1.2), seed=seed
         )
-        report = await gen.run_open_loop(rps=rps, duration=duration)
+        if warmup > 0:
+            await gen.run_open_loop(rps=rps, duration=warmup)
+        stage_before = dict(cluster.stage_seconds)
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            report = await gen.run_open_loop(rps=rps, duration=duration)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        stages = {
+            k: round(v - stage_before.get(k, 0.0), 6)
+            for k, v in cluster.stage_seconds.items()
+        }
         await gen.close()
         await cluster.quiesce()
-        sustained = (
-            report.timeouts == 0
-            and report.requests > 0
-            and report.completed >= 0.99 * report.requests
-        )
         system = replay_oplog(cluster.oplog, config, cluster.initial_live)
         system.check_invariants()
         conformance = diff_states(cluster, system)
-        return report.as_dict(), sustained, cluster.replicas_created(), conformance.ok
+        return report.as_dict(), stages, cluster.replicas_created(), conformance.ok
     finally:
         await cluster.shutdown()
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--check", action="store_true",
-                        help="CI smoke: reduced ramp, strict exit code")
-    parser.add_argument("--tcp", action="store_true",
-                        help="real TCP on loopback instead of in-process streams")
-    parser.add_argument("--m", type=int, default=4, help="identifier width")
-    parser.add_argument("--b", type=int, default=1, help="fault-tolerance degree")
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
+def _ramp_codec(
+    codec: str,
+    rates: list[float],
+    base_config: dict,
+    files: int,
+    warmup: float,
+    duration: float,
+    trials: int,
+    seed: int,
+) -> tuple[list[dict], float, dict | None, int, bool]:
+    """Ramp one codec profile; stop at the first unsustained rate.
 
-    if args.check:
-        rates = [100.0, 200.0]
-        duration, files = 0.5, 6
-    else:
-        rates = [100.0, 200.0, 400.0, 800.0, 1600.0]
-        duration, files = 2.0, 12
-    config = RuntimeConfig(
-        m=args.m, b=args.b, seed=args.seed, tcp=args.tcp,
-        capacity=60.0, service_time=0.0005, inflight_limit=32,
-    )
-    mode = "tcp" if args.tcp else "streams"
-    label = "fast" if args.check else "full"
-    print(f"runtime ramp ({label}, {mode}): m={args.m}, b={args.b}, "
-          f"{files} files, {duration}s per rate")
-
+    Returns (ramp entries, sustained rps, report at that rate,
+    replicas there, all trials conformant?).
+    """
     ramp: list[dict] = []
     sustained_rps = 0.0
     best: dict | None = None
     best_replicas = 0
     all_conformant = True
-    wall_start = time.perf_counter()
+    config = RuntimeConfig(**base_config, **PROFILES[codec])
     for rps in rates:
-        report, sustained, replicas, conformant = asyncio.run(
-            _run_rate(config, files, rps, duration, args.seed)
-        )
+        reports: list[dict] = []
+        stages: list[dict] = []
+        replicas = 0
+        conformant = True
+        for trial in range(trials):
+            report, stage, repl, ok = asyncio.run(
+                _run_trial(config, files, rps, warmup, duration, seed + trial)
+            )
+            reports.append(report)
+            stages.append(stage)
+            replicas = max(replicas, repl)
+            conformant = conformant and ok
         all_conformant = all_conformant and conformant
+        p99s = sorted(r["latency_p99_s"] for r in reports)
+        median_p99 = p99s[len(p99s) // 2]
+        median_report = next(
+            r for r in reports if r["latency_p99_s"] == median_p99
+        )
+        complete = all(
+            r["timeouts"] == 0
+            and r["requests"] > 0
+            and r["completed"] >= 0.99 * r["requests"]
+            for r in reports
+        )
+        sustained = complete and median_p99 <= P99_SLO_S
+        stage_totals = {
+            k: round(sum(s.get(k, 0.0) for s in stages), 6)
+            for k in (stages[0] if stages else {})
+        }
         ramp.append({
+            "codec": codec,
             "target_rps": rps,
             "sustained": sustained,
             "conformant": conformant,
             "replicas_to_balance": replicas,
-            **report,
+            "trial_p99_s": p99s,
+            "stage_seconds": stage_totals,
+            **median_report,
         })
         marker = "ok " if sustained else "SAT"
-        print(f"  {marker} target {rps:7.0f} rps -> achieved "
-              f"{report['achieved_rps']:8.1f}, p50 {report['latency_p50_s']*1e3:6.2f} ms, "
-              f"p99 {report['latency_p99_s']*1e3:6.2f} ms, "
+        print(f"  {marker} {codec:9s} target {rps:7.0f} rps -> achieved "
+              f"{median_report['achieved_rps']:8.1f}, "
+              f"p50 {median_report['latency_p50_s']*1e3:6.2f} ms, "
+              f"p99 {median_p99*1e3:7.2f} ms (median of {trials}), "
               f"{replicas} replicas, conformant={conformant}")
         if sustained and rps > sustained_rps:
             sustained_rps = rps
-            best = report
+            best = median_report
             best_replicas = replicas
+        if not sustained:
+            break
+    return ramp, sustained_rps, best, best_replicas, all_conformant
+
+
+def _load_baseline() -> dict | None:
+    """The committed artifact, read *before* this run overwrites it."""
+    if not BASELINE.exists():
+        return None
+    try:
+        loaded = json.loads(BASELINE.read_text())
+    except (OSError, ValueError):
+        return None
+    return loaded if isinstance(loaded, dict) else None
+
+
+def _regression_gate(
+    grid: str, sustained: dict[str, float], baseline: dict | None
+) -> list[str]:
+    """Compare check-mode sustained rates against the committed baseline.
+
+    Returns a list of failure messages (empty when the gate passes or no
+    comparable baseline exists).
+    """
+    if baseline is None:
+        print("regression gate: no committed baseline, skipping")
+        return []
+    expectation = baseline.get("check_expectation")
+    if not isinstance(expectation, dict):
+        print("regression gate: baseline has no check expectation, skipping")
+        return []
+    failures: list[str] = []
+    for codec, floor in expectation.items():
+        if not isinstance(floor, (int, float)) or floor <= 0:
+            continue
+        got = sustained.get(codec, 0.0)
+        allowed = (1.0 - REGRESSION_TOLERANCE) * floor
+        if got < allowed:
+            failures.append(
+                f"{codec}: sustained {got:.0f} rps < {allowed:.0f} "
+                f"(baseline {floor:.0f} - {REGRESSION_TOLERANCE:.0%})"
+            )
+    if not failures:
+        print(f"regression gate: ok ({grid} grid vs committed baseline)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="CI smoke: reduced ramp, regression gate")
+    parser.add_argument("--tcp", action="store_true",
+                        help="real TCP on loopback instead of in-process streams")
+    parser.add_argument("--m", type=int, default=4, help="identifier width")
+    parser.add_argument("--b", type=int, default=1, help="fault-tolerance degree")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trials", type=int, default=None,
+                        help="trials per rate (default: 3 full, 1 check)")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        rates = [100.0, 200.0]
+        warmup, duration, files = 0.4, 0.5, 6
+        trials = args.trials or 1
+    else:
+        rates = [800.0, 1600.0, 2400.0, 3200.0, 4800.0, 6400.0]
+        warmup, duration, files = 2.0, 2.0, 24
+        trials = args.trials or 3
+    base_config = dict(
+        m=args.m, b=args.b, seed=args.seed, tcp=args.tcp,
+        capacity=60.0, service_time=0.004, inflight_limit=32,
+    )
+    mode = "tcp" if args.tcp else "streams"
+    label = "fast" if args.check else "full"
+    print(f"runtime ramp ({label}, {mode}): m={args.m}, b={args.b}, "
+          f"{files} files, {trials} trial(s) x {duration}s per rate, "
+          f"p99 SLO {P99_SLO_S*1e3:.0f} ms")
+
+    baseline = _load_baseline() if args.check else None
+
+    wall_start = time.perf_counter()
+    ramp: list[dict] = []
+    sustained: dict[str, float] = {}
+    best: dict[str, dict | None] = {}
+    replicas: dict[str, int] = {}
+    all_conformant = True
+    for codec in PROFILES:
+        print(f"{codec}:")
+        entries, rps, report, repl, conformant = _ramp_codec(
+            codec, rates, base_config, files, warmup, duration, trials,
+            args.seed,
+        )
+        ramp.extend(entries)
+        sustained[codec] = rps
+        best[codec] = report
+        replicas[codec] = repl
+        all_conformant = all_conformant and conformant
     wall = time.perf_counter() - wall_start
 
+    json_rps = sustained.get("json-v1", 0.0)
+    binary_rps = sustained.get("binary-v2", 0.0)
+    speedup = round(binary_rps / json_rps, 2) if json_rps else None
+    binary_best = best.get("binary-v2")
     payload = {
         "benchmark": "live-runtime-throughput",
         "grid": label,
@@ -142,25 +312,49 @@ def main(argv: list[str] | None = None) -> int:
         "m": args.m,
         "b": args.b,
         "files": files,
+        "trials_per_rate": trials,
+        "warmup_per_rate_s": warmup,
         "duration_per_rate_s": duration,
-        "sustained_rps": sustained_rps,
-        "latency_p50_s": best["latency_p50_s"] if best else None,
-        "latency_p99_s": best["latency_p99_s"] if best else None,
-        "replicas_to_balance": best_replicas,
+        "p99_slo_s": P99_SLO_S,
+        "sustained_rps": binary_rps,
+        "latency_p50_s": binary_best["latency_p50_s"] if binary_best else None,
+        "latency_p99_s": binary_best["latency_p99_s"] if binary_best else None,
+        "replicas_to_balance": replicas.get("binary-v2", 0),
         "conformant": all_conformant,
+        "codecs": {
+            codec: {
+                "sustained_rps": sustained[codec],
+                "latency_p50_s": (best[codec] or {}).get("latency_p50_s"),
+                "latency_p99_s": (best[codec] or {}).get("latency_p99_s"),
+                "replicas_to_balance": replicas[codec],
+            }
+            for codec in PROFILES
+        },
+        "speedup": speedup,
         "ramp": ramp,
         "wallclock_seconds": round(wall, 3),
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
+    if not args.check:
+        # The committed full-grid artifact records what the CI smoke is
+        # expected to sustain, so --check runs can gate on regressions.
+        payload["check_expectation"] = {codec: 200.0 for codec in PROFILES}
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"sustained {sustained_rps:.0f} rps; wrote {OUTPUT}")
+    print(f"sustained: json-v1 {json_rps:.0f} rps, binary-v2 {binary_rps:.0f} "
+          f"rps (speedup {speedup}); wrote {OUTPUT}")
 
     if not all_conformant:
         print("FAIL: live run diverged from the oracle replay", file=sys.stderr)
         return 1
-    if args.check and sustained_rps <= 0:
+    if args.check and (json_rps <= 0 or binary_rps <= 0):
         print("FAIL: could not sustain the smallest target rate", file=sys.stderr)
         return 1
+    if args.check:
+        failures = _regression_gate(label, sustained, baseline)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: regression gate: {failure}", file=sys.stderr)
+            return 1
     return 0
 
 
