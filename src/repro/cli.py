@@ -479,7 +479,7 @@ def _cmd_profile(args: "argparse.Namespace") -> int:
         WorkloadShape,
     )
 
-    async def workload() -> tuple[int, float]:
+    async def workload() -> tuple[int, float, dict[str, float]]:
         config = RuntimeConfig(
             m=args.m, b=args.b, seed=args.seed,
             wire_version=2 if args.codec == "binary" else 1,
@@ -497,16 +497,21 @@ def _cmd_profile(args: "argparse.Namespace") -> int:
             gen = LoadGenerator(
                 cluster, files, WorkloadShape(kind="zipf", s=1.2), seed=args.seed
             )
+            baseline = dict(cluster.stage_seconds)
             report = await gen.run_open_loop(args.rps, args.duration)
             await gen.close()
             await cluster.quiesce()
-            return report.completed, report.achieved_rps
+            stages = {
+                k: v - baseline.get(k, 0.0)
+                for k, v in cluster.stage_seconds.items()
+            }
+            return report.completed, report.achieved_rps, stages
         finally:
             await cluster.shutdown()
 
     profiler = cProfile.Profile()
     profiler.enable()
-    completed, rps = asyncio.run(workload())
+    completed, rps, stages = asyncio.run(workload())
     profiler.disable()
 
     print(
@@ -514,6 +519,16 @@ def _cmd_profile(args: "argparse.Namespace") -> int:
         f"seed={args.seed}, {args.duration}s @ {args.rps} req/s -> "
         f"{completed} completed ({rps:.1f} req/s achieved)"
     )
+    total = sum(stages.values())
+    print("stage breakdown (instrumented wall time inside the cluster):")
+    for name in ("encode", "decode", "route", "serve"):
+        seconds = stages.pop(name, 0.0)
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        per_req = 1e6 * seconds / completed if completed else 0.0
+        print(f"  {name:7s} {seconds:8.4f} s  ({share:5.1f}% of staged, "
+              f"{per_req:7.2f} us/request)")
+    for name, seconds in sorted(stages.items()):  # any future stages
+        print(f"  {name:7s} {seconds:8.4f} s")
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats(pstats.SortKey.TIME)

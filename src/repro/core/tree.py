@@ -162,6 +162,11 @@ class LookupTree:
     def __post_init__(self) -> None:
         check_width(self.m)
         check_id(self.root, self.m)
+        # vid_of/pid_of sit on the runtime's per-message routing path:
+        # precompute the XOR constant once (the dataclass is frozen, so
+        # it can never go stale) instead of re-deriving and re-validating
+        # it on every translation.
+        object.__setattr__(self, "_key", complement(self.root, self.m))
 
     @property
     def size(self) -> int:
@@ -170,17 +175,19 @@ class LookupTree:
     @property
     def xor_key(self) -> int:
         """The complement of the root — the PID↔VID XOR constant."""
-        return complement(self.root, self.m)
+        return self._key
 
     def vid_of(self, pid: int) -> int:
         """VID of ``P(pid)`` in this tree (Property 4)."""
-        check_id(pid, self.m)
-        return pid ^ self.xor_key
+        if type(pid) is not int or not 0 <= pid < (1 << self.m):
+            check_id(pid, self.m)
+        return pid ^ self._key
 
     def pid_of(self, vid: int) -> int:
         """PID of the node at ``vid`` in this tree (Property 4)."""
-        check_id(vid, self.m)
-        return vid ^ self.xor_key
+        if type(vid) is not int or not 0 <= vid < (1 << self.m):
+            check_id(vid, self.m)
+        return vid ^ self._key
 
     # -- PID-space structural queries ----------------------------------
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
-__all__ = ["MessageKind", "Message"]
+__all__ = ["MessageKind", "Message", "fast_message"]
 
 _msg_ids = itertools.count()
 
@@ -60,33 +60,19 @@ class Message:
 
     def forwarded(self, new_src: int, new_dst: int) -> "Message":
         """A copy of this message forwarded one overlay hop."""
-        # Direct construction: this runs once per overlay hop on the
-        # runtime's hot path, and dataclasses.replace costs several
-        # times a plain __init__ (it rebuilds the field mapping).
-        return Message(
-            kind=self.kind,
-            src=new_src,
-            dst=new_dst,
-            file=self.file,
-            payload=self.payload,
-            version=self.version,
-            hops=self.hops + 1,
-            origin=self.origin,
-            request_id=self.request_id,
+        # fast_message: this runs once per overlay hop on the runtime's
+        # hot path, and both dataclasses.replace and the frozen
+        # __init__ cost several times a direct __dict__ seed.
+        return fast_message(
+            self.kind, new_src, new_dst, self.file, self.payload,
+            self.version, self.hops + 1, self.origin, self.request_id,
         )
 
     def reply(self, kind: MessageKind, payload: Any = None) -> "Message":
         """A reply travelling back to this message's source."""
-        return Message(
-            kind=kind,
-            src=self.dst,
-            dst=self.src,
-            file=self.file,
-            payload=payload,
-            version=self.version,
-            hops=self.hops,
-            origin=self.origin,
-            request_id=self.request_id,
+        return fast_message(
+            kind, self.dst, self.src, self.file, payload,
+            self.version, self.hops, self.origin, self.request_id,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -94,3 +80,34 @@ class Message:
             f"Message({self.kind.value} {self.src}->{self.dst} "
             f"file={self.file!r} hops={self.hops})"
         )
+
+
+_MSG_NEW = Message.__new__
+
+
+def fast_message(
+    kind: MessageKind,
+    src: int,
+    dst: int,
+    file: str = "",
+    payload: Any = None,
+    version: int = 0,
+    hops: int = 0,
+    origin: int = -1,
+    request_id: int | None = None,
+) -> Message:
+    """Build a :class:`Message` without the frozen-``__setattr__`` toll.
+
+    The generated ``__init__`` of a frozen dataclass routes every field
+    through ``object.__setattr__``; seeding ``__dict__`` directly is
+    ~3x cheaper, which matters on the wire-decode and reply paths that
+    construct one message per frame.  The instance never escapes
+    half-built, so immutability guarantees are unchanged.
+    """
+    msg = _MSG_NEW(Message)
+    msg.__dict__.update(
+        kind=kind, src=src, dst=dst, file=file, payload=payload,
+        version=version, hops=hops, origin=origin,
+        request_id=next(_msg_ids) if request_id is None else request_id,
+    )
+    return msg

@@ -28,12 +28,17 @@ class WindowedRate:
         self.total = 0
 
     def record(self, now: float) -> None:
-        """Record one event at time ``now`` (non-decreasing)."""
+        """Record one event at time ``now`` (non-decreasing).
+
+        Expiry is deferred to the read side (:meth:`rate` /
+        :meth:`count`): record sits on the runtime's per-served-request
+        path, and popping stale entries there buys nothing until
+        someone actually asks for the rate.
+        """
         if self._times and now < self._times[-1]:
             raise ValueError(f"events must be recorded in order ({now})")
         self._times.append(now)
         self.total += 1
-        self._expire(now)
 
     def rate(self, now: float) -> float:
         """Events per second over the window ending at ``now``."""

@@ -9,12 +9,16 @@ oracle proves the live system lands in the identical final state.
 
 Frames carry either the JSON-v1 body (the compat codec) or the compact
 binary-v2 body (the fast path), negotiated per connection via the
-version byte in the frame header; routing decisions on the hot path are
-served from the LRU routing-table cache keyed on status-word content.
+version byte in the frame header; within v2 the header's flags byte
+additionally selects struct-packed fixed layouts for GET/ACK traffic
+(the zero-copy fast lane — see :mod:`repro.runtime.wire`).  Routing
+decisions on the hot path are served from the LRU routing-table cache
+keyed on status-word content.
 """
 
 from .client import (
     ClientError,
+    LatencyHistogram,
     LoadGenerator,
     LoadReport,
     RequestOutcome,
@@ -35,11 +39,17 @@ from .conformance import (
 )
 from .node import CLIENT, NodeServer
 from .wire import (
+    FRAME_ACK,
+    FRAME_GENERIC,
+    FRAME_GET,
+    FRAME_GET_REPLY,
     MAX_FRAME,
     MAX_WIRE_VERSION,
     WIRE_VERSION,
     WIRE_VERSION_BINARY,
+    FrameEncoder,
     FrameError,
+    FrameReader,
     WireDecodeError,
     WireError,
     decode_message,
@@ -54,13 +64,20 @@ from .wire import (
 __all__ = [
     "ADMIN",
     "CLIENT",
+    "FRAME_ACK",
+    "FRAME_GENERIC",
+    "FRAME_GET",
+    "FRAME_GET_REPLY",
     "MAX_FRAME",
     "MAX_WIRE_VERSION",
     "WIRE_VERSION",
     "WIRE_VERSION_BINARY",
     "ClientError",
     "ConformanceReport",
+    "FrameEncoder",
     "FrameError",
+    "FrameReader",
+    "LatencyHistogram",
     "LiveCluster",
     "LoadGenerator",
     "LoadReport",

@@ -27,23 +27,32 @@ from __future__ import annotations
 import asyncio
 import random
 import statistics
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Any
 
 from ..core.errors import ConfigurationError
-from ..net.message import Message, MessageKind
+from ..net.message import Message, MessageKind, fast_message
 from .node import CLIENT
-from .wire import FrameError, WireDecodeError, encode_message, read_frame
+from .wire import FrameEncoder, FrameError, FrameReader
 
 _WRITE_HIGH_WATER = 1 << 16
 """Transport buffer level above which a request write awaits drain —
 below it requests pipeline without a per-frame round trip."""
+
+_TIMEOUT_SWEEP = 0.25
+"""Deadline-sweep period: one repeating timer per client expires every
+overdue request, instead of a timer handle per request.  A timeout may
+fire up to one sweep period late — noise against the multi-second
+request timeouts, and thousands of heap pushes per second cheaper."""
 
 __all__ = [
     "ClientError",
     "RequestOutcome",
     "RuntimeClient",
     "WorkloadShape",
+    "LatencyHistogram",
     "LoadReport",
     "LoadGenerator",
     "percentile",
@@ -87,10 +96,15 @@ class RuntimeClient:
         self.cluster = cluster
         self.pid = pid
         self.wire_version = cluster.wire_version_of(pid)
+        self._encoder = FrameEncoder(fixed=cluster.config.fixed_frames)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._futures: dict[int, asyncio.Future] = {}
+        self._deadlines: dict[int, float] = {}
+        self._sweep_timer: asyncio.TimerHandle | None = None
         self._task: asyncio.Task | None = None
+        self._tick_coalesce = cluster.config.tick_coalesce
+        self._flush_scheduled = False
         self._closed = False
 
     async def connect(self) -> "RuntimeClient":
@@ -102,30 +116,92 @@ class RuntimeClient:
 
     async def _read_loop(self) -> None:
         assert self._reader is not None
+        frames = FrameReader(
+            self._reader, self.cluster.config.max_frame, self.wire_version
+        )
         try:
             while not self._closed:
-                try:
-                    msg, _version = await read_frame(
-                        self._reader, self.cluster.config.max_frame,
-                        self.wire_version,
-                    )
-                except WireDecodeError:
-                    continue
-                future = self._futures.pop(msg.request_id, None)
-                if future is not None and not future.done():
-                    future.set_result(msg)
+                msgs, _errors = await frames.read_batch()
+                for msg, _version in msgs:
+                    self._deadlines.pop(msg.request_id, None)
+                    future = self._futures.pop(msg.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(msg)
         except (EOFError, FrameError, ConnectionError, OSError):
             pass
 
-    async def _request(self, msg: Message, timeout: float) -> RequestOutcome:
+    def _flush_soon(self) -> None:
+        """Tick-coalesced flush of every request buffered this iteration."""
+        self._flush_scheduled = False
+        if self._closed or self._writer is None or not self._encoder.pending:
+            return
+        try:
+            self._encoder.flush_to(self._writer)
+        except (ConnectionError, OSError):  # pragma: no cover - server died
+            self._encoder.reset()
+
+    def _sweep_deadlines(self) -> None:
+        """Resolve every overdue request as a timeout; reschedule."""
+        self._sweep_timer = None
+        if self._closed:
+            return
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        overdue = [
+            rid for rid, deadline in self._deadlines.items() if deadline <= now
+        ]
+        for rid in overdue:
+            del self._deadlines[rid]
+            future = self._futures.pop(rid, None)
+            if future is not None and not future.done():
+                future.set_result(None)
+        if self._deadlines:
+            self._sweep_timer = loop.call_later(
+                _TIMEOUT_SWEEP, self._sweep_deadlines
+            )
+
+    def request_future(self, msg: Message, timeout: float) -> asyncio.Future:
+        """Register and transmit one request without a coroutine.
+
+        The synchronous fast path: encodes into the client's reusable
+        frame buffer (tick-coalesced with every other request of this
+        event-loop iteration), arms the shared deadline sweep, and
+        returns the reply future — resolved with the reply
+        :class:`Message`, or ``None`` on timeout.  No write
+        backpressure is applied here; callers that may queue faster
+        than the transport drains should check the write buffer first.
+        """
         if self._writer is None:
             raise ConfigurationError("client is not connected")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._futures[msg.request_id] = future
-        start = loop.time()
         self.cluster.count_client_send(self.pid)
-        self._writer.write(encode_message(msg, self.wire_version))
+        self._encoder.add(msg, self.wire_version)
+        if self._tick_coalesce:
+            # Requests issued in the same event-loop iteration (e.g. a
+            # burst of load-generator fires waking from one sleep) ride
+            # a single vectored write, scheduled once per tick.
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                loop.call_soon(self._flush_soon)
+        else:
+            self._encoder.flush_to(self._writer)
+        # Per-request deadlines go through the shared sweep timer: one
+        # heap entry per client per sweep period instead of a
+        # call_later handle (and its heap churn) per request.
+        self._deadlines[msg.request_id] = loop.time() + timeout
+        if self._sweep_timer is None:
+            self._sweep_timer = loop.call_later(
+                _TIMEOUT_SWEEP, self._sweep_deadlines
+            )
+        return future
+
+    async def _request(self, msg: Message, timeout: float) -> RequestOutcome:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        future = self.request_future(msg, timeout)
+        assert self._writer is not None
         transport = self._writer.transport
         if (
             transport is not None
@@ -133,13 +209,12 @@ class RuntimeClient:
         ):
             await self._writer.drain()
         try:
-            reply = await asyncio.wait_for(future, timeout)
-        except asyncio.TimeoutError:
-            self._futures.pop(msg.request_id, None)
-            return RequestOutcome(
-                ok=False, kind="timeout", latency=loop.time() - start
-            )
+            reply = await future
+        finally:
+            self._deadlines.pop(msg.request_id, None)
         latency = loop.time() - start
+        if reply is None:
+            return RequestOutcome(ok=False, kind="timeout", latency=latency)
         if reply.kind is MessageKind.GET_FAULT:
             return RequestOutcome(ok=False, kind="fault", latency=latency)
         if reply.kind is MessageKind.ERROR:
@@ -193,7 +268,15 @@ class RuntimeClient:
         return outcome
 
     async def close(self) -> None:
+        if self._writer is not None and self._encoder.pending:
+            try:
+                self._encoder.flush_to(self._writer)
+            except (ConnectionError, OSError):
+                self._encoder.reset()
         self._closed = True
+        if self._sweep_timer is not None:
+            self._sweep_timer.cancel()
+            self._sweep_timer = None
         if self._task is not None:
             self._task.cancel()
             try:
@@ -253,6 +336,92 @@ class WorkloadShape:
         )
 
 
+def _hist_bounds_ms() -> tuple[float, ...]:
+    """HDR-style log-linear bucket upper bounds: 4 per octave.
+
+    0.25 ms up to ~4 s in sub-bucket steps of a quarter octave — fine
+    enough that a latency-shape regression moves visible mass, coarse
+    enough that the whole histogram is ~60 integers.
+    """
+    bounds: list[float] = []
+    base = 0.25
+    while base < 4096.0:
+        bounds.extend(base * (1.0 + i / 4.0) for i in (1, 2, 3, 4))
+        base *= 2.0
+    return tuple(bounds)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram for latency-*shape* regression.
+
+    Percentile gates (p99 <= SLO) are blind to shape: a distribution
+    can go bimodal — most requests faster, a new slow mode under the
+    p99 — without moving the gate.  Recording every completion into
+    log-linear buckets keeps the full shape, cheap enough for the hot
+    path (one bisect per sample) and small enough to persist into
+    ``BENCH_runtime.json`` per ramp entry.
+    """
+
+    BOUNDS_MS: tuple[float, ...] = _hist_bounds_ms()
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self) -> None:
+        # One bucket per bound plus the overflow bucket (> 4 s).
+        self.counts = [0] * (len(self.BOUNDS_MS) + 1)
+        self.total = 0
+
+    def record(self, latency_s: float) -> None:
+        self.counts[bisect_left(self.BOUNDS_MS, latency_s * 1e3)] += 1
+        self.total += 1
+
+    def as_dict(self) -> dict[str, Any]:
+        """Sparse JSON form: only the occupied buckets.
+
+        The overflow bucket's bound is ``None`` (strict JSON has no
+        ``Infinity``).
+        """
+        le_ms: list[float | None] = []
+        counts: list[int] = []
+        bounds = self.BOUNDS_MS
+        for idx, count in enumerate(self.counts):
+            if count:
+                le_ms.append(bounds[idx] if idx < len(bounds) else None)
+                counts.append(count)
+        return {"total": self.total, "le_ms": le_ms, "counts": counts}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LatencyHistogram":
+        hist = cls()
+        bounds = cls.BOUNDS_MS
+        for le, count in zip(data.get("le_ms", []), data.get("counts", [])):
+            idx = len(bounds) if le is None else bisect_left(bounds, le)
+            hist.counts[min(idx, len(bounds))] += int(count)
+            hist.total += int(count)
+        return hist
+
+    def shape_distance(self, other: "LatencyHistogram") -> float:
+        """Earth-mover distance between normalized shapes, in buckets.
+
+        The L1 distance between the two cumulative distributions: how
+        many bucket-widths of probability mass must move to turn one
+        shape into the other.  A uniform one-octave slowdown (a slower
+        CI machine) costs ~4.0; a new latency mode several octaves out
+        costs far more — which is exactly the signal a p99 gate misses.
+        Returns ``inf`` when either histogram is empty.
+        """
+        if not self.total or not other.total:
+            return float("inf")
+        distance = 0.0
+        cum_self = 0.0
+        cum_other = 0.0
+        for mine, theirs in zip(self.counts, other.counts):
+            cum_self += mine / self.total
+            cum_other += theirs / other.total
+            distance += abs(cum_self - cum_other)
+        return distance
+
+
 @dataclass
 class LoadReport:
     """What a load-generator run measured."""
@@ -265,6 +434,7 @@ class LoadReport:
     duration: float = 0.0
     latencies: list[float] = field(default_factory=list)
     served_by_node: dict[int, int] = field(default_factory=dict)
+    hist: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     _quantile_cache: tuple[int, float, float] | None = None
 
@@ -315,6 +485,7 @@ class LoadReport:
             "latency_p50_s": round(self.p50, 6),
             "latency_p99_s": round(self.p99, 6),
             "served_by_node": {str(k): v for k, v in self.served_by_node.items()},
+            "latency_hist": self.hist.as_dict(),
         }
 
 
@@ -337,6 +508,10 @@ class LoadGenerator:
         self.rng = random.Random(seed)
         self.timeout = timeout
         self.weights = self.shape.weights(len(self.files), self.rng)
+        # rng.choices recomputes the running sum on every call when
+        # given raw weights; precomputing cum_weights consumes the
+        # exact same rng stream while skipping that O(n) pass per pick.
+        self._cum_weights = list(accumulate(self.weights))
         self._clients: dict[int, RuntimeClient] = {}
         self._connect_lock = asyncio.Lock()
         self._entries: tuple[int, list[int]] | None = None
@@ -355,7 +530,7 @@ class LoadGenerator:
             return client
 
     def _pick(self) -> tuple[str, int]:
-        name = self.rng.choices(self.files, weights=self.weights, k=1)[0]
+        name = self.rng.choices(self.files, cum_weights=self._cum_weights, k=1)[0]
         # The sorted entry list only changes with membership: cache it
         # keyed on the status word's epoch instead of re-sorting per
         # request.
@@ -369,16 +544,76 @@ class LoadGenerator:
 
     async def _fire(self, report: LoadReport) -> None:
         name, entry = self._pick()
+        await self._fire_path(entry, name, report)
+
+    async def _fire_path(self, entry: int, name: str, report: LoadReport) -> None:
+        """Awaited fire: resolves the client first (connect, backlog)."""
         client = await self._client(entry)
         report.requests += 1
         outcome = await client.get(name, timeout=self.timeout)
         if outcome.ok:
             report.completed += 1
             report.latencies.append(outcome.latency)
+            report.hist.record(outcome.latency)
         elif outcome.kind == "fault":
             report.faults += 1
         elif outcome.kind == "timeout":
             report.timeouts += 1
+        else:
+            report.errors += 1
+
+    def _fire_nowait(
+        self, report: LoadReport, loop: asyncio.AbstractEventLoop
+    ) -> "asyncio.Future | asyncio.Task":
+        """Fire one GET without a per-request task when possible.
+
+        With the entry node's client already connected and its
+        transport unbacklogged, the request goes out through
+        :meth:`RuntimeClient.request_future` and the report is updated
+        from a done callback — no task, no coroutine frames.  First
+        contact with an entry node (or a backlogged writer, which
+        needs an awaited ``drain``) falls back to the task path.
+        """
+        name, entry = self._pick()
+        client = self._clients.get(entry)
+        if client is not None and client._writer is not None:
+            transport = client._writer.transport
+            if (
+                transport is not None
+                and transport.get_write_buffer_size() <= _WRITE_HIGH_WATER
+            ):
+                report.requests += 1
+                start = loop.time()
+                future = client.request_future(
+                    fast_message(MessageKind.GET, CLIENT, client.pid, name),
+                    self.timeout,
+                )
+                future.add_done_callback(
+                    lambda fut, s=start: self._record(report, fut, loop, s)
+                )
+                return future
+        return loop.create_task(self._fire_path(entry, name, report))
+
+    def _record(
+        self,
+        report: LoadReport,
+        future: asyncio.Future,
+        loop: asyncio.AbstractEventLoop,
+        start: float,
+    ) -> None:
+        """Done callback of a no-task fire: classify the raw reply."""
+        if future.cancelled():
+            return
+        reply = future.result()
+        if reply is None:
+            report.timeouts += 1
+        elif reply.kind is MessageKind.GET_REPLY:
+            latency = loop.time() - start
+            report.completed += 1
+            report.latencies.append(latency)
+            report.hist.record(latency)
+        elif reply.kind is MessageKind.GET_FAULT:
+            report.faults += 1
         else:
             report.errors += 1
 
@@ -390,7 +625,7 @@ class LoadGenerator:
         report = LoadReport()
         start = loop.time()
         interval = 1.0 / rps
-        tasks: list[asyncio.Task] = []
+        tasks: list[asyncio.Future] = []
         next_fire = start
         while True:
             now = loop.time()
@@ -399,7 +634,7 @@ class LoadGenerator:
             if now < next_fire:
                 await asyncio.sleep(next_fire - now)
             next_fire += interval
-            tasks.append(loop.create_task(self._fire(report)))
+            tasks.append(self._fire_nowait(report, loop))
         if tasks:
             await asyncio.gather(*tasks)
         report.duration = loop.time() - start

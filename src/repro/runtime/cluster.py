@@ -39,7 +39,13 @@ from ..net.message import Message, MessageKind
 from ..node.membership import StatusWord
 from ..node.storage import FileOrigin
 from .node import NodeServer, subtree_children
-from .wire import MAX_FRAME, MAX_WIRE_VERSION, WIRE_VERSION, encode_message
+from .wire import (
+    MAX_FRAME,
+    MAX_WIRE_VERSION,
+    WIRE_VERSION,
+    FrameEncoder,
+    WireError,
+)
 
 __all__ = [
     "ADMIN",
@@ -85,6 +91,10 @@ class RuntimeConfig:
     negotiation picks ``min(sender, receiver)``."""
     v1_pids: tuple[int, ...] = ()
     """PIDs pinned to the JSON-v1 codec (mixed-version cluster tests)."""
+    fixed_frames: bool = True
+    """Emit struct-packed fixed-layout bodies (GET/ACK/GET_REPLY) on v2
+    connections; ``False`` pins every v2 frame to the generic tagged
+    body (the pre-fast-lane interop profile)."""
     batch_max: int = 16
     """Messages a node's inbox consumer drains per scheduling tick."""
     coalesce_bytes: int = 0
@@ -93,6 +103,13 @@ class RuntimeConfig:
     coalesce_delay: float = 0.001
     """Latency budget (seconds) before a partial coalescing buffer is
     flushed regardless of size."""
+    tick_coalesce: bool = True
+    """Defer frame flushes to the end of the current event-loop
+    iteration (one ``call_soon`` per stream per tick): every frame
+    produced in the same tick leaves in a single vectored write — one
+    syscall instead of one per frame — at zero added latency, because
+    the callback runs before the loop goes back to sleep.  ``False``
+    restores the write-per-frame profile."""
     idle_timeout: float = float("inf")
     """Counter-based removal: a REPLICATED copy whose access counter
     sits still this long is REMOVEd (``inf`` disables decay)."""
@@ -150,51 +167,97 @@ _SINK_HIGH_WATER = 1 << 16
 
 
 class _FrameSink:
-    """One peer stream, optionally coalescing frames Nagle-style.
+    """One peer stream, coalescing frames per tick or Nagle-style.
 
-    With ``max_bytes == 0`` every frame goes straight to the writer.
-    Otherwise frames accumulate in a buffer that is flushed when it
-    crosses ``max_bytes`` *or* when ``delay`` seconds elapse since the
-    first buffered frame — a bounded latency budget, so a lone frame
-    never waits more than one coalescing window.  In-flight accounting
-    happens at :meth:`LiveCluster.send` time (before buffering), so a
-    buffered frame still holds the cluster un-quiet until it lands.
+    Frames are encoded straight into the sink's reusable
+    :class:`~repro.runtime.wire.FrameEncoder` buffer — no per-frame
+    ``bytes`` object exists — and leave through one vectored
+    ``writelines`` per flush.  Three flush policies:
+
+    * ``tick=True`` (the fast lane): the first frame of an event-loop
+      iteration schedules one ``call_soon`` flush; every frame the
+      sender produces before the loop goes back to sleep rides the
+      same syscall, at zero added latency.
+    * ``max_bytes > 0``: Nagle-style — flush at the byte watermark or
+      after ``delay`` seconds, whichever first.
+    * otherwise: flush on every ``add``.
+
+    In-flight accounting happens at :meth:`LiveCluster.send` time
+    (before buffering), so a buffered frame still holds the cluster
+    un-quiet until it lands.
     """
 
-    __slots__ = ("writer", "max_bytes", "delay", "_buf", "_timer")
+    __slots__ = ("writer", "encoder", "max_bytes", "delay", "tick",
+                 "_timer", "_scheduled")
 
     def __init__(
-        self, writer: asyncio.StreamWriter, max_bytes: int, delay: float
+        self,
+        writer: asyncio.StreamWriter,
+        max_bytes: int,
+        delay: float,
+        fixed: bool = True,
+        tick: bool = False,
     ) -> None:
         self.writer = writer
+        self.encoder = FrameEncoder(fixed=fixed)
         self.max_bytes = max_bytes
         self.delay = delay
-        self._buf = bytearray()
+        self.tick = tick
         self._timer: asyncio.TimerHandle | None = None
+        self._scheduled = False
 
-    def write(self, frame: bytes) -> None:
-        if self.max_bytes <= 0:
-            self.writer.write(frame)
-            return
-        self._buf += frame
-        if len(self._buf) >= self.max_bytes:
+    def add(self, msg: Message, version: int) -> None:
+        """Encode one frame into the sink buffer (no flush).
+
+        Raises :class:`WireError` on an unencodable message (the
+        buffer is rolled back, the sink stays usable) and
+        ``ConnectionError`` on a stream the peer already closed.
+        Callers follow up with :meth:`poke` — encoding and the flush
+        policy are split so the bench's ``encode`` stage never absorbs
+        a write syscall.
+        """
+        if self.writer.is_closing():
+            raise ConnectionError("peer stream is closing")
+        self.encoder.add(msg, version)
+
+    def poke(self) -> None:
+        """Apply the flush policy to whatever :meth:`add` buffered.
+
+        Propagates ``ConnectionError``/``OSError`` from an immediate
+        flush.
+        """
+        if self.tick:
+            if self.encoder.pending_bytes >= _SINK_HIGH_WATER:
+                self.flush()
+            elif not self._scheduled:
+                self._scheduled = True
+                asyncio.get_running_loop().call_soon(self._flush_soon)
+        elif self.max_bytes <= 0 or self.encoder.pending_bytes >= self.max_bytes:
             self.flush()
         elif self._timer is None:
             self._timer = asyncio.get_running_loop().call_later(
-                self.delay, self.flush
+                self.delay, self._flush_timer
             )
 
     def flush(self) -> None:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        if not self._buf:
+        if self.encoder.pending:
+            self.encoder.flush_to(self.writer)
+
+    def _flush_soon(self) -> None:
+        self._scheduled = False
+        self._flush_timer()
+
+    def _flush_timer(self) -> None:
+        self._timer = None
+        if not self.encoder.pending:
             return
-        buf, self._buf = self._buf, bytearray()
         try:
-            self.writer.write(bytes(buf))
+            self.encoder.flush_to(self.writer)
         except (ConnectionError, OSError):  # pragma: no cover - peer died
-            pass
+            self.encoder.reset()
 
     async def drain_if_needed(self) -> None:
         transport = self.writer.transport
@@ -208,7 +271,7 @@ class _FrameSink:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        self._buf.clear()
+        self.encoder.reset()
         try:
             self.writer.close()
         except (ConnectionError, OSError):  # pragma: no cover
@@ -237,7 +300,7 @@ class LiveCluster:
         self.counters: dict[str, int] = {}
         self.initial_live: tuple[int, ...] = tuple(sorted(pids))
         self.stage_seconds: dict[str, float] = {
-            "encode": 0.0, "route": 0.0, "serve": 0.0,
+            "encode": 0.0, "decode": 0.0, "route": 0.0, "serve": 0.0,
         }
         self._pending_holders: dict[str, set[int]] = {}
         self._pending_removals: dict[str, set[int]] = {}
@@ -334,16 +397,24 @@ class LiveCluster:
         if sink is None:
             _reader, writer = await self.open_connection(dst)
             sink = _FrameSink(
-                writer, self.config.coalesce_bytes, self.config.coalesce_delay
+                writer, self.config.coalesce_bytes, self.config.coalesce_delay,
+                fixed=self.config.fixed_frames,
+                tick=self.config.tick_coalesce,
             )
             self._peer_conns[(src, dst)] = sink
-        t0 = perf_counter()
-        frame = encode_message(msg, self.wire_version_for(src, dst))
-        self.stage_seconds["encode"] += perf_counter() - t0
+        version = self.wire_version_for(src, dst)
         self._inflight_to[dst] = self._inflight_to.get(dst, 0) + 1
         try:
-            sink.write(frame)
+            t0 = perf_counter()
+            try:
+                sink.add(msg, version)
+            finally:
+                self.stage_seconds["encode"] += perf_counter() - t0
+            sink.poke()
             await sink.drain_if_needed()
+        except WireError:
+            self._inflight_to[dst] = max(0, self._inflight_to.get(dst, 0) - 1)
+            raise
         except (ConnectionError, OSError):
             self._inflight_to[dst] = max(0, self._inflight_to.get(dst, 0) - 1)
             self._peer_conns.pop((src, dst), None)

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+from collections import deque
 from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import TYPE_CHECKING
@@ -65,10 +66,10 @@ from ..core.subtree import (
     subtree_of_pid,
 )
 from ..core.tree import LookupTree
-from ..net.message import Message, MessageKind
+from ..net.message import Message, MessageKind, fast_message
 from ..node.loadmon import LoadMonitor
 from ..node.storage import FileOrigin, FileStore
-from .wire import WIRE_VERSION, FrameError, WireDecodeError, encode_message, read_frame
+from .wire import WIRE_VERSION, FrameEncoder, FrameError, FrameReader
 
 if TYPE_CHECKING:  # pragma: no cover
     from .cluster import LiveCluster
@@ -110,6 +111,11 @@ class _Connection:
 
     reader: asyncio.StreamReader
     writer: asyncio.StreamWriter
+    encoder: FrameEncoder
+    """Reusable reply-frame buffer: replies within one inbox batch
+    accumulate here and leave in a single vectored ``writelines``."""
+    flush_scheduled: bool = False
+    """A tick-coalesced flush callback is pending for this connection."""
     closed: bool = False
     wire_version: int = WIRE_VERSION
     """Highest codec seen from the peer on this connection; replies
@@ -166,23 +172,33 @@ class NodeServer:
             tuple[int, int], tuple[SubtreeView, LookupTree, SvidLiveness]
         ] = {}
         self._access_marks: dict[str, tuple[int, float]] = {}
+        self._batch_conns: set[_Connection] | None = None
         self._conns: set[_Connection] = set()
         self._tasks: list[asyncio.Task] = []
-        self._serve_tasks: set[asyncio.Task] = set()
+        self._serve_queue: deque[tuple[float, Message]] = deque()
+        self._serve_waiter: asyncio.Future | None = None
+        self._serving = False
         self._pipelined = config.batch_max > 1
+        self._tick_coalesce = config.tick_coalesce
         self._running = True
 
     def start(self) -> None:
-        """Spawn the consumer and sweeper tasks."""
+        """Spawn the consumer, sweeper, and serve-worker tasks."""
         loop = asyncio.get_running_loop()
         self._tasks.append(loop.create_task(self._consume(), name=f"node:{self.pid}"))
         self._tasks.append(loop.create_task(self._sweep(), name=f"sweep:{self.pid}"))
+        if self._pipelined and self.cluster.config.service_time > 0:
+            self._tasks.append(
+                loop.create_task(self._serve_worker(), name=f"serve:{self.pid}")
+            )
 
     # -- connection plumbing ------------------------------------------------
 
     def attach(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         """Adopt an accepted stream: spawn its frame-reader task."""
-        conn = _Connection(reader, writer)
+        conn = _Connection(
+            reader, writer, FrameEncoder(fixed=self.cluster.config.fixed_frames)
+        )
         self._conns.add(conn)
         task = asyncio.get_running_loop().create_task(
             self._read_loop(conn), name=f"read:{self.pid}"
@@ -190,22 +206,36 @@ class NodeServer:
         self._tasks.append(task)
 
     async def _read_loop(self, conn: _Connection) -> None:
-        max_frame = self.cluster.config.max_frame
+        """Batch-decode incoming frames off one connection.
+
+        One ``FrameReader.read_batch`` await drains every complete
+        frame the transport has buffered — a burst of pipelined
+        requests costs one scheduling round trip, not one per frame.
+        Well-framed bodies that fail to decode are counted and skipped
+        (framing stays aligned); framing damage ends the connection.
+        """
+        frames = FrameReader(
+            conn.reader, self.cluster.config.max_frame, self.wire_version
+        )
+        stage = self.cluster.stage_seconds
+        inbox_put = self.inbox.put_nowait
+        enqueued = self.cluster.msg_enqueued
+        decoded = 0.0
         try:
             while self._running:
-                try:
-                    msg, version = await read_frame(
-                        conn.reader, max_frame, self.wire_version
-                    )
-                except WireDecodeError:
-                    # A well-framed but malformed body: count it and
+                msgs, errors = await frames.read_batch()
+                if errors:
+                    # Well-framed but malformed bodies: count them and
                     # keep the connection — framing is still aligned.
-                    self.decode_errors += 1
-                    self.cluster.note_decode_error(self.pid)
-                    continue
-                conn.wire_version = version
-                await self.inbox.put((msg, conn))
-                self.cluster.msg_enqueued(self.pid)
+                    self.decode_errors += errors
+                    for _ in range(errors):
+                        self.cluster.note_decode_error(self.pid)
+                for msg, version in msgs:
+                    conn.wire_version = version
+                    inbox_put((msg, conn))
+                    enqueued(self.pid)
+                stage["decode"] += frames.decode_seconds - decoded
+                decoded = frames.decode_seconds
         except (EOFError, FrameError, ConnectionError, OSError):
             pass
         finally:
@@ -217,22 +247,70 @@ class NodeServer:
         self.inbox.put_nowait((msg, None))
 
     async def _write_client(self, conn: _Connection, msg: Message) -> None:
-        """Best-effort reply to a client connection, at its codec."""
+        """Best-effort reply to a client connection, at its codec.
+
+        The frame lands in the connection's reusable encoder buffer.
+        Mid-batch (the inbox consumer holds ``_batch_conns``) the flush
+        is deferred so every reply of the batch leaves in one vectored
+        ``writelines``.  Outside a batch, tick coalescing schedules one
+        ``call_soon`` flush per connection per event-loop iteration —
+        replies from serve tasks whose timers expired in the same tick
+        share a single syscall; with coalescing off the frame is
+        flushed immediately.
+        """
         if conn.closed:
             return
         try:
             t0 = perf_counter()
-            frame = encode_message(msg, conn.wire_version)
+            conn.encoder.add(msg, conn.wire_version)
             self.cluster.stage_seconds["encode"] += perf_counter() - t0
-            conn.writer.write(frame)
+            if self._batch_conns is not None:
+                self._batch_conns.add(conn)
+                return
             transport = conn.writer.transport
-            if (
+            backlogged = (
                 transport is not None
                 and transport.get_write_buffer_size() > _WRITE_HIGH_WATER
-            ):
+            )
+            if self._tick_coalesce and not backlogged:
+                if not conn.flush_scheduled and conn.encoder.pending:
+                    conn.flush_scheduled = True
+                    asyncio.get_running_loop().call_soon(
+                        self._flush_conn_soon, conn
+                    )
+                return
+            conn.encoder.flush_to(conn.writer)
+            if backlogged:
                 await conn.writer.drain()
         except (ConnectionError, OSError):
             await conn.close()
+
+    def _flush_conn_soon(self, conn: _Connection) -> None:
+        """Tick-coalesced flush: every reply buffered this iteration."""
+        conn.flush_scheduled = False
+        if conn.closed or not conn.encoder.pending:
+            return
+        try:
+            conn.encoder.flush_to(conn.writer)
+        except (ConnectionError, OSError):  # pragma: no cover - client died
+            conn.encoder.reset()
+
+    async def _flush_batch_conns(self, conns: set[_Connection]) -> None:
+        """Flush every connection a consumer batch wrote replies to."""
+        for conn in conns:
+            if conn.closed or not conn.encoder.pending:
+                continue
+            try:
+                conn.encoder.flush_to(conn.writer)
+                transport = conn.writer.transport
+                if (
+                    transport is not None
+                    and transport.get_write_buffer_size() > _WRITE_HIGH_WATER
+                ):
+                    await conn.writer.drain()
+            except (ConnectionError, OSError):
+                await conn.close()
+        conns.clear()
 
     async def _send(self, msg: Message) -> bool:
         """Send toward a peer; a dead peer is marked in our own word.
@@ -260,13 +338,21 @@ class NodeServer:
         the event loop — amortising the task switch over the batch.
         The per-message accounting (``task_done``, error counters)
         is unchanged, so ``drain()`` semantics are preserved.
+
+        Batch-aware encode: while the batch runs, reply frames written
+        through :meth:`_write_client` accumulate in their connection's
+        encoder buffer and are flushed once per batch as a single
+        vectored write — one ``writelines`` per (connection, batch)
+        instead of one write per reply.
         """
         inbox = self.inbox
         batch_max = self.cluster.config.batch_max
+        batch_conns: set[_Connection] = set()
         while self._running:
             msg, conn = await inbox.get()
             self.busy = True
             drained = 1
+            self._batch_conns = batch_conns
             try:
                 while True:
                     try:
@@ -285,6 +371,9 @@ class NodeServer:
                         break
                     drained += 1
             finally:
+                self._batch_conns = None
+                if batch_conns:
+                    await self._flush_batch_conns(batch_conns)
                 self.busy = False
 
     async def _dispatch(self, msg: Message, conn: _Connection | None) -> None:
@@ -349,26 +438,31 @@ class NodeServer:
     async def _handle_get(self, msg: Message, conn: _Connection | None) -> None:
         if msg.src == CLIENT:
             # Entry node: stamp the origin and remember the client.
-            # (Direct construction — this runs for every client GET and
-            # dataclasses.replace is several times a plain __init__.)
-            msg = Message(
-                kind=msg.kind, src=msg.src, dst=msg.dst, file=msg.file,
-                payload=msg.payload, version=msg.version, hops=msg.hops,
-                origin=self.pid, request_id=msg.request_id,
+            # (fast_message — this runs for every client GET and both
+            # dataclasses.replace and the frozen __init__ cost more.)
+            msg = fast_message(
+                msg.kind, msg.src, msg.dst, msg.file, msg.payload,
+                msg.version, msg.hops, self.pid, msg.request_id,
             )
             if conn is not None:
                 self.pending[msg.request_id] = _PendingGet(conn)
         if msg.file in self.store:
             if self._pipelined and self.cluster.config.service_time > 0:
                 # Fast path: overlap the (simulated) service latencies
-                # instead of serializing them through the consumer —
-                # serving mutates no placement state, so replies may
-                # complete in any order.
-                task = asyncio.get_running_loop().create_task(
-                    self._serve_pipelined(msg)
+                # instead of serializing them through the consumer.
+                # Arrivals are FIFO and the service time is constant,
+                # so due times are monotonic: one worker task with one
+                # timer per wake replaces a task + sleep per request,
+                # and requests due in the same wake share the tick.
+                self._serve_queue.append(
+                    (asyncio.get_running_loop().time()
+                     + self.cluster.config.service_time, msg)
                 )
-                self._serve_tasks.add(task)
-                task.add_done_callback(self._serve_tasks.discard)
+                waiter = self._serve_waiter
+                if waiter is not None:
+                    self._serve_waiter = None
+                    if not waiter.done():
+                        waiter.set_result(None)
             else:
                 await self._serve(msg)
             return
@@ -377,33 +471,46 @@ class NodeServer:
         else:
             await self._forward_within_subtree(msg)
 
-    async def _serve_pipelined(self, msg: Message) -> None:
-        try:
-            await self._serve(msg)
-        except asyncio.CancelledError:  # pragma: no cover - shutdown
-            raise
-        except Exception:  # pragma: no cover - defensive
-            self.cluster.note_handler_error(self.pid)
+    async def _serve_worker(self) -> None:
+        """Drain the due-time serve queue with one timer per wake."""
+        loop = asyncio.get_running_loop()
+        queue = self._serve_queue
+        while self._running:
+            if not queue:
+                waiter = loop.create_future()
+                self._serve_waiter = waiter
+                await waiter
+                continue
+            delay = queue[0][0] - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+                continue
+            self._serving = True
+            try:
+                while queue and queue[0][0] <= loop.time():
+                    _, msg = queue.popleft()
+                    try:
+                        await self._serve(msg, slept=True)
+                    except asyncio.CancelledError:  # pragma: no cover
+                        raise
+                    except Exception:  # pragma: no cover - defensive
+                        self.cluster.note_handler_error(self.pid)
+            finally:
+                self._serving = False
 
-    async def _serve(self, msg: Message) -> None:
+    async def _serve(self, msg: Message, slept: bool = False) -> None:
         service_time = self.cluster.config.service_time
-        if service_time > 0:
+        if service_time > 0 and not slept:
             await asyncio.sleep(service_time)
         t0 = perf_counter()
         copy = self.store.get(msg.file)
         now = asyncio.get_running_loop().time()
         self.monitor.record_served(msg.file, msg.src, now)
         self.served_total += 1
-        reply = Message(
-            kind=MessageKind.GET_REPLY,
-            src=msg.dst,
-            dst=msg.origin,
-            file=msg.file,
-            payload={"payload": copy.payload, "server": self.pid},
-            version=copy.version,
-            hops=msg.hops,
-            origin=msg.origin,
-            request_id=msg.request_id,
+        reply = fast_message(
+            MessageKind.GET_REPLY, msg.dst, msg.origin, msg.file,
+            {"payload": copy.payload, "server": self.pid},
+            copy.version, msg.hops, msg.origin, msg.request_id,
         )
         self.cluster.stage_seconds["serve"] += perf_counter() - t0
         await self._finish(msg, reply)
@@ -421,11 +528,10 @@ class NodeServer:
             if isinstance(pend, _PendingGet):
                 await self._write_client(
                     pend.conn,
-                    Message(
-                        kind=reply.kind, src=reply.src, dst=CLIENT,
-                        file=reply.file, payload=reply.payload,
-                        version=reply.version, hops=reply.hops,
-                        origin=reply.origin, request_id=reply.request_id,
+                    fast_message(
+                        reply.kind, reply.src, CLIENT, reply.file,
+                        reply.payload, reply.version, reply.hops,
+                        reply.origin, reply.request_id,
                     ),
                 )
             return
@@ -433,10 +539,14 @@ class NodeServer:
 
     async def _handle_reply(self, msg: Message) -> None:
         pend = self.pending.pop(msg.request_id, None)
-        if isinstance(pend, _PendingGet):
-            await self._write_client(pend.conn, replace(msg, dst=CLIENT))
-        elif isinstance(pend, _PendingInsert):  # pragma: no cover - defensive
-            await self._write_client(pend.conn, replace(msg, dst=CLIENT))
+        if isinstance(pend, (_PendingGet, _PendingInsert)):
+            await self._write_client(
+                pend.conn,
+                fast_message(
+                    msg.kind, msg.src, CLIENT, msg.file, msg.payload,
+                    msg.version, msg.hops, msg.origin, msg.request_id,
+                ),
+            )
 
     async def _forward_whole_tree(self, msg: Message) -> None:
         """§3 routing on the full tree, rerouting around dead peers.
@@ -479,6 +589,11 @@ class NodeServer:
         stage = cluster.stage_seconds
         count = 1 << self.b
         while True:
+            # The route window covers the whole §4 decision — remaining-
+            # list normalisation, the identity-reduction context, and
+            # the cached next-hop lookup — not just the final table
+            # read; sends happen outside it.
+            t0 = perf_counter()
             remaining = msg.payload
             if remaining is None:
                 own = subtree_of_pid(tree, self.pid, self.b)
@@ -486,23 +601,26 @@ class NodeServer:
             remaining = [int(s) for s in remaining]
             sid = remaining[0]
             view, itree, sliveness = self._subtree_ctx(tree, sid)
-            msg = replace(msg, payload=remaining)
+            if remaining != msg.payload:
+                msg = fast_message(
+                    msg.kind, msg.src, msg.dst, msg.file, remaining,
+                    msg.version, msg.hops, msg.origin, msg.request_id,
+                )
             if view.contains(self.pid):
-                t0 = perf_counter()
                 svid = tree.vid_of(self.pid) >> self.b
                 try:
                     nxt = int(routing_table(itree, sliveness).next_hop[svid])
                 except NoLiveNodeError:  # pragma: no cover - we are live
                     nxt = svid
-                stage["route"] += perf_counter() - t0
                 if nxt != svid:
-                    if await self._send(
-                        msg.forwarded(self.pid, view.pid_of_svid(nxt))
-                    ):
+                    target = view.pid_of_svid(nxt)
+                    stage["route"] += perf_counter() - t0
+                    if await self._send(msg.forwarded(self.pid, target)):
                         return
                     continue
                 # next_hop maps the storage node to itself: the file is
                 # absent at its home — fall through to migrate (§4).
+            stage["route"] += perf_counter() - t0
             send_failed = False
             for offset, next_sid in enumerate(remaining[1:], start=1):
                 nview, nitree, nsliveness = self._subtree_ctx(tree, next_sid)
@@ -513,7 +631,10 @@ class NodeServer:
                 except NoLiveNodeError:
                     continue
                 cluster.count("migrations")
-                hop = replace(msg, payload=remaining[offset:])
+                hop = fast_message(
+                    msg.kind, msg.src, msg.dst, msg.file, remaining[offset:],
+                    msg.version, msg.hops, msg.origin, msg.request_id,
+                )
                 if await self._send(hop.forwarded(self.pid, target)):
                     return
                 send_failed = True
@@ -810,19 +931,14 @@ class NodeServer:
     @property
     def active(self) -> bool:
         """Is any work pending here?  (Used by the cluster's drain.)"""
-        return bool(self.busy or self.inbox.qsize() or self._serve_tasks)
+        return bool(
+            self.busy or self.inbox.qsize() or self._serve_queue or self._serving
+        )
 
     async def shutdown(self) -> None:
         """Stop serving: cancel tasks, close every connection."""
         self._running = False
-        for task in list(self._serve_tasks):
-            task.cancel()
-        for task in list(self._serve_tasks):
-            try:
-                await task
-            except (asyncio.CancelledError, Exception):  # noqa: BLE001
-                pass
-        self._serve_tasks.clear()
+        self._serve_queue.clear()
         for task in self._tasks:
             task.cancel()
         for task in self._tasks:

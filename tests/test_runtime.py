@@ -25,13 +25,21 @@ from repro.runtime import (
     replay_oplog,
     run_conformance,
 )
+from repro.runtime import LatencyHistogram
 from repro.runtime.wire import (
+    FRAME_ACK,
+    FRAME_GENERIC,
+    FRAME_GET,
+    FRAME_GET_REPLY,
     HEADER,
     MAGIC,
     WIRE_VERSION,
     WIRE_VERSION_BINARY,
+    FrameEncoder,
     FrameError,
+    FrameReader,
     WireDecodeError,
+    WireError,
     decode_message,
     encode_message,
     message_from_dict,
@@ -184,9 +192,12 @@ class TestBinaryCodec:
 
 class TestBinaryHardening:
     def _v2_frame(self, **kwargs):
+        # fixed=False: these tests corrupt specific *generic*-codec body
+        # offsets, so keep the frame off the fixed-layout fast lane.
         return encode_message(
             Message(kind=MessageKind.GET, src=0, dst=1, file="abc", **kwargs),
             WIRE_VERSION_BINARY,
+            fixed=False,
         )
 
     def _reframe(self, body: bytes) -> bytes:
@@ -241,6 +252,311 @@ class TestBinaryHardening:
             decode_message(self._reframe(blob))
         except (FrameError, WireDecodeError):
             pass  # precise rejection is the contract; crashing is not
+
+
+# ---------------------------------------------------------------------------
+# fixed-layout fast lane: equivalence with generic v2, hardening
+# ---------------------------------------------------------------------------
+
+_i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+fixed_gets_and_acks = st.builds(
+    Message,
+    kind=st.sampled_from([MessageKind.GET, MessageKind.ACK]),
+    src=_i64, dst=_i64, file=st.text(max_size=40),
+    payload=st.none(),
+    version=_i64, hops=_i64, origin=_i64, request_id=_i64,
+)
+fixed_routed_gets = st.builds(
+    Message,
+    kind=st.just(MessageKind.GET),
+    src=_i64, dst=_i64, file=st.text(max_size=40),
+    payload=st.lists(
+        st.integers(min_value=0, max_value=255), min_size=1, max_size=16
+    ),
+    version=_i64, hops=_i64, origin=_i64, request_id=_i64,
+)
+fixed_replies = st.builds(
+    Message,
+    kind=st.just(MessageKind.GET_REPLY),
+    src=_i64, dst=_i64, file=st.text(max_size=40),
+    payload=st.fixed_dictionaries({
+        "payload": st.one_of(
+            st.none(), st.text(max_size=40), st.binary(max_size=40)
+        ),
+        "server": _i64,
+    }),
+    version=_i64, hops=_i64, origin=_i64, request_id=_i64,
+)
+fixed_eligible = st.one_of(fixed_gets_and_acks, fixed_routed_gets, fixed_replies)
+
+_FLAG_FOR_KIND = {
+    MessageKind.GET: FRAME_GET,
+    MessageKind.ACK: FRAME_ACK,
+    MessageKind.GET_REPLY: FRAME_GET_REPLY,
+}
+
+
+class TestFixedLayouts:
+    """The struct-packed GET/ACK/GET_REPLY lane inside wire v2."""
+
+    def _fixed_reframe(self, flags: int, body: bytes) -> bytes:
+        return HEADER.pack(MAGIC, WIRE_VERSION_BINARY, flags, len(body)) + body
+
+    @settings(max_examples=120)
+    @given(fixed_eligible)
+    def test_fixed_decodes_identical_to_generic_v2(self, msg):
+        generic = encode_message(msg, WIRE_VERSION_BINARY, fixed=False)
+        fixed = encode_message(msg, WIRE_VERSION_BINARY)
+        assert fixed[3] == _FLAG_FOR_KIND[msg.kind]  # the lane is taken
+        assert generic[3] == FRAME_GENERIC
+        assert decode_message(fixed) == decode_message(generic) == msg
+
+    @settings(max_examples=80)
+    @given(fixed_eligible)
+    def test_fixed_is_never_larger_than_generic(self, msg):
+        fixed = encode_message(msg, WIRE_VERSION_BINARY)
+        generic = encode_message(msg, WIRE_VERSION_BINARY, fixed=False)
+        assert len(fixed) <= len(generic)
+
+    @pytest.mark.parametrize("msg", [
+        Message(kind=MessageKind.GET, src=0, dst=1, payload={"x": 1}),
+        Message(kind=MessageKind.GET, src=0, dst=1, payload=[]),
+        Message(kind=MessageKind.GET, src=0, dst=1, payload=[256]),
+        Message(kind=MessageKind.GET, src=0, dst=1, payload=[1, "a"]),
+        Message(kind=MessageKind.ACK, src=0, dst=1, payload=[1]),
+        Message(kind=MessageKind.ACK, src=0, dst=1, payload={}),
+        Message(kind=MessageKind.GET_REPLY, src=0, dst=1,
+                payload={"payload": None}),
+        Message(kind=MessageKind.GET_REPLY, src=0, dst=1,
+                payload={"payload": None, "server": True}),
+        Message(kind=MessageKind.GET_REPLY, src=0, dst=1,
+                payload={"payload": None, "server": 1 << 70}),
+        Message(kind=MessageKind.GET_REPLY, src=0, dst=1,
+                payload={"payload": 7, "server": 1}),
+        Message(kind=MessageKind.INSERT, src=0, dst=1, payload=None),
+    ])
+    def test_ineligible_messages_fall_back_to_generic(self, msg):
+        frame = encode_message(msg, WIRE_VERSION_BINARY)
+        assert frame[3] == FRAME_GENERIC
+        assert decode_message(frame) == msg
+
+    def test_bool_subtree_ids_coerce_to_equal_ints(self):
+        # bytes() validates the trailer at C speed; bools ride through
+        # as their int value, which compares equal end to end.
+        msg = Message(kind=MessageKind.GET, src=0, dst=1, payload=[True, 0])
+        frame = encode_message(msg, WIRE_VERSION_BINARY)
+        assert frame[3] == FRAME_GET
+        decoded = decode_message(frame)
+        assert decoded == msg and decoded.payload == [1, 0]
+
+    def test_v1_frames_carry_no_fixed_layouts(self):
+        msg = Message(kind=MessageKind.GET, src=0, dst=1, file="f")
+        body = encode_message(msg, WIRE_VERSION)[HEADER.size:]
+        frame = HEADER.pack(MAGIC, WIRE_VERSION, FRAME_GET, len(body)) + body
+        with pytest.raises(WireDecodeError, match="v1 frames carry no fixed"):
+            decode_message(frame)
+
+    def test_truncated_fixed_body_is_a_decode_error(self):
+        with pytest.raises(WireDecodeError, match="too short"):
+            decode_message(self._fixed_reframe(FRAME_GET, b"\x00" * 8))
+
+    def test_ack_trailing_bytes_are_a_decode_error(self):
+        msg = Message(kind=MessageKind.ACK, src=0, dst=1, file="f")
+        body = encode_message(msg, WIRE_VERSION_BINARY)[HEADER.size:]
+        with pytest.raises(WireDecodeError, match="trailing"):
+            decode_message(self._fixed_reframe(FRAME_ACK, body + b"\x00"))
+
+    def test_bad_subtree_trailer_is_a_decode_error(self):
+        msg = Message(kind=MessageKind.GET, src=0, dst=1, file="f",
+                      payload=[1, 2])
+        body = bytearray(encode_message(msg, WIRE_VERSION_BINARY)[HEADER.size:])
+        body[-3] = 9  # count byte claims 9 ids; only 2 follow
+        with pytest.raises(WireDecodeError, match="subtree trailer"):
+            decode_message(self._fixed_reframe(FRAME_GET, bytes(body)))
+
+    def test_unknown_reply_payload_kind_is_a_decode_error(self):
+        msg = Message(kind=MessageKind.GET_REPLY, src=0, dst=1, file="f",
+                      payload={"payload": None, "server": 2})
+        body = bytearray(encode_message(msg, WIRE_VERSION_BINARY)[HEADER.size:])
+        body[-5] = 77  # the value-kind byte before the u32 length
+        with pytest.raises(WireDecodeError, match="payload kind"):
+            decode_message(self._fixed_reframe(FRAME_GET_REPLY, bytes(body)))
+
+    def test_reply_none_payload_with_bytes_is_a_decode_error(self):
+        msg = Message(kind=MessageKind.GET_REPLY, src=0, dst=1, file="f",
+                      payload={"payload": b"x", "server": 2})
+        body = bytearray(encode_message(msg, WIRE_VERSION_BINARY)[HEADER.size:])
+        body[-6] = 0  # retag the 1-byte payload as None, bytes still follow
+        with pytest.raises(WireDecodeError, match="carries bytes"):
+            decode_message(self._fixed_reframe(FRAME_GET_REPLY, bytes(body)))
+
+    @settings(max_examples=80)
+    @given(st.integers(min_value=1, max_value=3),
+           st.binary(min_size=0, max_size=64))
+    def test_random_fixed_bodies_never_crash_the_decoder(self, flags, blob):
+        try:
+            decode_message(self._fixed_reframe(flags, blob))
+        except (FrameError, WireDecodeError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# zero-copy frame encoder / reader: buffer reuse and hardening
+# ---------------------------------------------------------------------------
+
+class TestFrameEncoder:
+    def test_views_match_per_message_encodes(self):
+        msgs = [
+            Message(kind=MessageKind.GET, src=0, dst=i, file=f"f-{i}")
+            for i in range(5)
+        ]
+        enc = FrameEncoder()
+        for m in msgs:
+            enc.add(m, WIRE_VERSION_BINARY)
+        assert enc.pending == 5
+        views = enc.views()
+        singles = [encode_message(m, WIRE_VERSION_BINARY) for m in msgs]
+        assert [bytes(v) for v in views] == singles
+        for v in views:
+            v.release()
+
+    def test_rejected_message_rolls_back_the_buffer(self):
+        good = Message(kind=MessageKind.GET, src=0, dst=1, file="ok")
+        bad = Message(kind=MessageKind.INSERT, src=0, dst=1,
+                      payload={"obj": object()})
+        enc = FrameEncoder()
+        enc.add(good, WIRE_VERSION_BINARY)
+        with pytest.raises(WireError):
+            enc.add(bad, WIRE_VERSION_BINARY)
+        assert enc.pending == 1  # the bad frame left no partial bytes
+        enc.add(good, WIRE_VERSION_BINARY)
+        blob = enc.take_bytes()
+        assert blob == encode_message(good, WIRE_VERSION_BINARY) * 2
+
+    def test_encoder_is_reusable_after_flush(self):
+        msg = Message(kind=MessageKind.ACK, src=0, dst=1, file="f")
+        enc = FrameEncoder()
+        enc.add(msg, WIRE_VERSION_BINARY)
+        first = enc.take_bytes()
+        assert enc.pending == 0 and enc.pending_bytes == 0
+        enc.add(msg, WIRE_VERSION_BINARY)
+        assert enc.take_bytes() == first
+
+
+class TestFrameReader:
+    def _drain(self, blob: bytes, chunk: int):
+        """Feed ``blob`` in ``chunk``-sized slices; decode to exhaustion."""
+
+        async def run():
+            reader = asyncio.StreamReader()
+            for i in range(0, len(blob), chunk):
+                reader.feed_data(blob[i:i + chunk])
+            reader.feed_eof()
+            frames = FrameReader(reader)
+            out, errors = [], 0
+            try:
+                while True:
+                    msgs, errs = await frames.read_batch()
+                    out.extend(m for m, _v in msgs)
+                    errors += errs
+            except EOFError:
+                return out, errors
+
+        return asyncio.run(run())
+
+    @settings(max_examples=40)
+    @given(st.lists(messages, min_size=1, max_size=6),
+           st.integers(min_value=1, max_value=64))
+    def test_batch_decode_survives_any_chunking(self, msgs, chunk):
+        blob = b"".join(encode_message(m, WIRE_VERSION_BINARY) for m in msgs)
+        out, errors = self._drain(blob, chunk)
+        assert out == msgs and errors == 0
+
+    def test_corrupt_body_is_counted_and_skipped(self):
+        msgs = [
+            Message(kind=MessageKind.GET, src=0, dst=i, file=f"f-{i}")
+            for i in range(3)
+        ]
+        frames = [
+            bytearray(encode_message(m, WIRE_VERSION_BINARY, fixed=False))
+            for m in msgs
+        ]
+        frames[1][-1] = 250  # the payload's single tag byte: unknown tag
+        out, errors = self._drain(b"".join(bytes(f) for f in frames), chunk=7)
+        assert out == [msgs[0], msgs[2]] and errors == 1
+
+    def test_mid_frame_truncation_is_a_frame_error(self):
+        blob = encode_message(
+            Message(kind=MessageKind.GET, src=0, dst=1, file="f"),
+            WIRE_VERSION_BINARY,
+        )[:-2]
+        with pytest.raises(FrameError, match="mid-frame"):
+            self._drain(blob, chunk=5)
+
+    def test_decoded_messages_never_alias_the_reuse_buffer(self):
+        first = Message(kind=MessageKind.GET_REPLY, src=0, dst=1, file="a",
+                        payload={"payload": b"\x01" * 32, "server": 7})
+        second = Message(kind=MessageKind.GET_REPLY, src=0, dst=1, file="b",
+                         payload={"payload": b"\xff" * 32, "server": 8})
+
+        async def run():
+            stream = asyncio.StreamReader()
+            frames = FrameReader(stream)
+            stream.feed_data(encode_message(first, WIRE_VERSION_BINARY))
+            batch1, _ = await frames.read_batch()
+            # The second batch recycles the reader's internal buffer,
+            # overwriting the bytes the first decode sliced from.
+            stream.feed_data(encode_message(second, WIRE_VERSION_BINARY))
+            batch2, _ = await frames.read_batch()
+            return batch1[0][0], batch2[0][0]
+
+        got_first, got_second = asyncio.run(run())
+        assert got_first == first  # still intact: leaves were copied out
+        assert got_second == second
+
+
+# ---------------------------------------------------------------------------
+# latency histograms and shape distance
+# ---------------------------------------------------------------------------
+
+class TestLatencyHistogram:
+    def test_round_trips_through_dict_form(self):
+        hist = LatencyHistogram()
+        for latency in (0.0005, 0.004, 0.004, 0.25, 9999.0):
+            hist.record(latency)
+        assert hist.total == 5
+        data = hist.as_dict()
+        import json as _json
+        _json.dumps(data)  # strict JSON: the overflow bound must not leak inf
+        back = LatencyHistogram.from_dict(data)
+        assert back.counts == hist.counts and back.total == hist.total
+        assert hist.shape_distance(back) == 0.0
+
+    def test_shift_increases_distance(self):
+        base, shifted, far = (LatencyHistogram() for _ in range(3))
+        for _ in range(100):
+            base.record(0.004)
+            shifted.record(0.008)
+            far.record(0.064)
+        assert base.shape_distance(base) == 0.0
+        d_near = base.shape_distance(shifted)
+        d_far = base.shape_distance(far)
+        assert 0.0 < d_near < d_far
+        assert base.shape_distance(shifted) == shifted.shape_distance(base)
+
+    def test_empty_histogram_distance_is_infinite(self):
+        empty, full = LatencyHistogram(), LatencyHistogram()
+        full.record(0.01)
+        assert empty.shape_distance(full) == float("inf")
+        assert full.shape_distance(empty) == float("inf")
+
+    def test_extreme_latencies_land_in_end_buckets(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        hist.record(1e9)
+        assert hist.total == 2
+        assert hist.counts[0] == 1 and hist.counts[-1] == 1
 
 
 # ---------------------------------------------------------------------------

@@ -29,7 +29,10 @@ the synchronous oracle; a single divergence fails the run.
 Results go to ``BENCH_runtime.json`` at the repo root.  Top-level
 ``sustained_rps``/latency fields describe the binary profile; the
 ``codecs`` section carries both profiles and ``speedup`` is the ratio
-of sustained rates.
+of sustained rates.  Every ramp entry also persists the HDR-style
+per-rate latency histogram (``latency_hist``) and the per-stage
+``encode``/``decode``/``route``/``serve`` seconds; a human-readable
+bar-chart rendering of all histograms goes to ``BENCH_runtime_hist.txt``.
 
 Usage::
 
@@ -40,7 +43,13 @@ Usage::
 ``--check`` runs a reduced ramp and exits non-zero if conformance
 fails, the smallest rate cannot be sustained, or — when the committed
 baseline records a check-mode expectation — sustained throughput drops
-more than 30% below it (the CI regression gate).
+more than 30% below it (the CI regression gate), or the latency
+*shape* at the top check rate drifts more than ``SHAPE_TOLERANCE``
+bucket-widths of earth-mover distance from the committed reference
+(the shape gate: it catches bimodality and new tail modes that leave
+the p99 SLO untouched, while staying insensitive to a uniform
+machine-speed shift, which costs only ~4 buckets per octave).  Full
+runs re-measure the check grid at the end to refresh that reference.
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.runtime import (  # noqa: E402
+    LatencyHistogram,
     LiveCluster,
     LoadGenerator,
     RuntimeClient,
@@ -68,6 +78,7 @@ from repro.runtime import (  # noqa: E402
 )
 
 OUTPUT = REPO_ROOT / "BENCH_runtime.json"
+HIST_OUTPUT = REPO_ROOT / "BENCH_runtime_hist.txt"
 BASELINE = REPO_ROOT / "BENCH_runtime.json"
 
 #: Latency SLO: a rate only counts as sustained while the median-trial
@@ -77,9 +88,26 @@ P99_SLO_S = 0.050
 #: Allowed drop below the committed baseline before --check fails.
 REGRESSION_TOLERANCE = 0.30
 
+#: Latency-shape gate: max earth-mover distance (in bucket-widths of
+#: normalized probability mass) between the check-grid histogram and
+#: the committed reference.  The buckets are log-linear with 4 per
+#: octave, so a uniform 2x machine-speed shift costs ~4.0 — the
+#: threshold tolerates that while flagging new multi-octave latency
+#: modes that a p99-only gate can miss.
+SHAPE_TOLERANCE = 8.0
+
+#: The CI smoke grid.  Full runs re-measure CHECK_SHAPE_RATE with these
+#: exact parameters to refresh the committed latency-shape reference,
+#: so check-mode histograms compare like with like.
+CHECK_RATES = [100.0, 200.0]
+CHECK_SHAPE_RATE = 200.0
+CHECK_WARMUP, CHECK_DURATION, CHECK_FILES = 0.4, 0.5, 6
+
 PROFILES: dict[str, dict] = {
-    "json-v1": {"wire_version": 1, "batch_max": 1, "coalesce_bytes": 0},
-    "binary-v2": {"wire_version": 2, "batch_max": 16, "coalesce_bytes": 0},
+    "json-v1": {"wire_version": 1, "batch_max": 1, "coalesce_bytes": 0,
+                "tick_coalesce": False, "fixed_frames": False},
+    "binary-v2": {"wire_version": 2, "batch_max": 16, "coalesce_bytes": 0,
+                  "tick_coalesce": True, "fixed_frames": True},
 }
 
 
@@ -234,7 +262,10 @@ def _regression_gate(
         print("regression gate: baseline has no check expectation, skipping")
         return []
     failures: list[str] = []
-    for codec, floor in expectation.items():
+    for codec, expect in expectation.items():
+        # Either the bare rps floor (legacy artifacts) or a dict with
+        # "sustained_rps" alongside the latency-shape reference.
+        floor = expect.get("sustained_rps") if isinstance(expect, dict) else expect
         if not isinstance(floor, (int, float)) or floor <= 0:
             continue
         got = sustained.get(codec, 0.0)
@@ -247,6 +278,106 @@ def _regression_gate(
     if not failures:
         print(f"regression gate: ok ({grid} grid vs committed baseline)")
     return failures
+
+
+def _shape_gate(ramp: list[dict], baseline: dict | None) -> list[str]:
+    """Compare check-grid latency *shape* against the committed reference.
+
+    For each codec, the histogram measured at ``CHECK_SHAPE_RATE`` is
+    compared to the baseline's ``latency_shape`` reference by
+    earth-mover distance in bucket units; drift beyond
+    ``SHAPE_TOLERANCE`` fails.  Returns failure messages (empty when
+    the gate passes or no comparable reference exists).
+    """
+    expectation = (baseline or {}).get("check_expectation")
+    if not isinstance(expectation, dict):
+        print("shape gate: no committed shape reference, skipping")
+        return []
+    failures: list[str] = []
+    compared = False
+    for codec, expect in expectation.items():
+        reference = expect.get("latency_shape") if isinstance(expect, dict) else None
+        if not isinstance(reference, dict):
+            continue
+        entry = next(
+            (e for e in ramp
+             if e["codec"] == codec
+             and e["target_rps"] == CHECK_SHAPE_RATE
+             and isinstance(e.get("latency_hist"), dict)),
+            None,
+        )
+        if entry is None:
+            continue
+        compared = True
+        measured = LatencyHistogram.from_dict(entry["latency_hist"])
+        drift = measured.shape_distance(LatencyHistogram.from_dict(reference))
+        if drift > SHAPE_TOLERANCE:
+            failures.append(
+                f"{codec}: latency-shape drift {drift:.1f} buckets > "
+                f"{SHAPE_TOLERANCE:.1f} at {CHECK_SHAPE_RATE:.0f} rps"
+            )
+        else:
+            print(f"shape gate: {codec} drift {drift:.1f} buckets "
+                  f"(tolerance {SHAPE_TOLERANCE:.1f})")
+    if not compared and not failures:
+        print("shape gate: baseline predates shape references, skipping")
+    return failures
+
+
+def _render_hist(hist: dict) -> list[str]:
+    """ASCII bar chart of one sparse histogram dict."""
+    lines: list[str] = []
+    counts = hist.get("counts", [])
+    bounds = hist.get("le_ms", [])
+    peak = max(counts, default=0)
+    if not peak:
+        return ["  (empty)"]
+    prev = 0.0
+    for le, count in zip(bounds, counts):
+        label = f"> {prev:7.2f} ms" if le is None else f"<= {le:7.2f} ms"
+        bar = "#" * max(1, round(40 * count / peak))
+        lines.append(f"  {label:>14s} {count:7d} {bar}")
+        if le is not None:
+            prev = le
+    return lines
+
+
+def _write_hist_plot(ramp: list[dict], label: str, mode: str) -> None:
+    """Render every ramp entry's latency histogram to HIST_OUTPUT."""
+    lines = [f"latency histograms ({label} grid, {mode} transport), "
+             f"log-linear buckets, 4 per octave", ""]
+    for entry in ramp:
+        hist = entry.get("latency_hist")
+        if not isinstance(hist, dict):
+            continue
+        lines.append(
+            f"{entry['codec']} @ {entry['target_rps']:.0f} rps "
+            f"(p50 {entry['latency_p50_s']*1e3:.2f} ms, "
+            f"p99 {entry['latency_p99_s']*1e3:.2f} ms, "
+            f"{'sustained' if entry['sustained'] else 'saturated'})"
+        )
+        lines.extend(_render_hist(hist))
+        lines.append("")
+    HIST_OUTPUT.write_text("\n".join(lines) + "\n")
+
+
+def _shape_reference(base_config: dict, seed: int) -> dict[str, dict]:
+    """Re-measure the check grid's top rate to refresh the committed
+    check-mode expectation (rps floor + latency-shape reference)."""
+    reference: dict[str, dict] = {}
+    for codec in PROFILES:
+        config = RuntimeConfig(**base_config, **PROFILES[codec])
+        report, _, _, ok = asyncio.run(_run_trial(
+            config, CHECK_FILES, CHECK_SHAPE_RATE, CHECK_WARMUP,
+            CHECK_DURATION, seed,
+        ))
+        reference[codec] = {
+            "sustained_rps": CHECK_SHAPE_RATE,
+            "latency_shape": report["latency_hist"],
+        }
+        print(f"  {codec:9s} @ {CHECK_SHAPE_RATE:.0f} rps: "
+              f"{report['completed']} samples, conformant={ok}")
+    return reference
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -263,11 +394,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.check:
-        rates = [100.0, 200.0]
-        warmup, duration, files = 0.4, 0.5, 6
+        rates = list(CHECK_RATES)
+        warmup, duration = CHECK_WARMUP, CHECK_DURATION
+        files = CHECK_FILES
         trials = args.trials or 1
     else:
-        rates = [800.0, 1600.0, 2400.0, 3200.0, 4800.0, 6400.0]
+        rates = [800.0, 1600.0, 2400.0, 3200.0, 4800.0, 6400.0,
+                 7200.0, 8000.0, 9600.0, 11200.0]
         warmup, duration, files = 2.0, 2.0, 24
         trials = args.trials or 3
     base_config = dict(
@@ -337,11 +470,15 @@ def main(argv: list[str] | None = None) -> int:
     }
     if not args.check:
         # The committed full-grid artifact records what the CI smoke is
-        # expected to sustain, so --check runs can gate on regressions.
-        payload["check_expectation"] = {codec: 200.0 for codec in PROFILES}
+        # expected to sustain — rps floor plus latency-shape reference,
+        # measured with the check grid's own parameters so --check runs
+        # compare like with like.
+        print("check-grid reference (for the CI regression + shape gates):")
+        payload["check_expectation"] = _shape_reference(base_config, args.seed)
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    _write_hist_plot(ramp, label, mode)
     print(f"sustained: json-v1 {json_rps:.0f} rps, binary-v2 {binary_rps:.0f} "
-          f"rps (speedup {speedup}); wrote {OUTPUT}")
+          f"rps (speedup {speedup}); wrote {OUTPUT} and {HIST_OUTPUT}")
 
     if not all_conformant:
         print("FAIL: live run diverged from the oracle replay", file=sys.stderr)
@@ -351,6 +488,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if args.check:
         failures = _regression_gate(label, sustained, baseline)
+        failures.extend(_shape_gate(ramp, baseline))
         if failures:
             for failure in failures:
                 print(f"FAIL: regression gate: {failure}", file=sys.stderr)
