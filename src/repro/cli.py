@@ -31,6 +31,25 @@ from pathlib import Path
 __all__ = ["main", "build_parser"]
 
 
+def _add_overload_options(parser: argparse.ArgumentParser) -> None:
+    """Overload control-plane knobs shared by ``serve`` and ``loadgen``."""
+    parser.add_argument("--inbox-limit", type=int, default=0,
+                        help="bounded-inbox depth per node (0 = unbounded, "
+                        "no admission control)")
+    parser.add_argument("--shed-policy", default="conservative",
+                        choices=["conservative", "aggressive"],
+                        help="how much queued work an overloaded node sheds")
+    parser.add_argument("--queue-policy", default="fcfs",
+                        choices=["fcfs", "priority"],
+                        help="victim eligibility ordering under pressure")
+    parser.add_argument("--victim-policy", default="lifo",
+                        choices=["lifo", "fifo", "random"],
+                        help="which queued requests are shed first")
+    parser.add_argument("--slo-budget", type=float, default=0.0,
+                        help="windowed p99 service-latency budget in seconds "
+                        "that triggers replication (0 = disabled)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lesslog",
@@ -132,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-node overload threshold (requests/second)")
     serve.add_argument("--duration", type=float, default=0.0,
                        help="seconds to serve (0 = until interrupted)")
+    _add_overload_options(serve)
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a live cluster with a seeded GET workload"
@@ -160,6 +180,9 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--conformance", action="store_true",
                          help="replay the oplog through the synchronous "
                          "oracle and diff final state (exit 1 on mismatch)")
+    loadgen.add_argument("--redirects", type=int, default=3,
+                         help="client redirect budget per OVERLOAD-refused GET")
+    _add_overload_options(loadgen)
 
     profile = sub.add_parser(
         "profile",
@@ -377,13 +400,29 @@ def _cmd_verify_fuzz(
     return 1
 
 
-def _cmd_serve(m: int, b: int, seed: int, capacity: float, duration: float) -> int:
+def _overload_fields(args: "argparse.Namespace") -> dict[str, object]:
+    """RuntimeConfig overrides from the shared overload options."""
+    return {
+        "inbox_limit": args.inbox_limit,
+        "shed_policy": args.shed_policy,
+        "queue_policy": args.queue_policy,
+        "victim_policy": args.victim_policy,
+        "slo_budget": args.slo_budget if args.slo_budget > 0 else float("inf"),
+    }
+
+
+def _cmd_serve(args: "argparse.Namespace") -> int:
     import asyncio
 
     from .runtime import LiveCluster, RuntimeConfig
 
+    m, b, duration = args.m, args.b, args.duration
+
     async def run() -> int:
-        config = RuntimeConfig(m=m, b=b, seed=seed, tcp=True, capacity=capacity)
+        config = RuntimeConfig(
+            m=m, b=b, seed=args.seed, tcp=True, capacity=args.capacity,
+            **_overload_fields(args),
+        )
         cluster = await LiveCluster.start(config)
         try:
             print(f"serving {cluster!r}")
@@ -425,7 +464,7 @@ def _cmd_loadgen(args: "argparse.Namespace") -> int:
         config = RuntimeConfig(
             m=args.m, b=args.b, seed=args.seed, tcp=args.tcp,
             capacity=args.capacity, service_time=args.service_time,
-            inflight_limit=16,
+            inflight_limit=16, **_overload_fields(args),
         )
         cluster = await LiveCluster.start(config)
         try:
@@ -436,7 +475,8 @@ def _cmd_loadgen(args: "argparse.Namespace") -> int:
             await boot.close()
             await cluster.drain()
             shape = WorkloadShape(kind=args.workload, s=args.zipf_s)
-            gen = LoadGenerator(cluster, files, shape, seed=args.seed)
+            gen = LoadGenerator(cluster, files, shape, seed=args.seed,
+                                redirects=args.redirects)
             if args.closed_loop > 0:
                 report = await gen.run_closed_loop(
                     args.closed_loop, max(1, int(args.rps * args.duration))
@@ -578,7 +618,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "snapshot-demo":
         return _cmd_snapshot_demo(args.output)
     if args.command == "serve":
-        return _cmd_serve(args.m, args.b, args.seed, args.capacity, args.duration)
+        return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
     if args.command == "profile":

@@ -11,13 +11,23 @@ around nodes that died mid-flight — the client-side dual of the paper's
 ``FINDLIVENODE`` (§3).  A request that exhausts its attempt budget
 lands in a :class:`DeadLetter` with its full attempt history.
 
+A server that sheds a request under admission control answers with an
+``OVERLOAD`` reply carrying an optional redirect hint; the tracker's
+:meth:`RequestTracker.on_overload` cancels the pending deadline and —
+budget permitting — retries straight at the hinted replica after a
+jittered backoff.  A shed request that is out of budget (or got no
+usable hint) terminates in the ``shed_letters`` list: a distinct
+terminal state, not an expiry, because the server *told* us it refused
+the work.
+
 Accounting is exact and audit-ready: counters
-``request.{issued,completed,retried,expired,rerouted,stale_replies}``,
-histograms ``request.latency`` / ``request.attempts``, and ``retry`` /
-``expire`` trace records move in lockstep, so verification layers can
+``request.{issued,completed,retried,expired,rerouted,stale_replies,``
+``overloads,shed}``, histograms ``request.latency`` /
+``request.attempts``, and ``retry`` / ``expire`` / ``overload`` /
+``shed`` trace records move in lockstep, so verification layers can
 check the conservation identity
 
-    ``request.issued == completed + inflight + dead_letter``
+    ``request.issued == completed + inflight + dead_letter + shed``
 
 at any instant, and ``inflight == 0`` once the engine drains — every
 request terminates with a defined outcome.
@@ -144,6 +154,7 @@ class RequestTracker:
         self._inflight: dict[int, _Tracked] = {}
         self._completed_ids: set[int] = set()
         self.dead_letters: list[DeadLetter] = []
+        self.shed_letters: list[DeadLetter] = []
 
     # -- observability ----------------------------------------------------
 
@@ -170,6 +181,14 @@ class RequestTracker:
     @property
     def expired(self) -> int:
         return self.metrics.counter("request.expired").value
+
+    @property
+    def shed(self) -> int:
+        return self.metrics.counter("request.shed").value
+
+    @property
+    def overloads(self) -> int:
+        return self.metrics.counter("request.overloads").value
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -211,6 +230,53 @@ class RequestTracker:
             self.engine.now - record.attempts[0].sent_at
         )
         self.metrics.histogram("request.attempts").observe(float(len(record.attempts)))
+        return True
+
+    def on_overload(self, request_id: int, redirect: int | None = None) -> bool:
+        """An ``OVERLOAD`` reply arrived: reroute at the hint or shed.
+
+        The shedding server refused the work and (maybe) named an
+        alternative holder.  With a usable hint (``redirect >= 0``) and
+        attempts left in the budget, the tracker retries straight at the
+        hinted replica after a jittered backoff — counted under
+        ``request.rerouted`` when the destination actually changes.
+        Otherwise the request terminates in :attr:`shed_letters`: a
+        distinct terminal state from expiry, because the refusal was
+        explicit.  Returns ``False`` for stale/unknown ids (counted as
+        ``request.stale_replies``), ``True`` otherwise.
+        """
+        record = self._inflight.get(request_id)
+        if record is None:
+            self.metrics.counter("request.stale_replies").inc()
+            return False
+        if record.pending is not None:
+            record.pending.cancel()
+            record.pending = None
+        self.metrics.counter("request.overloads").inc()
+        self.tracer.emit(
+            self.engine.now,
+            "overload",
+            request_id=request_id,
+            file=record.message.file,
+            redirect=redirect,
+            attempt=len(record.attempts),
+        )
+        if (
+            redirect is not None
+            and redirect >= 0
+            and len(record.attempts) < record.policy.max_attempts
+        ):
+            if redirect != record.message.dst:
+                self.metrics.counter("request.rerouted").inc()
+                record.message = replace(record.message, dst=redirect)
+            delay = self._jittered_backoff(record.policy, len(record.attempts))
+            record.pending = self.engine.schedule(
+                delay,
+                lambda: self._redirect_retry(record),
+                label=f"redirect:{record.message.kind.value}:{request_id}",
+            )
+            return True
+        self._shed(record)
         return True
 
     # -- internals ---------------------------------------------------------
@@ -266,6 +332,48 @@ class RequestTracker:
         )
         self._send_attempt(record)
 
+    def _redirect_retry(self, record: _Tracked) -> None:
+        """Re-send at the overload redirect target (no reroute hook:
+        the shedding server already picked the destination)."""
+        request_id = record.message.request_id
+        if request_id not in self._inflight:  # pragma: no cover - defensive
+            return
+        self.metrics.counter("request.retried").inc()
+        self.tracer.emit(
+            self.engine.now,
+            "retry",
+            request_id=request_id,
+            attempt=len(record.attempts) + 1,
+            entry=record.message.dst,
+            file=record.message.file,
+        )
+        self._send_attempt(record)
+
+    def _shed(self, record: _Tracked) -> None:
+        """Terminal shed: the server refused the work, nowhere to go."""
+        request_id = record.message.request_id
+        del self._inflight[request_id]
+        self.shed_letters.append(
+            DeadLetter(
+                request_id=request_id,
+                kind=record.message.kind.value,
+                file=record.message.file,
+                budget=record.policy.max_attempts,
+                first_sent=record.attempts[0].sent_at,
+                expired_at=self.engine.now,
+                attempts=tuple(record.attempts),
+            )
+        )
+        self.metrics.counter("request.shed").inc()
+        self.metrics.histogram("request.attempts").observe(float(len(record.attempts)))
+        self.tracer.emit(
+            self.engine.now,
+            "shed",
+            request_id=request_id,
+            file=record.message.file,
+            attempts=len(record.attempts),
+        )
+
     def _jittered_backoff(self, policy: RetryPolicy, attempts_so_far: int) -> float:
         delay = policy.backoff(attempts_so_far)
         if policy.jitter:
@@ -299,5 +407,6 @@ class RequestTracker:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RequestTracker(inflight={self.inflight_count}, "
-            f"completed={self.completed}, dead_letters={len(self.dead_letters)})"
+            f"completed={self.completed}, dead_letters={len(self.dead_letters)}, "
+            f"shed={len(self.shed_letters)})"
         )

@@ -38,11 +38,21 @@ from .conformance import (
     run_conformance,
 )
 from .node import CLIENT, NodeServer
+from .overload import (
+    QUEUE_POLICIES,
+    SHED_POLICIES,
+    VICTIM_POLICIES,
+    AdmissionController,
+    LatencyTracker,
+    OverloadPolicy,
+    policy_grid,
+)
 from .wire import (
     FRAME_ACK,
     FRAME_GENERIC,
     FRAME_GET,
     FRAME_GET_REPLY,
+    FRAME_OVERLOAD,
     MAX_FRAME,
     MAX_WIRE_VERSION,
     WIRE_VERSION,
@@ -68,22 +78,29 @@ __all__ = [
     "FRAME_GENERIC",
     "FRAME_GET",
     "FRAME_GET_REPLY",
+    "FRAME_OVERLOAD",
     "MAX_FRAME",
     "MAX_WIRE_VERSION",
+    "QUEUE_POLICIES",
+    "SHED_POLICIES",
+    "VICTIM_POLICIES",
     "WIRE_VERSION",
     "WIRE_VERSION_BINARY",
+    "AdmissionController",
     "ClientError",
     "ConformanceReport",
     "FrameEncoder",
     "FrameError",
     "FrameReader",
     "LatencyHistogram",
+    "LatencyTracker",
     "LiveCluster",
     "LoadGenerator",
     "LoadReport",
     "NodeServer",
     "Op",
     "OpRecord",
+    "OverloadPolicy",
     "PeerUnreachableError",
     "RequestOutcome",
     "RuntimeClient",
@@ -100,6 +117,7 @@ __all__ = [
     "message_from_dict",
     "message_to_dict",
     "percentile",
+    "policy_grid",
     "read_frame",
     "read_message",
     "replay_oplog",

@@ -68,7 +68,7 @@ class RequestOutcome:
     """Terminal state of one client request."""
 
     ok: bool
-    kind: str  # reply | fault | error | timeout
+    kind: str  # reply | fault | error | timeout | overload
     payload: Any = None
     version: int = 0
     server: int = -1
@@ -221,6 +221,15 @@ class RuntimeClient:
             payload = reply.payload if isinstance(reply.payload, dict) else {}
             return RequestOutcome(
                 ok=False, kind="error", payload=payload.get("reason"),
+                latency=latency,
+            )
+        if reply.kind is MessageKind.OVERLOAD:
+            # Shed by admission control: the payload carries the
+            # shedding node and a redirect hint for the retry layer.
+            payload = reply.payload if isinstance(reply.payload, dict) else {}
+            return RequestOutcome(
+                ok=False, kind="overload", payload=payload,
+                server=int(payload.get("shed_by", reply.src)),
                 latency=latency,
             )
         payload = reply.payload if isinstance(reply.payload, dict) else {}
@@ -431,6 +440,14 @@ class LoadReport:
     faults: int = 0
     errors: int = 0
     timeouts: int = 0
+    shed: int = 0
+    """Requests whose *terminal* outcome was an OVERLOAD reply (no
+    usable redirect, or the redirect budget ran out)."""
+    overloads: int = 0
+    """Total OVERLOAD replies received (≥ ``shed``: a redirected
+    request that later completes still counted its shed replies)."""
+    redirected: int = 0
+    """Retries fired at a redirect hint from an OVERLOAD reply."""
     duration: float = 0.0
     latencies: list[float] = field(default_factory=list)
     served_by_node: dict[int, int] = field(default_factory=dict)
@@ -441,6 +458,15 @@ class LoadReport:
     @property
     def achieved_rps(self) -> float:
         return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def conserved(self) -> bool:
+        """Request-lifecycle conservation, live edition: every fired
+        request lands in exactly one terminal bucket."""
+        return self.requests == (
+            self.completed + self.faults + self.errors + self.timeouts
+            + self.shed
+        )
 
     def _quantiles(self) -> tuple[float, float]:
         """(p50, p99), computed from ONE sort and cached per stage.
@@ -480,6 +506,9 @@ class LoadReport:
             "faults": self.faults,
             "errors": self.errors,
             "timeouts": self.timeouts,
+            "shed": self.shed,
+            "overloads": self.overloads,
+            "redirected": self.redirected,
             "duration_s": round(self.duration, 6),
             "achieved_rps": round(self.achieved_rps, 3),
             "latency_p50_s": round(self.p50, 6),
@@ -499,14 +528,19 @@ class LoadGenerator:
         shape: WorkloadShape | None = None,
         seed: int = 0,
         timeout: float = 5.0,
+        redirects: int = 3,
     ) -> None:
         if not files:
             raise ConfigurationError("the load generator needs inserted files")
+        if redirects < 0:
+            raise ConfigurationError("redirects must be non-negative")
         self.cluster = cluster
         self.files = list(files)
         self.shape = shape if shape is not None else WorkloadShape()
         self.rng = random.Random(seed)
         self.timeout = timeout
+        self.max_redirects = redirects
+        self._retry_tasks: set[asyncio.Task] = set()
         self.weights = self.shape.weights(len(self.files), self.rng)
         # rng.choices recomputes the running sum on every call when
         # given raw weights; precomputing cum_weights consumes the
@@ -548,17 +582,67 @@ class LoadGenerator:
 
     async def _fire_path(self, entry: int, name: str, report: LoadReport) -> None:
         """Awaited fire: resolves the client first (connect, backlog)."""
-        client = await self._client(entry)
+        loop = asyncio.get_running_loop()
         report.requests += 1
+        start = loop.time()
+        client = await self._client(entry)
         outcome = await client.get(name, timeout=self.timeout)
+        if outcome.kind == "overload":
+            await self._follow_redirects(outcome, name, report, start, loop)
+        else:
+            self._classify(outcome, report, loop.time() - start)
+
+    def _redirect_target(self, outcome: RequestOutcome) -> int | None:
+        """The redirect hint of an OVERLOAD outcome, if it names a live
+        node (``-1`` means the shedder knew no alternative holder)."""
+        payload = outcome.payload if isinstance(outcome.payload, dict) else {}
+        target = payload.get("redirect", -1)
+        if isinstance(target, int) and target in self.cluster.nodes:
+            return target
+        return None
+
+    async def _follow_redirects(
+        self,
+        outcome: RequestOutcome,
+        name: str,
+        report: LoadReport,
+        start: float,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        """Chase OVERLOAD redirect hints until served or out of budget.
+
+        The live dual of the DES ``RequestTracker``'s
+        reroute-on-overload: each shed reply names an alternative
+        holder; the retry goes straight at it.  A completion's recorded
+        latency spans the *whole* chain — redirect hops are not free.
+        """
+        redirects = 0
+        while outcome.kind == "overload":
+            report.overloads += 1
+            target = self._redirect_target(outcome)
+            if target is None or redirects >= self.max_redirects:
+                break
+            redirects += 1
+            report.redirected += 1
+            client = await self._client(target)
+            outcome = await client.get(name, timeout=self.timeout)
+        self._classify(outcome, report, loop.time() - start)
+
+    @staticmethod
+    def _classify(
+        outcome: RequestOutcome, report: LoadReport, latency: float
+    ) -> None:
+        """Record one request's terminal outcome (exactly one bucket)."""
         if outcome.ok:
             report.completed += 1
-            report.latencies.append(outcome.latency)
-            report.hist.record(outcome.latency)
+            report.latencies.append(latency)
+            report.hist.record(latency)
         elif outcome.kind == "fault":
             report.faults += 1
         elif outcome.kind == "timeout":
             report.timeouts += 1
+        elif outcome.kind == "overload":
+            report.shed += 1
         else:
             report.errors += 1
 
@@ -614,6 +698,20 @@ class LoadGenerator:
             report.hist.record(latency)
         elif reply.kind is MessageKind.GET_FAULT:
             report.faults += 1
+        elif reply.kind is MessageKind.OVERLOAD:
+            payload = reply.payload if isinstance(reply.payload, dict) else {}
+            outcome = RequestOutcome(
+                ok=False,
+                kind="overload",
+                payload=payload,
+                server=int(payload.get("shed_by", reply.src)),
+                latency=loop.time() - start,
+            )
+            task = loop.create_task(
+                self._follow_redirects(outcome, reply.file, report, start, loop)
+            )
+            self._retry_tasks.add(task)
+            task.add_done_callback(self._retry_tasks.discard)
         else:
             report.errors += 1
 
@@ -637,6 +735,8 @@ class LoadGenerator:
             tasks.append(self._fire_nowait(report, loop))
         if tasks:
             await asyncio.gather(*tasks)
+        while self._retry_tasks:
+            await asyncio.gather(*list(self._retry_tasks))
         report.duration = loop.time() - start
         report.served_by_node = self.cluster.served_counts()
         return report

@@ -39,6 +39,7 @@ from ..net.message import Message, MessageKind
 from ..node.membership import StatusWord
 from ..node.storage import FileOrigin
 from .node import NodeServer, subtree_children
+from .overload import OverloadPolicy
 from .wire import (
     MAX_FRAME,
     MAX_WIRE_VERSION,
@@ -113,6 +114,24 @@ class RuntimeConfig:
     idle_timeout: float = float("inf")
     """Counter-based removal: a REPLICATED copy whose access counter
     sits still this long is REMOVEd (``inf`` disables decay)."""
+    inbox_limit: int = 0
+    """Bounded-inbox admission control: the most queued data GETs a
+    node accepts before the shed/queue/victim policy evicts one and
+    answers OVERLOAD (``0`` disables admission control — the default,
+    so existing profiles are untouched)."""
+    shed_policy: str = "conservative"
+    """How much to evict when the bound trips: ``conservative`` sheds
+    the minimum, ``aggressive`` clears backlog to half the limit."""
+    queue_policy: str = "fcfs"
+    """``fcfs`` treats queued requests equally; ``priority`` protects
+    peer-forwarded requests and sheds fresh client entries first."""
+    victim_policy: str = "lifo"
+    """Which candidate is evicted: ``lifo`` (newest), ``fifo``
+    (oldest / drop-head), or ``random`` (seeded)."""
+    slo_budget: float = float("inf")
+    """SLO-aware replication: replicate away load when a node's
+    windowed response-latency p99 drifts past this budget (seconds),
+    not just when the raw hit counter trips (``inf`` disables)."""
 
     def __post_init__(self) -> None:
         check_width(self.m)
@@ -137,6 +156,22 @@ class RuntimeConfig:
             raise ConfigurationError("coalesce_delay must be positive")
         if self.idle_timeout <= 0:
             raise ConfigurationError("idle_timeout must be positive")
+        if self.inbox_limit < 0:
+            raise ConfigurationError("inbox_limit must be non-negative")
+        if self.slo_budget <= 0:
+            raise ConfigurationError("slo_budget must be positive")
+        try:
+            self.overload_policy()
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from None
+
+    def overload_policy(self) -> OverloadPolicy:
+        """The validated shed × queue × victim cell this config names."""
+        return OverloadPolicy(
+            shed=self.shed_policy,
+            queue=self.queue_policy,
+            victim=self.victim_policy,
+        )
 
 
 @dataclass(frozen=True)

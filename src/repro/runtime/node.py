@@ -31,6 +31,17 @@ Dead peers are discovered the §3 way: a failed send marks the peer
 dead in this node's own status word and the routing step recomputes —
 the message-level ``FINDLIVENODE``.
 
+**Overload control plane.**  With ``RuntimeConfig(inbox_limit=N)`` the
+node consults an :class:`~repro.runtime.overload.AdmissionController`
+for every wire arrival: data GETs beyond the bound are shed per the
+configured shed × queue × victim policy cell, and every victim is
+answered with an OVERLOAD frame naming the shedding node and a
+redirect hint — never silently dropped, so dropped-vs-rerouted-vs-
+served accounting stays conserved.  Control traffic is never shed.
+With a finite ``slo_budget`` the sweeper also watches a windowed
+enqueue-to-serve latency p99 and replicates away load when it drifts
+past budget, before the raw hit counter trips.
+
 **Fast path.**  Routing decisions read the LRU-cached
 :class:`~repro.core.routing.RoutingTable` instead of re-deriving the
 bitwise walks per message: the node's status word fingerprints its own
@@ -69,6 +80,7 @@ from ..core.tree import LookupTree
 from ..net.message import Message, MessageKind, fast_message
 from ..node.loadmon import LoadMonitor
 from ..node.storage import FileOrigin, FileStore
+from .overload import AdmissionController, LatencyTracker
 from .wire import WIRE_VERSION, FrameEncoder, FrameError, FrameReader
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -81,6 +93,10 @@ CLIENT = -1
 
 _WRITE_HIGH_WATER = 1 << 16
 """Transport buffer level above which a writer awaits ``drain()``."""
+
+_SLO_MIN_SAMPLES = 8
+"""Windowed latency samples required before the p99 SLO trigger can
+fire — a lone slow request must not cause a replication round."""
 
 
 def subtree_children(view: SubtreeView, pid: int, word) -> list[int]:
@@ -163,8 +179,20 @@ class NodeServer:
         self.monitor = LoadMonitor(capacity=1.0, window=config.window)
         self.inbox: asyncio.Queue[tuple[Message, _Connection | None]] = asyncio.Queue()
         self.pending: dict[int, _PendingGet | _PendingInsert] = {}
+        self.admission = (
+            AdmissionController(
+                config.overload_policy(), config.inbox_limit,
+                seed=(config.seed * 69_069 + pid) & 0x7FFFFFFF,
+            )
+            if config.inbox_limit > 0
+            else None
+        )
+        self.latency = LatencyTracker(window=config.window)
+        self._track_latency = config.slo_budget != float("inf")
+        self._arrivals: dict[int, float] = {}
         self.busy = False
         self.served_total = 0
+        self.shed_total = 0
         self.decode_errors = 0
         self.last_replication = -float("inf")
         self._decision_count = 0
@@ -175,7 +203,7 @@ class NodeServer:
         self._batch_conns: set[_Connection] | None = None
         self._conns: set[_Connection] = set()
         self._tasks: list[asyncio.Task] = []
-        self._serve_queue: deque[tuple[float, Message]] = deque()
+        self._serve_queue: deque[tuple[float, Message, float | None]] = deque()
         self._serve_waiter: asyncio.Future | None = None
         self._serving = False
         self._pipelined = config.batch_max > 1
@@ -230,10 +258,32 @@ class NodeServer:
                     self.decode_errors += errors
                     for _ in range(errors):
                         self.cluster.note_decode_error(self.pid)
-                for msg, version in msgs:
-                    conn.wire_version = version
-                    inbox_put((msg, conn))
-                    enqueued(self.pid)
+                admission = self.admission
+                if admission is None and not self._track_latency:
+                    for msg, version in msgs:
+                        conn.wire_version = version
+                        inbox_put((msg, conn))
+                        enqueued(self.pid)
+                else:
+                    now = asyncio.get_running_loop().time()
+                    for msg, version in msgs:
+                        conn.wire_version = version
+                        if self._track_latency and msg.kind is MessageKind.GET:
+                            self._arrivals[msg.request_id] = now
+                        if admission is not None:
+                            accepted, victims = admission.admit(msg, conn)
+                            for victim_msg, victim_conn in victims:
+                                await self._shed(victim_msg, victim_conn)
+                            if not accepted:
+                                await self._shed(msg, conn)
+                                # The shed arrival never reaches the
+                                # inbox, but the sender's in-flight
+                                # accounting must still settle or
+                                # drain() hangs on this frame forever.
+                                enqueued(self.pid)
+                                continue
+                        inbox_put((msg, conn))
+                        enqueued(self.pid)
                 stage["decode"] += frames.decode_seconds - decoded
                 decoded = frames.decode_seconds
         except (EOFError, FrameError, ConnectionError, OSError):
@@ -393,7 +443,14 @@ class NodeServer:
             self._handle_replicate(msg)
         elif kind is MessageKind.OVERLOAD:
             payload = msg.payload if isinstance(msg.payload, dict) else {}
-            await self._replicate_decision(msg.file, seed=payload.get("seed"))
+            if "shed_by" in payload:
+                # A shed reply travelling back toward its entry node:
+                # relay it to the waiting client like any terminal reply.
+                await self._handle_reply(msg)
+            else:
+                # Admin trigger (src == ADMIN): treat this node as
+                # overloaded and run one placement decision.
+                await self._replicate_decision(msg.file, seed=payload.get("seed"))
         elif kind is MessageKind.TRANSFER:
             self._handle_transfer(msg)
         elif kind is MessageKind.DEMOTE:
@@ -436,6 +493,13 @@ class NodeServer:
     # -- GET ----------------------------------------------------------------
 
     async def _handle_get(self, msg: Message, conn: _Connection | None) -> None:
+        admission = self.admission
+        if admission is not None and admission.release(msg):
+            return  # shed while queued; its OVERLOAD reply already left
+        arrival = (
+            self._arrivals.pop(msg.request_id, None)
+            if self._track_latency else None
+        )
         if msg.src == CLIENT:
             # Entry node: stamp the origin and remember the client.
             # (fast_message — this runs for every client GET and both
@@ -456,7 +520,7 @@ class NodeServer:
                 # and requests due in the same wake share the tick.
                 self._serve_queue.append(
                     (asyncio.get_running_loop().time()
-                     + self.cluster.config.service_time, msg)
+                     + self.cluster.config.service_time, msg, arrival)
                 )
                 waiter = self._serve_waiter
                 if waiter is not None:
@@ -464,12 +528,15 @@ class NodeServer:
                     if not waiter.done():
                         waiter.set_result(None)
             else:
-                await self._serve(msg)
+                await self._serve(msg, arrival=arrival)
             return
         if self.b == 0:
             await self._forward_whole_tree(msg)
         else:
             await self._forward_within_subtree(msg)
+        if admission is not None:
+            # Forwarded (or faulted) away: the GET's stay here is over.
+            admission.finish(msg)
 
     async def _serve_worker(self) -> None:
         """Drain the due-time serve queue with one timer per wake."""
@@ -488,9 +555,9 @@ class NodeServer:
             self._serving = True
             try:
                 while queue and queue[0][0] <= loop.time():
-                    _, msg = queue.popleft()
+                    _, msg, arrival = queue.popleft()
                     try:
-                        await self._serve(msg, slept=True)
+                        await self._serve(msg, slept=True, arrival=arrival)
                     except asyncio.CancelledError:  # pragma: no cover
                         raise
                     except Exception:  # pragma: no cover - defensive
@@ -498,7 +565,9 @@ class NodeServer:
             finally:
                 self._serving = False
 
-    async def _serve(self, msg: Message, slept: bool = False) -> None:
+    async def _serve(
+        self, msg: Message, slept: bool = False, arrival: float | None = None
+    ) -> None:
         service_time = self.cluster.config.service_time
         if service_time > 0 and not slept:
             await asyncio.sleep(service_time)
@@ -506,6 +575,12 @@ class NodeServer:
         copy = self.store.get(msg.file)
         now = asyncio.get_running_loop().time()
         self.monitor.record_served(msg.file, msg.src, now)
+        if arrival is not None:
+            # Enqueue-to-serve latency: the windowed p99 the SLO-aware
+            # replication trigger watches.
+            self.latency.record(now, now - arrival)
+        if self.admission is not None:
+            self.admission.finish(msg)
         self.served_total += 1
         reply = fast_message(
             MessageKind.GET_REPLY, msg.dst, msg.origin, msg.file,
@@ -520,6 +595,54 @@ class NodeServer:
         await self._finish(
             msg, replace(msg.reply(MessageKind.GET_FAULT), dst=msg.origin)
         )
+
+    async def _shed(self, msg: Message, conn: _Connection | None) -> None:
+        """Answer a shed GET with an OVERLOAD reply — never a silent drop.
+
+        The reply names the shedding node and a redirect hint (another
+        live holder of the file, when one exists) so the client — or
+        the DES reliability layer's ``RequestTracker`` — reroutes with
+        backoff instead of waiting out its timeout.  Shedding happens
+        pre-dispatch, so a client-entry GET (``src == CLIENT``) was
+        never stamped and is answered straight down its connection; a
+        peer-forwarded GET is answered toward its origin node, which
+        relays like any terminal reply.
+        """
+        self.shed_total += 1
+        self.cluster.count("overload_shed")
+        self._arrivals.pop(msg.request_id, None)
+        payload = {"shed_by": self.pid, "redirect": self._redirect_hint(msg.file)}
+        if msg.src == CLIENT:
+            if conn is not None:
+                await self._write_client(
+                    conn,
+                    fast_message(
+                        MessageKind.OVERLOAD, self.pid, CLIENT, msg.file,
+                        payload, msg.version, msg.hops, msg.origin,
+                        msg.request_id,
+                    ),
+                )
+            return
+        await self._send(
+            fast_message(
+                MessageKind.OVERLOAD, self.pid, msg.origin, msg.file,
+                payload, msg.version, msg.hops, msg.origin, msg.request_id,
+            )
+        )  # a dead origin drops the reply: the client times out
+
+    def _redirect_hint(self, name: str) -> int:
+        """A live alternative holder of ``name``, or ``-1`` when there is
+        none — a coordination-plane read, like the placement policies'
+        documented oracle view."""
+        holders = self.cluster.holders(name)
+        holders.discard(self.pid)
+        if not holders:
+            return -1
+        choices = sorted(holders)
+        if len(choices) == 1:
+            return choices[0]
+        rng = self.admission.rng if self.admission is not None else random
+        return choices[rng.randrange(len(choices))]
 
     async def _finish(self, request: Message, reply: Message) -> None:
         """Route a terminal reply: direct to our client, or via origin."""
@@ -876,7 +999,12 @@ class NodeServer:
                 self._decay_idle(now)
             rate = self.monitor.total_rate(now)
             saturated = self.inbox.qsize() >= config.inflight_limit
-            if not saturated and rate <= config.capacity:
+            slo_breach = (
+                self._track_latency
+                and self.latency.count(now) >= _SLO_MIN_SAMPLES
+                and self.latency.p99(now) > config.slo_budget
+            )
+            if not saturated and not slo_breach and rate <= config.capacity:
                 continue
             if now - self.last_replication < config.cooldown:
                 continue

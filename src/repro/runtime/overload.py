@@ -1,0 +1,274 @@
+"""Overload control plane: bounded inboxes, admission policies, SLO windows.
+
+LessLog's only native answer to a hot node is replicating load away
+(§4), but a flash crowd saturates a node faster than replication can
+drain it.  This module gives the runtime the missing levers:
+
+* :class:`OverloadPolicy` — one cell of the 2×2×3 control-strategy
+  matrix (shed: conservative/aggressive × queue: fcfs/priority ×
+  victim: lifo/fifo/random), after the vllm_simulation exemplar's
+  preemption grid.
+* :class:`AdmissionController` — a bounded admission gate consulted at
+  inbox-enqueue time.  Only data ``GET`` requests are sheddable;
+  control traffic (membership, replication, updates, replies) always
+  passes, so oracle conformance is untouched by shedding.
+* :class:`LatencyTracker` — windowed response-latency samples so the
+  overload sweeper can replicate when the node's p99 drifts past the
+  SLO budget instead of waiting for the raw hit counter.
+
+Shedding never silently drops a request: every victim is owed an
+``OVERLOAD`` wire reply (carrying the shedding node and a redirect
+hint) so the client — or PR 3's ``RequestTracker`` — can reroute with
+backoff instead of waiting out a timeout.
+
+Policy semantics
+----------------
+
+*Shed* decides **how much** to evict once the bound trips:
+``conservative`` sheds the minimum (one request, keeping depth at the
+limit); ``aggressive`` clears backlog down to half the limit in one
+stroke, trading served requests for queueing delay.
+
+*Queue* decides **who is protected**: ``fcfs`` treats every queued
+request equally; ``priority`` protects requests forwarded from peers
+(they already consumed overlay hops) and sheds fresh client entries
+first.
+
+*Victim* decides **which** candidate inside the preferred class goes:
+``lifo`` the newest arrival (classic reject-newcomer), ``fifo`` the
+oldest (drop-head — the request most likely already past its
+deadline), ``random`` a seeded uniform choice.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any
+
+from ..net.message import Message, MessageKind
+
+__all__ = [
+    "QUEUE_POLICIES",
+    "SHED_POLICIES",
+    "VICTIM_POLICIES",
+    "AdmissionController",
+    "LatencyTracker",
+    "OverloadPolicy",
+    "policy_grid",
+]
+
+SHED_POLICIES = ("conservative", "aggressive")
+"""How much to evict when the bound trips: minimum vs clear-to-half."""
+
+QUEUE_POLICIES = ("fcfs", "priority")
+"""Whether forwarded (in-overlay) requests outrank fresh client entries."""
+
+VICTIM_POLICIES = ("lifo", "fifo", "random")
+"""Which candidate in the preferred class is evicted."""
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """One cell of the shed × queue × victim control-strategy matrix."""
+
+    shed: str = "conservative"
+    queue: str = "fcfs"
+    victim: str = "lifo"
+
+    def __post_init__(self) -> None:
+        if self.shed not in SHED_POLICIES:
+            raise ValueError(f"shed policy must be one of {SHED_POLICIES}, got {self.shed!r}")
+        if self.queue not in QUEUE_POLICIES:
+            raise ValueError(
+                f"queue policy must be one of {QUEUE_POLICIES}, got {self.queue!r}"
+            )
+        if self.victim not in VICTIM_POLICIES:
+            raise ValueError(
+                f"victim policy must be one of {VICTIM_POLICIES}, got {self.victim!r}"
+            )
+
+    @property
+    def cell(self) -> str:
+        """Stable ``shed/queue/victim`` label used by the bench and tests."""
+        return f"{self.shed}/{self.queue}/{self.victim}"
+
+
+def policy_grid() -> tuple[OverloadPolicy, ...]:
+    """All 12 cells, in deterministic (shed, queue, victim) order."""
+    return tuple(
+        OverloadPolicy(shed=s, queue=q, victim=v)
+        for s in SHED_POLICIES
+        for q in QUEUE_POLICIES
+        for v in VICTIM_POLICIES
+    )
+
+
+class AdmissionController:
+    """Bounded-inbox admission gate for one :class:`NodeServer`.
+
+    The node consults :meth:`admit` for every wire arrival before it
+    enqueues, :meth:`release` for every ``GET`` it dequeues, and
+    :meth:`finish` when a dispatched ``GET`` reaches its terminal
+    disposition at this node (served, faulted, or forwarded away).  The
+    admitted-work window therefore spans the whole stay — inbox
+    residency *plus* in-service time — so :attr:`depth` is the node's
+    outstanding admitted load, not just its inbox occupancy.
+
+    A victim that was already queued cannot be plucked out of the
+    ``asyncio.Queue`` mid-stream, so it is *marked* instead: the OVERLOAD
+    reply goes out at shed time and :meth:`release` tells the consumer to
+    skip the husk when it eventually surfaces.  Victims are only ever
+    chosen among *undispatched* requests — in-service work cannot be
+    un-served, so an aggressive shed clears as much of the queue as the
+    undispatched pool allows.
+    """
+
+    def __init__(self, policy: OverloadPolicy, limit: int, seed: int = 0) -> None:
+        if limit <= 0:
+            raise ValueError(f"admission limit must be positive, got {limit}")
+        self.policy = policy
+        self.limit = int(limit)
+        self.rng = random.Random(seed)
+        # request_id -> (message, conn); insertion order == arrival order.
+        self._queued: OrderedDict[int, tuple[Message, Any]] = OrderedDict()
+        self._shed_ids: set[int] = set()
+        self._inflight_ids: set[int] = set()
+        self.admitted = 0
+        self.shed = 0
+
+    @staticmethod
+    def sheddable(msg: Message) -> bool:
+        """Only data GETs may be shed; control traffic always passes."""
+        return msg.kind is MessageKind.GET
+
+    @property
+    def depth(self) -> int:
+        """Outstanding admitted GETs: queued (unshed) plus in service."""
+        return len(self._queued) + len(self._inflight_ids)
+
+    def admit(
+        self, msg: Message, conn: Any = None
+    ) -> tuple[bool, list[tuple[Message, Any]]]:
+        """Decide admission for ``msg`` at enqueue time.
+
+        Returns ``(accepted, victims)``: ``accepted`` says whether the
+        arrival should be enqueued at all; ``victims`` lists *queued*
+        ``(message, conn)`` pairs evicted to make room — each owed an
+        OVERLOAD reply by the caller (the arrival too, when rejected).
+        """
+        if not self.sheddable(msg):
+            return True, []
+        if self.depth < self.limit:
+            self._queued[msg.request_id] = (msg, conn)
+            self.admitted += 1
+            return True, []
+        arrival = (msg, conn)
+        pool = list(self._queued.values())
+        pool.append(arrival)
+        if self.policy.queue == "priority":
+            # Forwarded requests (src >= 0: relayed by a peer) outrank
+            # fresh client entries; shed the entry class first.
+            classes = [
+                [t for t in pool if t[0].src < 0],
+                [t for t in pool if t[0].src >= 0],
+            ]
+        else:
+            classes = [pool]
+        keep = self.limit if self.policy.shed == "conservative" else max(1, self.limit // 2)
+        need = len(pool) + len(self._inflight_ids) - keep
+        chosen: list[tuple[Message, Any]] = []
+        for cls in classes:
+            if len(chosen) >= need:
+                break
+            take = min(need - len(chosen), len(cls))
+            if take <= 0:
+                continue
+            if self.policy.victim == "fifo":
+                chosen.extend(cls[:take])
+            elif self.policy.victim == "lifo":
+                chosen.extend(reversed(cls[-take:]))
+            else:  # random
+                chosen.extend(self.rng.sample(cls, take))
+        accepted = True
+        victims: list[tuple[Message, Any]] = []
+        for victim in chosen:
+            self.shed += 1
+            if victim[0] is msg:
+                accepted = False
+                continue
+            del self._queued[victim[0].request_id]
+            self._shed_ids.add(victim[0].request_id)
+            victims.append(victim)
+        if accepted:
+            self._queued[msg.request_id] = (msg, conn)
+            self.admitted += 1
+        return accepted, victims
+
+    def release(self, msg: Message) -> bool:
+        """Inbox-consumer hook for every dequeued GET.
+
+        Returns ``True`` when ``msg`` was shed while queued — its
+        OVERLOAD reply already went out, so the consumer must skip it.
+        Otherwise the request moves from the queued window to the
+        in-flight window; it stays admitted until :meth:`finish`.
+        """
+        if msg.kind is not MessageKind.GET:
+            return False
+        if msg.request_id in self._shed_ids:
+            self._shed_ids.discard(msg.request_id)
+            return True
+        if self._queued.pop(msg.request_id, None) is not None:
+            self._inflight_ids.add(msg.request_id)
+        return False
+
+    def finish(self, msg: Message) -> None:
+        """A dispatched GET reached its terminal disposition here
+        (served, faulted, or forwarded away): close its window."""
+        self._inflight_ids.discard(msg.request_id)
+
+
+class LatencyTracker:
+    """Windowed response-latency samples with on-demand quantiles.
+
+    Samples expire lazily against a sliding wall-clock window; the sort
+    happens only when a quantile is asked for (the sweeper tick), never
+    on the serve hot path.
+    """
+
+    __slots__ = ("window", "_samples")
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = float(window)
+        self._samples: deque[tuple[float, float]] = deque()
+
+    def record(self, now: float, latency: float) -> None:
+        self._samples.append((now, latency))
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+    def count(self, now: float) -> int:
+        self._expire(now)
+        return len(self._samples)
+
+    def quantile(self, now: float, q: float) -> float:
+        """The windowed ``q``-quantile (nearest-rank), 0.0 when empty."""
+        self._expire(now)
+        if not self._samples:
+            return 0.0
+        values = sorted(sample[1] for sample in self._samples)
+        index = min(len(values) - 1, int(q * len(values)))
+        return values[index]
+
+    def p99(self, now: float) -> float:
+        return self.quantile(now, 0.99)
+
+    def reset(self) -> None:
+        self._samples.clear()

@@ -44,6 +44,8 @@ entirely.  The header's flags byte names the layout:
     3         FIXED_GET_REPLY    kind GET_REPLY, payload is exactly
                                  {"payload": None|str|bytes,
                                   "server": int64}
+    4         FIXED_OVERLOAD     kind OVERLOAD, payload is exactly
+                                 {"shed_by": int64, "redirect": int64}
     ========  =================  =====================================
 
     A FIXED_GET body is the common struct + file name, optionally
@@ -57,7 +59,7 @@ A fixed-layout frame decodes to the *exact same* ``Message`` the
 generic v2 body would produce (property-tested).  Negotiation matrix:
 a sender uses a fixed layout only inside an already-negotiated v2
 connection, so JSON-v1 peers never see one (they never see any v2
-frame); a v2 receiver always understands all four flag values, so
+frame); a v2 receiver always understands all five flag values, so
 v2-generic and v2-fixed endpoints interoperate frame by frame —
 ineligible messages simply fall back to ``flags == 0`` on the same
 connection.
@@ -114,6 +116,7 @@ __all__ = [
     "FRAME_GET",
     "FRAME_ACK",
     "FRAME_GET_REPLY",
+    "FRAME_OVERLOAD",
     "WireError",
     "FrameError",
     "WireDecodeError",
@@ -146,6 +149,8 @@ FRAME_ACK = 2
 """Flags value: fixed-layout ACK (payload None), v2 only."""
 FRAME_GET_REPLY = 3
 """Flags value: fixed-layout GET_REPLY, v2 only."""
+FRAME_OVERLOAD = 4
+"""Flags value: fixed-layout OVERLOAD shed reply, v2 only."""
 
 _HEADER_PAD = bytes(HEADER.size)
 _READ_CHUNK = 1 << 16
@@ -266,9 +271,11 @@ _S_D = struct.Struct(">d")
 _S_U32 = struct.Struct(">I")
 
 #: Fixed layouts: the six int fields + name length (GET/ACK), plus one
-#: extra i64 (the serving node) for GET_REPLY.
+#: extra i64 (the serving node) for GET_REPLY, and two extra i64s
+#: (shedding node + redirect hint) for OVERLOAD.
 _S_FL_COMMON = struct.Struct(">6qH")
 _S_FL_REPLY = struct.Struct(">7qH")
+_S_FL_OVERLOAD = struct.Struct(">8qH")
 
 _T_NONE, _T_TRUE, _T_FALSE, _T_INT, _T_FLOAT = 0, 1, 2, 3, 4
 _T_STR, _T_BYTES, _T_LIST, _T_DICT, _T_BIGINT = 5, 6, 7, 8, 9
@@ -506,6 +513,34 @@ def _try_encode_fixed(buf: bytearray, msg: Message) -> int:
         buf += _S_U32.pack(len(raw))
         buf += raw
         return FRAME_GET_REPLY
+    elif kind is MessageKind.OVERLOAD:
+        payload = msg.payload
+        if type(payload) is not dict or len(payload) != 2:
+            return FRAME_GENERIC
+        try:
+            shed_by = payload["shed_by"]
+            redirect = payload["redirect"]
+        except KeyError:
+            return FRAME_GENERIC
+        if type(shed_by) is not int or not _I64_MIN <= shed_by <= _I64_MAX:
+            return FRAME_GENERIC
+        if type(redirect) is not int or not _I64_MIN <= redirect <= _I64_MAX:
+            return FRAME_GENERIC
+        try:
+            name = msg.file.encode("utf-8")
+        except UnicodeEncodeError:
+            return FRAME_GENERIC
+        if len(name) > 0xFFFF:
+            return FRAME_GENERIC
+        try:
+            buf += _S_FL_OVERLOAD.pack(
+                msg.src, msg.dst, msg.version, msg.hops, msg.origin,
+                msg.request_id, shed_by, redirect, len(name),
+            )
+        except struct.error:
+            return FRAME_GENERIC
+        buf += name
+        return FRAME_OVERLOAD
     else:
         return FRAME_GENERIC
     # GET / ACK: the six int fields plus the file name, nothing else —
@@ -562,7 +597,25 @@ def _decode_body_v2(body) -> Message:
 
 
 def _decode_body_fixed(flags: int, body) -> Message:
-    """Decode one fixed-layout v2 body (flags 1..3)."""
+    """Decode one fixed-layout v2 body (flags 1..4)."""
+    if flags == FRAME_OVERLOAD:
+        if len(body) < _S_FL_OVERLOAD.size:
+            raise WireDecodeError(
+                f"fixed OVERLOAD body of {len(body)} bytes is too short"
+            )
+        src, dst, version, hops, origin, request_id, shed_by, redirect, name_len = (
+            _S_FL_OVERLOAD.unpack_from(body, 0)
+        )
+        file, pos = _dec_file_name(body, _S_FL_OVERLOAD.size, name_len)
+        if pos != len(body):
+            raise WireDecodeError(
+                f"{len(body) - pos} trailing bytes after fixed OVERLOAD body"
+            )
+        return fast_message(
+            MessageKind.OVERLOAD, src, dst, file,
+            {"shed_by": shed_by, "redirect": redirect}, version,
+            hops, origin, request_id,
+        )
     if flags == FRAME_GET_REPLY:
         if len(body) < _S_FL_REPLY.size:
             raise WireDecodeError(
@@ -766,7 +819,7 @@ def _check_header(
         raise FrameError(f"bad magic {bytes(magic)!r} (expected {MAGIC!r})")
     if not WIRE_VERSION <= version <= max_version:
         raise FrameError(f"unsupported wire version {version}")
-    if not FRAME_GENERIC <= flags <= FRAME_GET_REPLY:
+    if not FRAME_GENERIC <= flags <= FRAME_OVERLOAD:
         raise FrameError(f"unknown frame flags {flags}")
     if length > max_frame:
         raise FrameError(f"frame body of {length} bytes exceeds {max_frame}")

@@ -31,12 +31,19 @@ The default registry encodes the paper's claims:
                                identity on durable state
 ``request-lifecycle-conservation`` every tracked client request is
                                conserved (``issued == completed +
-                               inflight + dead_letter``) and, once the
-                               engine drains, terminated — no request
-                               may lose its timeout and hang forever
+                               inflight + dead_letter + shed``) and,
+                               once the engine drains, terminated — no
+                               request may lose its timeout and hang
+                               forever; OVERLOAD-shed is a distinct
+                               terminal state with its own letter queue
 ``runtime-oracle-conformance`` a ``live_segment`` event's asyncio
                                cluster must replay to the synchronous
                                oracle's exact final state
+``overload-shed-conservation`` a ``live_overload`` event's flash-crowd
+                               burst must keep the client-side ledger
+                               conserved (requests == completed +
+                               faults + errors + timeouts + shed) and
+                               the cluster oracle-conformant
 =============================  ==========================================
 """
 
@@ -413,12 +420,15 @@ class RequestLifecycle(Invariant):
     """Tracked requests are conserved and always terminate.
 
     At any instant ``request.issued == completed + inflight +
-    dead_letter``, the dead-letter queue matches the ``request.expired``
-    counter with no duplicates and no overlap with the completed set,
-    and every dead letter stayed within its attempt budget.  Once the
-    engine drains, nothing may remain inflight — a request stuck
-    without a pending timeout has lost its deadline event and will
-    never reach a defined outcome.
+    dead_letter + shed``; the dead-letter queue matches the
+    ``request.expired`` counter and the shed-letter queue matches
+    ``request.shed``, with no duplicates and no overlap between the
+    terminal sets; every terminal letter stayed within its attempt
+    budget.  OVERLOAD-shed is a *distinct* terminal state from expiry:
+    the server explicitly refused the work, so a request may never be
+    both shed and dead-lettered.  Once the engine drains, nothing may
+    remain inflight — a request stuck without a pending timeout has
+    lost its deadline event and will never reach a defined outcome.
     """
 
     name = "request-lifecycle-conservation"
@@ -431,13 +441,14 @@ class RequestLifecycle(Invariant):
         issued = metrics.counter("request.issued").value
         completed = metrics.counter("request.completed").value
         expired = metrics.counter("request.expired").value
+        shed = metrics.counter("request.shed").value
         inflight = tracker.inflight_count
-        if issued != completed + inflight + expired:
+        if issued != completed + inflight + expired + shed:
             self.fail(
                 ctx,
                 f"request.issued = {issued} but completed({completed}) + "
-                f"inflight({inflight}) + dead_letter({expired}) = "
-                f"{completed + inflight + expired}",
+                f"inflight({inflight}) + dead_letter({expired}) + "
+                f"shed({shed}) = {completed + inflight + expired + shed}",
             )
         letters = tracker.dead_letters
         if len(letters) != expired:
@@ -446,21 +457,37 @@ class RequestLifecycle(Invariant):
                 f"request.expired = {expired} but the dead-letter queue "
                 f"holds {len(letters)} records",
             )
-        ids = [letter.request_id for letter in letters]
-        if len(set(ids)) != len(ids):
-            dupes = sorted({i for i in ids if ids.count(i) > 1})
-            self.fail(ctx, f"requests dead-lettered more than once: {dupes}")
-        both = set(ids) & tracker.completed_ids
-        if both:
+        shed_letters = getattr(tracker, "shed_letters", [])
+        if len(shed_letters) != shed:
             self.fail(
                 ctx,
-                f"requests both completed and dead-lettered: {sorted(both)}",
+                f"request.shed = {shed} but the shed-letter queue "
+                f"holds {len(shed_letters)} records",
             )
-        for letter in letters:
+        ids = [letter.request_id for letter in letters]
+        shed_ids = [letter.request_id for letter in shed_letters]
+        for label, pool in (("dead-lettered", ids), ("shed", shed_ids)):
+            if len(set(pool)) != len(pool):
+                dupes = sorted({i for i in pool if pool.count(i) > 1})
+                self.fail(ctx, f"requests {label} more than once: {dupes}")
+        overlap = set(ids) & set(shed_ids)
+        if overlap:
+            self.fail(
+                ctx,
+                f"requests both shed and dead-lettered: {sorted(overlap)}",
+            )
+        for label, pool in (("dead-lettered", ids), ("shed", shed_ids)):
+            both = set(pool) & tracker.completed_ids
+            if both:
+                self.fail(
+                    ctx,
+                    f"requests both completed and {label}: {sorted(both)}",
+                )
+        for letter in (*letters, *shed_letters):
             if not 1 <= len(letter.attempts) <= letter.budget:
                 self.fail(
                     ctx,
-                    f"dead letter {letter.request_id} records "
+                    f"terminal letter {letter.request_id} records "
                     f"{len(letter.attempts)} attempts against a budget "
                     f"of {letter.budget}",
                 )
@@ -494,6 +521,44 @@ class RuntimeConformance(Invariant):
             self.fail(ctx, report.render())
 
 
+class OverloadAccounting(Invariant):
+    """A ``live_overload`` burst must conserve the client-side ledger.
+
+    The harness records one report dict per applied burst (policy cell,
+    the :class:`~repro.runtime.client.LoadReport` ledger, and the
+    conformance verdict).  Shedding is load *control*, not load *loss*:
+    every fired request must land in exactly one terminal bucket
+    (``requests == completed + faults + errors + timeouts + shed``) and
+    the cluster must still replay to the oracle's exact state — a
+    shed GET never mutates durable state.
+    """
+
+    name = "overload-shed-conservation"
+
+    def check(self, ctx: AuditContext) -> None:
+        if ctx.event is None or ctx.event.op != "live_overload":
+            return
+        reports = getattr(ctx.harness, "overload_reports", None)
+        if not reports:
+            return  # the burst was skipped
+        report = reports[-1]
+        if not report["conserved"]:
+            self.fail(
+                ctx,
+                f"overload burst ({report['cell']}) leaked requests: "
+                f"requests({report['requests']}) != "
+                f"completed({report['completed']}) + faults({report['faults']}) "
+                f"+ errors({report['errors']}) + timeouts({report['timeouts']}) "
+                f"+ shed({report['shed']})",
+            )
+        if not report["conformant"]:
+            self.fail(
+                ctx,
+                f"overload burst ({report['cell']}) diverged from the "
+                f"oracle: {report['conformance_detail']}",
+            )
+
+
 def default_invariants() -> list[Invariant]:
     """Fresh instances of the full registry (order = check order)."""
     return [
@@ -508,4 +573,5 @@ def default_invariants() -> list[Invariant]:
         SnapshotRoundTrip(),
         RequestLifecycle(),
         RuntimeConformance(),
+        OverloadAccounting(),
     ]

@@ -48,7 +48,13 @@ _FORMAT_VERSION = 1
 _CLIENT = -1
 
 #: Named fault injections the harness understands (test-only knobs).
-MUTATIONS = ("misplace-replica", "skip-update", "conflate-drops", "drop-timeout")
+MUTATIONS = (
+    "misplace-replica",
+    "skip-update",
+    "conflate-drops",
+    "drop-timeout",
+    "phantom-shed",
+)
 
 
 @dataclass(frozen=True)
@@ -168,11 +174,26 @@ class ScenarioHarness:
         self.live_reports: list[Any] = []
         """Conformance reports from ``live_segment`` events, in order
         (audited by the runtime-oracle-conformance invariant)."""
+        self.overload_reports: list[dict[str, Any]] = []
+        """Accounting records from ``live_overload`` events, in order
+        (audited by the overload-shed-conservation invariant)."""
 
     def _client_edge(self, message: Message) -> None:
-        """The client endpoint: any reply settles its tracked request."""
+        """The client endpoint: any reply settles its tracked request.
+
+        An ``OVERLOAD`` reply is not a completion — it hands the tracker
+        the shedder's redirect hint so the request either retries at the
+        hinted replica or terminates in the shed-letter queue.
+        """
         if message.kind in (MessageKind.GET_REPLY, MessageKind.GET_FAULT):
             self.reliability.complete(message.request_id)
+        elif message.kind is MessageKind.OVERLOAD:
+            payload = message.payload if isinstance(message.payload, dict) else {}
+            redirect = payload.get("redirect")
+            self.reliability.on_overload(
+                message.request_id,
+                redirect=redirect if isinstance(redirect, int) else None,
+            )
 
     # -- precondition probes (shared with invariants) ----------------------
 
@@ -351,6 +372,106 @@ class ScenarioHarness:
         self.live_reports.append(report)
         return True
 
+    def _apply_live_overload(self, event: ScenarioEvent) -> bool:
+        """A flash-crowd burst against a bounded-inbox *live cluster*.
+
+        Boots a small ``LiveCluster`` with admission control armed
+        (tiny ``inbox_limit``, a generated shed × queue × victim policy
+        cell), fires a hot-skewed open-loop burst through the load
+        generator, and records the client-side ledger plus the oracle
+        conformance verdict for the ``overload-shed-conservation``
+        invariant to audit: every fired request must land in exactly one
+        terminal bucket even when most of them are refused, and shed
+        GETs must leave durable state untouched.
+        """
+        import asyncio
+
+        from ..runtime.client import LoadGenerator, RuntimeClient, WorkloadShape
+        from ..runtime.cluster import LiveCluster, RuntimeConfig
+        from ..runtime.conformance import diff_states, replay_oplog
+        from ..runtime.overload import OverloadPolicy
+
+        params = event.params
+        try:
+            policy = OverloadPolicy(
+                shed=str(params.get("shed", "conservative")),
+                queue=str(params.get("queue", "fcfs")),
+                victim=str(params.get("victim", "lifo")),
+            )
+        except ValueError:
+            return False
+        m = max(2, min(int(params.get("m", 3)), 3))
+        b = int(params.get("b", 1))
+        if not 0 <= b < m:
+            b = 0
+        config = RuntimeConfig(
+            m=m,
+            b=b,
+            seed=int(params.get("seed", 0)),
+            inbox_limit=max(1, min(int(params.get("inbox_limit", 4)), 32)),
+            shed_policy=policy.shed,
+            queue_policy=policy.queue,
+            victim_policy=policy.victim,
+            slo_budget=float(params.get("slo_budget", 0.05)),
+            service_time=max(0.0, min(float(params.get("service_time", 0.002)), 0.01)),
+        )
+        files = max(1, min(int(params.get("files", 2)), 4))
+        rps = max(20.0, min(float(params.get("rps", 400.0)), 1200.0))
+        duration = max(0.05, min(float(params.get("duration", 0.2)), 0.5))
+
+        async def burst():
+            cluster = await LiveCluster.start(config)
+            try:
+                names = [f"hot-{i}.dat" for i in range(files)]
+                boot = await RuntimeClient(cluster, min(cluster.nodes)).connect()
+                for name in names:
+                    await boot.insert(name, f"payload of {name}")
+                await boot.close()
+                await cluster.drain()
+                gen = LoadGenerator(
+                    cluster,
+                    names,
+                    WorkloadShape(kind="zipf", s=2.0),
+                    seed=config.seed,
+                    timeout=2.0,
+                )
+                report = await gen.run_open_loop(rps=rps, duration=duration)
+                await gen.close()
+                await cluster.quiesce()
+                system = replay_oplog(cluster.oplog, config, cluster.initial_live)
+                system.check_invariants()
+                return report, diff_states(cluster, system)
+            finally:
+                await cluster.shutdown()
+
+        report, conformance = asyncio.run(burst())
+        record: dict[str, Any] = {
+            "cell": policy.cell,
+            "requests": report.requests,
+            "completed": report.completed,
+            "faults": report.faults,
+            "errors": report.errors,
+            "timeouts": report.timeouts,
+            "shed": report.shed,
+            "overloads": report.overloads,
+            "redirected": report.redirected,
+            "conformant": conformance.ok,
+            "conformance_detail": "" if conformance.ok else conformance.render(),
+        }
+        if self.scenario.mutation == "phantom-shed":
+            # Bug injection: account a shed that never happened, so the
+            # terminal buckets over-count the fired requests.
+            record["shed"] += 1
+        record["conserved"] = record["requests"] == (
+            record["completed"]
+            + record["faults"]
+            + record["errors"]
+            + record["timeouts"]
+            + record["shed"]
+        )
+        self.overload_reports.append(record)
+        return True
+
     def _sync_endpoints(self, handler_factory) -> None:
         """(Re-)register every live PID on the transport; drop dead ones.
 
@@ -392,13 +513,38 @@ class ScenarioHarness:
             system.metrics.counter("transport.dropped.loss").inc()
         return True
 
-    def _serve_get(self, pid: int):
+    def _serve_get(self, pid: int, shed_rate: float = 0.0, shed_rng=None):
         """Handler a live node runs during a reliable workload: resolve
         the request through the system's own routing walk and reply to
-        the client over the (lossy) transport."""
+        the client over the (lossy) transport.
+
+        With ``shed_rate > 0`` the node models admission-control
+        pressure: it refuses that fraction of GETs with an ``OVERLOAD``
+        reply carrying a redirect hint (another live holder, or ``-1``
+        when it knows none) — the DES dual of the live runtime's
+        bounded-inbox shed path.
+        """
 
         def handle(message: Message) -> None:
             if message.kind is not MessageKind.GET:
+                return
+            if shed_rate and shed_rng is not None and shed_rng.random() < shed_rate:
+                alternates = sorted(
+                    h
+                    for h in self.system.holders_of(message.file)
+                    if h != pid and self.system.is_live(h)
+                ) if message.file in self.system.catalog else []
+                redirect = (
+                    alternates[shed_rng.randrange(len(alternates))]
+                    if alternates
+                    else -1
+                )
+                self.transport.send(
+                    message.reply(
+                        MessageKind.OVERLOAD,
+                        payload={"shed_by": pid, "redirect": redirect},
+                    )
+                )
                 return
             result = self.system.resolve(message.file, entry=pid)
             kind = (
@@ -425,7 +571,11 @@ class ScenarioHarness:
         live = sorted(system.membership.live_pids())
         if not names or not live:
             return False
-        self._sync_endpoints(self._serve_get)
+        shed_rate = max(0.0, min(float(event.params.get("shed_rate", 0.0)), 1.0))
+        shed_rng = random.Random(int(event.params.get("seed", 0)) ^ 0x0F_F10AD)
+        self._sync_endpoints(
+            lambda pid: self._serve_get(pid, shed_rate=shed_rate, shed_rng=shed_rng)
+        )
         transport.loss_rate = float(event.params.get("loss_rate", 0.0))
         policy = RetryPolicy(
             timeout=float(event.params.get("timeout", 0.05)),
@@ -533,8 +683,8 @@ def generate_scenario(
 
     ops = ["insert", "get", "update", "replicate", "remove_replica",
            "join", "leave", "fail", "workload", "net", "reliable_workload",
-           "live_segment"]
-    weights = [14, 18, 10, 12, 4, 8, 6, 6, 12, 10, 10, 2]
+           "live_segment", "live_overload"]
+    weights = [14, 18, 10, 12, 4, 8, 6, 6, 12, 10, 10, 2, 2]
 
     def any_file() -> str | None:
         return rng.choice(names) if names else None
@@ -603,6 +753,23 @@ def generate_scenario(
                         "loss_rate": round(rng.uniform(0.0, 0.3), 3),
                         "max_attempts": rng.randint(1, 6),
                         "entries": rng.choice(["live", "live", "all"]),
+                        "shed_rate": rng.choice([0.0, 0.0, 0.15, 0.3]),
+                        "seed": rng.randrange(1 << 30),
+                    },
+                )
+            )
+        elif op == "live_overload":  # flash-crowd probe, one policy cell
+            events.append(
+                ScenarioEvent(
+                    "live_overload",
+                    {
+                        "shed": rng.choice(["conservative", "aggressive"]),
+                        "queue": rng.choice(["fcfs", "priority"]),
+                        "victim": rng.choice(["lifo", "fifo", "random"]),
+                        "inbox_limit": rng.randint(2, 8),
+                        "files": rng.randint(1, 3),
+                        "rps": float(rng.choice([200, 400, 800])),
+                        "duration": 0.15,
                         "seed": rng.randrange(1 << 30),
                     },
                 )

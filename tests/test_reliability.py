@@ -226,6 +226,155 @@ class TestRequestTracker:
         assert expiry_times(7) != expiry_times(8)
 
 
+class _ShedRig(_Rig):
+    """A rig whose client edge understands OVERLOAD replies and whose
+    servers can refuse work with a redirect hint — the DES mirror of
+    the live runtime's bounded-inbox shed path."""
+
+    def __init__(self, policy: RetryPolicy, seed: int = 0):
+        super().__init__(policy, seed)
+        self.transport.register(CLIENT, self._edge)
+
+    def _edge(self, message: Message) -> None:
+        if message.kind is MessageKind.OVERLOAD:
+            payload = message.payload if isinstance(message.payload, dict) else {}
+            self.tracker.on_overload(
+                message.request_id, redirect=payload.get("redirect")
+            )
+        else:
+            self.tracker.complete(message.request_id)
+
+    def shedder(self, pid: int, redirect: int):
+        def handle(message: Message) -> None:
+            self.transport.send(message.reply(
+                MessageKind.OVERLOAD,
+                payload={"shed_by": pid, "redirect": redirect},
+            ))
+
+        return handle
+
+
+class TestOverloadReroute:
+    """Reroute-on-OVERLOAD: redirect chains, backoff, terminal sheds."""
+
+    def _policy(self, max_attempts=4):
+        return RetryPolicy(timeout=0.25, max_attempts=max_attempts,
+                           backoff_base=0.01, jitter=0.0)
+
+    def test_redirect_chain_lands_on_the_live_replica(self):
+        # SERVER sheds toward S+1, S+1 sheds toward S+2, S+2 serves: a
+        # 3-deep chain that terminates in a completion.
+        rig = _ShedRig(self._policy())
+        rig.transport.register(SERVER, rig.shedder(SERVER, SERVER + 1))
+        rig.transport.register(SERVER + 1, rig.shedder(SERVER + 1, SERVER + 2))
+        rig.transport.register(SERVER + 2, rig.serve)
+        rig.issue()
+        rig.engine.run()
+        tracker = rig.tracker
+        assert tracker.completed == 1
+        assert tracker.inflight_count == 0
+        assert tracker.shed == 0 and not tracker.shed_letters
+        metrics = rig.transport.metrics
+        assert metrics.counter("request.overloads").value == 2
+        assert metrics.counter("request.rerouted").value == 2
+        assert metrics.counter("request.retried").value == 2
+        assert [r.data["entry"] for r in rig.tracer.of_kind("retry")] == [
+            SERVER + 1, SERVER + 2,
+        ]
+
+    def test_redirect_cycle_terminates_within_budget(self):
+        # Two shedders pointing at each other can never serve; the
+        # attempt budget bounds the chase and the request ends shed,
+        # not hung and not expired.
+        rig = _ShedRig(self._policy(max_attempts=3))
+        rig.transport.register(SERVER, rig.shedder(SERVER, SERVER + 1))
+        rig.transport.register(SERVER + 1, rig.shedder(SERVER + 1, SERVER))
+        message = rig.issue()
+        rig.engine.run()
+        tracker = rig.tracker
+        assert tracker.completed == 0 and tracker.expired == 0
+        assert tracker.shed == 1 and tracker.inflight_count == 0
+        [letter] = tracker.shed_letters
+        assert letter.request_id == message.request_id
+        assert len(letter.attempts) == 3 == letter.budget
+        [shed_trace] = rig.tracer.of_kind("shed")
+        assert shed_trace.data["attempts"] == 3
+        assert not tracker.dead_letters  # shed is distinct from expiry
+
+    def test_no_redirect_hint_sheds_immediately(self):
+        rig = _ShedRig(self._policy(max_attempts=5))
+        rig.transport.register(SERVER, rig.shedder(SERVER, -1))
+        rig.issue()
+        rig.engine.run()
+        [letter] = rig.tracker.shed_letters
+        assert len(letter.attempts) == 1  # nowhere to go: no retries
+        assert rig.transport.metrics.counter("request.retried").value == 0
+        assert rig.tracker.shed == 1
+
+    def test_redirect_retry_backs_off_before_resending(self):
+        rig = _ShedRig(RetryPolicy(timeout=0.25, max_attempts=2,
+                                   backoff_base=0.05, jitter=0.0))
+        rig.transport.register(SERVER, rig.shedder(SERVER, SERVER + 1))
+        rig.transport.register(SERVER + 1, rig.serve)
+        rig.issue()
+        rig.engine.run()
+        [retry] = rig.tracer.of_kind("retry")
+        # Overload reply lands at the transport latency; the retry adds
+        # the (un-jittered) backoff on top — never an immediate resend.
+        assert retry.time >= 0.05
+        assert rig.tracker.completed == 1
+
+    def test_overload_backoff_jitter_is_seed_stable(self):
+        def schedule(seed):
+            rig = _ShedRig(RetryPolicy(timeout=0.25, max_attempts=4,
+                                       backoff_base=0.05, jitter=0.5),
+                           seed=seed)
+            rig.transport.register(SERVER, rig.shedder(SERVER, SERVER + 1))
+            rig.transport.register(SERVER + 1, rig.shedder(SERVER + 1, SERVER))
+            for _ in range(3):
+                rig.issue()
+            rig.engine.run()
+            return [
+                (r.time, r.data["attempt"], r.data["entry"])
+                for r in rig.tracer.of_kind("retry")
+            ]
+
+        assert schedule(7), "no retries scheduled — not a real check"
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_stale_overload_is_counted_not_crashed(self):
+        rig = _ShedRig(self._policy())
+        rig.transport.register(SERVER, rig.serve)
+        message = rig.issue()
+        rig.engine.run()
+        assert rig.tracker.on_overload(message.request_id, redirect=3) is False
+        assert (
+            rig.transport.metrics.counter("request.stale_replies").value == 1
+        )
+        assert rig.tracker.completed == 1  # outcome unchanged
+
+    def test_conservation_includes_the_shed_terminal(self):
+        rig = _ShedRig(self._policy(max_attempts=2))
+        rig.transport.register(SERVER, rig.serve)
+        rig.transport.register(SERVER + 1, rig.shedder(SERVER + 1, -1))
+        rig.issue(dst=SERVER)       # completes
+        rig.issue(dst=SERVER + 1)   # shed, no redirect
+        rig.issue(dst=99)           # drops dead, expires
+        while rig.engine.pending:
+            rig.engine.run_until(rig.engine.now + 0.05)
+            tracker = rig.tracker
+            assert tracker.issued == (
+                tracker.completed
+                + tracker.inflight_count
+                + len(tracker.dead_letters)
+                + len(tracker.shed_letters)
+            )
+        assert rig.tracker.completed == 1
+        assert len(rig.tracker.dead_letters) == 1
+        assert len(rig.tracker.shed_letters) == 1
+
+
 def run_workload(max_attempts, requests=30, loss=0.2, timeout=0.05, seed=11):
     harness = ScenarioHarness(Scenario(m=4, b=1, seed=3))
     harness.apply(ScenarioEvent("insert", {"file": "f0"}))
@@ -266,6 +415,33 @@ class TestReliableWorkloadAcceptance:
         assert completed < 30
         assert completed + dead == 30
         assert metrics.counter("request.retried").value == 0
+
+    def test_shedding_workload_conserves_and_redirects(self):
+        # The DES mirror of the flash-crowd path: servers refuse a
+        # fraction of GETs with OVERLOAD (+ hint when a sibling replica
+        # exists), and every refusal either lands elsewhere or ends in
+        # shed_letters — never vanishes.
+        harness = ScenarioHarness(Scenario(m=4, b=1, seed=3))
+        harness.apply(ScenarioEvent("insert", {"file": "f0"}))
+        harness.apply(ScenarioEvent("replicate", {"file": "f0"}))
+        applied = harness.apply(ScenarioEvent("reliable_workload", {
+            "requests": 40,
+            "loss_rate": 0.0,
+            "max_attempts": 4,
+            "timeout": 0.05,
+            "shed_rate": 0.5,
+            "seed": 11,
+        }))
+        assert applied
+        tracker = harness.reliability
+        metrics = harness.system.metrics
+        assert metrics.counter("request.overloads").value > 0
+        assert tracker.inflight_count == 0
+        assert tracker.completed + len(tracker.dead_letters) + len(
+            tracker.shed_letters
+        ) == 40
+        # With a replica available, redirect hints fire at least once.
+        assert metrics.counter("request.rerouted").value > 0
 
     def test_dead_entries_rerouted_to_live_ancestors(self):
         harness = ScenarioHarness(Scenario(m=4, b=1, seed=3, dead=[2, 5, 9]))
@@ -325,13 +501,14 @@ class TestSeedStability:
 class TestLifecycleProperty:
     @given(
         loss=st.floats(min_value=0.0, max_value=0.9),
+        shed=st.floats(min_value=0.0, max_value=0.6),
         max_attempts=st.integers(min_value=1, max_value=6),
         requests=st.integers(min_value=1, max_value=16),
         seed=st.integers(min_value=0, max_value=2**20),
     )
     @settings(max_examples=40, deadline=None)
     def test_every_get_completes_or_dead_letters_exactly_once(
-        self, loss, max_attempts, requests, seed
+        self, loss, shed, max_attempts, requests, seed
     ):
         harness = ScenarioHarness(Scenario(m=4, b=1, seed=3))
         harness.apply(ScenarioEvent("insert", {"file": "f0"}))
@@ -342,17 +519,26 @@ class TestLifecycleProperty:
             "max_attempts": max_attempts,
             "timeout": 0.05,
             "entries": "all",
+            "shed_rate": round(shed, 3),
             "seed": seed,
         }))
         assert applied
         tracker = harness.reliability
         assert tracker.inflight_count == 0
         assert tracker.issued == requests
-        assert tracker.completed + len(tracker.dead_letters) == requests
+        terminals = (
+            tracker.completed
+            + len(tracker.dead_letters)
+            + len(tracker.shed_letters)
+        )
+        assert terminals == requests
         dead_ids = [letter.request_id for letter in tracker.dead_letters]
-        assert len(dead_ids) == len(set(dead_ids))  # never twice
-        assert not set(dead_ids) & tracker.completed_ids  # never both
-        for letter in tracker.dead_letters:
+        shed_ids = [letter.request_id for letter in tracker.shed_letters]
+        for ids in (dead_ids, shed_ids):
+            assert len(ids) == len(set(ids))  # never twice
+            assert not set(ids) & tracker.completed_ids  # never both
+        assert not set(dead_ids) & set(shed_ids)  # one terminal each
+        for letter in (*tracker.dead_letters, *tracker.shed_letters):
             assert 1 <= len(letter.attempts) <= letter.budget
 
 

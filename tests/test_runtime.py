@@ -31,6 +31,7 @@ from repro.runtime.wire import (
     FRAME_GENERIC,
     FRAME_GET,
     FRAME_GET_REPLY,
+    FRAME_OVERLOAD,
     HEADER,
     MAGIC,
     WIRE_VERSION,
@@ -288,12 +289,25 @@ fixed_replies = st.builds(
     }),
     version=_i64, hops=_i64, origin=_i64, request_id=_i64,
 )
-fixed_eligible = st.one_of(fixed_gets_and_acks, fixed_routed_gets, fixed_replies)
+fixed_overloads = st.builds(
+    Message,
+    kind=st.just(MessageKind.OVERLOAD),
+    src=_i64, dst=_i64, file=st.text(max_size=40),
+    payload=st.fixed_dictionaries({
+        "shed_by": _i64,
+        "redirect": _i64,
+    }),
+    version=_i64, hops=_i64, origin=_i64, request_id=_i64,
+)
+fixed_eligible = st.one_of(
+    fixed_gets_and_acks, fixed_routed_gets, fixed_replies, fixed_overloads
+)
 
 _FLAG_FOR_KIND = {
     MessageKind.GET: FRAME_GET,
     MessageKind.ACK: FRAME_ACK,
     MessageKind.GET_REPLY: FRAME_GET_REPLY,
+    MessageKind.OVERLOAD: FRAME_OVERLOAD,
 }
 
 
@@ -335,6 +349,18 @@ class TestFixedLayouts:
         Message(kind=MessageKind.GET_REPLY, src=0, dst=1,
                 payload={"payload": 7, "server": 1}),
         Message(kind=MessageKind.INSERT, src=0, dst=1, payload=None),
+        Message(kind=MessageKind.OVERLOAD, src=0, dst=1, payload=None),
+        Message(kind=MessageKind.OVERLOAD, src=0, dst=1, payload={}),
+        Message(kind=MessageKind.OVERLOAD, src=0, dst=1,
+                payload={"shed_by": 2}),
+        Message(kind=MessageKind.OVERLOAD, src=0, dst=1,
+                payload={"shed_by": 2, "redirect": 3, "extra": 0}),
+        Message(kind=MessageKind.OVERLOAD, src=0, dst=1,
+                payload={"shed_by": True, "redirect": 3}),
+        Message(kind=MessageKind.OVERLOAD, src=0, dst=1,
+                payload={"shed_by": 2, "redirect": "n3"}),
+        Message(kind=MessageKind.OVERLOAD, src=0, dst=1,
+                payload={"shed_by": 2, "redirect": 1 << 70}),
     ])
     def test_ineligible_messages_fall_back_to_generic(self, msg):
         frame = encode_message(msg, WIRE_VERSION_BINARY)
@@ -360,6 +386,27 @@ class TestFixedLayouts:
     def test_truncated_fixed_body_is_a_decode_error(self):
         with pytest.raises(WireDecodeError, match="too short"):
             decode_message(self._fixed_reframe(FRAME_GET, b"\x00" * 8))
+
+    def test_truncated_overload_body_is_a_decode_error(self):
+        with pytest.raises(WireDecodeError, match="OVERLOAD.*too short"):
+            decode_message(self._fixed_reframe(FRAME_OVERLOAD, b"\x00" * 16))
+
+    def test_overload_trailing_bytes_are_a_decode_error(self):
+        msg = Message(kind=MessageKind.OVERLOAD, src=0, dst=1, file="f",
+                      payload={"shed_by": 4, "redirect": -1})
+        body = encode_message(msg, WIRE_VERSION_BINARY)[HEADER.size:]
+        with pytest.raises(WireDecodeError, match="trailing.*OVERLOAD"):
+            decode_message(self._fixed_reframe(FRAME_OVERLOAD, body + b"\x00"))
+
+    @settings(max_examples=80)
+    @given(fixed_overloads)
+    def test_overload_round_trips_on_both_codecs(self, msg):
+        # v2 takes the fixed lane; v1 carries the same payload as JSON.
+        v2 = encode_message(msg, WIRE_VERSION_BINARY)
+        assert v2[3] == FRAME_OVERLOAD
+        v1 = encode_message(msg, WIRE_VERSION)
+        assert v1[3] == FRAME_GENERIC
+        assert decode_message(v2) == decode_message(v1) == msg
 
     def test_ack_trailing_bytes_are_a_decode_error(self):
         msg = Message(kind=MessageKind.ACK, src=0, dst=1, file="f")
@@ -392,7 +439,7 @@ class TestFixedLayouts:
             decode_message(self._fixed_reframe(FRAME_GET_REPLY, bytes(body)))
 
     @settings(max_examples=80)
-    @given(st.integers(min_value=1, max_value=3),
+    @given(st.integers(min_value=1, max_value=4),
            st.binary(min_size=0, max_size=64))
     def test_random_fixed_bodies_never_crash_the_decoder(self, flags, blob):
         try:
@@ -485,6 +532,21 @@ class TestFrameReader:
         frames[1][-1] = 250  # the payload's single tag byte: unknown tag
         out, errors = self._drain(b"".join(bytes(f) for f in frames), chunk=7)
         assert out == [msgs[0], msgs[2]] and errors == 1
+
+    def test_corrupt_overload_body_is_counted_and_skipped(self):
+        before = Message(kind=MessageKind.GET, src=0, dst=1, file="a")
+        bad = Message(kind=MessageKind.OVERLOAD, src=2, dst=1, file="b",
+                      payload={"shed_by": 2, "redirect": 5})
+        after = Message(kind=MessageKind.GET, src=0, dst=3, file="c")
+        frames = [
+            bytearray(encode_message(m, WIRE_VERSION_BINARY))
+            for m in (before, bad, after)
+        ]
+        assert frames[1][3] == FRAME_OVERLOAD
+        frames[1].append(0)  # trailing byte after the fixed body
+        frames[1][4:8] = len(frames[1][HEADER.size:]).to_bytes(4, "big")
+        out, errors = self._drain(b"".join(bytes(f) for f in frames), chunk=9)
+        assert out == [before, after] and errors == 1
 
     def test_mid_frame_truncation_is_a_frame_error(self):
         blob = encode_message(

@@ -132,6 +132,87 @@ class TestLiveSegmentOp:
         assert RuntimeConformance.name in names
 
 
+class TestLiveOverloadOp:
+    """The overload fuzzer op: a flash-crowd burst against a bounded
+    inbox through the live runtime, audited for ledger conservation
+    and oracle conformance."""
+
+    def _event(self, **overrides):
+        params = {
+            "shed": "conservative", "queue": "fcfs", "victim": "lifo",
+            "inbox_limit": 2, "files": 1, "rps": 400,
+            "duration": 0.15, "seed": 13,
+        }
+        params.update(overrides)
+        return ScenarioEvent("live_overload", params)
+
+    def test_scripted_burst_records_a_conserved_report(self):
+        harness = ScenarioHarness(Scenario(m=4, b=1, seed=0))
+        assert harness.apply(self._event())
+        assert len(harness.overload_reports) == 1
+        record = harness.overload_reports[-1]
+        assert record["cell"] == "conservative/fcfs/lifo"
+        assert record["requests"] > 0
+        assert record["conserved"], record
+        assert record["conformant"], record
+
+    def test_unknown_policy_cell_is_skipped_not_raised(self):
+        harness = ScenarioHarness(Scenario(m=4, b=1, seed=0))
+        assert not harness.apply(self._event(shed="nope"))
+        assert harness.skipped == 1 and not harness.overload_reports
+
+    def test_generator_emits_live_overload(self):
+        ops = [
+            event.op
+            for seed in range(8)
+            for event in generate_scenario(seed=seed, m=5, b=1,
+                                           n_events=40).events
+        ]
+        assert "live_overload" in ops
+
+    def test_overload_invariant_is_registered(self):
+        from repro.verify.invariants import OverloadAccounting, default_invariants
+
+        names = [inv.name for inv in default_invariants()]
+        assert OverloadAccounting.name in names
+
+
+@pytest.mark.fuzz
+class TestPhantomShedCaught:
+    """Acceptance path for the overload ledger: a mutation that invents
+    a shed is caught by overload-shed-conservation, delta-debugged to a
+    single burst event, and replays deterministically from its JSON."""
+
+    def _scenario(self):
+        return Scenario(
+            m=4, b=1, seed=0, mutation="phantom-shed",
+            events=[
+                ScenarioEvent("insert", {"file": "f0"}),
+                ScenarioEvent("get", {"file": "f0", "entry": 1}),
+                ScenarioEvent("live_overload", {
+                    "shed": "aggressive", "queue": "priority",
+                    "victim": "fifo", "inbox_limit": 2, "files": 1,
+                    "rps": 400, "duration": 0.15, "seed": 13,
+                }),
+            ],
+        )
+
+    def test_phantom_shed_caught_shrunk_and_replayed(self, tmp_path):
+        violation = ScenarioFuzzer().run_scenario(self._scenario())
+        assert violation is not None, "phantom shed was not caught"
+        assert violation.invariant == "overload-shed-conservation"
+        assert "shed" in violation.message
+
+        minimized, shrunk = Shrinker().shrink(violation.scenario, violation)
+        assert [e.op for e in minimized.events] == ["live_overload"]
+        assert shrunk.invariant == violation.invariant
+
+        path = save_repro(tmp_path / "shed.json", minimized, shrunk)
+        outcomes = [replay_file(path) for _ in range(2)]
+        assert all(o.reproduced for o in outcomes)
+        assert outcomes[0].violation.step == outcomes[1].violation.step
+
+
 @pytest.mark.fuzz
 class TestMutationCaught:
     """Acceptance path: injected bug → caught → shrunk ≤ 10 → replays."""
@@ -178,7 +259,7 @@ class TestMutationCaught:
 class TestShrinker:
     def test_shrinks_to_minimal_pair(self):
         scenario = generate_scenario(
-            seed=0, m=4, b=1, n_events=40, mutation="misplace-replica"
+            seed=1, m=4, b=1, n_events=40, mutation="misplace-replica"
         )
         violation = ScenarioFuzzer().run_scenario(scenario)
         assert violation is not None
@@ -204,7 +285,7 @@ class TestShrinker:
 
     def test_repro_file_round_trip(self, tmp_path):
         scenario = generate_scenario(
-            seed=0, m=4, b=1, n_events=30, mutation="skip-update"
+            seed=1, m=4, b=1, n_events=30, mutation="skip-update"
         )
         violation = ScenarioFuzzer().run_scenario(scenario)
         assert violation is not None
