@@ -182,6 +182,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "oracle and diff final state (exit 1 on mismatch)")
     loadgen.add_argument("--redirects", type=int, default=3,
                          help="client redirect budget per OVERLOAD-refused GET")
+    loadgen.add_argument("--churn-kills", type=int, default=0,
+                         help="silent crashes (no announce) injected mid-burst")
+    loadgen.add_argument("--churn-crashes", type=int, default=0,
+                         help="announced crashes injected mid-burst")
+    loadgen.add_argument("--churn-joins", type=int, default=0,
+                         help="node joins injected mid-burst")
+    loadgen.add_argument("--churn-leaves", type=int, default=0,
+                         help="graceful leaves injected mid-burst")
+    loadgen.add_argument("--churn-min-live", type=int, default=3,
+                         help="never churn the live set below this size")
     _add_overload_options(loadgen)
 
     profile = sub.add_parser(
@@ -451,6 +461,7 @@ def _cmd_loadgen(args: "argparse.Namespace") -> int:
     import asyncio
 
     from .runtime import (
+        ChurnInjector,
         LiveCluster,
         LoadGenerator,
         RuntimeClient,
@@ -477,6 +488,16 @@ def _cmd_loadgen(args: "argparse.Namespace") -> int:
             shape = WorkloadShape(kind=args.workload, s=args.zipf_s)
             gen = LoadGenerator(cluster, files, shape, seed=args.seed,
                                 redirects=args.redirects)
+            injector = None
+            if (args.churn_kills or args.churn_crashes
+                    or args.churn_joins or args.churn_leaves):
+                injector = ChurnInjector.scheduled(
+                    cluster, args.duration,
+                    kills=args.churn_kills, crashes=args.churn_crashes,
+                    joins=args.churn_joins, leaves=args.churn_leaves,
+                    seed=args.seed, min_live=args.churn_min_live,
+                )
+                injector.start()
             if args.closed_loop > 0:
                 report = await gen.run_closed_loop(
                     args.closed_loop, max(1, int(args.rps * args.duration))
@@ -484,6 +505,11 @@ def _cmd_loadgen(args: "argparse.Namespace") -> int:
             else:
                 report = await gen.run_open_loop(args.rps, args.duration)
             await gen.close()
+            if injector is not None:
+                applied = await injector.finalize()
+                fired = [e for e in applied if e["pid"] is not None]
+                print(f"churn: {len(fired)} event(s) applied: " + ", ".join(
+                    f"{e['action']}@P({e['pid']})" for e in fired))
             await cluster.quiesce()
             mode = "tcp" if args.tcp else "in-process streams"
             print(f"loadgen over {mode}: m={args.m}, b={args.b}, "

@@ -34,6 +34,12 @@ _COUNTER_TRACE_PAIRS: tuple[tuple[str, str], ...] = (
     ("system.joins", "join"),
     ("system.leaves", "leave"),
     ("system.failures", "fail"),
+    ("system.kills", "kill"),
+    ("system.recoveries", "recover"),
+    ("system.arrivals", "arrive"),
+    ("system.settles", "settle"),
+    ("system.departures", "depart"),
+    ("system.reinserts", "reinsert"),
     ("transport.sent", "send"),
     ("request.retried", "retry"),
     ("request.expired", "expire"),

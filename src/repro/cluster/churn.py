@@ -28,7 +28,18 @@ from ..node.storage import FileOrigin, FileStore
 if TYPE_CHECKING:  # pragma: no cover
     from .system import LessLogSystem
 
-__all__ = ["join_node", "leave_node", "fail_node", "gc_orphan_replicas"]
+__all__ = [
+    "join_node",
+    "leave_node",
+    "fail_node",
+    "gc_orphan_replicas",
+    "kill_node",
+    "recover_node",
+    "arrive_node",
+    "settle_node",
+    "depart_node",
+    "reinsert_node",
+]
 
 
 def gc_orphan_replicas(system: "LessLogSystem") -> list[tuple[str, int]]:
@@ -70,6 +81,14 @@ def join_node(system: "LessLogSystem", pid: int) -> list[str]:
         raise MembershipError(f"P({pid}) is already live")
     system.membership.register_live(pid)
     system.stores[pid] = FileStore()
+    migrated = _migrate_to_newcomer(system, pid)
+    system.metrics.counter("system.joins").inc()
+    system.tracer.emit(system.now, "join", pid=pid, migrated=migrated)
+    return migrated
+
+
+def _migrate_to_newcomer(system: "LessLogSystem", pid: int) -> list[str]:
+    """§5.1 migration loop: copy to ``pid`` the files its absence displaced."""
     migrated: list[str] = []
     for name, entry in system.catalog.items():
         if name in system.faults:
@@ -110,8 +129,6 @@ def join_node(system: "LessLogSystem", pid: int) -> list[str]:
     # shadowing any replica that used to be bridged through its
     # position — those are orphans now too.
     gc_orphan_replicas(system)
-    system.metrics.counter("system.joins").inc()
-    system.tracer.emit(system.now, "join", pid=pid, migrated=migrated)
     return migrated
 
 
@@ -120,12 +137,24 @@ def leave_node(system: "LessLogSystem", pid: int) -> list[str]:
     if not system.is_live(pid):
         raise MembershipError(f"P({pid}) is not live")
     store = system.stores.pop(pid)
-    inserted = store.inserted_files()
+    inserted = [(c.name, c.payload, c.version) for c in store.inserted_files()]
     # Replicated files are simply discarded with the store (§5.2).
     system.membership.register_dead(pid)
+    moved = _reinsert_files(system, pid, inserted)
+    system.metrics.counter("system.leaves").inc()
+    system.tracer.emit(system.now, "leave", pid=pid, moved=moved)
+    return moved
+
+
+def _reinsert_files(
+    system: "LessLogSystem",
+    pid: int,
+    inserted: list[tuple[str, object, int]],
+) -> list[str]:
+    """§5.2 re-insertion loop: re-home ``pid``'s inserted files."""
     moved: list[str] = []
-    for copy in inserted:
-        entry = system.catalog.get(copy.name)
+    for name, payload, version in inserted:
+        entry = system.catalog.get(name)
         if entry is None:  # pragma: no cover - defensive
             continue
         tree = system.tree(entry.target)
@@ -136,16 +165,14 @@ def leave_node(system: "LessLogSystem", pid: int) -> list[str]:
         except NoLiveNodeError:
             # The subtree emptied out.  Other subtrees may still hold
             # the file (b > 0); if none do, it is gone.
-            if not system.holders_of(copy.name):
-                system.faults.append(copy.name)
+            if not system.holders_of(name):
+                system.faults.append(name)
             continue
         system.stores[new_home].store(
-            copy.name, copy.payload, copy.version, FileOrigin.INSERTED, system.now
+            name, payload, version, FileOrigin.INSERTED, system.now
         )
-        moved.append(copy.name)
+        moved.append(name)
     gc_orphan_replicas(system)
-    system.metrics.counter("system.leaves").inc()
-    system.tracer.emit(system.now, "leave", pid=pid, moved=moved)
     return moved
 
 
@@ -160,6 +187,14 @@ def fail_node(system: "LessLogSystem", pid: int) -> list[str]:
     # The node's storage is destroyed — deliberately never read.
     system.stores.pop(pid)
     system.membership.register_dead(pid)
+    recovered = _recover_after_loss(system, pid)
+    system.metrics.counter("system.failures").inc()
+    system.tracer.emit(system.now, "fail", pid=pid, recovered=recovered)
+    return recovered
+
+
+def _recover_after_loss(system: "LessLogSystem", pid: int) -> list[str]:
+    """§5.3 recovery loop: re-home files orphaned by the death of ``pid``."""
     recovered: list[str] = []
     for name, entry in system.catalog.items():
         if name in system.faults:
@@ -185,9 +220,85 @@ def fail_node(system: "LessLogSystem", pid: int) -> list[str]:
         )
         recovered.append(name)
     gc_orphan_replicas(system)
-    system.metrics.counter("system.failures").inc()
-    system.tracer.emit(system.now, "fail", pid=pid, recovered=recovered)
     return recovered
+
+
+def kill_node(system: "LessLogSystem", pid: int) -> None:
+    """First half of §5.3 under live churn: the instant of death.
+
+    The storage is destroyed and the membership flipped the moment the
+    node dies; recovery belongs to :func:`recover_node`, which models
+    the (possibly much later) *detection* of the failure.  Splitting
+    the two halves lets the oracle replay a crash at the exact oplog
+    position where the live cluster retired the node, with replication
+    decisions taken mid-churn interleaving between the halves.
+    """
+    if not system.is_live(pid):
+        raise MembershipError(f"P({pid}) is not live")
+    system.stores.pop(pid)
+    system.membership.register_dead(pid)
+    system.metrics.counter("system.kills").inc()
+    system.tracer.emit(system.now, "kill", pid=pid)
+
+
+def recover_node(system: "LessLogSystem", pid: int) -> list[str]:
+    """Second half of §5.3: recovery once the crash of ``pid`` is detected."""
+    if system.is_live(pid):
+        raise MembershipError(f"P({pid}) is live; kill it first")
+    recovered = _recover_after_loss(system, pid)
+    system.metrics.counter("system.recoveries").inc()
+    system.tracer.emit(system.now, "recover", pid=pid, recovered=recovered)
+    return recovered
+
+
+def arrive_node(system: "LessLogSystem", pid: int) -> None:
+    """First half of §5.1: the newcomer registers live with an empty store."""
+    check_id(pid, system.m)
+    if system.is_live(pid):
+        raise MembershipError(f"P({pid}) is already live")
+    system.membership.register_live(pid)
+    system.stores[pid] = FileStore()
+    system.metrics.counter("system.arrivals").inc()
+    system.tracer.emit(system.now, "arrive", pid=pid)
+
+
+def settle_node(system: "LessLogSystem", pid: int) -> list[str]:
+    """Second half of §5.1: migrate to ``pid`` the files its absence displaced."""
+    if not system.is_live(pid):
+        raise MembershipError(f"P({pid}) has not arrived")
+    migrated = _migrate_to_newcomer(system, pid)
+    system.metrics.counter("system.settles").inc()
+    system.tracer.emit(system.now, "settle", pid=pid, migrated=migrated)
+    return migrated
+
+
+def depart_node(system: "LessLogSystem", pid: int) -> list[tuple[str, object, int]]:
+    """First half of §5.2: the leaver goes dark, its replicas discarded.
+
+    Returns the ``(name, payload, version)`` triples of its *inserted*
+    files, which :func:`reinsert_node` re-homes once the departure is
+    processed.
+    """
+    if not system.is_live(pid):
+        raise MembershipError(f"P({pid}) is not live")
+    store = system.stores.pop(pid)
+    inserted = [(c.name, c.payload, c.version) for c in store.inserted_files()]
+    system.membership.register_dead(pid)
+    system.metrics.counter("system.departures").inc()
+    system.tracer.emit(system.now, "depart", pid=pid, inserted=[n for n, _, _ in inserted])
+    return inserted
+
+
+def reinsert_node(
+    system: "LessLogSystem",
+    pid: int,
+    inserted: list[tuple[str, object, int]],
+) -> list[str]:
+    """Second half of §5.2: re-home the departed node's inserted files."""
+    moved = _reinsert_files(system, pid, inserted)
+    system.metrics.counter("system.reinserts").inc()
+    system.tracer.emit(system.now, "reinsert", pid=pid, moved=moved)
+    return moved
 
 
 def _inserted_holder(

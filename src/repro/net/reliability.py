@@ -20,14 +20,26 @@ usable hint) terminates in the ``shed_letters`` list: a distinct
 terminal state, not an expiry, because the server *told* us it refused
 the work.
 
+Churn makes hints go stale: a shedder may name a replica that died
+between the FINDLIVENODE discovery that produced the hint and the
+moment the client acts on it.  With a ``liveness`` oracle installed,
+the tracker treats a dead redirect target as a *reroute* (the paper's
+FINDLIVENODE applied client-side, §3) rather than a wasted attempt:
+the ``reroute`` hook picks a fresh entry, ``request.stale_hints``
+counts the dodge, and only when no live entry exists does the request
+terminate in ``churn_letters`` — a churn loss, distinct from both
+expiry and shed, because neither the client nor any server refused
+the work; the membership underneath it moved.
+
 Accounting is exact and audit-ready: counters
 ``request.{issued,completed,retried,expired,rerouted,stale_replies,``
-``overloads,shed}``, histograms ``request.latency`` /
-``request.attempts``, and ``retry`` / ``expire`` / ``overload`` /
-``shed`` trace records move in lockstep, so verification layers can
-check the conservation identity
+``overloads,shed,stale_hints,churn_lost}``, histograms
+``request.latency`` / ``request.attempts``, and ``retry`` / ``expire``
+/ ``overload`` / ``shed`` / ``churn_lost`` trace records move in
+lockstep, so verification layers can check the conservation identity
 
-    ``request.issued == completed + inflight + dead_letter + shed``
+    ``request.issued == completed + inflight + dead_letter + shed
+    + churn_lost``
 
 at any instant, and ``inflight == 0`` once the engine drains — every
 request terminates with a defined outcome.
@@ -145,6 +157,7 @@ class RequestTracker:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         seed: int = 0,
+        liveness: Callable[[int], bool] | None = None,
     ) -> None:
         self.engine = engine
         self.policy = policy if policy is not None else RetryPolicy()
@@ -155,6 +168,11 @@ class RequestTracker:
         self._completed_ids: set[int] = set()
         self.dead_letters: list[DeadLetter] = []
         self.shed_letters: list[DeadLetter] = []
+        self.churn_letters: list[DeadLetter] = []
+        self.liveness = liveness
+        """Optional PID-liveness oracle.  When set, redirect hints naming
+        a dead node are rerouted (or churn-lost) instead of fired at a
+        corpse — see :meth:`on_overload`."""
 
     # -- observability ----------------------------------------------------
 
@@ -189,6 +207,14 @@ class RequestTracker:
     @property
     def overloads(self) -> int:
         return self.metrics.counter("request.overloads").value
+
+    @property
+    def churn_lost(self) -> int:
+        return self.metrics.counter("request.churn_lost").value
+
+    @property
+    def stale_hints(self) -> int:
+        return self.metrics.counter("request.stale_hints").value
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -242,8 +268,18 @@ class RequestTracker:
         ``request.rerouted`` when the destination actually changes.
         Otherwise the request terminates in :attr:`shed_letters`: a
         distinct terminal state from expiry, because the refusal was
-        explicit.  Returns ``False`` for stale/unknown ids (counted as
-        ``request.stale_replies``), ``True`` otherwise.
+        explicit.
+
+        When a :attr:`liveness` oracle is installed and the hint names
+        a node it calls dead, the hint is *stale* — the replica died
+        after the shedder discovered it.  The tracker never burns the
+        attempt on a corpse: it counts ``request.stale_hints`` and
+        reroutes through the request's ``reroute`` hook (FINDLIVENODE,
+        client-side); only when no live entry remains does the request
+        land in :attr:`churn_letters` — a churn loss, never a shed,
+        because nobody refused the work.  Returns ``False`` for
+        stale/unknown ids (counted as ``request.stale_replies``),
+        ``True`` otherwise.
         """
         record = self._inflight.get(request_id)
         if record is None:
@@ -266,9 +302,15 @@ class RequestTracker:
             and redirect >= 0
             and len(record.attempts) < record.policy.max_attempts
         ):
-            if redirect != record.message.dst:
+            target: int | None = redirect
+            if self.liveness is not None and not self.liveness(redirect):
+                target = self._dodge_stale_hint(record, redirect)
+                if target is None:
+                    self._churn_lose(record)
+                    return True
+            if target != record.message.dst:
                 self.metrics.counter("request.rerouted").inc()
-                record.message = replace(record.message, dst=redirect)
+                record.message = replace(record.message, dst=target)
             delay = self._jittered_backoff(record.policy, len(record.attempts))
             record.pending = self.engine.schedule(
                 delay,
@@ -333,11 +375,21 @@ class RequestTracker:
         self._send_attempt(record)
 
     def _redirect_retry(self, record: _Tracked) -> None:
-        """Re-send at the overload redirect target (no reroute hook:
-        the shedding server already picked the destination)."""
+        """Re-send at the overload redirect target (no reroute hook on
+        the happy path: the shedding server already picked the
+        destination).  The liveness oracle is consulted once more at
+        fire time — the target may have died during the backoff."""
         request_id = record.message.request_id
         if request_id not in self._inflight:  # pragma: no cover - defensive
             return
+        if self.liveness is not None and not self.liveness(record.message.dst):
+            target = self._dodge_stale_hint(record, record.message.dst)
+            if target is None:
+                self._churn_lose(record)
+                return
+            if target != record.message.dst:
+                self.metrics.counter("request.rerouted").inc()
+                record.message = replace(record.message, dst=target)
         self.metrics.counter("request.retried").inc()
         self.tracer.emit(
             self.engine.now,
@@ -348,6 +400,62 @@ class RequestTracker:
             file=record.message.file,
         )
         self._send_attempt(record)
+
+    def _dodge_stale_hint(self, record: _Tracked, hint: int) -> int | None:
+        """The redirect target is dead: pick a live entry instead.
+
+        Counts ``request.stale_hints`` and asks the request's
+        ``reroute`` hook for a replacement, rejecting any candidate the
+        liveness oracle also calls dead.  Returns the live entry to
+        fire at, or ``None`` when the request has nowhere left to go.
+        """
+        self.metrics.counter("request.stale_hints").inc()
+        self.tracer.emit(
+            self.engine.now,
+            "stale_hint",
+            request_id=record.message.request_id,
+            file=record.message.file,
+            hint=hint,
+        )
+        if record.reroute is None:
+            return None
+        new_entry = record.reroute(record.message.dst)
+        if new_entry is None:
+            return None
+        if self.liveness is not None and not self.liveness(new_entry):
+            return None
+        return new_entry
+
+    def _churn_lose(self, record: _Tracked) -> None:
+        """Terminal churn loss: the membership moved under the request.
+
+        The hinted replica is dead and no live entry remains.  Nobody
+        refused the work (not a shed) and the budget was not exhausted
+        by timeouts (not an expiry) — the loss belongs to churn, and
+        the conservation identity carries it as its own term.
+        """
+        request_id = record.message.request_id
+        del self._inflight[request_id]
+        self.churn_letters.append(
+            DeadLetter(
+                request_id=request_id,
+                kind=record.message.kind.value,
+                file=record.message.file,
+                budget=record.policy.max_attempts,
+                first_sent=record.attempts[0].sent_at,
+                expired_at=self.engine.now,
+                attempts=tuple(record.attempts),
+            )
+        )
+        self.metrics.counter("request.churn_lost").inc()
+        self.metrics.histogram("request.attempts").observe(float(len(record.attempts)))
+        self.tracer.emit(
+            self.engine.now,
+            "churn_lost",
+            request_id=request_id,
+            file=record.message.file,
+            attempts=len(record.attempts),
+        )
 
     def _shed(self, record: _Tracked) -> None:
         """Terminal shed: the server refused the work, nowhere to go."""
@@ -408,5 +516,5 @@ class RequestTracker:
         return (
             f"RequestTracker(inflight={self.inflight_count}, "
             f"completed={self.completed}, dead_letters={len(self.dead_letters)}, "
-            f"shed={len(self.shed_letters)})"
+            f"shed={len(self.shed_letters)}, churn_lost={len(self.churn_letters)})"
         )

@@ -81,6 +81,9 @@ class LoadMonitor:
         self.window = window
         self._loads: dict[str, _FileLoad] = {}
         self._total = WindowedRate(window)
+        # file → (rate, t0): synthetic load attributed from a crashed
+        # holder, decaying linearly to zero over one window.
+        self._inherited: dict[str, tuple[float, float]] = {}
 
     def _load(self, file: str) -> _FileLoad:
         entry = self._loads.get(file)
@@ -96,22 +99,53 @@ class LoadMonitor:
         entry.by_source[source].record(now)
         self._total.record(now)
 
+    def inherit(self, file: str, rate: float, now: float) -> None:
+        """Attribute load a crashed holder of ``file`` was carrying.
+
+        The heir has no samples for demand that used to land on the
+        dead node, yet that demand is about to arrive — without this,
+        the overload triggers stay blind for a full window after a
+        crash.  Seed the monitor with the victim's last observed rate,
+        decayed linearly over one window so real samples take over as
+        they arrive.  Inherited load is synthetic: it feeds the
+        overload views (:meth:`total_rate` / :meth:`file_rate` /
+        :meth:`hottest_file`) but never :meth:`source_rates` — the
+        access log only ever contains requests this node actually
+        served.
+        """
+        if rate <= 0.0:
+            return
+        self._inherited[file] = (self._inherited_rate(file, now) + rate, now)
+
+    def _inherited_rate(self, file: str, now: float) -> float:
+        entry = self._inherited.get(file)
+        if entry is None:
+            return 0.0
+        rate, t0 = entry
+        remaining = rate * (1.0 - (now - t0) / self.window)
+        if remaining <= 0.0:
+            del self._inherited[file]
+            return 0.0
+        return min(remaining, rate)
+
     def total_rate(self, now: float) -> float:
-        """Requests served per second, all files."""
-        return self._total.rate(now)
+        """Requests served per second, all files (plus inherited load)."""
+        inherited = sum(self._inherited_rate(f, now) for f in list(self._inherited))
+        return self._total.rate(now) + inherited
 
     def file_rate(self, file: str, now: float) -> float:
         entry = self._loads.get(file)
-        return entry.served.rate(now) if entry else 0.0
+        served = entry.served.rate(now) if entry else 0.0
+        return served + self._inherited_rate(file, now)
 
     def is_overloaded(self, now: float) -> bool:
         return self.total_rate(now) > self.capacity
 
     def hottest_file(self, now: float) -> str | None:
-        """The file contributing the most served load right now."""
+        """The file contributing the most load (served + inherited) right now."""
         best, best_rate = None, 0.0
-        for name in sorted(self._loads):
-            rate = self._loads[name].served.rate(now)
+        for name in sorted(set(self._loads) | set(self._inherited)):
+            rate = self.file_rate(name, now)
             if rate > best_rate:
                 best, best_rate = name, rate
         return best
@@ -129,4 +163,5 @@ class LoadMonitor:
 
     def reset(self) -> None:
         self._loads.clear()
+        self._inherited.clear()
         self._total = WindowedRate(self.window)

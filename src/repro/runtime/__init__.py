@@ -26,6 +26,7 @@ from .client import (
     WorkloadShape,
     percentile,
 )
+from .churn import ChurnEvent, ChurnInjector
 from .cluster import ADMIN, LiveCluster, OpRecord, PeerUnreachableError, RuntimeConfig
 from .conformance import (
     ConformanceReport,
@@ -87,6 +88,8 @@ __all__ = [
     "WIRE_VERSION",
     "WIRE_VERSION_BINARY",
     "AdmissionController",
+    "ChurnEvent",
+    "ChurnInjector",
     "ClientError",
     "ConformanceReport",
     "FrameEncoder",

@@ -106,6 +106,7 @@ class RuntimeClient:
         self._tick_coalesce = cluster.config.tick_coalesce
         self._flush_scheduled = False
         self._closed = False
+        self._conn_lost = False
 
     async def connect(self) -> "RuntimeClient":
         self._reader, self._writer = await self.cluster.open_connection(self.pid)
@@ -128,7 +129,41 @@ class RuntimeClient:
                     if future is not None and not future.done():
                         future.set_result(msg)
         except (EOFError, FrameError, ConnectionError, OSError):
-            pass
+            self._conn_lost = True
+            self._fail_pending()
+
+    @property
+    def connection_lost(self) -> bool:
+        """The server end dropped this connection (the entry died).
+
+        A lost client is a husk: its writes land in a dead transport,
+        so callers holding one — a load generator whose entry died and
+        later *rejoined* — must redial instead of reusing it.  Reusing
+        it is worse than a lost request: the send is counted against
+        the (live again) entry but the frame never arrives, so the
+        cluster's in-flight ledger sticks above zero and ``drain()``
+        blocks until its timeout.
+        """
+        return self._conn_lost
+
+    def _fail_pending(self) -> None:
+        """The connection dropped: resolve every in-flight request *now*.
+
+        The failed send is the liveness protocol (FINDLIVENODE): a
+        closed connection reveals the peer's death immediately, so
+        pending requests must not sit out their full timeout before
+        the caller learns.  Each future resolves with ``None`` — the
+        same terminal a timeout produces — and the caller's dead-entry
+        check classifies it (churn loss when the entry has left the
+        membership, timeout otherwise).
+        """
+        if self._closed:
+            return
+        self._deadlines.clear()
+        futures, self._futures = self._futures, {}
+        for future in futures.values():
+            if not future.done():
+                future.set_result(None)
 
     def _flush_soon(self) -> None:
         """Tick-coalesced flush of every request buffered this iteration."""
@@ -173,6 +208,8 @@ class RuntimeClient:
         """
         if self._writer is None:
             raise ConfigurationError("client is not connected")
+        if self._conn_lost:
+            raise ConnectionError(f"connection to P({self.pid}) was lost")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._futures[msg.request_id] = future
@@ -443,11 +480,24 @@ class LoadReport:
     shed: int = 0
     """Requests whose *terminal* outcome was an OVERLOAD reply (no
     usable redirect, or the redirect budget ran out)."""
+    churn_lost: int = 0
+    """Requests lost to churn: the entry or redirect target died under
+    the request (connection refused, or a timeout at a node that is no
+    longer serving) and no live alternative remained — the fourth
+    terminal next to completed/timeout/shed."""
+    stale_sheds: int = 0
+    """Terminal sheds caused *solely* by a dead redirect hint while
+    redirect budget remained.  With the FINDLIVENODE-style client
+    reroute enabled this is zero by construction — the stale-redirect
+    invariant gates on it."""
     overloads: int = 0
     """Total OVERLOAD replies received (≥ ``shed``: a redirected
     request that later completes still counted its shed replies)."""
     redirected: int = 0
     """Retries fired at a redirect hint from an OVERLOAD reply."""
+    rerouted: int = 0
+    """Redirect retries whose hint named a dead node and were rerouted
+    to a seeded live entry instead (FINDLIVENODE at the client)."""
     duration: float = 0.0
     latencies: list[float] = field(default_factory=list)
     served_by_node: dict[int, int] = field(default_factory=dict)
@@ -462,10 +512,11 @@ class LoadReport:
     @property
     def conserved(self) -> bool:
         """Request-lifecycle conservation, live edition: every fired
-        request lands in exactly one terminal bucket."""
+        request lands in exactly one terminal bucket — under churn,
+        including the churn-loss terminal."""
         return self.requests == (
             self.completed + self.faults + self.errors + self.timeouts
-            + self.shed
+            + self.shed + self.churn_lost
         )
 
     def _quantiles(self) -> tuple[float, float]:
@@ -507,8 +558,11 @@ class LoadReport:
             "errors": self.errors,
             "timeouts": self.timeouts,
             "shed": self.shed,
+            "churn_lost": self.churn_lost,
+            "stale_sheds": self.stale_sheds,
             "overloads": self.overloads,
             "redirected": self.redirected,
+            "rerouted": self.rerouted,
             "duration_s": round(self.duration, 6),
             "achieved_rps": round(self.achieved_rps, 3),
             "latency_p50_s": round(self.p50, 6),
@@ -529,6 +583,7 @@ class LoadGenerator:
         seed: int = 0,
         timeout: float = 5.0,
         redirects: int = 3,
+        churn_reroute: bool = True,
     ) -> None:
         if not files:
             raise ConfigurationError("the load generator needs inserted files")
@@ -540,6 +595,12 @@ class LoadGenerator:
         self.rng = random.Random(seed)
         self.timeout = timeout
         self.max_redirects = redirects
+        self.churn_reroute = churn_reroute
+        """Reroute a redirect whose hint died to a live entry instead of
+        terminally shedding (FINDLIVENODE at the client).  ``False`` is
+        the stale-hint bug-injection profile: a dead hint becomes a
+        terminal shed, counted in ``LoadReport.stale_sheds``."""
+        self._reroute_rng = random.Random(seed ^ 0x517A1E)
         self._retry_tasks: set[asyncio.Task] = set()
         self.weights = self.shape.weights(len(self.files), self.rng)
         # rng.choices recomputes the running sum on every call when
@@ -552,13 +613,18 @@ class LoadGenerator:
 
     async def _client(self, pid: int) -> RuntimeClient:
         client = self._clients.get(pid)
-        if client is not None:
+        if client is not None and not client.connection_lost:
             return client
         # Serialize creation: concurrent requests to the same entry node
-        # must not each open (and then leak) a connection.
+        # must not each open (and then leak) a connection.  A cached
+        # client whose connection dropped (the entry died — perhaps to
+        # rejoin later) is a husk: close it out and redial, like a real
+        # client reconnecting to a restarted peer.
         async with self._connect_lock:
             client = self._clients.get(pid)
-            if client is None:
+            if client is None or client.connection_lost:
+                if client is not None:
+                    await client.close()
                 client = await RuntimeClient(self.cluster, pid).connect()
                 self._clients[pid] = client
             return client
@@ -585,10 +651,19 @@ class LoadGenerator:
         loop = asyncio.get_running_loop()
         report.requests += 1
         start = loop.time()
-        client = await self._client(entry)
-        outcome = await client.get(name, timeout=self.timeout)
+        try:
+            client = await self._client(entry)
+            outcome = await client.get(name, timeout=self.timeout)
+        except (ConnectionError, OSError):
+            # The entry died between the pick and the connect/write —
+            # under mid-burst churn that is a churn loss, not a crash
+            # of the whole generator.
+            report.churn_lost += 1
+            return
         if outcome.kind == "overload":
             await self._follow_redirects(outcome, name, report, start, loop)
+        elif outcome.kind == "timeout" and entry not in self.cluster.nodes:
+            report.churn_lost += 1  # the entry died holding our request
         else:
             self._classify(outcome, report, loop.time() - start)
 
@@ -600,6 +675,13 @@ class LoadGenerator:
         if isinstance(target, int) and target in self.cluster.nodes:
             return target
         return None
+
+    def _reroute_target(self, exclude: set[int]) -> int | None:
+        """A seeded live entry for a reroute, avoiding ``exclude``."""
+        choices = [p for p in sorted(self.cluster.nodes) if p not in exclude]
+        if not choices:
+            return None
+        return choices[self._reroute_rng.randrange(len(choices))]
 
     async def _follow_redirects(
         self,
@@ -615,17 +697,50 @@ class LoadGenerator:
         reroute-on-overload: each shed reply names an alternative
         holder; the retry goes straight at it.  A completion's recorded
         latency spans the *whole* chain — redirect hops are not free.
+
+        Under churn a hint can name a node that died between the shed
+        and this retry.  That is not a wasted attempt: the retry is
+        rerouted to a seeded live entry (FINDLIVENODE at the client),
+        still consuming redirect budget.  Only when *no* live node
+        remains does the request land in the churn-loss terminal.
         """
         redirects = 0
+        target: int | None = None
         while outcome.kind == "overload":
             report.overloads += 1
+            if redirects >= self.max_redirects:
+                break  # budget exhausted: terminal shed, as ever
+            payload = outcome.payload if isinstance(outcome.payload, dict) else {}
+            hint = payload.get("redirect", -1)
             target = self._redirect_target(outcome)
-            if target is None or redirects >= self.max_redirects:
-                break
+            if target is None:
+                if not (isinstance(hint, int) and hint >= 0):
+                    break  # the shedder knew no alternative: terminal shed
+                # The hint named a node that has since died.
+                if not self.churn_reroute:
+                    report.shed += 1
+                    report.stale_sheds += 1
+                    return
+                target = self._reroute_target({hint, outcome.server})
+                if target is None:
+                    report.churn_lost += 1
+                    return
+                report.rerouted += 1
             redirects += 1
             report.redirected += 1
-            client = await self._client(target)
-            outcome = await client.get(name, timeout=self.timeout)
+            try:
+                client = await self._client(target)
+                outcome = await client.get(name, timeout=self.timeout)
+            except (ConnectionError, OSError):
+                report.churn_lost += 1
+                return
+        if (
+            outcome.kind == "timeout"
+            and target is not None
+            and target not in self.cluster.nodes
+        ):
+            report.churn_lost += 1  # the redirect target died holding it
+            return
         self._classify(outcome, report, loop.time() - start)
 
     @staticmethod
@@ -660,7 +775,13 @@ class LoadGenerator:
         """
         name, entry = self._pick()
         client = self._clients.get(entry)
-        if client is not None and client._writer is not None:
+        # A lost connection (the entry died, perhaps to rejoin) falls
+        # back to the task path, which redials through _client().
+        if (
+            client is not None
+            and not client.connection_lost
+            and client._writer is not None
+        ):
             transport = client._writer.transport
             if (
                 transport is not None
@@ -673,7 +794,9 @@ class LoadGenerator:
                     self.timeout,
                 )
                 future.add_done_callback(
-                    lambda fut, s=start: self._record(report, fut, loop, s)
+                    lambda fut, s=start, e=entry: self._record(
+                        report, fut, loop, s, e
+                    )
                 )
                 return future
         return loop.create_task(self._fire_path(entry, name, report))
@@ -684,13 +807,17 @@ class LoadGenerator:
         future: asyncio.Future,
         loop: asyncio.AbstractEventLoop,
         start: float,
+        entry: int,
     ) -> None:
         """Done callback of a no-task fire: classify the raw reply."""
         if future.cancelled():
             return
         reply = future.result()
         if reply is None:
-            report.timeouts += 1
+            if entry not in self.cluster.nodes:
+                report.churn_lost += 1  # the entry died holding our request
+            else:
+                report.timeouts += 1
         elif reply.kind is MessageKind.GET_REPLY:
             latency = loop.time() - start
             report.completed += 1

@@ -178,7 +178,14 @@ class RuntimeConfig:
 class OpRecord:
     """One placement-mutating decision, in cluster decision order."""
 
-    kind: str  # insert | update | replicate | remove | join | leave | crash
+    kind: str
+    """insert | update | replicate | remove | join | leave | crash, plus
+    the split churn halves: ``kill``/``recover`` (crash effect vs
+    detection+recovery), ``arrive``/``settle`` (join registration vs
+    migration), ``depart``/``reinsert`` (leave effect vs re-homing).
+    Halves are appended when their *effects* land, so replication
+    decisions taken mid-churn interleave between them in true decision
+    order — the order the conformance replay needs."""
     name: str = ""
     payload: Any = None
     pid: int = -1
@@ -339,6 +346,8 @@ class LiveCluster:
         }
         self._pending_holders: dict[str, set[int]] = {}
         self._pending_removals: dict[str, set[int]] = {}
+        self._silent_deaths: set[int] = set()
+        self._crash_loads: dict[int, dict[str, float]] = {}
         self._psi_cache: dict[str, int] = {}
         self._trees: dict[int, LookupTree] = {}
         self._inflight_to: dict[int, int] = {}
@@ -457,8 +466,16 @@ class LiveCluster:
             raise PeerUnreachableError(f"connection to P({dst}) failed") from None
 
     def count_client_send(self, pid: int) -> None:
-        """In-process clients account their sends so drain() sees them."""
-        self._inflight_to[pid] = self._inflight_to.get(pid, 0) + 1
+        """In-process clients account their sends so drain() sees them.
+
+        A send addressed to a retired node is never enqueued, so
+        counting it would leave ``_inflight_to`` stuck above zero and
+        ``drain()`` blocked until its timeout — under mid-burst churn a
+        client can race the retirement, so the count is gated on the
+        node still serving.
+        """
+        if pid in self.nodes:
+            self._inflight_to[pid] = self._inflight_to.get(pid, 0) + 1
 
     def msg_enqueued(self, pid: int) -> None:
         self._inflight_to[pid] = max(0, self._inflight_to.get(pid, 0) - 1)
@@ -541,7 +558,13 @@ class LiveCluster:
         """
         held = {pid for pid, node in self.nodes.items() if name in node.store}
         if include_pending:
-            held |= self._pending_holders.get(name, set())
+            # A pending replica target that died before its REPLICATE
+            # frame landed is no holder: the copy will never exist, and
+            # the oracle's kill record already popped its store.
+            held |= {
+                p for p in self._pending_holders.get(name, set())
+                if p in self.nodes
+            }
             held -= self._pending_removals.get(name, set())
         return held
 
@@ -685,42 +708,58 @@ class LiveCluster:
         check_id(pid, self.config.m)
         if self.word.is_live(pid):
             raise MembershipError(f"P({pid}) is already live")
+        if pid in self._silent_deaths:
+            # No resurrection before the coroner files: the pending
+            # autopsy (announce, §5.3 recovery, the closing ``recover``
+            # oplog record) must land first, or the rejoin would leave
+            # the victim's lost files unrecovered and the oracle replay
+            # would see a live node being recovered from.
+            await self.announce_crash(pid)
         self.word.register_live(pid)
+        # The arrival record lands with the membership flip, so
+        # replication decisions taken while the migration plan is still
+        # pending replay against a word that already knows the newcomer.
+        self.oplog.append(OpRecord(kind="arrive", pid=pid))
         await self._boot_node(pid)
         await self._broadcast_register(MessageKind.REGISTER_LIVE, pid)
         migrated: list[str] = []
-        for name, entry in self.catalog.items():
-            if name in self.faults:
-                continue
-            tree = self.tree(entry.target)
-            sid = subtree_of_pid(tree, pid, self.config.b)
-            view = SubtreeView(tree, self.config.b, sid)
-            new_home = view.storage_node(self.word)
-            if new_home != pid:
-                continue  # this file's placement was unaffected by the absence
-            old_home = self._inserted_holder(view, name, exclude=pid)
-            if old_home is not None:
-                copy = self.nodes[old_home].store.get(name, count_access=False)
+        was_replicating = self.replication_enabled
+        self.replication_enabled = False
+        try:
+            for name, entry in self.catalog.items():
+                if name in self.faults:
+                    continue
+                tree = self.tree(entry.target)
+                sid = subtree_of_pid(tree, pid, self.config.b)
+                view = SubtreeView(tree, self.config.b, sid)
+                new_home = view.storage_node(self.word)
+                if new_home != pid:
+                    continue  # this file's placement was unaffected by the absence
+                old_home = self._inserted_holder(view, name, exclude=pid)
+                if old_home is not None:
+                    copy = self.nodes[old_home].store.get(name, count_access=False)
+                    await self._transfer(pid, name, copy.payload, copy.version)
+                    # The previous home keeps serving as a plain replica.
+                    await self.send(
+                        ADMIN,
+                        Message(kind=MessageKind.DEMOTE, src=ADMIN, dst=old_home,
+                                file=name),
+                    )
+                    migrated.append(name)
+                    continue
+                donor = self._any_holder(name)
+                if donor is None:
+                    if name not in self.faults:
+                        self.faults.append(name)
+                    continue
+                copy = self.nodes[donor].store.get(name, count_access=False)
                 await self._transfer(pid, name, copy.payload, copy.version)
-                # The previous home keeps serving as a plain replica.
-                await self.send(
-                    ADMIN,
-                    Message(kind=MessageKind.DEMOTE, src=ADMIN, dst=old_home,
-                            file=name),
-                )
                 migrated.append(name)
-                continue
-            donor = self._any_holder(name)
-            if donor is None:
-                if name not in self.faults:
-                    self.faults.append(name)
-                continue
-            copy = self.nodes[donor].store.get(name, count_access=False)
-            await self._transfer(pid, name, copy.payload, copy.version)
-            migrated.append(name)
-        await self.drain()
-        await self._gc_orphans()
-        self.oplog.append(OpRecord(kind="join", pid=pid))
+            await self.drain()
+            await self._gc_orphans()
+        finally:
+            self.replication_enabled = was_replicating
+        self.oplog.append(OpRecord(kind="settle", pid=pid))
         return migrated
 
     async def leave(self, pid: int) -> list[str]:
@@ -732,27 +771,33 @@ class LiveCluster:
             (copy.name, copy.payload, copy.version)
             for copy in node.store.inserted_files()
         ]
+        self.oplog.append(OpRecord(kind="depart", pid=pid))
         await self._retire_node(pid)
         await self._broadcast_register(MessageKind.REGISTER_DEAD, pid)
         moved: list[str] = []
-        for name, payload, version in inserted:
-            entry = self.catalog.get(name)
-            if entry is None:  # pragma: no cover - defensive
-                continue
-            tree = self.tree(entry.target)
-            sid = subtree_of_pid(tree, pid, self.config.b)
-            view = SubtreeView(tree, self.config.b, sid)
-            try:
-                new_home = view.storage_node(self.word)
-            except NoLiveNodeError:
-                if not self.holders(name):
-                    self.faults.append(name)
-                continue
-            await self._transfer(new_home, name, payload, version)
-            moved.append(name)
-        await self.drain()
-        await self._gc_orphans()
-        self.oplog.append(OpRecord(kind="leave", pid=pid))
+        was_replicating = self.replication_enabled
+        self.replication_enabled = False
+        try:
+            for name, payload, version in inserted:
+                entry = self.catalog.get(name)
+                if entry is None:  # pragma: no cover - defensive
+                    continue
+                tree = self.tree(entry.target)
+                sid = subtree_of_pid(tree, pid, self.config.b)
+                view = SubtreeView(tree, self.config.b, sid)
+                try:
+                    new_home = view.storage_node(self.word)
+                except NoLiveNodeError:
+                    if not self.holders(name):
+                        self.faults.append(name)
+                    continue
+                await self._transfer(new_home, name, payload, version)
+                moved.append(name)
+            await self.drain()
+            await self._gc_orphans()
+        finally:
+            self.replication_enabled = was_replicating
+        self.oplog.append(OpRecord(kind="reinsert", pid=pid))
         return moved
 
     async def crash(self, pid: int, announce: bool = True) -> list[str]:
@@ -762,39 +807,104 @@ class LiveCluster:
         stops serving but no REGISTER_DEAD circulates and no recovery
         runs — peers discover the death through failed sends, the
         message-level ``FINDLIVENODE`` (used by the reroute tests).
+        :meth:`announce_crash` runs the deferred detection + recovery
+        later (the autopsy), which the churn harness calls post-burst
+        so per-node words reconcile before a conformance diff.
         """
         if not self.word.is_live(pid) or pid not in self.nodes:
             raise MembershipError(f"P({pid}) is not live")
+        # Capture what the victim was serving: §5.3 recovery hands each
+        # file's observed rate to its heir so the overload plane reacts
+        # to the inherited demand instead of rediscovering it a window
+        # later.
+        victim = self.nodes[pid]
+        now = asyncio.get_running_loop().time()
+        loads = {
+            name: rate
+            for name in victim.store.names()
+            if (rate := victim.monitor.file_rate(name, now)) > 0.0
+        }
+        if loads:
+            self._crash_loads[pid] = loads
+        # The kill record lands with the retirement, so replication
+        # decisions taken between death and detection replay against a
+        # word that already lost the victim.
+        self.oplog.append(OpRecord(kind="kill", pid=pid))
         await self._retire_node(pid)
         if not announce:
+            self._silent_deaths.add(pid)
             return []
+        return await self._announce_crash_effects(pid)
+
+    async def announce_crash(self, pid: int) -> list[str]:
+        """The autopsy: deferred §5.3 detection for a silent crash.
+
+        Models the failure detector eventually catching up with a
+        ``crash(announce=False)``: REGISTER_DEAD circulates, recovery
+        re-homes the victim's files, and the ``recover`` record lands —
+        after which every per-node word agrees with the authoritative
+        one again and a conformance diff is meaningful.
+        """
+        if pid not in self._silent_deaths:
+            raise MembershipError(f"P({pid}) has no unannounced crash")
+        self._silent_deaths.discard(pid)
+        return await self._announce_crash_effects(pid)
+
+    async def _announce_crash_effects(self, pid: int) -> list[str]:
+        """REGISTER_DEAD broadcast + §5.3 recovery for a retired node."""
         await self._broadcast_register(MessageKind.REGISTER_DEAD, pid)
         recovered: list[str] = []
-        for name, entry in self.catalog.items():
-            if name in self.faults:
-                continue
-            tree = self.tree(entry.target)
-            sid = subtree_of_pid(tree, pid, self.config.b)
-            view = SubtreeView(tree, self.config.b, sid)
-            try:
-                new_home = view.storage_node(self.word)
-            except NoLiveNodeError:
-                if not self.holders(name):
+        was_replicating = self.replication_enabled
+        self.replication_enabled = False
+        try:
+            for name, entry in self.catalog.items():
+                if name in self.faults:
+                    continue
+                tree = self.tree(entry.target)
+                sid = subtree_of_pid(tree, pid, self.config.b)
+                view = SubtreeView(tree, self.config.b, sid)
+                try:
+                    new_home = view.storage_node(self.word)
+                except NoLiveNodeError:
+                    if not self.holders(name):
+                        self.faults.append(name)
+                    continue
+                if self._inserted_holder(view, name) is not None:
+                    continue  # the crashed node was not this subtree's home
+                donor = self._any_holder(name)
+                if donor is None:
                     self.faults.append(name)
-                continue
-            if self._inserted_holder(view, name) is not None:
-                continue  # the crashed node was not this subtree's home
-            donor = self._any_holder(name)
-            if donor is None:
-                self.faults.append(name)
-                continue
-            copy = self.nodes[donor].store.get(name, count_access=False)
-            await self._transfer(new_home, name, copy.payload, copy.version)
-            recovered.append(name)
-        await self.drain()
-        await self._gc_orphans()
-        self.oplog.append(OpRecord(kind="crash", pid=pid))
+                    continue
+                copy = self.nodes[donor].store.get(name, count_access=False)
+                await self._transfer(new_home, name, copy.payload, copy.version)
+                recovered.append(name)
+            await self.drain()
+            await self._gc_orphans()
+        finally:
+            self.replication_enabled = was_replicating
+        self.oplog.append(OpRecord(kind="recover", pid=pid))
+        self._attribute_inherited_load(pid)
         return recovered
+
+    def _attribute_inherited_load(self, pid: int) -> None:
+        """Hand the crashed node's observed per-file rates to the heirs.
+
+        Runtime-only accounting (never oplogged): each file the victim
+        was serving seeds its surviving holder's load monitor — the
+        INSERTED holder when one exists, else the first replica — so
+        the SLO-aware replication trigger sees the demand about to
+        shift there.
+        """
+        loads = self._crash_loads.pop(pid, None)
+        if not loads:
+            return
+        for name in sorted(loads):
+            heir = self._any_holder(name)
+            if heir is None:
+                continue
+            node = self.nodes.get(heir)
+            if node is not None:
+                node.inherit_load(name, loads[name])
 
     async def _retire_node(self, pid: int) -> None:
         """Take a node off the wire: no new frames can reach it."""
@@ -806,7 +916,27 @@ class LiveCluster:
             server.close()
             await server.wait_closed()
         for key in [k for k in self._peer_conns if pid in k]:
-            self._peer_conns.pop(key).close()
+            sink = self._peer_conns.pop(key)
+            src, dst = key
+            if src == pid and dst != pid:
+                # A crashing sender loses its socket buffer: frames
+                # still coalescing in the sink were counted in-flight
+                # at ``send()`` but will never reach ``dst`` — reverse
+                # the accounting or ``drain()`` waits on them forever.
+                lost = sink.encoder.pending
+                if lost:
+                    self._inflight_to[dst] = max(
+                        0, self._inflight_to.get(dst, 0) - lost
+                    )
+            sink.close()
+        # Bounce the GETs stranded in the victim's queues back to their
+        # origin entries: each re-forwards, and the failed send to the
+        # now-dead node is its FINDLIVENODE moment (§3) — the request
+        # reroutes instead of stranding its client until timeout.
+        for msg in node.drain_lost_gets():
+            origin = msg.origin
+            if origin != pid and origin in self.nodes:
+                self.nodes[origin].deliver_local(msg)
         await node.shutdown()
 
     async def _transfer(self, dst: int, name: str, payload: Any, version: int) -> None:

@@ -32,6 +32,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..cluster.churn import (
+    arrive_node,
+    depart_node,
+    kill_node,
+    recover_node,
+    reinsert_node,
+    settle_node,
+)
 from ..cluster.system import LessLogSystem
 from ..core.errors import ConfigurationError
 from .client import RuntimeClient
@@ -161,10 +169,20 @@ async def apply_ops(cluster: LiveCluster, ops: list[Op], seed: int = 0) -> None:
 def replay_oplog(
     oplog: list[OpRecord], config: RuntimeConfig, initial_live: tuple[int, ...]
 ) -> LessLogSystem:
-    """Replay a live cluster's operation log through the oracle."""
+    """Replay a live cluster's operation log through the oracle.
+
+    Besides the one-shot churn kinds (``join``/``leave``/``crash``,
+    kept for older logs), the log can carry *split* churn halves —
+    ``kill``/``recover``, ``arrive``/``settle``, ``depart``/``reinsert``
+    — appended when their effects landed, so replication decisions
+    recorded between the halves replay against the membership they
+    actually saw.
+    """
     system = LessLogSystem(
         m=config.m, b=config.b, live=set(initial_live), seed=config.seed
     )
+    # pid → the inserted copies a "depart" popped, awaiting "reinsert".
+    departed: dict[int, list[tuple[str, Any, int]]] = {}
     for rec in oplog:
         if rec.kind == "insert":
             system.insert(rec.name, rec.payload)
@@ -192,6 +210,18 @@ def replay_oplog(
             system.leave(rec.pid)
         elif rec.kind == "crash":
             system.fail(rec.pid)
+        elif rec.kind == "kill":
+            kill_node(system, rec.pid)
+        elif rec.kind == "recover":
+            recover_node(system, rec.pid)
+        elif rec.kind == "arrive":
+            arrive_node(system, rec.pid)
+        elif rec.kind == "settle":
+            settle_node(system, rec.pid)
+        elif rec.kind == "depart":
+            departed[rec.pid] = depart_node(system, rec.pid)
+        elif rec.kind == "reinsert":
+            reinsert_node(system, rec.pid, departed.pop(rec.pid, []))
         else:  # pragma: no cover - defensive
             raise ConfigurationError(f"unknown oplog record {rec.kind!r}")
     return system

@@ -199,6 +199,13 @@ class NodeServer:
         self._sub_ctx: dict[
             tuple[int, int], tuple[SubtreeView, LookupTree, SvidLiveness]
         ] = {}
+        self._auth_ctx: dict[
+            tuple[int, int], tuple[SubtreeView, LookupTree, SvidLiveness]
+        ] = {}
+        # file → last observed alternative-holder set; the (lagging)
+        # knowledge _redirect_hint falls back on when the fresh holder
+        # view offers no alternative.
+        self._hint_cache: dict[str, tuple[int, ...]] = {}
         self._access_marks: dict[str, tuple[int, float]] = {}
         self._batch_conns: set[_Connection] | None = None
         self._conns: set[_Connection] = set()
@@ -490,6 +497,28 @@ class NodeServer:
             self._sub_ctx[key] = ctx
         return ctx
 
+    def _auth_subtree_ctx(
+        self, tree: LookupTree, sid: int
+    ) -> tuple[SubtreeView, LookupTree, SvidLiveness]:
+        """The same reduction over the cluster's *authoritative* word.
+
+        Placement decisions are coordination-plane reads (the
+        documented oracle-view convention — ``cluster.holders`` already
+        is one), and the conformance replay re-runs each replicate
+        record against oracle membership at that oplog position.  Under
+        mid-burst churn a node's own word can lag a death or an arrival
+        by a frame; deciding against the authoritative word keeps the
+        decision replayable.  Routing (§3/§4 forwarding) keeps using
+        the node's own word — that *is* the data plane.
+        """
+        key = (tree.root, sid)
+        ctx = self._auth_ctx.get(key)
+        if ctx is None:
+            view = SubtreeView(tree, self.b, sid)
+            ctx = (view, identity_tree(view), SvidLiveness(view, self.cluster.word))
+            self._auth_ctx[key] = ctx
+        return ctx
+
     # -- GET ----------------------------------------------------------------
 
     async def _handle_get(self, msg: Message, conn: _Connection | None) -> None:
@@ -633,12 +662,29 @@ class NodeServer:
     def _redirect_hint(self, name: str) -> int:
         """A live alternative holder of ``name``, or ``-1`` when there is
         none — a coordination-plane read, like the placement policies'
-        documented oracle view."""
+        documented oracle view.
+
+        When the fresh view offers no alternative the node falls back
+        on the last holder set it observed — what a real peer, with no
+        oracle, actually knows.  That cached knowledge lags churn, so
+        the candidates are intersected with this node's *own* status
+        word: a hint names the client's next attempt, and under churn
+        this node can know a replica is dead (a failed send — the §3
+        FINDLIVENODE discovery) before the coordination plane has
+        processed the retirement.  Never hand out a hint the sender
+        itself would refuse to route to.  A *silent* crash defeats even
+        the word filter — nobody was told — which is why the client
+        treats a dead hint as a reroute, not a verdict.
+        """
         holders = self.cluster.holders(name)
         holders.discard(self.pid)
-        if not holders:
+        if holders:
+            self._hint_cache[name] = tuple(sorted(holders))
+        else:
+            holders = set(self._hint_cache.get(name, ()))
+        choices = sorted(p for p in holders if self.word.is_live(p))
+        if not choices:
             return -1
-        choices = sorted(holders)
         if len(choices) == 1:
             return choices[0]
         rng = self.admission.rng if self.admission is not None else random
@@ -934,7 +980,7 @@ class NodeServer:
         cluster = self.cluster
         tree = cluster.tree(cluster.psi_of(name))
         sid = subtree_of_pid(tree, self.pid, self.b)
-        view, itree, sliveness = self._subtree_ctx(tree, sid)
+        view, itree, sliveness = self._auth_subtree_ctx(tree, sid)
         holders = cluster.holders(name, include_pending=True)
         holders_svid = {
             view.svid_of(pid) for pid in holders if view.contains(pid)
@@ -972,6 +1018,18 @@ class NodeServer:
         return target
 
     # -- overload sweeper ---------------------------------------------------
+
+    def inherit_load(self, name: str, rate: float) -> None:
+        """Attribute demand a crashed holder of ``name`` was carrying.
+
+        Called by the cluster's §5.3 recovery when this node is the
+        heir of a crashed holder's copy: the victim's last observed
+        service rate is seeded into the load monitor (linearly decaying
+        over one window) so the sweeper's rate trigger and hottest-file
+        choice react to the inherited pressure *before* a full window
+        of real samples accumulates here.
+        """
+        self.monitor.inherit(name, rate, asyncio.get_running_loop().time())
 
     async def _sweep(self) -> None:
         """The per-node load monitor: replicate away sustained pressure.
@@ -1062,6 +1120,33 @@ class NodeServer:
         return bool(
             self.busy or self.inbox.qsize() or self._serve_queue or self._serving
         )
+
+    def drain_lost_gets(self) -> list[Message]:
+        """GETs queued here at crash time, for the cluster to bounce.
+
+        A crashing node takes its inbox and serve queue down with it,
+        but the client GETs inside are not its to lose: each has an
+        origin entry still holding the client's connection, and had the
+        death landed one frame earlier the entry's failed send
+        (FINDLIVENODE, §3) would have rerouted around this node.  The
+        cluster re-injects these at their origins — the moral
+        equivalent of the entry's retransmit-on-connection-reset — so
+        a mid-burst crash costs the request latency, not the client.
+        """
+        lost: list[Message] = []
+        try:
+            while True:
+                msg, _conn = self.inbox.get_nowait()
+                self.inbox.task_done()
+                if msg.kind is MessageKind.GET and msg.src != CLIENT:
+                    lost.append(msg)
+        except asyncio.QueueEmpty:
+            pass
+        for _due, msg, _arrival in self._serve_queue:
+            if msg.src != CLIENT:
+                lost.append(msg)
+        self._serve_queue.clear()
+        return lost
 
     async def shutdown(self) -> None:
         """Stop serving: cancel tasks, close every connection."""

@@ -31,19 +31,27 @@ The default registry encodes the paper's claims:
                                identity on durable state
 ``request-lifecycle-conservation`` every tracked client request is
                                conserved (``issued == completed +
-                               inflight + dead_letter + shed``) and,
-                               once the engine drains, terminated — no
-                               request may lose its timeout and hang
-                               forever; OVERLOAD-shed is a distinct
-                               terminal state with its own letter queue
+                               inflight + dead_letter + shed +
+                               churn_lost``) and, once the engine
+                               drains, terminated — no request may lose
+                               its timeout and hang forever;
+                               OVERLOAD-shed and churn loss are
+                               distinct terminal states with their own
+                               letter queues
 ``runtime-oracle-conformance`` a ``live_segment`` event's asyncio
                                cluster must replay to the synchronous
                                oracle's exact final state
-``overload-shed-conservation`` a ``live_overload`` event's flash-crowd
-                               burst must keep the client-side ledger
-                               conserved (requests == completed +
-                               faults + errors + timeouts + shed) and
-                               the cluster oracle-conformant
+``overload-shed-conservation`` a ``live_overload`` /
+                               ``live_churn_overload`` burst must keep
+                               the client-side ledger conserved
+                               (requests == completed + faults +
+                               errors + timeouts + shed + churn_lost)
+                               and the cluster oracle-conformant
+``stale-redirect``             no admitted request terminally sheds
+                               *solely* because its redirect hint named
+                               a dead node — a stale hint is a reroute
+                               (FINDLIVENODE) or a churn loss, never a
+                               wasted attempt
 =============================  ==========================================
 """
 
@@ -420,15 +428,19 @@ class RequestLifecycle(Invariant):
     """Tracked requests are conserved and always terminate.
 
     At any instant ``request.issued == completed + inflight +
-    dead_letter + shed``; the dead-letter queue matches the
-    ``request.expired`` counter and the shed-letter queue matches
-    ``request.shed``, with no duplicates and no overlap between the
-    terminal sets; every terminal letter stayed within its attempt
-    budget.  OVERLOAD-shed is a *distinct* terminal state from expiry:
-    the server explicitly refused the work, so a request may never be
-    both shed and dead-lettered.  Once the engine drains, nothing may
-    remain inflight — a request stuck without a pending timeout has
-    lost its deadline event and will never reach a defined outcome.
+    dead_letter + shed + churn_lost``; the dead-letter queue matches
+    the ``request.expired`` counter, the shed-letter queue matches
+    ``request.shed``, and the churn-letter queue matches
+    ``request.churn_lost``, with no duplicates and no overlap between
+    the terminal sets; every terminal letter stayed within its attempt
+    budget.  OVERLOAD-shed and churn loss are *distinct* terminal
+    states from expiry: a shed means the server explicitly refused the
+    work, a churn loss means the membership moved underneath the
+    request (its redirect hint died and no live entry remained) — a
+    request may land in at most one of the three queues.  Once the
+    engine drains, nothing may remain inflight — a request stuck
+    without a pending timeout has lost its deadline event and will
+    never reach a defined outcome.
     """
 
     name = "request-lifecycle-conservation"
@@ -442,13 +454,15 @@ class RequestLifecycle(Invariant):
         completed = metrics.counter("request.completed").value
         expired = metrics.counter("request.expired").value
         shed = metrics.counter("request.shed").value
+        churn_lost = metrics.counter("request.churn_lost").value
         inflight = tracker.inflight_count
-        if issued != completed + inflight + expired + shed:
+        terminal = completed + inflight + expired + shed + churn_lost
+        if issued != terminal:
             self.fail(
                 ctx,
                 f"request.issued = {issued} but completed({completed}) + "
                 f"inflight({inflight}) + dead_letter({expired}) + "
-                f"shed({shed}) = {completed + inflight + expired + shed}",
+                f"shed({shed}) + churn_lost({churn_lost}) = {terminal}",
             )
         letters = tracker.dead_letters
         if len(letters) != expired:
@@ -464,26 +478,42 @@ class RequestLifecycle(Invariant):
                 f"request.shed = {shed} but the shed-letter queue "
                 f"holds {len(shed_letters)} records",
             )
+        churn_letters = getattr(tracker, "churn_letters", [])
+        if len(churn_letters) != churn_lost:
+            self.fail(
+                ctx,
+                f"request.churn_lost = {churn_lost} but the churn-letter "
+                f"queue holds {len(churn_letters)} records",
+            )
         ids = [letter.request_id for letter in letters]
         shed_ids = [letter.request_id for letter in shed_letters]
-        for label, pool in (("dead-lettered", ids), ("shed", shed_ids)):
+        churn_ids = [letter.request_id for letter in churn_letters]
+        pools = (
+            ("dead-lettered", ids),
+            ("shed", shed_ids),
+            ("churn-lost", churn_ids),
+        )
+        for label, pool in pools:
             if len(set(pool)) != len(pool):
                 dupes = sorted({i for i in pool if pool.count(i) > 1})
                 self.fail(ctx, f"requests {label} more than once: {dupes}")
-        overlap = set(ids) & set(shed_ids)
-        if overlap:
-            self.fail(
-                ctx,
-                f"requests both shed and dead-lettered: {sorted(overlap)}",
-            )
-        for label, pool in (("dead-lettered", ids), ("shed", shed_ids)):
+        for i, (label_a, pool_a) in enumerate(pools):
+            for label_b, pool_b in pools[i + 1:]:
+                overlap = set(pool_a) & set(pool_b)
+                if overlap:
+                    self.fail(
+                        ctx,
+                        f"requests both {label_a} and {label_b}: "
+                        f"{sorted(overlap)}",
+                    )
+        for label, pool in pools:
             both = set(pool) & tracker.completed_ids
             if both:
                 self.fail(
                     ctx,
                     f"requests both completed and {label}: {sorted(both)}",
                 )
-        for letter in (*letters, *shed_letters):
+        for letter in (*letters, *shed_letters, *churn_letters):
             if not 1 <= len(letter.attempts) <= letter.budget:
                 self.fail(
                     ctx,
@@ -521,22 +551,29 @@ class RuntimeConformance(Invariant):
             self.fail(ctx, report.render())
 
 
-class OverloadAccounting(Invariant):
-    """A ``live_overload`` burst must conserve the client-side ledger.
+#: Fuzzer ops that append a burst record for the overload invariants.
+_BURST_OPS = ("live_overload", "live_churn_overload")
 
-    The harness records one report dict per applied burst (policy cell,
-    the :class:`~repro.runtime.client.LoadReport` ledger, and the
-    conformance verdict).  Shedding is load *control*, not load *loss*:
-    every fired request must land in exactly one terminal bucket
-    (``requests == completed + faults + errors + timeouts + shed``) and
-    the cluster must still replay to the oracle's exact state — a
-    shed GET never mutates durable state.
+
+class OverloadAccounting(Invariant):
+    """An overload burst must conserve the client-side ledger.
+
+    The harness records one report dict per applied ``live_overload`` /
+    ``live_churn_overload`` burst (policy cell, the
+    :class:`~repro.runtime.client.LoadReport` ledger, and the
+    conformance verdict).  Shedding is load *control*, not load *loss*,
+    and churn is membership *movement*, not accounting leakage: every
+    fired request must land in exactly one terminal bucket
+    (``requests == completed + faults + errors + timeouts + shed +
+    churn_lost``) and the cluster must still replay to the oracle's
+    exact state — a shed GET never mutates durable state, and a
+    mid-burst crash must close its oplog halves before the diff.
     """
 
     name = "overload-shed-conservation"
 
     def check(self, ctx: AuditContext) -> None:
-        if ctx.event is None or ctx.event.op != "live_overload":
+        if ctx.event is None or ctx.event.op not in _BURST_OPS:
             return
         reports = getattr(ctx.harness, "overload_reports", None)
         if not reports:
@@ -549,13 +586,48 @@ class OverloadAccounting(Invariant):
                 f"requests({report['requests']}) != "
                 f"completed({report['completed']}) + faults({report['faults']}) "
                 f"+ errors({report['errors']}) + timeouts({report['timeouts']}) "
-                f"+ shed({report['shed']})",
+                f"+ shed({report['shed']}) + "
+                f"churn_lost({report.get('churn_lost', 0)})",
             )
         if not report["conformant"]:
             self.fail(
                 ctx,
                 f"overload burst ({report['cell']}) diverged from the "
                 f"oracle: {report['conformance_detail']}",
+            )
+
+
+class StaleRedirect(Invariant):
+    """A dead redirect hint is a reroute, never a terminal shed.
+
+    Under churn a shedder's hint can name a node that died after the
+    FINDLIVENODE discovery that produced it — most dangerously after a
+    *silent* crash, when no status word has processed the retirement
+    yet.  The admitted request must not pay for that staleness with its
+    life: the client reroutes to a live entry (consuming redirect
+    budget) or, when no live node remains, terminates as a churn loss.
+    The burst records count ``stale_sheds`` — requests that terminally
+    shed *solely* because their hint was dead — and this invariant
+    pins that count to zero.
+    """
+
+    name = "stale-redirect"
+
+    def check(self, ctx: AuditContext) -> None:
+        if ctx.event is None or ctx.event.op not in _BURST_OPS:
+            return
+        reports = getattr(ctx.harness, "overload_reports", None)
+        if not reports:
+            return  # the burst was skipped
+        report = reports[-1]
+        stale = report.get("stale_sheds", 0)
+        if stale:
+            self.fail(
+                ctx,
+                f"overload burst ({report['cell']}) terminally shed "
+                f"{stale} request(s) solely because their redirect hint "
+                f"named a dead node (churn: {report.get('churn', [])}) — "
+                f"a stale hint must reroute or churn-lose, never shed",
             )
 
 
@@ -574,4 +646,5 @@ def default_invariants() -> list[Invariant]:
         RequestLifecycle(),
         RuntimeConformance(),
         OverloadAccounting(),
+        StaleRedirect(),
     ]

@@ -54,6 +54,7 @@ MUTATIONS = (
     "conflate-drops",
     "drop-timeout",
     "phantom-shed",
+    "stale-hint",
 )
 
 
@@ -166,6 +167,7 @@ class ScenarioHarness:
             metrics=self.system.metrics,
             tracer=self.tracer,
             seed=derive_seed(scenario.seed, "retry-jitter"),
+            liveness=self.system.is_live,
         )
         self.transport.register(_CLIENT, self._client_edge)
         self.applied = 0
@@ -445,7 +447,19 @@ class ScenarioHarness:
                 await cluster.shutdown()
 
         report, conformance = asyncio.run(burst())
-        record: dict[str, Any] = {
+        record = self._overload_record(policy, report, conformance, churn=[])
+        if self.scenario.mutation == "phantom-shed":
+            # Bug injection: account a shed that never happened, so the
+            # terminal buckets over-count the fired requests.
+            record["shed"] += 1
+        self._seal_overload_record(record)
+        return True
+
+    def _overload_record(
+        self, policy, report, conformance, churn: list[str]
+    ) -> dict[str, Any]:
+        """The shared client-side ledger for an overload burst record."""
+        return {
             "cell": policy.cell,
             "requests": report.requests,
             "completed": report.completed,
@@ -453,23 +467,141 @@ class ScenarioHarness:
             "errors": report.errors,
             "timeouts": report.timeouts,
             "shed": report.shed,
+            "churn_lost": report.churn_lost,
+            "stale_sheds": report.stale_sheds,
             "overloads": report.overloads,
             "redirected": report.redirected,
+            "rerouted": report.rerouted,
+            "churn": churn,
             "conformant": conformance.ok,
             "conformance_detail": "" if conformance.ok else conformance.render(),
         }
-        if self.scenario.mutation == "phantom-shed":
-            # Bug injection: account a shed that never happened, so the
-            # terminal buckets over-count the fired requests.
-            record["shed"] += 1
+
+    def _seal_overload_record(self, record: dict[str, Any]) -> None:
+        """Close the ledger: the five terminals (plus churn loss) must
+        cover every fired request exactly once."""
         record["conserved"] = record["requests"] == (
             record["completed"]
             + record["faults"]
             + record["errors"]
             + record["timeouts"]
             + record["shed"]
+            + record["churn_lost"]
         )
         self.overload_reports.append(record)
+
+    def _apply_live_churn_overload(self, event: ScenarioEvent) -> bool:
+        """A flash-crowd burst with mid-burst churn against a live cluster.
+
+        Extends ``live_overload`` with the churn regime: the hottest
+        file gets a pre-seeded replica (via the recorded admin overload
+        trigger), then its *home* is silently killed mid-burst
+        (``crash(announce=False)``) — no REGISTER_DEAD goes out, so the
+        surviving replica keeps shedding with redirect hints that name
+        the corpse until its own FINDLIVENODE discovery catches up.
+        Optional announced crash/join events ride the same seeded
+        :class:`~repro.runtime.churn.ChurnInjector` schedule.  The
+        autopsy (announce broadcast, recovery, ``recover`` oplog record,
+        inherited-load attribution) runs after the burst, before the
+        oracle replay, so the conformance diff sees a self-organized
+        membership.  The record feeds the ``overload-shed-conservation``
+        invariant (terminals now include ``churn_lost``) and the
+        ``stale-redirect`` invariant: an admitted request must never
+        terminally shed solely because its hint was dead.
+        """
+        import asyncio
+
+        from ..runtime.churn import ChurnEvent, ChurnInjector
+        from ..runtime.client import LoadGenerator, RuntimeClient, WorkloadShape
+        from ..runtime.cluster import LiveCluster, RuntimeConfig
+        from ..runtime.conformance import diff_states, replay_oplog
+        from ..runtime.overload import OverloadPolicy
+
+        params = event.params
+        try:
+            policy = OverloadPolicy(
+                shed=str(params.get("shed", "conservative")),
+                queue=str(params.get("queue", "fcfs")),
+                victim=str(params.get("victim", "lifo")),
+            )
+        except ValueError:
+            return False
+        m = max(2, min(int(params.get("m", 3)), 3))
+        b = int(params.get("b", 1))
+        if not 0 <= b < m:
+            b = 0
+        config = RuntimeConfig(
+            m=m,
+            b=b,
+            seed=int(params.get("seed", 0)),
+            inbox_limit=max(1, min(int(params.get("inbox_limit", 4)), 32)),
+            shed_policy=policy.shed,
+            queue_policy=policy.queue,
+            victim_policy=policy.victim,
+            slo_budget=float(params.get("slo_budget", 0.05)),
+            service_time=max(0.0, min(float(params.get("service_time", 0.002)), 0.01)),
+        )
+        files = max(1, min(int(params.get("files", 2)), 4))
+        rps = max(20.0, min(float(params.get("rps", 400.0)), 1200.0))
+        duration = max(0.1, min(float(params.get("duration", 0.25)), 0.5))
+
+        async def burst():
+            cluster = await LiveCluster.start(config)
+            try:
+                names = [f"hot-{i}.dat" for i in range(files)]
+                boot = await RuntimeClient(cluster, min(cluster.nodes)).connect()
+                for name in names:
+                    await boot.insert(name, f"payload of {name}")
+                await boot.close()
+                await cluster.drain()
+                hot = names[0]
+                home = min(cluster.holders(hot))
+                # Pre-seed replicas of the hot file (a recorded,
+                # replayable decision), then silently kill every holder
+                # but one mid-burst: the survivor's fresh holder view
+                # goes empty, so its shed hints fall back on cached —
+                # now stale — knowledge, and no status word was ever
+                # told.  Exactly the regime the client-side reroute
+                # must absorb.
+                await cluster.trigger_overload(home, hot, config.seed)
+                await cluster.drain()
+                victims = sorted(cluster.holders(hot))[:-1]
+                events = [
+                    ChurnEvent(at=(0.3 + 0.1 * i) * duration, action="kill", pid=v)
+                    for i, v in enumerate(victims)
+                ]
+                if params.get("crash"):
+                    events.append(ChurnEvent(at=0.55 * duration, action="crash"))
+                if params.get("join"):
+                    events.append(ChurnEvent(at=0.7 * duration, action="join"))
+                injector = ChurnInjector(
+                    cluster, events, seed=config.seed, min_live=3
+                )
+                gen = LoadGenerator(
+                    cluster,
+                    names,
+                    WorkloadShape(kind="zipf", s=2.0),
+                    seed=config.seed,
+                    timeout=2.0,
+                    churn_reroute=self.scenario.mutation != "stale-hint",
+                )
+                injector.start()
+                report = await gen.run_open_loop(rps=rps, duration=duration)
+                await gen.close()
+                applied = await injector.finalize()
+                await cluster.quiesce()
+                system = replay_oplog(cluster.oplog, config, cluster.initial_live)
+                system.check_invariants()
+                return report, diff_states(cluster, system), applied
+            finally:
+                await cluster.shutdown()
+
+        report, conformance, applied = asyncio.run(burst())
+        churn = [
+            f"{e['action']}@P({e['pid']})" for e in applied if e["pid"] is not None
+        ]
+        record = self._overload_record(policy, report, conformance, churn=churn)
+        self._seal_overload_record(record)
         return True
 
     def _sync_endpoints(self, handler_factory) -> None:
@@ -513,7 +645,10 @@ class ScenarioHarness:
             system.metrics.counter("transport.dropped.loss").inc()
         return True
 
-    def _serve_get(self, pid: int, shed_rate: float = 0.0, shed_rng=None):
+    def _serve_get(
+        self, pid: int, shed_rate: float = 0.0, shed_rng=None,
+        stale_rate: float = 0.0,
+    ):
         """Handler a live node runs during a reliable workload: resolve
         the request through the system's own routing walk and reply to
         the client over the (lossy) transport.
@@ -522,7 +657,11 @@ class ScenarioHarness:
         pressure: it refuses that fraction of GETs with an ``OVERLOAD``
         reply carrying a redirect hint (another live holder, or ``-1``
         when it knows none) — the DES dual of the live runtime's
-        bounded-inbox shed path.
+        bounded-inbox shed path.  With ``stale_rate > 0`` that fraction
+        of the hints instead names a *dead* PID, modelling a shedder
+        whose status word has not yet processed a silent crash — the
+        tracker's liveness oracle must dodge those (reroute or
+        churn-lose), never fire at the corpse.
         """
 
         def handle(message: Message) -> None:
@@ -539,6 +678,13 @@ class ScenarioHarness:
                     if alternates
                     else -1
                 )
+                if stale_rate and shed_rng.random() < stale_rate:
+                    dead = sorted(
+                        p for p in range(1 << self.system.m)
+                        if not self.system.is_live(p)
+                    )
+                    if dead:
+                        redirect = dead[shed_rng.randrange(len(dead))]
                 self.transport.send(
                     message.reply(
                         MessageKind.OVERLOAD,
@@ -572,9 +718,12 @@ class ScenarioHarness:
         if not names or not live:
             return False
         shed_rate = max(0.0, min(float(event.params.get("shed_rate", 0.0)), 1.0))
+        stale_rate = max(0.0, min(float(event.params.get("stale_hint_rate", 0.0)), 1.0))
         shed_rng = random.Random(int(event.params.get("seed", 0)) ^ 0x0F_F10AD)
         self._sync_endpoints(
-            lambda pid: self._serve_get(pid, shed_rate=shed_rate, shed_rng=shed_rng)
+            lambda pid: self._serve_get(
+                pid, shed_rate=shed_rate, shed_rng=shed_rng, stale_rate=stale_rate
+            )
         )
         transport.loss_rate = float(event.params.get("loss_rate", 0.0))
         policy = RetryPolicy(
@@ -683,8 +832,8 @@ def generate_scenario(
 
     ops = ["insert", "get", "update", "replicate", "remove_replica",
            "join", "leave", "fail", "workload", "net", "reliable_workload",
-           "live_segment", "live_overload"]
-    weights = [14, 18, 10, 12, 4, 8, 6, 6, 12, 10, 10, 2, 2]
+           "live_segment", "live_overload", "live_churn_overload"]
+    weights = [14, 18, 10, 12, 4, 8, 6, 6, 12, 10, 10, 2, 2, 2]
 
     def any_file() -> str | None:
         return rng.choice(names) if names else None
@@ -754,6 +903,7 @@ def generate_scenario(
                         "max_attempts": rng.randint(1, 6),
                         "entries": rng.choice(["live", "live", "all"]),
                         "shed_rate": rng.choice([0.0, 0.0, 0.15, 0.3]),
+                        "stale_hint_rate": rng.choice([0.0, 0.0, 0.25]),
                         "seed": rng.randrange(1 << 30),
                     },
                 )
@@ -770,6 +920,24 @@ def generate_scenario(
                         "files": rng.randint(1, 3),
                         "rps": float(rng.choice([200, 400, 800])),
                         "duration": 0.15,
+                        "seed": rng.randrange(1 << 30),
+                    },
+                )
+            )
+        elif op == "live_churn_overload":  # burst + mid-burst churn probe
+            events.append(
+                ScenarioEvent(
+                    "live_churn_overload",
+                    {
+                        "shed": rng.choice(["conservative", "aggressive"]),
+                        "queue": rng.choice(["fcfs", "priority"]),
+                        "victim": rng.choice(["lifo", "fifo", "random"]),
+                        "inbox_limit": rng.randint(2, 8),
+                        "files": rng.randint(1, 3),
+                        "rps": float(rng.choice([200, 400, 800])),
+                        "duration": 0.25,
+                        "crash": rng.random() < 0.5,
+                        "join": rng.random() < 0.3,
                         "seed": rng.randrange(1 << 30),
                     },
                 )

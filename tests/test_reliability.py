@@ -502,17 +502,24 @@ class TestLifecycleProperty:
     @given(
         loss=st.floats(min_value=0.0, max_value=0.9),
         shed=st.floats(min_value=0.0, max_value=0.6),
+        stale=st.floats(min_value=0.0, max_value=1.0),
         max_attempts=st.integers(min_value=1, max_value=6),
         requests=st.integers(min_value=1, max_value=16),
         seed=st.integers(min_value=0, max_value=2**20),
     )
     @settings(max_examples=40, deadline=None)
     def test_every_get_completes_or_dead_letters_exactly_once(
-        self, loss, shed, max_attempts, requests, seed
+        self, loss, shed, stale, max_attempts, requests, seed
     ):
         harness = ScenarioHarness(Scenario(m=4, b=1, seed=3))
         harness.apply(ScenarioEvent("insert", {"file": "f0"}))
         harness.apply(ScenarioEvent("insert", {"file": "f1"}))
+        # A little carnage first: with dead PIDs in the space, shed
+        # redirects can name corpses (``stale_hint_rate``) and some
+        # entries="all" requests enter at dead nodes — the churn-loss
+        # terminal joins the partition.
+        harness.apply(ScenarioEvent("fail", {"pid": 6}))
+        harness.apply(ScenarioEvent("fail", {"pid": 11}))
         applied = harness.apply(ScenarioEvent("reliable_workload", {
             "requests": requests,
             "loss_rate": round(loss, 3),
@@ -520,6 +527,7 @@ class TestLifecycleProperty:
             "timeout": 0.05,
             "entries": "all",
             "shed_rate": round(shed, 3),
+            "stale_hint_rate": round(stale, 3),
             "seed": seed,
         }))
         assert applied
@@ -530,16 +538,28 @@ class TestLifecycleProperty:
             tracker.completed
             + len(tracker.dead_letters)
             + len(tracker.shed_letters)
+            + len(tracker.churn_letters)
         )
         assert terminals == requests
+        assert len(tracker.churn_letters) == tracker.churn_lost
         dead_ids = [letter.request_id for letter in tracker.dead_letters]
         shed_ids = [letter.request_id for letter in tracker.shed_letters]
-        for ids in (dead_ids, shed_ids):
+        churn_ids = [letter.request_id for letter in tracker.churn_letters]
+        for ids in (dead_ids, shed_ids, churn_ids):
             assert len(ids) == len(set(ids))  # never twice
             assert not set(ids) & tracker.completed_ids  # never both
         assert not set(dead_ids) & set(shed_ids)  # one terminal each
-        for letter in (*tracker.dead_letters, *tracker.shed_letters):
+        assert not set(churn_ids) & (set(dead_ids) | set(shed_ids))
+        letters = (
+            *tracker.dead_letters, *tracker.shed_letters,
+            *tracker.churn_letters,
+        )
+        for letter in letters:
             assert 1 <= len(letter.attempts) <= letter.budget
+        # A stale hint is never fired at the corpse: every dodge either
+        # rerouted (consuming budget) or churn-lost the request.
+        if tracker.stale_hints:
+            assert stale > 0.0
 
 
 class TestDesIntegration:

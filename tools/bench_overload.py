@@ -43,12 +43,24 @@ Usage::
 
     PYTHONPATH=src python tools/bench_overload.py            # full grid
     PYTHONPATH=src python tools/bench_overload.py --check    # CI smoke
+    PYTHONPATH=src python tools/bench_overload.py --churn    # churned grid
 
 ``--check`` runs a reduced ramp and exits non-zero when any trial in
 any cell breaks ledger conservation or oracle conformance, when no
 configuration sustains the smallest rate, or when every policy cell
 sustains strictly less than the no-control baseline (the control plane
 must never be the bottleneck it was built to remove).
+
+``--churn`` reruns the grid with silent mid-burst crashes
+(:class:`ChurnInjector`, ``crash(pid, announce=False)``) landing in the
+middle half of every measured burst, against a churned no-control
+baseline; results go to ``BENCH_overload_churn.json``.  The request
+ledger gains the ``churn_lost`` terminal
+(``requests == completed + faults + errors + timeouts + shed +
+churn_lost``) and the autopsy announce runs between generator close and
+the conformance replay, so every cell must stay conserved *and*
+conformant despite nodes dying under load.  Composes with ``--check``
+for the CI smoke gate.
 """
 
 from __future__ import annotations
@@ -66,6 +78,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.runtime import (  # noqa: E402
+    ChurnInjector,
     LiveCluster,
     LoadGenerator,
     RuntimeClient,
@@ -77,6 +90,7 @@ from repro.runtime import (  # noqa: E402
 )
 
 OUTPUT = REPO_ROOT / "BENCH_overload.json"
+OUTPUT_CHURN = REPO_ROOT / "BENCH_overload_churn.json"
 
 #: Latency SLO: a rate only counts as sustained while every trial's p99
 #: (including redirect retries) stays under this.
@@ -132,8 +146,16 @@ async def _run_trial(
     warmup: float,
     duration: float,
     seed: int,
+    churn_kills: int = 0,
 ) -> tuple[dict, int, int, bool]:
     """One fresh cluster, one cell, one target rate, one trial.
+
+    With ``churn_kills`` nonzero, that many *silent* crashes
+    (``crash(pid, announce=False)``) land inside the middle half of the
+    measured burst on a seeded schedule; the announce half (recovery,
+    oplog close, inherited-load attribution) runs as an autopsy after
+    the generator closes, so the conformance replay still sees a fully
+    self-organized membership.
 
     Returns (report dict + ``conserved``, replicas created, total GETs
     shed server-side, conformant?).
@@ -152,21 +174,35 @@ async def _run_trial(
         )
         if warmup > 0:
             await gen.run_open_loop(rps=rps, duration=warmup)
+        injector = None
+        if churn_kills:
+            injector = ChurnInjector.scheduled(
+                cluster, duration, kills=churn_kills, seed=seed, min_live=3,
+            )
         gc.collect()
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
+            if injector is not None:
+                injector.start()
             report = await gen.run_open_loop(rps=rps, duration=duration)
         finally:
             if gc_was_enabled:
                 gc.enable()
         await gen.close()
+        applied: list[dict] = []
+        if injector is not None:
+            applied = await injector.finalize()
         await cluster.quiesce()
         shed_total = sum(node.shed_total for node in cluster.nodes.values())
         system = replay_oplog(cluster.oplog, config, cluster.initial_live)
         system.check_invariants()
         conformance = diff_states(cluster, system)
         entry = {**report.as_dict(), "conserved": report.conserved}
+        if injector is not None:
+            entry["churn"] = [
+                f"{e['action']}@P({e['pid']})" for e in applied
+            ]
         return entry, cluster.replicas_created(), shed_total, conformance.ok
     finally:
         await cluster.shutdown()
@@ -181,6 +217,7 @@ def _ramp_cell(
     duration: float,
     trials: int,
     seed: int,
+    churn_kills: int = 0,
 ) -> tuple[list[dict], float, bool, bool]:
     """Ramp one cell; stop at its first unsustained rate.
 
@@ -198,7 +235,8 @@ def _ramp_cell(
         conformant = True
         for trial in range(trials):
             report, repl, shed, ok = asyncio.run(
-                _run_trial(config, files, rps, warmup, duration, seed + trial)
+                _run_trial(config, files, rps, warmup, duration,
+                           seed + trial, churn_kills)
             )
             reports.append(report)
             replicas = max(replicas, repl)
@@ -234,12 +272,17 @@ def _ramp_cell(
             **median_report,
         })
         marker = "ok " if sustained else "SAT"
+        churn_note = ""
+        if churn_kills:
+            churn_note = (f"churn_lost {median_report.get('churn_lost', 0):3d}, "
+                          f"rerouted {median_report.get('rerouted', 0):3d}, ")
         print(f"  {marker} {cell:28s} target {rps:6.0f} rps -> "
               f"goodput {median_report['completed'] / max(median_report['duration_s'], 1e-9):7.1f} rps, "
               f"p99 {median_p99 * 1e3:7.2f} ms, "
               f"shed {median_report['shed']:4d}, "
               f"overloads {median_report['overloads']:4d}, "
               f"redirected {median_report['redirected']:4d}, "
+              f"{churn_note}"
               f"conserved={conserved}, conformant={conformant}")
         if sustained and rps > sustained_rps:
             sustained_rps = rps
@@ -264,6 +307,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="bounded-inbox depth for the policy cells")
     parser.add_argument("--trials", type=int, default=1,
                         help="trials per rate")
+    parser.add_argument("--churn", action="store_true",
+                        help="silent mid-burst crashes per trial; results "
+                        "go to BENCH_overload_churn.json")
+    parser.add_argument("--churn-kills", type=int, default=2,
+                        help="silent crashes per churned trial")
     args = parser.parse_args(argv)
 
     if args.check:
@@ -275,12 +323,15 @@ def main(argv: list[str] | None = None) -> int:
 
     mode = "tcp" if args.tcp else "streams"
     label = "fast" if args.check else "full"
+    churn_kills = args.churn_kills if args.churn else 0
     configs = _configs(args)
+    churn_note = (f", {churn_kills} silent mid-burst crash(es)/trial"
+                  if churn_kills else "")
     print(f"flash-crowd ramp ({label}, {mode}): m={args.m}, b={args.b}, "
           f"{files} files, zipf s={ZIPF_S}, inbox_limit={args.inbox_limit}, "
           f"{args.trials} trial(s) x {duration}s per rate, "
           f"p99 SLO {P99_SLO_S * 1e3:.0f} ms, "
-          f"goodput floor {GOODPUT_FLOOR:.0%}")
+          f"goodput floor {GOODPUT_FLOOR:.0%}{churn_note}")
 
     wall_start = time.perf_counter()
     ramp: list[dict] = []
@@ -291,7 +342,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{cell}:")
         entries, rps, conserved, conformant = _ramp_cell(
             cell, config, rates, files, warmup, duration, args.trials,
-            args.seed,
+            args.seed, churn_kills,
         )
         ramp.extend(entries)
         sustained[cell] = rps
@@ -304,7 +355,8 @@ def main(argv: list[str] | None = None) -> int:
     best_cell = max(cells, key=lambda name: cells[name]) if cells else None
     best_rps = cells.get(best_cell, 0.0) if best_cell else 0.0
     payload = {
-        "benchmark": "overload-flash-crowd",
+        "benchmark": ("overload-flash-crowd-churn" if churn_kills
+                      else "overload-flash-crowd"),
         "grid": label,
         "transport": mode,
         "m": args.m,
@@ -312,6 +364,7 @@ def main(argv: list[str] | None = None) -> int:
         "files": files,
         "zipf_s": ZIPF_S,
         "inbox_limit": args.inbox_limit,
+        "churn_kills_per_trial": churn_kills,
         "trials_per_rate": args.trials,
         "warmup_per_rate_s": warmup,
         "duration_per_rate_s": duration,
@@ -329,9 +382,10 @@ def main(argv: list[str] | None = None) -> int:
         "wallclock_seconds": round(wall, 3),
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    output = OUTPUT_CHURN if churn_kills else OUTPUT
+    output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"sustained: baseline {baseline_rps:.0f} rps, best cell "
-          f"{best_cell} {best_rps:.0f} rps; wrote {OUTPUT}")
+          f"{best_cell} {best_rps:.0f} rps; wrote {output}")
 
     if not all_conserved:
         print("FAIL: a trial broke request-ledger conservation",

@@ -23,7 +23,19 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.verify import FuzzConfig, ScenarioFuzzer, Shrinker, save_repro  # noqa: E402
+from repro.verify import (  # noqa: E402
+    FuzzConfig,
+    ScenarioFuzzer,
+    Shrinker,
+    generate_scenario,
+    save_repro,
+)
+
+#: Live-runtime burst ops whose per-cell coverage the summary reports:
+#: the overload and churned-overload invariants (overload-shed
+#: conservation, stale-redirect) only audit scenarios that actually
+#: contain these events, so the nightly proves they ran.
+LIVE_BURST_OPS = ("live_overload", "live_churn_overload")
 
 DEFAULT_GRID = ((4, 0), (4, 1), (5, 0), (5, 1), (5, 2), (6, 1), (6, 2), (7, 2))
 
@@ -65,6 +77,19 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.time() - t0
         cell = report.to_dict()
         cell["elapsed_s"] = round(elapsed, 2)
+        # Generation is seed-deterministic: re-derive the campaign's
+        # scenarios to tally how many live bursts each cell carried.
+        cell["live_burst_coverage"] = {
+            op: sum(
+                1
+                for s in range(args.base_seed, args.base_seed + args.seeds)
+                for e in generate_scenario(
+                    seed=s, m=m, b=b, n_events=args.events
+                ).events
+                if e.op == op
+            )
+            for op in LIVE_BURST_OPS
+        }
         cell["repros"] = []
         for violation in report.violations:
             total_violations += 1
@@ -84,9 +109,13 @@ def main(argv: list[str] | None = None) -> int:
             )
         cells.append(cell)
         status = "ok" if report.ok else f"{len(report.violations)} VIOLATIONS"
+        coverage = cell["live_burst_coverage"]
         print(
             f"m={m} b={b}: {report.scenarios} scenarios, "
-            f"{report.checks} checks, {elapsed:.1f}s — {status}"
+            f"{report.checks} checks, "
+            f"{coverage['live_overload']} overload / "
+            f"{coverage['live_churn_overload']} churned bursts, "
+            f"{elapsed:.1f}s — {status}"
         )
 
     summary = {
