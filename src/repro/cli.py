@@ -15,9 +15,16 @@ Subcommands:
   registry, shrinking any failure to a replayable repro file.
 * ``verify replay REPRO.json`` — deterministically replay a failure.
 * ``serve`` — boot a live asyncio cluster on loopback TCP and serve
-  the wire protocol until interrupted.
+  the wire protocol until interrupted; with ``--processes`` the
+  cluster is a fleet of per-node worker OS processes behind a
+  bootstrap endpoint.
+* ``worker`` — one LessLog node process: dial a bootstrap endpoint,
+  receive an identifier, serve until SIGTERM (spawned by the scale-out
+  supervisor's subprocess mode; also useful by hand).
 * ``loadgen`` — drive a live cluster with a seeded workload, print
   latency percentiles, and optionally verify oracle conformance.
+  ``--processes`` boots a multi-process fleet for the run;
+  ``--bootstrap`` dials one already serving.
 * ``profile`` — run a seeded runtime workload under cProfile and print
   the hottest functions (the fast-path tuning loop).
 """
@@ -151,7 +158,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-node overload threshold (requests/second)")
     serve.add_argument("--duration", type=float, default=0.0,
                        help="seconds to serve (0 = until interrupted)")
+    serve.add_argument("--processes", type=int, default=0, metavar="N",
+                       help="serve N nodes as separate OS processes behind "
+                       "a bootstrap endpoint (0 = single process)")
+    serve.add_argument("--spawn", default="fork",
+                       choices=["fork", "subprocess"],
+                       help="how --processes workers are spawned")
     _add_overload_options(serve)
+
+    worker = sub.add_parser(
+        "worker", help="one LessLog node as its own OS process"
+    )
+    worker.add_argument("--bootstrap", required=True, metavar="HOST:PORT",
+                        help="bootstrap endpoint to register with")
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a live cluster with a seeded GET workload"
@@ -192,6 +211,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="graceful leaves injected mid-burst")
     loadgen.add_argument("--churn-min-live", type=int, default=3,
                          help="never churn the live set below this size")
+    loadgen.add_argument("--processes", type=int, default=0, metavar="N",
+                         help="boot N nodes as separate OS processes and "
+                         "drive them through the bootstrap endpoint "
+                         "(0 = in-process cluster)")
+    loadgen.add_argument("--spawn", default="fork",
+                         choices=["fork", "subprocess"],
+                         help="how --processes workers are spawned")
+    loadgen.add_argument("--bootstrap", default=None, metavar="HOST:PORT",
+                         help="drive an already-serving bootstrap endpoint "
+                         "(from `lesslog serve --processes`) instead of "
+                         "booting a cluster")
     _add_overload_options(loadgen)
 
     profile = sub.add_parser(
@@ -421,10 +451,67 @@ def _overload_fields(args: "argparse.Namespace") -> dict[str, object]:
     }
 
 
+def _cmd_worker(args: "argparse.Namespace") -> int:
+    from .runtime.scaleout import run_worker
+
+    host, _, port = args.bootstrap.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"--bootstrap must be HOST:PORT, got {args.bootstrap!r}")
+        return 2
+    run_worker(host, int(port))
+    return 0
+
+
+def _cmd_serve_scaleout(args: "argparse.Namespace") -> int:
+    import asyncio
+
+    from .runtime import RuntimeConfig
+    from .runtime.scaleout import ScaleoutSupervisor
+
+    config = RuntimeConfig(
+        m=args.m, b=args.b, seed=args.seed, tcp=True, capacity=args.capacity,
+        **_overload_fields(args),
+    )
+    supervisor = ScaleoutSupervisor(
+        config, n_nodes=args.processes, mode=args.spawn
+    )
+    # Fork the fleet before any event loop exists.
+    host, port = supervisor.launch()
+
+    async def run() -> int:
+        await supervisor.start()
+        book = supervisor.bootstrap.book
+        print(f"bootstrap endpoint: {host}:{port}")
+        print(f"fleet: {len(book)} worker process(es), m={args.m}, b={args.b}")
+        for pid, (whost, wport) in sorted(book.items()):
+            print(f"  P({pid}) -> {whost}:{wport} "
+                  f"[os pid {supervisor.bootstrap.ospid_of(pid)}]")
+        print(f"drive it with: lesslog loadgen --bootstrap {host}:{port}")
+        if args.duration > 0:
+            await asyncio.sleep(args.duration)
+        else:  # pragma: no cover - interactive
+            print("Ctrl-C to stop.")
+            try:
+                while True:
+                    await asyncio.sleep(3600)
+            except asyncio.CancelledError:
+                pass
+        await supervisor.shutdown()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+
+
 def _cmd_serve(args: "argparse.Namespace") -> int:
     import asyncio
 
     from .runtime import LiveCluster, RuntimeConfig
+
+    if args.processes > 0:
+        return _cmd_serve_scaleout(args)
 
     m, b, duration = args.m, args.b, args.duration
 
@@ -457,6 +544,120 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         return 0
 
 
+def _cmd_loadgen_scaleout(args: "argparse.Namespace") -> int:
+    import asyncio
+    import random
+
+    from .runtime import (
+        LoadGenerator,
+        RuntimeClient,
+        RuntimeConfig,
+        WorkloadShape,
+        verify_snapshot,
+    )
+    from .runtime.scaleout import ScaleoutEndpoint, ScaleoutSupervisor
+
+    if args.churn_crashes or args.churn_joins or args.churn_leaves:
+        print("loadgen --processes/--bootstrap supports --churn-kills only "
+              "(kill -9 crash churn; joins/leaves need the in-process "
+              "cluster)")
+        return 2
+
+    supervisor = None
+    if args.bootstrap is None:
+        config = RuntimeConfig(
+            m=args.m, b=args.b, seed=args.seed, tcp=True,
+            capacity=args.capacity, service_time=args.service_time,
+            inflight_limit=16, **_overload_fields(args),
+        )
+        supervisor = ScaleoutSupervisor(
+            config, n_nodes=args.processes, mode=args.spawn
+        )
+        # Fork the fleet before any event loop exists.
+        host, port = supervisor.launch()
+    else:
+        if args.churn_kills:
+            print("--churn-kills needs --processes "
+                  "(the supervisor owns kill -9)")
+            return 2
+        if args.conformance:
+            print("--conformance needs --processes (the snapshot is "
+                  "collected from the fleet this command booted)")
+            return 2
+        host, _, port_text = args.bootstrap.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(f"--bootstrap must be HOST:PORT, got {args.bootstrap!r}")
+            return 2
+        port = int(port_text)
+
+    async def inject_kills(endpoint: "ScaleoutEndpoint",
+                           kills: list[int]) -> None:
+        rng = random.Random(args.seed)
+        for i in range(args.churn_kills):
+            await asyncio.sleep(args.duration / (args.churn_kills + 1))
+            live = supervisor.bootstrap.worker_pids()
+            if len(live) <= args.churn_min_live:
+                break
+            victim = rng.choice(live)
+            await supervisor.kill(victim)
+            kills.append(victim)
+
+    async def run() -> int:
+        if supervisor is not None:
+            await supervisor.start()
+        endpoint = await ScaleoutEndpoint.connect(host, port)
+        try:
+            files = [f"file-{i}.dat" for i in range(args.files)]
+            boot = await RuntimeClient(endpoint, min(endpoint.nodes)).connect()
+            for name in files:
+                await boot.insert(name, f"payload of {name}")
+            await boot.close()
+            await endpoint.drain()
+            shape = WorkloadShape(kind=args.workload, s=args.zipf_s)
+            gen = LoadGenerator(endpoint, files, shape, seed=args.seed,
+                                redirects=args.redirects)
+            kills: list[int] = []
+            kill_task = None
+            if supervisor is not None and args.churn_kills:
+                kill_task = asyncio.create_task(inject_kills(endpoint, kills))
+            if args.closed_loop > 0:
+                report = await gen.run_closed_loop(
+                    args.closed_loop, max(1, int(args.rps * args.duration))
+                )
+            else:
+                report = await gen.run_open_loop(args.rps, args.duration)
+            if kill_task is not None:
+                await kill_task
+            await gen.close()
+            if kills:
+                # Post-burst autopsy: §5 recovery for every victim.
+                for victim in kills:
+                    await supervisor.bootstrap.announce_crash(victim)
+                print(f"churn: {len(kills)} kill -9 event(s): " + ", ".join(
+                    f"P({pid})" for pid in kills))
+            await endpoint.quiesce()
+            print(f"loadgen over {len(endpoint.nodes)} worker process(es), "
+                  f"tcp: m={args.m}, b={args.b}, "
+                  f"workload={args.workload}, seed={args.seed}")
+            for key, value in report.as_dict().items():
+                print(f"  {key:15} {value}")
+            if supervisor is not None:
+                snapshot, _stats = await supervisor.bootstrap.collect_snapshot()
+                print(f"  {'replicas':15} {snapshot.replicas_created}")
+                if args.conformance:
+                    conformance = verify_snapshot(snapshot)
+                    print(conformance.render())
+                    if not conformance.ok:
+                        return 1
+            return 0
+        finally:
+            await endpoint.close()
+            if supervisor is not None:
+                await supervisor.shutdown()
+
+    return asyncio.run(run())
+
+
 def _cmd_loadgen(args: "argparse.Namespace") -> int:
     import asyncio
 
@@ -470,6 +671,9 @@ def _cmd_loadgen(args: "argparse.Namespace") -> int:
         diff_states,
         replay_oplog,
     )
+
+    if args.processes > 0 or args.bootstrap is not None:
+        return _cmd_loadgen_scaleout(args)
 
     async def run() -> int:
         config = RuntimeConfig(
@@ -645,6 +849,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_snapshot_demo(args.output)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
     if args.command == "profile":

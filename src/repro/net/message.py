@@ -34,6 +34,7 @@ class MessageKind(Enum):
     OVERLOAD = "overload"            # admin: treat this node as overloaded
     REMOVE = "remove"                # drop a replicated copy (GC / pruning)
     DEMOTE = "demote"                # §5.1: inserted copy becomes a replica
+    CONTROL = "control"              # scale-out bootstrap/worker coordination
 
 
 @dataclass(frozen=True)

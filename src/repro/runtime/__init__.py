@@ -16,6 +16,7 @@ decisions on the hot path are served from the LRU routing-table cache
 keyed on status-word content.
 """
 
+from .addressing import Address, dial_node, dial_peer, start_listener
 from .client import (
     ClientError,
     LatencyHistogram,
@@ -29,14 +30,18 @@ from .client import (
 from .churn import ChurnEvent, ChurnInjector
 from .cluster import ADMIN, LiveCluster, OpRecord, PeerUnreachableError, RuntimeConfig
 from .conformance import (
+    ClusterStateSnapshot,
     ConformanceReport,
     Op,
     WorkloadSpec,
     apply_ops,
+    diff_snapshot,
     diff_states,
     generate_ops,
     replay_oplog,
     run_conformance,
+    snapshot_of,
+    verify_snapshot,
 )
 from .node import CLIENT, NodeServer
 from .overload import (
@@ -74,7 +79,9 @@ from .wire import (
 
 __all__ = [
     "ADMIN",
+    "Address",
     "CLIENT",
+    "ClusterStateSnapshot",
     "FRAME_ACK",
     "FRAME_GENERIC",
     "FRAME_GET",
@@ -114,6 +121,9 @@ __all__ = [
     "WorkloadSpec",
     "apply_ops",
     "decode_message",
+    "dial_node",
+    "dial_peer",
+    "diff_snapshot",
     "diff_states",
     "encode_message",
     "generate_ops",
@@ -125,5 +135,8 @@ __all__ = [
     "read_message",
     "replay_oplog",
     "run_conformance",
+    "snapshot_of",
+    "start_listener",
+    "verify_snapshot",
     "write_message",
 ]

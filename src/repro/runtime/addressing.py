@@ -1,0 +1,99 @@
+"""Address resolution shared by every stream-dialing path.
+
+The runtime reaches a node three ways — a `LiveCluster` peer/client
+stream in socketpair mode, the same in TCP mode, and (scale-out) a
+worker or client dialing a ``(host, port)`` entry from the bootstrap's
+address book.  Before this module each path open-coded its own dial,
+and the socketpair/TCP asymmetry lived inside
+``LiveCluster.open_connection``.  Now every mode resolves through one
+code path:
+
+* an **address** — a ``(host, port)`` pair — dials the kernel's TCP
+  stack;
+* ``None`` with an ``attach`` callback builds an in-process
+  ``socket.socketpair`` and hands the server end to the node, which is
+  exactly what a TCP accept would have done.
+
+``PeerUnreachableError`` lives here (re-exported by
+``repro.runtime.cluster`` for compatibility) so the scale-out worker
+can raise the same class a `LiveCluster` send does — `NodeServer`'s §3
+FINDLIVENODE reaction keys on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Callable
+
+__all__ = [
+    "Address",
+    "PeerUnreachableError",
+    "dial_node",
+    "dial_peer",
+    "start_listener",
+]
+
+Address = tuple[str, int]
+"""One address-book entry: ``(host, port)`` of a listening node."""
+
+
+class PeerUnreachableError(ConnectionError):
+    """The destination node is not accepting connections (dead/crashed)."""
+
+
+async def dial_node(
+    address: Address | None,
+    attach: Callable[[asyncio.StreamReader, asyncio.StreamWriter], object]
+    | None = None,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """A fresh client-side stream to one node, either transport mode.
+
+    ``address`` dials TCP; ``None`` requires ``attach`` and builds the
+    in-process socketpair equivalent, delivering the server end to the
+    node the way its TCP listener would.
+    """
+    if address is not None:
+        return await asyncio.open_connection(address[0], address[1])
+    if attach is None:
+        raise ValueError("socketpair mode needs an attach callback")
+    ours, theirs = socket.socketpair()
+    ours.setblocking(False)
+    theirs.setblocking(False)
+    server_reader, server_writer = await asyncio.open_connection(sock=theirs)
+    attach(server_reader, server_writer)
+    return await asyncio.open_connection(sock=ours)
+
+
+async def dial_peer(
+    address: Address | None, pid: int
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Dial a peer's published address, mapping failure to the §3 signal.
+
+    A missing address-book entry or a refused/unroutable connect both
+    mean the same thing to the sender — the peer is dead — so both
+    surface as :class:`PeerUnreachableError`, the exception the
+    FINDLIVENODE reroute path catches.
+    """
+    if address is None:
+        raise PeerUnreachableError(f"P({pid}) has no published address")
+    try:
+        return await dial_node(address)
+    except (ConnectionError, OSError) as exc:
+        raise PeerUnreachableError(f"connection to P({pid}) failed: {exc}") from None
+
+
+async def start_listener(
+    attach: Callable[[asyncio.StreamReader, asyncio.StreamWriter], object],
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> tuple[asyncio.base_events.Server, Address]:
+    """Bind one node's listener; returns the server and its address.
+
+    Shared by `LiveCluster._boot_node` (TCP mode) and the scale-out
+    worker entrypoint, so both transports publish addresses the same
+    shape.
+    """
+    server = await asyncio.start_server(lambda r, w: attach(r, w), host, port)
+    sockname = server.sockets[0].getsockname()
+    return server, (sockname[0], sockname[1])

@@ -865,7 +865,7 @@ class LoadGenerator:
         while self._retry_tasks:
             await asyncio.gather(*list(self._retry_tasks))
         report.duration = loop.time() - start
-        report.served_by_node = self.cluster.served_counts()
+        report.served_by_node = await self._served_counts()
         return report
 
     async def run_closed_loop(self, concurrency: int, requests: int) -> LoadReport:
@@ -885,8 +885,20 @@ class LoadGenerator:
 
         await asyncio.gather(*(worker() for _ in range(min(concurrency, requests))))
         report.duration = loop.time() - start
-        report.served_by_node = self.cluster.served_counts()
+        report.served_by_node = await self._served_counts()
         return report
+
+    async def _served_counts(self) -> dict[int, int]:
+        """Per-node serve totals, from either flavor of cluster.
+
+        `LiveCluster.served_counts` reads node objects synchronously;
+        the scale-out endpoint has to ask every worker over the wire,
+        so its implementation is a coroutine.  Tolerate both.
+        """
+        counts = self.cluster.served_counts()
+        if asyncio.iscoroutine(counts):
+            counts = await counts
+        return counts
 
     async def close(self) -> None:
         for client in self._clients.values():

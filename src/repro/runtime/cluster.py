@@ -24,21 +24,23 @@ synchronous ``LessLogSystem`` oracle and diffs final state.
 from __future__ import annotations
 
 import asyncio
-import socket
+import random
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
+from ..baselines.base import PlacementContext
 from ..baselines.lesslog_policy import LessLogPolicy
 from ..core.bits import check_id, check_width
 from ..core.errors import ConfigurationError, MembershipError, NoLiveNodeError
 from ..core.hashing import Psi
-from ..core.subtree import SubtreeView, check_b, subtree_of_pid
+from ..core.subtree import SubtreeView, SvidLiveness, check_b, identity_tree, subtree_of_pid
 from ..core.tree import LookupTree
 from ..net.message import Message, MessageKind
 from ..node.membership import StatusWord
 from ..node.storage import FileOrigin
-from .node import NodeServer, subtree_children
+from .addressing import PeerUnreachableError, dial_node, start_listener
+from .node import CLIENT, NodeServer, subtree_children
 from .overload import OverloadPolicy
 from .wire import (
     MAX_FRAME,
@@ -58,10 +60,6 @@ __all__ = [
 
 ADMIN = -2
 """``src`` of coordination-plane messages (the cluster orchestrator)."""
-
-
-class PeerUnreachableError(ConnectionError):
-    """The destination node is not accepting connections (dead/crashed)."""
 
 
 @dataclass(frozen=True)
@@ -323,6 +321,15 @@ class _FrameSink:
 class LiveCluster:
     """N live LessLog nodes over streams, plus the coordination plane."""
 
+    pushes_replicas = False
+    """Whether the coordination plane delivers REPLICATE frames itself.
+
+    ``False`` here: after :meth:`decide_replication` picks a target the
+    deciding `NodeServer` pushes its own copy, as §2.2 describes.  The
+    scale-out worker facade sets ``True`` — the bootstrap pushes the
+    frame in the same step that appends the oplog record, so a
+    ``kill -9`` can never land between the record and the copy."""
+
     def __init__(self, config: RuntimeConfig, live: set[int] | None = None) -> None:
         self.config = config
         total = 1 << config.m
@@ -350,6 +357,9 @@ class LiveCluster:
         self._crash_loads: dict[int, dict[str, float]] = {}
         self._psi_cache: dict[str, int] = {}
         self._trees: dict[int, LookupTree] = {}
+        self._auth_ctx: dict[
+            tuple[int, int], tuple[SubtreeView, LookupTree, SvidLiveness]
+        ] = {}
         self._inflight_to: dict[int, int] = {}
         self._peer_conns: dict[tuple[int, int], _FrameSink] = {}
         self._servers: dict[int, asyncio.base_events.Server] = {}
@@ -373,12 +383,9 @@ class LiveCluster:
         self.nodes[pid] = node
         node.start()
         if self.config.tcp:
-            server = await asyncio.start_server(
-                lambda r, w, _node=node: _node.attach(r, w), "127.0.0.1", 0
-            )
+            server, address = await start_listener(node.attach)
             self._servers[pid] = server
-            sockname = server.sockets[0].getsockname()
-            self.addresses[pid] = (sockname[0], sockname[1])
+            self.addresses[pid] = address
 
     async def shutdown(self) -> None:
         """Stop every node and close every connection and listener."""
@@ -402,15 +409,8 @@ class LiveCluster:
         node = self.nodes.get(pid)
         if node is None:
             raise PeerUnreachableError(f"P({pid}) is not serving")
-        if self.config.tcp:
-            host, port = self.addresses[pid]
-            return await asyncio.open_connection(host, port)
-        ours, theirs = socket.socketpair()
-        ours.setblocking(False)
-        theirs.setblocking(False)
-        server_reader, server_writer = await asyncio.open_connection(sock=theirs)
-        node.attach(server_reader, server_writer)
-        return await asyncio.open_connection(sock=ours)
+        address = self.addresses.get(pid) if self.config.tcp else None
+        return await dial_node(address, attach=node.attach)
 
     def wire_version_of(self, pid: int) -> int:
         """Codec ceiling of one endpoint (clients use the config's)."""
@@ -477,7 +477,14 @@ class LiveCluster:
         if pid in self.nodes:
             self._inflight_to[pid] = self._inflight_to.get(pid, 0) + 1
 
-    def msg_enqueued(self, pid: int) -> None:
+    def msg_enqueued(self, pid: int, src: int = CLIENT) -> None:
+        """A frame landed in ``P(pid)``'s inbox (accounting settles).
+
+        ``src`` is the sender the frame named — unused here (one shared
+        loop sees both ends), but the scale-out worker counts receipts
+        per source so quiescence survives a sender that is ``kill -9``ed
+        along with its send counters.
+        """
         self._inflight_to[pid] = max(0, self._inflight_to.get(pid, 0) - 1)
 
     # -- quiescence ---------------------------------------------------------
@@ -680,6 +687,93 @@ class LiveCluster:
                 target=target, rates=rates,
             )
         )
+
+    # -- async coordination interface (what a NodeServer talks to) ----------
+    #
+    # `NodeServer` reaches its coordination plane only through these
+    # awaitables plus a handful of sync notifications, so the same node
+    # code runs against this in-process cluster object *or* the
+    # scale-out worker facade, where each call is an RPC to the
+    # bootstrap process.  In-process they resolve without yielding —
+    # behavior (and interleaving) is unchanged.
+
+    async def catalog_check(self, name: str) -> bool:
+        """Is ``name`` still available for insertion?  (Advisory: the
+        authoritative answer is :meth:`catalog_claim`.)"""
+        return self.catalog_available(name)
+
+    async def catalog_claim(self, name: str, target: int, payload: Any) -> bool:
+        """Atomically register ``name`` (the insert record lands here).
+
+        ``False`` when another entry node won the race since the
+        :meth:`catalog_check` — the caller answers "already inserted".
+        """
+        if not self.catalog_available(name):
+            return False
+        self.catalog_register(name, target, payload)
+        return True
+
+    async def catalog_advance(self, name: str, payload: Any) -> int | None:
+        """Assign the next version for an UPDATE (None: not inserted)."""
+        return self.catalog_bump(name, payload)
+
+    def _auth_subtree_ctx(
+        self, tree: LookupTree, sid: int
+    ) -> tuple[SubtreeView, LookupTree, SvidLiveness]:
+        """Memoized §4 identity reduction over the authoritative word.
+
+        Placement decisions are coordination-plane reads (the
+        documented oracle-view convention — :meth:`holders` already is
+        one), and the conformance replay re-runs each replicate record
+        against oracle membership at that oplog position.  Under
+        mid-burst churn a node's own word can lag a death or an arrival
+        by a frame; deciding against the authoritative word keeps the
+        decision replayable.  Routing (§3/§4 forwarding) keeps using
+        the node's own word — that *is* the data plane.
+        """
+        key = (tree.root, sid)
+        ctx = self._auth_ctx.get(key)
+        if ctx is None:
+            view = SubtreeView(tree, self.config.b, sid)
+            ctx = (view, identity_tree(view), SvidLiveness(view, self.word))
+            self._auth_ctx[key] = ctx
+        return ctx
+
+    async def decide_replication(
+        self, name: str, holder: int, seed: int, rates: dict[int, float]
+    ) -> int | None:
+        """One placement decision for an overloaded ``holder``.
+
+        The same computation as ``LessLogSystem.replicate``: reduce to
+        the holder's subtree, run the policy over the live view and the
+        holder set (pending replicas included, so concurrent decisions
+        see each other in decision order), and record the outcome —
+        including a ``None`` outcome — with the rng seed and the
+        holder's observed forwarder rates, so the conformance replay
+        re-runs it through the synchronous oracle verbatim.
+        """
+        tree = self.tree(self.psi_of(name))
+        sid = subtree_of_pid(tree, holder, self.config.b)
+        view, itree, sliveness = self._auth_subtree_ctx(tree, sid)
+        holders = self.holders(name, include_pending=True)
+        holders_svid = {
+            view.svid_of(pid) for pid in holders if view.contains(pid)
+        }
+        rates_svid = {
+            (view.svid_of(src) if src >= 0 and view.contains(src) else -1): rate
+            for src, rate in rates.items()
+        }
+        context = PlacementContext(
+            rng=random.Random(seed), forwarder_rates=rates_svid
+        )
+        target_svid = self.policy.choose(
+            itree, view.svid_of(holder), sliveness, holders_svid, context
+        )
+        target = None if target_svid is None else view.pid_of_svid(target_svid)
+        self.record_replication(name, holder, seed, target, rates)
+        if target is not None:
+            self.note_pending_holder(name, target)
+        return target
 
     async def trigger_overload(self, pid: int, name: str, seed: int) -> None:
         """Admin knob: tell a holder it is overloaded (conformance driver)."""

@@ -51,7 +51,11 @@ __all__ = [
     "generate_ops",
     "apply_ops",
     "replay_oplog",
+    "ClusterStateSnapshot",
+    "snapshot_of",
+    "diff_snapshot",
     "diff_states",
+    "verify_snapshot",
     "ConformanceReport",
     "run_conformance",
 ]
@@ -252,63 +256,124 @@ class ConformanceReport:
         return "\n".join(lines)
 
 
-def diff_states(cluster: LiveCluster, system: LessLogSystem) -> ConformanceReport:
-    """Compare a quiesced live cluster against a replayed oracle."""
+@dataclass
+class ClusterStateSnapshot:
+    """Everything the conformance diff reads, detached from live objects.
+
+    A single-process run takes it straight off the `LiveCluster`
+    (:func:`snapshot_of`); a scale-out run assembles the same shape
+    from per-worker store reports plus the bootstrap's catalog and
+    oplog, then both flow through :func:`diff_snapshot`.  The snapshot
+    also carries the oplog and replay inputs so :func:`verify_snapshot`
+    is self-contained.
+    """
+
+    config: RuntimeConfig
+    initial_live: tuple[int, ...]
+    oplog: list[OpRecord]
+    live_pids: set[int]
+    node_words: dict[int, set[int]]
+    """PID → that node's *own* word's live set (broadcast convergence)."""
+    catalog: set[str]
+    versions: dict[str, int]
+    placement: dict[str, dict[int, str]]
+    faults: list[str]
+    replicas_created: int = 0
+
+
+def snapshot_of(cluster: LiveCluster) -> ClusterStateSnapshot:
+    """Freeze a quiesced in-process cluster for the conformance diff."""
+    return ClusterStateSnapshot(
+        config=cluster.config,
+        initial_live=cluster.initial_live,
+        oplog=list(cluster.oplog),
+        live_pids=set(cluster.word.live_pids()),
+        node_words={
+            pid: set(node.word.live_pids())
+            for pid, node in sorted(cluster.nodes.items())
+        },
+        catalog=set(cluster.catalog),
+        versions=cluster.version_map(),
+        placement=cluster.placement(),
+        faults=list(cluster.faults),
+        replicas_created=cluster.replicas_created(),
+    )
+
+
+def diff_snapshot(
+    snap: ClusterStateSnapshot, system: LessLogSystem
+) -> ConformanceReport:
+    """Compare a cluster-state snapshot against a replayed oracle."""
     report = ConformanceReport(
-        ops_replayed=len(cluster.oplog),
-        files=len(cluster.catalog),
-        replicas=cluster.replicas_created(),
+        ops_replayed=len(snap.oplog),
+        files=len(snap.catalog),
+        replicas=snap.replicas_created,
     )
     bad = report.mismatches
 
-    live_pids = set(cluster.word.live_pids())
+    live_pids = snap.live_pids
     oracle_pids = set(system.membership.live_pids())
     if live_pids != oracle_pids:
         bad.append(
             f"membership: live word {sorted(live_pids)} != "
             f"oracle {sorted(oracle_pids)}"
         )
-    for pid, node in sorted(cluster.nodes.items()):
-        node_view = set(node.word.live_pids())
+    for pid in sorted(snap.node_words):
+        node_view = snap.node_words[pid]
         if node_view != live_pids:
             bad.append(
                 f"membership: P({pid})'s word {sorted(node_view)} diverges "
                 f"from authoritative {sorted(live_pids)}"
             )
 
-    live_files = set(cluster.catalog)
+    live_files = snap.catalog
     oracle_files = set(system.catalog)
     if live_files != oracle_files:
         bad.append(
             f"catalog: live {sorted(live_files)} != oracle {sorted(oracle_files)}"
         )
 
-    live_versions = cluster.version_map()
     oracle_versions = {n: e.version for n, e in system.catalog.items()}
     for name in sorted(live_files & oracle_files):
-        if live_versions[name] != oracle_versions[name]:
+        if snap.versions[name] != oracle_versions[name]:
             bad.append(
-                f"version: {name!r} live v{live_versions[name]} != "
+                f"version: {name!r} live v{snap.versions[name]} != "
                 f"oracle v{oracle_versions[name]}"
             )
 
-    live_placement = cluster.placement()
     for name in sorted(live_files & oracle_files):
         oracle_holders = {
             pid: system.stores[pid].get(name, count_access=False).origin.value
             for pid in system.holders_of(name)
         }
-        if live_placement.get(name, {}) != oracle_holders:
+        if snap.placement.get(name, {}) != oracle_holders:
             bad.append(
-                f"placement: {name!r} live {live_placement.get(name, {})} != "
+                f"placement: {name!r} live {snap.placement.get(name, {})} != "
                 f"oracle {oracle_holders}"
             )
 
-    if sorted(cluster.faults) != sorted(system.faults):
+    if sorted(snap.faults) != sorted(system.faults):
         bad.append(
-            f"faults: live {sorted(cluster.faults)} != oracle {sorted(system.faults)}"
+            f"faults: live {sorted(snap.faults)} != oracle {sorted(system.faults)}"
         )
     return report
+
+
+def verify_snapshot(snap: ClusterStateSnapshot) -> ConformanceReport:
+    """Replay a snapshot's own oplog through a fresh oracle and diff it.
+
+    The one call the scale-out bench and supervisor need: the snapshot
+    carries config, initial membership, and the decision-ordered oplog,
+    so central replay needs nothing else from the (now dead) processes.
+    """
+    system = replay_oplog(snap.oplog, snap.config, snap.initial_live)
+    system.check_invariants()
+    return diff_snapshot(snap, system)
+
+
+def diff_states(cluster: LiveCluster, system: LessLogSystem) -> ConformanceReport:
+    """Compare a quiesced live cluster against a replayed oracle."""
+    return diff_snapshot(snapshot_of(cluster), system)
 
 
 async def run_conformance(

@@ -67,7 +67,6 @@ from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import TYPE_CHECKING
 
-from ..baselines.base import PlacementContext
 from ..core.errors import NoLiveNodeError
 from ..core.routing import routing_table
 from ..core.subtree import (
@@ -199,9 +198,6 @@ class NodeServer:
         self._sub_ctx: dict[
             tuple[int, int], tuple[SubtreeView, LookupTree, SvidLiveness]
         ] = {}
-        self._auth_ctx: dict[
-            tuple[int, int], tuple[SubtreeView, LookupTree, SvidLiveness]
-        ] = {}
         # file → last observed alternative-holder set; the (lagging)
         # knowledge _redirect_hint falls back on when the fresh holder
         # view offers no alternative.
@@ -270,7 +266,7 @@ class NodeServer:
                     for msg, version in msgs:
                         conn.wire_version = version
                         inbox_put((msg, conn))
-                        enqueued(self.pid)
+                        enqueued(self.pid, msg.src)
                 else:
                     now = asyncio.get_running_loop().time()
                     for msg, version in msgs:
@@ -287,10 +283,10 @@ class NodeServer:
                                 # inbox, but the sender's in-flight
                                 # accounting must still settle or
                                 # drain() hangs on this frame forever.
-                                enqueued(self.pid)
+                                enqueued(self.pid, msg.src)
                                 continue
                         inbox_put((msg, conn))
-                        enqueued(self.pid)
+                        enqueued(self.pid, msg.src)
                 stage["decode"] += frames.decode_seconds - decoded
                 decoded = frames.decode_seconds
         except (EOFError, FrameError, ConnectionError, OSError):
@@ -495,28 +491,6 @@ class NodeServer:
             view = SubtreeView(tree, self.b, sid)
             ctx = (view, identity_tree(view), SvidLiveness(view, self.word))
             self._sub_ctx[key] = ctx
-        return ctx
-
-    def _auth_subtree_ctx(
-        self, tree: LookupTree, sid: int
-    ) -> tuple[SubtreeView, LookupTree, SvidLiveness]:
-        """The same reduction over the cluster's *authoritative* word.
-
-        Placement decisions are coordination-plane reads (the
-        documented oracle-view convention — ``cluster.holders`` already
-        is one), and the conformance replay re-runs each replicate
-        record against oracle membership at that oplog position.  Under
-        mid-burst churn a node's own word can lag a death or an arrival
-        by a frame; deciding against the authoritative word keeps the
-        decision replayable.  Routing (§3/§4 forwarding) keeps using
-        the node's own word — that *is* the data plane.
-        """
-        key = (tree.root, sid)
-        ctx = self._auth_ctx.get(key)
-        if ctx is None:
-            view = SubtreeView(tree, self.b, sid)
-            ctx = (view, identity_tree(view), SvidLiveness(view, self.cluster.word))
-            self._auth_ctx[key] = ctx
         return ctx
 
     # -- GET ----------------------------------------------------------------
@@ -838,7 +812,7 @@ class NodeServer:
         name = msg.file
         r = self.cluster.psi_of(name)
         tree = self.cluster.tree(r)
-        if not self.cluster.catalog_available(name):
+        if not await self.cluster.catalog_check(name):
             await self._client_error(msg, conn, f"file {name!r} already inserted")
             return
         homes: list[int] = []
@@ -855,7 +829,11 @@ class NodeServer:
         if not homes:
             await self._client_error(msg, conn, f"no live storage node for {name!r}")
             return
-        self.cluster.catalog_register(name, r, msg.payload)
+        if not await self.cluster.catalog_claim(name, r, msg.payload):
+            # Another entry node won the race between check and claim
+            # (possible only when the catalog is a remote service).
+            await self._client_error(msg, conn, f"file {name!r} already inserted")
+            return
         reply = replace(
             msg.reply(
                 MessageKind.ACK,
@@ -917,7 +895,7 @@ class NodeServer:
             return
         # Entry node: assign the next version, start at each subtree root.
         name = msg.file
-        version = self.cluster.catalog_bump(name, msg.payload)
+        version = await self.cluster.catalog_advance(name, msg.payload)
         if version is None:
             await self._client_error(msg, conn, f"file {name!r} not inserted")
             return
@@ -965,12 +943,13 @@ class NodeServer:
     async def _replicate_decision(self, name: str, seed: int | None = None) -> int | None:
         """One placement decision for this (overloaded) holder.
 
-        The same computation as ``LessLogSystem.replicate``: reduce to
-        the holder's subtree, run the policy over the live view and the
-        holder set, push the copy to the chosen node.  The decision —
-        including a ``None`` outcome — is recorded in the cluster's
-        operation log with the rng seed used, so the conformance replay
-        can re-run it through the synchronous oracle.
+        The node contributes what only it knows — whether it still
+        holds the copy, the derived rng seed, its monitor's observed
+        forwarder rates — and the coordination plane runs the
+        ``LessLogSystem.replicate`` computation and records the
+        decision (:meth:`LiveCluster.decide_replication`).  When the
+        plane is in-process the node then pushes the copy itself; the
+        scale-out bootstrap pushes it atomically with the record.
         """
         if name not in self.store:
             return None
@@ -978,31 +957,16 @@ class NodeServer:
             seed = self._derived_seed()
         self._decision_count += 1
         cluster = self.cluster
-        tree = cluster.tree(cluster.psi_of(name))
-        sid = subtree_of_pid(tree, self.pid, self.b)
-        view, itree, sliveness = self._auth_subtree_ctx(tree, sid)
-        holders = cluster.holders(name, include_pending=True)
-        holders_svid = {
-            view.svid_of(pid) for pid in holders if view.contains(pid)
-        }
         now = asyncio.get_running_loop().time()
         rates = dict(self.monitor.source_rates(name, now))
-        rates_svid = {
-            (view.svid_of(src) if src >= 0 and view.contains(src) else -1): rate
-            for src, rate in rates.items()
-        }
-        context = PlacementContext(
-            rng=random.Random(seed), forwarder_rates=rates_svid
-        )
-        target_svid = cluster.policy.choose(
-            itree, view.svid_of(self.pid), sliveness, holders_svid, context
-        )
-        target = None if target_svid is None else view.pid_of_svid(target_svid)
-        cluster.record_replication(name, self.pid, seed, target, rates)
+        target = await cluster.decide_replication(name, self.pid, seed, rates)
         if target is None:
             return None
+        if cluster.pushes_replicas:
+            # Scale-out: the coordination plane already pushed the
+            # REPLICATE frame atomically with the oplog record.
+            return target
         copy = self.store.get(name, count_access=False)
-        cluster.note_pending_holder(name, target)
         sent = await self._send(
             Message(
                 kind=MessageKind.REPLICATE,

@@ -1,0 +1,36 @@
+"""Multi-process scale-out runtime: one OS process per LessLog node.
+
+The pieces, smallest to largest:
+
+* :mod:`.control` — the CONTROL-frame RPC/cast channel everything
+  coordinates over (same wire framing as the data plane);
+* :mod:`.worker` — `WorkerRuntime` (the per-process coordination
+  facade `NodeServer` runs against, unchanged) and the process
+  entrypoint;
+* :mod:`.bootstrap` — identifier assignment, the address book, and
+  the mirror-oracle coordination plane that ships the oplog at
+  decision time;
+* :mod:`.endpoint` — the client facade `RuntimeClient`/`LoadGenerator`
+  drive unchanged;
+* :mod:`.supervisor` — forks/boots the fleet, injects ``kill -9``,
+  and tears it down.
+"""
+
+from .bootstrap import BootstrapServer, ScaleoutStats
+from .control import ControlLink, config_from_wire, config_to_wire
+from .endpoint import ScaleoutEndpoint
+from .supervisor import ScaleoutSupervisor
+from .worker import WorkerProcess, WorkerRuntime, run_worker
+
+__all__ = [
+    "BootstrapServer",
+    "ScaleoutStats",
+    "ControlLink",
+    "config_from_wire",
+    "config_to_wire",
+    "ScaleoutEndpoint",
+    "ScaleoutSupervisor",
+    "WorkerProcess",
+    "WorkerRuntime",
+    "run_worker",
+]

@@ -1,0 +1,601 @@
+"""The scale-out bootstrap: identifier assignment, address book, and
+the coordination plane for a cluster of per-node worker processes.
+
+In the single-process runtime the `LiveCluster` object *is* the
+coordination plane — catalog, status word, oplog, churn orchestration.
+Split across OS processes, that role moves here: the bootstrap process
+listens on one TCP endpoint, assigns each connecting worker its LessLog
+identifier, hands out the address book once everyone has registered,
+and serves every coordination decision over :class:`ControlLink` RPCs.
+
+**The mirror oracle.**  Instead of tracking catalog/placement state in
+bespoke dicts, the bootstrap holds a live synchronous
+:class:`LessLogSystem` — the same class the conformance replay builds —
+and applies every oplog record to it *in the same step* that appends
+the record.  The invariant ``mirror == replay(oplog)`` therefore holds
+by construction at every instant, which is what makes coordination
+decisions replayable:
+
+* a replicate decision is computed by ``mirror.replicate(...)`` with
+  the worker's reported seed and forwarder rates — the exact call the
+  replay will make — and the chosen target's copy is *pushed by the
+  bootstrap itself* (a REPLICATE admin frame over the target's control
+  channel) atomically with the record, so a ``kill -9`` can never land
+  between the decision and the copy;
+* §5.3 crash recovery is reconcile-by-state-diff: apply
+  ``recover_node`` to the mirror, diff placement before/after, and
+  emit exactly the TRANSFER/DEMOTE/REMOVE frames that realize the diff
+  on the live stores.
+
+**Oplog shipping** therefore happens at decision time: every worker's
+placement decisions flow through these RPCs in true decision order, so
+the central log needs no post-hoc merge — shutdown only ships final
+stores and counters for the conformance snapshot.
+
+**Quiescence** across processes is a per-(source, dest) ledger: each
+worker counts its sends per destination and its receipts per source,
+the bootstrap counts its own admin delivers, and client endpoints ship
+their per-destination send counts with their drain call.  The cluster
+is quiet when, for every ordered pair of *live* nodes, sends equal
+receipts, every inbox is empty, and nobody is busy — three consecutive
+stable rounds, exactly `LiveCluster.drain`'s discipline.  Counting
+receipts per source is what makes the ledger churn-proof: a victim's
+send counters die with it, but its frames land in receivers'
+``recv_from[victim]`` buckets, which the quiet check simply ignores
+once the victim is dead.
+
+Scale-out v1 scope: crash churn only (no join/leave over the wire),
+silent kills with a post-burst autopsy (PR 8's semantics), and no
+cross-process inherited-load attribution — the victim's load monitor
+dies with its process, and that accounting is runtime-only (never
+oplogged), so conformance is unaffected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ...cluster.churn import kill_node, recover_node
+from ...cluster.system import LessLogSystem
+from ...core.errors import (
+    ConfigurationError,
+    FileNotFoundInSystemError,
+    MembershipError,
+)
+from ...net.message import Message, MessageKind
+from ...node.storage import FileOrigin
+from ..addressing import Address
+from ..cluster import ADMIN, OpRecord, RuntimeConfig
+from ..conformance import ClusterStateSnapshot
+from ..node import CLIENT
+from .control import ControlLink, config_to_wire, message_to_wire
+
+__all__ = ["BootstrapServer", "ScaleoutStats"]
+
+
+@dataclass
+class ScaleoutStats:
+    """Aggregated per-worker runtime stats, collected with the snapshot."""
+
+    served_by_node: dict[int, int] = field(default_factory=dict)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    decisions: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class _Peer:
+    """One control connection's identity (worker / client endpoint)."""
+
+    link: ControlLink
+    kind: str = "unknown"  # unknown | worker | client
+    pid: int = -1
+    ospid: int = -1
+
+
+class BootstrapServer:
+    """The coordination plane of a multi-process LessLog deployment."""
+
+    def __init__(self, config: RuntimeConfig, n_nodes: int | None = None) -> None:
+        total = 1 << config.m
+        n = total if n_nodes is None else n_nodes
+        if not 1 <= n <= total:
+            raise ConfigurationError(
+                f"n_nodes must be in [1, {total}] for m={config.m}"
+            )
+        self.config = config
+        self.expected = n
+        self.initial_live: tuple[int, ...] = tuple(range(n))
+        self.mirror = LessLogSystem(
+            m=config.m, b=config.b, live=set(self.initial_live), seed=config.seed
+        )
+        self.oplog: list[OpRecord] = []
+        self.book: dict[int, Address] = {}
+        self.paused = False
+        self.ready = asyncio.Event()
+        """Set once every expected worker has registered its address."""
+        self._lock = asyncio.Lock()
+        self._unassigned = list(reversed(self.initial_live))
+        self._workers: dict[int, _Peer] = {}
+        self._ospids: dict[int, int] = {}
+        self._clients: list[_Peer] = []
+        self._silent_deaths: set[int] = set()
+        self._admin_sent: dict[int, int] = {}
+        self._client_sent: dict[int, dict[int, int]] = {}
+        """Per-endpoint cumulative client sends per destination PID."""
+        self._goodbyes: dict[int, dict[str, Any]] = {}
+        self._book_epoch = 0
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- serving ------------------------------------------------------------
+
+    async def serve(self, sock: Any = None, host: str = "127.0.0.1",
+                    port: int = 0) -> Address:
+        """Start accepting control connections; returns the address."""
+        if sock is not None:
+            self._server = await asyncio.start_server(self._on_connect, sock=sock)
+        else:
+            self._server = await asyncio.start_server(self._on_connect, host, port)
+        name = self._server.sockets[0].getsockname()
+        return (name[0], name[1])
+
+    async def shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for peer in list(self._workers.values()) + list(self._clients):
+            await peer.link.close()
+        self._workers.clear()
+        self._clients.clear()
+
+    def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = _Peer(link=None)  # type: ignore[arg-type]
+
+        async def handle(op: str, body: dict) -> dict | None:
+            return await self._handle(peer, op, body)
+
+        peer.link = ControlLink(reader, writer, handle, label="bootstrap")
+        peer.link.start()
+
+    # -- the control protocol ----------------------------------------------
+
+    async def _handle(self, peer: _Peer, op: str, body: dict) -> dict | None:
+        if op == "hello":
+            return self._op_hello(peer, body)
+        if op == "register":
+            return self._op_register(peer, body)
+        if op == "client_hello":
+            return self._op_client_hello(peer, body)
+        if op == "ping":
+            return {"ok": True}
+        if op == "catalog_check":
+            return {"ok": body.get("name", "") not in self.mirror.catalog}
+        if op == "catalog_claim":
+            async with self._lock:
+                return self._op_claim(body)
+        if op == "catalog_advance":
+            async with self._lock:
+                return self._op_advance(body)
+        if op == "decide":
+            async with self._lock:
+                return self._op_decide(body)
+        if op == "record_removal":
+            async with self._lock:
+                self._op_removal(body)
+            return None
+        if op == "goodbye":
+            self._goodbyes[peer.pid] = dict(body)
+            return {"ok": True}
+        if op == "client_sent":
+            self._note_client_sent(peer, body)
+            return None
+        if op == "client_drain":
+            self._note_client_sent(peer, body)
+            await self.drain()
+            return {"ok": True}
+        if op == "client_quiesce":
+            self._note_client_sent(peer, body)
+            await self.quiesce()
+            return {"ok": True}
+        if op == "served_counts":
+            stats = await self.collect_stats()
+            return {"counts": {str(p): c for p, c in stats.served_by_node.items()}}
+        return {"error": f"unknown control op {op!r}"}
+
+    def _op_hello(self, peer: _Peer, body: dict) -> dict:
+        if not self._unassigned:
+            return {"error": "cluster is fully assigned"}
+        pid = self._unassigned.pop()
+        peer.kind = "worker"
+        peer.pid = pid
+        peer.ospid = int(body.get("ospid", -1))
+        self._workers[pid] = peer
+        self._ospids[pid] = peer.ospid
+        return {
+            "pid": pid,
+            "config": config_to_wire(self.config),
+            "live": sorted(self.initial_live),
+        }
+
+    def _op_register(self, peer: _Peer, body: dict) -> dict:
+        self.book[peer.pid] = (str(body["host"]), int(body["port"]))
+        if len(self.book) == self.expected and not self.ready.is_set():
+            self.ready.set()
+            book = self._wire_book()
+            for worker in self._workers.values():
+                worker.link.cast("go", book=book)
+        return {"ok": True}
+
+    def _op_client_hello(self, peer: _Peer, body: dict) -> dict:
+        peer.kind = "client"
+        peer.pid = -len(self._clients) - 1
+        self._clients.append(peer)
+        return {
+            "config": config_to_wire(self.config),
+            "book": self._wire_book(),
+            "epoch": self._book_epoch,
+        }
+
+    def _op_claim(self, body: dict) -> dict:
+        name = str(body["name"])
+        entry = int(body.get("pid", -1))
+        if name in self.mirror.catalog:
+            return {"ok": False}
+        if entry >= 0 and not self.mirror.membership.is_live(entry):
+            return {"ok": False}  # the entry died while the RPC was queued
+        try:
+            self.mirror.insert(name, body.get("payload"))
+        except FileNotFoundInSystemError:
+            return {"ok": False}  # no live storage node in any subtree
+        self.oplog.append(
+            OpRecord(kind="insert", name=name, payload=body.get("payload"))
+        )
+        return {"ok": True}
+
+    def _op_advance(self, body: dict) -> dict:
+        name = str(body["name"])
+        if name in self.mirror.faults or name not in self.mirror.catalog:
+            return {"version": None}
+        result = self.mirror.update(name, body.get("payload"))
+        self.oplog.append(
+            OpRecord(
+                kind="update", name=name, payload=body.get("payload"),
+                version=result.version,
+            )
+        )
+        return {"version": result.version}
+
+    def _op_decide(self, body: dict) -> dict:
+        """One replication decision, computed *on the mirror*.
+
+        Applying ``mirror.replicate`` with the reported seed/rates is
+        exactly the call the conformance replay will make for this
+        record, so decision and replay agree by construction.  The
+        target's copy leaves here too — same step as the record — so
+        no crash window separates them.
+        """
+        name = str(body["name"])
+        holder = int(body["holder"])
+        seed = int(body["seed"])
+        rates = {int(k): float(v) for k, v in (body.get("rates") or {}).items()}
+        if self.paused or not self.mirror.membership.is_live(holder):
+            return {"target": None}
+        if name not in self.mirror.stores[holder]:
+            # The holder's copy is already gone in decision order
+            # (decayed or GC'd); nothing to replicate, nothing recorded.
+            return {"target": None}
+        target = self.mirror.replicate(
+            name, holder, forwarder_rates=rates, rng=random.Random(seed)
+        )
+        self.oplog.append(
+            OpRecord(
+                kind="replicate", name=name, pid=holder, seed=seed,
+                target=target, rates=rates,
+            )
+        )
+        if target is not None:
+            copy = self.mirror.stores[target].get(name, count_access=False)
+            self._deliver(
+                target,
+                Message(
+                    kind=MessageKind.REPLICATE, src=ADMIN, dst=target,
+                    file=name, payload={"payload": copy.payload},
+                    version=copy.version,
+                ),
+            )
+        return {"target": target}
+
+    def _op_removal(self, body: dict) -> None:
+        """Apply a worker's idle-decay removal + the oracle's orphan GC.
+
+        The worker already discarded its local copy (REMOVE-to-self);
+        here the record lands, the mirror applies the same removal, and
+        any holder the mirror's orphan GC dropped gets a REMOVE frame —
+        the cross-process form of `LiveCluster.gc_after_removal`.
+        """
+        name = str(body["name"])
+        pid = int(body["pid"])
+        store = self.mirror.stores.get(pid)
+        if (
+            not self.mirror.membership.is_live(pid)
+            or store is None
+            or name not in store
+            or store.get(name, count_access=False).origin is not FileOrigin.REPLICATED
+        ):
+            return  # raced a kill or a GC that already dropped the copy
+        before = set(self.mirror.holders_of(name))
+        self.mirror.remove_replica(name, pid)
+        self.oplog.append(OpRecord(kind="remove", name=name, pid=pid))
+        after = set(self.mirror.holders_of(name))
+        for orphan in sorted(before - after - {pid}):
+            self._deliver(
+                orphan,
+                Message(kind=MessageKind.REMOVE, src=ADMIN, dst=orphan, file=name),
+            )
+
+    # -- admin frame delivery ------------------------------------------------
+
+    def _deliver(self, pid: int, msg: Message) -> None:
+        """Push one admin frame to a worker over its control channel."""
+        peer = self._workers.get(pid)
+        if peer is None:  # pragma: no cover - racing death
+            return
+        self._admin_sent[pid] = self._admin_sent.get(pid, 0) + 1
+        peer.link.cast("deliver", msg=message_to_wire(msg))
+
+    async def trigger_overload(self, pid: int, name: str, seed: int) -> None:
+        """Admin knob: tell a holder it is overloaded (conformance driver)."""
+        self._deliver(
+            pid,
+            Message(kind=MessageKind.OVERLOAD, src=ADMIN, dst=pid, file=name,
+                    payload={"seed": seed}),
+        )
+
+    def set_replication(self, enabled: bool) -> None:
+        """Gate autonomous replication: the bootstrap's decide gate is
+        authoritative (an unrecorded ``None``), the cast keeps worker
+        sweepers from spinning against it."""
+        self.paused = not enabled
+        for peer in self._workers.values():
+            peer.link.cast("resume" if enabled else "pause")
+
+    # -- crash churn (§5.3 over real processes) -----------------------------
+
+    async def note_killed(self, pid: int) -> None:
+        """A worker was ``kill -9``ed (the supervisor already reaped it).
+
+        Mirrors `LiveCluster.crash(announce=False)`: the kill record
+        lands with the membership flip and the store pop, no
+        REGISTER_DEAD circulates (peers will discover the death through
+        failed dials — message-level FINDLIVENODE), and client
+        endpoints get the shrunk address book, exactly like
+        `LoadGenerator` watching ``cluster.nodes`` shrink.
+        """
+        if not self.mirror.membership.is_live(pid):
+            raise MembershipError(f"P({pid}) is not live")
+        async with self._lock:
+            self.oplog.append(OpRecord(kind="kill", pid=pid))
+            kill_node(self.mirror, pid)
+            self._silent_deaths.add(pid)
+            peer = self._workers.pop(pid, None)
+            if peer is not None:
+                await peer.link.close()
+            self.book.pop(pid, None)
+            self._admin_sent.pop(pid, None)
+            self._push_book()
+
+    async def announce_crash(self, pid: int) -> None:
+        """The autopsy: deferred §5.3 detection + recovery for a kill.
+
+        Reconcile-by-state-diff: REGISTER_DEAD circulates to every live
+        worker, ``recover_node`` runs on the mirror, and the placement
+        diff becomes TRANSFER / DEMOTE / REMOVE frames — so live stores
+        land exactly where the oracle says recovery puts them.  The
+        ``recover`` record closes the kill/recover pair.
+        """
+        if pid not in self._silent_deaths:
+            raise MembershipError(f"P({pid}) has no unannounced crash")
+        self._silent_deaths.discard(pid)
+        async with self._lock:
+            for other in sorted(self._workers):
+                self._deliver(
+                    other,
+                    Message(kind=MessageKind.REGISTER_DEAD, src=ADMIN, dst=other,
+                            payload={"pid": pid}),
+                )
+            before = self._mirror_placement()
+            recover_node(self.mirror, pid)
+            after = self._mirror_placement()
+            for name in sorted(self.mirror.catalog):
+                was = before.get(name, {})
+                now = after.get(name, {})
+                for holder in sorted(now):
+                    if holder == pid or holder not in self._workers:
+                        continue
+                    origin = now[holder]
+                    if holder not in was:
+                        self._deliver(holder, self._transfer_frame(name, holder))
+                    elif was[holder] != origin:
+                        if origin == FileOrigin.INSERTED.value:
+                            self._deliver(
+                                holder, self._transfer_frame(name, holder)
+                            )
+                        else:  # pragma: no cover - recovery never demotes
+                            self._deliver(
+                                holder,
+                                Message(kind=MessageKind.DEMOTE, src=ADMIN,
+                                        dst=holder, file=name),
+                            )
+                for holder in sorted(set(was) - set(now)):
+                    if holder == pid or holder not in self._workers:
+                        continue
+                    self._deliver(
+                        holder,
+                        Message(kind=MessageKind.REMOVE, src=ADMIN, dst=holder,
+                                file=name),
+                    )
+            # A ping per worker flushes the link FIFO: every frame
+            # above is in its destination's inbox before the record
+            # closes the pair.
+            for other in sorted(self._workers):
+                await self._workers[other].link.call("ping")
+            self.oplog.append(OpRecord(kind="recover", pid=pid))
+        # No drain here: the quiescence ledger's CLIENT column balances
+        # only once endpoints ship their send counts (their drain RPC
+        # does) — callers drain through an endpoint after the autopsy.
+
+    def _transfer_frame(self, name: str, holder: int) -> Message:
+        copy = self.mirror.stores[holder].get(name, count_access=False)
+        return Message(
+            kind=MessageKind.TRANSFER, src=ADMIN, dst=holder, file=name,
+            payload={"payload": copy.payload}, version=copy.version,
+        )
+
+    def _mirror_placement(self) -> dict[str, dict[int, str]]:
+        out: dict[str, dict[int, str]] = {}
+        for name in self.mirror.catalog:
+            out[name] = {
+                pid: self.mirror.stores[pid].get(name, count_access=False)
+                .origin.value
+                for pid in self.mirror.holders_of(name)
+            }
+        return out
+
+    def _push_book(self) -> None:
+        self._book_epoch += 1
+        book = self._wire_book()
+        for peer in self._clients:
+            peer.link.cast("book", book=book, epoch=self._book_epoch)
+
+    def _wire_book(self) -> dict[str, list]:
+        return {str(pid): [host, port] for pid, (host, port) in self.book.items()}
+
+    def _note_client_sent(self, peer: _Peer, body: dict) -> None:
+        sent = {int(k): int(v) for k, v in (body.get("sent") or {}).items()}
+        self._client_sent[peer.pid] = sent
+
+    # -- quiescence ----------------------------------------------------------
+
+    async def _quiet(self) -> bool:
+        live = sorted(self._workers)
+        try:
+            reports = await asyncio.gather(
+                *(self._workers[pid].link.call("probe") for pid in live)
+            )
+        except (ConnectionError, RuntimeError):  # pragma: no cover - racing death
+            return False
+        by_pid = dict(zip(live, reports))
+        if not all(rep.get("idle") for rep in by_pid.values()):
+            return False
+        client_sent: dict[int, int] = {}
+        for sent in self._client_sent.values():
+            for dst, count in sent.items():
+                client_sent[dst] = client_sent.get(dst, 0) + count
+        for dst in live:
+            recv = by_pid[dst].get("recv") or {}
+            for src in live:
+                if src == dst:
+                    continue
+                want = int((by_pid[src].get("sent") or {}).get(str(dst), 0))
+                if want != int(recv.get(str(src), 0)):
+                    return False
+            if self._admin_sent.get(dst, 0) != int(recv.get(str(ADMIN), 0)):
+                return False
+            if client_sent.get(dst, 0) != int(recv.get(str(CLIENT), 0)):
+                return False
+        return True
+
+    async def drain(self, timeout: float | None = None) -> None:
+        """`LiveCluster.drain` across processes: three stable rounds of
+        a fully balanced send/receive ledger with idle workers."""
+        loop = asyncio.get_running_loop()
+        limit = self.config.drain_timeout if timeout is None else timeout
+        deadline = loop.time() + limit
+        stable = 0
+        while stable < 3:
+            if loop.time() > deadline:
+                raise TimeoutError(f"cluster did not drain within {limit}s")
+            if await self._quiet():
+                stable += 1
+                await asyncio.sleep(0.005)
+            else:
+                stable = 0
+                await asyncio.sleep(0.02)
+
+    async def quiesce(self) -> None:
+        self.set_replication(False)
+        await self.drain()
+
+    # -- conformance snapshot ------------------------------------------------
+
+    async def collect_snapshot(self) -> tuple[ClusterStateSnapshot, ScaleoutStats]:
+        """Freeze the deployment for central oracle replay.
+
+        Catalog, versions, faults, and the oplog come from the
+        coordination plane; **placement and per-node words come from
+        the workers' real stores** — that is the claim under test.
+        Call on a quiesced cluster.
+        """
+        live = sorted(self._workers)
+        raw = await asyncio.gather(
+            *(self._workers[pid].link.call("snapshot") for pid in live)
+        )
+        snaps = dict(zip(live, raw))
+        placement: dict[str, dict[int, str]] = {name: {} for name in self.mirror.catalog}
+        stats = ScaleoutStats()
+        for pid in live:
+            snap = snaps[pid]
+            for name, _payload, _version, origin in snap.get("store", []):
+                placement.setdefault(name, {})[pid] = origin
+            stats.served_by_node[pid] = int(snap.get("served", 0))
+            stats.decisions[pid] = int(snap.get("decisions", 0))
+            for key, value in (snap.get("stage") or {}).items():
+                stats.stage_seconds[key] = (
+                    stats.stage_seconds.get(key, 0.0) + float(value)
+                )
+            for key, value in (snap.get("counters") or {}).items():
+                stats.counters[key] = stats.counters.get(key, 0) + int(value)
+        snapshot = ClusterStateSnapshot(
+            config=self.config,
+            initial_live=self.initial_live,
+            oplog=list(self.oplog),
+            live_pids=set(self.mirror.membership.live_pids()),
+            node_words={pid: set(snaps[pid].get("word", [])) for pid in live},
+            catalog=set(self.mirror.catalog),
+            versions={n: e.version for n, e in self.mirror.catalog.items()},
+            placement=placement,
+            faults=list(self.mirror.faults),
+            replicas_created=sum(
+                1 for rec in self.oplog
+                if rec.kind == "replicate" and rec.target is not None
+            ),
+        )
+        return snapshot, stats
+
+    async def collect_stats(self) -> ScaleoutStats:
+        _snapshot, stats = await self.collect_snapshot()
+        return stats
+
+    @property
+    def n_live(self) -> int:
+        return self.mirror.membership.live_count()
+
+    @property
+    def goodbyes(self) -> dict[int, dict[str, Any]]:
+        """Final snapshots shipped by cleanly terminated workers."""
+        return self._goodbyes
+
+    def worker_pids(self) -> list[int]:
+        """Node PIDs with a live control connection."""
+        return sorted(self._workers)
+
+    def ospid_of(self, pid: int) -> int:
+        """The OS process id ``P(pid)`` reported in its hello (-1 if
+        unknown) — the supervisor's ``kill -9`` target."""
+        return self._ospids.get(pid, -1)

@@ -1,0 +1,213 @@
+"""The scale-out control channel: CONTROL frames over the wire protocol.
+
+Bootstrap, workers, and client endpoints coordinate over the same
+length-prefixed framing the data plane uses — a ``CONTROL`` message
+whose payload is a small dict — pinned to the JSON-v1 codec, whose
+generic body carries arbitrary (JSON-safe) dict payloads.  One
+:class:`ControlLink` wraps one stream and is fully symmetric: either
+side can issue ``call`` (request/response, matched by ``rid``/``re``)
+or ``cast`` (fire and forget), and both sides answer the peer through
+a handler coroutine.
+
+Dispatch discipline: replies (``re``) are resolved inline by the read
+loop, while requests and casts are queued and dispatched *in arrival
+order* by one dispatcher task.  That keeps admin frame delivery FIFO
+(a REGISTER_DEAD cast and the ping that confirms it cannot reorder)
+while a handler that blocks — e.g. a catalog RPC waiting out a
+recovery — can never deadlock the link against its own outstanding
+calls.
+
+Payload constraint: everything that rides the control channel must be
+JSON-safe (the v1 profile).  Admin frames delivered through ``deliver``
+casts inherit this — scale-out file payloads are strings/numbers/
+lists/dicts, as every workload in this repo already is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import fields as dataclass_fields
+from typing import Any, Awaitable, Callable
+
+from ...net.message import Message, MessageKind, fast_message
+from ..cluster import ADMIN, RuntimeConfig
+from ..wire import (
+    WIRE_VERSION,
+    FrameEncoder,
+    FrameError,
+    WireError,
+    message_from_dict,
+    message_to_dict,
+    read_frame,
+)
+
+__all__ = [
+    "ControlLink",
+    "config_to_wire",
+    "config_from_wire",
+    "message_to_wire",
+    "message_from_wire",
+]
+
+Handler = Callable[[str, dict], Awaitable[dict | None]]
+
+_INF = "inf"
+"""JSON has no Infinity; ``float('inf')`` config fields ship as this."""
+
+
+def config_to_wire(config: RuntimeConfig) -> dict[str, Any]:
+    """A JSON-safe dict a worker can rebuild its RuntimeConfig from."""
+    out: dict[str, Any] = {}
+    for f in dataclass_fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, float) and value == float("inf"):
+            value = _INF
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def config_from_wire(data: dict[str, Any]) -> RuntimeConfig:
+    """Inverse of :func:`config_to_wire`."""
+    kwargs: dict[str, Any] = {}
+    for f in dataclass_fields(RuntimeConfig):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        if value == _INF:
+            value = float("inf")
+        elif f.name == "v1_pids":
+            value = tuple(value)
+        kwargs[f.name] = value
+    return RuntimeConfig(**kwargs)
+
+
+def message_to_wire(msg: Message) -> dict[str, Any]:
+    """Serialize an admin frame for a ``deliver`` cast."""
+    return message_to_dict(msg)
+
+
+def message_from_wire(data: dict[str, Any]) -> Message:
+    """Rebuild a delivered admin frame."""
+    return message_from_dict(data)
+
+
+class ControlLink:
+    """One symmetric control connection (bootstrap <-> worker/client)."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        handler: Handler,
+        label: str = "",
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.handler = handler
+        self.label = label
+        self.closed = asyncio.Event()
+        self._rid = itertools.count(1)
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._inbox: asyncio.Queue[dict] = asyncio.Queue()
+        self._encoder = FrameEncoder(fixed=False)
+        self._tasks: list[asyncio.Task] = []
+
+    def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._tasks.append(
+            loop.create_task(self._read_loop(), name=f"ctl-read:{self.label}")
+        )
+        self._tasks.append(
+            loop.create_task(self._dispatch_loop(), name=f"ctl-disp:{self.label}")
+        )
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                msg, _version = await read_frame(self.reader)
+                body = msg.payload if isinstance(msg.payload, dict) else {}
+                re = body.get("re")
+                if re is not None:
+                    waiter = self._waiters.pop(re, None)
+                    if waiter is not None and not waiter.done():
+                        waiter.set_result(body)
+                    continue
+                self._inbox.put_nowait(body)
+        except (EOFError, FrameError, WireError, ConnectionError, OSError):
+            pass
+        finally:
+            self._fail_waiters()
+            self.closed.set()
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            body = await self._inbox.get()
+            op = body.get("op", "")
+            rid = body.get("rid")
+            try:
+                result = await self.handler(op, body)
+            except asyncio.CancelledError:  # pragma: no cover
+                raise
+            except Exception as exc:
+                result = {"error": f"{type(exc).__name__}: {exc}"}
+            if rid is not None:
+                try:
+                    self._write({"re": rid, **(result or {})})
+                except (ConnectionError, OSError):  # pragma: no cover
+                    return
+
+    def _write(self, body: dict) -> None:
+        if self.writer.is_closing():
+            raise ConnectionError("control peer is closing")
+        msg = fast_message(MessageKind.CONTROL, ADMIN, ADMIN, "", body)
+        self._encoder.add(msg, WIRE_VERSION)
+        self._encoder.flush_to(self.writer)
+
+    async def call(self, op: str, **fields: Any) -> dict:
+        """One request/response round trip; raises on a dead link."""
+        rid = next(self._rid)
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters[rid] = waiter
+        try:
+            self._write({"op": op, "rid": rid, **fields})
+        except (ConnectionError, OSError):
+            self._waiters.pop(rid, None)
+            raise ConnectionError(f"control link down ({self.label})") from None
+        reply = await waiter
+        if "error" in reply:
+            raise RuntimeError(f"control {op!r} failed: {reply['error']}")
+        return reply
+
+    def cast(self, op: str, **fields: Any) -> None:
+        """Fire-and-forget; silently dropped on a dead link (the peer
+        is gone — its death is handled elsewhere)."""
+        try:
+            self._write({"op": op, **fields})
+        except (ConnectionError, OSError):
+            pass
+
+    def _fail_waiters(self) -> None:
+        for waiter in self._waiters.values():
+            if not waiter.done():
+                waiter.set_exception(
+                    ConnectionError(f"control link closed ({self.label})")
+                )
+        self._waiters.clear()
+
+    async def close(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # pragma: no cover
+                pass
+        self._tasks.clear()
+        try:
+            self.writer.close()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+        self.closed.set()

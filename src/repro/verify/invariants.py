@@ -529,19 +529,25 @@ class RequestLifecycle(Invariant):
             )
 
 
+#: Fuzzer ops that append a ConformanceReport to ``live_reports``.
+_CONFORMANCE_OPS = ("live_segment", "live_scaleout")
+
+
 class RuntimeConformance(Invariant):
-    """A ``live_segment`` event must land in the oracle's exact state.
+    """A live-runtime event must land in the oracle's exact state.
 
     The harness records one :class:`~repro.runtime.conformance.ConformanceReport`
-    per applied segment; a report with mismatches means the live
-    asyncio runtime (codec negotiation, batching, cached routing and
-    all) diverged from the synchronous model on that seeded workload.
+    per applied ``live_segment`` (in-process asyncio cluster) or
+    ``live_scaleout`` (fleet of real worker OS processes); a report
+    with mismatches means the live runtime (codec negotiation,
+    batching, cached routing, cross-process coordination and all)
+    diverged from the synchronous model on that seeded workload.
     """
 
     name = "runtime-oracle-conformance"
 
     def check(self, ctx: AuditContext) -> None:
-        if ctx.event is None or ctx.event.op != "live_segment":
+        if ctx.event is None or ctx.event.op not in _CONFORMANCE_OPS:
             return
         reports = getattr(ctx.harness, "live_reports", None)
         if not reports:
@@ -549,6 +555,46 @@ class RuntimeConformance(Invariant):
         report = reports[-1]
         if not report.ok:
             self.fail(ctx, report.render())
+
+
+class ScaleoutLifecycle(Invariant):
+    """A scale-out burst conserves requests and worker lifecycles.
+
+    The harness records one ledger per applied ``live_scaleout`` burst.
+    Two conservation laws must hold across the process boundary: every
+    fired request lands in exactly one terminal bucket (even with a
+    ``kill -9`` mid-burst), and every worker that was *not* killed
+    terminates through the clean path — SIGTERM, local drain, goodbye
+    snapshot shipped to the bootstrap.  A missing goodbye means a
+    worker died outside the supervisor's accounting.
+    """
+
+    name = "scaleout-lifecycle-conservation"
+
+    def check(self, ctx: AuditContext) -> None:
+        if ctx.event is None or ctx.event.op != "live_scaleout":
+            return
+        reports = getattr(ctx.harness, "scaleout_reports", None)
+        if not reports:
+            return  # the burst was skipped
+        report = reports[-1]
+        if not report["conserved"]:
+            self.fail(
+                ctx,
+                f"scale-out burst ({report['nodes']} workers) leaked "
+                f"requests: requests({report['requests']}) != "
+                f"completed({report['completed']}) + faults({report['faults']}) "
+                f"+ errors({report['errors']}) + timeouts({report['timeouts']}) "
+                f"+ shed({report['shed']}) + churn_lost({report['churn_lost']})",
+            )
+        if report["goodbyes"] != report["expected_goodbyes"]:
+            self.fail(
+                ctx,
+                f"scale-out burst expected {report['expected_goodbyes']} "
+                f"goodbye snapshot(s) (killed: {report['killed']}) but "
+                f"collected {report['goodbyes']} — a worker died outside "
+                f"the clean SIGTERM-drain-goodbye path",
+            )
 
 
 #: Fuzzer ops that append a burst record for the overload invariants.
@@ -647,4 +693,5 @@ def default_invariants() -> list[Invariant]:
         RuntimeConformance(),
         OverloadAccounting(),
         StaleRedirect(),
+        ScaleoutLifecycle(),
     ]

@@ -179,6 +179,9 @@ class ScenarioHarness:
         self.overload_reports: list[dict[str, Any]] = []
         """Accounting records from ``live_overload`` events, in order
         (audited by the overload-shed-conservation invariant)."""
+        self.scaleout_reports: list[dict[str, Any]] = []
+        """Lifecycle ledgers from ``live_scaleout`` events, in order
+        (audited by the scaleout-lifecycle-conservation invariant)."""
 
     def _client_edge(self, message: Message) -> None:
         """The client endpoint: any reply settles its tracked request.
@@ -604,6 +607,100 @@ class ScenarioHarness:
         self._seal_overload_record(record)
         return True
 
+    def _apply_live_scaleout(self, event: ScenarioEvent) -> bool:
+        """A burst against a fleet of *real worker OS processes*.
+
+        The scale-out fuzzer op: forks a small multi-process cluster
+        behind the bootstrap/address-book service, drives a seeded
+        burst over loopback TCP (optionally ``kill -9``-ing one worker
+        mid-burst, with the §5 autopsy after), then collects the
+        central snapshot and replays its decision-ordered oplog through
+        the oracle.  The conformance report feeds the
+        ``runtime-oracle-conformance`` invariant; the worker lifecycle
+        ledger (request conservation + goodbye snapshots from every
+        cleanly terminated worker) feeds
+        ``scaleout-lifecycle-conservation``.
+        """
+        import asyncio
+
+        from ..runtime.client import LoadGenerator, RuntimeClient
+        from ..runtime.cluster import RuntimeConfig
+        from ..runtime.conformance import verify_snapshot
+        from ..runtime.scaleout import ScaleoutEndpoint, ScaleoutSupervisor
+
+        params = event.params
+        n_nodes = max(3, min(int(params.get("nodes", 4)), 6))
+        m = 2
+        while (1 << m) < n_nodes:
+            m += 1
+        config = RuntimeConfig(
+            m=m, b=1, seed=int(params.get("seed", 0)), tcp=True,
+            capacity=40.0,
+            service_time=max(0.0, min(float(params.get("service_time", 0.002)), 0.01)),
+            cooldown=0.05,
+        )
+        files = max(1, min(int(params.get("files", 3)), 4))
+        rps = max(20.0, min(float(params.get("rps", 60.0)), 200.0))
+        duration = max(0.1, min(float(params.get("duration", 0.3)), 0.5))
+        kill = bool(params.get("kill", False)) and n_nodes > 3
+
+        supervisor = ScaleoutSupervisor(config, n_nodes=n_nodes, mode="fork")
+        host, port = supervisor.launch()
+
+        async def burst():
+            await supervisor.start(boot_timeout=60.0)
+            endpoint = await ScaleoutEndpoint.connect(host, port)
+            killed: list[int] = []
+            try:
+                names = [f"so-{i}" for i in range(files)]
+                boot = await RuntimeClient(endpoint, min(endpoint.nodes)).connect()
+                for name in names:
+                    await boot.insert(name, f"payload of {name}")
+                await boot.close()
+                await endpoint.drain()
+                gen = LoadGenerator(endpoint, names, seed=config.seed,
+                                    timeout=5.0)
+                run = asyncio.ensure_future(
+                    gen.run_open_loop(rps=rps, duration=duration)
+                )
+                if kill:
+                    await asyncio.sleep(duration / 2)
+                    victim = sorted(endpoint.nodes)[
+                        int(params.get("victim", 0)) % len(endpoint.nodes)
+                    ]
+                    await supervisor.kill(victim)
+                    killed.append(victim)
+                report = await run
+                await gen.close()
+                for victim in killed:
+                    await supervisor.bootstrap.announce_crash(victim)
+                await endpoint.quiesce()
+                snapshot, _stats = await supervisor.bootstrap.collect_snapshot()
+                return report, verify_snapshot(snapshot), killed
+            finally:
+                await endpoint.close()
+                await supervisor.shutdown()
+
+        report, conformance, killed = asyncio.run(burst())
+        self.live_reports.append(conformance)
+        self.scaleout_reports.append({
+            "nodes": n_nodes,
+            "requests": report.requests,
+            "completed": report.completed,
+            "faults": report.faults,
+            "errors": report.errors,
+            "timeouts": report.timeouts,
+            "shed": report.shed,
+            "churn_lost": report.churn_lost,
+            "conserved": report.conserved,
+            "killed": killed,
+            "expected_goodbyes": n_nodes - len(killed),
+            "goodbyes": len(supervisor.bootstrap.goodbyes),
+            "conformant": conformance.ok,
+            "conformance_detail": "; ".join(conformance.mismatches[:3]),
+        })
+        return True
+
     def _sync_endpoints(self, handler_factory) -> None:
         """(Re-)register every live PID on the transport; drop dead ones.
 
@@ -832,8 +929,9 @@ def generate_scenario(
 
     ops = ["insert", "get", "update", "replicate", "remove_replica",
            "join", "leave", "fail", "workload", "net", "reliable_workload",
-           "live_segment", "live_overload", "live_churn_overload"]
-    weights = [14, 18, 10, 12, 4, 8, 6, 6, 12, 10, 10, 2, 2, 2]
+           "live_segment", "live_overload", "live_churn_overload",
+           "live_scaleout"]
+    weights = [14, 18, 10, 12, 4, 8, 6, 6, 12, 10, 10, 2, 2, 2, 1]
 
     def any_file() -> str | None:
         return rng.choice(names) if names else None
@@ -938,6 +1036,21 @@ def generate_scenario(
                         "duration": 0.25,
                         "crash": rng.random() < 0.5,
                         "join": rng.random() < 0.3,
+                        "seed": rng.randrange(1 << 30),
+                    },
+                )
+            )
+        elif op == "live_scaleout":  # real worker OS processes over TCP
+            events.append(
+                ScenarioEvent(
+                    "live_scaleout",
+                    {
+                        "nodes": rng.randint(4, 6),
+                        "files": rng.randint(2, 4),
+                        "rps": float(rng.choice([40, 60, 100])),
+                        "duration": 0.3,
+                        "kill": rng.random() < 0.5,
+                        "victim": rng.randrange(8),
                         "seed": rng.randrange(1 << 30),
                     },
                 )

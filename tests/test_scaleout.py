@@ -1,0 +1,238 @@
+"""Tests for the multi-process scale-out runtime
+(``repro.runtime.scaleout``): bootstrap/address-book service, per-node
+worker processes, and the kill -9 crash supervisor.
+
+The deterministic pieces — wire codecs for the control plane, address
+resolution, supervisor validation — run in tier-1.  Everything that
+forks real worker OS processes and drives them over loopback TCP
+carries the ``runtime`` marker and runs in CI's scaleout-smoke job.
+
+The process-spawning tests are plain sync functions on purpose: the
+supervisor must fork the fleet *before* the parent owns a running
+event loop, so each test calls ``launch()`` first and only then enters
+``asyncio.run``.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError, MembershipError
+from repro.runtime import (
+    LoadGenerator,
+    PeerUnreachableError,
+    RuntimeClient,
+    RuntimeConfig,
+    verify_snapshot,
+)
+from repro.runtime.addressing import dial_peer
+from repro.runtime.scaleout import (
+    ScaleoutEndpoint,
+    ScaleoutSupervisor,
+    config_from_wire,
+    config_to_wire,
+)
+from repro.runtime.scaleout.worker import _book_from_wire
+
+# ---------------------------------------------------------------------------
+# control-plane codecs and validation (deterministic, tier-1)
+# ---------------------------------------------------------------------------
+
+
+class TestControlCodecs:
+    def test_config_round_trips_through_json_profile(self):
+        config = RuntimeConfig(
+            m=5, b=2, seed=11, tcp=True, capacity=12.5,
+            wire_version=2, v1_pids=(1, 3), fixed_frames=True,
+        )
+        wired = config_to_wire(config)
+        assert wired == json.loads(json.dumps(wired))
+        back = config_from_wire(wired)
+        assert back == config
+
+    def test_infinite_fields_survive_the_json_sentinel(self):
+        config = RuntimeConfig(m=3, b=1, slo_budget=float("inf"),
+                               idle_timeout=float("inf"))
+        back = config_from_wire(config_to_wire(config))
+        assert back.slo_budget == float("inf")
+        assert back.idle_timeout == float("inf")
+
+    def test_book_from_wire_restores_int_pids_and_address_tuples(self):
+        book = _book_from_wire({"0": ["127.0.0.1", 4000], "7": ["::1", 4001]})
+        assert book == {0: ("127.0.0.1", 4000), 7: ("::1", 4001)}
+
+
+class TestAddressing:
+    def test_missing_book_entry_is_the_dead_peer_signal(self):
+        with pytest.raises(PeerUnreachableError, match=r"P\(9\)"):
+            asyncio.run(dial_peer(None, 9))
+
+    def test_refused_connection_is_the_dead_peer_signal(self):
+        import socket
+
+        sock = socket.create_server(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nobody listens here any more
+        with pytest.raises(PeerUnreachableError, match=rf"P\(4\).*failed"):
+            asyncio.run(dial_peer(("127.0.0.1", port), 4))
+
+
+class TestSupervisorValidation:
+    def test_unknown_spawn_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="fork"):
+            ScaleoutSupervisor(RuntimeConfig(m=3, b=1), n_nodes=4, mode="thread")
+
+    def test_kill_of_unbooted_node_rejected(self):
+        supervisor = ScaleoutSupervisor(RuntimeConfig(m=3, b=1), n_nodes=4)
+        with pytest.raises(MembershipError):
+            asyncio.run(supervisor.kill(2))
+
+
+# ---------------------------------------------------------------------------
+# real worker processes over loopback TCP (runtime marker)
+# ---------------------------------------------------------------------------
+
+def _fleet_config(**overrides) -> RuntimeConfig:
+    base = dict(m=3, b=1, seed=5, tcp=True, capacity=40.0,
+                service_time=0.002, cooldown=0.05)
+    base.update(overrides)
+    return RuntimeConfig(**base)
+
+
+@pytest.mark.runtime
+class TestWorkerLifecycle:
+    def test_clean_boot_serve_sigterm_drain_ships_goodbye_snapshots(self):
+        """Boot -> serve -> SIGTERM drain -> goodbye: every worker ships
+        its final store/word snapshot, and the central snapshot built
+        from worker stores replays conformant."""
+        config = _fleet_config()
+        supervisor = ScaleoutSupervisor(config, n_nodes=8, mode="fork")
+        host, port = supervisor.launch()
+
+        async def drive() -> tuple:
+            await supervisor.start(boot_timeout=60.0)
+            endpoint = await ScaleoutEndpoint.connect(host, port)
+            files = [f"life-{i}" for i in range(5)]
+            client = await RuntimeClient(endpoint, min(endpoint.nodes)).connect()
+            for name in files:
+                await client.insert(name, payload=f"payload:{name}")
+            await client.close()
+            gen = LoadGenerator(endpoint, files, seed=3, timeout=5.0)
+            report = await gen.run_open_loop(rps=60, duration=0.8)
+            await gen.close()
+            await endpoint.quiesce()
+            snapshot, stats = await supervisor.bootstrap.collect_snapshot()
+            await endpoint.close()
+            await supervisor.shutdown()
+            return report, snapshot, stats
+
+        report, snapshot, stats = asyncio.run(drive())
+        assert report.conserved and report.completed > 0
+        conformance = verify_snapshot(snapshot)
+        assert conformance.ok, conformance.mismatches
+        # Every worker terminated cleanly and shipped a goodbye body.
+        assert sorted(supervisor.bootstrap.goodbyes) == list(range(8))
+        for pid, body in supervisor.bootstrap.goodbyes.items():
+            assert {"store", "word", "served"} <= set(body)
+            assert pid in body["word"]
+        assert sum(stats.served_by_node.values()) == report.completed
+
+    def test_worker_subcommand_spawn_mode_boots_and_drains(self):
+        """Subprocess spawn exercises the ``lesslog worker`` entrypoint
+        for every node in the fleet."""
+        config = _fleet_config()
+        supervisor = ScaleoutSupervisor(config, n_nodes=6, mode="subprocess")
+        host, port = supervisor.launch()
+
+        async def drive() -> object:
+            await supervisor.start(boot_timeout=60.0)
+            endpoint = await ScaleoutEndpoint.connect(host, port)
+            client = await RuntimeClient(endpoint, min(endpoint.nodes)).connect()
+            await client.insert("sub-0", payload="p")
+            got = await client.get("sub-0")
+            await client.close()
+            await endpoint.quiesce()
+            await endpoint.close()
+            await supervisor.shutdown()
+            return got
+
+        got = asyncio.run(drive())
+        assert got.payload == "p"
+        assert sorted(supervisor.bootstrap.goodbyes) == list(range(6))
+
+
+@pytest.mark.runtime
+class TestKillDashNine:
+    def test_kill9_mid_burst_with_inherited_subtree_replays_conformant(self):
+        """kill -9 a worker mid-burst; after the autopsy the victim's
+        subtree is inherited per §5 and the centrally collected
+        snapshot replays against the oracle with zero diffs."""
+        config = _fleet_config(seed=7)
+        supervisor = ScaleoutSupervisor(config, n_nodes=8, mode="fork")
+        host, port = supervisor.launch()
+
+        async def drive() -> tuple:
+            await supervisor.start(boot_timeout=60.0)
+            endpoint = await ScaleoutEndpoint.connect(host, port)
+            files = [f"crash-{i}" for i in range(6)]
+            client = await RuntimeClient(endpoint, min(endpoint.nodes)).connect()
+            for name in files:
+                await client.insert(name, payload=f"payload:{name}")
+            await client.close()
+            gen = LoadGenerator(endpoint, files, seed=9, timeout=5.0)
+            burst = asyncio.ensure_future(gen.run_open_loop(rps=80, duration=1.2))
+            await asyncio.sleep(0.5)
+            victim = sorted(endpoint.nodes)[2]
+            victim_os = supervisor.bootstrap.ospid_of(victim)
+            await supervisor.kill(victim)
+            report = await burst
+            await gen.close()
+            # The process is provably gone (reaped) before the autopsy.
+            assert supervisor.alive().get(victim_os) is False
+            await supervisor.bootstrap.announce_crash(victim)
+            await endpoint.quiesce()
+            snapshot, _stats = await supervisor.bootstrap.collect_snapshot()
+            await endpoint.close()
+            await supervisor.shutdown()
+            return victim, report, snapshot
+
+        victim, report, snapshot = asyncio.run(drive())
+        assert report.conserved
+        conformance = verify_snapshot(snapshot)
+        assert conformance.ok, conformance.mismatches
+        # The victim is dead in the authoritative word and its files
+        # were inherited by live holders.
+        assert victim not in snapshot.live_pids
+        for name, holders in snapshot.placement.items():
+            assert holders, f"{name} lost all replicas"
+            assert victim not in holders
+        # Survivors ship goodbyes; the kill -9 victim cannot.
+        survivors = sorted(set(range(8)) - {victim})
+        assert sorted(supervisor.bootstrap.goodbyes) == survivors
+
+    def test_killed_worker_disappears_from_client_books(self):
+        config = _fleet_config(seed=11)
+        supervisor = ScaleoutSupervisor(config, n_nodes=6, mode="fork")
+        host, port = supervisor.launch()
+
+        async def drive() -> tuple:
+            await supervisor.start(boot_timeout=60.0)
+            endpoint = await ScaleoutEndpoint.connect(host, port)
+            before = set(endpoint.nodes)
+            victim = sorted(endpoint.nodes)[1]
+            await supervisor.kill(victim)
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while (victim in endpoint.nodes
+                   and asyncio.get_running_loop().time() < deadline):
+                await asyncio.sleep(0.01)
+            after = set(endpoint.nodes)
+            await supervisor.bootstrap.announce_crash(victim)
+            await endpoint.quiesce()
+            await endpoint.close()
+            await supervisor.shutdown()
+            return victim, before, after
+
+        victim, before, after = asyncio.run(drive())
+        assert victim in before
+        assert after == before - {victim}

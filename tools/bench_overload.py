@@ -120,6 +120,21 @@ FULL_RATES = [200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0]
 FULL_WARMUP, FULL_DURATION, FULL_FILES = 0.4, 1.0, 4
 
 
+def _run_meta(m: int, node_count: int, codec: str, process_mode: str) -> dict:
+    """Reproducibility metadata carried by every benchmark artifact."""
+    import os
+    import platform
+
+    return {
+        "m": m,
+        "node_count": node_count,
+        "codec": codec,
+        "process_mode": process_mode,
+        "python": platform.python_version(),
+        "host_cpus": os.cpu_count(),
+    }
+
+
 def _configs(args: argparse.Namespace) -> dict[str, RuntimeConfig]:
     """One RuntimeConfig per grid cell, plus the no-control baseline."""
     base = dict(
@@ -359,6 +374,7 @@ def main(argv: list[str] | None = None) -> int:
                       else "overload-flash-crowd"),
         "grid": label,
         "transport": mode,
+        "run_meta": _run_meta(args.m, 1 << args.m, "binary-v2", "single"),
         "m": args.m,
         "b": args.b,
         "files": files,

@@ -50,6 +50,23 @@ bucket-widths of earth-mover distance from the committed reference
 the p99 SLO untouched, while staying insensitive to a uniform
 machine-speed shift, which costs only ~4 buckets per octave).  Full
 runs re-measure the check grid at the end to refresh that reference.
+
+``--processes N`` switches to the **multi-process scale-out
+benchmark** instead: N per-node worker OS processes are forked behind
+the bootstrap/address-book service and driven over real loopback TCP.
+Three segments run at matched node count (``2**m`` nodes, binary-v2
+codec):
+
+1. a single-process baseline ramp (``LiveCluster`` over TCP),
+2. the multi-process fleet over the same coarse rate ladder — its max
+   sustained rate must be >= the single-process figure,
+3. a crash segment at the ladder's base rate: one worker is
+   ``kill -9``-ed mid-burst, the post-burst autopsy runs §5 recovery,
+   and the centrally collected snapshot must replay against the
+   oracle with zero conformance diffs and full request conservation.
+
+Results go to ``BENCH_scaleout.json`` (the single-process artifact and
+its CI gates are left untouched).
 """
 
 from __future__ import annotations
@@ -80,6 +97,7 @@ from repro.runtime import (  # noqa: E402
 OUTPUT = REPO_ROOT / "BENCH_runtime.json"
 HIST_OUTPUT = REPO_ROOT / "BENCH_runtime_hist.txt"
 BASELINE = REPO_ROOT / "BENCH_runtime.json"
+SCALE_OUTPUT = REPO_ROOT / "BENCH_scaleout.json"
 
 #: Latency SLO: a rate only counts as sustained while the median-trial
 #: p99 stays under this.
@@ -109,6 +127,42 @@ PROFILES: dict[str, dict] = {
     "binary-v2": {"wire_version": 2, "batch_max": 16, "coalesce_bytes": 0,
                   "tick_coalesce": True, "fixed_frames": True},
 }
+
+#: Scale-out rate ladder — coarse on purpose: every rung runs against
+#: both the single-process baseline and the fleet, and the comparison
+#: gate is per-rung, so fine steps only add wall-clock.  The top rung
+#: is sized to what a small host can *schedule*: with 128 worker
+#: processes plus the load generator sharing the machine's cores, the
+#: OS scheduler — not the runtime — caps aggregate rate, and pushing
+#: the shared grid past that point makes the fleet-vs-single
+#: comparison measure core count instead of the scale-out plane.  Both
+#: sides run the identical grid, so the >= gate stays meaningful.
+SCALE_RATES = [40.0, 80.0, 120.0]
+SCALE_CHECK_RATES = [40.0, 80.0]
+
+#: The scale-out gate is on *throughput* (zero timeouts, >= 99%
+#: completion): with every hop crossing the kernel scheduler, fleet
+#: latency on a small host measures the machine's core count more than
+#: the runtime (a 1-CPU box time-slices all 128 workers).  Latency
+#: percentiles and per-stage seconds are reported, and a loose p99
+#: backstop — well under the 5 s client timeout — still catches
+#: pathological collapse.  Applied to baseline and fleet alike.
+SCALE_P99_SLO_S = 1.0
+
+
+def _run_meta(m: int, node_count: int, codec: str, process_mode: str) -> dict:
+    """Reproducibility metadata carried by every benchmark artifact."""
+    import os
+    import platform
+
+    return {
+        "m": m,
+        "node_count": node_count,
+        "codec": codec,
+        "process_mode": process_mode,
+        "python": platform.python_version(),
+        "host_cpus": os.cpu_count(),
+    }
 
 
 async def _run_trial(
@@ -380,6 +434,240 @@ def _shape_reference(base_config: dict, seed: int) -> dict[str, dict]:
     return reference
 
 
+async def _drive_scaleout(
+    supervisor,
+    host: str,
+    port: int,
+    files: int,
+    rps: float,
+    warmup: float,
+    duration: float,
+    seed: int,
+    kill: bool,
+) -> dict:
+    """Drive one booted fleet through one rate; optionally kill -9."""
+    import random
+
+    from repro.runtime import verify_snapshot
+    from repro.runtime.scaleout import ScaleoutEndpoint
+
+    n_nodes = supervisor.bootstrap.expected
+    await supervisor.start(boot_timeout=60.0 + 0.5 * n_nodes)
+    endpoint = await ScaleoutEndpoint.connect(host, port)
+    killed: list[int] = []
+    try:
+        names = [f"bench-{i}.dat" for i in range(files)]
+        boot = await RuntimeClient(endpoint, min(endpoint.nodes)).connect()
+        for name in names:
+            await boot.insert(name, f"payload of {name}")
+        await boot.close()
+        await endpoint.drain()
+        gen = LoadGenerator(
+            endpoint, names, WorkloadShape(kind="zipf", s=1.2), seed=seed
+        )
+        if warmup > 0:
+            await gen.run_open_loop(rps=rps, duration=warmup)
+
+        async def _mid_burst_kill() -> None:
+            await asyncio.sleep(duration / 2)
+            victim = random.Random(seed).choice(
+                supervisor.bootstrap.worker_pids()
+            )
+            await supervisor.kill(victim)
+            killed.append(victim)
+
+        kill_task = (
+            asyncio.get_running_loop().create_task(_mid_burst_kill())
+            if kill else None
+        )
+        report = await gen.run_open_loop(rps=rps, duration=duration)
+        if kill_task is not None:
+            await kill_task
+        await gen.close()
+        for victim in killed:
+            await supervisor.bootstrap.announce_crash(victim)
+        await endpoint.quiesce()
+        snapshot, stats = await supervisor.bootstrap.collect_snapshot()
+        conformance = verify_snapshot(snapshot)
+        return {
+            **report.as_dict(),
+            "conserved": report.conserved,
+            "conformant": conformance.ok,
+            "mismatches": conformance.mismatches,
+            "killed": killed,
+            "oplog_records": len(snapshot.oplog),
+            "replicas_to_balance": snapshot.replicas_created,
+            "stage_seconds": {
+                k: round(v, 6) for k, v in sorted(stats.stage_seconds.items())
+            },
+        }
+    finally:
+        await endpoint.close()
+        await supervisor.shutdown()
+
+
+def _scaleout_trial(
+    base_config: dict,
+    n_nodes: int,
+    files: int,
+    rps: float,
+    warmup: float,
+    duration: float,
+    seed: int,
+    kill: bool,
+    spawn: str,
+) -> dict:
+    """One fresh fleet of worker processes, one target rate, one trial.
+
+    The fork happens here, *before* any event loop exists.
+    """
+    from repro.runtime.scaleout import ScaleoutSupervisor
+
+    config = RuntimeConfig(**base_config, **PROFILES["binary-v2"])
+    supervisor = ScaleoutSupervisor(config, n_nodes=n_nodes, mode=spawn)
+    host, port = supervisor.launch()
+    out = asyncio.run(_drive_scaleout(
+        supervisor, host, port, files, rps, warmup, duration, seed, kill,
+    ))
+    out["goodbyes"] = len(supervisor.bootstrap.goodbyes)
+    return out
+
+
+def _scale_sustained(entry: dict) -> bool:
+    """The scale-out sustained criterion (shared by both segments)."""
+    return (
+        entry["timeouts"] == 0
+        and entry["requests"] > 0
+        and entry["completed"] >= 0.99 * entry["requests"]
+        and entry["latency_p99_s"] <= SCALE_P99_SLO_S
+    )
+
+
+def _bench_scaleout(args: argparse.Namespace) -> int:
+    """The --processes benchmark: baseline ramp, fleet ramp, crash run."""
+    n_nodes = args.processes
+    m = args.m
+    while (1 << m) < n_nodes:
+        m += 1
+    if args.check:
+        rates = list(SCALE_CHECK_RATES)
+        warmup, duration, files = 0.4, 0.8, 6
+    else:
+        rates = list(SCALE_RATES)
+        warmup, duration, files = 1.0, 2.0, 24
+    base_config = dict(
+        m=m, b=args.b, seed=args.seed, tcp=True,
+        capacity=60.0, service_time=0.004, inflight_limit=32,
+    )
+    label = "fast" if args.check else "full"
+    print(f"scale-out benchmark ({label}): {n_nodes} worker processes "
+          f"(m={m}, b={args.b}, {args.spawn}), {files} files, "
+          f"{duration}s per rate, p99 SLO {SCALE_P99_SLO_S*1e3:.0f} ms")
+    wall_start = time.perf_counter()
+
+    print("single-process baseline (matched node count, tcp):")
+    config = RuntimeConfig(**base_config, **PROFILES["binary-v2"])
+    single_ramp: list[dict] = []
+    single_max = 0.0
+    single_best: dict | None = None
+    for rps in rates:
+        report, stages, _repl, ok = asyncio.run(
+            _run_trial(config, files, rps, warmup, duration, args.seed)
+        )
+        entry = {"target_rps": rps, "conformant": ok,
+                 "stage_seconds": stages, **report}
+        entry["sustained"] = _scale_sustained(entry) and ok
+        single_ramp.append(entry)
+        print(f"  {'ok ' if entry['sustained'] else 'SAT'} single "
+              f"target {rps:6.0f} rps -> achieved {report['achieved_rps']:7.1f}, "
+              f"p99 {report['latency_p99_s']*1e3:7.2f} ms, conformant={ok}")
+        if entry["sustained"]:
+            single_max, single_best = rps, entry
+        else:
+            break
+
+    print(f"multi-process fleet ({n_nodes} workers):")
+    multi_ramp: list[dict] = []
+    multi_max = 0.0
+    multi_best: dict | None = None
+    for rps in rates:
+        entry = _scaleout_trial(
+            base_config, n_nodes, files, rps, warmup, duration, args.seed,
+            kill=False, spawn=args.spawn,
+        )
+        entry["target_rps"] = rps
+        entry["sustained"] = _scale_sustained(entry) and entry["conformant"]
+        multi_ramp.append(entry)
+        print(f"  {'ok ' if entry['sustained'] else 'SAT'} fleet  "
+              f"target {rps:6.0f} rps -> achieved {entry['achieved_rps']:7.1f}, "
+              f"p99 {entry['latency_p99_s']*1e3:7.2f} ms, "
+              f"conformant={entry['conformant']}, "
+              f"goodbyes={entry['goodbyes']}/{n_nodes}")
+        if entry["sustained"]:
+            multi_max, multi_best = rps, entry
+        else:
+            break
+
+    print(f"crash segment: kill -9 mid-burst at {rates[0]:.0f} rps:")
+    crash = _scaleout_trial(
+        base_config, n_nodes, files, rates[0], warmup, duration,
+        args.seed + 1, kill=True, spawn=args.spawn,
+    )
+    victims = ", ".join(f"P({pid})" for pid in crash["killed"])
+    print(f"  killed {victims} mid-burst: "
+          f"{crash['completed']}/{crash['requests']} completed, "
+          f"churn_lost={crash['churn_lost']}, conserved={crash['conserved']}, "
+          f"conformant={crash['conformant']}, "
+          f"goodbyes={crash['goodbyes']}/{n_nodes - 1}")
+    wall = time.perf_counter() - wall_start
+
+    payload = {
+        "benchmark": "scaleout-runtime-throughput",
+        "grid": label,
+        "run_meta": _run_meta(m, n_nodes, "binary-v2", args.spawn),
+        "files": files,
+        "warmup_per_rate_s": warmup,
+        "duration_per_rate_s": duration,
+        "p99_slo_s": SCALE_P99_SLO_S,
+        "single_sustained_rps": single_max,
+        "multi_sustained_rps": multi_max,
+        "single_latency_p99_s": (single_best or {}).get("latency_p99_s"),
+        "multi_latency_p99_s": (multi_best or {}).get("latency_p99_s"),
+        "multi_stage_seconds": (multi_best or {}).get("stage_seconds"),
+        "single_ramp": single_ramp,
+        "multi_ramp": multi_ramp,
+        "crash": crash,
+        "wallclock_seconds": round(wall, 3),
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    SCALE_OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"sustained: single-process {single_max:.0f} rps, "
+          f"{n_nodes}-process fleet {multi_max:.0f} rps; "
+          f"wrote {SCALE_OUTPUT}")
+
+    failures: list[str] = []
+    if multi_max <= 0:
+        failures.append("fleet could not sustain the smallest target rate")
+    if multi_max < single_max:
+        failures.append(
+            f"fleet sustained {multi_max:.0f} rps < single-process "
+            f"{single_max:.0f} rps at matched node count"
+        )
+    if not all(e["conformant"] for e in single_ramp + multi_ramp):
+        failures.append("a ramp trial diverged from the oracle replay")
+    if not crash["conformant"]:
+        failures.append(
+            f"crash segment diverged: {crash['mismatches'][:3]}"
+        )
+    if not crash["conserved"]:
+        failures.append("crash segment lost requests (conservation)")
+    if not crash["killed"]:
+        failures.append("crash segment never fired its kill -9")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--check", action="store_true",
@@ -391,7 +679,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--trials", type=int, default=None,
                         help="trials per rate (default: 3 full, 1 check)")
+    parser.add_argument("--processes", type=int, default=0, metavar="N",
+                        help="scale-out benchmark: N worker OS processes "
+                        "behind the bootstrap (0 = single-process bench)")
+    parser.add_argument("--spawn", default="fork",
+                        choices=["fork", "subprocess"],
+                        help="how --processes workers are spawned")
     args = parser.parse_args(argv)
+
+    if args.processes > 0:
+        return _bench_scaleout(args)
 
     if args.check:
         rates = list(CHECK_RATES)
@@ -442,6 +739,7 @@ def main(argv: list[str] | None = None) -> int:
         "benchmark": "live-runtime-throughput",
         "grid": label,
         "transport": mode,
+        "run_meta": _run_meta(args.m, 1 << args.m, "binary-v2", "single"),
         "m": args.m,
         "b": args.b,
         "files": files,
