@@ -222,6 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="drive an already-serving bootstrap endpoint "
                          "(from `lesslog serve --processes`) instead of "
                          "booting a cluster")
+    loadgen.add_argument("--client-processes", type=int, default=1,
+                         metavar="K",
+                         help="fork K load-driver processes, each with its "
+                         "own event loop and a disjoint entry-node "
+                         "partition; per-shard ledgers and latency "
+                         "histograms merge exactly (scale-out mode only, "
+                         "open loop only)")
     _add_overload_options(loadgen)
 
     profile = sub.add_parser(
@@ -555,12 +562,20 @@ def _cmd_loadgen_scaleout(args: "argparse.Namespace") -> int:
         WorkloadShape,
         verify_snapshot,
     )
-    from .runtime.scaleout import ScaleoutEndpoint, ScaleoutSupervisor
+    from .runtime.scaleout import (
+        ScaleoutEndpoint,
+        ScaleoutSupervisor,
+        ShardedLoadDriver,
+    )
 
     if args.churn_crashes or args.churn_joins or args.churn_leaves:
         print("loadgen --processes/--bootstrap supports --churn-kills only "
               "(kill -9 crash churn; joins/leaves need the in-process "
               "cluster)")
+        return 2
+    if args.client_processes > 1 and args.closed_loop > 0:
+        print("--client-processes shards the open-loop driver; drop "
+              "--closed-loop or run one client process")
         return 2
 
     supervisor = None
@@ -590,6 +605,24 @@ def _cmd_loadgen_scaleout(args: "argparse.Namespace") -> int:
             return 2
         port = int(port_text)
 
+    files = [f"file-{i}.dat" for i in range(args.files)]
+    shape = WorkloadShape(kind=args.workload, s=args.zipf_s)
+    driver = None
+    if args.client_processes > 1:
+        # Fork the shard drivers before any event loop exists, same
+        # discipline as the fleet itself; they park on their go pipes
+        # until the file set is inserted and the fleet drained.
+        driver = ShardedLoadDriver(
+            host, port, files, shards=args.client_processes,
+            rps=args.rps, duration=args.duration, shape=shape,
+            seed=args.seed, redirects=args.redirects,
+            inherited_sockets=(
+                [supervisor.listen_socket] if supervisor is not None
+                and supervisor.listen_socket is not None else []
+            ),
+        )
+        driver.launch()
+
     async def inject_kills(endpoint: "ScaleoutEndpoint",
                            kills: list[int]) -> None:
         rng = random.Random(args.seed)
@@ -607,28 +640,32 @@ def _cmd_loadgen_scaleout(args: "argparse.Namespace") -> int:
             await supervisor.start()
         endpoint = await ScaleoutEndpoint.connect(host, port)
         try:
-            files = [f"file-{i}.dat" for i in range(args.files)]
             boot = await RuntimeClient(endpoint, min(endpoint.nodes)).connect()
             for name in files:
                 await boot.insert(name, f"payload of {name}")
             await boot.close()
             await endpoint.drain()
-            shape = WorkloadShape(kind=args.workload, s=args.zipf_s)
-            gen = LoadGenerator(endpoint, files, shape, seed=args.seed,
-                                redirects=args.redirects)
             kills: list[int] = []
             kill_task = None
             if supervisor is not None and args.churn_kills:
                 kill_task = asyncio.create_task(inject_kills(endpoint, kills))
-            if args.closed_loop > 0:
-                report = await gen.run_closed_loop(
-                    args.closed_loop, max(1, int(args.rps * args.duration))
-                )
+            if driver is not None:
+                driver.start()
+                report = await driver.collect()
+                report.served_by_node = await endpoint.served_counts()
             else:
-                report = await gen.run_open_loop(args.rps, args.duration)
+                gen = LoadGenerator(endpoint, files, shape, seed=args.seed,
+                                    redirects=args.redirects)
+                if args.closed_loop > 0:
+                    report = await gen.run_closed_loop(
+                        args.closed_loop, max(1, int(args.rps * args.duration))
+                    )
+                else:
+                    report = await gen.run_open_loop(args.rps, args.duration)
             if kill_task is not None:
                 await kill_task
-            await gen.close()
+            if driver is None:
+                await gen.close()
             if kills:
                 # Post-burst autopsy: §5 recovery for every victim.
                 for victim in kills:
@@ -641,6 +678,12 @@ def _cmd_loadgen_scaleout(args: "argparse.Namespace") -> int:
                   f"workload={args.workload}, seed={args.seed}")
             for key, value in report.as_dict().items():
                 print(f"  {key:15} {value}")
+            if driver is not None:
+                shard_rps = [
+                    round(r.achieved_rps, 3) for r in driver.shard_reports
+                ]
+                print(f"  {'client_shards':15} {args.client_processes}")
+                print(f"  {'shard_rps':15} {shard_rps}")
             if supervisor is not None:
                 snapshot, _stats = await supervisor.bootstrap.collect_snapshot()
                 print(f"  {'replicas':15} {snapshot.replicas_created}")
@@ -655,7 +698,11 @@ def _cmd_loadgen_scaleout(args: "argparse.Namespace") -> int:
             if supervisor is not None:
                 await supervisor.shutdown()
 
-    return asyncio.run(run())
+    try:
+        return asyncio.run(run())
+    finally:
+        if driver is not None:
+            driver.kill()  # no-op after a clean collect()
 
 
 def _cmd_loadgen(args: "argparse.Namespace") -> int:
@@ -674,6 +721,12 @@ def _cmd_loadgen(args: "argparse.Namespace") -> int:
 
     if args.processes > 0 or args.bootstrap is not None:
         return _cmd_loadgen_scaleout(args)
+    if args.client_processes > 1:
+        print("--client-processes needs the scale-out runtime "
+              "(--processes N or --bootstrap HOST:PORT); the in-process "
+              "cluster lives inside one interpreter, so extra driver "
+              "processes cannot reach it")
+        return 2
 
     async def run() -> int:
         config = RuntimeConfig(

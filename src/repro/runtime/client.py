@@ -446,6 +446,20 @@ class LatencyHistogram:
             hist.total += int(count)
         return hist
 
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram, in place.
+
+        Buckets are fixed and integer-counted, so merging K shard
+        histograms is *exact*: bucket-wise addition commutes with
+        recording — the merged histogram is bit-identical to one fed
+        the concatenated samples (the sharded-loadgen property test
+        pins this down).
+        """
+        for idx, count in enumerate(other.counts):
+            self.counts[idx] += count
+        self.total += other.total
+        return self
+
     def shape_distance(self, other: "LatencyHistogram") -> float:
         """Earth-mover distance between normalized shapes, in buckets.
 
@@ -550,6 +564,61 @@ class LoadReport:
     def p99(self) -> float:
         return self._quantiles()[1]
 
+    _COUNTERS = (
+        "requests", "completed", "faults", "errors", "timeouts", "shed",
+        "churn_lost", "stale_sheds", "overloads", "redirected", "rerouted",
+    )
+
+    def merge(self, other: "LoadReport") -> "LoadReport":
+        """Fold another shard's report into this one, in place.
+
+        Every field is mergeable by construction: the terminal counters
+        add, the raw latency samples concatenate, the log-linear
+        histogram adds bucket-wise, per-node serve totals add, and the
+        duration is the max (shards run the same wall-clock window in
+        parallel, not back to back).  Conservation is preserved exactly:
+        each side's ledger balances, and addition keeps it balanced —
+        so the union's identity and the p99-SLO criterion hold over K
+        driver processes with no approximation.
+        """
+        for attr in self._COUNTERS:
+            setattr(self, attr, getattr(self, attr) + getattr(other, attr))
+        self.latencies.extend(other.latencies)
+        self.hist.merge(other.hist)
+        for pid, count in other.served_by_node.items():
+            self.served_by_node[pid] = self.served_by_node.get(pid, 0) + count
+        self.duration = max(self.duration, other.duration)
+        self._quantile_cache = None
+        return self
+
+    def to_wire(self) -> dict[str, Any]:
+        """Lossless JSON form for shipping a shard's report to the
+        merging parent — unlike :meth:`as_dict` (the human-facing bench
+        payload, which drops the raw samples), this round-trips the
+        latency list exactly: ``json.dumps`` emits ``repr(float)``,
+        which parses back to the identical double."""
+        return {
+            "counters": {a: getattr(self, a) for a in self._COUNTERS},
+            "duration": self.duration,
+            "latencies": self.latencies,
+            "served_by_node": {str(k): v for k, v in self.served_by_node.items()},
+            "hist": self.hist.as_dict(),
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict[str, Any]) -> "LoadReport":
+        report = cls()
+        for attr, value in data.get("counters", {}).items():
+            if attr in cls._COUNTERS:
+                setattr(report, attr, int(value))
+        report.duration = float(data.get("duration", 0.0))
+        report.latencies = [float(x) for x in data.get("latencies", [])]
+        report.served_by_node = {
+            int(k): int(v) for k, v in data.get("served_by_node", {}).items()
+        }
+        report.hist = LatencyHistogram.from_dict(data.get("hist", {}))
+        return report
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "requests": self.requests,
@@ -584,11 +653,19 @@ class LoadGenerator:
         timeout: float = 5.0,
         redirects: int = 3,
         churn_reroute: bool = True,
+        entry_shard: tuple[int, int] | None = None,
+        collect_served: bool = True,
     ) -> None:
         if not files:
             raise ConfigurationError("the load generator needs inserted files")
         if redirects < 0:
             raise ConfigurationError("redirects must be non-negative")
+        if entry_shard is not None:
+            shard, shards = entry_shard
+            if shards < 1 or not (0 <= shard < shards):
+                raise ConfigurationError(
+                    "entry_shard must be (k, K) with 0 <= k < K"
+                )
         self.cluster = cluster
         self.files = list(files)
         self.shape = shape if shape is not None else WorkloadShape()
@@ -610,6 +687,19 @@ class LoadGenerator:
         self._clients: dict[int, RuntimeClient] = {}
         self._connect_lock = asyncio.Lock()
         self._entries: tuple[int, list[int]] | None = None
+        self.entry_shard = entry_shard
+        """Disjoint entry-node partition for sharded load generation:
+        shard ``k`` of ``K`` picks entries with ``pid % K == k``, so K
+        driver processes never share a client connection or an entry
+        node's accept queue.  Redirect chases stay unpartitioned — they
+        go wherever the holder is.  ``None`` means all entries."""
+        self.collect_served = collect_served
+        """``False`` skips the per-run served-counts poll.  A sharded
+        driver sets this: against a scale-out fleet that poll is a
+        full snapshot collection, and K shards each polling would both
+        multiply the cost and *double-count* — serve totals are
+        cluster-cumulative, so the merging parent attaches them once
+        instead."""
 
     async def _client(self, pid: int) -> RuntimeClient:
         client = self._clients.get(pid)
@@ -637,7 +727,16 @@ class LoadGenerator:
         epoch = self.cluster.word.epoch
         cached = self._entries
         if cached is None or cached[0] != epoch:
-            cached = (epoch, sorted(self.cluster.nodes))
+            entries = sorted(self.cluster.nodes)
+            if self.entry_shard is not None:
+                shard, shards = self.entry_shard
+                mine = [p for p in entries if p % shards == shard]
+                # Churn can empty a shard's partition; falling back to
+                # the full membership keeps the driver live (and the
+                # conservation ledger whole) at the cost of briefly
+                # sharing entries.
+                entries = mine or entries
+            cached = (epoch, entries)
             self._entries = cached
         entry = self.rng.choice(cached[1])
         return name, entry
@@ -895,6 +994,8 @@ class LoadGenerator:
         the scale-out endpoint has to ask every worker over the wire,
         so its implementation is a coroutine.  Tolerate both.
         """
+        if not self.collect_served:
+            return {}
         counts = self.cluster.served_counts()
         if asyncio.iscoroutine(counts):
             counts = await counts

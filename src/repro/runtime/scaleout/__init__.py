@@ -12,13 +12,23 @@ The pieces, smallest to largest:
   decision time;
 * :mod:`.endpoint` — the client facade `RuntimeClient`/`LoadGenerator`
   drive unchanged;
+* :mod:`.loadshard` — `ShardedLoadDriver`, K forked load-generator
+  processes with disjoint entry partitions and exactly-merging
+  ledgers;
 * :mod:`.supervisor` — forks/boots the fleet, injects ``kill -9``,
   and tears it down.
 """
 
 from .bootstrap import BootstrapServer, ScaleoutStats
-from .control import ControlLink, config_from_wire, config_to_wire
+from .control import (
+    ControlLink,
+    config_from_wire,
+    config_to_wire,
+    decode_batch,
+    encode_batch,
+)
 from .endpoint import ScaleoutEndpoint
+from .loadshard import ShardedLoadDriver
 from .supervisor import ScaleoutSupervisor
 from .worker import WorkerProcess, WorkerRuntime, run_worker
 
@@ -28,7 +38,10 @@ __all__ = [
     "ControlLink",
     "config_from_wire",
     "config_to_wire",
+    "encode_batch",
+    "decode_batch",
     "ScaleoutEndpoint",
+    "ShardedLoadDriver",
     "ScaleoutSupervisor",
     "WorkerProcess",
     "WorkerRuntime",

@@ -256,7 +256,9 @@ class BootstrapServer:
         self.oplog.append(
             OpRecord(kind="insert", name=name, payload=body.get("payload"))
         )
-        return {"ok": True}
+        # Placement delta piggyback: the claimer learns where the
+        # mirror actually put the copy, warming its holder-hint cache.
+        return {"ok": True, "holders": self.mirror.holders_of(name)}
 
     def _op_advance(self, body: dict) -> dict:
         name = str(body["name"])
@@ -285,11 +287,11 @@ class BootstrapServer:
         seed = int(body["seed"])
         rates = {int(k): float(v) for k, v in (body.get("rates") or {}).items()}
         if self.paused or not self.mirror.membership.is_live(holder):
-            return {"target": None}
+            return {"target": None, "holders": self.mirror.holders_of(name)}
         if name not in self.mirror.stores[holder]:
             # The holder's copy is already gone in decision order
             # (decayed or GC'd); nothing to replicate, nothing recorded.
-            return {"target": None}
+            return {"target": None, "holders": self.mirror.holders_of(name)}
         target = self.mirror.replicate(
             name, holder, forwarder_rates=rates, rng=random.Random(seed)
         )
@@ -309,7 +311,10 @@ class BootstrapServer:
                     version=copy.version,
                 ),
             )
-        return {"target": target}
+        # Placement delta piggyback: the decider learns the full holder
+        # set in decision order — its next shed of this file can emit a
+        # real redirect hint instead of ``-1``.
+        return {"target": target, "holders": self.mirror.holders_of(name)}
 
     def _op_removal(self, body: dict) -> None:
         """Apply a worker's idle-decay removal + the oracle's orphan GC.
@@ -440,6 +445,12 @@ class BootstrapServer:
                         Message(kind=MessageKind.REMOVE, src=ADMIN, dst=holder,
                                 file=name),
                     )
+            changed = {
+                name: sorted(after.get(name, {}))
+                for name in sorted(set(before) | set(after))
+                if before.get(name, {}) != after.get(name, {})
+            }
+            self._push_holders(changed)
             # A ping per worker flushes the link FIFO: every frame
             # above is in its destination's inbox before the record
             # closes the pair.
@@ -468,10 +479,28 @@ class BootstrapServer:
         return out
 
     def _push_book(self) -> None:
+        """Membership changed: push the shrunk book to clients AND
+        workers.  For a worker the push only refreshes its dial table
+        (and scrubs cached holder hints naming the victim) — its
+        status word is untouched, so silent-kill semantics hold: the
+        death is still only *observable* as a failed send, it just
+        fails at the dial instead of at the dead peer's socket."""
         self._book_epoch += 1
         book = self._wire_book()
         for peer in self._clients:
             peer.link.cast("book", book=book, epoch=self._book_epoch)
+        for peer in self._workers.values():
+            peer.link.cast("book", book=book, epoch=self._book_epoch)
+
+    def _push_holders(self, deltas: dict[str, list[int]]) -> None:
+        """Piggyback placement deltas on a book-channel cast to every
+        worker (no membership payload — dial tables are already
+        current), warming holder-hint caches after recovery moved
+        copies around."""
+        if not deltas:
+            return
+        for peer in self._workers.values():
+            peer.link.cast("book", holders=deltas)
 
     def _wire_book(self) -> dict[str, list]:
         return {str(pid): [host, port] for pid, (host, port) in self.book.items()}

@@ -125,6 +125,13 @@ class ScaleoutSupervisor:
         finally:
             os._exit(status)
 
+    @property
+    def listen_socket(self) -> socket.socket | None:
+        """The bootstrap's bound listen socket, while launched.  Forked
+        shard-driver children must close their inherited copy so the
+        address actually dies with this parent."""
+        return self._listen_sock
+
     async def start(self, boot_timeout: float = 60.0) -> None:
         """Serve the bootstrap and wait until every worker registered."""
         await self.bootstrap.serve(sock=self._listen_sock)

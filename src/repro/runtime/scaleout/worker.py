@@ -9,15 +9,19 @@ runs *unchanged*; the only behavioural difference it can observe is
 ``pushes_replicas = True`` (the bootstrap delivers the REPLICATE frame
 atomically with the oplog record, so no crash window separates them).
 
-Documented v1 fidelity gaps, by design:
+Documented v1 fidelity gap, by design:
 
-* :meth:`WorkerRuntime.holders` sees only this process's own store, so
-  a shed reply's redirect hint usually degrades to ``-1`` and the
-  client falls back on its seeded reroute — the FINDLIVENODE-style
-  retry it already has.
 * Pending-holder/pending-removal bookkeeping is a no-op here: the
   bootstrap's mirror applies each decision in the same step it is
   recorded, so decision-order state lives entirely on the mirror.
+
+(:meth:`WorkerRuntime.holders` used to be a second gap — own-store
+view only, so shed redirect hints degraded to ``-1``.  It now unions
+the own-store view with a bounded holder-hint cache fed by placement
+deltas piggybacked on ``decide``/``catalog_claim`` replies and book
+pushes; staleness is handled by the machinery that already existed —
+the status-word filter in ``NodeServer._redirect_hint`` and the
+client's FINDLIVENODE reroute.)
 
 :class:`WorkerProcess` is the process entrypoint: connect (with
 retry) → ``hello`` (identifier assignment) → boot the `NodeServer` and
@@ -45,6 +49,37 @@ from ...core.tree import LookupTree
 from .control import ControlLink, config_from_wire, message_from_wire
 
 __all__ = ["WorkerRuntime", "WorkerProcess", "run_worker"]
+
+PSI_CACHE_CAP = 4096
+"""Upper bound on memoized ψ values per worker — a wide catalog must
+not grow worker memory without limit."""
+
+HOLDER_CACHE_CAP = 4096
+"""Upper bound on cached holder hints per worker."""
+
+
+class _BoundedCache(dict):
+    """A size-capped dict: inserting past ``cap`` evicts the oldest
+    entry (dicts preserve insertion order, so ``next(iter(...))`` is
+    the first-inserted key).  O(1) insertion-order eviction rather
+    than strict LRU — hits don't reorder — which is plenty for ψ and
+    holder memoization: the hot set re-inserts right after any
+    eviction, and correctness never depends on a hit (a ψ miss
+    recomputes, a holder miss degrades to the pre-cache ``-1`` path).
+    """
+
+    __slots__ = ("cap",)
+
+    def __init__(self, cap: int) -> None:
+        super().__init__()
+        if cap < 1:
+            raise ValueError("cache cap must be positive")
+        self.cap = cap
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if key not in self and len(self) >= self.cap:
+            del self[next(iter(self))]
+        super().__setitem__(key, value)
 
 
 class WorkerRuntime:
@@ -81,7 +116,11 @@ class WorkerRuntime:
         along with its send counters: the victim's column is simply
         ignored once it leaves the live set."""
         self.psi = Psi(config.m)
-        self._psi_cache: dict[str, int] = {}
+        self._psi_cache: _BoundedCache = _BoundedCache(PSI_CACHE_CAP)
+        self._holder_cache: _BoundedCache = _BoundedCache(HOLDER_CACHE_CAP)
+        """name -> sorted tuple of holder PIDs, as last reported by the
+        bootstrap (piggybacked on decide/claim replies and book
+        pushes).  Possibly stale; see :meth:`holders`."""
         self._trees: dict[int, LookupTree] = {}
         self._sinks: dict[int, _FrameSink] = {}
 
@@ -120,12 +159,54 @@ class WorkerRuntime:
         return min(sender, self.wire_version_of(dst))
 
     def holders(self, name: str) -> set[int]:
-        """Own-store view only — a worker has no oracle.  Redirect
-        hints degrade to ``-1`` and clients reroute (documented gap)."""
+        """Own store ∪ the holder-hint cache.
+
+        The cache is best-effort: an entry can name a holder that has
+        since removed its copy or silently died.  That is safe by the
+        same argument the whole redirect plane rests on —
+        ``NodeServer._redirect_hint`` filters candidates through the
+        status word, and a hint that is stale anyway triggers the
+        client's FINDLIVENODE reroute.  What a warm entry buys is a
+        real pid where the old own-store-only view produced ``-1``
+        and forced a blind client-side reroute on every shed."""
+        out = set(self._holder_cache.get(name, ()))
         node = self.node
         if node is not None and name in node.store:
-            return {self.pid}
-        return set()
+            out.add(self.pid)
+        else:
+            out.discard(self.pid)
+        return out
+
+    def note_holders(self, name: str, pids: Any) -> None:
+        """Record a placement delta for ``name`` (cache feed)."""
+        try:
+            holders = tuple(sorted({int(p) for p in pids}))
+        except (TypeError, ValueError):
+            return
+        if holders:
+            self._holder_cache[name] = holders
+        else:
+            self._holder_cache.pop(name, None)
+
+    def note_evicted(self, gone: set[int]) -> None:
+        """A book push shrank the membership: close data-plane sinks to
+        the evicted pids and scrub them from cached holder hints.  The
+        status word is deliberately NOT touched — a silent kill stays
+        silent until autopsy (REGISTER_DEAD); peers still discover the
+        death through failed dials, just sooner."""
+        if not gone:
+            return
+        for pid in gone:
+            sink = self._sinks.pop(pid, None)
+            if sink is not None:
+                sink.close()
+        for name, cached in list(self._holder_cache.items()):
+            kept = tuple(p for p in cached if p not in gone)
+            if kept != cached:
+                if kept:
+                    self._holder_cache[name] = kept
+                else:
+                    del self._holder_cache[name]
 
     # -- data plane ----------------------------------------------------------
 
@@ -183,6 +264,8 @@ class WorkerRuntime:
             )
         except (ConnectionError, RuntimeError):
             return False
+        if "holders" in reply:
+            self.note_holders(name, reply["holders"])
         return bool(reply.get("ok"))
 
     async def catalog_advance(self, name: str, payload: Any) -> int | None:
@@ -205,6 +288,8 @@ class WorkerRuntime:
             )
         except (ConnectionError, RuntimeError):
             return None
+        if "holders" in reply:
+            self.note_holders(name, reply["holders"])
         target = reply.get("target")
         return None if target is None else int(target)
 
@@ -284,6 +369,24 @@ class WorkerProcess:
             if runtime is not None and runtime.node is not None:
                 runtime.count_admin_recv()
                 runtime.node.deliver_local(message_from_wire(body["msg"]))
+            return None
+        if op == "book":
+            # Membership/placement push: refresh the dial table, drop
+            # sinks and cached hints for evicted pids, absorb any
+            # piggybacked holder deltas.  Never touches the status
+            # word — silent kills stay silent until autopsy.
+            runtime = self.runtime
+            if "book" in body:
+                self._book_wire = body.get("book") or {}
+                if runtime is not None:
+                    new_book = _book_from_wire(self._book_wire)
+                    gone = set(runtime.book) - set(new_book)
+                    runtime.book = new_book
+                    runtime.note_evicted(gone)
+            holders = body.get("holders")
+            if runtime is not None and isinstance(holders, dict):
+                for name, pids in holders.items():
+                    runtime.note_holders(name, pids)
             return None
         if op == "probe":
             assert self.runtime is not None

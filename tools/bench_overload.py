@@ -120,7 +120,8 @@ FULL_RATES = [200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0]
 FULL_WARMUP, FULL_DURATION, FULL_FILES = 0.4, 1.0, 4
 
 
-def _run_meta(m: int, node_count: int, codec: str, process_mode: str) -> dict:
+def _run_meta(m: int, node_count: int, codec: str, process_mode: str,
+              client_processes: int = 1) -> dict:
     """Reproducibility metadata carried by every benchmark artifact."""
     import os
     import platform
@@ -130,8 +131,11 @@ def _run_meta(m: int, node_count: int, codec: str, process_mode: str) -> dict:
         "node_count": node_count,
         "codec": codec,
         "process_mode": process_mode,
+        "client_processes": client_processes,
         "python": platform.python_version(),
         "host_cpus": os.cpu_count(),
+        "available_cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else os.cpu_count(),
     }
 
 

@@ -150,8 +150,15 @@ SCALE_CHECK_RATES = [40.0, 80.0]
 SCALE_P99_SLO_S = 1.0
 
 
-def _run_meta(m: int, node_count: int, codec: str, process_mode: str) -> dict:
-    """Reproducibility metadata carried by every benchmark artifact."""
+def _run_meta(m: int, node_count: int, codec: str, process_mode: str,
+              client_processes: int = 1) -> dict:
+    """Reproducibility metadata carried by every benchmark artifact.
+
+    ``host_cpus`` is the honest ``os.cpu_count()`` of the measuring
+    host and ``available_cpus`` the schedulable subset (cgroup/affinity
+    aware) — a scale-out figure from a 1-CPU box measures the kernel
+    scheduler as much as the runtime, and the artifact must say so.
+    """
     import os
     import platform
 
@@ -160,8 +167,11 @@ def _run_meta(m: int, node_count: int, codec: str, process_mode: str) -> dict:
         "node_count": node_count,
         "codec": codec,
         "process_mode": process_mode,
+        "client_processes": client_processes,
         "python": platform.python_version(),
         "host_cpus": os.cpu_count(),
+        "available_cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else os.cpu_count(),
     }
 
 
@@ -444,8 +454,15 @@ async def _drive_scaleout(
     duration: float,
     seed: int,
     kill: bool,
+    driver=None,
 ) -> dict:
-    """Drive one booted fleet through one rate; optionally kill -9."""
+    """Drive one booted fleet through one rate; optionally kill -9.
+
+    With ``driver`` (a pre-forked `ShardedLoadDriver`) the load comes
+    from K driver processes over disjoint entry partitions and the
+    returned report is the exact merge of the K shard ledgers;
+    without, a single in-loop `LoadGenerator` drives as before.
+    """
     import random
 
     from repro.runtime import verify_snapshot
@@ -462,34 +479,47 @@ async def _drive_scaleout(
             await boot.insert(name, f"payload of {name}")
         await boot.close()
         await endpoint.drain()
-        gen = LoadGenerator(
-            endpoint, names, WorkloadShape(kind="zipf", s=1.2), seed=seed
-        )
-        if warmup > 0:
-            await gen.run_open_loop(rps=rps, duration=warmup)
 
-        async def _mid_burst_kill() -> None:
-            await asyncio.sleep(duration / 2)
+        async def _mid_burst_kill(delay: float) -> None:
+            await asyncio.sleep(delay)
             victim = random.Random(seed).choice(
                 supervisor.bootstrap.worker_pids()
             )
             await supervisor.kill(victim)
             killed.append(victim)
 
-        kill_task = (
-            asyncio.get_running_loop().create_task(_mid_burst_kill())
-            if kill else None
-        )
-        report = await gen.run_open_loop(rps=rps, duration=duration)
+        loop = asyncio.get_running_loop()
+        if driver is not None:
+            # Shards run their own warmup after the gate opens, so the
+            # mid-burst kill aims at warmup + half the measured window.
+            driver.start()
+            kill_task = (
+                loop.create_task(_mid_burst_kill(warmup + duration / 2))
+                if kill else None
+            )
+            report = await driver.collect()
+            report.served_by_node = await endpoint.served_counts()
+        else:
+            gen = LoadGenerator(
+                endpoint, names, WorkloadShape(kind="zipf", s=1.2), seed=seed
+            )
+            if warmup > 0:
+                await gen.run_open_loop(rps=rps, duration=warmup)
+            kill_task = (
+                loop.create_task(_mid_burst_kill(duration / 2))
+                if kill else None
+            )
+            report = await gen.run_open_loop(rps=rps, duration=duration)
         if kill_task is not None:
             await kill_task
-        await gen.close()
+        if driver is None:
+            await gen.close()
         for victim in killed:
             await supervisor.bootstrap.announce_crash(victim)
         await endpoint.quiesce()
         snapshot, stats = await supervisor.bootstrap.collect_snapshot()
         conformance = verify_snapshot(snapshot)
-        return {
+        out = {
             **report.as_dict(),
             "conserved": report.conserved,
             "conformant": conformance.ok,
@@ -501,6 +531,12 @@ async def _drive_scaleout(
                 k: round(v, 6) for k, v in sorted(stats.stage_seconds.items())
             },
         }
+        if driver is not None:
+            out["client_processes"] = driver.shards
+            out["shard_rps"] = [
+                round(r.achieved_rps, 3) for r in driver.shard_reports
+            ]
+        return out
     finally:
         await endpoint.close()
         await supervisor.shutdown()
@@ -516,19 +552,41 @@ def _scaleout_trial(
     seed: int,
     kill: bool,
     spawn: str,
+    client_processes: int = 1,
 ) -> dict:
     """One fresh fleet of worker processes, one target rate, one trial.
 
-    The fork happens here, *before* any event loop exists.
+    The forks happen here, *before* any event loop exists — first the
+    worker fleet, then (for ``client_processes > 1``) the K shard
+    driver processes, which park on their go pipes until the fleet is
+    booted, seeded, and drained.
     """
-    from repro.runtime.scaleout import ScaleoutSupervisor
+    from repro.runtime.scaleout import ScaleoutSupervisor, ShardedLoadDriver
 
     config = RuntimeConfig(**base_config, **PROFILES["binary-v2"])
     supervisor = ScaleoutSupervisor(config, n_nodes=n_nodes, mode=spawn)
     host, port = supervisor.launch()
-    out = asyncio.run(_drive_scaleout(
-        supervisor, host, port, files, rps, warmup, duration, seed, kill,
-    ))
+    driver = None
+    if client_processes > 1:
+        driver = ShardedLoadDriver(
+            host, port, [f"bench-{i}.dat" for i in range(files)],
+            shards=client_processes, rps=rps, duration=duration,
+            warmup=warmup, shape=WorkloadShape(kind="zipf", s=1.2),
+            seed=seed,
+            inherited_sockets=(
+                [supervisor.listen_socket]
+                if supervisor.listen_socket is not None else []
+            ),
+        )
+        driver.launch()
+    try:
+        out = asyncio.run(_drive_scaleout(
+            supervisor, host, port, files, rps, warmup, duration, seed,
+            kill, driver,
+        ))
+    finally:
+        if driver is not None:
+            driver.kill()  # no-op after a clean collect()
     out["goodbyes"] = len(supervisor.bootstrap.goodbyes)
     return out
 
@@ -546,6 +604,7 @@ def _scale_sustained(entry: dict) -> bool:
 def _bench_scaleout(args: argparse.Namespace) -> int:
     """The --processes benchmark: baseline ramp, fleet ramp, crash run."""
     n_nodes = args.processes
+    shards = max(1, args.client_processes)
     m = args.m
     while (1 << m) < n_nodes:
         m += 1
@@ -561,8 +620,9 @@ def _bench_scaleout(args: argparse.Namespace) -> int:
     )
     label = "fast" if args.check else "full"
     print(f"scale-out benchmark ({label}): {n_nodes} worker processes "
-          f"(m={m}, b={args.b}, {args.spawn}), {files} files, "
-          f"{duration}s per rate, p99 SLO {SCALE_P99_SLO_S*1e3:.0f} ms")
+          f"(m={m}, b={args.b}, {args.spawn}), {shards} client process(es), "
+          f"{files} files, {duration}s per rate, "
+          f"p99 SLO {SCALE_P99_SLO_S*1e3:.0f} ms")
     wall_start = time.perf_counter()
 
     print("single-process baseline (matched node count, tcp):")
@@ -586,32 +646,54 @@ def _bench_scaleout(args: argparse.Namespace) -> int:
         else:
             break
 
-    print(f"multi-process fleet ({n_nodes} workers):")
-    multi_ramp: list[dict] = []
-    multi_max = 0.0
-    multi_best: dict | None = None
-    for rps in rates:
-        entry = _scaleout_trial(
-            base_config, n_nodes, files, rps, warmup, duration, args.seed,
-            kill=False, spawn=args.spawn,
-        )
-        entry["target_rps"] = rps
-        entry["sustained"] = _scale_sustained(entry) and entry["conformant"]
-        multi_ramp.append(entry)
-        print(f"  {'ok ' if entry['sustained'] else 'SAT'} fleet  "
-              f"target {rps:6.0f} rps -> achieved {entry['achieved_rps']:7.1f}, "
-              f"p99 {entry['latency_p99_s']*1e3:7.2f} ms, "
-              f"conformant={entry['conformant']}, "
-              f"goodbyes={entry['goodbyes']}/{n_nodes}")
-        if entry["sustained"]:
-            multi_max, multi_best = rps, entry
-        else:
-            break
+    def _fleet_ramp(client_processes: int, tag: str) -> tuple[list[dict], float, dict | None]:
+        ramp: list[dict] = []
+        best_rps = 0.0
+        best: dict | None = None
+        for rps in rates:
+            entry = _scaleout_trial(
+                base_config, n_nodes, files, rps, warmup, duration,
+                args.seed, kill=False, spawn=args.spawn,
+                client_processes=client_processes,
+            )
+            entry["target_rps"] = rps
+            entry["sustained"] = _scale_sustained(entry) and entry["conformant"]
+            ramp.append(entry)
+            shard_note = (
+                f", shards={entry['shard_rps']}"
+                if "shard_rps" in entry else ""
+            )
+            print(f"  {'ok ' if entry['sustained'] else 'SAT'} {tag} "
+                  f"target {rps:6.0f} rps -> achieved "
+                  f"{entry['achieved_rps']:7.1f}, "
+                  f"p99 {entry['latency_p99_s']*1e3:7.2f} ms, "
+                  f"conformant={entry['conformant']}, "
+                  f"goodbyes={entry['goodbyes']}/{n_nodes}{shard_note}")
+            if entry["sustained"]:
+                best_rps, best = rps, entry
+            else:
+                break
+        return ramp, best_rps, best
 
-    print(f"crash segment: kill -9 mid-burst at {rates[0]:.0f} rps:")
+    print(f"multi-process fleet ({n_nodes} workers, "
+          f"{shards} client process(es)):")
+    multi_ramp, multi_max, multi_best = _fleet_ramp(shards, "fleet ")
+
+    # The client-scaling column: the same fleet driven by ONE client
+    # interpreter.  The sharded figure must not fall below it — K
+    # drivers that measure less than one driver would mean the shard
+    # plane itself became the serialization point.
+    single_client_ramp: list[dict] = []
+    single_client_max = 0.0
+    if shards > 1:
+        print("client-scaling baseline (same fleet, 1 client process):")
+        single_client_ramp, single_client_max, _ = _fleet_ramp(1, "fleet1")
+
+    print(f"crash segment: kill -9 mid-burst at {rates[0]:.0f} rps"
+          + (f" ({shards} client shards)" if shards > 1 else "") + ":")
     crash = _scaleout_trial(
         base_config, n_nodes, files, rates[0], warmup, duration,
-        args.seed + 1, kill=True, spawn=args.spawn,
+        args.seed + 1, kill=True, spawn=args.spawn, client_processes=shards,
     )
     victims = ", ".join(f"P({pid})" for pid in crash["killed"])
     print(f"  killed {victims} mid-burst: "
@@ -624,7 +706,8 @@ def _bench_scaleout(args: argparse.Namespace) -> int:
     payload = {
         "benchmark": "scaleout-runtime-throughput",
         "grid": label,
-        "run_meta": _run_meta(m, n_nodes, "binary-v2", args.spawn),
+        "run_meta": _run_meta(m, n_nodes, "binary-v2", args.spawn,
+                              client_processes=shards),
         "files": files,
         "warmup_per_rate_s": warmup,
         "duration_per_rate_s": duration,
@@ -640,10 +723,21 @@ def _bench_scaleout(args: argparse.Namespace) -> int:
         "wallclock_seconds": round(wall, 3),
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
+    if shards > 1:
+        payload["client_scaling"] = {
+            "client_processes": shards,
+            "single_client_sustained_rps": single_client_max,
+            "sharded_sustained_rps": multi_max,
+            "shard_rps": (multi_best or {}).get("shard_rps"),
+            "single_client_ramp": single_client_ramp,
+        }
     SCALE_OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    scaling_note = (
+        f" (1-client fleet {single_client_max:.0f} rps)" if shards > 1 else ""
+    )
     print(f"sustained: single-process {single_max:.0f} rps, "
-          f"{n_nodes}-process fleet {multi_max:.0f} rps; "
-          f"wrote {SCALE_OUTPUT}")
+          f"{n_nodes}-process fleet {multi_max:.0f} rps with {shards} "
+          f"client process(es){scaling_note}; wrote {SCALE_OUTPUT}")
 
     failures: list[str] = []
     if multi_max <= 0:
@@ -653,7 +747,15 @@ def _bench_scaleout(args: argparse.Namespace) -> int:
             f"fleet sustained {multi_max:.0f} rps < single-process "
             f"{single_max:.0f} rps at matched node count"
         )
-    if not all(e["conformant"] for e in single_ramp + multi_ramp):
+    if shards > 1 and multi_max < single_client_max:
+        failures.append(
+            f"sharded fleet ({shards} clients) sustained {multi_max:.0f} "
+            f"rps < single-client fleet {single_client_max:.0f} rps"
+        )
+    if not all(
+        e["conformant"]
+        for e in single_ramp + multi_ramp + single_client_ramp
+    ):
         failures.append("a ramp trial diverged from the oracle replay")
     if not crash["conformant"]:
         failures.append(
@@ -685,7 +787,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--spawn", default="fork",
                         choices=["fork", "subprocess"],
                         help="how --processes workers are spawned")
+    parser.add_argument("--client-processes", type=int, default=1,
+                        metavar="K",
+                        help="scale-out bench: drive the fleet from K "
+                        "forked load-generator processes with disjoint "
+                        "entry partitions (1 = single client interpreter); "
+                        "adds the client-scaling column and its gate")
     args = parser.parse_args(argv)
+
+    if args.client_processes > 1 and args.processes <= 0:
+        parser.error("--client-processes needs --processes N "
+                     "(the single-process bench is one interpreter)")
 
     if args.processes > 0:
         return _bench_scaleout(args)
